@@ -1,0 +1,38 @@
+/// Ablation: BaM software-cache capacity.
+///
+/// DESIGN.md calls out the cache-fraction calibration (BaM dedicates
+/// several GB of GPU memory; we scale that with the edge list). This sweep
+/// quantifies how sensitive BaM's runtime and RAF are to that choice.
+#include "bench_common.hpp"
+#include "graph/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Ablation: BaM cache capacity (BFS, urand)",
+      "larger caches absorb re-reads: RAF and runtime fall, with "
+      "diminishing returns once the working set fits",
+      [](const core::ExperimentOptions& o) {
+        const graph::CsrGraph g = graph::make_dataset(
+            graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
+        core::ExternalGraphRuntime rt(core::table3_system());
+        util::TablePrinter table({"Cache fraction of edge list",
+                                  "Cache [MB]", "RAF", "Runtime [ms]"});
+        for (const double fraction : {0.05, 0.125, 0.25, 0.5, 1.0}) {
+          core::RunRequest req;
+          req.backend = core::BackendKind::kBamNvme;
+          req.source_seed = o.seed;
+          const auto cache_bytes = static_cast<std::uint64_t>(
+              fraction * static_cast<double>(g.edge_list_bytes()));
+          req.cache_bytes = cache_bytes;
+          const core::RunReport r = rt.run(g, req);
+          table.add_row({util::fmt(fraction, 3),
+                         util::fmt(static_cast<double>(cache_bytes) / 1e6,
+                                   1),
+                         util::fmt(r.raf, 2),
+                         util::fmt(r.runtime_sec * 1e3, 3)});
+        }
+        return table;
+      },
+      /*default_scale=*/15);
+}

@@ -1,0 +1,38 @@
+/// Ablation: number of CXL devices behind the Gen3 link.
+///
+/// Sec. 4.2.2's system design: one prototype handles 64 outstanding GPU
+/// reads, so five are needed before the pool's aggregate concurrency (320)
+/// exceeds PCIe Gen3's N_max = 256 and the link becomes the bottleneck.
+/// With fewer devices, the device tags (and single-channel bandwidth) bind
+/// and runtime degrades.
+#include "bench_common.hpp"
+#include "graph/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Ablation: CXL device count on the Gen3 system",
+      "five devices saturate the halved link; fewer devices are "
+      "device-bound (throughput ~ devices x per-device limit)",
+      [](const core::ExperimentOptions& o) {
+        const graph::CsrGraph g = graph::make_dataset(
+            graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
+        util::TablePrinter table({"CXL devices", "Aggregate GPU-visible",
+                                  "Runtime [ms]", "Throughput [MB/s]"});
+        for (unsigned devices = 1; devices <= 5; ++devices) {
+          core::SystemConfig cfg = core::table4_system();
+          cfg.cxl_devices = devices;
+          core::ExternalGraphRuntime rt(cfg);
+          core::RunRequest req;
+          req.backend = core::BackendKind::kCxl;
+          req.source_seed = o.seed;
+          const core::RunReport r = rt.run(g, req);
+          table.add_row({std::to_string(devices),
+                         std::to_string(devices * 64) + " reads",
+                         util::fmt(r.runtime_sec * 1e3, 3),
+                         util::fmt(r.throughput_mbps, 0)});
+        }
+        return table;
+      },
+      /*default_scale=*/15);
+}

@@ -1,0 +1,60 @@
+/// Ablation: where the paper's concurrency assumption changes regime —
+/// high-diameter graphs.
+///
+/// The paper's analysis presumes frontiers big enough to saturate the link
+/// (Table 2 / Sec. 3.5.1). A road-network-like grid has tiny frontiers
+/// across a huge diameter: every level is dominated by fixed per-level
+/// costs (kernel launch plus a handful of serial memory latencies), so
+/// throughput sits orders of magnitude below W on *both* DRAM and CXL and
+/// the added CXL latency is partially hidden behind the launch overhead.
+/// The interesting contrast: urand is bandwidth-bound (latency shows up
+/// once the allowance is exceeded), while the grid is overhead-bound
+/// (neither memory comes close to the link bandwidth).
+#include "bench_common.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Ablation: graph diameter vs latency tolerance",
+      "urand: link-bound, degrades past the allowance; grid: overhead-"
+      "bound, throughput << W everywhere, latency partially hidden",
+      [](const core::ExperimentOptions& o) {
+        const graph::CsrGraph urand = graph::make_dataset(
+            graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
+        const std::uint64_t side =
+            std::uint64_t{1} << (o.scale / 2);  // ~same vertex count
+        const graph::CsrGraph grid = graph::make_grid(side, side);
+
+        core::ExternalGraphRuntime rt(core::table4_system());
+        util::TablePrinter table(
+            {"Added latency [us]", "urand norm.", "urand T [MB/s]",
+             "grid norm.", "grid T [MB/s]"});
+        struct Point {
+          double normalized;
+          double throughput;
+        };
+        auto measure = [&](const graph::CsrGraph& g,
+                           double added) -> Point {
+          core::RunRequest req;
+          req.source_seed = o.seed;
+          req.backend = core::BackendKind::kHostDram;
+          const double t_dram = rt.run(g, req).runtime_sec;
+          req.backend = core::BackendKind::kCxl;
+          req.cxl_added_latency = util::ps_from_us(added);
+          const core::RunReport r = rt.run(g, req);
+          return {r.runtime_sec / t_dram, r.throughput_mbps};
+        };
+        for (double added = 0.0; added <= 3.0; added += 1.0) {
+          const Point u = measure(urand, added);
+          const Point g = measure(grid, added);
+          table.add_row({util::fmt(added, 1), util::fmt(u.normalized, 2),
+                         util::fmt(u.throughput, 0),
+                         util::fmt(g.normalized, 2),
+                         util::fmt(g.throughput, 0)});
+        }
+        return table;
+      },
+      /*default_scale=*/14);
+}

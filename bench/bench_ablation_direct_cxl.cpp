@@ -1,0 +1,46 @@
+/// Ablation / extension: direct GPU-CXL communication (paper Sec. 5,
+/// "future GPUs may implement the CXL interface to directly communicate
+/// with CXL memory ... the direct communication will reduce the CXL memory
+/// latency seen from the GPU").
+#include "bench_common.hpp"
+#include "graph/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Ablation: direct GPU-CXL path (BFS, urand, Gen3)",
+      "removing the CPU translation hop lowers observed latency, shifting "
+      "the Fig.-11 bend toward higher added latencies",
+      [](const core::ExperimentOptions& o) {
+        const graph::CsrGraph g = graph::make_dataset(
+            graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
+
+        core::SystemConfig routed = core::table4_system();
+        core::SystemConfig direct = routed;
+        direct.gpu_direct_cxl = true;
+        core::ExternalGraphRuntime rt_routed(routed);
+        core::ExternalGraphRuntime rt_direct(direct);
+
+        core::RunRequest dram_req;
+        dram_req.source_seed = o.seed;
+        dram_req.backend = core::BackendKind::kHostDram;
+        const double t_dram = rt_routed.run(g, dram_req).runtime_sec;
+
+        util::TablePrinter table({"Added latency [us]",
+                                  "via CPU (norm.)", "direct (norm.)"});
+        for (double added = 0.0; added <= 3.0; added += 0.5) {
+          core::RunRequest req;
+          req.source_seed = o.seed;
+          req.backend = core::BackendKind::kCxl;
+          req.cxl_added_latency = util::ps_from_us(added);
+          const double via_cpu =
+              rt_routed.run(g, req).runtime_sec / t_dram;
+          const double direct_path =
+              rt_direct.run(g, req).runtime_sec / t_dram;
+          table.add_row({util::fmt(added, 1), util::fmt(via_cpu, 2),
+                         util::fmt(direct_path, 2)});
+        }
+        return table;
+      },
+      /*default_scale=*/14);
+}

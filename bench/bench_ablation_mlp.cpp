@@ -1,0 +1,43 @@
+/// Ablation: per-warp memory-level parallelism and warp count.
+///
+/// The paper's concurrency argument (Sec. 3.5.2) is that 2,048 warps with
+/// one outstanding read apiece already exceed N_max = 768, so PCIe tags
+/// bind. This sweep shows where that argument breaks: with few warps, the
+/// GPU itself limits concurrency and per-warp MLP buys the latency hiding
+/// back.
+#include "bench_common.hpp"
+#include "graph/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Ablation: warps x per-warp MLP on CXL(+2 us)",
+      "runtime is flat in MLP once warps x MLP >> N_max; small warp counts "
+      "are latency-bound and speed up with MLP",
+      [](const core::ExperimentOptions& o) {
+        const graph::CsrGraph g = graph::make_dataset(
+            graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
+        util::TablePrinter table(
+            {"Warps", "MLP", "Warps x MLP", "Runtime [ms]",
+             "Throughput [MB/s]"});
+        for (const std::uint32_t warps : {128u, 512u, 2048u}) {
+          for (const std::uint32_t mlp : {1u, 2u, 4u, 8u}) {
+            core::SystemConfig cfg = core::table4_system();
+            cfg.gpu.num_warps = warps;
+            cfg.gpu.warp_mlp = mlp;
+            core::ExternalGraphRuntime rt(cfg);
+            core::RunRequest req;
+            req.backend = core::BackendKind::kCxl;
+            req.cxl_added_latency = util::ps_from_us(2.0);
+            req.source_seed = o.seed;
+            const core::RunReport r = rt.run(g, req);
+            table.add_row({std::to_string(warps), std::to_string(mlp),
+                           std::to_string(warps * mlp),
+                           util::fmt(r.runtime_sec * 1e3, 3),
+                           util::fmt(r.throughput_mbps, 0)});
+          }
+        }
+        return table;
+      },
+      /*default_scale=*/15);
+}

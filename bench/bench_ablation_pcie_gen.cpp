@@ -1,0 +1,55 @@
+/// Ablation: PCIe generation scaling (paper Sec. 5: "Even though the PCIe
+/// generations each double the bandwidth ... it is likely that the PCIe
+/// link to the GPU will continue to be the bottleneck, and our analysis
+/// will apply in the foreseeable future").
+///
+/// For each generation: the requirement numbers (Eq. 6 rescaled) and the
+/// measured BFS runtime on host DRAM, confirming W keeps setting the pace.
+#include "bench_common.hpp"
+#include "analysis/model.hpp"
+#include "graph/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Ablation: PCIe generation scaling",
+      "halving/doubling W moves runtime and the IOPS requirement "
+      "proportionally; the latency allowance shrinks as W grows",
+      [](const core::ExperimentOptions& o) {
+        const graph::CsrGraph g = graph::make_dataset(
+            graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
+        const double d = analysis::emogi_average_transfer_bytes();
+        util::TablePrinter table({"Link", "W [MB/s]", "N_max",
+                                  "S req [MIOPS]", "L allowed [us]",
+                                  "BFS on DRAM [ms]"});
+        for (const auto gen :
+             {device::PcieGen::kGen3, device::PcieGen::kGen4,
+              device::PcieGen::kGen5}) {
+          const auto lp = device::pcie_x16(gen);
+          core::SystemConfig cfg = core::table3_system();
+          cfg.gpu_link_gen = gen;
+          core::ExternalGraphRuntime rt(cfg);
+          core::RunRequest req;
+          req.source_seed = o.seed;
+          const core::RunReport r = rt.run(g, req);
+          const std::string label =
+              gen == device::PcieGen::kGen3
+                  ? "Gen3 x16"
+                  : (gen == device::PcieGen::kGen4 ? "Gen4 x16"
+                                                   : "Gen5 x16");
+          table.add_row(
+              {label, util::fmt(lp.bandwidth_mbps, 0),
+               std::to_string(lp.n_max),
+               util::fmt(analysis::required_iops(lp.bandwidth_mbps, d) /
+                             1e6,
+                         1),
+               util::fmt(analysis::allowable_latency_sec(
+                             lp.bandwidth_mbps, lp.n_max, d) *
+                             1e6,
+                         2),
+               util::fmt(r.runtime_sec * 1e3, 3)});
+        }
+        return table;
+      },
+      /*default_scale=*/15);
+}

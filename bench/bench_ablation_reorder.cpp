@@ -1,0 +1,45 @@
+/// Ablation / extension: vertex reordering (paper Sec. 5, "tailored graph
+/// formats and preprocessing").
+///
+/// Relabeling vertices changes edge-list locality. BFS order packs
+/// co-visited sublists together (best for coarse lines); random order is
+/// the adversarial case; degree order packs the hot hubs.
+#include "bench_common.hpp"
+#include "graph/datasets.hpp"
+#include "graph/reorder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Ablation: vertex ordering (BFS on Friendster-like)",
+      "locality-aware orders cut coarse-alignment RAF; fine alignments "
+      "(16-32 B) barely care - preprocessing matters most for SSD-class "
+      "lines",
+      [](const core::ExperimentOptions& o) {
+        const graph::CsrGraph base = graph::make_dataset(
+            graph::DatasetId::kFriendster, o.scale, /*weighted=*/false,
+            o.seed);
+        core::ExternalGraphRuntime rt(core::table3_system());
+        util::TablePrinter table({"Order", "EMOGI 32B [ms]", "EMOGI RAF",
+                                  "BaM 4kB [ms]", "BaM RAF"});
+        for (const graph::VertexOrder order :
+             {graph::VertexOrder::kIdentity,
+              graph::VertexOrder::kDegreeSorted, graph::VertexOrder::kBfs,
+              graph::VertexOrder::kRandom}) {
+          const graph::CsrGraph g = graph::reorder(base, order, o.seed);
+          core::RunRequest req;
+          req.source_seed = o.seed;
+          req.backend = core::BackendKind::kHostDram;
+          const core::RunReport emogi = rt.run(g, req);
+          req.backend = core::BackendKind::kBamNvme;
+          const core::RunReport bam = rt.run(g, req);
+          table.add_row({graph::to_string(order),
+                         util::fmt(emogi.runtime_sec * 1e3, 3),
+                         util::fmt(emogi.raf, 2),
+                         util::fmt(bam.runtime_sec * 1e3, 3),
+                         util::fmt(bam.raf, 2)});
+        }
+        return table;
+      },
+      /*default_scale=*/14);
+}

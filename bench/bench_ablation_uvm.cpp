@@ -1,0 +1,39 @@
+/// Ablation / extension: UVM 4 kB paging vs zero-copy vs storage methods.
+///
+/// Reproduces EMOGI's motivating comparison (paper Sec. 6, "GPU graph
+/// processing on the host DRAM"): page-fault-driven unified memory
+/// amplifies random reads to whole pages and is fault-rate-limited.
+#include "bench_common.hpp"
+#include "graph/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Ablation: access methods on the same workload",
+      "zero-copy (EMOGI) clearly beats UVM paging for random access; "
+      "XLFDD lands near EMOGI; BaM in between",
+      [](const core::ExperimentOptions& o) {
+        const graph::CsrGraph g = graph::make_dataset(
+            graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
+        core::ExternalGraphRuntime rt(core::table3_system());
+        util::TablePrinter table({"Method", "Runtime [ms]", "RAF", "d [B]",
+                                  "Normalized"});
+        double baseline = 0.0;
+        for (const core::BackendKind backend :
+             {core::BackendKind::kHostDram, core::BackendKind::kXlfdd,
+              core::BackendKind::kBamNvme, core::BackendKind::kUvm}) {
+          core::RunRequest req;
+          req.backend = backend;
+          req.source_seed = o.seed;
+          const core::RunReport r = rt.run(g, req);
+          if (baseline == 0.0) baseline = r.runtime_sec;
+          table.add_row({r.backend + " (" + r.access_method + ")",
+                         util::fmt(r.runtime_sec * 1e3, 3),
+                         util::fmt(r.raf, 2),
+                         util::fmt(r.avg_transfer_bytes, 1),
+                         util::fmt(r.runtime_sec / baseline, 2)});
+        }
+        return table;
+      },
+      /*default_scale=*/15);
+}

@@ -1,0 +1,54 @@
+/// Extension: write workloads (paper Sec. 5, "Read-only workloads" — the
+/// paper defers writes to future work; this bench quantifies them).
+///
+/// BFS with per-vertex result write-back runs against every backend. The
+/// expectations the paper sketches all materialize: the coherency round
+/// makes CXL writes slightly dearer than DRAM writes; flash program
+/// latency and read-modify-write cycles make storage-backed writes
+/// expensive; the upstream link half keeps write traffic from stealing
+/// read bandwidth.
+#include "bench_common.hpp"
+#include "graph/datasets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Extension: BFS with result write-back",
+      "writes are tolerable on DRAM/CXL (coherency ~0.1 us/write) but "
+      "flash programs (~75 us) and RMW cycles dominate on storage",
+      [](const core::ExperimentOptions& o) {
+        const graph::CsrGraph g = graph::make_dataset(
+            graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
+        core::ExternalGraphRuntime rt(core::table4_system());
+
+        util::TablePrinter table({"Backend", "Read-only [ms]",
+                                  "With writes [ms]", "Write cost",
+                                  "Written", "RMW reads"});
+        for (const core::BackendKind backend :
+             {core::BackendKind::kHostDram, core::BackendKind::kCxl,
+              core::BackendKind::kXlfdd}) {
+          core::RunRequest ro;
+          ro.algorithm = core::Algorithm::kBfs;
+          ro.backend = backend;
+          ro.source_seed = o.seed;
+          if (backend == core::BackendKind::kCxl) {
+            ro.cxl_added_latency = util::ps_from_us(0.5);
+          }
+          core::RunRequest rw = ro;
+          rw.algorithm = core::Algorithm::kBfsWriteback;
+          const core::RunReport read_only = rt.run(g, ro);
+          const core::RunReport with_writes = rt.run(g, rw);
+          table.add_row(
+              {core::to_string(backend),
+               util::fmt(read_only.runtime_sec * 1e3, 3),
+               util::fmt(with_writes.runtime_sec * 1e3, 3),
+               util::fmt(with_writes.runtime_sec / read_only.runtime_sec,
+                         2) +
+                   "x",
+               util::format_bytes(with_writes.written_bytes),
+               util::fmt_count(with_writes.rmw_reads)});
+        }
+        return table;
+      },
+      /*default_scale=*/14);
+}

@@ -1,0 +1,14 @@
+/// Reproduces Fig. 10: CXL prototype throughput and outstanding reads
+/// (Little's law) for CPU-side 64 B random reads vs added latency.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Fig. 10: CXL device bandwidth vs added latency",
+      "~5,700 MB/s cap (single-channel DRAM) at low latency; beyond that "
+      "throughput = 128 tags * 64 B / L; outstanding plateaus at 128",
+      [](const core::ExperimentOptions&) {
+        return core::fig10_cxl_throughput();
+      });
+}

@@ -1,0 +1,15 @@
+/// Reproduces Fig. 11: BFS and SSSP on CXL memory with +0..+3 us added
+/// latency, normalized to host DRAM, on the Gen3 Table-4 system.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Fig. 11: CXL graph-processing runtime vs latency",
+      "runtime ~flat (normalized ~1.0) while observed latency < ~1.91 us, "
+      "then grows roughly linearly with latency",
+      [](const core::ExperimentOptions& o) {
+        return core::fig11_cxl_runtime(o);
+      },
+      /*default_scale=*/15);
+}

@@ -1,0 +1,14 @@
+/// Reproduces Fig. 4: total data D(d), throughput T(d), and runtime t(d)
+/// for BFS/urand under the example external memory (S = 100 MIOPS,
+/// L = 16 us, PCIe Gen4 x16).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Fig. 4: runtime as a function of data transfer size",
+      "t(d) is minimized at the smallest d that still saturates W "
+      "(s*d_opt = W; here s = 48 MIOPS -> d_opt = 500 B)",
+      [](const core::ExperimentOptions& o) { return core::fig4_model(o); },
+      /*default_scale=*/15);
+}

@@ -1,0 +1,13 @@
+/// Reproduces Fig. 6: XLFDD (16 B) and BaM (4 kB) normalized runtimes for
+/// BFS and SSSP on all three datasets.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Fig. 6: XLFDD and BaM runtimes normalized to EMOGI",
+      "XLFDD ~1.13x EMOGI (geomean), BaM ~2.76x",
+      [](const core::ExperimentOptions& o) {
+        return core::fig6_runtimes(o);
+      });
+}

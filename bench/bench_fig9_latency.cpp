@@ -1,0 +1,12 @@
+/// Reproduces Fig. 9: pointer-chase latency from the GPU for host DRAM
+/// (both sockets) and CXL memory (both sockets, +0..+3 us added latency).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Fig. 9: external-memory latency seen from the GPU",
+      "host DRAM ~1+ us; CXL adds ~0.5 us; the latency bridge adds its "
+      "programmed value on top; remote-socket devices marginally slower",
+      [](const core::ExperimentOptions&) { return core::fig9_latency(); });
+}

@@ -1,0 +1,91 @@
+/// google-benchmark microbenchmarks of the library's hot paths: the event
+/// queue, the software cache, graph generation, BFS, and a full simulated
+/// traversal. These guard the simulator's own performance (wall-clock), as
+/// opposed to the figure benches which report simulated time.
+#include <benchmark/benchmark.h>
+
+#include "access/emogi.hpp"
+#include "algo/bfs.hpp"
+#include "cache/sw_cache.hpp"
+#include "device/host_dram.hpp"
+#include "gpusim/engine.hpp"
+#include "graph/generate.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cxlgraph;
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    std::function<void()> chain = [&] {
+      if (++counter < 10'000) sim.schedule_after(1, chain);
+    };
+    sim.schedule_at(0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_SwCacheAccess(benchmark::State& state) {
+  cache::SwCache cache(
+      {.capacity_bytes = 8u << 20, .line_bytes = 64, .ways = 16});
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access_line(rng.next_below(1 << 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwCacheAccess);
+
+void BM_GenerateUniform(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::generate_uniform(n, 16.0, {}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * 16));
+}
+BENCHMARK(BM_GenerateUniform)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_Bfs(benchmark::State& state) {
+  const graph::CsrGraph g =
+      graph::generate_uniform(1ull << static_cast<unsigned>(state.range(0)),
+                              16.0, {});
+  const graph::VertexId s = algo::pick_source(g, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::bfs(g, s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_Bfs)->Arg(12)->Arg(14);
+
+void BM_FullTraversalSimulation(benchmark::State& state) {
+  const graph::CsrGraph g = graph::generate_uniform(1 << 12, 16.0, {});
+  const algo::AccessTrace trace = algo::build_trace(
+      g, algo::bfs(g, algo::pick_source(g, 1)).frontiers);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    device::PcieLink link(sim, device::pcie_x16(device::PcieGen::kGen4));
+    device::HostDram dram(sim, device::HostDramParams{});
+    access::EmogiParams ep;
+    access::EmogiAccess method(ep);
+    access::MemoryPathBackend backend(link, dram);
+    gpusim::TraversalEngine engine(sim, method, backend,
+                                   gpusim::GpuParams{});
+    benchmark::DoNotOptimize(engine.run(trace));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.total_reads));
+}
+BENCHMARK(BM_FullTraversalSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,14 @@
+/// Reproduces the numeric requirement derivations of Sec. 3.4 (Eq. 6),
+/// Sec. 4.1.1, and Sec. 4.2.2.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Sec. 3.4: external-memory requirements",
+      "Gen4+EMOGI: S>=268 MIOPS, L<=2.87 us; XLFDD d=256 B: S>=93.75 "
+      "MIOPS; Gen3: S>=134 MIOPS, L<=1.91 us",
+      [](const core::ExperimentOptions&) {
+        return core::sec34_requirements();
+      });
+}

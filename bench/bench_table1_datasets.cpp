@@ -1,0 +1,13 @@
+/// Reproduces Table 1: the evaluation datasets and their degree structure.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Table 1: Graph datasets",
+      "urand 32.0 / kron 67.0 / Friendster 55.1 average degrees "
+      "(2^27 vertices in the paper; scaled down here)",
+      [](const core::ExperimentOptions& o) {
+        return core::table1_datasets(o);
+      });
+}

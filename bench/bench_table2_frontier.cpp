@@ -1,0 +1,13 @@
+/// Reproduces Table 2: BFS frontier size per traversal depth (urand).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+  return bench::run_bench(
+      argc, argv, "Table 2: vertices per BFS depth (urand)",
+      "a hump profile: tiny frontiers at both ends, millions in the middle "
+      "-> the algorithm itself does not limit concurrency",
+      [](const core::ExperimentOptions& o) {
+        return core::table2_frontier(o);
+      });
+}

@@ -1,0 +1,31 @@
+#include "access/bam.hpp"
+
+namespace cxlgraph::access {
+
+namespace {
+
+cache::SwCacheParams cache_params_from(const BamParams& p) {
+  cache::SwCacheParams cp;
+  cp.capacity_bytes = p.cache_bytes;
+  cp.line_bytes = p.line_bytes;
+  cp.ways = p.cache_ways;
+  return cp;
+}
+
+}  // namespace
+
+BamAccess::BamAccess(const BamParams& params)
+    : params_(params),
+      cache_(cache_params_from(params)),
+      name_("bam-" + std::to_string(params.line_bytes) + "B") {}
+
+void BamAccess::expand(const algo::SublistRef& read,
+                       std::vector<Transaction>& out) {
+  cache_.access_range(read.byte_offset, read.byte_len,
+                      [&](std::uint64_t line) {
+                        out.push_back(Transaction{line * params_.line_bytes,
+                                                  params_.line_bytes});
+                      });
+}
+
+}  // namespace cxlgraph::access

@@ -1,0 +1,60 @@
+#include "access/emogi.hpp"
+
+#include <stdexcept>
+
+namespace cxlgraph::access {
+
+namespace {
+
+cache::SwCacheParams cache_params_from(const EmogiParams& p) {
+  cache::SwCacheParams cp;
+  cp.capacity_bytes = p.gpu_cache_bytes;
+  cp.line_bytes = p.alignment;
+  cp.ways = p.cache_ways;
+  return cp;
+}
+
+}  // namespace
+
+EmogiAccess::EmogiAccess(const EmogiParams& params)
+    : params_(params),
+      cache_(cache_params_from(params)),
+      name_("emogi-" + std::to_string(params.alignment) + "B") {
+  if (params.alignment == 0 || params.alignment > kGpuCacheLineBytes) {
+    throw std::invalid_argument(
+        "EMOGI alignment must be in 1..128 bytes");
+  }
+}
+
+void EmogiAccess::expand(const algo::SublistRef& read,
+                         std::vector<Transaction>& out) {
+  const std::uint32_t a = params_.alignment;
+  miss_lines_.clear();
+  cache_.access_range(read.byte_offset, read.byte_len,
+                      [&](std::uint64_t line) {
+                        miss_lines_.push_back(line);
+                      });
+
+  // Coalesce adjacent missing alignment-units into transactions, splitting
+  // at 128 B cache-line windows of the address space — the hardware merges
+  // a warp's loads only within one cache-line fill.
+  std::size_t i = 0;
+  while (i < miss_lines_.size()) {
+    const std::uint64_t start_addr = miss_lines_[i] * a;
+    const std::uint64_t window_end =
+        (start_addr / kGpuCacheLineBytes + 1) * kGpuCacheLineBytes;
+    std::uint64_t end_addr = start_addr + a;
+    std::size_t j = i + 1;
+    while (j < miss_lines_.size() &&
+           miss_lines_[j] == miss_lines_[j - 1] + 1 &&
+           miss_lines_[j] * a + a <= window_end) {
+      end_addr = miss_lines_[j] * a + a;
+      ++j;
+    }
+    out.push_back(Transaction{
+        start_addr, static_cast<std::uint32_t>(end_addr - start_addr)});
+    i = j;
+  }
+}
+
+}  // namespace cxlgraph::access

@@ -1,0 +1,55 @@
+#include "access/method.hpp"
+
+#include <stdexcept>
+
+namespace cxlgraph::access {
+
+MemoryPathBackend::MemoryPathBackend(device::PcieLink& link,
+                                     device::MemoryDevice& device)
+    : link_(link), device_(device), name_("memory:" + device.caps().name) {}
+
+void MemoryPathBackend::issue(const Transaction& txn, device::DoneFn done) {
+  if (txn.bytes == 0 || txn.bytes > kGpuCacheLineBytes) {
+    throw std::invalid_argument(
+        "memory-path transaction must be 1..128 bytes, got " +
+        std::to_string(txn.bytes));
+  }
+  link_.memory_read(device_, txn.addr, txn.bytes, std::move(done));
+}
+
+void MemoryBackend::issue_write(const Transaction& /*txn*/,
+                                device::DoneFn /*done*/) {
+  throw std::logic_error("backend '" + name() +
+                         "' does not implement the write path");
+}
+
+void MemoryPathBackend::issue_write(const Transaction& txn,
+                                    device::DoneFn done) {
+  if (txn.bytes == 0 || txn.bytes > kGpuCacheLineBytes) {
+    throw std::invalid_argument(
+        "memory-path write must be 1..128 bytes, got " +
+        std::to_string(txn.bytes));
+  }
+  link_.memory_write(device_, txn.addr, txn.bytes, std::move(done));
+}
+
+StoragePathBackend::StoragePathBackend(device::StorageArray& array,
+                                       std::string name)
+    : array_(array), name_(std::move(name)) {}
+
+void StoragePathBackend::issue(const Transaction& txn, device::DoneFn done) {
+  if (txn.bytes == 0) {
+    throw std::invalid_argument("storage-path transaction of zero bytes");
+  }
+  array_.submit(txn.addr, txn.bytes, std::move(done));
+}
+
+void StoragePathBackend::issue_write(const Transaction& txn,
+                                     device::DoneFn done) {
+  if (txn.bytes == 0) {
+    throw std::invalid_argument("storage-path write of zero bytes");
+  }
+  array_.submit_write(txn.addr, txn.bytes, std::move(done));
+}
+
+}  // namespace cxlgraph::access

@@ -1,0 +1,100 @@
+#pragma once
+/// \file method.hpp
+/// External-memory access methods and the backends that carry their
+/// transactions.
+///
+/// An AccessMethod turns one edge-sublist read into the device transactions
+/// a particular runtime would issue — EMOGI's coalesced 32..128 B zero-copy
+/// reads, BaM's cache-line fetches, XLFDD's arbitrary 16 B-multiple
+/// transfers, or UVM's 4 kB page faults. A MemoryBackend then carries each
+/// transaction over the modeled hardware (memory path through the PCIe tag
+/// machinery, or storage path through submission queues).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algo/trace.hpp"
+#include "device/pcie.hpp"
+#include "device/storage.hpp"
+
+namespace cxlgraph::access {
+
+struct Transaction {
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 0;
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+};
+
+/// Strategy: sublist -> transactions. Stateful (caches persist across
+/// steps); reset() returns to a cold state.
+class AccessMethod {
+ public:
+  virtual ~AccessMethod() = default;
+
+  /// Appends the transactions needed for `read` to `out`. An empty
+  /// expansion means the whole sublist was a cache hit.
+  virtual void expand(const algo::SublistRef& read,
+                      std::vector<Transaction>& out) = 0;
+
+  virtual const std::string& name() const noexcept = 0;
+  /// The address alignment `a` this method reads at (paper Sec. 3.1).
+  virtual std::uint32_t alignment() const noexcept = 0;
+  virtual void reset() {}
+};
+
+/// Carries transactions over a modeled interconnect + device.
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+  virtual void issue(const Transaction& txn, device::DoneFn done) = 0;
+
+  /// Write-side transaction (Sec.-5 extension). Default: backend is
+  /// read-only.
+  virtual void issue_write(const Transaction& txn, device::DoneFn done);
+
+  /// True when sub-alignment writes require a read-modify-write cycle
+  /// (storage devices; byte-enabled memory writes do not).
+  virtual bool needs_read_modify_write() const noexcept { return false; }
+
+  virtual const std::string& name() const noexcept = 0;
+};
+
+/// Load/store path: host DRAM or CXL memory behind the GPU link's tags.
+/// Transactions must not exceed the GPU's 128 B cache-line transaction size.
+class MemoryPathBackend final : public MemoryBackend {
+ public:
+  MemoryPathBackend(device::PcieLink& link, device::MemoryDevice& device);
+
+  void issue(const Transaction& txn, device::DoneFn done) override;
+  void issue_write(const Transaction& txn, device::DoneFn done) override;
+  const std::string& name() const noexcept override { return name_; }
+
+ private:
+  device::PcieLink& link_;
+  device::MemoryDevice& device_;
+  std::string name_;
+};
+
+/// Storage path: GPU-initiated submission queues into a drive array.
+class StoragePathBackend final : public MemoryBackend {
+ public:
+  explicit StoragePathBackend(device::StorageArray& array, std::string name);
+
+  void issue(const Transaction& txn, device::DoneFn done) override;
+  void issue_write(const Transaction& txn, device::DoneFn done) override;
+  bool needs_read_modify_write() const noexcept override { return true; }
+  const std::string& name() const noexcept override { return name_; }
+
+ private:
+  device::StorageArray& array_;
+  std::string name_;
+};
+
+/// GPU memory transaction granularity: zero-copy loads coalesce into at
+/// most one 128 B cache line per transaction (Sec. 3.3.1).
+inline constexpr std::uint32_t kGpuCacheLineBytes = 128;
+
+}  // namespace cxlgraph::access

@@ -1,0 +1,46 @@
+#include "access/uvm.hpp"
+
+namespace cxlgraph::access {
+
+namespace {
+
+cache::SwCacheParams cache_params_from(const UvmParams& p) {
+  cache::SwCacheParams cp;
+  cp.capacity_bytes = p.resident_bytes;
+  cp.line_bytes = p.page_bytes;
+  cp.ways = p.cache_ways;
+  return cp;
+}
+
+}  // namespace
+
+UvmAccess::UvmAccess(const UvmParams& params)
+    : params_(params),
+      pages_(cache_params_from(params)),
+      name_("uvm-" + std::to_string(params.page_bytes) + "B") {}
+
+void UvmAccess::expand(const algo::SublistRef& read,
+                       std::vector<Transaction>& out) {
+  pages_.access_range(read.byte_offset, read.byte_len,
+                      [&](std::uint64_t page) {
+                        out.push_back(Transaction{page * params_.page_bytes,
+                                                  params_.page_bytes});
+                      });
+}
+
+device::StorageDriveParams uvm_fault_engine_params() {
+  device::StorageDriveParams p;
+  p.name = "uvm-fault-engine";
+  p.min_alignment = 4096;
+  p.max_transfer = 4096;
+  // ~500k faults/s handler throughput and ~20 us per-fault latency are in
+  // line with published UVM far-fault measurements.
+  p.iops = 0.5e6;
+  p.access_latency = util::ps_from_us(20.0);
+  p.submission_overhead = util::ps_from_us(1.0);
+  p.drive_link_mbps = 24'000.0;  // migrations ride the full GPU link
+  p.queue_depth = 128;
+  return p;
+}
+
+}  // namespace cxlgraph::access

@@ -1,0 +1,29 @@
+#include "access/xlfdd_direct.hpp"
+
+#include <stdexcept>
+
+namespace cxlgraph::access {
+
+XlfddDirectAccess::XlfddDirectAccess(const XlfddDirectParams& params)
+    : params_(params),
+      name_("xlfdd-direct-" + std::to_string(params.alignment) + "B") {
+  if (params.alignment == 0 || params.max_transfer < params.alignment) {
+    throw std::invalid_argument("XlfddDirectAccess: bad parameters");
+  }
+}
+
+void XlfddDirectAccess::expand(const algo::SublistRef& read,
+                               std::vector<Transaction>& out) {
+  const std::uint64_t a = params_.alignment;
+  std::uint64_t start = read.byte_offset / a * a;
+  const std::uint64_t end =
+      (read.byte_offset + read.byte_len + a - 1) / a * a;
+  while (start < end) {
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(end - start, params_.max_transfer));
+    out.push_back(Transaction{start, chunk});
+    start += chunk;
+  }
+}
+
+}  // namespace cxlgraph::access

@@ -1,0 +1,90 @@
+#include "algo/bfs.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cxlgraph::algo {
+
+BfsResult bfs(const graph::CsrGraph& graph, graph::VertexId source) {
+  const std::uint64_t n = graph.num_vertices();
+  if (source >= n) throw std::out_of_range("bfs: source out of range");
+
+  BfsResult result;
+  result.depth.assign(n, kUnreachedDepth);
+  result.parent.assign(n, kNoParent);
+
+  std::vector<graph::VertexId> frontier{source};
+  result.depth[source] = 0;
+  std::uint32_t level = 0;
+
+  while (!frontier.empty()) {
+    result.frontiers.push_back(frontier);
+    std::vector<graph::VertexId> next;
+    for (graph::VertexId u : frontier) {
+      for (graph::VertexId v : graph.neighbors(u)) {
+        if (result.depth[v] == kUnreachedDepth) {
+          result.depth[v] = level + 1;
+          result.parent[v] = u;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++level;
+  }
+  return result;
+}
+
+std::string validate_bfs(const graph::CsrGraph& graph,
+                         graph::VertexId source, const BfsResult& result) {
+  const std::uint64_t n = graph.num_vertices();
+  if (result.depth.size() != n || result.parent.size() != n) {
+    return "result arrays have wrong size";
+  }
+  if (result.depth[source] != 0) return "source depth != 0";
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const std::uint32_t d = result.depth[v];
+    if (d == kUnreachedDepth) {
+      if (result.parent[v] != kNoParent) return "unreached vertex has parent";
+      continue;
+    }
+    if (v != source) {
+      const graph::VertexId p = result.parent[v];
+      if (p == kNoParent || p >= n) return "reached vertex lacks parent";
+      if (result.depth[p] + 1 != d) return "parent depth mismatch";
+      bool is_neighbor = false;
+      for (graph::VertexId w : graph.neighbors(p)) {
+        if (w == v) {
+          is_neighbor = true;
+          break;
+        }
+      }
+      if (!is_neighbor) return "parent is not adjacent";
+    }
+    // Every edge can shrink depth by at most 1.
+    for (graph::VertexId w : graph.neighbors(v)) {
+      if (result.depth[w] != kUnreachedDepth && result.depth[w] + 1 < d) {
+        return "depth violates edge relaxation";
+      }
+    }
+  }
+  return {};
+}
+
+graph::VertexId pick_source(const graph::CsrGraph& graph,
+                            std::uint64_t seed) {
+  const std::uint64_t n = graph.num_vertices();
+  if (n == 0) throw std::invalid_argument("pick_source: empty graph");
+  util::Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const graph::VertexId v = rng.next_below(n);
+    if (graph.degree(v) > 0) return v;
+  }
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (graph.degree(v) > 0) return v;
+  }
+  throw std::invalid_argument("pick_source: graph has no edges");
+}
+
+}  // namespace cxlgraph::algo

@@ -1,0 +1,48 @@
+#include "algo/cc.hpp"
+
+#include <numeric>
+
+namespace cxlgraph::algo {
+
+CcResult connected_components(const graph::CsrGraph& graph) {
+  const std::uint64_t n = graph.num_vertices();
+  CcResult result;
+  result.label.resize(n);
+  std::iota(result.label.begin(), result.label.end(), graph::VertexId{0});
+
+  // Initial frontier: every vertex with edges.
+  std::vector<graph::VertexId> frontier;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (graph.degree(v) > 0) frontier.push_back(v);
+  }
+  std::vector<std::uint8_t> in_next(n, 0);
+
+  while (!frontier.empty()) {
+    result.frontiers.push_back(frontier);
+    std::vector<graph::VertexId> next;
+    for (graph::VertexId u : frontier) {
+      const graph::VertexId lu = result.label[u];
+      for (graph::VertexId v : graph.neighbors(u)) {
+        if (lu < result.label[v]) {
+          result.label[v] = lu;
+          if (!in_next[v]) {
+            in_next[v] = 1;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    for (graph::VertexId v : next) in_next[v] = 0;
+    frontier = std::move(next);
+  }
+
+  std::vector<std::uint8_t> is_root(n, 0);
+  for (graph::VertexId v = 0; v < n; ++v) is_root[result.label[v]] = 1;
+  result.num_components = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    result.num_components += is_root[v];
+  }
+  return result;
+}
+
+}  // namespace cxlgraph::algo

@@ -1,0 +1,28 @@
+#pragma once
+/// \file cc.hpp
+/// Connected components via frontier-based label propagation.
+///
+/// Another fine-grained random-access traversal in the BFS family; cxlgraph
+/// includes it as an extension workload for the external-memory models.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace cxlgraph::algo {
+
+struct CcResult {
+  /// label[v] = smallest vertex ID in v's component.
+  std::vector<graph::VertexId> label;
+  std::uint64_t num_components = 0;
+  /// Per-iteration frontiers (vertices whose labels changed), usable as an
+  /// access trace like BFS levels.
+  std::vector<std::vector<graph::VertexId>> frontiers;
+};
+
+/// Label propagation to fixpoint. Treats edges as undirected only if the
+/// graph is symmetric (generators symmetrize by default).
+CcResult connected_components(const graph::CsrGraph& graph);
+
+}  // namespace cxlgraph::algo

@@ -1,0 +1,145 @@
+#include "algo/dobfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cxlgraph::algo {
+
+DobfsResult bfs_direction_optimizing(const graph::CsrGraph& graph,
+                                     graph::VertexId source,
+                                     const DirectionOptParams& params) {
+  const std::uint64_t n = graph.num_vertices();
+  if (source >= n) throw std::out_of_range("dobfs: source out of range");
+
+  DobfsResult result;
+  result.bfs.depth.assign(n, kUnreachedDepth);
+  result.bfs.parent.assign(n, kNoParent);
+  result.bfs.depth[source] = 0;
+
+  std::vector<graph::VertexId> frontier{source};
+  std::uint64_t scanned_edges = 0;
+  const std::uint64_t total_edges = graph.num_edges();
+  std::uint32_t level = 0;
+  bool bottom_up = false;
+  std::size_t previous_frontier_size = 0;
+
+  while (!frontier.empty()) {
+    result.bfs.frontiers.push_back(frontier);
+
+    // Heuristic switch (GAP): go bottom-up when the frontier is growing
+    // and its out-edges dominate the unexplored edges; return top-down
+    // when it thins out.
+    std::uint64_t frontier_edges = 0;
+    for (const graph::VertexId u : frontier) {
+      frontier_edges += graph.degree(u);
+    }
+    const bool growing = frontier.size() > previous_frontier_size;
+    previous_frontier_size = frontier.size();
+    if (!bottom_up && growing &&
+        static_cast<double>(frontier_edges) >
+            static_cast<double>(total_edges - scanned_edges) /
+                params.alpha) {
+      bottom_up = true;
+    } else if (bottom_up &&
+               static_cast<double>(frontier.size()) <
+                   static_cast<double>(n) / params.beta) {
+      bottom_up = false;
+    }
+    result.bottom_up_level.push_back(bottom_up);
+    scanned_edges += frontier_edges;
+
+    std::vector<graph::VertexId> next;
+    if (!bottom_up) {
+      for (const graph::VertexId u : frontier) {
+        for (const graph::VertexId v : graph.neighbors(u)) {
+          if (result.bfs.depth[v] == kUnreachedDepth) {
+            result.bfs.depth[v] = level + 1;
+            result.bfs.parent[v] = u;
+            next.push_back(v);
+          }
+        }
+      }
+    } else {
+      // Bottom-up: every unvisited vertex scans its own sublist for a
+      // parent in the current frontier (depth == level), aborting at the
+      // first hit. Requires a symmetric graph, which the generators
+      // produce.
+      for (graph::VertexId v = 0; v < n; ++v) {
+        if (result.bfs.depth[v] != kUnreachedDepth) continue;
+        for (const graph::VertexId u : graph.neighbors(v)) {
+          if (result.bfs.depth[u] == level) {
+            result.bfs.depth[v] = level + 1;
+            result.bfs.parent[v] = u;
+            next.push_back(v);
+            break;
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++level;
+  }
+  return result;
+}
+
+AccessTrace build_dobfs_trace(const graph::CsrGraph& graph,
+                              const DobfsResult& result) {
+  const std::uint64_t n = graph.num_vertices();
+  AccessTrace trace;
+
+  // Track which vertices are still unvisited entering each level by
+  // replaying depths.
+  for (std::size_t level = 0; level < result.bfs.frontiers.size();
+       ++level) {
+    TraceStep step;
+    if (!result.bottom_up_level[level]) {
+      std::vector<graph::VertexId> frontier =
+          result.bfs.frontiers[level];
+      std::sort(frontier.begin(), frontier.end());
+      for (const graph::VertexId v : frontier) {
+        std::uint64_t offset = graph.sublist_byte_offset(v);
+        std::uint64_t remaining = graph.sublist_bytes(v);
+        while (remaining > 0) {
+          const std::uint64_t chunk =
+              std::min(remaining, kMaxWorkChunkBytes);
+          step.reads.push_back(SublistRef{v, offset, chunk});
+          trace.total_sublist_bytes += chunk;
+          ++trace.total_reads;
+          offset += chunk;
+          remaining -= chunk;
+        }
+      }
+    } else {
+      // Bottom-up reads: unvisited vertices (depth > level or unreached)
+      // scan their sublists until the first parent at `level`. Model the
+      // early exit exactly: count bytes up to and including the matching
+      // neighbor, rounded up to one 8 B ID.
+      for (graph::VertexId v = 0; v < n; ++v) {
+        const std::uint32_t d = result.bfs.depth[v];
+        const bool unvisited_at_level = d == kUnreachedDepth ||
+                                        d > level;
+        if (!unvisited_at_level || graph.degree(v) == 0) continue;
+        std::uint64_t scanned = 0;
+        for (const graph::VertexId u : graph.neighbors(v)) {
+          ++scanned;
+          if (result.bfs.depth[u] == level) break;
+        }
+        std::uint64_t offset = graph.sublist_byte_offset(v);
+        std::uint64_t remaining = scanned * graph::kBytesPerEdge;
+        while (remaining > 0) {
+          const std::uint64_t chunk =
+              std::min(remaining, kMaxWorkChunkBytes);
+          step.reads.push_back(SublistRef{v, offset, chunk});
+          trace.total_sublist_bytes += chunk;
+          ++trace.total_reads;
+          offset += chunk;
+          remaining -= chunk;
+        }
+      }
+    }
+    if (!step.reads.empty()) trace.steps.push_back(std::move(step));
+  }
+  return trace;
+}
+
+}  // namespace cxlgraph::algo

@@ -1,0 +1,50 @@
+#pragma once
+/// \file dobfs.hpp
+/// Direction-optimizing BFS (Beamer's top-down/bottom-up hybrid, the GAP
+/// benchmark's default).
+///
+/// Relevance to the paper: the external-memory traffic of a bottom-up step
+/// is very different from a top-down step — it scans *unvisited* vertices'
+/// sublists (often aborting early on the first visited parent), which
+/// changes E, the access pattern, and therefore how much an alignment or
+/// latency change hurts. cxlgraph includes the hybrid so that the paper's
+/// conclusions can be probed beyond plain top-down BFS.
+
+#include "algo/bfs.hpp"
+#include "algo/trace.hpp"
+
+namespace cxlgraph::algo {
+
+struct DirectionOptParams {
+  /// Switch top-down -> bottom-up when frontier edges exceed
+  /// (remaining edges) / alpha (GAP defaults).
+  double alpha = 15.0;
+  /// Switch back when the frontier shrinks below n / beta vertices.
+  double beta = 18.0;
+};
+
+struct DobfsResult {
+  BfsResult bfs;  // depths/parents/frontiers, identical semantics
+  /// Per level: true if the level ran bottom-up.
+  std::vector<bool> bottom_up_level;
+  std::uint64_t bottom_up_levels() const noexcept {
+    std::uint64_t count = 0;
+    for (const bool b : bottom_up_level) count += b ? 1 : 0;
+    return count;
+  }
+};
+
+/// Runs the hybrid. Depths match plain BFS exactly (tested); parents may
+/// differ (any valid parent is acceptable).
+DobfsResult bfs_direction_optimizing(const graph::CsrGraph& graph,
+                                     graph::VertexId source,
+                                     const DirectionOptParams& params = {});
+
+/// The external-memory trace of a direction-optimized run: top-down levels
+/// read frontier sublists; bottom-up levels read the sublists of
+/// *unvisited* vertices (with an early-exit fraction applied to model the
+/// first-found-parent abort).
+AccessTrace build_dobfs_trace(const graph::CsrGraph& graph,
+                              const DobfsResult& result);
+
+}  // namespace cxlgraph::algo

@@ -1,0 +1,46 @@
+#include "algo/pagerank.hpp"
+
+#include <cmath>
+
+namespace cxlgraph::algo {
+
+PageRankResult pagerank(const graph::CsrGraph& graph,
+                        const PageRankOptions& options) {
+  const std::uint64_t n = graph.num_vertices();
+  PageRankResult result;
+  if (n == 0) return result;
+
+  const double base = (1.0 - options.damping) / static_cast<double>(n);
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (graph::VertexId u = 0; u < n; ++u) {
+      const std::uint64_t deg = graph.degree(u);
+      if (deg == 0) {
+        dangling += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(deg);
+      for (graph::VertexId v : graph.neighbors(u)) next[v] += share;
+    }
+    const double dangling_share =
+        options.damping * dangling / static_cast<double>(n);
+    double delta = 0.0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      const double updated = base + options.damping * next[v] +
+                             dangling_share;
+      delta += std::fabs(updated - rank[v]);
+      rank[v] = updated;
+    }
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < options.tolerance) break;
+  }
+  result.rank = std::move(rank);
+  return result;
+}
+
+}  // namespace cxlgraph::algo

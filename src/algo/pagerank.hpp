@@ -1,0 +1,32 @@
+#pragma once
+/// \file pagerank.hpp
+/// PageRank — the paper's Related Work contrasts random-access traversals
+/// (BFS/SSSP) against mostly-sequential workloads like PageRank (Graphene
+/// discussion, Sec. 6). cxlgraph includes it so the sequential-vs-random
+/// contrast can be measured on the same memory-system models.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace cxlgraph::algo {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-6;
+  unsigned max_iterations = 100;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;
+  unsigned iterations = 0;
+  double final_delta = 0.0;
+};
+
+/// Push-style power iteration over out-edges. Dangling mass is
+/// redistributed uniformly, so ranks sum to ~1.
+PageRankResult pagerank(const graph::CsrGraph& graph,
+                        const PageRankOptions& options = {});
+
+}  // namespace cxlgraph::algo

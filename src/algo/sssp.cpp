@@ -1,0 +1,101 @@
+#include "algo/sssp.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace cxlgraph::algo {
+
+namespace {
+
+graph::Weight edge_weight(const graph::CsrGraph& graph, graph::VertexId u,
+                          std::size_t i) {
+  return graph.weighted() ? graph.weights_of(u)[i] : graph::Weight{1};
+}
+
+}  // namespace
+
+SsspResult sssp_frontier(const graph::CsrGraph& graph,
+                         graph::VertexId source) {
+  const std::uint64_t n = graph.num_vertices();
+  if (source >= n) throw std::out_of_range("sssp: source out of range");
+
+  SsspResult result;
+  result.dist.assign(n, kInfDistance);
+  result.dist[source] = 0;
+
+  std::vector<graph::VertexId> frontier{source};
+  std::vector<std::uint8_t> in_next(n, 0);
+
+  while (!frontier.empty()) {
+    result.frontiers.push_back(frontier);
+    std::vector<graph::VertexId> next;
+    for (graph::VertexId u : frontier) {
+      const auto neighbors = graph.neighbors(u);
+      const Distance du = result.dist[u];
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const graph::VertexId v = neighbors[i];
+        const Distance cand = du + edge_weight(graph, u, i);
+        if (cand < result.dist[v]) {
+          result.dist[v] = cand;
+          if (!in_next[v]) {
+            in_next[v] = 1;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    for (graph::VertexId v : next) in_next[v] = 0;
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+std::vector<Distance> sssp_dijkstra(const graph::CsrGraph& graph,
+                                    graph::VertexId source) {
+  const std::uint64_t n = graph.num_vertices();
+  if (source >= n) throw std::out_of_range("dijkstra: source out of range");
+
+  std::vector<Distance> dist(n, kInfDistance);
+  dist[source] = 0;
+  using Entry = std::pair<Distance, graph::VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;  // stale entry
+    const auto neighbors = graph.neighbors(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const graph::VertexId v = neighbors[i];
+      const Distance cand = d + edge_weight(graph, u, i);
+      if (cand < dist[v]) {
+        dist[v] = cand;
+        heap.emplace(cand, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::string validate_sssp(const graph::CsrGraph& graph,
+                          graph::VertexId source,
+                          const std::vector<Distance>& dist) {
+  const std::uint64_t n = graph.num_vertices();
+  if (dist.size() != n) return "dist has wrong size";
+  if (n == 0) return {};
+  if (dist[source] != 0) return "source distance != 0";
+  for (graph::VertexId u = 0; u < n; ++u) {
+    if (dist[u] == kInfDistance) continue;
+    const auto neighbors = graph.neighbors(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const graph::VertexId v = neighbors[i];
+      if (dist[u] + edge_weight(graph, u, i) < dist[v]) {
+        return "relaxable edge remains: " + std::to_string(u) + " -> " +
+               std::to_string(v);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace cxlgraph::algo

@@ -1,0 +1,95 @@
+#include "algo/sssp_delta.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace cxlgraph::algo {
+
+namespace {
+
+graph::Weight edge_weight(const graph::CsrGraph& graph, graph::VertexId u,
+                          std::size_t i) {
+  return graph.weighted() ? graph.weights_of(u)[i] : graph::Weight{1};
+}
+
+Distance pick_delta(const graph::CsrGraph& graph) {
+  if (!graph.weighted() || graph.num_edges() == 0) return 2;
+  std::uint64_t sum = 0;
+  for (const graph::Weight w : graph.weights()) sum += w;
+  return 1 + sum / graph.num_edges();
+}
+
+}  // namespace
+
+DeltaSteppingResult sssp_delta_stepping(const graph::CsrGraph& graph,
+                                        graph::VertexId source,
+                                        Distance delta) {
+  const std::uint64_t n = graph.num_vertices();
+  if (source >= n) {
+    throw std::out_of_range("delta-stepping: source out of range");
+  }
+  if (delta == 0) delta = pick_delta(graph);
+
+  DeltaSteppingResult result;
+  result.dist.assign(n, kInfDistance);
+  result.dist[source] = 0;
+
+  // Sparse bucket map keyed by floor(dist/delta); vertices may appear in
+  // stale buckets and are skipped when their current bucket disagrees.
+  std::map<std::uint64_t, std::vector<graph::VertexId>> buckets;
+  buckets[0].push_back(source);
+
+  auto bucket_of = [&](graph::VertexId v) {
+    return result.dist[v] / delta;
+  };
+
+  while (!buckets.empty()) {
+    const std::uint64_t current = buckets.begin()->first;
+    ++result.buckets_processed;
+
+    // Light-edge phases: drain the bucket to fixpoint. A vertex settles
+    // once scanned; re-insertions into the same bucket re-scan it.
+    std::vector<graph::VertexId> to_scan =
+        std::move(buckets.begin()->second);
+    buckets.erase(buckets.begin());
+    std::vector<std::uint8_t> scanned(n, 0);
+
+    while (!to_scan.empty()) {
+      std::vector<graph::VertexId> phase;
+      for (const graph::VertexId v : to_scan) {
+        if (result.dist[v] == kInfDistance || bucket_of(v) != current) {
+          continue;  // stale entry
+        }
+        if (scanned[v]) continue;
+        scanned[v] = 1;
+        phase.push_back(v);
+      }
+      if (phase.empty()) break;
+      result.phases.push_back(phase);
+
+      std::vector<graph::VertexId> requeue;
+      for (const graph::VertexId u : phase) {
+        const auto neighbors = graph.neighbors(u);
+        const Distance du = result.dist[u];
+        for (std::size_t i = 0; i < neighbors.size(); ++i) {
+          const graph::VertexId v = neighbors[i];
+          const Distance cand = du + edge_weight(graph, u, i);
+          if (cand < result.dist[v]) {
+            result.dist[v] = cand;
+            const std::uint64_t b = cand / delta;
+            if (b == current) {
+              scanned[v] = 0;  // allow re-scan within this bucket
+              requeue.push_back(v);
+            } else {
+              buckets[b].push_back(v);
+            }
+          }
+        }
+      }
+      to_scan = std::move(requeue);
+    }
+  }
+  return result;
+}
+
+}  // namespace cxlgraph::algo

@@ -1,0 +1,29 @@
+#pragma once
+/// \file sssp_delta.hpp
+/// Delta-stepping SSSP (Meyer & Sanders), the GAP benchmark's SSSP.
+///
+/// Buckets vertices by floor(dist/delta); each bucket drains through
+/// repeated light-edge relaxation phases, then settles heavy edges. Every
+/// relaxation phase is one synchronized step for the access trace, so the
+/// external-memory profile differs from plain Bellman-Ford: fewer
+/// re-relaxations, more smaller steps.
+
+#include "algo/sssp.hpp"
+#include "algo/trace.hpp"
+
+namespace cxlgraph::algo {
+
+struct DeltaSteppingResult {
+  std::vector<Distance> dist;
+  /// Per relaxation phase: the vertices whose sublists were scanned.
+  std::vector<std::vector<graph::VertexId>> phases;
+  std::uint64_t buckets_processed = 0;
+};
+
+/// Runs delta-stepping from `source`. `delta` = 0 picks a heuristic
+/// (average edge weight + 1). Distances equal Dijkstra's (tested).
+DeltaSteppingResult sssp_delta_stepping(const graph::CsrGraph& graph,
+                                        graph::VertexId source,
+                                        Distance delta = 0);
+
+}  // namespace cxlgraph::algo

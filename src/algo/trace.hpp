@@ -1,0 +1,95 @@
+#pragma once
+/// \file trace.hpp
+/// Edge-sublist access traces.
+///
+/// The paper's traversal algorithms read one *edge sublist* (a vertex's
+/// contiguous neighbor run in the edge list) per visited frontier vertex,
+/// one synchronized step (BFS level / SSSP iteration) at a time. A trace
+/// records exactly those byte ranges per step. The GPU engine replays a
+/// trace against a memory-system model; the cache module replays it to
+/// measure read amplification (Fig. 3). `total_sublist_bytes` is the
+/// paper's E — the denominator of the RAF D/E.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/layout.hpp"
+
+namespace cxlgraph::algo {
+
+/// One edge-sublist read: the byte range of `vertex`'s neighbors within the
+/// external-memory edge list.
+struct SublistRef {
+  graph::VertexId vertex = 0;
+  std::uint64_t byte_offset = 0;
+  std::uint64_t byte_len = 0;
+};
+
+/// One external-memory write (Sec.-5 extension): e.g. storing a result
+/// property for a vertex.
+struct WriteRef {
+  std::uint64_t addr = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One synchronized traversal step (BFS level / SSSP iteration).
+struct TraceStep {
+  std::vector<SublistRef> reads;
+  std::vector<WriteRef> writes;
+};
+
+struct AccessTrace {
+  std::vector<TraceStep> steps;
+  /// Sum of all sublist byte lengths (paper's E).
+  std::uint64_t total_sublist_bytes = 0;
+  /// Total number of sublist reads across steps.
+  std::uint64_t total_reads = 0;
+  /// Write-side totals (zero for the paper's read-only workloads).
+  std::uint64_t total_write_bytes = 0;
+  std::uint64_t total_writes = 0;
+
+  double avg_sublist_bytes() const noexcept {
+    return total_reads == 0 ? 0.0
+                            : static_cast<double>(total_sublist_bytes) /
+                                  static_cast<double>(total_reads);
+  }
+};
+
+/// GPU traversals process a frontier's edges warp-parallel, so a hub
+/// vertex's multi-megabyte sublist is fetched by many warps at once, not
+/// serially by one. Traces model that by splitting sublists into work
+/// chunks of at most this many bytes (= the XLFDD maximum transfer, so no
+/// access method's per-request semantics change).
+inline constexpr std::uint64_t kMaxWorkChunkBytes = 2048;
+
+/// Builds a trace from per-step frontiers: step k reads the sublist of every
+/// frontier vertex with nonzero degree, in ascending vertex-ID order,
+/// chunked at kMaxWorkChunkBytes.
+AccessTrace build_trace(
+    const graph::CsrGraph& graph,
+    const std::vector<std::vector<graph::VertexId>>& frontiers);
+
+/// A full sequential scan of the edge list in one step (PageRank-style
+/// workloads; used to contrast sequential vs random access).
+AccessTrace build_sequential_trace(const graph::CsrGraph& graph,
+                                   unsigned num_iterations = 1);
+
+/// BFS with result write-back (Sec.-5 extension): reads are the usual
+/// frontier sublists; each step additionally writes `property_bytes` per
+/// newly-visited vertex into a result region placed after the edge list
+/// (vertex v's property lives at region + v * property_bytes).
+AccessTrace build_writeback_trace(
+    const graph::CsrGraph& graph,
+    const std::vector<std::vector<graph::VertexId>>& frontiers,
+    std::uint32_t property_bytes = 8);
+
+/// build_trace against a preprocessed edge-list layout (see
+/// graph/layout.hpp): identical frontier semantics, sublist byte ranges
+/// taken from the layout's padded offsets.
+AccessTrace build_trace_with_layout(
+    const graph::CsrGraph& graph,
+    const std::vector<std::vector<graph::VertexId>>& frontiers,
+    const graph::EdgeListLayout& layout);
+
+}  // namespace cxlgraph::algo

@@ -1,0 +1,95 @@
+#include "algo/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace cxlgraph::algo {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'X', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("trace binary: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void save_trace(const AccessTrace& trace, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, trace.total_sublist_bytes);
+  write_pod(os, trace.total_reads);
+  write_pod(os, static_cast<std::uint64_t>(trace.steps.size()));
+  for (const TraceStep& step : trace.steps) {
+    write_pod(os, static_cast<std::uint64_t>(step.reads.size()));
+    for (const SublistRef& read : step.reads) {
+      write_pod(os, read.vertex);
+      write_pod(os, read.byte_offset);
+      write_pod(os, read.byte_len);
+    }
+  }
+  if (!os) throw std::runtime_error("trace binary: write failed");
+}
+
+AccessTrace load_trace(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("trace binary: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("trace binary: unsupported version " +
+                             std::to_string(version));
+  }
+  AccessTrace trace;
+  trace.total_sublist_bytes = read_pod<std::uint64_t>(is);
+  trace.total_reads = read_pod<std::uint64_t>(is);
+  const auto num_steps = read_pod<std::uint64_t>(is);
+  trace.steps.resize(num_steps);
+
+  std::uint64_t check_bytes = 0;
+  std::uint64_t check_reads = 0;
+  for (TraceStep& step : trace.steps) {
+    const auto num_reads = read_pod<std::uint64_t>(is);
+    step.reads.resize(num_reads);
+    for (SublistRef& read : step.reads) {
+      read.vertex = read_pod<std::uint64_t>(is);
+      read.byte_offset = read_pod<std::uint64_t>(is);
+      read.byte_len = read_pod<std::uint64_t>(is);
+      check_bytes += read.byte_len;
+      ++check_reads;
+    }
+  }
+  if (check_bytes != trace.total_sublist_bytes ||
+      check_reads != trace.total_reads) {
+    throw std::runtime_error("trace binary: totals do not match contents");
+  }
+  return trace;
+}
+
+void save_trace_file(const AccessTrace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_trace(trace, os);
+}
+
+AccessTrace load_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load_trace(is);
+}
+
+}  // namespace cxlgraph::algo

@@ -1,0 +1,58 @@
+#include "analysis/model.hpp"
+
+#include <algorithm>
+
+namespace cxlgraph::analysis {
+
+double throughput_mbps(const ThroughputParams& p, double transfer_bytes) {
+  const double iops_term = p.iops * transfer_bytes / 1.0e6;
+  double limit = std::min(iops_term, p.bandwidth_mbps);
+  if (p.memory_semantics) {
+    const double little_term =
+        static_cast<double>(p.n_max) / p.latency_sec * transfer_bytes / 1.0e6;
+    limit = std::min(limit, little_term);
+  }
+  return limit;
+}
+
+double throughput_slope_iops(const ThroughputParams& p) {
+  if (!p.memory_semantics) return p.iops;
+  return std::min(p.iops, static_cast<double>(p.n_max) / p.latency_sec);
+}
+
+double optimal_transfer_bytes(const ThroughputParams& p) {
+  return p.bandwidth_mbps * 1.0e6 / throughput_slope_iops(p);
+}
+
+double runtime_sec(const ThroughputParams& p, double total_bytes,
+                   double transfer_bytes) {
+  const double t_mbps = throughput_mbps(p, transfer_bytes);
+  if (t_mbps <= 0.0) return 0.0;
+  return total_bytes / (t_mbps * 1.0e6);
+}
+
+double littles_law_outstanding(double throughput_mbps, double latency_sec,
+                               double transfer_bytes) {
+  if (transfer_bytes <= 0.0) return 0.0;
+  return throughput_mbps * 1.0e6 * latency_sec / transfer_bytes;
+}
+
+double required_iops(double bandwidth_mbps, double transfer_bytes) {
+  if (transfer_bytes <= 0.0) return 0.0;
+  return bandwidth_mbps * 1.0e6 / transfer_bytes;
+}
+
+double allowable_latency_sec(double bandwidth_mbps, std::uint32_t n_max,
+                             double transfer_bytes) {
+  if (bandwidth_mbps <= 0.0) return 0.0;
+  return static_cast<double>(n_max) * transfer_bytes /
+         (bandwidth_mbps * 1.0e6);
+}
+
+double emogi_average_transfer_bytes() {
+  // 20% 32 B + 20% 64 B + 20% 96 B + 40% 128 B (conservative case from the
+  // EMOGI evaluation).
+  return 0.2 * 32.0 + 0.2 * 64.0 + 0.2 * 96.0 + 0.4 * 128.0;
+}
+
+}  // namespace cxlgraph::analysis

@@ -1,0 +1,54 @@
+#include "analysis/raf_model.hpp"
+
+#include <stdexcept>
+
+namespace cxlgraph::analysis {
+
+double expected_lines(std::uint64_t len, std::uint32_t alignment) {
+  if (alignment == 0 || alignment % graph::kBytesPerEdge != 0) {
+    throw std::invalid_argument(
+        "alignment must be a nonzero multiple of 8");
+  }
+  if (len == 0) return 0.0;
+  const std::uint64_t positions = alignment / graph::kBytesPerEdge;
+  std::uint64_t total_lines = 0;
+  for (std::uint64_t p = 0; p < positions; ++p) {
+    const std::uint64_t start = p * graph::kBytesPerEdge;
+    total_lines += (start + len + alignment - 1) / alignment;
+  }
+  return static_cast<double>(total_lines) /
+         static_cast<double>(positions);
+}
+
+double predicted_uncached_raf(const graph::CsrGraph& graph,
+                              std::uint32_t alignment) {
+  double fetched = 0.0;
+  double used = 0.0;
+  for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::uint64_t len = graph.sublist_bytes(v);
+    if (len == 0) continue;
+    fetched += expected_fetched_bytes(len, alignment);
+    used += static_cast<double>(len);
+  }
+  return used == 0.0 ? 0.0 : fetched / used;
+}
+
+double predicted_padded_raf(const graph::CsrGraph& graph,
+                            std::uint32_t alignment) {
+  if (alignment == 0 || alignment % graph::kBytesPerEdge != 0) {
+    throw std::invalid_argument(
+        "alignment must be a nonzero multiple of 8");
+  }
+  double fetched = 0.0;
+  double used = 0.0;
+  for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::uint64_t len = graph.sublist_bytes(v);
+    if (len == 0) continue;
+    const std::uint64_t lines = (len + alignment - 1) / alignment;
+    fetched += static_cast<double>(lines * alignment);
+    used += static_cast<double>(len);
+  }
+  return used == 0.0 ? 0.0 : fetched / used;
+}
+
+}  // namespace cxlgraph::analysis

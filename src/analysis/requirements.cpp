@@ -1,0 +1,31 @@
+#include "analysis/requirements.hpp"
+
+namespace cxlgraph::analysis {
+
+RequirementCase derive_requirement(std::string label, double bandwidth_mbps,
+                                   std::uint32_t n_max,
+                                   double transfer_bytes) {
+  RequirementCase c;
+  c.label = std::move(label);
+  c.bandwidth_mbps = bandwidth_mbps;
+  c.n_max = n_max;
+  c.transfer_bytes = transfer_bytes;
+  c.required_miops = required_iops(bandwidth_mbps, transfer_bytes) / 1.0e6;
+  c.allowable_latency_us =
+      allowable_latency_sec(bandwidth_mbps, n_max, transfer_bytes) * 1.0e6;
+  return c;
+}
+
+std::vector<RequirementCase> paper_requirement_cases() {
+  const double d_emogi = emogi_average_transfer_bytes();
+  return {
+      derive_requirement("Sec 3.4: Gen4 x16, EMOGI d=89.6B", 24'000.0, 768,
+                         d_emogi),
+      derive_requirement("Sec 4.1.1: Gen4 x16, XLFDD d=256B", 24'000.0, 768,
+                         256.0),
+      derive_requirement("Sec 4.2.2: Gen3 x16, EMOGI d=89.6B", 12'000.0, 256,
+                         d_emogi),
+  };
+}
+
+}  // namespace cxlgraph::analysis

@@ -1,0 +1,34 @@
+#pragma once
+/// \file requirements.hpp
+/// External-memory requirement derivations the paper states numerically.
+///
+///  * Sec. 3.4 (Gen4 x16, EMOGI d = 89.6 B):  S >= 268 MIOPS, L <= 2.87 us.
+///  * Sec. 4.1.1 (XLFDD, d ~ 256 B):          S >= 93.75 MIOPS.
+///  * Sec. 4.2.2 (Gen3 x16):                  S >= 134 MIOPS, L <= 1.91 us.
+
+#include <string>
+#include <vector>
+
+#include "analysis/model.hpp"
+
+namespace cxlgraph::analysis {
+
+struct RequirementCase {
+  std::string label;
+  double bandwidth_mbps;
+  std::uint32_t n_max;
+  double transfer_bytes;
+  /// Derived: min IOPS to saturate the link with this transfer size.
+  double required_miops;
+  /// Derived: max latency (us) that still saturates the link.
+  double allowable_latency_us;
+};
+
+RequirementCase derive_requirement(std::string label, double bandwidth_mbps,
+                                   std::uint32_t n_max,
+                                   double transfer_bytes);
+
+/// The three cases the paper works out, in order of appearance.
+std::vector<RequirementCase> paper_requirement_cases();
+
+}  // namespace cxlgraph::analysis

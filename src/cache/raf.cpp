@@ -1,0 +1,44 @@
+#include "cache/raf.hpp"
+
+namespace cxlgraph::cache {
+
+RafResult evaluate_raf(const algo::AccessTrace& trace,
+                       const RafOptions& options) {
+  SwCacheParams cache_params;
+  cache_params.capacity_bytes = options.cache_capacity_bytes;
+  cache_params.line_bytes = options.alignment;
+  cache_params.ways = options.ways;
+  SwCache cache(cache_params);
+
+  RafResult result;
+  for (const auto& step : trace.steps) {
+    for (const auto& read : step.reads) {
+      result.used_bytes += read.byte_len;
+      cache.access_range(read.byte_offset, read.byte_len,
+                         [&](std::uint64_t /*line*/) {
+                           result.fetched_bytes += options.alignment;
+                         });
+    }
+  }
+  result.cache_hits = cache.stats().hits;
+  result.cache_misses = cache.stats().misses;
+  return result;
+}
+
+std::vector<RafResult> raf_sweep(const algo::AccessTrace& trace,
+                                 const std::vector<std::uint32_t>& alignments,
+                                 std::uint64_t cache_capacity_bytes,
+                                 std::uint32_t ways) {
+  std::vector<RafResult> results;
+  results.reserve(alignments.size());
+  for (const std::uint32_t a : alignments) {
+    RafOptions options;
+    options.alignment = a;
+    options.cache_capacity_bytes = cache_capacity_bytes;
+    options.ways = ways;
+    results.push_back(evaluate_raf(trace, options));
+  }
+  return results;
+}
+
+}  // namespace cxlgraph::cache

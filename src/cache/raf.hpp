@@ -1,0 +1,51 @@
+#pragma once
+/// \file raf.hpp
+/// Read-amplification-factor evaluation (paper Section 3.1, Fig. 3).
+///
+/// Replays an access trace through a software cache with line size equal to
+/// the address alignment `a` and reports RAF = D/E: fetched bytes over
+/// sublist bytes actually needed. This is exactly the paper's Fig.-3 CPU
+/// simulation; the authors validated it against BaM measurements at 512 B
+/// and 4 kB alignments.
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/trace.hpp"
+#include "cache/sw_cache.hpp"
+
+namespace cxlgraph::cache {
+
+struct RafOptions {
+  std::uint32_t alignment = 32;
+  /// Cache capacity in bytes. 0 means uncached: D counts the aligned
+  /// covering range of every read (pure rounding amplification).
+  std::uint64_t cache_capacity_bytes = 0;
+  std::uint32_t ways = 16;
+};
+
+struct RafResult {
+  std::uint64_t used_bytes = 0;     // E
+  std::uint64_t fetched_bytes = 0;  // D
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  double raf() const noexcept {
+    return used_bytes == 0 ? 0.0
+                           : static_cast<double>(fetched_bytes) /
+                                 static_cast<double>(used_bytes);
+  }
+};
+
+/// Replays `trace` with the given alignment/cache and returns D, E, RAF.
+RafResult evaluate_raf(const algo::AccessTrace& trace,
+                       const RafOptions& options);
+
+/// Sweeps alignments (e.g. {8,16,...,4096}) and returns one result each.
+/// Each alignment gets a fresh cache of the same byte capacity.
+std::vector<RafResult> raf_sweep(const algo::AccessTrace& trace,
+                                 const std::vector<std::uint32_t>& alignments,
+                                 std::uint64_t cache_capacity_bytes,
+                                 std::uint32_t ways = 16);
+
+}  // namespace cxlgraph::cache

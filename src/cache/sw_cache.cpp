@@ -1,0 +1,73 @@
+#include "cache/sw_cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cxlgraph::cache {
+
+SwCache::SwCache(const SwCacheParams& params) : params_(params) {
+  if (params.line_bytes == 0 || !std::has_single_bit(params.line_bytes)) {
+    throw std::invalid_argument("SwCache: line size must be a power of two");
+  }
+  if (params.capacity_bytes == 0) {
+    enabled_ = false;
+    return;
+  }
+  enabled_ = true;
+  std::uint64_t num_lines = params.capacity_bytes / params.line_bytes;
+  if (num_lines == 0) num_lines = 1;
+  ways_ = params.ways == 0 ? 1 : params.ways;
+  if (ways_ > num_lines) ways_ = static_cast<std::uint32_t>(num_lines);
+  num_sets_ = num_lines / ways_;
+  if (num_sets_ == 0) num_sets_ = 1;
+  // Round set count down to a power of two so the index is a mask; this
+  // keeps capacity within a factor <2 of the request, which is fine for a
+  // traffic model.
+  num_sets_ = std::bit_floor(num_sets_);
+  tags_.assign(num_sets_ * ways_, kEmpty);
+  last_use_.assign(num_sets_ * ways_, 0);
+}
+
+bool SwCache::access_line(std::uint64_t line_index) {
+  if (!enabled_) {
+    ++stats_.misses;
+    return false;
+  }
+  const std::uint64_t set = line_index & (num_sets_ - 1);
+  const std::uint64_t base = set * ways_;
+  ++use_clock_;
+
+  std::uint64_t victim = base;
+  std::uint64_t victim_use = ~std::uint64_t{0};
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    const std::uint64_t slot = base + w;
+    if (tags_[slot] == line_index) {
+      ++stats_.hits;
+      last_use_[slot] = use_clock_;
+      return true;
+    }
+    if (tags_[slot] == kEmpty) {
+      // Prefer filling an invalid way over evicting.
+      victim = slot;
+      victim_use = 0;
+    } else if (last_use_[slot] < victim_use) {
+      victim = slot;
+      victim_use = last_use_[slot];
+    }
+  }
+  ++stats_.misses;
+  tags_[victim] = line_index;
+  last_use_[victim] = use_clock_;
+  return false;
+}
+
+void SwCache::reset() {
+  if (enabled_) {
+    tags_.assign(tags_.size(), kEmpty);
+    last_use_.assign(last_use_.size(), 0);
+  }
+  use_clock_ = 0;
+  stats_ = SwCacheStats{};
+}
+
+}  // namespace cxlgraph::cache

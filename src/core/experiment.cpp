@@ -1,0 +1,317 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "algo/bfs.hpp"
+#include "algo/sssp.hpp"
+#include "analysis/model.hpp"
+#include "analysis/requirements.hpp"
+#include "cache/raf.hpp"
+#include "gpusim/cpu_probe.hpp"
+#include "gpusim/pointer_chase.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+namespace cxlgraph::core {
+
+namespace {
+
+using util::TablePrinter;
+using util::fmt;
+
+std::string fmt_bytes_cell(std::uint64_t bytes) {
+  return util::format_bytes(bytes);
+}
+
+RunReport run_one(ExternalGraphRuntime& rt, const graph::CsrGraph& g,
+                  Algorithm algorithm, BackendKind backend,
+                  const ExperimentOptions& options,
+                  const RunRequest& base = {}) {
+  RunRequest req = base;
+  req.algorithm = algorithm;
+  req.backend = backend;
+  req.source_seed = options.seed;
+  const RunReport report = rt.run(g, req);
+  if (options.verbose) {
+    CXLG_INFO(report.algorithm << " on " << report.backend << " ("
+                               << report.access_method << "): t="
+                               << fmt(report.runtime_sec * 1e3, 3) << " ms"
+                               << ", T=" << fmt(report.throughput_mbps, 0)
+                               << " MB/s, RAF=" << fmt(report.raf, 2)
+                               << ", d=" << fmt(report.avg_transfer_bytes, 1)
+                               << " B");
+  }
+  return report;
+}
+
+}  // namespace
+
+DatasetBundle make_datasets(const ExperimentOptions& options) {
+  DatasetBundle bundle;
+  for (const auto& spec : graph::paper_datasets()) {
+    if (options.verbose) {
+      CXLG_INFO("generating " << spec.name << " at scale " << options.scale);
+    }
+    bundle.entries.push_back(DatasetBundle::Entry{
+        spec, graph::make_dataset(spec.id, options.scale, /*weighted=*/true,
+                                  options.seed)});
+  }
+  return bundle;
+}
+
+TablePrinter table1_datasets(const ExperimentOptions& options) {
+  TablePrinter table({"Dataset", "Vertices", "Edges", "Edge list",
+                      "Avg degree*", "Avg sublist [B]"});
+  const DatasetBundle bundle = make_datasets(options);
+  for (const auto& entry : bundle.entries) {
+    const graph::DegreeStats s = graph::degree_stats(entry.graph);
+    table.add_row({entry.spec.paper_name + " (scale " +
+                       std::to_string(options.scale) + ")",
+                   util::fmt_count(s.num_vertices),
+                   util::fmt_count(s.num_edges),
+                   fmt_bytes_cell(s.edge_list_bytes),
+                   fmt(s.avg_degree_nonzero, 1),
+                   fmt(s.avg_sublist_bytes, 1)});
+  }
+  return table;
+}
+
+TablePrinter table2_frontier(const ExperimentOptions& options) {
+  const graph::CsrGraph g = graph::make_dataset(
+      graph::DatasetId::kUrand, options.scale, /*weighted=*/false,
+      options.seed);
+  const graph::VertexId source = algo::pick_source(g, options.seed);
+  const algo::BfsResult result = algo::bfs(g, source);
+
+  TablePrinter table({"Depth", "Number of vertices"});
+  for (std::size_t depth = 0; depth < result.frontiers.size(); ++depth) {
+    table.add_row({std::to_string(depth),
+                   util::fmt_count(result.frontiers[depth].size())});
+  }
+  return table;
+}
+
+TablePrinter fig3_raf(const ExperimentOptions& options,
+                      double cache_fraction) {
+  const std::vector<std::uint32_t> alignments = {8,   16,  32,   64,  128,
+                                                 256, 512, 1024, 2048, 4096};
+  std::vector<std::string> headers = {"Workload"};
+  for (auto a : alignments) headers.push_back(std::to_string(a) + "B");
+  TablePrinter table(headers);
+
+  const DatasetBundle bundle = make_datasets(options);
+  ExternalGraphRuntime rt(table3_system());
+  for (const Algorithm algorithm : {Algorithm::kBfs, Algorithm::kSssp}) {
+    for (const auto& entry : bundle.entries) {
+      const graph::VertexId source =
+          algo::pick_source(entry.graph, options.seed);
+      const algo::AccessTrace trace =
+          rt.make_trace(entry.graph, algorithm, source);
+      const auto capacity = static_cast<std::uint64_t>(
+          cache_fraction *
+          static_cast<double>(entry.graph.edge_list_bytes()));
+      const auto results =
+          cache::raf_sweep(trace, alignments, capacity);
+      std::vector<std::string> row = {to_string(algorithm) + " " +
+                                      entry.spec.paper_name};
+      for (const auto& r : results) row.push_back(fmt(r.raf(), 2));
+      table.add_row(std::move(row));
+      if (options.verbose) {
+        CXLG_INFO("fig3: " << to_string(algorithm) << " "
+                           << entry.spec.name << " done");
+      }
+    }
+  }
+  return table;
+}
+
+TablePrinter fig4_model(const ExperimentOptions& options,
+                        double cache_fraction) {
+  // The paper's example external memory: S = 100 MIOPS, L = 16 us, on a
+  // Gen4 x16 link (Sec. 3.2, Eq. 4): T = min(100 d, 48 d, 24000).
+  analysis::ThroughputParams model;
+  model.iops = 100.0e6;
+  model.latency_sec = 16.0e-6;
+  model.n_max = 768;
+  model.bandwidth_mbps = 24'000.0;
+
+  const graph::CsrGraph g = graph::make_dataset(
+      graph::DatasetId::kUrand, options.scale, /*weighted=*/false,
+      options.seed);
+  ExternalGraphRuntime rt(table3_system());
+  const graph::VertexId source = algo::pick_source(g, options.seed);
+  const algo::AccessTrace trace =
+      rt.make_trace(g, Algorithm::kBfs, source);
+  const auto capacity = static_cast<std::uint64_t>(
+      cache_fraction * static_cast<double>(g.edge_list_bytes()));
+
+  TablePrinter table({"d [B]", "Total data D [MB]", "Throughput T [MB/s]",
+                      "Runtime t [ms]"});
+  for (const std::uint32_t d :
+       {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    cache::RafOptions raf_options;
+    raf_options.alignment = d;  // BaM-style: transfer size = alignment
+    raf_options.cache_capacity_bytes = capacity;
+    const cache::RafResult raf = cache::evaluate_raf(trace, raf_options);
+    const double total_mb =
+        static_cast<double>(raf.fetched_bytes) / 1.0e6;
+    const double t_mbps = analysis::throughput_mbps(model, d);
+    const double runtime_ms =
+        analysis::runtime_sec(model, static_cast<double>(raf.fetched_bytes),
+                              d) *
+        1.0e3;
+    table.add_row({std::to_string(d), fmt(total_mb, 1), fmt(t_mbps, 0),
+                   fmt(runtime_ms, 3)});
+  }
+  return table;
+}
+
+TablePrinter fig5_alignment_sweep(const ExperimentOptions& options) {
+  const graph::CsrGraph g = graph::make_dataset(
+      graph::DatasetId::kUrand, options.scale, /*weighted=*/false,
+      options.seed);
+  ExternalGraphRuntime rt(table3_system());
+
+  const RunReport emogi =
+      run_one(rt, g, Algorithm::kBfs, BackendKind::kHostDram, options);
+
+  TablePrinter table(
+      {"Config", "Alignment [B]", "Runtime [ms]", "Normalized", "RAF",
+       "d [B]", "T [MB/s]"});
+  auto add = [&](const std::string& config, const RunReport& r,
+                 std::uint32_t alignment) {
+    table.add_row({config, std::to_string(alignment),
+                   fmt(r.runtime_sec * 1e3, 3),
+                   fmt(r.runtime_sec / emogi.runtime_sec, 2), fmt(r.raf, 2),
+                   fmt(r.avg_transfer_bytes, 1),
+                   fmt(r.throughput_mbps, 0)});
+  };
+  add("EMOGI host-DRAM (baseline)", emogi, 32);
+
+  for (const std::uint32_t a : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    RunRequest req;
+    req.alignment = a;
+    const RunReport r =
+        run_one(rt, g, Algorithm::kBfs, BackendKind::kXlfdd, options, req);
+    add("XLFDD", r, a);
+  }
+
+  const RunReport bam =
+      run_one(rt, g, Algorithm::kBfs, BackendKind::kBamNvme, options);
+  add("BaM NVMe", bam, 4096);
+  return table;
+}
+
+TablePrinter fig6_runtimes(const ExperimentOptions& options) {
+  const DatasetBundle bundle = make_datasets(options);
+  ExternalGraphRuntime rt(table3_system());
+
+  TablePrinter table({"Algorithm", "Dataset", "EMOGI [ms]", "XLFDD [ms]",
+                      "XLFDD norm.", "BaM [ms]", "BaM norm."});
+  for (const Algorithm algorithm : {Algorithm::kBfs, Algorithm::kSssp}) {
+    for (const auto& entry : bundle.entries) {
+      const RunReport emogi = run_one(rt, entry.graph, algorithm,
+                                      BackendKind::kHostDram, options);
+      const RunReport xlfdd = run_one(rt, entry.graph, algorithm,
+                                      BackendKind::kXlfdd, options);
+      const RunReport bam = run_one(rt, entry.graph, algorithm,
+                                    BackendKind::kBamNvme, options);
+      table.add_row({to_string(algorithm), entry.spec.paper_name,
+                     fmt(emogi.runtime_sec * 1e3, 3),
+                     fmt(xlfdd.runtime_sec * 1e3, 3),
+                     fmt(xlfdd.runtime_sec / emogi.runtime_sec, 2),
+                     fmt(bam.runtime_sec * 1e3, 3),
+                     fmt(bam.runtime_sec / emogi.runtime_sec, 2)});
+    }
+  }
+  return table;
+}
+
+TablePrinter fig9_latency() {
+  const SystemConfig cfg = table4_system();
+  ExternalGraphRuntime rt(cfg);
+
+  TablePrinter table({"External memory", "Added latency [us]",
+                      "Observed latency [us]"});
+  // DRAM 0 sits on the far socket; DRAM 1 on the GPU's socket.
+  table.add_row({"DRAM 0 (remote)", "-",
+                 fmt(rt.measure_latency_us(BackendKind::kHostDramRemote),
+                     2)});
+  table.add_row({"DRAM 1 (local)", "-",
+                 fmt(rt.measure_latency_us(BackendKind::kHostDram), 2)});
+
+  for (const bool remote : {true, false}) {
+    for (int added_us = 0; added_us <= 3; ++added_us) {
+      // CXL 0 is attached to the far socket, CXL 3 to the GPU's socket.
+      sim::Simulator sim;
+      device::PcieLink link(sim, device::pcie_x16(cfg.gpu_link_gen));
+      device::CxlDeviceParams cp = cfg.cxl;
+      cp.added_latency = util::ps_from_us(static_cast<double>(added_us));
+      cp.socket_hop = remote ? util::ps_from_ns(100) : 0;
+      device::CxlMemoryPool pool(sim, cp, 1, cfg.cxl_interleave_bytes);
+      const double latency = gpusim::pointer_chase_latency_us(sim, link,
+                                                              pool);
+      table.add_row({remote ? "CXL 0 (remote)" : "CXL 3 (local)",
+                     std::to_string(added_us), fmt(latency, 2)});
+    }
+  }
+  return table;
+}
+
+TablePrinter fig10_cxl_throughput() {
+  const SystemConfig cfg = table4_system();
+  TablePrinter table({"Added latency [us]", "Throughput [MB/s]",
+                      "Observed latency [us]", "# outstanding (Little)"});
+  for (double added = 0.0; added <= 10.0; added += 1.0) {
+    device::CxlDeviceParams cp = cfg.cxl;
+    cp.added_latency = util::ps_from_us(added);
+    const gpusim::CpuProbeResult r = gpusim::cpu_random_read_probe(cp);
+    table.add_row({fmt(added, 0), fmt(r.throughput_mbps, 0),
+                   fmt(r.observed_latency_us, 2),
+                   fmt(r.littles_law_outstanding, 1)});
+  }
+  return table;
+}
+
+TablePrinter fig11_cxl_runtime(const ExperimentOptions& options) {
+  const DatasetBundle bundle = make_datasets(options);
+  ExternalGraphRuntime rt(table4_system());
+
+  TablePrinter table({"Algorithm", "Dataset", "Added latency [us]",
+                      "Observed latency [us]", "Runtime [ms]",
+                      "Normalized vs DRAM"});
+  for (const Algorithm algorithm : {Algorithm::kBfs, Algorithm::kSssp}) {
+    for (const auto& entry : bundle.entries) {
+      const RunReport dram = run_one(rt, entry.graph, algorithm,
+                                     BackendKind::kHostDram, options);
+      table.add_row({to_string(algorithm), entry.spec.paper_name, "DRAM",
+                     fmt(dram.observed_read_latency_us, 2),
+                     fmt(dram.runtime_sec * 1e3, 3), "1.00"});
+      for (double added = 0.0; added <= 3.0; added += 0.5) {
+        RunRequest req;
+        req.cxl_added_latency = util::ps_from_us(added);
+        const RunReport r = run_one(rt, entry.graph, algorithm,
+                                    BackendKind::kCxl, options, req);
+        table.add_row({to_string(algorithm), entry.spec.paper_name,
+                       fmt(added, 1), fmt(r.observed_read_latency_us, 2),
+                       fmt(r.runtime_sec * 1e3, 3),
+                       fmt(r.runtime_sec / dram.runtime_sec, 2)});
+      }
+    }
+  }
+  return table;
+}
+
+TablePrinter sec34_requirements() {
+  TablePrinter table({"Case", "W [MB/s]", "N_max", "d [B]",
+                      "S required [MIOPS]", "L allowed [us]"});
+  for (const auto& c : analysis::paper_requirement_cases()) {
+    table.add_row({c.label, fmt(c.bandwidth_mbps, 0),
+                   std::to_string(c.n_max), fmt(c.transfer_bytes, 1),
+                   fmt(c.required_miops, 2), fmt(c.allowable_latency_us, 2)});
+  }
+  return table;
+}
+
+}  // namespace cxlgraph::core

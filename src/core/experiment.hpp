@@ -1,0 +1,76 @@
+#pragma once
+/// \file experiment.hpp
+/// One driver per paper table/figure (see DESIGN.md's experiment index).
+/// Each returns a TablePrinter with the same rows/series the paper reports;
+/// the bench binaries print them (and EXPERIMENTS.md records the outcome).
+///
+/// All drivers are deterministic in (scale, seed).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "graph/datasets.hpp"
+#include "util/table.hpp"
+
+namespace cxlgraph::core {
+
+struct ExperimentOptions {
+  /// log2 of the vertex count for generated datasets (the paper uses 27;
+  /// the default here keeps single-core runs interactive).
+  unsigned scale = 16;
+  std::uint64_t seed = 42;
+  /// Emit per-run progress via the logger.
+  bool verbose = false;
+};
+
+/// The three Table-1 datasets generated once (weighted, usable by BFS and
+/// SSSP alike).
+struct DatasetBundle {
+  struct Entry {
+    graph::DatasetSpec spec;
+    graph::CsrGraph graph;
+  };
+  std::vector<Entry> entries;
+};
+DatasetBundle make_datasets(const ExperimentOptions& options);
+
+/// Table 1: dataset inventory (vertices, edges, edge-list size, degrees).
+util::TablePrinter table1_datasets(const ExperimentOptions& options);
+
+/// Table 2: BFS frontier size per depth on urand.
+util::TablePrinter table2_frontier(const ExperimentOptions& options);
+
+/// Fig. 3: RAF vs alignment (8 B..4 kB) for BFS and SSSP on all datasets.
+util::TablePrinter fig3_raf(const ExperimentOptions& options,
+                            double cache_fraction = 0.25);
+
+/// Fig. 4: D(d), T(d), and t(d) for BFS/urand under the example external
+/// memory (S = 100 MIOPS, L = 16 us) on a Gen4 x16 link.
+util::TablePrinter fig4_model(const ExperimentOptions& options,
+                              double cache_fraction = 0.25);
+
+/// Fig. 5: XLFDD BFS/urand runtime vs alignment, normalized to EMOGI on
+/// host DRAM, with the BaM 4 kB point.
+util::TablePrinter fig5_alignment_sweep(const ExperimentOptions& options);
+
+/// Fig. 6: XLFDD(16 B) and BaM(4 kB) normalized runtimes for BFS and SSSP
+/// on all three datasets.
+util::TablePrinter fig6_runtimes(const ExperimentOptions& options);
+
+/// Fig. 9: pointer-chase latency from the GPU: DRAM 0/1, CXL 0/3 with
+/// +0..+3 us added latency.
+util::TablePrinter fig9_latency();
+
+/// Fig. 10: CXL prototype throughput and Little's-law outstanding reads vs
+/// added latency (CPU-side 64 B random reads).
+util::TablePrinter fig10_cxl_throughput();
+
+/// Fig. 11: BFS and SSSP on CXL memory vs added latency (+0..+3 us),
+/// normalized to host DRAM, on the Gen3 Table-4 system.
+util::TablePrinter fig11_cxl_runtime(const ExperimentOptions& options);
+
+/// Sec. 3.4 / 4.1.1 / 4.2.2: the requirement numbers (S, L bounds).
+util::TablePrinter sec34_requirements();
+
+}  // namespace cxlgraph::core

@@ -1,0 +1,252 @@
+#include "core/runtime.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "access/method.hpp"
+#include "algo/bfs.hpp"
+#include "algo/cc.hpp"
+#include "algo/dobfs.hpp"
+#include "algo/sssp.hpp"
+#include "algo/sssp_delta.hpp"
+#include "device/storage.hpp"
+#include "device/tiered.hpp"
+#include "gpusim/pointer_chase.hpp"
+#include "sim/simulator.hpp"
+
+namespace cxlgraph::core {
+
+namespace {
+
+/// Everything a single simulated run needs, with correct teardown order.
+struct RunStack {
+  sim::Simulator sim;
+  std::unique_ptr<device::PcieLink> link;
+  std::unique_ptr<device::MemoryDevice> memory_device;
+  /// Second device for composites (tiered fast tier); must outlive
+  /// memory_device, which may reference it.
+  std::unique_ptr<device::MemoryDevice> fast_tier;
+  std::unique_ptr<device::MemoryDevice> slow_tier;
+  std::unique_ptr<device::StorageArray> storage_array;
+  std::unique_ptr<access::AccessMethod> method;
+  std::unique_ptr<access::MemoryBackend> backend;
+};
+
+std::uint64_t scaled_capacity(double fraction, std::uint64_t base,
+                              std::uint64_t floor_bytes) {
+  const auto scaled = static_cast<std::uint64_t>(
+      fraction * static_cast<double>(base));
+  return std::max(scaled, floor_bytes);
+}
+
+/// Builds link + device + access method for the requested backend.
+RunStack build_stack(const SystemConfig& cfg, const RunRequest& req,
+                     std::uint64_t edge_list_bytes) {
+  RunStack s;
+  device::PcieLinkParams link_params = device::pcie_x16(cfg.gpu_link_gen);
+  if (req.backend == BackendKind::kCxl && cfg.gpu_direct_cxl) {
+    // Direct GPU<->CXL path: no CPU translation in either direction.
+    link_params.request_overhead -=
+        std::min(link_params.request_overhead, cfg.direct_cxl_saving);
+    link_params.response_overhead -=
+        std::min(link_params.response_overhead, cfg.direct_cxl_saving);
+  }
+  s.link = std::make_unique<device::PcieLink>(s.sim, link_params);
+
+  switch (req.backend) {
+    case BackendKind::kHostDram:
+    case BackendKind::kHostDramRemote: {
+      const auto& dram_params = req.backend == BackendKind::kHostDram
+                                    ? cfg.dram_local
+                                    : cfg.dram_remote;
+      s.memory_device = std::make_unique<device::HostDram>(
+          s.sim, dram_params, to_string(req.backend));
+      access::EmogiParams ep = cfg.emogi;
+      if (req.alignment) ep.alignment = *req.alignment;
+      ep.gpu_cache_bytes = scaled_capacity(
+          cfg.emogi_cache_fraction, edge_list_bytes, cfg.emogi_cache_min_bytes);
+      s.method = std::make_unique<access::EmogiAccess>(ep);
+      s.backend = std::make_unique<access::MemoryPathBackend>(
+          *s.link, *s.memory_device);
+      break;
+    }
+    case BackendKind::kCxl: {
+      device::CxlDeviceParams cp = cfg.cxl;
+      if (req.cxl_added_latency) cp.added_latency = *req.cxl_added_latency;
+      s.memory_device = std::make_unique<device::CxlMemoryPool>(
+          s.sim, cp, cfg.cxl_devices, cfg.cxl_interleave_bytes);
+      access::EmogiParams ep = cfg.emogi;
+      if (req.alignment) ep.alignment = *req.alignment;
+      ep.gpu_cache_bytes = scaled_capacity(
+          cfg.emogi_cache_fraction, edge_list_bytes, cfg.emogi_cache_min_bytes);
+      s.method = std::make_unique<access::EmogiAccess>(ep);
+      s.backend = std::make_unique<access::MemoryPathBackend>(
+          *s.link, *s.memory_device);
+      break;
+    }
+    case BackendKind::kXlfdd: {
+      s.storage_array =
+          device::make_xlfdd_array(s.sim, *s.link, cfg.xlfdd_drives);
+      access::XlfddDirectParams xp = cfg.xlfdd;
+      if (req.alignment) xp.alignment = *req.alignment;
+      s.method = std::make_unique<access::XlfddDirectAccess>(xp);
+      s.backend = std::make_unique<access::StoragePathBackend>(
+          *s.storage_array, "storage:xlfdd-x" +
+                                std::to_string(cfg.xlfdd_drives));
+      break;
+    }
+    case BackendKind::kBamNvme: {
+      s.storage_array =
+          device::make_nvme_array(s.sim, *s.link, cfg.nvme_drives);
+      access::BamParams bp = cfg.bam;
+      if (req.alignment) bp.line_bytes = *req.alignment;
+      bp.cache_bytes =
+          req.cache_bytes.value_or(scaled_capacity(
+              cfg.bam_cache_fraction, edge_list_bytes, 1ull << 20));
+      if (bp.line_bytes < s.storage_array->drive_params().min_alignment ||
+          bp.line_bytes > s.storage_array->drive_params().max_transfer) {
+        throw std::invalid_argument(
+            "BaM line size outside NVMe transfer limits");
+      }
+      s.method = std::make_unique<access::BamAccess>(bp);
+      s.backend = std::make_unique<access::StoragePathBackend>(
+          *s.storage_array,
+          "storage:nvme-x" + std::to_string(cfg.nvme_drives));
+      break;
+    }
+    case BackendKind::kTieredDramCxl: {
+      device::CxlDeviceParams cp = cfg.cxl;
+      if (req.cxl_added_latency) cp.added_latency = *req.cxl_added_latency;
+      s.fast_tier = std::make_unique<device::HostDram>(
+          s.sim, cfg.dram_local, "dram-hot-tier");
+      s.slow_tier = std::make_unique<device::CxlMemoryPool>(
+          s.sim, cp, cfg.cxl_devices, cfg.cxl_interleave_bytes);
+      device::TieredMemoryParams tp;
+      tp.placement = device::TierPlacement::kRangeSplit;
+      tp.fast_bytes = req.cache_bytes.value_or(static_cast<std::uint64_t>(
+          cfg.tier_fast_fraction * static_cast<double>(edge_list_bytes)));
+      tp.fast_bytes = tp.fast_bytes / 4096 * 4096;  // page-rounded split
+      s.memory_device = std::make_unique<device::TieredMemory>(
+          *s.fast_tier, *s.slow_tier, tp);
+      access::EmogiParams ep = cfg.emogi;
+      if (req.alignment) ep.alignment = *req.alignment;
+      ep.gpu_cache_bytes = scaled_capacity(
+          cfg.emogi_cache_fraction, edge_list_bytes, cfg.emogi_cache_min_bytes);
+      s.method = std::make_unique<access::EmogiAccess>(ep);
+      s.backend = std::make_unique<access::MemoryPathBackend>(
+          *s.link, *s.memory_device);
+      break;
+    }
+    case BackendKind::kUvm: {
+      s.storage_array = std::make_unique<device::StorageArray>(
+          s.sim, *s.link, access::uvm_fault_engine_params(), 1, 4096);
+      access::UvmParams up = cfg.uvm;
+      up.resident_bytes = req.cache_bytes.value_or(scaled_capacity(
+          cfg.uvm_resident_fraction, edge_list_bytes, 1ull << 20));
+      s.method = std::make_unique<access::UvmAccess>(up);
+      s.backend = std::make_unique<access::StoragePathBackend>(
+          *s.storage_array, "storage:uvm-fault-path");
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+ExternalGraphRuntime::ExternalGraphRuntime(SystemConfig config)
+    : config_(std::move(config)) {}
+
+algo::AccessTrace ExternalGraphRuntime::make_trace(
+    const graph::CsrGraph& graph, Algorithm algorithm,
+    graph::VertexId source) const {
+  switch (algorithm) {
+    case Algorithm::kBfs:
+      return algo::build_trace(graph, algo::bfs(graph, source).frontiers);
+    case Algorithm::kSssp:
+      return algo::build_trace(graph,
+                               algo::sssp_frontier(graph, source).frontiers);
+    case Algorithm::kCc:
+      return algo::build_trace(graph,
+                               algo::connected_components(graph).frontiers);
+    case Algorithm::kPagerankScan:
+      return algo::build_sequential_trace(graph, 1);
+    case Algorithm::kBfsDirOpt:
+      return algo::build_dobfs_trace(
+          graph, algo::bfs_direction_optimizing(graph, source));
+    case Algorithm::kSsspDelta:
+      return algo::build_trace(
+          graph, algo::sssp_delta_stepping(graph, source).phases);
+    case Algorithm::kBfsWriteback:
+      return algo::build_writeback_trace(
+          graph, algo::bfs(graph, source).frontiers);
+  }
+  throw std::invalid_argument("unknown algorithm");
+}
+
+RunReport ExternalGraphRuntime::run(const graph::CsrGraph& graph,
+                                    const RunRequest& request) {
+  const graph::VertexId source = request.source.value_or(
+      algo::pick_source(graph, request.source_seed));
+  const algo::AccessTrace trace =
+      make_trace(graph, request.algorithm, source);
+
+  RunStack stack = build_stack(config_, request, graph.edge_list_bytes());
+  gpusim::TraversalEngine engine(stack.sim, *stack.method, *stack.backend,
+                                 config_.gpu);
+  const gpusim::EngineResult engine_result = engine.run(trace);
+
+  RunReport report;
+  report.algorithm = to_string(request.algorithm);
+  report.backend = to_string(request.backend);
+  report.access_method = stack.method->name();
+  report.source = source;
+  report.runtime_sec = engine_result.runtime_sec();
+  report.throughput_mbps = engine_result.throughput_mbps();
+  report.raf = engine_result.raf();
+  report.avg_transfer_bytes = engine_result.avg_transaction_bytes();
+  report.used_bytes = engine_result.used_bytes;
+  report.fetched_bytes = engine_result.fetched_bytes;
+  report.transactions = engine_result.transactions;
+  report.steps = engine_result.steps.size();
+  report.observed_read_latency_us =
+      stack.link->stats().memory_read_latency_us.mean();
+  report.avg_outstanding_reads = stack.link->stats().tags_in_use.mean();
+  report.written_bytes = engine_result.written_bytes;
+  report.write_transactions = engine_result.write_transactions;
+  report.rmw_reads = engine_result.rmw_reads;
+  report.frontier_vertices = engine_result.sublist_reads;
+  report.graph_edges = graph.num_edges();
+  return report;
+}
+
+double ExternalGraphRuntime::measure_latency_us(
+    BackendKind backend,
+    std::optional<util::SimTime> cxl_added_latency) const {
+  sim::Simulator sim;
+  device::PcieLink link(sim, device::pcie_x16(config_.gpu_link_gen));
+  std::unique_ptr<device::MemoryDevice> dev;
+  switch (backend) {
+    case BackendKind::kHostDram:
+      dev = std::make_unique<device::HostDram>(sim, config_.dram_local,
+                                               "host-dram");
+      break;
+    case BackendKind::kHostDramRemote:
+      dev = std::make_unique<device::HostDram>(sim, config_.dram_remote,
+                                               "host-dram-remote");
+      break;
+    case BackendKind::kCxl: {
+      device::CxlDeviceParams cp = config_.cxl;
+      if (cxl_added_latency) cp.added_latency = *cxl_added_latency;
+      dev = std::make_unique<device::CxlMemoryPool>(
+          sim, cp, config_.cxl_devices, config_.cxl_interleave_bytes);
+      break;
+    }
+    default:
+      throw std::invalid_argument(
+          "pointer chase requires a memory-path backend");
+  }
+  return gpusim::pointer_chase_latency_us(sim, link, *dev);
+}
+
+}  // namespace cxlgraph::core

@@ -1,0 +1,96 @@
+#pragma once
+/// \file runtime.hpp
+/// ExternalGraphRuntime — the library's main entry point.
+///
+/// Give it a system configuration, a graph, an algorithm, and an external
+/// memory backend; it runs the real traversal on the CPU, replays the
+/// resulting access trace through the modeled GPU + interconnect + device
+/// stack, and reports runtime, throughput, RAF, and latency statistics.
+///
+///   core::ExternalGraphRuntime rt(core::table4_system());
+///   core::RunRequest req;
+///   req.algorithm = core::Algorithm::kBfs;
+///   req.backend = core::BackendKind::kCxl;
+///   req.cxl_added_latency = util::ps_from_us(1.0);
+///   core::RunReport report = rt.run(graph, req);
+
+#include <optional>
+#include <string>
+
+#include "algo/trace.hpp"
+#include "core/system_config.hpp"
+#include "graph/csr.hpp"
+
+namespace cxlgraph::core {
+
+struct RunRequest {
+  Algorithm algorithm = Algorithm::kBfs;
+  BackendKind backend = BackendKind::kHostDram;
+  /// Traversal source; defaults to a seeded pick of a non-isolated vertex.
+  std::optional<graph::VertexId> source;
+  std::uint64_t source_seed = 1;
+
+  /// Sweep knobs (each overrides the SystemConfig default when set).
+  std::optional<util::SimTime> cxl_added_latency;
+  std::optional<std::uint32_t> alignment;   // EMOGI / XLFDD / BaM line size
+  std::optional<std::uint64_t> cache_bytes; // BaM / UVM capacity
+};
+
+struct RunReport {
+  // Identification.
+  std::string algorithm;
+  std::string backend;
+  std::string access_method;
+  graph::VertexId source = 0;
+
+  // Headline numbers.
+  double runtime_sec = 0.0;        // simulated graph-processing time (t)
+  double throughput_mbps = 0.0;    // achieved T = D / t
+  double raf = 0.0;                // D / E
+  double avg_transfer_bytes = 0.0; // achieved d
+
+  // Volumes.
+  std::uint64_t used_bytes = 0;     // E
+  std::uint64_t fetched_bytes = 0;  // D
+  std::uint64_t transactions = 0;
+  std::uint64_t steps = 0;
+
+  // Link-level observations (memory path only where applicable).
+  double observed_read_latency_us = 0.0;
+  double avg_outstanding_reads = 0.0;
+
+  // Write-side numbers (Sec.-5 extension; zero for read-only workloads).
+  std::uint64_t written_bytes = 0;
+  std::uint64_t write_transactions = 0;
+  std::uint64_t rmw_reads = 0;
+
+  // Workload facts.
+  std::uint64_t frontier_vertices = 0;  // total sublist reads
+  std::uint64_t graph_edges = 0;
+};
+
+class ExternalGraphRuntime {
+ public:
+  explicit ExternalGraphRuntime(SystemConfig config);
+
+  /// Runs one workload end to end. Deterministic in (graph, request).
+  RunReport run(const graph::CsrGraph& graph, const RunRequest& request);
+
+  /// Runs the traversal only and returns its access trace (no simulation).
+  algo::AccessTrace make_trace(const graph::CsrGraph& graph,
+                               Algorithm algorithm,
+                               graph::VertexId source) const;
+
+  /// Pointer-chase latency (us) as seen from the GPU for a memory-path
+  /// backend (host DRAM or CXL), reproducing Fig. 9 bars.
+  double measure_latency_us(BackendKind backend,
+                            std::optional<util::SimTime> cxl_added_latency =
+                                std::nullopt) const;
+
+  const SystemConfig& config() const noexcept { return config_; }
+
+ private:
+  SystemConfig config_;
+};
+
+}  // namespace cxlgraph::core

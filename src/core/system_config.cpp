@@ -1,0 +1,68 @@
+#include "core/system_config.hpp"
+
+#include <stdexcept>
+
+namespace cxlgraph::core {
+
+std::string to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kHostDram:
+      return "host-dram";
+    case BackendKind::kHostDramRemote:
+      return "host-dram-remote";
+    case BackendKind::kCxl:
+      return "cxl";
+    case BackendKind::kXlfdd:
+      return "xlfdd";
+    case BackendKind::kBamNvme:
+      return "bam-nvme";
+    case BackendKind::kUvm:
+      return "uvm";
+    case BackendKind::kTieredDramCxl:
+      return "tiered-dram-cxl";
+  }
+  throw std::invalid_argument("unknown BackendKind");
+}
+
+std::string to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBfs:
+      return "bfs";
+    case Algorithm::kSssp:
+      return "sssp";
+    case Algorithm::kCc:
+      return "cc";
+    case Algorithm::kPagerankScan:
+      return "pagerank-scan";
+    case Algorithm::kBfsDirOpt:
+      return "bfs-dir-opt";
+    case Algorithm::kSsspDelta:
+      return "sssp-delta";
+    case Algorithm::kBfsWriteback:
+      return "bfs-writeback";
+  }
+  throw std::invalid_argument("unknown Algorithm");
+}
+
+SystemConfig table3_system() {
+  SystemConfig cfg;
+  cfg.gpu_link_gen = device::PcieGen::kGen4;  // RTX A5000, PCIe 4.0 x16
+  cfg.dram_local.socket_hop = 0;              // single-socket Xeon
+  cfg.dram_remote.socket_hop = util::ps_from_ns(100);
+  cfg.xlfdd_drives = device::kXlfddArrayDrives;  // 16 XLFDDs
+  cfg.nvme_drives = device::kNvmeArrayDrives;    // 4 NVMe SSDs (6 MIOPS)
+  return cfg;
+}
+
+SystemConfig table4_system() {
+  SystemConfig cfg;
+  // Sec. 4.2.2: the GPU link is downgraded to Gen3 so that five CXL devices
+  // (64 GPU-visible outstanding reads each = 320) exceed N_max = 256.
+  cfg.gpu_link_gen = device::PcieGen::kGen3;
+  cfg.dram_local.socket_hop = 0;  // DRAM 1, same socket as the GPU
+  cfg.dram_remote.socket_hop = util::ps_from_ns(100);  // DRAM 0 via UPI
+  cfg.cxl_devices = 5;
+  return cfg;
+}
+
+}  // namespace cxlgraph::core

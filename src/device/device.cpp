@@ -1,0 +1,13 @@
+#include "device/device.hpp"
+
+#include <stdexcept>
+
+namespace cxlgraph::device {
+
+void MemoryDevice::write(std::uint64_t /*addr*/, std::uint32_t /*bytes*/,
+                         ReadyFn /*ready*/) {
+  throw std::logic_error("device '" + caps().name +
+                         "' does not implement the write path");
+}
+
+}  // namespace cxlgraph::device

@@ -1,0 +1,162 @@
+#include "device/pcie.hpp"
+
+#include <stdexcept>
+
+namespace cxlgraph::device {
+
+PcieLinkParams pcie_x16(PcieGen gen) {
+  PcieLinkParams p;
+  switch (gen) {
+    case PcieGen::kGen3:
+      p.bandwidth_mbps = 12'000.0;
+      p.n_max = 256;
+      break;
+    case PcieGen::kGen4:
+      p.bandwidth_mbps = 24'000.0;
+      p.n_max = 768;
+      break;
+    case PcieGen::kGen5:
+      p.bandwidth_mbps = 48'000.0;
+      p.n_max = 768;
+      break;
+  }
+  return p;
+}
+
+PcieLink::PcieLink(Simulator& sim, const PcieLinkParams& params)
+    : sim_(sim),
+      params_(params),
+      ps_per_byte_(util::ps_per_byte(params.bandwidth_mbps)) {
+  if (params.bandwidth_mbps <= 0 || params.n_max == 0) {
+    throw std::invalid_argument("PcieLink: bad parameters");
+  }
+}
+
+void PcieLink::memory_read(MemoryDevice& device, std::uint64_t addr,
+                           std::uint32_t bytes, DoneFn done) {
+  stats_.tags_in_use.add(static_cast<double>(tags_in_use_));
+  PendingRead request{&device, addr, bytes, std::move(done),
+                      /*is_write=*/false};
+  if (tags_in_use_ >= params_.n_max) {
+    waiting_.push_back(std::move(request));
+    return;
+  }
+  ++tags_in_use_;
+  start_memory_read(std::move(request));
+}
+
+void PcieLink::memory_write(MemoryDevice& device, std::uint64_t addr,
+                            std::uint32_t bytes, DoneFn done) {
+  stats_.tags_in_use.add(static_cast<double>(tags_in_use_));
+  PendingRead request{&device, addr, bytes, std::move(done),
+                      /*is_write=*/true};
+  if (tags_in_use_ >= params_.n_max) {
+    waiting_.push_back(std::move(request));
+    return;
+  }
+  ++tags_in_use_;
+  start_memory_write(std::move(request));
+}
+
+void PcieLink::release_tag_and_admit() {
+  --tags_in_use_;
+  if (waiting_.empty()) return;
+  PendingRead next = std::move(waiting_.front());
+  waiting_.pop_front();
+  ++tags_in_use_;
+  if (next.is_write) {
+    start_memory_write(std::move(next));
+  } else {
+    start_memory_read(std::move(next));
+  }
+}
+
+void PcieLink::start_memory_write(PendingRead request) {
+  ++stats_.memory_writes;
+  // Payload crosses the upstream half of the link, then the device
+  // processes it; the ack is a tiny completion (no serialization).
+  const SimTime payload_arrival = serialize_upstream(request.bytes);
+  sim_.schedule_at(
+      payload_arrival + params_.request_overhead,
+      [this, request = std::move(request)]() mutable {
+        MemoryDevice* device = request.device;
+        const std::uint64_t addr = request.addr;
+        const std::uint32_t bytes = request.bytes;
+        device->write(
+            addr, bytes,
+            [this, request = std::move(request)]() mutable {
+              sim_.schedule_after(
+                  params_.response_overhead,
+                  [this, done = std::move(request.done),
+                   bytes = request.bytes]() {
+                    stats_.bytes_written += bytes;
+                    release_tag_and_admit();
+                    done();
+                  });
+            });
+      });
+}
+
+void PcieLink::upstream_transfer(std::uint32_t bytes, DoneFn done) {
+  const SimTime arrival = serialize_upstream(bytes);
+  stats_.bytes_written += bytes;
+  sim_.schedule_at(arrival, std::move(done));
+}
+
+SimTime PcieLink::serialize_upstream(std::uint32_t bytes) {
+  const SimTime start = std::max(upstream_busy_until_, sim_.now());
+  const auto transfer =
+      static_cast<SimTime>(static_cast<double>(bytes) * ps_per_byte_ + 0.5);
+  upstream_busy_until_ = start + transfer;
+  return upstream_busy_until_;
+}
+
+void PcieLink::start_memory_read(PendingRead request) {
+  const SimTime issue_time = sim_.now();
+  ++stats_.memory_reads;
+
+  // Upstream hop, then the device model, then the return path.
+  sim_.schedule_after(
+      params_.request_overhead,
+      [this, request = std::move(request), issue_time]() mutable {
+        MemoryDevice* device = request.device;
+        const std::uint64_t addr = request.addr;
+        const std::uint32_t bytes = request.bytes;
+        device->read(
+            addr, bytes,
+            [this, request = std::move(request), issue_time]() mutable {
+              const SimTime arrival = serialize_return(request.bytes);
+              sim_.schedule_at(
+                  arrival + params_.response_overhead,
+                  [this, done = std::move(request.done), issue_time,
+                   bytes = request.bytes]() {
+                    stats_.bytes_delivered += bytes;
+                    stats_.memory_read_latency_us.add(
+                        util::us_from_ps(sim_.now() - issue_time));
+                    release_tag_and_admit();
+                    done();
+                  });
+            });
+      });
+}
+
+SimTime PcieLink::serialize_return(std::uint32_t bytes) {
+  const SimTime start = std::max(return_busy_until_, sim_.now());
+  const auto transfer =
+      static_cast<SimTime>(static_cast<double>(bytes) * ps_per_byte_ + 0.5);
+  return_busy_until_ = start + transfer;
+  stats_.busy_time += transfer;
+  return return_busy_until_;
+}
+
+void PcieLink::storage_deliver(std::uint32_t bytes, DoneFn done) {
+  ++stats_.storage_deliveries;
+  const SimTime arrival = serialize_return(bytes);
+  sim_.schedule_at(arrival + params_.response_overhead,
+                   [this, bytes, done = std::move(done)]() {
+                     stats_.bytes_delivered += bytes;
+                     done();
+                   });
+}
+
+}  // namespace cxlgraph::device

@@ -1,0 +1,117 @@
+#pragma once
+/// \file pcie.hpp
+/// Model of the PCIe link between the GPU and the host.
+///
+/// The paper's throughput model (Eq. 2) is
+///     T = min(S·d, N_max·d/L, W)
+/// and this link model is where the last two terms come from:
+///  * W  — returned data is serialized through the link at the effective
+///         bandwidth (24,000 MB/s for Gen4 x16, 12,000 for Gen3 x16);
+///  * N_max — load/store (memory-path) reads each hold one of the link's
+///         outstanding-read tags from issue until the data lands, so
+///         Little's law caps memory-path throughput at N_max·d/L.
+/// Storage-path DMA shares the bandwidth serialization but not the tags
+/// (paper Sec. 3.2: "this limit by PCIe is imposed for memory access but
+/// not for storage access").
+
+#include <cstdint>
+#include <deque>
+
+#include "device/device.hpp"
+#include "util/units.hpp"
+
+namespace cxlgraph::device {
+
+/// PCIe generations the paper discusses, with the effective bandwidths and
+/// outstanding-read limits it uses for a x16 link.
+enum class PcieGen { kGen3, kGen4, kGen5 };
+
+struct PcieLinkParams {
+  /// Effective data bandwidth in MB/s (paper uses effective, not raw).
+  double bandwidth_mbps = 24'000.0;
+  /// Maximum outstanding memory reads (tags). 256 for Gen3, 768 for Gen4/5.
+  std::uint32_t n_max = 768;
+  /// Fixed one-way request latency (GPU issue -> device), covering GPU LSU,
+  /// root complex, and link propagation.
+  SimTime request_overhead = util::ps_from_ns(450);
+  /// Fixed one-way response latency (link -> GPU register file).
+  SimTime response_overhead = util::ps_from_ns(450);
+};
+
+/// x16 link presets matching the paper's numbers.
+PcieLinkParams pcie_x16(PcieGen gen);
+
+struct PcieLinkStats {
+  std::uint64_t memory_reads = 0;
+  std::uint64_t memory_writes = 0;
+  std::uint64_t storage_deliveries = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t bytes_written = 0;
+  /// Completion-time minus issue-time for memory reads, in microseconds.
+  util::OnlineStats memory_read_latency_us;
+  /// Outstanding-tag count sampled at each memory-read issue.
+  util::OnlineStats tags_in_use;
+  /// Simulated time the return path spent actively transferring.
+  SimTime busy_time = 0;
+};
+
+/// The link. All GPU-visible external-memory traffic flows through one
+/// instance; devices hang off it.
+class PcieLink {
+ public:
+  PcieLink(Simulator& sim, const PcieLinkParams& params);
+
+  /// Memory-path read: acquires a tag (queueing if none are free), delivers
+  /// the request to `device` after the upstream hop, serializes the returned
+  /// bytes at W, and finally invokes `done` at the GPU.
+  void memory_read(MemoryDevice& device, std::uint64_t addr,
+                   std::uint32_t bytes, DoneFn done);
+
+  /// Storage-path delivery: called by a storage device when its data is
+  /// ready; serializes the bytes at W and invokes `done` at the GPU.
+  void storage_deliver(std::uint32_t bytes, DoneFn done);
+
+  /// Memory-path write: acquires a tag (CXL.mem writes expect completions),
+  /// serializes the payload on the upstream half of the full-duplex link,
+  /// hands it to the device, and invokes `done` when the device acks.
+  void memory_write(MemoryDevice& device, std::uint64_t addr,
+                    std::uint32_t bytes, DoneFn done);
+
+  /// Raw upstream transfer (storage-path writes: the drive DMA-reads the
+  /// payload out of GPU memory). No tag; `done` fires when the last byte
+  /// has left the GPU.
+  void upstream_transfer(std::uint32_t bytes, DoneFn done);
+
+  const PcieLinkParams& params() const noexcept { return params_; }
+  const PcieLinkStats& stats() const noexcept { return stats_; }
+  std::uint32_t tags_in_use() const noexcept { return tags_in_use_; }
+
+ private:
+  struct PendingRead {
+    MemoryDevice* device;
+    std::uint64_t addr;
+    std::uint32_t bytes;
+    DoneFn done;
+    bool is_write = false;
+  };
+
+  void start_memory_read(PendingRead request);
+  void start_memory_write(PendingRead request);
+  void release_tag_and_admit();
+  /// Serializes `bytes` through the return path starting no earlier than
+  /// now; returns the time the last byte arrives at the GPU.
+  SimTime serialize_return(std::uint32_t bytes);
+  /// Same for the upstream (GPU -> host) half of the full-duplex link.
+  SimTime serialize_upstream(std::uint32_t bytes);
+
+  Simulator& sim_;
+  PcieLinkParams params_;
+  double ps_per_byte_;
+  SimTime return_busy_until_ = 0;
+  SimTime upstream_busy_until_ = 0;
+  std::uint32_t tags_in_use_ = 0;
+  std::deque<PendingRead> waiting_;
+  PcieLinkStats stats_;
+};
+
+}  // namespace cxlgraph::device

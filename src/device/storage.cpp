@@ -1,0 +1,220 @@
+#include "device/storage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cxlgraph::device {
+
+StorageDrive::StorageDrive(Simulator& sim, PcieLink& link,
+                           const StorageDriveParams& params)
+    : sim_(sim),
+      link_(link),
+      params_(params),
+      service_interval_(static_cast<SimTime>(
+          static_cast<double>(util::kPsPerSec) / params.iops + 0.5)),
+      ps_per_byte_drive_link_(util::ps_per_byte(params.drive_link_mbps)) {
+  if (params.iops <= 0 || params.queue_depth == 0 ||
+      params.max_transfer == 0) {
+    throw std::invalid_argument("StorageDrive: bad parameters");
+  }
+}
+
+void StorageDrive::submit(std::uint64_t addr, std::uint32_t bytes,
+                          DoneFn done) {
+  (void)addr;  // media layout does not affect random-read timing
+  if (bytes > params_.max_transfer) {
+    throw std::invalid_argument("StorageDrive: transfer exceeds max");
+  }
+  ++stats_.requests;
+  stats_.bytes += bytes;
+  Pending request{bytes, std::move(done), /*is_write=*/false};
+  if (outstanding_ >= params_.queue_depth) {
+    waiting_.push_back(std::move(request));
+    return;
+  }
+  ++outstanding_;
+  stats_.peak_outstanding = std::max<std::uint64_t>(
+      stats_.peak_outstanding, outstanding_);
+  start(std::move(request));
+}
+
+void StorageDrive::submit_write(std::uint64_t addr, std::uint32_t bytes,
+                                DoneFn done) {
+  (void)addr;
+  if (bytes > params_.max_transfer) {
+    throw std::invalid_argument("StorageDrive: write exceeds max transfer");
+  }
+  ++stats_.requests;
+  stats_.bytes += bytes;
+  Pending request{bytes, std::move(done), /*is_write=*/true};
+  if (outstanding_ >= params_.queue_depth) {
+    waiting_.push_back(std::move(request));
+    return;
+  }
+  ++outstanding_;
+  stats_.peak_outstanding = std::max<std::uint64_t>(
+      stats_.peak_outstanding, outstanding_);
+  start_write(std::move(request));
+}
+
+void StorageDrive::start_write(Pending request) {
+  const SimTime submit_time = sim_.now();
+  // Pull the payload out of GPU memory over the shared link (upstream),
+  // then program the media at the write service rate.
+  link_.upstream_transfer(
+      request.bytes,
+      [this, submit_time, request = std::move(request)]() mutable {
+        const SimTime interval = static_cast<SimTime>(
+            static_cast<double>(util::kPsPerSec) / params_.write_iops + 0.5);
+        const SimTime service_start =
+            std::max(controller_busy_until_,
+                     sim_.now() + params_.submission_overhead);
+        controller_busy_until_ = service_start + interval;
+        const SimTime programmed =
+            controller_busy_until_ + params_.program_latency;
+        sim_.schedule_at(
+            programmed,
+            [this, submit_time, done = std::move(request.done)]() mutable {
+              stats_.service_latency_us.add(
+                  util::us_from_ps(sim_.now() - submit_time));
+              finish(std::move(done));
+            });
+      });
+}
+
+void StorageDrive::finish(DoneFn done) {
+  if (!waiting_.empty()) {
+    Pending next = std::move(waiting_.front());
+    waiting_.pop_front();
+    if (next.is_write) {
+      start_write(std::move(next));
+    } else {
+      start(std::move(next));
+    }
+  } else {
+    --outstanding_;
+  }
+  done();
+}
+
+void StorageDrive::start(Pending request) {
+  const SimTime submit_time = sim_.now();
+
+  // Controller pipeline: one request per service interval (IOPS cap).
+  const SimTime service_start =
+      std::max(controller_busy_until_,
+               submit_time + params_.submission_overhead);
+  controller_busy_until_ = service_start + service_interval_;
+  const SimTime media_ready = controller_busy_until_ + params_.access_latency;
+
+  // Per-drive link hop, then the shared GPU link delivers the data.
+  const SimTime drive_link_start =
+      std::max(drive_link_busy_until_, media_ready);
+  const auto transfer = static_cast<SimTime>(
+      static_cast<double>(request.bytes) * ps_per_byte_drive_link_ + 0.5);
+  drive_link_busy_until_ = drive_link_start + transfer;
+
+  sim_.schedule_at(
+      drive_link_busy_until_,
+      [this, submit_time, bytes = request.bytes,
+       done = std::move(request.done)]() mutable {
+        stats_.service_latency_us.add(
+            util::us_from_ps(sim_.now() - submit_time));
+        link_.storage_deliver(bytes, [this, done = std::move(done)]() {
+          // Completion frees the queue slot; admit a waiter.
+          finish(std::move(done));
+        });
+      });
+}
+
+StorageArray::StorageArray(Simulator& sim, PcieLink& link,
+                           const StorageDriveParams& params,
+                           unsigned num_drives, std::uint32_t stripe_bytes)
+    : params_(params), stripe_bytes_(stripe_bytes) {
+  if (num_drives == 0 || stripe_bytes == 0) {
+    throw std::invalid_argument("StorageArray: bad parameters");
+  }
+  drives_.reserve(num_drives);
+  for (unsigned i = 0; i < num_drives; ++i) {
+    drives_.push_back(std::make_unique<StorageDrive>(sim, link, params));
+  }
+}
+
+void StorageArray::submit(std::uint64_t addr, std::uint32_t bytes,
+                          DoneFn done) {
+  const std::uint64_t first_stripe = addr / stripe_bytes_;
+  const std::uint64_t last_stripe = (addr + bytes - 1) / stripe_bytes_;
+  if (first_stripe == last_stripe) {
+    drives_[first_stripe % drives_.size()]->submit(addr, bytes,
+                                                   std::move(done));
+    return;
+  }
+  // Straddling request: split at stripe boundaries, join on completion.
+  auto remaining = std::make_shared<std::uint32_t>(0);
+  auto joined = std::make_shared<DoneFn>(std::move(done));
+  std::uint64_t cursor = addr;
+  std::uint32_t left = bytes;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> parts;
+  while (left > 0) {
+    const std::uint64_t stripe_end =
+        (cursor / stripe_bytes_ + 1) * stripe_bytes_;
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(left, stripe_end - cursor));
+    parts.emplace_back(cursor, chunk);
+    cursor += chunk;
+    left -= chunk;
+  }
+  *remaining = static_cast<std::uint32_t>(parts.size());
+  for (const auto& [part_addr, part_bytes] : parts) {
+    drives_[(part_addr / stripe_bytes_) % drives_.size()]->submit(
+        part_addr, part_bytes, [remaining, joined]() {
+          if (--*remaining == 0) (*joined)();
+        });
+  }
+}
+
+void StorageArray::submit_write(std::uint64_t addr, std::uint32_t bytes,
+                                DoneFn done) {
+  const std::uint64_t first_stripe = addr / stripe_bytes_;
+  const std::uint64_t last_stripe = (addr + bytes - 1) / stripe_bytes_;
+  if (first_stripe == last_stripe) {
+    drives_[first_stripe % drives_.size()]->submit_write(addr, bytes,
+                                                         std::move(done));
+    return;
+  }
+  auto remaining = std::make_shared<std::uint32_t>(0);
+  auto joined = std::make_shared<DoneFn>(std::move(done));
+  std::uint64_t cursor = addr;
+  std::uint32_t left = bytes;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> parts;
+  while (left > 0) {
+    const std::uint64_t stripe_end =
+        (cursor / stripe_bytes_ + 1) * stripe_bytes_;
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(left, stripe_end - cursor));
+    parts.emplace_back(cursor, chunk);
+    cursor += chunk;
+    left -= chunk;
+  }
+  *remaining = static_cast<std::uint32_t>(parts.size());
+  for (const auto& [part_addr, part_bytes] : parts) {
+    drives_[(part_addr / stripe_bytes_) % drives_.size()]->submit_write(
+        part_addr, part_bytes, [remaining, joined]() {
+          if (--*remaining == 0) (*joined)();
+        });
+  }
+}
+
+StorageDriveStats StorageArray::aggregate_stats() const {
+  StorageDriveStats out;
+  for (const auto& d : drives_) {
+    out.requests += d->stats().requests;
+    out.bytes += d->stats().bytes;
+    out.service_latency_us.merge(d->stats().service_latency_us);
+    out.peak_outstanding =
+        std::max(out.peak_outstanding, d->stats().peak_outstanding);
+  }
+  return out;
+}
+
+}  // namespace cxlgraph::device

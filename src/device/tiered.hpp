@@ -1,0 +1,70 @@
+#pragma once
+/// \file tiered.hpp
+/// Tiered placement of one address space across two memory devices.
+///
+/// The paper's evaluation system places data with Linux NUMA policies
+/// (set_mempolicy before cudaMallocManaged, Sec. 4.2.1). Generalizing
+/// that: a deployment can split the edge list between a small fast tier
+/// (host DRAM) and a large cheap tier (CXL / flash-backed CXL). Combined
+/// with degree-sorted reordering (hot hubs first), a *range* split puts
+/// the most-touched sublists in DRAM — the natural way to spend a limited
+/// DRAM budget under the paper's cost argument.
+///
+/// Two placements are provided:
+///  * range split  — addresses below `fast_bytes` go to the fast device;
+///  * interleave   — pages round-robin across both (classic NUMA
+///                   interleave, matching the paper's multi-device setup).
+
+#include <memory>
+
+#include "device/device.hpp"
+
+namespace cxlgraph::device {
+
+enum class TierPlacement {
+  kRangeSplit,
+  kInterleave,
+};
+
+struct TieredMemoryParams {
+  TierPlacement placement = TierPlacement::kRangeSplit;
+  /// Range split: bytes served by the fast device (prefix of the space).
+  std::uint64_t fast_bytes = 0;
+  /// Interleave: page granularity and the fast:slow page ratio numerator/
+  /// denominator (e.g. 1:1 -> every other page fast).
+  std::uint32_t interleave_bytes = 4096;
+  std::uint32_t fast_pages_per_cycle = 1;
+  std::uint32_t cycle_pages = 2;
+};
+
+/// Routes reads/writes to `fast` or `slow` by address. Requests are
+/// assumed not to straddle the placement boundary (sublist chunks are
+/// <=2 kB and boundaries are page-aligned; straddlers route by start).
+class TieredMemory final : public MemoryDevice {
+ public:
+  TieredMemory(MemoryDevice& fast, MemoryDevice& slow,
+               const TieredMemoryParams& params);
+
+  void read(std::uint64_t addr, std::uint32_t bytes, ReadyFn ready) override;
+  void write(std::uint64_t addr, std::uint32_t bytes,
+             ReadyFn ready) override;
+  const DeviceCaps& caps() const noexcept override { return caps_; }
+  const DeviceStats& stats() const noexcept override;
+
+  /// Which device an address routes to (exposed for tests/benches).
+  bool is_fast(std::uint64_t addr) const noexcept;
+
+  std::uint64_t fast_requests() const noexcept { return fast_requests_; }
+  std::uint64_t slow_requests() const noexcept { return slow_requests_; }
+
+ private:
+  MemoryDevice& fast_;
+  MemoryDevice& slow_;
+  TieredMemoryParams params_;
+  DeviceCaps caps_;
+  mutable DeviceStats aggregate_stats_;
+  std::uint64_t fast_requests_ = 0;
+  std::uint64_t slow_requests_ = 0;
+};
+
+}  // namespace cxlgraph::device

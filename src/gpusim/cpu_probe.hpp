@@ -1,0 +1,44 @@
+#pragma once
+/// \file cpu_probe.hpp
+/// CPU-side random-read probe of a CXL device (paper Sec. 4.2.2, Fig. 10).
+///
+/// The CPU (not the GPU) issues 64 B random reads at the device directly —
+/// no GPU PCIe link in the path — which exposes the device's own limits:
+/// its single-channel DRAM bandwidth and its 128-outstanding-flit budget.
+/// The number of concurrent requests for a given latency follows Little's
+/// law: N = T·L/d (paper Eq. 3).
+
+#include "device/cxl_device.hpp"
+
+namespace cxlgraph::gpusim {
+
+struct CpuProbeParams {
+  /// Simulated probing duration.
+  sim::SimTime duration = util::ps_from_us(2000.0);
+  std::uint32_t read_bytes = 64;
+  /// CPU-side issue capacity; set above the device's tags so the device,
+  /// not the CPU, is the binding constraint (as in the measurement).
+  std::uint32_t cpu_max_outstanding = 512;
+  /// CPU load-to-CXL-port overhead, each direction.
+  sim::SimTime cpu_overhead = util::ps_from_ns(60);
+  std::uint64_t span_bytes = 16ull << 30;
+};
+
+struct CpuProbeResult {
+  double throughput_mbps = 0.0;
+  /// Latency of one isolated request (no queueing) — the L_CXL the paper
+  /// plugs into Little's law.
+  double observed_latency_us = 0.0;
+  /// Outstanding reads inferred via N = T·L_CXL/d, exactly as the paper
+  /// computes the Fig.-10 curve (using the device latency, not the
+  /// queue-inflated end-to-end latency).
+  double littles_law_outstanding = 0.0;
+  std::uint64_t completed_reads = 0;
+};
+
+/// Builds a fresh simulator + device from `device_params` and measures it.
+CpuProbeResult cpu_random_read_probe(
+    const device::CxlDeviceParams& device_params,
+    const CpuProbeParams& probe_params = {});
+
+}  // namespace cxlgraph::gpusim

@@ -1,0 +1,47 @@
+#include "gpusim/pointer_chase.hpp"
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace cxlgraph::gpusim {
+
+double pointer_chase_latency_us(sim::Simulator& sim, device::PcieLink& link,
+                                device::MemoryDevice& device,
+                                const PointerChaseParams& params) {
+  struct ChaseState {
+    unsigned remaining;
+    util::Xoshiro256 rng{0xc0ffee};
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+  };
+  auto state = std::make_shared<ChaseState>();
+  state->remaining = params.hops;
+  state->start = sim.now();
+
+  // Dependent chain: each completion schedules the next hop after the
+  // warp-sync gap. std::function allows the self-reference.
+  auto hop = std::make_shared<std::function<void()>>();
+  *hop = [&sim, &link, &device, state, hop, params]() {
+    if (state->remaining == 0) {
+      state->end = sim.now();
+      return;
+    }
+    --state->remaining;
+    const std::uint64_t addr =
+        state->rng.next_below(params.span_bytes / params.read_bytes) *
+        params.read_bytes;
+    link.memory_read(device, addr, params.read_bytes,
+                     [&sim, hop, params]() {
+                       sim.schedule_after(params.warp_sync_overhead,
+                                          [hop]() { (*hop)(); });
+                     });
+  };
+  (*hop)();
+  sim.run();
+
+  const double total_us = util::us_from_ps(state->end - state->start);
+  return total_us / static_cast<double>(params.hops);
+}
+
+}  // namespace cxlgraph::gpusim

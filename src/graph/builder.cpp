@@ -1,0 +1,79 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cxlgraph::graph {
+
+CsrGraph build_csr(std::uint64_t num_vertices, EdgeList edges,
+                   const BuildOptions& options) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      throw std::invalid_argument("edge endpoint out of range");
+    }
+  }
+
+  if (options.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+
+  if (options.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      const Edge& e = edges[i];
+      edges.push_back(Edge{e.dst, e.src, e.weight});
+    }
+  }
+
+  // Sorting by (src, dst) gives CSR layout, sorted sublists, and makes
+  // duplicates adjacent; weight is the tiebreaker so dedup keeps the min.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;
+  });
+
+  if (options.dedup) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<EdgeIndex> offsets(num_vertices + 1, 0);
+  for (const Edge& e : edges) ++offsets[e.src + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+
+  std::vector<VertexId> targets(edges.size());
+  std::vector<Weight> weights(edges.size());
+  bool any_nontrivial_weight = false;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    targets[i] = edges[i].dst;
+    weights[i] = edges[i].weight;
+    any_nontrivial_weight |= edges[i].weight != 1;
+  }
+
+  if (!options.sort_neighbors) {
+    // Edges were globally sorted above for CSR layout; nothing to undo —
+    // sorted sublists are a superset of the unsorted contract.
+  }
+
+  if (!any_nontrivial_weight) weights.clear();
+  return CsrGraph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+CsrGraph build_csr_from_pairs(
+    std::uint64_t num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    const BuildOptions& options) {
+  EdgeList edges;
+  edges.reserve(pairs.size());
+  for (const auto& [src, dst] : pairs) edges.push_back(Edge{src, dst, 1});
+  return build_csr(num_vertices, std::move(edges), options);
+}
+
+}  // namespace cxlgraph::graph

@@ -1,0 +1,45 @@
+#pragma once
+/// \file builder.hpp
+/// Builds CSR graphs from edge lists with the usual cleanup options.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace cxlgraph::graph {
+
+struct Edge {
+  VertexId src;
+  VertexId dst;
+  Weight weight = 1;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+
+struct BuildOptions {
+  /// Add the reverse of every edge (the paper's traversal graphs are
+  /// effectively undirected).
+  bool symmetrize = false;
+  /// Drop (u, u) edges.
+  bool remove_self_loops = false;
+  /// Collapse parallel edges, keeping the smallest weight.
+  bool dedup = false;
+  /// Sort each vertex's neighbor sublist by target ID.
+  bool sort_neighbors = true;
+};
+
+/// Builds a CSR graph over vertices [0, num_vertices). Edges referencing
+/// vertices >= num_vertices throw std::invalid_argument.
+CsrGraph build_csr(std::uint64_t num_vertices, EdgeList edges,
+                   const BuildOptions& options = {});
+
+/// Convenience for tests: builds from (src, dst) pairs, unweighted.
+CsrGraph build_csr_from_pairs(
+    std::uint64_t num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    const BuildOptions& options = {});
+
+}  // namespace cxlgraph::graph

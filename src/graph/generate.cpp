@@ -1,0 +1,186 @@
+#include "graph/generate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace cxlgraph::graph {
+
+namespace {
+
+using util::Xoshiro256;
+
+BuildOptions clean_options(bool clean) {
+  BuildOptions opts;
+  opts.symmetrize = clean;
+  opts.remove_self_loops = clean;
+  opts.dedup = clean;
+  return opts;
+}
+
+void assign_weight(Edge& e, Xoshiro256& rng, std::uint32_t max_weight) {
+  e.weight = max_weight == 0
+                 ? 1
+                 : static_cast<Weight>(rng.next_in(1, max_weight));
+}
+
+}  // namespace
+
+CsrGraph generate_uniform(std::uint64_t num_vertices, double avg_degree,
+                          const GeneratorOptions& options) {
+  if (num_vertices == 0) return CsrGraph({0}, {});
+  if (avg_degree < 0) throw std::invalid_argument("negative avg_degree");
+  // Undirected edges; symmetrization doubles directed degree back up.
+  const auto num_edges = static_cast<std::uint64_t>(
+      static_cast<double>(num_vertices) * avg_degree / 2.0);
+  Xoshiro256 rng(options.seed);
+  EdgeList edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    Edge e;
+    e.src = rng.next_below(num_vertices);
+    e.dst = rng.next_below(num_vertices);
+    assign_weight(e, rng, options.max_weight);
+    edges.push_back(e);
+  }
+  return build_csr(num_vertices, std::move(edges),
+                   clean_options(options.clean));
+}
+
+CsrGraph generate_kronecker(unsigned scale, double edge_factor,
+                            const GeneratorOptions& options) {
+  if (scale >= 48) throw std::invalid_argument("kronecker scale too large");
+  const std::uint64_t num_vertices = std::uint64_t{1} << scale;
+  const auto num_edges = static_cast<std::uint64_t>(
+      static_cast<double>(num_vertices) * edge_factor);
+  // Graph500 R-MAT probabilities.
+  constexpr double kA = 0.57;
+  constexpr double kB = 0.19;
+  constexpr double kC = 0.19;
+
+  Xoshiro256 rng(options.seed);
+  EdgeList edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      // Quadrant selection: A = (0,0), B = (0,1), C = (1,0), D = (1,1).
+      const bool src_bit = r >= kA + kB;
+      const bool dst_bit = (r >= kA && r < kA + kB) || r >= kA + kB + kC;
+      src = (src << 1) | static_cast<std::uint64_t>(src_bit);
+      dst = (dst << 1) | static_cast<std::uint64_t>(dst_bit);
+    }
+    Edge e;
+    e.src = src;
+    e.dst = dst;
+    assign_weight(e, rng, options.max_weight);
+    edges.push_back(e);
+  }
+  return build_csr(num_vertices, std::move(edges),
+                   clean_options(options.clean));
+}
+
+CsrGraph generate_power_law(std::uint64_t num_vertices, double avg_degree,
+                            double exponent,
+                            const GeneratorOptions& options) {
+  if (num_vertices == 0) return CsrGraph({0}, {});
+  if (exponent <= 0) throw std::invalid_argument("exponent must be > 0");
+
+  // Chung–Lu: vertex i gets expected weight w_i ∝ (i+1)^(-1/(exponent-1)).
+  // We then sample edges by picking endpoints proportionally to w via the
+  // inverse-CDF of the cumulative weights.
+  const double beta = 1.0 / (exponent - 1.0);
+  std::vector<double> cumulative(num_vertices + 1, 0.0);
+  for (std::uint64_t i = 0; i < num_vertices; ++i) {
+    const double w = std::pow(static_cast<double>(i + 1), -beta);
+    cumulative[i + 1] = cumulative[i] + w;
+  }
+  const double total_weight = cumulative.back();
+
+  const auto num_edges = static_cast<std::uint64_t>(
+      static_cast<double>(num_vertices) * avg_degree / 2.0);
+  Xoshiro256 rng(options.seed);
+
+  auto sample_vertex = [&]() -> VertexId {
+    const double target = rng.next_double() * total_weight;
+    // Binary search on the cumulative weights.
+    std::uint64_t lo = 0;
+    std::uint64_t hi = num_vertices;
+    while (lo + 1 < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (cumulative[mid] <= target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+
+  EdgeList edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    Edge e;
+    e.src = sample_vertex();
+    e.dst = sample_vertex();
+    assign_weight(e, rng, options.max_weight);
+    edges.push_back(e);
+  }
+  return build_csr(num_vertices, std::move(edges),
+                   clean_options(options.clean));
+}
+
+CsrGraph make_path(std::uint64_t n) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (std::uint64_t i = 0; i + 1 < n; ++i) pairs.emplace_back(i, i + 1);
+  BuildOptions opts;
+  opts.symmetrize = true;
+  return build_csr_from_pairs(n, pairs, opts);
+}
+
+CsrGraph make_ring(std::uint64_t n) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (std::uint64_t i = 0; i + 1 < n; ++i) pairs.emplace_back(i, i + 1);
+  if (n > 2) pairs.emplace_back(n - 1, 0);
+  BuildOptions opts;
+  opts.symmetrize = true;
+  return build_csr_from_pairs(n, pairs, opts);
+}
+
+CsrGraph make_star(std::uint64_t leaves) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (std::uint64_t i = 1; i <= leaves; ++i) pairs.emplace_back(0, i);
+  BuildOptions opts;
+  opts.symmetrize = true;
+  return build_csr_from_pairs(leaves + 1, pairs, opts);
+}
+
+CsrGraph make_complete(std::uint64_t n) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  BuildOptions opts;
+  opts.symmetrize = true;
+  return build_csr_from_pairs(n, pairs, opts);
+}
+
+CsrGraph make_grid(std::uint64_t rows, std::uint64_t cols) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  auto id = [cols](std::uint64_t r, std::uint64_t c) { return r * cols + c; };
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) pairs.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) pairs.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  BuildOptions opts;
+  opts.symmetrize = true;
+  return build_csr_from_pairs(rows * cols, pairs, opts);
+}
+
+}  // namespace cxlgraph::graph

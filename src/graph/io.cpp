@@ -1,0 +1,137 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace cxlgraph::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'X', 'L', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("graph binary: truncated stream");
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& os, const std::vector<T>& v) {
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& is, std::size_t count) {
+  std::vector<T> v(count);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!is) throw std::runtime_error("graph binary: truncated array");
+  return v;
+}
+
+}  // namespace
+
+void save_binary(const CsrGraph& graph, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, graph.num_vertices());
+  write_pod(os, graph.num_edges());
+  write_pod(os, static_cast<std::uint8_t>(graph.weighted() ? 1 : 0));
+  write_vector(os, graph.offsets());
+  write_vector(os, graph.edges());
+  if (graph.weighted()) write_vector(os, graph.weights());
+  if (!os) throw std::runtime_error("graph binary: write failed");
+}
+
+CsrGraph load_binary(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("graph binary: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("graph binary: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto n = read_pod<std::uint64_t>(is);
+  const auto m = read_pod<std::uint64_t>(is);
+  const auto weighted = read_pod<std::uint8_t>(is);
+  auto offsets = read_vector<EdgeIndex>(is, n + 1);
+  auto edges = read_vector<VertexId>(is, m);
+  std::vector<Weight> weights;
+  if (weighted != 0) weights = read_vector<Weight>(is, m);
+  return CsrGraph(std::move(offsets), std::move(edges), std::move(weights));
+}
+
+void save_binary_file(const CsrGraph& graph, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_binary(graph, os);
+}
+
+CsrGraph load_binary_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load_binary(is);
+}
+
+void save_edge_list(const CsrGraph& graph, std::ostream& os) {
+  os << "# cxlgraph edge list: " << graph.num_vertices() << " vertices, "
+     << graph.num_edges() << " edges\n";
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto neighbors = graph.neighbors(v);
+    const auto weights =
+        graph.weighted() ? graph.weights_of(v) : std::span<const Weight>{};
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      os << v << ' ' << neighbors[i];
+      if (!weights.empty()) os << ' ' << weights[i];
+      os << '\n';
+    }
+  }
+}
+
+CsrGraph load_edge_list(std::istream& is, bool symmetrize) {
+  EdgeList edges;
+  VertexId max_vertex = 0;
+  bool any_weight = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    Edge e;
+    if (!(ls >> e.src >> e.dst)) {
+      throw std::runtime_error("edge list: malformed line: " + line);
+    }
+    if (ls >> e.weight) {
+      any_weight = true;
+    } else {
+      e.weight = 1;
+    }
+    max_vertex = std::max({max_vertex, e.src, e.dst});
+    edges.push_back(e);
+  }
+  if (!any_weight) {
+    for (Edge& e : edges) e.weight = 1;
+  }
+  BuildOptions opts;
+  opts.symmetrize = symmetrize;
+  const std::uint64_t n = edges.empty() ? 0 : max_vertex + 1;
+  return build_csr(n, std::move(edges), opts);
+}
+
+}  // namespace cxlgraph::graph

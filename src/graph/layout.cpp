@@ -1,0 +1,38 @@
+#include "graph/layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cxlgraph::graph {
+
+EdgeListLayout EdgeListLayout::natural(const CsrGraph& graph) {
+  EdgeListLayout layout;
+  const std::uint64_t n = graph.num_vertices();
+  layout.offsets_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    layout.offsets_[v] = graph.sublist_byte_offset(v);
+  }
+  layout.total_bytes_ = graph.edge_list_bytes();
+  return layout;
+}
+
+EdgeListLayout EdgeListLayout::aligned(const CsrGraph& graph,
+                                       std::uint32_t alignment) {
+  if (alignment == 0 || alignment % kBytesPerEdge != 0) {
+    throw std::invalid_argument(
+        "layout alignment must be a nonzero multiple of 8");
+  }
+  EdgeListLayout layout;
+  const std::uint64_t n = graph.num_vertices();
+  layout.offsets_.resize(n);
+  std::uint64_t cursor = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    cursor = (cursor + alignment - 1) / alignment * alignment;
+    layout.offsets_[v] = cursor;
+    cursor += graph.sublist_bytes(v);
+  }
+  layout.total_bytes_ = cursor;
+  return layout;
+}
+
+}  // namespace cxlgraph::graph

@@ -1,0 +1,49 @@
+#pragma once
+/// \file layout.hpp
+/// Alignment-aware edge-list layouts (graph preprocessing).
+///
+/// A second Sec.-5 "tailored format" lever: instead of packing sublists
+/// back to back, pad each sublist's start to an alignment boundary. A
+/// sublist then never shares its first line with a neighbor, so an aligned
+/// fetch wastes at most the tail padding — uncached RAF drops toward 1 at
+/// the cost of extra capacity. cxlgraph models the layout as a per-vertex
+/// byte-offset table the trace builder can substitute for the natural CSR
+/// offsets (data is never materialized; only addresses matter).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace cxlgraph::graph {
+
+class EdgeListLayout {
+ public:
+  /// Natural CSR packing (offset[v] = offsets[v] * 8).
+  static EdgeListLayout natural(const CsrGraph& graph);
+
+  /// Each sublist starts on an `alignment`-byte boundary. alignment must
+  /// be a nonzero multiple of 8.
+  static EdgeListLayout aligned(const CsrGraph& graph,
+                                std::uint32_t alignment);
+
+  std::uint64_t byte_offset(VertexId v) const noexcept {
+    return offsets_[v];
+  }
+  /// Total external-memory footprint including padding.
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  /// Padding overhead relative to the natural layout (1.0 = none).
+  double expansion_factor(const CsrGraph& graph) const noexcept {
+    const std::uint64_t natural_bytes = graph.edge_list_bytes();
+    return natural_bytes == 0
+               ? 1.0
+               : static_cast<double>(total_bytes_) /
+                     static_cast<double>(natural_bytes);
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace cxlgraph::graph

@@ -1,0 +1,164 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cxlgraph::graph {
+
+const char* to_string(VertexOrder order) noexcept {
+  switch (order) {
+    case VertexOrder::kIdentity:
+      return "identity";
+    case VertexOrder::kDegreeSorted:
+      return "degree-sorted";
+    case VertexOrder::kBfs:
+      return "bfs";
+    case VertexOrder::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<VertexId> identity_permutation(std::uint64_t n) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  return perm;
+}
+
+std::vector<VertexId> degree_sorted_permutation(const CsrGraph& graph) {
+  const std::uint64_t n = graph.num_vertices();
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+  // Stable sort keeps the relabeling deterministic across platforms.
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](VertexId a, VertexId b) {
+                     return graph.degree(a) > graph.degree(b);
+                   });
+  std::vector<VertexId> perm(n);
+  for (std::uint64_t new_id = 0; new_id < n; ++new_id) {
+    perm[by_degree[new_id]] = new_id;
+  }
+  return perm;
+}
+
+std::vector<VertexId> bfs_permutation(const CsrGraph& graph,
+                                      std::uint64_t seed) {
+  const std::uint64_t n = graph.num_vertices();
+  std::vector<VertexId> perm(n, n);  // n = unassigned sentinel
+  VertexId next_id = 0;
+
+  util::Xoshiro256 rng(seed ^ 0xb0f5);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+
+  // BFS forest: start from a random vertex; restart for every untouched
+  // component (and isolated vertices at the end, in ID order).
+  const VertexId first = n == 0 ? 0 : rng.next_below(n);
+  for (std::uint64_t probe = 0; probe < n; ++probe) {
+    const VertexId root = (first + probe) % n;
+    if (perm[root] != n) continue;
+    perm[root] = next_id++;
+    queue.push_back(root);
+    std::size_t head = queue.size() - 1;
+    while (head < queue.size()) {
+      const VertexId u = queue[head++];
+      for (const VertexId v : graph.neighbors(u)) {
+        if (perm[v] == n) {
+          perm[v] = next_id++;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return perm;
+}
+
+std::vector<VertexId> random_permutation(std::uint64_t n,
+                                         std::uint64_t seed) {
+  std::vector<VertexId> perm = identity_permutation(n);
+  util::Xoshiro256 rng(seed ^ 0x5eed);
+  for (std::uint64_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+std::vector<VertexId> make_permutation(const CsrGraph& graph,
+                                       VertexOrder order,
+                                       std::uint64_t seed) {
+  switch (order) {
+    case VertexOrder::kIdentity:
+      return identity_permutation(graph.num_vertices());
+    case VertexOrder::kDegreeSorted:
+      return degree_sorted_permutation(graph);
+    case VertexOrder::kBfs:
+      return bfs_permutation(graph, seed);
+    case VertexOrder::kRandom:
+      return random_permutation(graph.num_vertices(), seed);
+  }
+  throw std::invalid_argument("unknown vertex order");
+}
+
+CsrGraph apply_permutation(const CsrGraph& graph,
+                           const std::vector<VertexId>& perm) {
+  const std::uint64_t n = graph.num_vertices();
+  if (perm.size() != n) {
+    throw std::invalid_argument("permutation size mismatch");
+  }
+  // Verify bijectivity up front; a bad permutation would silently corrupt
+  // the graph otherwise.
+  {
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const VertexId p : perm) {
+      if (p >= n || seen[p]) {
+        throw std::invalid_argument("permutation is not a bijection");
+      }
+      seen[p] = 1;
+    }
+  }
+
+  std::vector<EdgeIndex> offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[perm[v] + 1] = graph.degree(v);
+  }
+  for (std::uint64_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> edges(graph.num_edges());
+  std::vector<Weight> weights;
+  if (graph.weighted()) weights.resize(graph.num_edges());
+
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeIndex base = offsets[perm[v]];
+    const auto neighbors = graph.neighbors(v);
+    const auto old_weights = graph.weighted()
+                                 ? graph.weights_of(v)
+                                 : std::span<const Weight>{};
+    // Relabel targets, then sort the sublist so neighbor lists stay
+    // ID-ordered in the new labeling.
+    std::vector<std::pair<VertexId, Weight>> sublist(neighbors.size());
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      sublist[i] = {perm[neighbors[i]],
+                    old_weights.empty() ? Weight{1} : old_weights[i]};
+    }
+    std::sort(sublist.begin(), sublist.end());
+    for (std::size_t i = 0; i < sublist.size(); ++i) {
+      edges[base + i] = sublist[i].first;
+      if (!weights.empty()) weights[base + i] = sublist[i].second;
+    }
+  }
+  return CsrGraph(std::move(offsets), std::move(edges), std::move(weights));
+}
+
+CsrGraph reorder(const CsrGraph& graph, VertexOrder order,
+                 std::uint64_t seed) {
+  return apply_permutation(graph, make_permutation(graph, order, seed));
+}
+
+}  // namespace cxlgraph::graph

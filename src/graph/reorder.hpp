@@ -1,0 +1,50 @@
+#pragma once
+/// \file reorder.hpp
+/// Vertex reordering (graph preprocessing).
+///
+/// The paper's discussion section points at "tailored graph formats and
+/// preprocessing" as the way to raise the average transfer size d beyond
+/// what raw CSR offers. Reordering is the classic lever: relabeling
+/// vertices changes where sublists sit in the edge list and therefore how
+/// traversals hit alignment boundaries and caches.
+///
+/// Provided orders:
+///  * identity       — no-op (baseline);
+///  * degree-sorted  — hubs first; packs hot sublists densely;
+///  * bfs            — CSR rows in BFS discovery order (Cuthill–McKee
+///                     flavor): co-visited vertices become neighbors in
+///                     the edge list;
+///  * random         — worst-case scatter (adversarial baseline).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace cxlgraph::graph {
+
+enum class VertexOrder {
+  kIdentity,
+  kDegreeSorted,
+  kBfs,
+  kRandom,
+};
+
+const char* to_string(VertexOrder order) noexcept;
+
+/// Computes a permutation for the requested order. perm[old_id] = new_id.
+/// Deterministic in `seed` (used by kRandom and to pick the BFS root).
+std::vector<VertexId> make_permutation(const CsrGraph& graph,
+                                       VertexOrder order,
+                                       std::uint64_t seed = 0);
+
+/// Returns the relabeled graph: vertex v becomes perm[v], edges and
+/// weights follow. perm must be a bijection on [0, n).
+CsrGraph apply_permutation(const CsrGraph& graph,
+                           const std::vector<VertexId>& perm);
+
+/// Convenience: permutation + application in one call.
+CsrGraph reorder(const CsrGraph& graph, VertexOrder order,
+                 std::uint64_t seed = 0);
+
+}  // namespace cxlgraph::graph

@@ -1,0 +1,4 @@
+// event_queue.hpp is header-only; this TU exists so the build graph has a
+// stable object for the sim library even if the header gains out-of-line
+// definitions later.
+#include "sim/event_queue.hpp"

@@ -1,0 +1,57 @@
+#pragma once
+/// \file event_queue.hpp
+/// Time-ordered event queue for the discrete-event simulator.
+///
+/// Events at equal timestamps execute in insertion order (a monotonically
+/// increasing sequence number breaks ties), which keeps every simulation
+/// bit-for-bit deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace cxlgraph::sim {
+
+using util::SimTime;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void push(SimTime time, EventFn fn) {
+    heap_.push(Entry{time, next_seq_++, std::move(fn)});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  SimTime next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest event's callable.
+  EventFn pop() {
+    // priority_queue::top() is const; the move is safe because the entry is
+    // popped immediately after.
+    EventFn fn = std::move(const_cast<Entry&>(heap_.top()).fn);
+    heap_.pop();
+    return fn;
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+
+    bool operator>(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cxlgraph::sim

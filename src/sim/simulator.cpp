@@ -1,0 +1,41 @@
+#include "sim/simulator.hpp"
+
+namespace cxlgraph::sim {
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    if (count >= max_events) {
+      throw std::runtime_error("Simulator::run: event budget exceeded");
+    }
+    now_ = queue_.next_time();
+    EventFn fn = queue_.pop();
+    fn();
+    ++count;
+  }
+  processed_ += count;
+  return count;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline,
+                                   std::uint64_t max_events) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    if (count >= max_events) {
+      throw std::runtime_error("Simulator::run_until: event budget exceeded");
+    }
+    now_ = queue_.next_time();
+    EventFn fn = queue_.pop();
+    fn();
+    ++count;
+  }
+  if (now_ < deadline && queue_.empty()) {
+    // Time does not advance past the last event when the queue drains.
+  } else if (now_ < deadline) {
+    now_ = deadline;
+  }
+  processed_ += count;
+  return count;
+}
+
+}  // namespace cxlgraph::sim

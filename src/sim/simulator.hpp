@@ -1,0 +1,52 @@
+#pragma once
+/// \file simulator.hpp
+/// The discrete-event simulation loop.
+///
+/// Components (devices, links, the GPU engine) schedule callbacks at
+/// absolute or relative simulated times; run() drains the queue in time
+/// order. There is no global synchronization other than the queue, so
+/// composition is purely by callback — the same structure as hardware
+/// request/response flows.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+
+namespace cxlgraph::sim {
+
+class Simulator {
+ public:
+  SimTime now() const noexcept { return now_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  void schedule_at(SimTime time, EventFn fn) {
+    if (time < now_) {
+      throw std::logic_error("schedule_at: time in the simulated past");
+    }
+    queue_.push(time, std::move(fn));
+  }
+
+  void schedule_after(SimTime delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until the queue drains. Returns the number of events processed
+  /// by this call. Throws if the event budget is exceeded (runaway guard).
+  std::uint64_t run(std::uint64_t max_events = kDefaultEventBudget);
+
+  /// Runs until the queue drains or simulated time would exceed `deadline`.
+  /// Events at exactly `deadline` still execute.
+  std::uint64_t run_until(SimTime deadline,
+                          std::uint64_t max_events = kDefaultEventBudget);
+
+  static constexpr std::uint64_t kDefaultEventBudget = 2'000'000'000ULL;
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace cxlgraph::sim

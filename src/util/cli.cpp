@@ -1,0 +1,99 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace cxlgraph::util {
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  options_[name] = Option{help, default_value, /*is_flag=*/false,
+                          /*seen=*/false};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{help, "false", /*is_flag=*/true, /*seen=*/false};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown option --" + name);
+    }
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      opt.value = has_value ? value : "true";
+    } else if (has_value) {
+      opt.value = value;
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("option --" + name + " needs a value");
+      }
+      opt.value = argv[++i];
+    }
+    opt.seen = true;
+  }
+  return true;
+}
+
+bool CliParser::has(const std::string& name) const {
+  return require(name).seen;
+}
+
+const CliParser::Option& CliParser::require(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw std::invalid_argument("option --" + name + " was never registered");
+  }
+  return it->second;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  return require(name).value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::stoll(require(name).value);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(require(name).value);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string& v = require(name).value;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+void CliParser::print_usage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [options]\n", program.c_str());
+  for (const auto& [name, opt] : options_) {
+    if (opt.is_flag) {
+      std::fprintf(stderr, "  --%-24s %s\n", name.c_str(), opt.help.c_str());
+    } else {
+      std::fprintf(stderr, "  --%-24s %s (default: %s)\n",
+                   (name + "=V").c_str(), opt.help.c_str(),
+                   opt.value.c_str());
+    }
+  }
+}
+
+}  // namespace cxlgraph::util

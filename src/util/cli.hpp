@@ -1,0 +1,54 @@
+#pragma once
+/// \file cli.hpp
+/// A tiny command-line option parser for benches and examples.
+///
+/// Supports `--key=value`, `--key value`, and boolean `--flag` forms.
+/// Unknown options raise an error so typos in experiment sweeps are caught.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cxlgraph::util {
+
+class CliParser {
+ public:
+  /// Registers an option with a help string; call before parse().
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value = "");
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws std::invalid_argument on unknown options or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  const Option& require(const std::string& name) const;
+
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cxlgraph::util

@@ -1,0 +1,51 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Thread-safe; writes to stderr.
+///
+/// Usage:
+///   CXLG_INFO("built graph with " << n << " vertices");
+///   cxlgraph::util::set_log_level(cxlgraph::util::LogLevel::kDebug);
+
+#include <sstream>
+#include <string>
+
+namespace cxlgraph::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level) noexcept;
+
+/// Returns the current global log level.
+LogLevel log_level() noexcept;
+
+/// Emits one log record (already-formatted message). Internal use via macros.
+void log_emit(LogLevel level, const char* file, int line,
+              const std::string& message);
+
+/// Returns a short name ("DEBUG", "INFO", ...) for a level.
+const char* log_level_name(LogLevel level) noexcept;
+
+}  // namespace cxlgraph::util
+
+#define CXLG_LOG_AT(level, expr)                                    \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::cxlgraph::util::log_level())) {          \
+      std::ostringstream cxlg_log_oss;                              \
+      cxlg_log_oss << expr;                                         \
+      ::cxlgraph::util::log_emit(level, __FILE__, __LINE__,         \
+                                 cxlg_log_oss.str());               \
+    }                                                               \
+  } while (0)
+
+#define CXLG_DEBUG(expr) CXLG_LOG_AT(::cxlgraph::util::LogLevel::kDebug, expr)
+#define CXLG_INFO(expr) CXLG_LOG_AT(::cxlgraph::util::LogLevel::kInfo, expr)
+#define CXLG_WARN(expr) CXLG_LOG_AT(::cxlgraph::util::LogLevel::kWarn, expr)
+#define CXLG_ERROR(expr) CXLG_LOG_AT(::cxlgraph::util::LogLevel::kError, expr)

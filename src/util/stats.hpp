@@ -1,0 +1,66 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming statistics and histograms used throughout the simulator for
+/// instrumentation (request sizes, latencies, queue depths, ...).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cxlgraph::util {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance (n divisor); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Power-of-two bucketed histogram for non-negative integer samples
+/// (latencies in ns, sizes in bytes, ...). Bucket i holds values in
+/// [2^(i-1)+1 .. 2^i] with bucket 0 holding {0, 1}.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  /// Approximate quantile (q in [0,1]) assuming uniform fill within buckets.
+  double quantile(double q) const noexcept;
+  /// Renders a human-readable summary, one line per non-empty bucket.
+  std::string to_string() const;
+
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+};
+
+/// Exact percentile from a sample vector (copies + sorts; test/report use).
+double percentile(std::vector<double> samples, double pct);
+
+/// Geometric mean of strictly positive values; 0 if the input is empty.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace cxlgraph::util

@@ -1,0 +1,61 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cxlgraph::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void parallel_for(
+    ThreadPool& pool, std::uint64_t n,
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) {
+  if (n == 0) return;
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(n, pool.size() * 4ULL);
+  const std::uint64_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::uint64_t begin = 0; begin < n; begin += chunk_size) {
+    const std::uint64_t end = std::min(n, begin + chunk_size);
+    futures.push_back(pool.submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace cxlgraph::util

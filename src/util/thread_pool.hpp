@@ -1,0 +1,70 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool plus a blocked-range parallel_for.
+///
+/// cxlgraph uses this for embarrassingly parallel work: generating graph
+/// edges, sweeping independent simulation configurations, and evaluating RAF
+/// curves for multiple alignments at once. Simulation runs themselves are
+/// single-threaded and deterministic.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cxlgraph::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("submit() on a stopped ThreadPool");
+      }
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(begin, end) over [0, n) split into roughly equal chunks across the
+/// pool, blocking until all chunks complete. Exceptions propagate.
+void parallel_for(ThreadPool& pool, std::uint64_t n,
+                  const std::function<void(std::uint64_t, std::uint64_t)>& fn);
+
+/// A process-wide default pool (lazily constructed).
+ThreadPool& default_pool();
+
+}  // namespace cxlgraph::util

@@ -1,0 +1,43 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cxlgraph::util {
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kSuffix[] = {"B", "kB", "MB", "GB", "TB"};
+  int unit = 0;
+  double v = bytes;
+  while (std::fabs(v) >= 1000.0 && unit < 4) {
+    v /= 1000.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, kSuffix[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kSuffix[unit]);
+  }
+  return buf;
+}
+
+std::string format_time_ps(SimTime ps) {
+  char buf[48];
+  const double v = static_cast<double>(ps);
+  if (ps < kPsPerNs) {
+    std::snprintf(buf, sizeof(buf), "%llu ps",
+                  static_cast<unsigned long long>(ps));
+  } else if (ps < kPsPerUs) {
+    std::snprintf(buf, sizeof(buf), "%.2f ns", v / kPsPerNs);
+  } else if (ps < kPsPerMs) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", v / kPsPerUs);
+  } else if (ps < kPsPerSec) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", v / kPsPerMs);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", v / kPsPerSec);
+  }
+  return buf;
+}
+
+}  // namespace cxlgraph::util

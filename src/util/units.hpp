@@ -1,0 +1,61 @@
+#pragma once
+/// \file units.hpp
+/// Units and formatting helpers.
+///
+/// Simulated time is kept in integer picoseconds (SimTime). At the largest
+/// bandwidth we model (24 GB/s) one byte takes ~41.7 ps, so picoseconds give
+/// sub-byte resolution while a 64-bit counter still covers ~213 days.
+
+#include <cstdint>
+#include <string>
+
+namespace cxlgraph::util {
+
+/// Simulated time in picoseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kPsPerNs = 1'000;
+inline constexpr SimTime kPsPerUs = 1'000'000;
+inline constexpr SimTime kPsPerMs = 1'000'000'000;
+inline constexpr SimTime kPsPerSec = 1'000'000'000'000ULL;
+
+constexpr SimTime ps_from_ns(double ns) noexcept {
+  return static_cast<SimTime>(ns * static_cast<double>(kPsPerNs) + 0.5);
+}
+constexpr SimTime ps_from_us(double us) noexcept {
+  return static_cast<SimTime>(us * static_cast<double>(kPsPerUs) + 0.5);
+}
+constexpr double ns_from_ps(SimTime ps) noexcept {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerNs);
+}
+constexpr double us_from_ps(SimTime ps) noexcept {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerUs);
+}
+constexpr double sec_from_ps(SimTime ps) noexcept {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerSec);
+}
+
+/// Picoseconds per byte for a bandwidth given in MB/s (decimal MB, as in the
+/// paper's "24,000 MB/sec").
+constexpr double ps_per_byte(double mb_per_sec) noexcept {
+  // 1 MB/s == 1e6 B/s; time per byte = 1/(1e6 * mbps) sec = 1e6/mbps ps.
+  return 1.0e6 / mb_per_sec;
+}
+
+/// Throughput in MB/s given bytes moved over a simulated duration.
+constexpr double mbps_from(std::uint64_t bytes, SimTime elapsed) noexcept {
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(bytes) / sec_from_ps(elapsed) / 1.0e6;
+}
+
+/// "1.23 GB", "456.0 MB", "789 B" style formatting (decimal units).
+std::string format_bytes(double bytes);
+
+/// "1.234 us", "56.7 ns" style formatting from picoseconds.
+std::string format_time_ps(SimTime ps);
+
+inline std::string format_bytes(std::uint64_t bytes) {
+  return format_bytes(static_cast<double>(bytes));
+}
+
+}  // namespace cxlgraph::util

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "access/bam.hpp"
+#include "access/emogi.hpp"
+#include "access/method.hpp"
+#include "access/uvm.hpp"
+#include "access/xlfdd_direct.hpp"
+
+namespace cxlgraph::access {
+namespace {
+
+algo::SublistRef sublist(std::uint64_t offset, std::uint64_t len,
+                         graph::VertexId v = 0) {
+  return algo::SublistRef{v, offset, len};
+}
+
+std::uint64_t total_bytes(const std::vector<Transaction>& txns) {
+  std::uint64_t sum = 0;
+  for (const auto& t : txns) sum += t.bytes;
+  return sum;
+}
+
+bool covers(const std::vector<Transaction>& txns, std::uint64_t offset,
+            std::uint64_t len) {
+  // Every byte of [offset, offset+len) must fall inside some transaction.
+  for (std::uint64_t b = offset; b < offset + len; ++b) {
+    bool found = false;
+    for (const auto& t : txns) {
+      if (b >= t.addr && b < t.addr + t.bytes) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- emogi ----
+
+EmogiParams emogi_no_cache() {
+  EmogiParams p;
+  p.gpu_cache_bytes = 0;  // isolate the coalescing logic
+  return p;
+}
+
+TEST(Emogi, AlignedSublistSingleTransaction) {
+  EmogiAccess m(emogi_no_cache());
+  std::vector<Transaction> txns;
+  m.expand(sublist(128, 128), txns);
+  ASSERT_EQ(txns.size(), 1u);
+  EXPECT_EQ(txns[0], (Transaction{128, 128}));
+}
+
+TEST(Emogi, MisalignedSublistRoundsTo32B) {
+  EmogiAccess m(emogi_no_cache());
+  std::vector<Transaction> txns;
+  // 8-byte sublist at offset 40: covered by the 32 B unit [32, 64).
+  m.expand(sublist(40, 8), txns);
+  ASSERT_EQ(txns.size(), 1u);
+  EXPECT_EQ(txns[0], (Transaction{32, 32}));
+}
+
+TEST(Emogi, TransactionsNeverExceedGpuCacheLine) {
+  EmogiAccess m(emogi_no_cache());
+  std::vector<Transaction> txns;
+  m.expand(sublist(24, 1000), txns);
+  for (const auto& t : txns) {
+    EXPECT_LE(t.bytes, kGpuCacheLineBytes);
+    EXPECT_EQ(t.addr % 32, 0u);
+    EXPECT_EQ(t.bytes % 32, 0u);
+  }
+  EXPECT_TRUE(covers(txns, 24, 1000));
+}
+
+TEST(Emogi, TransactionsSplitAt128BWindows) {
+  EmogiAccess m(emogi_no_cache());
+  std::vector<Transaction> txns;
+  // [96, 192): crosses the 128 B boundary -> 32 B then 64 B.
+  m.expand(sublist(96, 96), txns);
+  ASSERT_EQ(txns.size(), 2u);
+  EXPECT_EQ(txns[0], (Transaction{96, 32}));
+  EXPECT_EQ(txns[1], (Transaction{128, 64}));
+}
+
+TEST(Emogi, TransferSizesAreTheDocumentedMix) {
+  EmogiAccess m(emogi_no_cache());
+  std::vector<Transaction> txns;
+  for (std::uint64_t off = 0; off < 4096; off += 56) {
+    m.expand(sublist(off, 200), txns);
+  }
+  for (const auto& t : txns) {
+    EXPECT_TRUE(t.bytes == 32 || t.bytes == 64 || t.bytes == 96 ||
+                t.bytes == 128)
+        << t.bytes;
+  }
+}
+
+TEST(Emogi, CacheHitsShrinkExpansion) {
+  EmogiParams p;
+  p.gpu_cache_bytes = 1 << 20;
+  EmogiAccess m(p);
+  std::vector<Transaction> first;
+  m.expand(sublist(64, 256), first);
+  std::vector<Transaction> second;
+  m.expand(sublist(64, 256), second);
+  EXPECT_GT(total_bytes(first), 0u);
+  EXPECT_TRUE(second.empty());  // full hit
+  EXPECT_GT(m.cache_stats().hits, 0u);
+}
+
+TEST(Emogi, ResetColdsTheCache) {
+  EmogiParams p;
+  p.gpu_cache_bytes = 1 << 20;
+  EmogiAccess m(p);
+  std::vector<Transaction> txns;
+  m.expand(sublist(0, 128), txns);
+  m.reset();
+  txns.clear();
+  m.expand(sublist(0, 128), txns);
+  EXPECT_FALSE(txns.empty());
+}
+
+TEST(Emogi, RejectsBadAlignment) {
+  EmogiParams p;
+  p.alignment = 0;
+  EXPECT_THROW(EmogiAccess{p}, std::invalid_argument);
+  p.alignment = 256;  // larger than a GPU cache line
+  EXPECT_THROW(EmogiAccess{p}, std::invalid_argument);
+}
+
+TEST(Emogi, AverageTransferNearPaperEstimate) {
+  // Random sublists of graph-like sizes should yield an average d in the
+  // 64..128 B band the paper works with (89.6 B conservative estimate).
+  EmogiAccess m(emogi_no_cache());
+  std::vector<Transaction> txns;
+  std::uint64_t offset = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    const std::uint64_t len = 8 * (1 + (i * 7) % 64);  // 8..512 B sublists
+    m.expand(sublist(offset, len), txns);
+    offset += len;
+  }
+  const double avg = static_cast<double>(total_bytes(txns)) /
+                     static_cast<double>(txns.size());
+  EXPECT_GT(avg, 60.0);
+  EXPECT_LE(avg, 128.0);
+}
+
+// ---------------------------------------------------------------- bam ----
+
+TEST(Bam, MissFetchesWholeLines) {
+  BamParams p;
+  p.line_bytes = 4096;
+  p.cache_bytes = 1 << 20;
+  BamAccess m(p);
+  std::vector<Transaction> txns;
+  m.expand(sublist(100, 200), txns);
+  ASSERT_EQ(txns.size(), 1u);
+  EXPECT_EQ(txns[0], (Transaction{0, 4096}));
+}
+
+TEST(Bam, StraddlingSublistFetchesTwoLines) {
+  BamParams p;
+  p.line_bytes = 512;
+  p.cache_bytes = 1 << 20;
+  BamAccess m(p);
+  std::vector<Transaction> txns;
+  m.expand(sublist(500, 24), txns);
+  ASSERT_EQ(txns.size(), 2u);
+  EXPECT_EQ(txns[0].addr, 0u);
+  EXPECT_EQ(txns[1].addr, 512u);
+}
+
+TEST(Bam, HitProducesNoTraffic) {
+  BamParams p;
+  p.line_bytes = 512;
+  p.cache_bytes = 1 << 20;
+  BamAccess m(p);
+  std::vector<Transaction> txns;
+  m.expand(sublist(0, 100), txns);
+  txns.clear();
+  m.expand(sublist(200, 100), txns);  // same line
+  EXPECT_TRUE(txns.empty());
+}
+
+TEST(Bam, AlignmentReportsLineSize) {
+  BamParams p;
+  p.line_bytes = 1024;
+  EXPECT_EQ(BamAccess(p).alignment(), 1024u);
+}
+
+// ------------------------------------------------------- xlfdd direct ----
+
+TEST(XlfddDirect, RoundsTo16BWithoutCaching) {
+  XlfddDirectAccess m;
+  std::vector<Transaction> a;
+  m.expand(sublist(40, 8), a);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], (Transaction{32, 16}));
+  // Repeat: no cache, so identical traffic again.
+  std::vector<Transaction> b;
+  m.expand(sublist(40, 8), b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(XlfddDirect, WholeSublistInOneRequest) {
+  // A 520 B sublist fits one request (no 128 B splitting) — the property
+  // that pushes XLFDD's average transfer toward the sublist size.
+  XlfddDirectAccess m;
+  std::vector<Transaction> txns;
+  m.expand(sublist(512, 520), txns);
+  ASSERT_EQ(txns.size(), 1u);
+  EXPECT_EQ(txns[0].bytes, 528u);  // 520 rounded up to 16 B
+}
+
+TEST(XlfddDirect, SplitsAboveMaxTransfer) {
+  XlfddDirectAccess m;
+  std::vector<Transaction> txns;
+  m.expand(sublist(0, 5000), txns);
+  ASSERT_EQ(txns.size(), 3u);  // 5000 rounds to 5008 = 2048 + 2048 + 912
+  EXPECT_EQ(txns[0].bytes, 2048u);
+  EXPECT_EQ(txns[1].bytes, 2048u);
+  EXPECT_EQ(txns[2].bytes, 912u);
+  EXPECT_TRUE(covers(txns, 0, 5000));
+}
+
+TEST(XlfddDirect, CustomAlignment) {
+  XlfddDirectParams p;
+  p.alignment = 512;
+  XlfddDirectAccess m(p);
+  std::vector<Transaction> txns;
+  m.expand(sublist(100, 100), txns);
+  ASSERT_EQ(txns.size(), 1u);
+  EXPECT_EQ(txns[0], (Transaction{0, 512}));
+}
+
+TEST(XlfddDirect, RejectsBadParams) {
+  XlfddDirectParams p;
+  p.alignment = 4096;
+  p.max_transfer = 2048;
+  EXPECT_THROW(XlfddDirectAccess{p}, std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- uvm ----
+
+TEST(Uvm, FetchesWholePages) {
+  UvmParams p;
+  p.resident_bytes = 1 << 20;
+  UvmAccess m(p);
+  std::vector<Transaction> txns;
+  m.expand(sublist(5000, 100), txns);
+  ASSERT_EQ(txns.size(), 1u);
+  EXPECT_EQ(txns[0], (Transaction{4096, 4096}));
+}
+
+TEST(Uvm, ResidentPagesAreFree) {
+  UvmParams p;
+  p.resident_bytes = 1 << 20;
+  UvmAccess m(p);
+  std::vector<Transaction> txns;
+  m.expand(sublist(0, 64), txns);
+  txns.clear();
+  m.expand(sublist(1000, 64), txns);
+  EXPECT_TRUE(txns.empty());
+}
+
+TEST(Uvm, FaultEngineParamsAreSane) {
+  const auto p = uvm_fault_engine_params();
+  EXPECT_EQ(p.min_alignment, 4096u);
+  EXPECT_EQ(p.max_transfer, 4096u);
+  // Far below the link: 0.5 MIOPS * 4 kB = 2 GB/s.
+  EXPECT_LT(p.iops * 4096 / 1e6, 24'000.0);
+}
+
+// ---------------------------------------------------- amplification law ----
+
+// For every method, issued traffic must cover the requested range (no lost
+// bytes) and be at least the requested size (RAF >= 1 without caching).
+class CoverageProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverageProperty, TrafficCoversRequest) {
+  const int salt = GetParam();
+  EmogiAccess emogi(emogi_no_cache());
+  XlfddDirectAccess xlfdd;
+  std::vector<AccessMethod*> methods = {&emogi, &xlfdd};
+  for (AccessMethod* m : methods) {
+    std::vector<Transaction> txns;
+    const std::uint64_t offset = 8ull * (salt * 131 % 997);
+    const std::uint64_t len = 8ull * (1 + salt * 37 % 300);
+    m->expand(sublist(offset, len), txns);
+    EXPECT_TRUE(covers(txns, offset, len)) << m->name();
+    EXPECT_GE(total_bytes(txns), len) << m->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyShapes, CoverageProperty,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace cxlgraph::access

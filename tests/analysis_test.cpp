@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "analysis/model.hpp"
+#include "analysis/requirements.hpp"
+
+namespace cxlgraph::analysis {
+namespace {
+
+ThroughputParams paper_example() {
+  // Sec. 3.2's worked example: S = 100 MIOPS, L = 16 us, Gen4 x16.
+  ThroughputParams p;
+  p.iops = 100.0e6;
+  p.latency_sec = 16.0e-6;
+  p.n_max = 768;
+  p.bandwidth_mbps = 24'000.0;
+  return p;
+}
+
+TEST(Model, PaperExampleEquation4) {
+  // Eq. 4: T = min(100 d, 48 d, 24000).
+  const ThroughputParams p = paper_example();
+  EXPECT_NEAR(throughput_mbps(p, 100.0), 4'800.0, 1.0);  // 48 d binds
+  EXPECT_NEAR(throughput_mbps(p, 500.0), 24'000.0, 1.0); // W binds
+  EXPECT_NEAR(throughput_slope_iops(p) / 1.0e6, 48.0, 0.01);
+}
+
+TEST(Model, SlopeIsIopsWhenLatencyIsShort) {
+  ThroughputParams p = paper_example();
+  p.latency_sec = 1.0e-6;  // N_max/L = 768 MIOPS > S = 100 MIOPS
+  EXPECT_DOUBLE_EQ(throughput_slope_iops(p), 100.0e6);
+}
+
+TEST(Model, StorageSemanticsIgnoreNmax) {
+  ThroughputParams p = paper_example();
+  p.memory_semantics = false;
+  p.iops = 6.0e6;  // BaM's SSD array
+  // At d = 4096: S*d = 24,576 MB/s ~ W; the N_max term must not bite even
+  // though L = 16 us would cap memory access at 48 MIOPS slope.
+  EXPECT_NEAR(throughput_mbps(p, 4096.0), 24'000.0, 1.0);
+  EXPECT_DOUBLE_EQ(throughput_slope_iops(p), 6.0e6);
+}
+
+TEST(Model, BamOptimalTransferIsFourKilobytes) {
+  // Sec. 3.3.2: d_opt = W / S = 24,000 / 6 ~ 4 kB.
+  ThroughputParams p;
+  p.memory_semantics = false;
+  p.iops = 6.0e6;
+  p.bandwidth_mbps = 24'000.0;
+  EXPECT_NEAR(optimal_transfer_bytes(p), 4'000.0, 1.0);
+}
+
+TEST(Model, EmogiSaturatesGen4) {
+  // Sec. 3.3.1: s * d_EMOGI = (768 / 1.2us) * 89.6 = 57,344 MB/s > W.
+  ThroughputParams p;
+  p.iops = 1e12;  // host DRAM: effectively unlimited
+  p.latency_sec = 1.2e-6;
+  p.n_max = 768;
+  p.bandwidth_mbps = 24'000.0;
+  const double d = emogi_average_transfer_bytes();
+  EXPECT_NEAR(throughput_slope_iops(p) * d / 1.0e6, 57'344.0, 10.0);
+  EXPECT_DOUBLE_EQ(throughput_mbps(p, d), 24'000.0);
+}
+
+TEST(Model, RuntimeIsDOverT) {
+  const ThroughputParams p = paper_example();
+  const double d = 500.0;  // saturating
+  // 24 GB at 24,000 MB/s -> 1 second.
+  EXPECT_NEAR(runtime_sec(p, 24.0e9, d), 1.0, 1e-9);
+}
+
+TEST(Model, LittlesLawRoundTrip) {
+  // N = T L / d with T = 24,000 MB/s, L = 1.91 us, d = 89.6 -> ~256 on Gen3
+  // numbers scaled: use Gen3 W = 12,000.
+  EXPECT_NEAR(littles_law_outstanding(12'000.0, 1.91e-6, 89.6), 256.0, 1.0);
+}
+
+TEST(Model, EmogiAverageTransferIs89Point6) {
+  EXPECT_DOUBLE_EQ(emogi_average_transfer_bytes(), 89.6);
+}
+
+TEST(Requirements, Section34Numbers) {
+  // S >= 268 MIOPS and L <= 2.87 us (Eq. 6).
+  const double d = emogi_average_transfer_bytes();
+  EXPECT_NEAR(required_iops(24'000.0, d) / 1.0e6, 268.0, 1.0);
+  EXPECT_NEAR(allowable_latency_sec(24'000.0, 768, d) * 1e6, 2.87, 0.01);
+}
+
+TEST(Requirements, Xlfdd256ByteCase) {
+  // Sec. 4.1.1: S * 256 >= 24,000 -> S >= 93.75 MIOPS.
+  EXPECT_NEAR(required_iops(24'000.0, 256.0) / 1.0e6, 93.75, 0.01);
+}
+
+TEST(Requirements, Gen3Case) {
+  // Sec. 4.2.2: S = 134 MIOPS and L = 1.91 us on Gen3 x16.
+  const double d = emogi_average_transfer_bytes();
+  EXPECT_NEAR(required_iops(12'000.0, d) / 1.0e6, 134.0, 1.0);
+  EXPECT_NEAR(allowable_latency_sec(12'000.0, 256, d) * 1e6, 1.91, 0.01);
+}
+
+TEST(Requirements, PaperCasesTableIsComplete) {
+  const auto cases = paper_requirement_cases();
+  ASSERT_EQ(cases.size(), 3u);
+  EXPECT_NEAR(cases[0].required_miops, 268.0, 1.0);
+  EXPECT_NEAR(cases[0].allowable_latency_us, 2.87, 0.01);
+  EXPECT_NEAR(cases[1].required_miops, 93.75, 0.01);
+  EXPECT_NEAR(cases[2].required_miops, 134.0, 1.0);
+  EXPECT_NEAR(cases[2].allowable_latency_us, 1.91, 0.01);
+}
+
+TEST(Model, DegenerateInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(required_iops(24'000.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(allowable_latency_sec(0.0, 768, 89.6), 0.0);
+  EXPECT_DOUBLE_EQ(littles_law_outstanding(100.0, 1e-6, 0.0), 0.0);
+  const ThroughputParams p = paper_example();
+  EXPECT_DOUBLE_EQ(runtime_sec(p, 1e9, 0.0), 0.0);
+}
+
+// Parameterized property: T(d) is non-decreasing in d and never exceeds W.
+class ModelMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ModelMonotonicity, ThroughputMonotoneAndCapped) {
+  ThroughputParams p = paper_example();
+  p.latency_sec = GetParam() * 1e-6;
+  double prev = 0.0;
+  for (double d = 16.0; d <= 8192.0; d *= 2.0) {
+    const double t = throughput_mbps(p, d);
+    EXPECT_GE(t, prev);
+    EXPECT_LE(t, p.bandwidth_mbps + 1e-9);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LatencySweep, ModelMonotonicity,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0, 16.0));
+
+}  // namespace
+}  // namespace cxlgraph::analysis

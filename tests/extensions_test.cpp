@@ -1,0 +1,236 @@
+/// Tests for the algorithmic and system extensions: direction-optimizing
+/// BFS, delta-stepping SSSP, and the direct GPU-CXL path.
+
+#include <gtest/gtest.h>
+
+#include "algo/dobfs.hpp"
+#include "algo/sssp_delta.hpp"
+#include "core/runtime.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generate.hpp"
+
+namespace cxlgraph {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+// --------------------------------------------------------------- dobfs ----
+
+TEST(Dobfs, DepthsMatchPlainBfs) {
+  for (const auto id :
+       {graph::DatasetId::kUrand, graph::DatasetId::kKron,
+        graph::DatasetId::kFriendster}) {
+    const CsrGraph g = graph::make_dataset(id, 11, false, 9);
+    const VertexId s = algo::pick_source(g, 9);
+    const auto plain = algo::bfs(g, s);
+    const auto hybrid = algo::bfs_direction_optimizing(g, s);
+    EXPECT_EQ(hybrid.bfs.depth, plain.depth);
+  }
+}
+
+TEST(Dobfs, ParentsAreValid) {
+  const CsrGraph g = graph::make_dataset(graph::DatasetId::kKron, 11,
+                                         false, 4);
+  const VertexId s = algo::pick_source(g, 4);
+  const auto hybrid = algo::bfs_direction_optimizing(g, s);
+  EXPECT_EQ(algo::validate_bfs(g, s, hybrid.bfs), "");
+}
+
+TEST(Dobfs, SwitchesToBottomUpOnDenseGraphs) {
+  // A dense random graph has an exploding frontier: the alpha heuristic
+  // must fire at least once.
+  const CsrGraph g = graph::generate_uniform(1 << 12, 32.0, {});
+  const auto hybrid =
+      algo::bfs_direction_optimizing(g, algo::pick_source(g, 1));
+  EXPECT_GT(hybrid.bottom_up_levels(), 0u);
+}
+
+TEST(Dobfs, StaysTopDownOnAPath) {
+  // A path's frontier is always one vertex; bottom-up never pays.
+  const CsrGraph g = graph::make_path(64);
+  const auto hybrid = algo::bfs_direction_optimizing(g, 0);
+  EXPECT_EQ(hybrid.bottom_up_levels(), 0u);
+}
+
+TEST(Dobfs, BottomUpTraceReadsLessThanFullSublists) {
+  // Early exit: the bottom-up steps read at most the full edge list worth
+  // of bytes and usually much less than top-down would for those levels.
+  const CsrGraph g = graph::generate_uniform(1 << 12, 32.0, {});
+  const VertexId s = algo::pick_source(g, 2);
+  const auto hybrid = algo::bfs_direction_optimizing(g, s);
+  ASSERT_GT(hybrid.bottom_up_levels(), 0u);
+  const auto trace = algo::build_dobfs_trace(g, hybrid);
+  const auto plain_trace = algo::build_trace(g, algo::bfs(g, s).frontiers);
+  EXPECT_LT(trace.total_sublist_bytes, plain_trace.total_sublist_bytes);
+  EXPECT_GT(trace.total_sublist_bytes, 0u);
+}
+
+TEST(Dobfs, TraceStepsAlignWithLevels) {
+  const CsrGraph g = graph::generate_uniform(1 << 11, 16.0, {});
+  const auto hybrid =
+      algo::bfs_direction_optimizing(g, algo::pick_source(g, 3));
+  const auto trace = algo::build_dobfs_trace(g, hybrid);
+  EXPECT_LE(trace.steps.size(), hybrid.bfs.frontiers.size());
+}
+
+TEST(Dobfs, OutOfRangeSourceThrows) {
+  const CsrGraph g = graph::make_path(4);
+  EXPECT_THROW(algo::bfs_direction_optimizing(g, 99), std::out_of_range);
+}
+
+// ------------------------------------------------------- delta stepping ----
+
+TEST(DeltaStepping, MatchesDijkstraAcrossDatasets) {
+  for (const auto id :
+       {graph::DatasetId::kUrand, graph::DatasetId::kKron,
+        graph::DatasetId::kFriendster}) {
+    const CsrGraph g = graph::make_dataset(id, 11, /*weighted=*/true, 6);
+    const VertexId s = algo::pick_source(g, 6);
+    const auto result = algo::sssp_delta_stepping(g, s);
+    EXPECT_EQ(result.dist, algo::sssp_dijkstra(g, s));
+  }
+}
+
+TEST(DeltaStepping, MatchesDijkstraForVariousDeltas) {
+  graph::GeneratorOptions opts;
+  opts.max_weight = 63;
+  const CsrGraph g = graph::generate_uniform(2048, 8.0, opts);
+  const VertexId s = algo::pick_source(g, 7);
+  const auto reference = algo::sssp_dijkstra(g, s);
+  for (const algo::Distance delta : {1ull, 8ull, 32ull, 1000ull}) {
+    EXPECT_EQ(algo::sssp_delta_stepping(g, s, delta).dist, reference)
+        << "delta " << delta;
+  }
+}
+
+TEST(DeltaStepping, DeltaOneDegeneratesToDijkstraOrder) {
+  // delta = 1 processes one distance value per bucket: bucket count equals
+  // the number of distinct finite distances.
+  graph::GeneratorOptions opts;
+  opts.max_weight = 7;
+  const CsrGraph g = graph::generate_uniform(256, 6.0, opts);
+  const VertexId s = algo::pick_source(g, 8);
+  const auto result = algo::sssp_delta_stepping(g, s, 1);
+  std::set<algo::Distance> distinct;
+  for (const auto d : result.dist) {
+    if (d != algo::kInfDistance) distinct.insert(d);
+  }
+  EXPECT_EQ(result.buckets_processed, distinct.size());
+}
+
+TEST(DeltaStepping, UnweightedGraphWorks) {
+  const CsrGraph g = graph::generate_uniform(1024, 8.0, {});
+  const VertexId s = algo::pick_source(g, 9);
+  const auto result = algo::sssp_delta_stepping(g, s);
+  const auto bfs = algo::bfs(g, s);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (bfs.depth[v] == algo::kUnreachedDepth) {
+      EXPECT_EQ(result.dist[v], algo::kInfDistance);
+    } else {
+      EXPECT_EQ(result.dist[v], bfs.depth[v]);
+    }
+  }
+}
+
+TEST(DeltaStepping, PhasesScanEachSettledVertexAtLeastOnce) {
+  graph::GeneratorOptions opts;
+  opts.max_weight = 31;
+  const CsrGraph g = graph::generate_uniform(1024, 8.0, opts);
+  const VertexId s = algo::pick_source(g, 10);
+  const auto result = algo::sssp_delta_stepping(g, s);
+  std::vector<std::uint8_t> scanned(g.num_vertices(), 0);
+  for (const auto& phase : result.phases) {
+    for (const VertexId v : phase) scanned[v] = 1;
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (result.dist[v] != algo::kInfDistance && g.degree(v) > 0) {
+      EXPECT_TRUE(scanned[v]) << v;
+    }
+  }
+}
+
+TEST(DeltaStepping, FewerPhaseEntriesThanBellmanFord) {
+  // The point of delta-stepping: less re-relaxation work than plain
+  // frontier Bellman-Ford on weighted graphs.
+  graph::GeneratorOptions opts;
+  opts.max_weight = 63;
+  const CsrGraph g = graph::generate_uniform(4096, 16.0, opts);
+  const VertexId s = algo::pick_source(g, 11);
+  std::uint64_t delta_work = 0;
+  for (const auto& p : algo::sssp_delta_stepping(g, s).phases) {
+    delta_work += p.size();
+  }
+  std::uint64_t bf_work = 0;
+  for (const auto& f : algo::sssp_frontier(g, s).frontiers) {
+    bf_work += f.size();
+  }
+  EXPECT_LE(delta_work, bf_work);
+}
+
+// -------------------------------------------------------- core plumbing ----
+
+TEST(CoreExtensions, NewAlgorithmsRunEndToEnd) {
+  const CsrGraph g = graph::make_dataset(graph::DatasetId::kUrand, 11,
+                                         /*weighted=*/true, 12);
+  core::ExternalGraphRuntime rt(core::table4_system());
+  for (const auto algorithm :
+       {core::Algorithm::kBfsDirOpt, core::Algorithm::kSsspDelta}) {
+    core::RunRequest req;
+    req.algorithm = algorithm;
+    req.backend = core::BackendKind::kCxl;
+    const auto r = rt.run(g, req);
+    EXPECT_GT(r.runtime_sec, 0.0) << core::to_string(algorithm);
+    EXPECT_GT(r.steps, 0u);
+  }
+}
+
+TEST(CoreExtensions, AlgorithmNamesRoundTrip) {
+  EXPECT_EQ(core::to_string(core::Algorithm::kBfsDirOpt), "bfs-dir-opt");
+  EXPECT_EQ(core::to_string(core::Algorithm::kSsspDelta), "sssp-delta");
+}
+
+TEST(CoreExtensions, DirectCxlLowersLatencyAndRuntime) {
+  const CsrGraph g = graph::make_dataset(graph::DatasetId::kUrand, 12,
+                                         false, 13);
+  core::SystemConfig routed = core::table4_system();
+  core::SystemConfig direct = routed;
+  direct.gpu_direct_cxl = true;
+  core::ExternalGraphRuntime rt_routed(routed);
+  core::ExternalGraphRuntime rt_direct(direct);
+
+  core::RunRequest req;
+  req.backend = core::BackendKind::kCxl;
+  req.cxl_added_latency = util::ps_from_us(2.0);  // latency-sensitive zone
+  const auto slow = rt_routed.run(g, req);
+  const auto fast = rt_direct.run(g, req);
+  EXPECT_LT(fast.observed_read_latency_us, slow.observed_read_latency_us);
+  EXPECT_LE(fast.runtime_sec, slow.runtime_sec);
+}
+
+TEST(CoreExtensions, DirectCxlDoesNotAffectDramRuns) {
+  const CsrGraph g = graph::make_dataset(graph::DatasetId::kUrand, 11,
+                                         false, 14);
+  core::SystemConfig direct = core::table4_system();
+  direct.gpu_direct_cxl = true;
+  core::ExternalGraphRuntime rt_direct(direct);
+  core::ExternalGraphRuntime rt_plain(core::table4_system());
+  core::RunRequest req;
+  req.backend = core::BackendKind::kHostDram;
+  EXPECT_EQ(rt_direct.run(g, req).runtime_sec,
+            rt_plain.run(g, req).runtime_sec);
+}
+
+TEST(CoreExtensions, SequentialScanRafIsNearOneAtFineAlignment) {
+  const CsrGraph g = graph::make_dataset(graph::DatasetId::kUrand, 12,
+                                         false, 15);
+  core::ExternalGraphRuntime rt(core::table3_system());
+  core::RunRequest req;
+  req.algorithm = core::Algorithm::kPagerankScan;
+  req.backend = core::BackendKind::kXlfdd;
+  const auto r = rt.run(g, req);
+  EXPECT_LT(r.raf, 1.1);
+}
+
+}  // namespace
+}  // namespace cxlgraph

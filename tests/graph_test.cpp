@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generate.hpp"
+#include "graph/io.hpp"
+
+namespace cxlgraph::graph {
+namespace {
+
+// ---------------------------------------------------------------- csr ----
+
+TEST(Csr, EmptyGraph) {
+  CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Csr, BasicAccessors) {
+  // 0 -> {1, 2}, 1 -> {2}, 2 -> {}
+  CsrGraph g({0, 2, 3, 3}, {1, 2, 2});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 0u);
+  ASSERT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(0)[1], 2u);
+  EXPECT_FALSE(g.weighted());
+}
+
+TEST(Csr, SublistGeometryUsesEightBytesPerEdge) {
+  CsrGraph g({0, 2, 3, 3}, {1, 2, 2});
+  EXPECT_EQ(g.sublist_byte_offset(0), 0u);
+  EXPECT_EQ(g.sublist_bytes(0), 16u);
+  EXPECT_EQ(g.sublist_byte_offset(1), 16u);
+  EXPECT_EQ(g.sublist_bytes(1), 8u);
+  EXPECT_EQ(g.edge_list_bytes(), 24u);
+}
+
+TEST(Csr, ConstructorRejectsBadOffsets) {
+  EXPECT_THROW(CsrGraph({1, 2}, {0}), std::invalid_argument);     // front != 0
+  EXPECT_THROW(CsrGraph({0, 2}, {0}), std::invalid_argument);     // back != m
+  EXPECT_THROW(CsrGraph({0, 2, 1}, {0, 0}), std::invalid_argument);  // dec
+}
+
+TEST(Csr, ConstructorRejectsOutOfRangeEdge) {
+  EXPECT_THROW(CsrGraph({0, 1}, {5}), std::invalid_argument);
+}
+
+TEST(Csr, ConstructorRejectsWeightSizeMismatch) {
+  EXPECT_THROW(CsrGraph({0, 1}, {0}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Csr, DegreeStatsExcludeZeroDegreeVertices) {
+  // Vertex 2 is isolated: Table-1 convention averages over the others.
+  CsrGraph g({0, 2, 4, 4}, {1, 1, 0, 0});
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.num_vertices, 3u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.zero_degree_vertices, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_degree_nonzero, 2.0);
+  EXPECT_DOUBLE_EQ(s.avg_sublist_bytes, 16.0);
+  EXPECT_EQ(s.max_degree, 2u);
+}
+
+// ------------------------------------------------------------ builder ----
+
+TEST(Builder, BuildsSortedCsr) {
+  const CsrGraph g = build_csr_from_pairs(4, {{2, 1}, {0, 3}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  ASSERT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(0)[1], 3u);
+}
+
+TEST(Builder, SymmetrizeAddsReverseEdges) {
+  BuildOptions opts;
+  opts.symmetrize = true;
+  const CsrGraph g = build_csr_from_pairs(3, {{0, 1}}, opts);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+}
+
+TEST(Builder, RemovesSelfLoops) {
+  BuildOptions opts;
+  opts.remove_self_loops = true;
+  const CsrGraph g = build_csr_from_pairs(2, {{0, 0}, {0, 1}}, opts);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Builder, DedupCollapsesParallelEdges) {
+  BuildOptions opts;
+  opts.dedup = true;
+  EdgeList edges = {{0, 1, 5}, {0, 1, 3}, {0, 1, 9}};
+  const CsrGraph g = build_csr(2, edges, opts);
+  EXPECT_EQ(g.num_edges(), 1u);
+  ASSERT_TRUE(g.weighted());
+  EXPECT_EQ(g.weights_of(0)[0], 3u);  // min weight kept
+}
+
+TEST(Builder, UnitWeightsStoredAsUnweighted) {
+  const CsrGraph g = build_csr_from_pairs(2, {{0, 1}});
+  EXPECT_FALSE(g.weighted());
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(build_csr_from_pairs(2, {{0, 5}}), std::invalid_argument);
+}
+
+// --------------------------------------------------------- generators ----
+
+TEST(Generate, UniformHasRequestedSize) {
+  GeneratorOptions opts;
+  opts.seed = 1;
+  const CsrGraph g = generate_uniform(1 << 12, 16.0, opts);
+  EXPECT_EQ(g.num_vertices(), 1u << 12);
+  // Symmetrized and deduped: close to n * avg_degree directed edges.
+  const double expected = (1 << 12) * 16.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              expected * 0.05);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Generate, UniformIsDeterministicInSeed) {
+  GeneratorOptions opts;
+  opts.seed = 99;
+  const CsrGraph a = generate_uniform(1024, 8.0, opts);
+  const CsrGraph b = generate_uniform(1024, 8.0, opts);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.offsets(), b.offsets());
+}
+
+TEST(Generate, UniformDiffersAcrossSeeds) {
+  GeneratorOptions a;
+  a.seed = 1;
+  GeneratorOptions b;
+  b.seed = 2;
+  EXPECT_NE(generate_uniform(1024, 8.0, a).edges(),
+            generate_uniform(1024, 8.0, b).edges());
+}
+
+TEST(Generate, CleanGraphsHaveNoSelfLoopsOrDuplicates) {
+  const CsrGraph g = generate_uniform(2048, 12.0, {});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], v) << "self loop at " << v;
+      if (i > 0) {
+        EXPECT_LT(nbrs[i - 1], nbrs[i]) << "dup/unsorted at " << v;
+      }
+    }
+  }
+}
+
+TEST(Generate, CleanGraphsAreSymmetric) {
+  const CsrGraph g = generate_uniform(512, 6.0, {});
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      const auto back = g.neighbors(v);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), u))
+          << "missing reverse edge " << v << "->" << u;
+    }
+  }
+}
+
+TEST(Generate, KroneckerIsSkewed) {
+  const CsrGraph g = generate_kronecker(12, 16.0, {});
+  const DegreeStats s = degree_stats(g);
+  // R-MAT leaves many isolated vertices and a heavy tail.
+  EXPECT_GT(s.zero_degree_vertices, g.num_vertices() / 10);
+  EXPECT_GT(s.max_degree, 8 * static_cast<std::uint64_t>(
+                                  s.avg_degree_nonzero));
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Generate, KroneckerNonzeroAvgDegreeAboveEdgeFactor) {
+  // The paper's kron27 has avg degree 67 with edge factor 16 because the
+  // average excludes isolated vertices.
+  const CsrGraph g = generate_kronecker(14, 16.0, {});
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.avg_degree_nonzero, 32.0);
+}
+
+TEST(Generate, PowerLawHasHeavyTail) {
+  const CsrGraph g = generate_power_law(1 << 13, 20.0, 2.5, {});
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.max_degree, 20 * static_cast<std::uint64_t>(
+                                   s.avg_degree_nonzero) / 2);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Generate, PowerLawRejectsBadExponent) {
+  EXPECT_THROW(generate_power_law(100, 4.0, 0.0, {}),
+               std::invalid_argument);
+}
+
+TEST(Generate, WeightsWithinRequestedRange) {
+  GeneratorOptions opts;
+  opts.max_weight = 63;
+  const CsrGraph g = generate_uniform(512, 8.0, opts);
+  ASSERT_TRUE(g.weighted());
+  for (const Weight w : g.weights()) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 63u);
+  }
+}
+
+TEST(Generate, DeterministicShapes) {
+  EXPECT_EQ(make_path(5).num_edges(), 8u);        // 4 undirected edges
+  EXPECT_EQ(make_ring(5).num_edges(), 10u);
+  EXPECT_EQ(make_star(4).num_edges(), 8u);
+  EXPECT_EQ(make_complete(4).num_edges(), 12u);
+  EXPECT_EQ(make_grid(2, 3).num_edges(), 14u);    // 7 undirected edges
+}
+
+TEST(Generate, StarDegrees) {
+  const CsrGraph g = make_star(6);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (VertexId v = 1; v <= 6; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+// ------------------------------------------------------------------ io ----
+
+TEST(Io, BinaryRoundTripUnweighted) {
+  const CsrGraph g = generate_uniform(512, 8.0, {});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const CsrGraph loaded = load_binary(buffer);
+  EXPECT_EQ(loaded.offsets(), g.offsets());
+  EXPECT_EQ(loaded.edges(), g.edges());
+  EXPECT_FALSE(loaded.weighted());
+}
+
+TEST(Io, BinaryRoundTripWeighted) {
+  GeneratorOptions opts;
+  opts.max_weight = 63;
+  const CsrGraph g = generate_uniform(256, 6.0, opts);
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const CsrGraph loaded = load_binary(buffer);
+  EXPECT_EQ(loaded.weights(), g.weights());
+}
+
+TEST(Io, BinaryRejectsGarbage) {
+  std::stringstream buffer("not a graph");
+  EXPECT_THROW(load_binary(buffer), std::runtime_error);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const CsrGraph g = build_csr_from_pairs(4, {{0, 1}, {1, 2}, {3, 0}});
+  std::stringstream buffer;
+  save_edge_list(g, buffer);
+  const CsrGraph loaded = load_edge_list(buffer);
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_EQ(loaded.edges(), g.edges());
+}
+
+TEST(Io, EdgeListSkipsComments) {
+  std::stringstream input("# header\n0 1\n# mid\n1 2\n");
+  const CsrGraph g = load_edge_list(input);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_vertices(), 3u);
+}
+
+TEST(Io, EdgeListParsesWeights) {
+  std::stringstream input("0 1 7\n1 0 9\n");
+  const CsrGraph g = load_edge_list(input);
+  ASSERT_TRUE(g.weighted());
+  EXPECT_EQ(g.weights_of(0)[0], 7u);
+}
+
+TEST(Io, EdgeListMalformedLineThrows) {
+  std::stringstream input("0\n");
+  EXPECT_THROW(load_edge_list(input), std::runtime_error);
+}
+
+// ----------------------------------------------------------- datasets ----
+
+TEST(Datasets, ThreePaperDatasetsInOrder) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].paper_name, "urand27");
+  EXPECT_EQ(specs[1].paper_name, "kron27");
+  EXPECT_EQ(specs[2].paper_name, "Friendster");
+}
+
+TEST(Datasets, UrandMatchesPaperDegree) {
+  const CsrGraph g = make_dataset(DatasetId::kUrand, 13, false);
+  const DegreeStats s = degree_stats(g);
+  // Table 1: urand avg degree 32.0.
+  EXPECT_NEAR(s.avg_degree_nonzero, 32.0, 2.0);
+}
+
+TEST(Datasets, FriendsterLikeDegreeNearPaper) {
+  const CsrGraph g = make_dataset(DatasetId::kFriendster, 13, false);
+  const DegreeStats s = degree_stats(g);
+  // Table 1: Friendster avg degree 55.1. Power-law cleanup shifts it some.
+  EXPECT_GT(s.avg_degree_nonzero, 25.0);
+  EXPECT_LT(s.avg_degree_nonzero, 90.0);
+}
+
+TEST(Datasets, WeightedFlagProducesWeights) {
+  EXPECT_TRUE(make_dataset(DatasetId::kUrand, 10, true).weighted());
+  EXPECT_FALSE(make_dataset(DatasetId::kUrand, 10, false).weighted());
+}
+
+TEST(Datasets, NameLookup) {
+  EXPECT_EQ(dataset_from_name("urand"), DatasetId::kUrand);
+  EXPECT_EQ(dataset_from_name("kron27"), DatasetId::kKron);
+  EXPECT_EQ(dataset_from_name("Friendster"), DatasetId::kFriendster);
+  EXPECT_THROW(dataset_from_name("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cxlgraph::graph

@@ -1,0 +1,186 @@
+/// Integration tests: do the paper's qualitative results come out of the
+/// whole stack at reduced scale? These are the "shape" acceptance checks
+/// from DESIGN.md run small enough for CI.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/runtime.hpp"
+#include "graph/datasets.hpp"
+
+namespace cxlgraph::core {
+namespace {
+
+ExperimentOptions small_options() {
+  ExperimentOptions opts;
+  opts.scale = 12;
+  opts.seed = 42;
+  return opts;
+}
+
+graph::CsrGraph urand(unsigned scale = 13) {
+  return graph::make_dataset(graph::DatasetId::kUrand, scale,
+                             /*weighted=*/true, 42);
+}
+
+TEST(Integration, Observation1SmallerAlignmentIsFaster) {
+  // Fig. 5's ordering: XLFDD runtime grows with the alignment size.
+  ExternalGraphRuntime rt(table3_system());
+  const graph::CsrGraph g = urand();
+  double prev = 0.0;
+  for (const std::uint32_t a : {16u, 64u, 256u, 512u}) {
+    RunRequest req;
+    req.backend = BackendKind::kXlfdd;
+    req.alignment = a;
+    const double t = rt.run(g, req).runtime_sec;
+    EXPECT_GE(t, prev * 0.98) << "alignment " << a;
+    prev = t;
+  }
+}
+
+TEST(Integration, XlfddCloseToDramBamFarFromDram) {
+  // Fig. 6's headline: XLFDD lands near EMOGI; BaM is a multiple away.
+  ExternalGraphRuntime rt(table3_system());
+  const graph::CsrGraph g = urand();
+  RunRequest req;
+  const double t_dram = [&] {
+    RunRequest r;
+    r.backend = BackendKind::kHostDram;
+    return rt.run(g, r).runtime_sec;
+  }();
+  req.backend = BackendKind::kXlfdd;
+  const double t_xlfdd = rt.run(g, req).runtime_sec;
+  req.backend = BackendKind::kBamNvme;
+  const double t_bam = rt.run(g, req).runtime_sec;
+
+  EXPECT_LT(t_xlfdd / t_dram, 1.6);   // paper: ~1.13x geomean
+  EXPECT_GT(t_bam / t_dram, 1.7);     // paper: ~2.76x geomean
+  EXPECT_GT(t_bam, t_xlfdd);
+}
+
+TEST(Integration, Observation2CxlFlatUnderAllowableLatency) {
+  // Fig. 11: on Gen3, runtime is ~flat while the observed latency stays
+  // under ~2 us, then grows.
+  ExternalGraphRuntime rt(table4_system());
+  const graph::CsrGraph g = urand();
+  RunRequest dram_req;
+  dram_req.backend = BackendKind::kHostDram;
+  const double t_dram = rt.run(g, dram_req).runtime_sec;
+
+  auto cxl_runtime = [&](double added_us) {
+    RunRequest req;
+    req.backend = BackendKind::kCxl;
+    req.cxl_added_latency = util::ps_from_us(added_us);
+    return rt.run(g, req).runtime_sec;
+  };
+  // Under the allowance: close to DRAM.
+  EXPECT_LT(cxl_runtime(0.0) / t_dram, 1.30);
+  // Far beyond the allowance: clearly slower, and monotone in latency.
+  const double t3 = cxl_runtime(3.0);
+  EXPECT_GT(t3 / t_dram, 1.3);
+  EXPECT_GT(cxl_runtime(6.0), t3);
+}
+
+TEST(Integration, UvmPagingIsTheSlowestBaseline) {
+  // EMOGI's motivation: zero-copy beats 4 kB UVM paging for random access.
+  ExternalGraphRuntime rt(table3_system());
+  const graph::CsrGraph g = urand();
+  RunRequest req;
+  req.backend = BackendKind::kHostDram;
+  const double t_emogi = rt.run(g, req).runtime_sec;
+  req.backend = BackendKind::kUvm;
+  const double t_uvm = rt.run(g, req).runtime_sec;
+  EXPECT_GT(t_uvm, 2.0 * t_emogi);
+}
+
+TEST(Integration, SequentialScanOutrunsRandomTraversalPerByte) {
+  // Graphene-style contrast (Sec. 6): sequential workloads amplify less.
+  ExternalGraphRuntime rt(table3_system());
+  const graph::CsrGraph g = urand();
+  RunRequest scan;
+  scan.algorithm = Algorithm::kPagerankScan;
+  scan.backend = BackendKind::kBamNvme;
+  RunRequest traversal;
+  traversal.algorithm = Algorithm::kBfs;
+  traversal.backend = BackendKind::kBamNvme;
+  const RunReport r_scan = rt.run(g, scan);
+  const RunReport r_bfs = rt.run(g, traversal);
+  EXPECT_LT(r_scan.raf, r_bfs.raf);
+}
+
+// ------------------------------- experiment drivers smoke-run end to end ----
+
+TEST(Experiments, Table1HasThreeRows) {
+  const auto t = table1_datasets(small_options());
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(Experiments, Table2FrontierGrowsThenShrinks) {
+  const auto t = table2_frontier(small_options());
+  // BFS on a random graph: a hump-shaped frontier profile with >= 4 levels.
+  EXPECT_GE(t.row_count(), 4u);
+}
+
+TEST(Experiments, Fig3CoversAllWorkloads) {
+  const auto t = fig3_raf(small_options());
+  EXPECT_EQ(t.row_count(), 6u);   // {bfs, sssp} x 3 datasets
+  EXPECT_EQ(t.column_count(), 11u);  // label + 10 alignments
+}
+
+TEST(Experiments, Fig4HasModelRows) {
+  const auto t = fig4_model(small_options());
+  EXPECT_GE(t.row_count(), 6u);
+}
+
+TEST(Experiments, Fig9CoversAllMemories) {
+  const auto t = fig9_latency();
+  // 2 DRAM rows + 2 CXL locations x 4 added latencies.
+  EXPECT_EQ(t.row_count(), 10u);
+}
+
+TEST(Experiments, Fig10SweepsLatency) {
+  const auto t = fig10_cxl_throughput();
+  EXPECT_EQ(t.row_count(), 11u);  // 0..10 us
+}
+
+TEST(Experiments, RequirementsTable) {
+  const auto t = sec34_requirements();
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(Experiments, Fig5SweepHasBaselineXlfddAndBam) {
+  ExperimentOptions opts = small_options();
+  opts.scale = 11;
+  const auto t = fig5_alignment_sweep(opts);
+  EXPECT_EQ(t.row_count(), 8u);  // baseline + 6 alignments + BaM
+}
+
+TEST(Experiments, Fig6CoversAllWorkloads) {
+  ExperimentOptions opts = small_options();
+  opts.scale = 11;
+  const auto t = fig6_runtimes(opts);
+  EXPECT_EQ(t.row_count(), 6u);  // {bfs, sssp} x 3 datasets
+}
+
+TEST(Experiments, Fig11CoversLatencySweep) {
+  ExperimentOptions opts = small_options();
+  opts.scale = 11;
+  const auto t = fig11_cxl_runtime(opts);
+  // {bfs, sssp} x 3 datasets x (DRAM + 7 latencies).
+  EXPECT_EQ(t.row_count(), 48u);
+}
+
+TEST(Experiments, DeterministicAcrossInvocations) {
+  ExperimentOptions opts = small_options();
+  opts.scale = 11;
+  std::ostringstream a;
+  std::ostringstream b;
+  fig5_alignment_sweep(opts).print(a);
+  fig5_alignment_sweep(opts).print(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace cxlgraph::core

@@ -1,0 +1,275 @@
+/// Tests for the graph-preprocessing extensions (paper Sec. 5): vertex
+/// reordering, alignment-padded layouts, and the closed-form RAF model.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algo/bfs.hpp"
+#include "algo/trace.hpp"
+#include "analysis/raf_model.hpp"
+#include "cache/raf.hpp"
+#include "graph/datasets.hpp"
+#include "graph/builder.hpp"
+#include "graph/generate.hpp"
+#include "graph/layout.hpp"
+#include "graph/reorder.hpp"
+
+namespace cxlgraph {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+// ------------------------------------------------------------- reorder ----
+
+bool same_structure(const CsrGraph& a, const CsrGraph& b,
+                    const std::vector<VertexId>& perm) {
+  if (a.num_vertices() != b.num_vertices() ||
+      a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    const auto old_neighbors = a.neighbors(v);
+    auto new_neighbors = b.neighbors(perm[v]);
+    if (old_neighbors.size() != new_neighbors.size()) return false;
+    std::vector<VertexId> mapped(old_neighbors.begin(),
+                                 old_neighbors.end());
+    for (auto& m : mapped) m = perm[m];
+    std::sort(mapped.begin(), mapped.end());
+    for (std::size_t i = 0; i < mapped.size(); ++i) {
+      if (mapped[i] != new_neighbors[i]) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Reorder, IdentityIsNoop) {
+  const CsrGraph g = graph::generate_uniform(512, 8.0, {});
+  const CsrGraph r = graph::reorder(g, graph::VertexOrder::kIdentity);
+  EXPECT_EQ(r.offsets(), g.offsets());
+  EXPECT_EQ(r.edges(), g.edges());
+}
+
+TEST(Reorder, PermutationsAreBijections) {
+  const CsrGraph g = graph::generate_uniform(1024, 8.0, {});
+  for (const auto order :
+       {graph::VertexOrder::kDegreeSorted, graph::VertexOrder::kBfs,
+        graph::VertexOrder::kRandom}) {
+    const auto perm = graph::make_permutation(g, order, 7);
+    std::vector<std::uint8_t> seen(g.num_vertices(), 0);
+    for (const VertexId p : perm) {
+      ASSERT_LT(p, g.num_vertices()) << graph::to_string(order);
+      ASSERT_FALSE(seen[p]) << graph::to_string(order);
+      seen[p] = 1;
+    }
+  }
+}
+
+TEST(Reorder, StructurePreservedUnderEveryOrder) {
+  graph::GeneratorOptions opts;
+  opts.max_weight = 15;
+  const CsrGraph g = graph::generate_uniform(512, 6.0, opts);
+  for (const auto order :
+       {graph::VertexOrder::kDegreeSorted, graph::VertexOrder::kBfs,
+        graph::VertexOrder::kRandom}) {
+    const auto perm = graph::make_permutation(g, order, 3);
+    const CsrGraph r = graph::apply_permutation(g, perm);
+    EXPECT_TRUE(same_structure(g, r, perm)) << graph::to_string(order);
+    EXPECT_TRUE(r.validate().empty());
+  }
+}
+
+TEST(Reorder, DegreeSortPutsHubsFirst) {
+  const CsrGraph g = graph::make_dataset(graph::DatasetId::kKron, 10,
+                                         false, 5);
+  const CsrGraph r = graph::reorder(g, graph::VertexOrder::kDegreeSorted);
+  for (VertexId v = 1; v < r.num_vertices(); ++v) {
+    EXPECT_GE(r.degree(v - 1), r.degree(v)) << v;
+  }
+}
+
+TEST(Reorder, WeightsFollowEdges) {
+  graph::EdgeList edges = {{0, 1, 7}, {1, 0, 9}, {1, 2, 3}, {2, 1, 4}};
+  const CsrGraph g = graph::build_csr(3, edges);
+  const auto perm = graph::make_permutation(
+      g, graph::VertexOrder::kRandom, 11);
+  const CsrGraph r = graph::apply_permutation(g, perm);
+  ASSERT_TRUE(r.weighted());
+  // Edge 1->2 weight 3 must appear as perm[1]->perm[2] with weight 3.
+  const auto neighbors = r.neighbors(perm[1]);
+  const auto weights = r.weights_of(perm[1]);
+  bool found = false;
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    if (neighbors[i] == perm[2]) {
+      EXPECT_EQ(weights[i], 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Reorder, RejectsNonBijection) {
+  const CsrGraph g = graph::make_path(4);
+  EXPECT_THROW(graph::apply_permutation(g, {0, 0, 1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(graph::apply_permutation(g, {0, 1}), std::invalid_argument);
+}
+
+TEST(Reorder, BfsOrderPreservesAlgorithmResults) {
+  const CsrGraph g = graph::generate_uniform(2048, 8.0, {});
+  const auto perm = graph::make_permutation(g, graph::VertexOrder::kBfs, 2);
+  const CsrGraph r = graph::apply_permutation(g, perm);
+  const VertexId s = algo::pick_source(g, 2);
+  const auto depth_g = algo::bfs(g, s).depth;
+  const auto depth_r = algo::bfs(r, perm[s]).depth;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(depth_g[v], depth_r[perm[v]]);
+  }
+}
+
+// -------------------------------------------------------------- layout ----
+
+TEST(Layout, NaturalMatchesCsrOffsets) {
+  const CsrGraph g = graph::generate_uniform(256, 8.0, {});
+  const auto layout = graph::EdgeListLayout::natural(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(layout.byte_offset(v), g.sublist_byte_offset(v));
+  }
+  EXPECT_EQ(layout.total_bytes(), g.edge_list_bytes());
+  EXPECT_DOUBLE_EQ(layout.expansion_factor(g), 1.0);
+}
+
+TEST(Layout, AlignedStartsOnBoundaries) {
+  const CsrGraph g = graph::generate_uniform(256, 8.0, {});
+  const auto layout = graph::EdgeListLayout::aligned(g, 256);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(layout.byte_offset(v) % 256, 0u) << v;
+  }
+  EXPECT_GE(layout.total_bytes(), g.edge_list_bytes());
+}
+
+TEST(Layout, SublistsDoNotOverlap) {
+  const CsrGraph g = graph::generate_uniform(256, 8.0, {});
+  const auto layout = graph::EdgeListLayout::aligned(g, 64);
+  for (VertexId v = 0; v + 1 < g.num_vertices(); ++v) {
+    EXPECT_GE(layout.byte_offset(v + 1),
+              layout.byte_offset(v) + g.sublist_bytes(v));
+  }
+}
+
+TEST(Layout, RejectsBadAlignment) {
+  const CsrGraph g = graph::make_path(4);
+  EXPECT_THROW(graph::EdgeListLayout::aligned(g, 0), std::invalid_argument);
+  EXPECT_THROW(graph::EdgeListLayout::aligned(g, 12),
+               std::invalid_argument);
+}
+
+TEST(Layout, PaddingNeverIncreasesUncachedRaf) {
+  const CsrGraph g = graph::generate_uniform(2048, 16.0, {});
+  const auto frontiers =
+      algo::bfs(g, algo::pick_source(g, 1)).frontiers;
+  for (const std::uint32_t a : {32u, 128u, 512u}) {
+    cache::RafOptions options;
+    options.alignment = a;
+    options.cache_capacity_bytes = 0;
+    const auto natural = algo::build_trace_with_layout(
+        g, frontiers, graph::EdgeListLayout::natural(g));
+    const auto padded = algo::build_trace_with_layout(
+        g, frontiers, graph::EdgeListLayout::aligned(g, a));
+    EXPECT_LE(cache::evaluate_raf(padded, options).raf(),
+              cache::evaluate_raf(natural, options).raf() + 1e-12)
+        << a;
+  }
+}
+
+TEST(Layout, TraceWithNaturalLayoutEqualsPlainTrace) {
+  const CsrGraph g = graph::generate_uniform(1024, 8.0, {});
+  const auto frontiers =
+      algo::bfs(g, algo::pick_source(g, 3)).frontiers;
+  const auto plain = algo::build_trace(g, frontiers);
+  const auto via_layout = algo::build_trace_with_layout(
+      g, frontiers, graph::EdgeListLayout::natural(g));
+  ASSERT_EQ(plain.steps.size(), via_layout.steps.size());
+  EXPECT_EQ(plain.total_sublist_bytes, via_layout.total_sublist_bytes);
+  for (std::size_t s = 0; s < plain.steps.size(); ++s) {
+    ASSERT_EQ(plain.steps[s].reads.size(),
+              via_layout.steps[s].reads.size());
+    for (std::size_t i = 0; i < plain.steps[s].reads.size(); ++i) {
+      EXPECT_EQ(plain.steps[s].reads[i].byte_offset,
+                via_layout.steps[s].reads[i].byte_offset);
+    }
+  }
+}
+
+// ----------------------------------------------------------- raf model ----
+
+TEST(RafModel, ExpectedLinesHandComputed) {
+  // len = 8, a = 16: offsets 0 and 8 both fit one line -> 1.0.
+  EXPECT_DOUBLE_EQ(analysis::expected_lines(8, 16), 1.0);
+  // len = 16, a = 16: offset 0 -> 1 line, offset 8 -> 2 lines -> 1.5.
+  EXPECT_DOUBLE_EQ(analysis::expected_lines(16, 16), 1.5);
+  // len = 256, a = 8: always exactly 32 lines.
+  EXPECT_DOUBLE_EQ(analysis::expected_lines(256, 8), 32.0);
+}
+
+TEST(RafModel, ExpectedLinesBounds) {
+  for (const std::uint32_t a : {16u, 64u, 256u}) {
+    for (const std::uint64_t len : {8ull, 40ull, 200ull, 1000ull}) {
+      const double lines = analysis::expected_lines(len, a);
+      const double lower = static_cast<double>(len) / a;
+      EXPECT_GE(lines, lower);
+      EXPECT_LE(lines, lower + 1.0);
+    }
+  }
+}
+
+TEST(RafModel, RejectsBadAlignment) {
+  EXPECT_THROW(analysis::expected_lines(100, 0), std::invalid_argument);
+  EXPECT_THROW(analysis::expected_lines(100, 20), std::invalid_argument);
+}
+
+TEST(RafModel, PredictsUncachedSequentialScanRaf) {
+  // A sequential scan reads every sublist once: the trace-driven uncached
+  // RAF should match the closed form within a few percent (offsets are
+  // only approximately uniform).
+  const CsrGraph g = graph::generate_uniform(4096, 32.0, {});
+  const auto trace = algo::build_sequential_trace(g, 1);
+  for (const std::uint32_t a : {32u, 128u, 512u}) {
+    cache::RafOptions options;
+    options.alignment = a;
+    options.cache_capacity_bytes = 0;
+    const double simulated = cache::evaluate_raf(trace, options).raf();
+    const double predicted = analysis::predicted_uncached_raf(g, a);
+    EXPECT_NEAR(simulated, predicted, predicted * 0.05) << a;
+  }
+}
+
+TEST(RafModel, PaddedPredictionMatchesPaddedLayoutExactly) {
+  const CsrGraph g = graph::generate_uniform(2048, 16.0, {});
+  const auto trace = algo::build_trace_with_layout(
+      g, algo::build_sequential_trace(g, 1).steps.empty()
+             ? std::vector<std::vector<VertexId>>{}
+             : std::vector<std::vector<VertexId>>{[&] {
+                 std::vector<VertexId> all(g.num_vertices());
+                 std::iota(all.begin(), all.end(), VertexId{0});
+                 return all;
+               }()},
+      graph::EdgeListLayout::aligned(g, 128));
+  cache::RafOptions options;
+  options.alignment = 128;
+  options.cache_capacity_bytes = 0;
+  EXPECT_NEAR(cache::evaluate_raf(trace, options).raf(),
+              analysis::predicted_padded_raf(g, 128), 1e-9);
+}
+
+TEST(RafModel, PaddedBeatsUnpaddedPrediction) {
+  const CsrGraph g = graph::generate_uniform(2048, 16.0, {});
+  for (const std::uint32_t a : {32u, 256u}) {
+    EXPECT_LE(analysis::predicted_padded_raf(g, a),
+              analysis::predicted_uncached_raf(g, a) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cxlgraph

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace cxlgraph::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesPreserveInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(42, [] {});
+  q.push(7, [] {});
+  EXPECT_EQ(q.next_time(), 7u);
+}
+
+TEST(Simulator, AdvancesTime) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.schedule_at(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule_at(50, [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(25, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{50, 75}));
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(100, [&] {
+    EXPECT_THROW(sim.schedule_at(50, [] {}), std::logic_error);
+  });
+  sim.run();
+}
+
+TEST(Simulator, CascadedEventsAllRun) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 100) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), 99u);
+  EXPECT_EQ(sim.events_processed(), 100u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (SimTime t = 0; t < 10; ++t) {
+    sim.schedule_at(t * 10, [&] { ++count; });
+  }
+  sim.run_until(45);
+  EXPECT_EQ(count, 5);  // events at 0,10,20,30,40
+  EXPECT_EQ(sim.pending_events(), 5u);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilExecutesEventExactlyAtDeadline) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(100, [&] { ran = true; });
+  sim.run_until(100);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, EventBudgetGuardsRunaway) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule_after(1, forever); };
+  sim.schedule_at(0, forever);
+  EXPECT_THROW(sim.run(/*max_events=*/1000), std::runtime_error);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(static_cast<SimTime>((i * 37) % 13),
+                      [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.run(), 7u);
+}
+
+}  // namespace
+}  // namespace cxlgraph::sim

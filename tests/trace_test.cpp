@@ -1,0 +1,123 @@
+/// Tests for access-trace construction (frontier ordering, hub chunking)
+/// and trace serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/bfs.hpp"
+#include "algo/trace.hpp"
+#include "algo/trace_io.hpp"
+#include "graph/builder.hpp"
+#include "graph/generate.hpp"
+
+namespace cxlgraph::algo {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+TEST(TraceOrdering, StepsAreVertexIdSorted) {
+  const CsrGraph g = graph::generate_uniform(1024, 8.0, {});
+  const auto frontiers = bfs(g, pick_source(g, 1)).frontiers;
+  const AccessTrace trace = build_trace(g, frontiers);
+  for (const auto& step : trace.steps) {
+    for (std::size_t i = 1; i < step.reads.size(); ++i) {
+      EXPECT_LE(step.reads[i - 1].vertex, step.reads[i].vertex);
+      // Sorted vertices => sorted byte offsets (CSR layout is monotone).
+      EXPECT_LE(step.reads[i - 1].byte_offset, step.reads[i].byte_offset);
+    }
+  }
+}
+
+TEST(TraceChunking, HubSublistsSplitAtChunkLimit) {
+  // A star hub with 1,000 leaves has an 8,000 B sublist: it must appear as
+  // ceil(8000/2048) = 4 chunks.
+  const CsrGraph g = graph::make_star(1000);
+  const AccessTrace trace = build_trace(g, {{0}});
+  ASSERT_EQ(trace.steps.size(), 1u);
+  EXPECT_EQ(trace.steps[0].reads.size(), 4u);
+  std::uint64_t covered = 0;
+  std::uint64_t expected_offset = g.sublist_byte_offset(0);
+  for (const auto& read : trace.steps[0].reads) {
+    EXPECT_LE(read.byte_len, kMaxWorkChunkBytes);
+    EXPECT_EQ(read.byte_offset, expected_offset);  // contiguous chunks
+    EXPECT_EQ(read.vertex, 0u);
+    expected_offset += read.byte_len;
+    covered += read.byte_len;
+  }
+  EXPECT_EQ(covered, g.sublist_bytes(0));
+}
+
+TEST(TraceChunking, SmallSublistsStayWhole) {
+  const CsrGraph g = graph::make_star(10);  // 80 B hub sublist
+  const AccessTrace trace = build_trace(g, {{0}});
+  ASSERT_EQ(trace.steps[0].reads.size(), 1u);
+  EXPECT_EQ(trace.steps[0].reads[0].byte_len, 80u);
+}
+
+TEST(TraceChunking, TotalsCountChunks) {
+  const CsrGraph g = graph::make_star(1000);
+  const AccessTrace trace = build_trace(g, {{0}});
+  EXPECT_EQ(trace.total_reads, 4u);
+  EXPECT_EQ(trace.total_sublist_bytes, 8000u);
+}
+
+TEST(TraceIo, RoundTrip) {
+  const CsrGraph g = graph::generate_uniform(2048, 12.0, {});
+  const AccessTrace original =
+      build_trace(g, bfs(g, pick_source(g, 5)).frontiers);
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const AccessTrace loaded = load_trace(buffer);
+  EXPECT_EQ(loaded.total_sublist_bytes, original.total_sublist_bytes);
+  EXPECT_EQ(loaded.total_reads, original.total_reads);
+  ASSERT_EQ(loaded.steps.size(), original.steps.size());
+  for (std::size_t s = 0; s < loaded.steps.size(); ++s) {
+    ASSERT_EQ(loaded.steps[s].reads.size(), original.steps[s].reads.size());
+    for (std::size_t i = 0; i < loaded.steps[s].reads.size(); ++i) {
+      EXPECT_EQ(loaded.steps[s].reads[i].vertex,
+                original.steps[s].reads[i].vertex);
+      EXPECT_EQ(loaded.steps[s].reads[i].byte_offset,
+                original.steps[s].reads[i].byte_offset);
+      EXPECT_EQ(loaded.steps[s].reads[i].byte_len,
+                original.steps[s].reads[i].byte_len);
+    }
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  save_trace(AccessTrace{}, buffer);
+  const AccessTrace loaded = load_trace(buffer);
+  EXPECT_TRUE(loaded.steps.empty());
+  EXPECT_EQ(loaded.total_reads, 0u);
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream buffer("not a trace at all");
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTamperedTotals) {
+  const CsrGraph g = graph::make_star(5);
+  AccessTrace trace = build_trace(g, {{0}});
+  trace.total_sublist_bytes += 1;  // corrupt the checksum-style totals
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  const CsrGraph g = graph::generate_uniform(256, 8.0, {});
+  const AccessTrace trace =
+      build_trace(g, bfs(g, pick_source(g, 6)).frontiers);
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_trace(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cxlgraph::algo

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace cxlgraph::util {
+namespace {
+
+// ---------------------------------------------------------------- rng ----
+
+TEST(Rng, SplitMix64IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMix64DiffersAcrossSeeds) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroIsDeterministic) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Xoshiro256 rng(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8'000; ++i) ++seen[rng.next_below(8)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsNearHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.next_double() * 100.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Log2Histogram, BucketsSmallValues) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  EXPECT_EQ(h.count(), 4u);
+  ASSERT_GE(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 2u);  // {0, 1}
+  EXPECT_EQ(h.buckets()[1], 1u);  // {2}
+  EXPECT_EQ(h.buckets()[2], 1u);  // {3, 4}
+}
+
+TEST(Log2Histogram, QuantileMonotone) {
+  Log2Histogram h;
+  for (std::uint64_t v = 1; v <= 1024; ++v) h.add(v);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_GT(h.quantile(0.99), 500.0);
+}
+
+TEST(Percentile, ExactValues) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(GeometricMean, MatchesHandComputation) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+}
+
+// -------------------------------------------------------------- units ----
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_EQ(ps_from_ns(1.0), kPsPerNs);
+  EXPECT_EQ(ps_from_us(1.0), kPsPerUs);
+  EXPECT_DOUBLE_EQ(us_from_ps(ps_from_us(3.25)), 3.25);
+  EXPECT_DOUBLE_EQ(ns_from_ps(ps_from_ns(17.5)), 17.5);
+}
+
+TEST(Units, PsPerByteMatchesBandwidth) {
+  // 24,000 MB/s -> 1 byte every ~41.67 ps.
+  EXPECT_NEAR(ps_per_byte(24'000.0), 41.6667, 0.001);
+  // Moving W bytes in one second: throughput round-trips.
+  EXPECT_NEAR(mbps_from(24'000'000'000ULL, kPsPerSec), 24'000.0, 1e-6);
+}
+
+TEST(Units, FormatBytesPicksUnit) {
+  EXPECT_EQ(format_bytes(std::uint64_t{512}), "512 B");
+  EXPECT_EQ(format_bytes(std::uint64_t{4'190'000}), "4.19 MB");
+  EXPECT_EQ(format_bytes(std::uint64_t{35'200'000'000ULL}), "35.20 GB");
+}
+
+TEST(Units, FormatTimePicksUnit) {
+  EXPECT_EQ(format_time_ps(ps_from_ns(5.0)), "5.00 ns");
+  EXPECT_EQ(format_time_ps(ps_from_us(1.5)), "1.500 us");
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(Table, AlignsColumnsAndCounts) {
+  TablePrinter t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  TablePrinter t({"x"});
+  t.add_row({"has,comma"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+}
+
+TEST(Table, FmtCountInsertsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1'000), "1,000");
+  EXPECT_EQ(fmt_count(4'200'000'000ULL), "4,200,000,000");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- cli ----
+
+TEST(Cli, ParsesKeyValueForms) {
+  CliParser cli;
+  cli.add_option("scale", "log2 size", "16");
+  cli.add_option("name", "dataset", "urand");
+  const char* argv[] = {"prog", "--scale=20", "--name", "kron"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("scale"), 20);
+  EXPECT_EQ(cli.get("name"), "kron");
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  CliParser cli;
+  cli.add_option("scale", "log2 size", "16");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_FALSE(cli.has("scale"));
+  EXPECT_EQ(cli.get_int("scale"), 16);
+}
+
+TEST(Cli, FlagsToggle) {
+  CliParser cli;
+  cli.add_flag("verbose", "chatty");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli;
+  cli.add_option("x", "", "");
+  const char* argv[] = {"prog", "--x"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli;
+  const char* argv[] = {"prog", "alpha", "beta"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "alpha");
+}
+
+// -------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0, [&](std::uint64_t, std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+}  // namespace
+}  // namespace cxlgraph::util

@@ -1,0 +1,231 @@
+/// \file cxlgraph_cli.cpp
+/// Command-line front end for the cxlgraph library.
+///
+///   cxlgraph generate --dataset=urand --scale=18 --out=g.cxlg
+///   cxlgraph convert  --in=edges.txt --out=g.cxlg [--symmetrize]
+///   cxlgraph info     g.cxlg
+///   cxlgraph reorder  --in=g.cxlg --out=g2.cxlg --order=degree-sorted
+///   cxlgraph run      --graph=g.cxlg --algo=bfs --backend=cxl \
+///                     [--added-us=1.0] [--alignment=32] [--gen3]
+///
+/// `run` without --graph generates the dataset on the fly
+/// (--dataset/--scale).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/runtime.hpp"
+#include "graph/datasets.hpp"
+#include "graph/io.hpp"
+#include "graph/reorder.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace cxlgraph;
+
+int usage() {
+  std::cerr << "usage: cxlgraph <generate|convert|info|reorder|run> "
+               "[options]\n"
+               "run --help with a subcommand for its options\n";
+  return 2;
+}
+
+core::Algorithm algorithm_from(const std::string& name) {
+  for (const auto algo :
+       {core::Algorithm::kBfs, core::Algorithm::kSssp, core::Algorithm::kCc,
+        core::Algorithm::kPagerankScan, core::Algorithm::kBfsDirOpt,
+        core::Algorithm::kSsspDelta}) {
+    if (core::to_string(algo) == name) return algo;
+  }
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+core::BackendKind backend_from(const std::string& name) {
+  for (const auto backend :
+       {core::BackendKind::kHostDram, core::BackendKind::kHostDramRemote,
+        core::BackendKind::kCxl, core::BackendKind::kXlfdd,
+        core::BackendKind::kBamNvme, core::BackendKind::kUvm}) {
+    if (core::to_string(backend) == name) return backend;
+  }
+  throw std::invalid_argument("unknown backend: " + name);
+}
+
+graph::VertexOrder order_from(const std::string& name) {
+  for (const auto order :
+       {graph::VertexOrder::kIdentity, graph::VertexOrder::kDegreeSorted,
+        graph::VertexOrder::kBfs, graph::VertexOrder::kRandom}) {
+    if (graph::to_string(order) == name) return order;
+  }
+  throw std::invalid_argument("unknown order: " + name);
+}
+
+int cmd_generate(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("dataset", "urand | kron | friendster", "urand");
+  cli.add_option("scale", "log2 vertex count", "16");
+  cli.add_option("seed", "random seed", "42");
+  cli.add_option("out", "output path (binary CSR)", "graph.cxlg");
+  cli.add_flag("weighted", "attach uniform [1,63] edge weights");
+  if (!cli.parse(argc, argv)) return 0;
+  const graph::CsrGraph g = graph::make_dataset(
+      graph::dataset_from_name(cli.get("dataset")),
+      static_cast<unsigned>(cli.get_int("scale")), cli.get_bool("weighted"),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  graph::save_binary_file(g, cli.get("out"));
+  std::cout << "wrote " << cli.get("out") << ": " << g.num_vertices()
+            << " vertices, " << g.num_edges() << " edges\n";
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("in", "input text edge list", "");
+  cli.add_option("out", "output path (binary CSR)", "graph.cxlg");
+  cli.add_flag("symmetrize", "add reverse edges");
+  if (!cli.parse(argc, argv)) return 0;
+  std::ifstream is(cli.get("in"));
+  if (!is) {
+    std::cerr << "cannot open " << cli.get("in") << "\n";
+    return 1;
+  }
+  const graph::CsrGraph g =
+      graph::load_edge_list(is, cli.get_bool("symmetrize"));
+  graph::save_binary_file(g, cli.get("out"));
+  std::cout << "wrote " << cli.get("out") << ": " << g.num_vertices()
+            << " vertices, " << g.num_edges() << " edges\n";
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  util::CliParser cli;
+  if (!cli.parse(argc, argv)) return 0;
+  if (cli.positional().empty()) {
+    std::cerr << "usage: cxlgraph info <graph.cxlg>\n";
+    return 2;
+  }
+  const graph::CsrGraph g =
+      graph::load_binary_file(cli.positional().front());
+  const graph::DegreeStats s = graph::degree_stats(g);
+  util::TablePrinter table({"Property", "Value"});
+  table.add_row({"vertices", util::fmt_count(s.num_vertices)});
+  table.add_row({"edges", util::fmt_count(s.num_edges)});
+  table.add_row({"edge list", util::format_bytes(s.edge_list_bytes)});
+  table.add_row({"weighted", g.weighted() ? "yes" : "no"});
+  table.add_row({"avg degree (nonzero)", util::fmt(s.avg_degree_nonzero, 2)});
+  table.add_row({"avg sublist", util::fmt(s.avg_sublist_bytes, 1) + " B"});
+  table.add_row({"max degree", util::fmt_count(s.max_degree)});
+  table.add_row({"isolated vertices",
+                 util::fmt_count(s.zero_degree_vertices)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_reorder(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("in", "input binary CSR", "");
+  cli.add_option("out", "output binary CSR", "");
+  cli.add_option("order", "identity | degree-sorted | bfs | random",
+                 "degree-sorted");
+  cli.add_option("seed", "random seed", "42");
+  if (!cli.parse(argc, argv)) return 0;
+  const graph::CsrGraph g = graph::load_binary_file(cli.get("in"));
+  const graph::CsrGraph out = graph::reorder(
+      g, order_from(cli.get("order")),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  graph::save_binary_file(out, cli.get("out"));
+  std::cout << "wrote " << cli.get("out") << " in " << cli.get("order")
+            << " order\n";
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("graph", "binary CSR path (omit to generate)", "");
+  cli.add_option("dataset", "generated dataset when --graph absent",
+                 "urand");
+  cli.add_option("scale", "generated scale", "16");
+  cli.add_option("seed", "seed", "42");
+  cli.add_option("algo",
+                 "bfs | sssp | cc | pagerank-scan | bfs-dir-opt | "
+                 "sssp-delta",
+                 "bfs");
+  cli.add_option("backend",
+                 "host-dram | host-dram-remote | cxl | xlfdd | bam-nvme | "
+                 "uvm",
+                 "host-dram");
+  cli.add_option("added-us", "CXL added latency [us]", "0");
+  cli.add_option("alignment", "access alignment override [B]", "0");
+  cli.add_flag("gen3", "use the Gen3 (Table-4) system preset");
+  cli.add_flag("direct-cxl", "model a direct GPU-CXL path (Sec. 5)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  graph::CsrGraph g =
+      cli.get("graph").empty()
+          ? graph::make_dataset(
+                graph::dataset_from_name(cli.get("dataset")),
+                static_cast<unsigned>(cli.get_int("scale")),
+                /*weighted=*/true, seed)
+          : graph::load_binary_file(cli.get("graph"));
+
+  core::SystemConfig cfg =
+      cli.get_bool("gen3") ? core::table4_system() : core::table3_system();
+  cfg.gpu_direct_cxl = cli.get_bool("direct-cxl");
+  core::ExternalGraphRuntime runtime(cfg);
+
+  core::RunRequest req;
+  req.algorithm = algorithm_from(cli.get("algo"));
+  req.backend = backend_from(cli.get("backend"));
+  req.source_seed = seed;
+  if (cli.get_double("added-us") > 0) {
+    req.cxl_added_latency = util::ps_from_us(cli.get_double("added-us"));
+  }
+  if (cli.get_int("alignment") > 0) {
+    req.alignment = static_cast<std::uint32_t>(cli.get_int("alignment"));
+  }
+  const core::RunReport r = runtime.run(g, req);
+
+  util::TablePrinter table({"Metric", "Value"});
+  table.add_row({"algorithm", r.algorithm});
+  table.add_row({"backend", r.backend + " (" + r.access_method + ")"});
+  table.add_row({"source", std::to_string(r.source)});
+  table.add_row({"graph-processing time",
+                 util::fmt(r.runtime_sec * 1e3, 3) + " ms"});
+  table.add_row({"throughput", util::fmt(r.throughput_mbps, 0) + " MB/s"});
+  table.add_row({"RAF (D/E)", util::fmt(r.raf, 3)});
+  table.add_row({"avg transfer d", util::fmt(r.avg_transfer_bytes, 1) +
+                                       " B"});
+  table.add_row({"E (sublist bytes)", util::format_bytes(r.used_bytes)});
+  table.add_row({"D (fetched bytes)", util::format_bytes(r.fetched_bytes)});
+  table.add_row({"transactions", util::fmt_count(r.transactions)});
+  table.add_row({"steps", util::fmt_count(r.steps)});
+  table.add_row({"latency under load",
+                 util::fmt(r.observed_read_latency_us, 2) + " us"});
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  // Shift argv so subcommand parsers see their own options.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  try {
+    if (command == "generate") return cmd_generate(sub_argc, sub_argv);
+    if (command == "convert") return cmd_convert(sub_argc, sub_argv);
+    if (command == "info") return cmd_info(sub_argc, sub_argv);
+    if (command == "reorder") return cmd_reorder(sub_argc, sub_argv);
+    if (command == "run") return cmd_run(sub_argc, sub_argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
