@@ -17,9 +17,8 @@ int main(int argc, char** argv) {
       [](const core::ExperimentOptions& o) {
         const graph::CsrGraph g = graph::make_dataset(
             graph::DatasetId::kKron, o.scale, /*weighted=*/true, o.seed);
-        core::ExternalGraphRuntime rt(core::table4_system());
-        util::TablePrinter table({"Algorithm", "Steps", "E", "RAF",
-                                  "Runtime [ms]", "T [MB/s]"});
+        // Five independent traversals on the same backend: one pool batch.
+        std::vector<core::RunRequest> requests;
         for (const core::Algorithm algorithm :
              {core::Algorithm::kBfs, core::Algorithm::kBfsDirOpt,
               core::Algorithm::kSssp, core::Algorithm::kSsspDelta,
@@ -29,7 +28,15 @@ int main(int argc, char** argv) {
           req.backend = core::BackendKind::kCxl;
           req.cxl_added_latency = util::ps_from_us(1.0);
           req.source_seed = o.seed;
-          const core::RunReport r = rt.run(g, req);
+          requests.push_back(req);
+        }
+        core::ExperimentRunner runner(core::table4_system(), o.jobs);
+        const std::vector<core::RunReport> reports =
+            runner.run_all(g, requests);
+
+        util::TablePrinter table({"Algorithm", "Steps", "E", "RAF",
+                                  "Runtime [ms]", "T [MB/s]"});
+        for (const core::RunReport& r : reports) {
           table.add_row({r.algorithm, util::fmt_count(r.steps),
                          util::format_bytes(r.used_bytes),
                          util::fmt(r.raf, 2),

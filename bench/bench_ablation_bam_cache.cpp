@@ -15,19 +15,29 @@ int main(int argc, char** argv) {
       [](const core::ExperimentOptions& o) {
         const graph::CsrGraph g = graph::make_dataset(
             graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
-        core::ExternalGraphRuntime rt(core::table3_system());
-        util::TablePrinter table({"Cache fraction of edge list",
-                                  "Cache [MB]", "RAF", "Runtime [ms]"});
-        for (const double fraction : {0.05, 0.125, 0.25, 0.5, 1.0}) {
+        // Five independent cache capacities: one pool batch.
+        const std::vector<double> fractions = {0.05, 0.125, 0.25, 0.5, 1.0};
+        std::vector<core::RunRequest> requests;
+        for (const double fraction : fractions) {
           core::RunRequest req;
           req.backend = core::BackendKind::kBamNvme;
           req.source_seed = o.seed;
-          const auto cache_bytes = static_cast<std::uint64_t>(
+          req.cache_bytes = static_cast<std::uint64_t>(
               fraction * static_cast<double>(g.edge_list_bytes()));
-          req.cache_bytes = cache_bytes;
-          const core::RunReport r = rt.run(g, req);
-          table.add_row({util::fmt(fraction, 3),
-                         util::fmt(static_cast<double>(cache_bytes) / 1e6,
+          requests.push_back(req);
+        }
+        core::ExperimentRunner runner(core::table3_system(), o.jobs);
+        const std::vector<core::RunReport> reports =
+            runner.run_all(g, requests);
+
+        util::TablePrinter table({"Cache fraction of edge list",
+                                  "Cache [MB]", "RAF", "Runtime [ms]"});
+        for (std::size_t i = 0; i < fractions.size(); ++i) {
+          const core::RunReport& r = reports[i];
+          table.add_row({util::fmt(fractions[i], 3),
+                         util::fmt(static_cast<double>(
+                                       *requests[i].cache_bytes) /
+                                       1e6,
                                    1),
                          util::fmt(r.raf, 2),
                          util::fmt(r.runtime_sec * 1e3, 3)});

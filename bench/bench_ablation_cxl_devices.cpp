@@ -17,16 +17,26 @@ int main(int argc, char** argv) {
       [](const core::ExperimentOptions& o) {
         const graph::CsrGraph g = graph::make_dataset(
             graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
+        // Each device count is its own SystemConfig; the per-job config
+        // override fans the five systems across the pool in one batch.
+        std::vector<core::SweepJob> jobs;
+        for (unsigned devices = 1; devices <= 5; ++devices) {
+          core::SweepJob job;
+          job.graph = &g;
+          job.request.backend = core::BackendKind::kCxl;
+          job.request.source_seed = o.seed;
+          core::SystemConfig cfg = core::table4_system();
+          cfg.cxl_devices = devices;
+          job.config = cfg;
+          jobs.push_back(job);
+        }
+        const std::vector<core::RunReport> reports =
+            bench::run_sweep(core::table4_system(), o, jobs);
+
         util::TablePrinter table({"CXL devices", "Aggregate GPU-visible",
                                   "Runtime [ms]", "Throughput [MB/s]"});
         for (unsigned devices = 1; devices <= 5; ++devices) {
-          core::SystemConfig cfg = core::table4_system();
-          cfg.cxl_devices = devices;
-          core::ExternalGraphRuntime rt(cfg);
-          core::RunRequest req;
-          req.backend = core::BackendKind::kCxl;
-          req.source_seed = o.seed;
-          const core::RunReport r = rt.run(g, req);
+          const core::RunReport& r = reports[devices - 1];
           table.add_row({std::to_string(devices),
                          std::to_string(devices * 64) + " reads",
                          util::fmt(r.runtime_sec * 1e3, 3),

@@ -27,32 +27,41 @@ int main(int argc, char** argv) {
             std::uint64_t{1} << (o.scale / 2);  // ~same vertex count
         const graph::CsrGraph grid = graph::make_grid(side, side);
 
-        core::ExternalGraphRuntime rt(core::table4_system());
+        // Per graph: one DRAM baseline plus the CXL latency points. All
+        // ten configurations are independent, so they fan out across the
+        // thread pool in one batch; results come back in insertion order.
+        const std::vector<double> added_latencies = {0.0, 1.0, 2.0, 3.0};
+        std::vector<core::SweepJob> jobs;
+        for (const graph::CsrGraph* g : {&urand, &grid}) {
+          core::SweepJob dram;
+          dram.graph = g;
+          dram.request.source_seed = o.seed;
+          dram.request.backend = core::BackendKind::kHostDram;
+          jobs.push_back(dram);
+          for (const double added : added_latencies) {
+            core::SweepJob cxl = dram;
+            cxl.request.backend = core::BackendKind::kCxl;
+            cxl.request.cxl_added_latency = util::ps_from_us(added);
+            jobs.push_back(cxl);
+          }
+        }
+        const std::vector<core::RunReport> reports =
+            bench::run_sweep(core::table4_system(), o, jobs);
+        const std::size_t stride = 1 + added_latencies.size();
+        const double t_urand_dram = reports[0].runtime_sec;
+        const double t_grid_dram = reports[stride].runtime_sec;
+
         util::TablePrinter table(
             {"Added latency [us]", "urand norm.", "urand T [MB/s]",
              "grid norm.", "grid T [MB/s]"});
-        struct Point {
-          double normalized;
-          double throughput;
-        };
-        auto measure = [&](const graph::CsrGraph& g,
-                           double added) -> Point {
-          core::RunRequest req;
-          req.source_seed = o.seed;
-          req.backend = core::BackendKind::kHostDram;
-          const double t_dram = rt.run(g, req).runtime_sec;
-          req.backend = core::BackendKind::kCxl;
-          req.cxl_added_latency = util::ps_from_us(added);
-          const core::RunReport r = rt.run(g, req);
-          return {r.runtime_sec / t_dram, r.throughput_mbps};
-        };
-        for (double added = 0.0; added <= 3.0; added += 1.0) {
-          const Point u = measure(urand, added);
-          const Point g = measure(grid, added);
-          table.add_row({util::fmt(added, 1), util::fmt(u.normalized, 2),
-                         util::fmt(u.throughput, 0),
-                         util::fmt(g.normalized, 2),
-                         util::fmt(g.throughput, 0)});
+        for (std::size_t i = 0; i < added_latencies.size(); ++i) {
+          const core::RunReport& u = reports[1 + i];
+          const core::RunReport& g = reports[stride + 1 + i];
+          table.add_row({util::fmt(added_latencies[i], 1),
+                         util::fmt(u.runtime_sec / t_urand_dram, 2),
+                         util::fmt(u.throughput_mbps, 0),
+                         util::fmt(g.runtime_sec / t_grid_dram, 2),
+                         util::fmt(g.throughput_mbps, 0)});
         }
         return table;
       },

@@ -18,26 +18,40 @@ int main(int argc, char** argv) {
         core::SystemConfig routed = core::table4_system();
         core::SystemConfig direct = routed;
         direct.gpu_direct_cxl = true;
-        core::ExternalGraphRuntime rt_routed(routed);
-        core::ExternalGraphRuntime rt_direct(direct);
 
-        core::RunRequest dram_req;
-        dram_req.source_seed = o.seed;
-        dram_req.backend = core::BackendKind::kHostDram;
-        const double t_dram = rt_routed.run(g, dram_req).runtime_sec;
+        // DRAM baseline + (routed, direct) per latency point, all
+        // independent: one pool batch of fifteen runs.
+        const std::vector<double> added_latencies = {0.0, 0.5, 1.0, 1.5,
+                                                     2.0, 2.5, 3.0};
+        std::vector<core::SweepJob> jobs;
+        core::SweepJob dram;
+        dram.graph = &g;
+        dram.request.source_seed = o.seed;
+        dram.request.backend = core::BackendKind::kHostDram;
+        jobs.push_back(dram);
+        for (const double added : added_latencies) {
+          core::SweepJob job;
+          job.graph = &g;
+          job.request.source_seed = o.seed;
+          job.request.backend = core::BackendKind::kCxl;
+          job.request.cxl_added_latency = util::ps_from_us(added);
+          jobs.push_back(job);  // routed (runner default config)
+          job.config = direct;
+          jobs.push_back(job);  // direct GPU-CXL path
+        }
+        const std::vector<core::RunReport> reports =
+            bench::run_sweep(routed, o, jobs);
+        const double t_dram = reports.front().runtime_sec;
 
         util::TablePrinter table({"Added latency [us]",
                                   "via CPU (norm.)", "direct (norm.)"});
-        for (double added = 0.0; added <= 3.0; added += 0.5) {
-          core::RunRequest req;
-          req.source_seed = o.seed;
-          req.backend = core::BackendKind::kCxl;
-          req.cxl_added_latency = util::ps_from_us(added);
+        for (std::size_t i = 0; i < added_latencies.size(); ++i) {
           const double via_cpu =
-              rt_routed.run(g, req).runtime_sec / t_dram;
+              reports[1 + 2 * i].runtime_sec / t_dram;
           const double direct_path =
-              rt_direct.run(g, req).runtime_sec / t_dram;
-          table.add_row({util::fmt(added, 1), util::fmt(via_cpu, 2),
+              reports[2 + 2 * i].runtime_sec / t_dram;
+          table.add_row({util::fmt(added_latencies[i], 1),
+                         util::fmt(via_cpu, 2),
                          util::fmt(direct_path, 2)});
         }
         return table;

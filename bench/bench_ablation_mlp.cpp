@@ -17,20 +17,35 @@ int main(int argc, char** argv) {
       [](const core::ExperimentOptions& o) {
         const graph::CsrGraph g = graph::make_dataset(
             graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
-        util::TablePrinter table(
-            {"Warps", "MLP", "Warps x MLP", "Runtime [ms]",
-             "Throughput [MB/s]"});
-        for (const std::uint32_t warps : {128u, 512u, 2048u}) {
-          for (const std::uint32_t mlp : {1u, 2u, 4u, 8u}) {
+        // 3 warp counts x 4 MLP levels, each its own GPU config: one pool
+        // batch of twelve independent systems.
+        const std::vector<std::uint32_t> warp_counts = {128, 512, 2048};
+        const std::vector<std::uint32_t> mlp_levels = {1, 2, 4, 8};
+        std::vector<core::SweepJob> jobs;
+        for (const std::uint32_t warps : warp_counts) {
+          for (const std::uint32_t mlp : mlp_levels) {
+            core::SweepJob job;
+            job.graph = &g;
+            job.request.backend = core::BackendKind::kCxl;
+            job.request.cxl_added_latency = util::ps_from_us(2.0);
+            job.request.source_seed = o.seed;
             core::SystemConfig cfg = core::table4_system();
             cfg.gpu.num_warps = warps;
             cfg.gpu.warp_mlp = mlp;
-            core::ExternalGraphRuntime rt(cfg);
-            core::RunRequest req;
-            req.backend = core::BackendKind::kCxl;
-            req.cxl_added_latency = util::ps_from_us(2.0);
-            req.source_seed = o.seed;
-            const core::RunReport r = rt.run(g, req);
+            job.config = cfg;
+            jobs.push_back(job);
+          }
+        }
+        const std::vector<core::RunReport> reports =
+            bench::run_sweep(core::table4_system(), o, jobs);
+
+        util::TablePrinter table(
+            {"Warps", "MLP", "Warps x MLP", "Runtime [ms]",
+             "Throughput [MB/s]"});
+        std::size_t i = 0;
+        for (const std::uint32_t warps : warp_counts) {
+          for (const std::uint32_t mlp : mlp_levels) {
+            const core::RunReport& r = reports[i++];
             table.add_row({std::to_string(warps), std::to_string(mlp),
                            std::to_string(warps * mlp),
                            util::fmt(r.runtime_sec * 1e3, 3),

@@ -19,19 +19,30 @@ int main(int argc, char** argv) {
         const graph::CsrGraph g = graph::make_dataset(
             graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
         const double d = analysis::emogi_average_transfer_bytes();
+        const std::vector<device::PcieGen> gens = {device::PcieGen::kGen3,
+                                                   device::PcieGen::kGen4,
+                                                   device::PcieGen::kGen5};
+        // One system config per generation, fanned out in one pool batch.
+        std::vector<core::SweepJob> jobs;
+        for (const auto gen : gens) {
+          core::SweepJob job;
+          job.graph = &g;
+          job.request.source_seed = o.seed;
+          core::SystemConfig cfg = core::table3_system();
+          cfg.gpu_link_gen = gen;
+          job.config = cfg;
+          jobs.push_back(job);
+        }
+        const std::vector<core::RunReport> reports =
+            bench::run_sweep(core::table3_system(), o, jobs);
+
         util::TablePrinter table({"Link", "W [MB/s]", "N_max",
                                   "S req [MIOPS]", "L allowed [us]",
                                   "BFS on DRAM [ms]"});
-        for (const auto gen :
-             {device::PcieGen::kGen3, device::PcieGen::kGen4,
-              device::PcieGen::kGen5}) {
+        for (std::size_t i = 0; i < gens.size(); ++i) {
+          const auto gen = gens[i];
           const auto lp = device::pcie_x16(gen);
-          core::SystemConfig cfg = core::table3_system();
-          cfg.gpu_link_gen = gen;
-          core::ExternalGraphRuntime rt(cfg);
-          core::RunRequest req;
-          req.source_seed = o.seed;
-          const core::RunReport r = rt.run(g, req);
+          const core::RunReport& r = reports[i];
           const std::string label =
               gen == device::PcieGen::kGen3
                   ? "Gen3 x16"

@@ -19,21 +19,37 @@ int main(int argc, char** argv) {
         const graph::CsrGraph base = graph::make_dataset(
             graph::DatasetId::kFriendster, o.scale, /*weighted=*/false,
             o.seed);
-        core::ExternalGraphRuntime rt(core::table3_system());
+        // Four orderings x two backends, all independent once the
+        // reordered graphs exist (kept alive for the whole sweep).
+        const std::vector<graph::VertexOrder> orders = {
+            graph::VertexOrder::kIdentity, graph::VertexOrder::kDegreeSorted,
+            graph::VertexOrder::kBfs, graph::VertexOrder::kRandom};
+        std::vector<graph::CsrGraph> graphs;
+        graphs.reserve(orders.size());
+        for (const graph::VertexOrder order : orders) {
+          graphs.push_back(graph::reorder(base, order, o.seed));
+        }
+        std::vector<core::SweepJob> jobs;
+        for (const graph::CsrGraph& g : graphs) {
+          for (const core::BackendKind backend :
+               {core::BackendKind::kHostDram,
+                core::BackendKind::kBamNvme}) {
+            core::SweepJob job;
+            job.graph = &g;
+            job.request.source_seed = o.seed;
+            job.request.backend = backend;
+            jobs.push_back(job);
+          }
+        }
+        const std::vector<core::RunReport> reports =
+            bench::run_sweep(core::table3_system(), o, jobs);
+
         util::TablePrinter table({"Order", "EMOGI 32B [ms]", "EMOGI RAF",
                                   "BaM 4kB [ms]", "BaM RAF"});
-        for (const graph::VertexOrder order :
-             {graph::VertexOrder::kIdentity,
-              graph::VertexOrder::kDegreeSorted, graph::VertexOrder::kBfs,
-              graph::VertexOrder::kRandom}) {
-          const graph::CsrGraph g = graph::reorder(base, order, o.seed);
-          core::RunRequest req;
-          req.source_seed = o.seed;
-          req.backend = core::BackendKind::kHostDram;
-          const core::RunReport emogi = rt.run(g, req);
-          req.backend = core::BackendKind::kBamNvme;
-          const core::RunReport bam = rt.run(g, req);
-          table.add_row({graph::to_string(order),
+        for (std::size_t i = 0; i < orders.size(); ++i) {
+          const core::RunReport& emogi = reports[2 * i];
+          const core::RunReport& bam = reports[2 * i + 1];
+          table.add_row({graph::to_string(orders[i]),
                          util::fmt(emogi.runtime_sec * 1e3, 3),
                          util::fmt(emogi.raf, 2),
                          util::fmt(bam.runtime_sec * 1e3, 3),

@@ -15,18 +15,24 @@ int main(int argc, char** argv) {
       [](const core::ExperimentOptions& o) {
         const graph::CsrGraph g = graph::make_dataset(
             graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
-        core::ExternalGraphRuntime rt(core::table3_system());
-        util::TablePrinter table({"Method", "Runtime [ms]", "RAF", "d [B]",
-                                  "Normalized"});
-        double baseline = 0.0;
+        // Four independent methods on the same workload: one pool batch.
+        std::vector<core::SweepJob> jobs;
         for (const core::BackendKind backend :
              {core::BackendKind::kHostDram, core::BackendKind::kXlfdd,
               core::BackendKind::kBamNvme, core::BackendKind::kUvm}) {
-          core::RunRequest req;
-          req.backend = backend;
-          req.source_seed = o.seed;
-          const core::RunReport r = rt.run(g, req);
-          if (baseline == 0.0) baseline = r.runtime_sec;
+          core::SweepJob job;
+          job.graph = &g;
+          job.request.backend = backend;
+          job.request.source_seed = o.seed;
+          jobs.push_back(job);
+        }
+        const std::vector<core::RunReport> reports =
+            bench::run_sweep(core::table3_system(), o, jobs);
+
+        util::TablePrinter table({"Method", "Runtime [ms]", "RAF", "d [B]",
+                                  "Normalized"});
+        const double baseline = reports.front().runtime_sec;
+        for (const core::RunReport& r : reports) {
           table.add_row({r.backend + " (" + r.access_method + ")",
                          util::fmt(r.runtime_sec * 1e3, 3),
                          util::fmt(r.raf, 2),

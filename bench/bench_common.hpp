@@ -5,8 +5,10 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/experiment_runner.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 
@@ -17,25 +19,43 @@ struct BenchArgs {
   bool csv = false;
 };
 
-/// Parses --scale/--seed/--csv/--verbose. Returns false if --help was
-/// requested (caller should exit 0).
+/// Parses --scale/--seed/--jobs/--csv/--verbose. Returns false if --help
+/// was requested (caller should exit 0).
 inline bool parse_args(int argc, char** argv, BenchArgs& args,
                        unsigned default_scale = 16) {
   util::CliParser cli;
   cli.add_option("scale", "log2 of dataset vertex count",
                  std::to_string(default_scale));
   cli.add_option("seed", "random seed", "42");
+  cli.add_option("jobs",
+                 "worker threads for independent sweep configs "
+                 "(0 = all cores, 1 = serial; results are identical)",
+                 "0");
   cli.add_flag("csv", "emit CSV instead of an aligned table");
   cli.add_flag("verbose", "log per-run progress to stderr");
   if (!cli.parse(argc, argv)) return false;
   args.options.scale = static_cast<unsigned>(cli.get_int("scale"));
   args.options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto jobs = cli.get_int("jobs");
+  if (jobs < 0) {
+    throw std::invalid_argument("--jobs must be >= 0");
+  }
+  args.options.jobs = static_cast<unsigned>(jobs);
   args.options.verbose = cli.get_bool("verbose");
   args.csv = cli.get_bool("csv");
   if (args.options.verbose) {
     util::set_log_level(util::LogLevel::kInfo);
   }
   return true;
+}
+
+/// Fans a sweep's independent configurations across options.jobs worker
+/// threads; reports come back in insertion order, bit-identical to running
+/// the jobs serially. Honors --verbose (one log line per run, in order).
+inline std::vector<core::RunReport> run_sweep(
+    const core::SystemConfig& config, const core::ExperimentOptions& options,
+    const std::vector<core::SweepJob>& jobs) {
+  return core::run_sweep(config, options, jobs);
 }
 
 /// Standard bench body: banner, run, emit.

@@ -22,27 +22,37 @@ int main(int argc, char** argv) {
             graph::make_dataset(graph::DatasetId::kFriendster, o.scale,
                                 /*weighted=*/false, o.seed),
             graph::VertexOrder::kDegreeSorted, o.seed);
-        core::ExternalGraphRuntime rt(core::table4_system());
-
+        // All-DRAM and all-CXL endpoints plus four tier splits, all
+        // independent: one pool batch of six runs.
+        const std::vector<double> fractions = {0.1, 0.25, 0.5, 0.75};
         core::RunRequest req;
         req.source_seed = o.seed;
         req.cxl_added_latency = util::ps_from_us(3.0);
 
+        std::vector<core::RunRequest> requests;
         req.backend = core::BackendKind::kHostDram;
-        const double t_dram = rt.run(g, req).runtime_sec;
+        requests.push_back(req);
+        req.backend = core::BackendKind::kCxl;
+        requests.push_back(req);
+        req.backend = core::BackendKind::kTieredDramCxl;
+        for (const double fraction : fractions) {
+          req.cache_bytes = static_cast<std::uint64_t>(
+              fraction * static_cast<double>(g.edge_list_bytes()));
+          requests.push_back(req);
+        }
+        core::ExperimentRunner runner(core::table4_system(), o.jobs);
+        const std::vector<core::RunReport> reports =
+            runner.run_all(g, requests);
+        const double t_dram = reports[0].runtime_sec;
+        const double t_cxl = reports[1].runtime_sec;
 
         util::TablePrinter table({"DRAM fraction", "Runtime [ms]",
                                   "Normalized vs all-DRAM"});
-        req.backend = core::BackendKind::kCxl;
-        const double t_cxl = rt.run(g, req).runtime_sec;
         table.add_row({"0.00 (all CXL)", util::fmt(t_cxl * 1e3, 3),
                        util::fmt(t_cxl / t_dram, 2)});
-        req.backend = core::BackendKind::kTieredDramCxl;
-        for (const double fraction : {0.1, 0.25, 0.5, 0.75}) {
-          req.cache_bytes = static_cast<std::uint64_t>(
-              fraction * static_cast<double>(g.edge_list_bytes()));
-          const core::RunReport r = rt.run(g, req);
-          table.add_row({util::fmt(fraction, 2),
+        for (std::size_t i = 0; i < fractions.size(); ++i) {
+          const core::RunReport& r = reports[2 + i];
+          table.add_row({util::fmt(fractions[i], 2),
                          util::fmt(r.runtime_sec * 1e3, 3),
                          util::fmt(r.runtime_sec / t_dram, 2)});
         }

@@ -19,14 +19,12 @@ int main(int argc, char** argv) {
       [](const core::ExperimentOptions& o) {
         const graph::CsrGraph g = graph::make_dataset(
             graph::DatasetId::kUrand, o.scale, /*weighted=*/false, o.seed);
-        core::ExternalGraphRuntime rt(core::table4_system());
-
-        util::TablePrinter table({"Backend", "Read-only [ms]",
-                                  "With writes [ms]", "Write cost",
-                                  "Written", "RMW reads"});
-        for (const core::BackendKind backend :
-             {core::BackendKind::kHostDram, core::BackendKind::kCxl,
-              core::BackendKind::kXlfdd}) {
+        // (read-only, write-back) per backend: one pool batch of six runs.
+        const std::vector<core::BackendKind> backends = {
+            core::BackendKind::kHostDram, core::BackendKind::kCxl,
+            core::BackendKind::kXlfdd};
+        std::vector<core::RunRequest> requests;
+        for (const core::BackendKind backend : backends) {
           core::RunRequest ro;
           ro.algorithm = core::Algorithm::kBfs;
           ro.backend = backend;
@@ -36,8 +34,20 @@ int main(int argc, char** argv) {
           }
           core::RunRequest rw = ro;
           rw.algorithm = core::Algorithm::kBfsWriteback;
-          const core::RunReport read_only = rt.run(g, ro);
-          const core::RunReport with_writes = rt.run(g, rw);
+          requests.push_back(ro);
+          requests.push_back(rw);
+        }
+        core::ExperimentRunner runner(core::table4_system(), o.jobs);
+        const std::vector<core::RunReport> reports =
+            runner.run_all(g, requests);
+
+        util::TablePrinter table({"Backend", "Read-only [ms]",
+                                  "With writes [ms]", "Write cost",
+                                  "Written", "RMW reads"});
+        for (std::size_t i = 0; i < backends.size(); ++i) {
+          const core::BackendKind backend = backends[i];
+          const core::RunReport& read_only = reports[2 * i];
+          const core::RunReport& with_writes = reports[2 * i + 1];
           table.add_row(
               {core::to_string(backend),
                util::fmt(read_only.runtime_sec * 1e3, 3),

@@ -6,8 +6,10 @@
 ///   ./latency_tolerance_study [--scale=15] [--dataset=urand] [--sssp]
 
 #include <iostream>
+#include <vector>
 
 #include "analysis/model.hpp"
+#include "core/experiment_runner.hpp"
 #include "core/runtime.hpp"
 #include "graph/datasets.hpp"
 #include "util/cli.hpp"
@@ -46,18 +48,30 @@ int main(int argc, char** argv) {
             << util::fmt(allowance_us, 2) << " us (at d = " << d_emogi
             << " B)\n\n";
 
+  // DRAM baseline plus seven CXL latency points: all independent, so the
+  // sweep fans out across the thread pool (insertion-ordered results).
+  const std::vector<double> added_latencies = {0.0, 1.0, 2.0, 3.0,
+                                               4.0, 5.0, 6.0};
   core::RunRequest req;
   req.algorithm = sssp ? core::Algorithm::kSssp : core::Algorithm::kBfs;
   req.source_seed = seed;
   req.backend = core::BackendKind::kHostDram;
-  const core::RunReport dram = runtime.run(g, req);
+  std::vector<core::RunRequest> requests = {req};
+  req.backend = core::BackendKind::kCxl;
+  for (const double added : added_latencies) {
+    req.cxl_added_latency = util::ps_from_us(added);
+    requests.push_back(req);
+  }
+  core::ExperimentRunner sweep_runner(cfg, /*jobs=*/0);
+  const std::vector<core::RunReport> reports =
+      sweep_runner.run_all(g, requests);
+  const core::RunReport& dram = reports.front();
 
   util::TablePrinter table({"Added latency [us]", "Idle latency [us]",
                             "Runtime [ms]", "Slowdown vs DRAM"});
-  req.backend = core::BackendKind::kCxl;
-  for (double added = 0.0; added <= 6.0; added += 1.0) {
-    req.cxl_added_latency = util::ps_from_us(added);
-    const core::RunReport r = runtime.run(g, req);
+  for (std::size_t i = 0; i < added_latencies.size(); ++i) {
+    const double added = added_latencies[i];
+    const core::RunReport& r = reports[1 + i];
     const double idle_latency = runtime.measure_latency_us(
         core::BackendKind::kCxl, util::ps_from_us(added));
     table.add_row({util::fmt(added, 1), util::fmt(idle_latency, 2),

@@ -8,6 +8,7 @@
 #include "analysis/model.hpp"
 #include "analysis/requirements.hpp"
 #include "cache/raf.hpp"
+#include "core/experiment_runner.hpp"
 #include "gpusim/cpu_probe.hpp"
 #include "gpusim/pointer_chase.hpp"
 #include "util/log.hpp"
@@ -24,28 +25,41 @@ std::string fmt_bytes_cell(std::uint64_t bytes) {
   return util::format_bytes(bytes);
 }
 
-RunReport run_one(ExternalGraphRuntime& rt, const graph::CsrGraph& g,
-                  Algorithm algorithm, BackendKind backend,
-                  const ExperimentOptions& options,
+void log_report(const RunReport& report) {
+  CXLG_INFO(report.algorithm << " on " << report.backend << " ("
+                             << report.access_method << "): t="
+                             << fmt(report.runtime_sec * 1e3, 3) << " ms"
+                             << ", T=" << fmt(report.throughput_mbps, 0)
+                             << " MB/s, RAF=" << fmt(report.raf, 2)
+                             << ", d=" << fmt(report.avg_transfer_bytes, 1)
+                             << " B");
+}
+
+SweepJob make_job(const graph::CsrGraph& g, Algorithm algorithm,
+                  BackendKind backend, const ExperimentOptions& options,
                   const RunRequest& base = {}) {
-  RunRequest req = base;
-  req.algorithm = algorithm;
-  req.backend = backend;
-  req.source_seed = options.seed;
-  const RunReport report = rt.run(g, req);
-  if (options.verbose) {
-    CXLG_INFO(report.algorithm << " on " << report.backend << " ("
-                               << report.access_method << "): t="
-                               << fmt(report.runtime_sec * 1e3, 3) << " ms"
-                               << ", T=" << fmt(report.throughput_mbps, 0)
-                               << " MB/s, RAF=" << fmt(report.raf, 2)
-                               << ", d=" << fmt(report.avg_transfer_bytes, 1)
-                               << " B");
-  }
-  return report;
+  SweepJob job;
+  job.graph = &g;
+  job.request = base;
+  job.request.algorithm = algorithm;
+  job.request.backend = backend;
+  job.request.source_seed = options.seed;
+  return job;
 }
 
 }  // namespace
+
+std::vector<RunReport> run_sweep(const SystemConfig& config,
+                                 const ExperimentOptions& options,
+                                 const std::vector<SweepJob>& jobs) {
+  ExperimentRunner runner(config, options.jobs);
+  std::vector<RunReport> reports = runner.run_all(jobs);
+  if (options.verbose) {
+    // Logged after collection so the order matches the serial sweep.
+    for (const RunReport& report : reports) log_report(report);
+  }
+  return reports;
+}
 
 DatasetBundle make_datasets(const ExperimentOptions& options) {
   DatasetBundle bundle;
@@ -171,10 +185,23 @@ TablePrinter fig5_alignment_sweep(const ExperimentOptions& options) {
   const graph::CsrGraph g = graph::make_dataset(
       graph::DatasetId::kUrand, options.scale, /*weighted=*/false,
       options.seed);
-  ExternalGraphRuntime rt(table3_system());
+  const std::vector<std::uint32_t> alignments = {16, 32, 64, 128, 256, 512};
 
-  const RunReport emogi =
-      run_one(rt, g, Algorithm::kBfs, BackendKind::kHostDram, options);
+  // Baseline + XLFDD alignment points + BaM, all independent: one batch.
+  std::vector<SweepJob> jobs;
+  jobs.push_back(make_job(g, Algorithm::kBfs, BackendKind::kHostDram,
+                          options));
+  for (const std::uint32_t a : alignments) {
+    RunRequest req;
+    req.alignment = a;
+    jobs.push_back(make_job(g, Algorithm::kBfs, BackendKind::kXlfdd,
+                            options, req));
+  }
+  jobs.push_back(make_job(g, Algorithm::kBfs, BackendKind::kBamNvme,
+                          options));
+  const std::vector<RunReport> reports =
+      run_sweep(table3_system(), options, jobs);
+  const RunReport& emogi = reports.front();
 
   TablePrinter table(
       {"Config", "Alignment [B]", "Runtime [ms]", "Normalized", "RAF",
@@ -188,35 +215,39 @@ TablePrinter fig5_alignment_sweep(const ExperimentOptions& options) {
                    fmt(r.throughput_mbps, 0)});
   };
   add("EMOGI host-DRAM (baseline)", emogi, 32);
-
-  for (const std::uint32_t a : {16u, 32u, 64u, 128u, 256u, 512u}) {
-    RunRequest req;
-    req.alignment = a;
-    const RunReport r =
-        run_one(rt, g, Algorithm::kBfs, BackendKind::kXlfdd, options, req);
-    add("XLFDD", r, a);
+  for (std::size_t i = 0; i < alignments.size(); ++i) {
+    add("XLFDD", reports[1 + i], alignments[i]);
   }
-
-  const RunReport bam =
-      run_one(rt, g, Algorithm::kBfs, BackendKind::kBamNvme, options);
-  add("BaM NVMe", bam, 4096);
+  add("BaM NVMe", reports.back(), 4096);
   return table;
 }
 
 TablePrinter fig6_runtimes(const ExperimentOptions& options) {
   const DatasetBundle bundle = make_datasets(options);
-  ExternalGraphRuntime rt(table3_system());
+
+  // 2 algorithms x 3 datasets x 3 backends, all independent: one batch of
+  // 18 runs through the pool, consumed three at a time per row.
+  std::vector<SweepJob> jobs;
+  for (const Algorithm algorithm : {Algorithm::kBfs, Algorithm::kSssp}) {
+    for (const auto& entry : bundle.entries) {
+      for (const BackendKind backend :
+           {BackendKind::kHostDram, BackendKind::kXlfdd,
+            BackendKind::kBamNvme}) {
+        jobs.push_back(make_job(entry.graph, algorithm, backend, options));
+      }
+    }
+  }
+  const std::vector<RunReport> reports =
+      run_sweep(table3_system(), options, jobs);
 
   TablePrinter table({"Algorithm", "Dataset", "EMOGI [ms]", "XLFDD [ms]",
                       "XLFDD norm.", "BaM [ms]", "BaM norm."});
+  std::size_t i = 0;
   for (const Algorithm algorithm : {Algorithm::kBfs, Algorithm::kSssp}) {
     for (const auto& entry : bundle.entries) {
-      const RunReport emogi = run_one(rt, entry.graph, algorithm,
-                                      BackendKind::kHostDram, options);
-      const RunReport xlfdd = run_one(rt, entry.graph, algorithm,
-                                      BackendKind::kXlfdd, options);
-      const RunReport bam = run_one(rt, entry.graph, algorithm,
-                                    BackendKind::kBamNvme, options);
+      const RunReport& emogi = reports[i++];
+      const RunReport& xlfdd = reports[i++];
+      const RunReport& bam = reports[i++];
       table.add_row({to_string(algorithm), entry.spec.paper_name,
                      fmt(emogi.runtime_sec * 1e3, 3),
                      fmt(xlfdd.runtime_sec * 1e3, 3),
@@ -276,23 +307,39 @@ TablePrinter fig10_cxl_throughput() {
 
 TablePrinter fig11_cxl_runtime(const ExperimentOptions& options) {
   const DatasetBundle bundle = make_datasets(options);
-  ExternalGraphRuntime rt(table4_system());
+  const std::vector<double> added_latencies = {0.0, 0.5, 1.0, 1.5,
+                                               2.0, 2.5, 3.0};
+
+  // Per (algorithm, dataset): one DRAM baseline plus seven CXL latency
+  // points, all independent: one batch of 48 runs through the pool.
+  std::vector<SweepJob> jobs;
+  for (const Algorithm algorithm : {Algorithm::kBfs, Algorithm::kSssp}) {
+    for (const auto& entry : bundle.entries) {
+      jobs.push_back(make_job(entry.graph, algorithm,
+                              BackendKind::kHostDram, options));
+      for (const double added : added_latencies) {
+        RunRequest req;
+        req.cxl_added_latency = util::ps_from_us(added);
+        jobs.push_back(make_job(entry.graph, algorithm, BackendKind::kCxl,
+                                options, req));
+      }
+    }
+  }
+  const std::vector<RunReport> reports =
+      run_sweep(table4_system(), options, jobs);
 
   TablePrinter table({"Algorithm", "Dataset", "Added latency [us]",
                       "Observed latency [us]", "Runtime [ms]",
                       "Normalized vs DRAM"});
+  std::size_t i = 0;
   for (const Algorithm algorithm : {Algorithm::kBfs, Algorithm::kSssp}) {
     for (const auto& entry : bundle.entries) {
-      const RunReport dram = run_one(rt, entry.graph, algorithm,
-                                     BackendKind::kHostDram, options);
+      const RunReport& dram = reports[i++];
       table.add_row({to_string(algorithm), entry.spec.paper_name, "DRAM",
                      fmt(dram.observed_read_latency_us, 2),
                      fmt(dram.runtime_sec * 1e3, 3), "1.00"});
-      for (double added = 0.0; added <= 3.0; added += 0.5) {
-        RunRequest req;
-        req.cxl_added_latency = util::ps_from_us(added);
-        const RunReport r = run_one(rt, entry.graph, algorithm,
-                                    BackendKind::kCxl, options, req);
+      for (const double added : added_latencies) {
+        const RunReport& r = reports[i++];
         table.add_row({to_string(algorithm), entry.spec.paper_name,
                        fmt(added, 1), fmt(r.observed_read_latency_us, 2),
                        fmt(r.runtime_sec * 1e3, 3),

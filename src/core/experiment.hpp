@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/experiment_runner.hpp"
 #include "core/runtime.hpp"
 #include "graph/datasets.hpp"
 #include "util/table.hpp"
@@ -22,6 +23,10 @@ struct ExperimentOptions {
   std::uint64_t seed = 42;
   /// Emit per-run progress via the logger.
   bool verbose = false;
+  /// Worker threads for independent sweep configurations (ExperimentRunner
+  /// fan-out): 0 = hardware concurrency, 1 = serial. Results are identical
+  /// either way; only wall-clock time changes.
+  unsigned jobs = 0;
 };
 
 /// The three Table-1 datasets generated once (weighted, usable by BFS and
@@ -72,5 +77,14 @@ util::TablePrinter fig11_cxl_runtime(const ExperimentOptions& options);
 
 /// Sec. 3.4 / 4.1.1 / 4.2.2: the requirement numbers (S, L bounds).
 util::TablePrinter sec34_requirements();
+
+/// Fans a sweep's independent configurations across options.jobs worker
+/// threads (ExperimentRunner); reports come back in insertion order,
+/// bit-identical to running the jobs serially. With options.verbose, logs
+/// one line per run after collection — in insertion order, matching the
+/// serial sweep's output.
+std::vector<RunReport> run_sweep(const SystemConfig& config,
+                                 const ExperimentOptions& options,
+                                 const std::vector<SweepJob>& jobs);
 
 }  // namespace cxlgraph::core

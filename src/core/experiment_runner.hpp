@@ -1,0 +1,66 @@
+#pragma once
+/// \file experiment_runner.hpp
+/// Fans independent experiment runs across a thread pool.
+///
+/// Every ExternalGraphRuntime::run is deterministic in (SystemConfig,
+/// graph, RunRequest) and shares no mutable state with other runs, so an
+/// ablation sweep's configurations can execute on worker threads while the
+/// results come back in insertion order — bit-identical to the serial
+/// sweep, just faster.
+///
+///   core::ExperimentRunner runner(core::table4_system(), /*jobs=*/0);
+///   std::vector<core::RunRequest> requests = ...;  // one per config
+///   std::vector<core::RunReport> reports = runner.run_all(graph, requests);
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cxlgraph::core {
+
+/// One independent unit of a sweep: a request against a graph, optionally
+/// under a job-specific SystemConfig (for sweeps over the system itself,
+/// e.g. CXL device counts or PCIe generations). The graph must outlive the
+/// run_all call.
+struct SweepJob {
+  const graph::CsrGraph* graph = nullptr;
+  RunRequest request;
+  std::optional<SystemConfig> config;
+};
+
+class ExperimentRunner {
+ public:
+  /// `jobs` worker threads: 0 means hardware concurrency, 1 runs serially
+  /// on the calling thread (no pool is created).
+  explicit ExperimentRunner(SystemConfig config, unsigned jobs = 0);
+
+  /// Runs every job and returns reports in insertion order, regardless of
+  /// completion order. The first exception thrown by any run propagates
+  /// after all jobs finish or are drained.
+  std::vector<RunReport> run_all(const std::vector<SweepJob>& jobs);
+
+  /// Convenience: every request runs against the same graph under the
+  /// runner's default config.
+  std::vector<RunReport> run_all(const graph::CsrGraph& graph,
+                                 const std::vector<RunRequest>& requests);
+
+  /// One serial run under the default config (baselines, warm-up).
+  RunReport run(const graph::CsrGraph& graph, const RunRequest& request);
+
+  const SystemConfig& config() const noexcept { return config_; }
+
+  /// Number of worker threads the sweeps fan out across (1 when serial).
+  unsigned workers() const noexcept;
+
+ private:
+  SystemConfig config_;
+  unsigned jobs_;
+  /// Created lazily by the first multi-job run_all, so runners that only
+  /// ever see empty or single-job sweeps never spawn threads.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace cxlgraph::core

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/experiment_runner.hpp"
 #include "core/runtime.hpp"
 #include "core/system_config.hpp"
 #include "graph/datasets.hpp"
@@ -154,6 +155,73 @@ TEST(Runtime, MakeTraceMatchesAlgorithms) {
   const graph::CsrGraph g = test_graph();
   const auto t = rt.make_trace(g, Algorithm::kPagerankScan, 0);
   EXPECT_EQ(t.total_sublist_bytes, g.edge_list_bytes());
+}
+
+// --------------------------------------------------- experiment runner ----
+
+TEST(ExperimentRunner, SerialModeCreatesNoPool) {
+  ExperimentRunner runner(table3_system(), /*jobs=*/1);
+  EXPECT_EQ(runner.workers(), 1u);
+}
+
+TEST(ExperimentRunner, EmptySweepReturnsEmpty) {
+  ExperimentRunner runner(table3_system(), /*jobs=*/2);
+  EXPECT_TRUE(runner.run_all(std::vector<SweepJob>{}).empty());
+}
+
+TEST(ExperimentRunner, ResultsComeBackInInsertionOrder) {
+  const graph::CsrGraph g = test_graph();
+  std::vector<RunRequest> requests;
+  for (const BackendKind backend :
+       {BackendKind::kHostDram, BackendKind::kCxl, BackendKind::kXlfdd,
+        BackendKind::kBamNvme}) {
+    RunRequest req;
+    req.backend = backend;
+    requests.push_back(req);
+  }
+  ExperimentRunner runner(table3_system(), /*jobs=*/4);
+  const std::vector<RunReport> reports = runner.run_all(g, requests);
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_EQ(reports[0].backend, "host-dram");
+  EXPECT_EQ(reports[1].backend, "cxl");
+  EXPECT_EQ(reports[2].backend, "xlfdd");
+  EXPECT_EQ(reports[3].backend, "bam-nvme");
+}
+
+TEST(ExperimentRunner, PerJobConfigOverrideIsHonored) {
+  const graph::CsrGraph g = test_graph();
+  SweepJob defaults;
+  defaults.graph = &g;
+  defaults.request.backend = BackendKind::kHostDram;
+  SweepJob gen3 = defaults;
+  SystemConfig cfg = table3_system();
+  cfg.gpu_link_gen = device::PcieGen::kGen3;
+  gen3.config = cfg;
+
+  ExperimentRunner runner(table3_system(), /*jobs=*/2);
+  const std::vector<RunReport> reports = runner.run_all({defaults, gen3});
+  ASSERT_EQ(reports.size(), 2u);
+  // Same workload on a half-bandwidth link must be slower.
+  EXPECT_GT(reports[1].runtime_sec, reports[0].runtime_sec);
+}
+
+TEST(ExperimentRunner, NullGraphThrows) {
+  ExperimentRunner runner(table3_system(), /*jobs=*/2);
+  EXPECT_THROW(runner.run_all({SweepJob{}}), std::invalid_argument);
+}
+
+TEST(ExperimentRunner, WorkerExceptionPropagates) {
+  const graph::CsrGraph g = test_graph();
+  SweepJob bad;
+  bad.graph = &g;
+  bad.request.backend = BackendKind::kBamNvme;
+  bad.request.alignment = 1;  // below the NVMe minimum transfer
+  SweepJob good;
+  good.graph = &g;
+  good.request.backend = BackendKind::kHostDram;
+
+  ExperimentRunner runner(table3_system(), /*jobs=*/2);
+  EXPECT_THROW(runner.run_all({good, bad, good}), std::invalid_argument);
 }
 
 }  // namespace

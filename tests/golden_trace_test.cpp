@@ -1,0 +1,191 @@
+/// Golden-trace regression suite.
+///
+/// Pins BFS and PageRank-scan behavior on a small generated graph with a
+/// fixed seed: access-trace geometry, frontier sizes, and RunReport
+/// numbers must be bit-stable across repeated runs, across separate
+/// runtime instances, and across serial vs thread-pool sweep execution.
+/// This is the guard that keeps the parallel experiment fan-out honest.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/bfs.hpp"
+#include "algo/trace.hpp"
+#include "core/experiment_runner.hpp"
+#include "core/runtime.hpp"
+#include "core/system_config.hpp"
+#include "graph/generate.hpp"
+
+namespace cxlgraph {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+
+graph::CsrGraph golden_graph() {
+  graph::GeneratorOptions opts;
+  opts.seed = kSeed;
+  return graph::generate_uniform(1 << 10, 8.0, opts);
+}
+
+void expect_reports_identical(const core::RunReport& a,
+                              const core::RunReport& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.access_method, b.access_method);
+  EXPECT_EQ(a.source, b.source);
+  // Bit-stable: exact double equality, not a tolerance.
+  EXPECT_EQ(a.runtime_sec, b.runtime_sec);
+  EXPECT_EQ(a.throughput_mbps, b.throughput_mbps);
+  EXPECT_EQ(a.raf, b.raf);
+  EXPECT_EQ(a.avg_transfer_bytes, b.avg_transfer_bytes);
+  EXPECT_EQ(a.used_bytes, b.used_bytes);
+  EXPECT_EQ(a.fetched_bytes, b.fetched_bytes);
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.observed_read_latency_us, b.observed_read_latency_us);
+  EXPECT_EQ(a.avg_outstanding_reads, b.avg_outstanding_reads);
+  EXPECT_EQ(a.frontier_vertices, b.frontier_vertices);
+  EXPECT_EQ(a.graph_edges, b.graph_edges);
+}
+
+TEST(GoldenTrace, GraphShapeIsStable) {
+  const graph::CsrGraph g = golden_graph();
+  const graph::CsrGraph again = golden_graph();
+  EXPECT_EQ(g.num_vertices(), 1u << 10);
+  EXPECT_EQ(g.num_edges(), again.num_edges());
+  EXPECT_EQ(g.offsets(), again.offsets());
+  EXPECT_EQ(g.edges(), again.edges());
+}
+
+TEST(GoldenTrace, BfsFrontiersAreStableAcrossRuns) {
+  const graph::CsrGraph g = golden_graph();
+  const graph::VertexId source = algo::pick_source(g, kSeed);
+  EXPECT_EQ(source, algo::pick_source(g, kSeed));
+
+  const algo::BfsResult first = algo::bfs(g, source);
+  const algo::BfsResult second = algo::bfs(g, source);
+  ASSERT_EQ(first.frontiers.size(), second.frontiers.size());
+  for (std::size_t depth = 0; depth < first.frontiers.size(); ++depth) {
+    EXPECT_EQ(first.frontiers[depth], second.frontiers[depth])
+        << "frontier mismatch at depth " << depth;
+  }
+  // A uniform graph at this size is one connected blob: a handful of
+  // levels, nearly every vertex reached.
+  EXPECT_GE(first.frontiers.size(), 3u);
+  EXPECT_LE(first.frontiers.size(), 10u);
+}
+
+TEST(GoldenTrace, BfsTraceGeometryIsStable) {
+  const graph::CsrGraph g = golden_graph();
+  core::ExternalGraphRuntime rt(core::table3_system());
+  const graph::VertexId source = algo::pick_source(g, kSeed);
+
+  const algo::AccessTrace first =
+      rt.make_trace(g, core::Algorithm::kBfs, source);
+  const algo::AccessTrace second =
+      rt.make_trace(g, core::Algorithm::kBfs, source);
+
+  ASSERT_EQ(first.steps.size(), second.steps.size());
+  EXPECT_EQ(first.total_reads, second.total_reads);
+  EXPECT_EQ(first.total_sublist_bytes, second.total_sublist_bytes);
+  for (std::size_t s = 0; s < first.steps.size(); ++s) {
+    ASSERT_EQ(first.steps[s].reads.size(), second.steps[s].reads.size());
+    for (std::size_t r = 0; r < first.steps[s].reads.size(); ++r) {
+      EXPECT_EQ(first.steps[s].reads[r].vertex,
+                second.steps[s].reads[r].vertex);
+      EXPECT_EQ(first.steps[s].reads[r].byte_offset,
+                second.steps[s].reads[r].byte_offset);
+      EXPECT_EQ(first.steps[s].reads[r].byte_len,
+                second.steps[s].reads[r].byte_len);
+    }
+  }
+  // E equals the trace's sublist bytes; a trace that suddenly changes
+  // length means the traversal or chunking changed.
+  EXPECT_GT(first.total_reads, 0u);
+  EXPECT_EQ(first.total_sublist_bytes % graph::kBytesPerEdge, 0u);
+}
+
+TEST(GoldenTrace, PagerankScanTraceIsStable) {
+  const graph::CsrGraph g = golden_graph();
+  core::ExternalGraphRuntime rt(core::table3_system());
+
+  const algo::AccessTrace first =
+      rt.make_trace(g, core::Algorithm::kPagerankScan, 0);
+  const algo::AccessTrace second =
+      rt.make_trace(g, core::Algorithm::kPagerankScan, 0);
+  EXPECT_EQ(first.steps.size(), second.steps.size());
+  EXPECT_EQ(first.total_reads, second.total_reads);
+  EXPECT_EQ(first.total_sublist_bytes, second.total_sublist_bytes);
+  // One full sequential sweep reads the whole edge list exactly once.
+  EXPECT_EQ(first.total_sublist_bytes, g.edge_list_bytes());
+}
+
+TEST(GoldenTrace, RunReportsAreBitStableAcrossRuntimeInstances) {
+  const graph::CsrGraph g = golden_graph();
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kBfs, core::Algorithm::kPagerankScan}) {
+    core::RunRequest req;
+    req.algorithm = algorithm;
+    req.backend = core::BackendKind::kHostDram;
+    req.source_seed = kSeed;
+
+    core::ExternalGraphRuntime rt1(core::table3_system());
+    core::ExternalGraphRuntime rt2(core::table3_system());
+    const core::RunReport same_rt_a = rt1.run(g, req);
+    const core::RunReport same_rt_b = rt1.run(g, req);
+    const core::RunReport other_rt = rt2.run(g, req);
+    expect_reports_identical(same_rt_a, same_rt_b);
+    expect_reports_identical(same_rt_a, other_rt);
+    EXPECT_GT(same_rt_a.runtime_sec, 0.0);
+  }
+}
+
+TEST(GoldenTrace, ParallelSweepMatchesSerialSweep) {
+  const graph::CsrGraph g = golden_graph();
+
+  // A mixed sweep: two algorithms, two backends, a latency point, and a
+  // per-job config override — the shapes the benches actually use.
+  std::vector<core::SweepJob> jobs;
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kBfs, core::Algorithm::kPagerankScan}) {
+    for (const core::BackendKind backend :
+         {core::BackendKind::kHostDram, core::BackendKind::kCxl}) {
+      core::SweepJob job;
+      job.graph = &g;
+      job.request.algorithm = algorithm;
+      job.request.backend = backend;
+      job.request.source_seed = kSeed;
+      jobs.push_back(job);
+    }
+  }
+  {
+    core::SweepJob job = jobs.front();
+    job.request.backend = core::BackendKind::kCxl;
+    job.request.cxl_added_latency = util::ps_from_us(2.0);
+    core::SystemConfig cfg = core::table4_system();
+    cfg.cxl_devices = 2;
+    job.config = cfg;
+    jobs.push_back(job);
+  }
+
+  core::ExperimentRunner serial(core::table4_system(), /*jobs=*/1);
+  core::ExperimentRunner parallel(core::table4_system(), /*jobs=*/4);
+  EXPECT_EQ(serial.workers(), 1u);
+  EXPECT_EQ(parallel.workers(), 4u);
+
+  const std::vector<core::RunReport> serial_reports = serial.run_all(jobs);
+  const std::vector<core::RunReport> parallel_reports =
+      parallel.run_all(jobs);
+  ASSERT_EQ(serial_reports.size(), jobs.size());
+  ASSERT_EQ(parallel_reports.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_reports_identical(serial_reports[i], parallel_reports[i]);
+  }
+  // Insertion order survives the fan-out: report i describes job i.
+  EXPECT_EQ(parallel_reports[0].backend, "host-dram");
+  EXPECT_EQ(parallel_reports[1].backend, "cxl");
+  EXPECT_EQ(parallel_reports.back().backend, "cxl");
+}
+
+}  // namespace
+}  // namespace cxlgraph

@@ -315,5 +315,89 @@ TEST(Datasets, NameLookup) {
   EXPECT_THROW(dataset_from_name("nope"), std::invalid_argument);
 }
 
+// --------------------------------------------------------- edge cases ----
+
+TEST(Csr, SingleVertexNoEdges) {
+  CsrGraph g({0, 0}, {});
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+  EXPECT_EQ(g.sublist_bytes(0), 0u);
+  EXPECT_EQ(g.edge_list_bytes(), 0u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Csr, SelfLoopIsAValidEdge) {
+  CsrGraph g({0, 1}, {0});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 0u);
+  EXPECT_TRUE(g.validate().empty());
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.max_degree, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_degree_nonzero, 1.0);
+}
+
+TEST(Builder, EmptyEdgeListBuildsIsolatedVertices) {
+  const CsrGraph g = build_csr(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Builder, ZeroVertexGraph) {
+  const CsrGraph g = build_csr(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Builder, SingleVertexSelfLoopKeptByDefault) {
+  const CsrGraph g = build_csr_from_pairs(1, {{0, 0}});
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 0u);
+}
+
+TEST(Builder, SymmetrizeDoesNotDoubleSelfLoops) {
+  BuildOptions opts;
+  opts.symmetrize = true;
+  opts.dedup = true;
+  const CsrGraph g = build_csr_from_pairs(2, {{0, 0}, {0, 1}}, opts);
+  // (0,0) symmetrizes to itself and dedups back to one edge; (0,1) gains
+  // its reverse.
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Builder, DuplicateEdgesKeptWithoutDedup) {
+  const CsrGraph g = build_csr_from_pairs(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 3u);
+  for (const VertexId n : g.neighbors(0)) EXPECT_EQ(n, 1u);
+}
+
+TEST(Builder, RemoveSelfLoopsOnAllSelfLoopGraph) {
+  BuildOptions opts;
+  opts.remove_self_loops = true;
+  const CsrGraph g =
+      build_csr_from_pairs(3, {{0, 0}, {1, 1}, {2, 2}}, opts);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Builder, DedupIsStableUnderPermutedInput) {
+  BuildOptions opts;
+  opts.dedup = true;
+  const CsrGraph a =
+      build_csr_from_pairs(3, {{0, 1}, {0, 2}, {0, 1}, {2, 1}}, opts);
+  const CsrGraph b =
+      build_csr_from_pairs(3, {{2, 1}, {0, 1}, {0, 1}, {0, 2}}, opts);
+  EXPECT_EQ(a.offsets(), b.offsets());
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
 }  // namespace
 }  // namespace cxlgraph::graph

@@ -35,6 +35,56 @@ TEST(EventQueue, NextTimeReportsEarliest) {
   EXPECT_EQ(q.next_time(), 7u);
 }
 
+TEST(EventQueue, HeavyEqualTimestampLoadPreservesInsertionOrder) {
+  // The determinism guarantee the parallel sweep leans on: ten thousand
+  // events at one timestamp must drain in exactly insertion order, even
+  // when the heap has rebalanced thousands of times.
+  constexpr int kEvents = 10000;
+  EventQueue q;
+  std::vector<int> order;
+  order.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    q.push(123, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_EQ(order[i], i) << "tie-break broke at event " << i;
+  }
+}
+
+TEST(EventQueue, EqualTimestampBatchesInterleavedWithOtherTimes) {
+  // Mixed load: bursts at equal timestamps separated by earlier/later
+  // events. Expected order: all of time 5 in insertion order, then all of
+  // time 10 in insertion order, regardless of push interleaving.
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    q.push(10, [&order, i] { order.push_back(1000 + i); });
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[i], i);
+    EXPECT_EQ(order[100 + i], 1000 + i);
+  }
+}
+
+TEST(EventQueue, PushDuringDrainKeepsEqualTimeOrdering) {
+  // Events scheduled *while draining* at the same timestamp run after the
+  // already-queued ones: sequence numbers keep growing monotonically.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1, [&] {
+    order.push_back(0);
+    q.push(1, [&] { order.push_back(2); });
+  });
+  q.push(1, [&] { order.push_back(1); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(Simulator, AdvancesTime) {
   Simulator sim;
   SimTime seen = 0;
