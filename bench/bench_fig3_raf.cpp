@@ -13,6 +13,10 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "random seed", "42");
   cli.add_option("cache-fraction",
                  "software cache capacity / edge-list size", "0.0625");
+  cli.add_option("jobs",
+                 "worker threads for the per-(algo, dataset) cells "
+                 "(0 = all cores, 1 = serial; results are identical)",
+                 "0");
   cli.add_flag("csv", "emit CSV instead of an aligned table");
   cli.add_flag("verbose", "log per-run progress to stderr");
   if (!cli.parse(argc, argv)) return 0;
@@ -20,6 +24,9 @@ int main(int argc, char** argv) {
   core::ExperimentOptions options;
   options.scale = static_cast<unsigned>(cli.get_int("scale"));
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto jobs = cli.get_int("jobs");
+  if (jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
+  options.jobs = static_cast<unsigned>(jobs);
   options.verbose = cli.get_bool("verbose");
   if (options.verbose) util::set_log_level(util::LogLevel::kInfo);
   const double fraction = cli.get_double("cache-fraction");

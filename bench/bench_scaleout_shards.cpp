@@ -1,0 +1,198 @@
+/// Scale-out extension: strong scaling of the sharded cluster simulation.
+///
+/// Sweeps shard counts (1..--max-shards, powers of two) x partitioner x
+/// backend for BFS and a PageRank-style sequential sweep on the urand
+/// dataset, reporting cluster runtime, its compute/exchange split, the
+/// inter-shard frontier traffic, and the partition quality numbers. The
+/// shards=1 row of every series is the single-runtime baseline the
+/// speedups are normalized to; `--check-single` additionally asserts that
+/// it is bit-identical to ExternalGraphRuntime::run.
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/cluster_runtime.hpp"
+#include "graph/datasets.hpp"
+
+namespace {
+
+using namespace cxlgraph;
+
+/// Bitwise comparison of the fields a shard=1 cluster must reproduce.
+bool reports_identical(const core::RunReport& a, const core::RunReport& b,
+                       std::string& diff) {
+  const auto check = [&diff](const std::string& field, auto x, auto y) {
+    if (x == y) return true;
+    std::ostringstream os;
+    os << field << ": " << x << " != " << y;
+    diff = os.str();
+    return false;
+  };
+  return check("algorithm", a.algorithm, b.algorithm) &&
+         check("backend", a.backend, b.backend) &&
+         check("access_method", a.access_method, b.access_method) &&
+         check("source", a.source, b.source) &&
+         check("runtime_sec", a.runtime_sec, b.runtime_sec) &&
+         check("throughput_mbps", a.throughput_mbps, b.throughput_mbps) &&
+         check("raf", a.raf, b.raf) &&
+         check("avg_transfer_bytes", a.avg_transfer_bytes,
+               b.avg_transfer_bytes) &&
+         check("used_bytes", a.used_bytes, b.used_bytes) &&
+         check("fetched_bytes", a.fetched_bytes, b.fetched_bytes) &&
+         check("transactions", a.transactions, b.transactions) &&
+         check("steps", a.steps, b.steps) &&
+         check("observed_read_latency_us", a.observed_read_latency_us,
+               b.observed_read_latency_us) &&
+         check("avg_outstanding_reads", a.avg_outstanding_reads,
+               b.avg_outstanding_reads) &&
+         check("frontier_vertices", a.frontier_vertices,
+               b.frontier_vertices) &&
+         check("graph_edges", a.graph_edges, b.graph_edges);
+}
+
+int check_single(const graph::CsrGraph& g,
+                 const core::ExperimentOptions& options) {
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kBfs, core::Algorithm::kPagerankScan}) {
+    for (const core::BackendKind backend :
+         {core::BackendKind::kHostDram, core::BackendKind::kCxl}) {
+      core::RunRequest req;
+      req.algorithm = algorithm;
+      req.backend = backend;
+      req.source_seed = options.seed;
+
+      core::ExternalGraphRuntime single(core::table3_system());
+      const core::RunReport expected = single.run(g, req);
+
+      core::ClusterRuntime cluster(core::table3_system(), options.jobs);
+      core::ClusterRequest creq;
+      creq.run = req;
+      creq.num_shards = 1;
+      const core::ClusterReport actual = cluster.run(g, creq);
+
+      std::string diff;
+      if (actual.runtime_sec != expected.runtime_sec ||
+          !reports_identical(actual.shard_reports.front(), expected,
+                             diff)) {
+        std::cerr << "check-single FAILED for " << core::to_string(algorithm)
+                  << " on " << core::to_string(backend) << ": "
+                  << (diff.empty() ? "cluster runtime != single runtime"
+                                   : diff)
+                  << "\n";
+        return 1;
+      }
+    }
+  }
+  std::cerr << "check-single OK: 1-shard cluster == single runtime "
+               "(bfs, pagerank-scan on host-dram, cxl)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("scale", "log2 of dataset vertex count", "12");
+  cli.add_option("seed", "random seed", "42");
+  cli.add_option("max-shards", "largest shard count in the sweep", "16");
+  cli.add_option("jobs",
+                 "worker threads for per-shard replays "
+                 "(0 = all cores, 1 = serial; results are identical)",
+                 "0");
+  cli.add_flag("check-single",
+               "verify shards=1 reproduces the single runtime bit-for-bit "
+               "and exit");
+  cli.add_flag("csv", "emit CSV instead of an aligned table");
+  cli.add_flag("verbose", "log per-run progress to stderr");
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::ExperimentOptions options;
+  options.scale = static_cast<unsigned>(cli.get_int("scale"));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto jobs = cli.get_int("jobs");
+  if (jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
+  options.jobs = static_cast<unsigned>(jobs);
+  options.verbose = cli.get_bool("verbose");
+  if (options.verbose) util::set_log_level(util::LogLevel::kInfo);
+  const std::int64_t max_shards_arg = cli.get_int("max-shards");
+  if (max_shards_arg < 1 || max_shards_arg > 4096) {
+    throw std::invalid_argument("--max-shards must be in [1, 4096]");
+  }
+  const auto max_shards = static_cast<std::uint32_t>(max_shards_arg);
+
+  const graph::CsrGraph g = graph::make_dataset(
+      graph::DatasetId::kUrand, options.scale, /*weighted=*/false,
+      options.seed);
+
+  if (cli.get_bool("check-single")) return check_single(g, options);
+
+  if (!cli.get_bool("csv")) {
+    std::cout << "=== Scale-out: sharded multi-GPU strong scaling ===\n"
+              << "scale: 2^" << options.scale
+              << " vertices, seed: " << options.seed
+              << ", shards: 1.." << max_shards << "\n"
+              << "model: per-superstep max shard time + bulk frontier "
+                 "exchange over the GPU link\n\n";
+  }
+
+  std::vector<std::uint32_t> shard_counts;
+  for (std::uint32_t s = 1; s <= max_shards; s *= 2) {
+    shard_counts.push_back(s);
+  }
+
+  util::TablePrinter table(
+      {"Algorithm", "Backend", "Partitioner", "Shards", "Runtime [ms]",
+       "Speedup", "Compute [ms]", "Exchange [ms]", "Exchange [B]",
+       "Cut frac", "Edge imbal", "Max shard [ms]"});
+
+  core::ClusterRuntime cluster(core::table3_system(), options.jobs);
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kBfs, core::Algorithm::kPagerankScan}) {
+    for (const core::BackendKind backend :
+         {core::BackendKind::kHostDram, core::BackendKind::kCxl}) {
+      double baseline_sec = 0.0;
+      for (const std::uint32_t shards : shard_counts) {
+        // The partitioner is irrelevant at one shard; emit that row once.
+        const auto& strategies =
+            shards == 1 ? std::vector<partition::Strategy>{
+                              partition::Strategy::kVertexRange}
+                        : partition::all_strategies();
+        for (const partition::Strategy strategy : strategies) {
+          core::ClusterRequest req;
+          req.run.algorithm = algorithm;
+          req.run.backend = backend;
+          req.run.source_seed = options.seed;
+          req.num_shards = shards;
+          req.strategy = strategy;
+          const core::ClusterReport r = cluster.run(g, req);
+          if (shards == 1) baseline_sec = r.runtime_sec;
+          if (options.verbose) {
+            CXLG_INFO("scaleout: " << r.algorithm << " " << r.backend
+                                   << " " << r.partitioner << " x" << shards
+                                   << ": t="
+                                   << util::fmt(r.runtime_sec * 1e3, 3)
+                                   << " ms");
+          }
+          table.add_row(
+              {r.algorithm, r.backend,
+               shards == 1 ? "-" : r.partitioner,
+               std::to_string(shards), util::fmt(r.runtime_sec * 1e3, 3),
+               util::fmt(baseline_sec / r.runtime_sec, 2),
+               util::fmt(r.compute_sec * 1e3, 3),
+               util::fmt(r.exchange_sec * 1e3, 3),
+               std::to_string(r.exchange_bytes),
+               util::fmt(r.cut.cut_fraction, 3),
+               util::fmt(r.cut.edge_imbalance, 2),
+               util::fmt(r.max_shard_compute_sec * 1e3, 3)});
+        }
+      }
+    }
+  }
+
+  if (cli.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,279 @@
+#include "core/cluster_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algo/bfs.hpp"
+#include "algo/cc.hpp"
+#include "algo/sssp.hpp"
+#include "core/experiment_runner.hpp"
+#include "device/pcie.hpp"
+
+namespace cxlgraph::core {
+
+namespace {
+
+using graph::VertexId;
+using util::SimTime;
+
+/// A frontier vertex ID travels between shards as one vertex-ID word.
+constexpr std::uint64_t kExchangeBytesPerVertex = graph::kBytesPerEdge;
+
+/// One exchange phase (the traffic between two consecutive supersteps).
+struct ExchangePhase {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Appends `local`'s sublist to `step`, chunked exactly like
+/// algo::build_trace so a single-shard trace is bit-identical to the
+/// unsharded one.
+void append_local_sublist(const graph::CsrGraph& g, VertexId local,
+                          algo::TraceStep& step, algo::AccessTrace& trace) {
+  const std::uint64_t total = g.sublist_bytes(local);
+  if (total == 0) return;
+  std::uint64_t offset = g.sublist_byte_offset(local);
+  std::uint64_t remaining = total;
+  while (remaining > 0) {
+    const std::uint64_t chunk =
+        std::min(remaining, algo::kMaxWorkChunkBytes);
+    step.reads.push_back(algo::SublistRef{local, offset, chunk});
+    trace.total_sublist_bytes += chunk;
+    ++trace.total_reads;
+    offset += chunk;
+    remaining -= chunk;
+  }
+}
+
+std::vector<std::vector<VertexId>> frontiers_for(
+    const graph::CsrGraph& g, Algorithm algorithm, VertexId source) {
+  switch (algorithm) {
+    case Algorithm::kBfs:
+      return algo::bfs(g, source).frontiers;
+    case Algorithm::kSssp:
+      return algo::sssp_frontier(g, source).frontiers;
+    case Algorithm::kCc:
+      return algo::connected_components(g).frontiers;
+    default:
+      break;
+  }
+  throw std::invalid_argument(
+      "ClusterRuntime: algorithm has no superstep decomposition: " +
+      to_string(algorithm));
+}
+
+/// Single source of truth for what run() accepts: the frontier algorithms
+/// frontiers_for decomposes, plus the sequential PageRank sweep.
+bool has_superstep_decomposition(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBfs:
+    case Algorithm::kSssp:
+    case Algorithm::kCc:
+    case Algorithm::kPagerankScan:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ClusterRuntime::ClusterRuntime(SystemConfig config, unsigned jobs)
+    : runner_(std::move(config), jobs) {}
+
+ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
+                                  const ClusterRequest& request) {
+  if (!request.shard_configs.empty() &&
+      request.shard_configs.size() != request.num_shards) {
+    throw std::invalid_argument(
+        "ClusterRequest: shard_configs must be empty or one per shard");
+  }
+  const Algorithm algorithm = request.run.algorithm;
+  if (!has_superstep_decomposition(algorithm)) {
+    throw std::invalid_argument(
+        "ClusterRuntime: algorithm has no superstep decomposition: " +
+        to_string(algorithm));
+  }
+
+  const VertexId source = request.run.source.value_or(
+      algo::pick_source(graph, request.run.source_seed));
+  const std::uint32_t P = request.num_shards;
+  const std::uint64_t n = graph.num_vertices();
+
+  partition::Partition part = partition::make_partition(
+      graph, request.strategy, P, request.partition_seed);
+
+  // -------------------------------------------------------------------
+  // Build one trace per shard, superstep-aligned: every shard has a step
+  // for every kept global step (possibly with no reads — the shard still
+  // pays the kernel-launch barrier). Steps with no reads on any shard are
+  // dropped, matching algo::build_trace. Exchange phases are computed in
+  // the same sweep from the shard subgraphs: a shard that discovers a
+  // next-frontier vertex owned elsewhere sends its ID once.
+  // -------------------------------------------------------------------
+  std::vector<algo::AccessTrace> traces(P);
+  std::vector<ExchangePhase> phases;
+
+  if (algorithm == Algorithm::kPagerankScan) {
+    // One sequential sweep of each shard's local edge list; ghost-rank
+    // updates flow to owners after the iteration.
+    bool any_reads = false;
+    std::vector<algo::TraceStep> steps(P);
+    for (std::uint32_t s = 0; s < P; ++s) {
+      const partition::ShardGraph& shard = part.shards[s];
+      steps[s].reads.reserve(shard.graph.num_vertices());
+      for (VertexId l = 0; l < shard.graph.num_vertices(); ++l) {
+        append_local_sublist(shard.graph, l, steps[s], traces[s]);
+      }
+      any_reads = any_reads || !steps[s].reads.empty();
+    }
+    if (any_reads) {
+      ExchangePhase phase;
+      for (std::uint32_t s = 0; s < P; ++s) {
+        traces[s].steps.push_back(std::move(steps[s]));
+        const partition::ShardGraph& shard = part.shards[s];
+        const std::uint64_t ghosts =
+            shard.local_to_global.size() - shard.num_owned;
+        phase.messages += ghosts;
+        phase.bytes += ghosts * kExchangeBytesPerVertex;
+      }
+      phases.push_back(phase);
+    }
+  } else {
+    const std::vector<std::vector<VertexId>> frontiers =
+        frontiers_for(graph, algorithm, source);
+    // next_stamp[v] == k+1 marks v as a member of frontier k+1;
+    // sent[v] deduplicates (superstep, shard, vertex) notifications.
+    std::vector<std::uint64_t> next_stamp(n, 0);
+    std::vector<std::uint64_t> sent(n, 0);
+    std::uint64_t kept = 0;
+    for (std::size_t k = 0; k < frontiers.size(); ++k) {
+      std::vector<VertexId> frontier = frontiers[k];
+      std::sort(frontier.begin(), frontier.end());
+
+      std::vector<algo::TraceStep> steps(P);
+      std::vector<std::vector<VertexId>> active_locals(P);
+      bool any_reads = false;
+      for (std::uint32_t s = 0; s < P; ++s) {
+        const partition::ShardGraph& shard = part.shards[s];
+        steps[s].reads.reserve(frontier.size() / P + 1);
+        for (const VertexId u : frontier) {
+          const VertexId l = shard.to_local(u);
+          if (l == partition::kNoLocalId || shard.graph.degree(l) == 0) {
+            continue;
+          }
+          append_local_sublist(shard.graph, l, steps[s], traces[s]);
+          active_locals[s].push_back(l);
+        }
+        any_reads = any_reads || !steps[s].reads.empty();
+      }
+      if (!any_reads) continue;
+      for (std::uint32_t s = 0; s < P; ++s) {
+        traces[s].steps.push_back(std::move(steps[s]));
+      }
+      ++kept;
+
+      if (P > 1 && k + 1 < frontiers.size()) {
+        for (const VertexId v : frontiers[k + 1]) next_stamp[v] = k + 1;
+        ExchangePhase phase;
+        for (std::uint32_t s = 0; s < P; ++s) {
+          const partition::ShardGraph& shard = part.shards[s];
+          const std::uint64_t sent_stamp = kept * P + s + 1;
+          for (const VertexId l : active_locals[s]) {
+            for (const VertexId lv : shard.graph.neighbors(l)) {
+              const VertexId g = shard.to_global(lv);
+              if (next_stamp[g] != k + 1) continue;
+              if (part.owner[g] == s) continue;
+              if (sent[g] == sent_stamp) continue;
+              sent[g] = sent_stamp;
+              ++phase.messages;
+              phase.bytes += kExchangeBytesPerVertex;
+            }
+          }
+        }
+        phases.push_back(phase);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Replay every shard on its own backend stack, fanned across workers.
+  // -------------------------------------------------------------------
+  std::vector<TraceJob> jobs(P);
+  for (std::uint32_t s = 0; s < P; ++s) {
+    jobs[s].trace = &traces[s];
+    jobs[s].request = request.run;
+    jobs[s].edge_list_bytes = part.shards[s].graph.edge_list_bytes();
+    if (!request.shard_configs.empty()) {
+      jobs[s].config = request.shard_configs[s];
+    }
+  }
+  const std::vector<TraceRunResult> results = runner_.run_traces(jobs);
+
+  // -------------------------------------------------------------------
+  // Compose the cluster timeline.
+  // -------------------------------------------------------------------
+  ClusterReport report;
+  report.partitioner = partition::to_string(request.strategy);
+  report.num_shards = P;
+  report.source = source;
+  report.cut = part.stats;
+  report.supersteps = results.empty() ? 0 : traces[0].steps.size();
+
+  double compute_total_sec = 0.0;
+  for (std::uint32_t s = 0; s < P; ++s) {
+    RunReport shard_report = results[s].report;
+    shard_report.source = source;
+    shard_report.graph_edges = part.shards[s].graph.num_edges();
+    report.fetched_bytes += shard_report.fetched_bytes;
+    report.used_bytes += shard_report.used_bytes;
+    report.transactions += shard_report.transactions;
+    report.max_shard_compute_sec =
+        std::max(report.max_shard_compute_sec, shard_report.runtime_sec);
+    compute_total_sec += shard_report.runtime_sec;
+    report.shard_reports.push_back(std::move(shard_report));
+  }
+  report.algorithm = report.shard_reports.front().algorithm;
+  report.backend = report.shard_reports.front().backend;
+  report.access_method = report.shard_reports.front().access_method;
+  if (compute_total_sec > 0.0) {
+    report.shard_compute_imbalance =
+        report.max_shard_compute_sec /
+        (compute_total_sec / static_cast<double>(P));
+  }
+
+  if (P == 1) {
+    // Single shard: no barriers beyond the engine's own, no exchange. The
+    // report reproduces ExternalGraphRuntime::run bit-for-bit.
+    report.runtime_sec = report.shard_reports.front().runtime_sec;
+    report.compute_sec = report.runtime_sec;
+    return report;
+  }
+
+  SimTime compute_ps = 0;
+  for (std::size_t k = 0; k < report.supersteps; ++k) {
+    SimTime slowest = 0;
+    for (std::uint32_t s = 0; s < P; ++s) {
+      slowest = std::max(slowest, results[s].step_durations[k]);
+    }
+    compute_ps += slowest;
+  }
+  report.compute_sec = util::sec_from_ps(compute_ps);
+
+  const double bandwidth_mbps =
+      request.exchange_bandwidth_mbps > 0.0
+          ? request.exchange_bandwidth_mbps
+          : device::pcie_x16(config().gpu_link_gen).bandwidth_mbps;
+  const double latency_sec =
+      util::sec_from_ps(request.exchange_latency);
+  for (const ExchangePhase& phase : phases) {
+    report.exchange_bytes += phase.bytes;
+    report.exchange_messages += phase.messages;
+    report.exchange_sec += latency_sec + static_cast<double>(phase.bytes) /
+                                             (bandwidth_mbps * 1.0e6);
+  }
+  report.runtime_sec = report.compute_sec + report.exchange_sec;
+  return report;
+}
+
+}  // namespace cxlgraph::core

@@ -1,0 +1,106 @@
+#pragma once
+/// \file cluster_runtime.hpp
+/// Sharded multi-GPU scale-out simulation.
+///
+/// ClusterRuntime partitions a graph across N shards (src/partition), runs
+/// one full ExternalGraphRuntime stack — GPU engine, link, devices — per
+/// shard, and models the bulk inter-shard frontier exchange that a BSP
+/// (superstep-synchronized) cluster performs between BFS levels or
+/// PageRank iterations. Per-shard replays are independent and fan out
+/// across ExperimentRunner workers; the cluster timeline is then composed
+/// superstep by superstep:
+///
+///   runtime = sum_k [ max_over_shards(step_time[s][k]) + exchange_time(k) ]
+///
+/// where exchange_time charges the deduplicated remote-frontier bytes
+/// against the inter-shard link bandwidth plus a fixed all-to-all barrier
+/// latency. With one shard no exchange is charged and the result is
+/// bit-identical to ExternalGraphRuntime::run.
+///
+///   core::ClusterRuntime cluster(core::table3_system());
+///   core::ClusterRequest req;
+///   req.run.algorithm = core::Algorithm::kBfs;
+///   req.run.backend = core::BackendKind::kCxl;
+///   req.num_shards = 8;
+///   req.strategy = partition::Strategy::kDegreeBalanced;
+///   core::ClusterReport report = cluster.run(graph, req);
+
+#include <string>
+#include <vector>
+
+#include "core/experiment_runner.hpp"
+#include "core/runtime.hpp"
+#include "partition/partition.hpp"
+
+namespace cxlgraph::core {
+
+struct ClusterRequest {
+  /// The per-shard workload: algorithm, backend, and sweep knobs.
+  RunRequest run;
+  std::uint32_t num_shards = 1;
+  partition::Strategy strategy = partition::Strategy::kVertexRange;
+  /// Perturbs the kHashEdge placement only.
+  std::uint64_t partition_seed = 0;
+  /// Per-shard SystemConfig overrides for heterogeneous clusters; empty
+  /// uses the runtime's config everywhere, otherwise size must equal
+  /// num_shards.
+  std::vector<SystemConfig> shard_configs;
+  /// Inter-shard (GPU-to-GPU) link bandwidth the bulk exchange is charged
+  /// against; 0 uses the system's GPU link bandwidth.
+  double exchange_bandwidth_mbps = 0.0;
+  /// Fixed all-to-all synchronization cost per exchange phase.
+  util::SimTime exchange_latency = util::ps_from_us(5.0);
+};
+
+struct ClusterReport {
+  std::string algorithm;
+  std::string backend;
+  std::string access_method;
+  std::string partitioner;
+  std::uint32_t num_shards = 1;
+  graph::VertexId source = 0;
+
+  /// Cluster makespan: per-superstep slowest shard plus exchange phases.
+  double runtime_sec = 0.0;
+  double compute_sec = 0.0;
+  double exchange_sec = 0.0;
+  std::uint64_t exchange_bytes = 0;
+  /// Deduplicated (shard, remote vertex) notifications.
+  std::uint64_t exchange_messages = 0;
+  std::uint64_t supersteps = 0;
+
+  /// Sums over shards (the cluster-wide D / E / transaction counts).
+  std::uint64_t fetched_bytes = 0;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t transactions = 0;
+
+  /// Slowest shard's own total compute and the max/avg compute ratio —
+  /// the partitioner-quality numbers a strong-scaling study reads.
+  double max_shard_compute_sec = 0.0;
+  double shard_compute_imbalance = 1.0;
+
+  partition::CutStats cut;
+  std::vector<RunReport> shard_reports;
+};
+
+class ClusterRuntime {
+ public:
+  /// `jobs` bounds the per-shard fan-out (ExperimentRunner semantics:
+  /// 0 = hardware concurrency, 1 = serial; results identical either way).
+  explicit ClusterRuntime(SystemConfig config, unsigned jobs = 0);
+
+  /// Partitions, replays every shard, and composes the cluster timeline.
+  /// Supports kBfs, kSssp, kCc, and kPagerankScan; throws
+  /// std::invalid_argument for algorithms without a superstep
+  /// decomposition. Deterministic in (graph, request).
+  ClusterReport run(const graph::CsrGraph& graph,
+                    const ClusterRequest& request);
+
+  const SystemConfig& config() const noexcept { return runner_.config(); }
+
+ private:
+  /// Shard replays fan out here; the pool is lazy and reused across runs.
+  ExperimentRunner runner_;
+};
+
+}  // namespace cxlgraph::core

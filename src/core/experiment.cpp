@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <cmath>
+#include <future>
 #include <sstream>
 
 #include "algo/bfs.hpp"
@@ -62,14 +63,46 @@ std::vector<RunReport> run_sweep(const SystemConfig& config,
 }
 
 DatasetBundle make_datasets(const ExperimentOptions& options) {
+  const auto& specs = graph::paper_datasets();
   DatasetBundle bundle;
-  for (const auto& spec : graph::paper_datasets()) {
-    if (options.verbose) {
-      CXLG_INFO("generating " << spec.name << " at scale " << options.scale);
+  bundle.entries.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    bundle.entries[i].spec = specs[i];
+  }
+  if (options.jobs != 0) {
+    // An explicit worker count bounds the whole run to that many threads:
+    // the datasets generate one after another, each fanning its edge
+    // chunks across `jobs` workers (serially for jobs == 1).
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (options.verbose) {
+        CXLG_INFO("generating " << specs[i].name << " at scale "
+                                << options.scale);
+      }
+      bundle.entries[i].graph = graph::make_dataset(
+          specs[i].id, options.scale, /*weighted=*/true, options.seed,
+          options.jobs);
     }
-    bundle.entries.push_back(DatasetBundle::Entry{
-        spec, graph::make_dataset(spec.id, options.scale, /*weighted=*/true,
-                                  options.seed)});
+    return bundle;
+  }
+  // The three generations are independent; fan them out on a scoped pool.
+  // Each generation's own chunk fan-out goes through the shared default
+  // pool, so a dedicated (small) pool here cannot deadlock against it, and
+  // chunk-seeded sampling keeps every graph bit-identical to the serial
+  // path.
+  util::ThreadPool pool(static_cast<unsigned>(specs.size()));
+  util::parallel_for(pool, specs.size(),
+                     [&bundle, &specs, &options](std::uint64_t begin,
+                                                 std::uint64_t end) {
+                       for (std::uint64_t i = begin; i < end; ++i) {
+                         bundle.entries[i].graph = graph::make_dataset(
+                             specs[i].id, options.scale, /*weighted=*/true,
+                             options.seed);
+                       }
+                     });
+  if (options.verbose) {
+    for (const auto& spec : specs) {
+      CXLG_INFO("generated " << spec.name << " at scale " << options.scale);
+    }
   }
   return bundle;
 }
@@ -115,26 +148,52 @@ TablePrinter fig3_raf(const ExperimentOptions& options,
   TablePrinter table(headers);
 
   const DatasetBundle bundle = make_datasets(options);
-  ExternalGraphRuntime rt(table3_system());
+
+  // Each (algorithm, dataset) cell's trace + RAF sweep is independent of
+  // the rest, so the six of them fan out across the runner's workers and
+  // come back in row order — bit-identical to the serial loop.
+  struct Cell {
+    Algorithm algorithm;
+    const DatasetBundle::Entry* entry;
+  };
+  std::vector<Cell> cells;
   for (const Algorithm algorithm : {Algorithm::kBfs, Algorithm::kSssp}) {
     for (const auto& entry : bundle.entries) {
-      const graph::VertexId source =
-          algo::pick_source(entry.graph, options.seed);
+      cells.push_back(Cell{algorithm, &entry});
+    }
+  }
+
+  ExternalGraphRuntime rt(table3_system());
+  std::vector<std::function<std::vector<double>()>> tasks;
+  tasks.reserve(cells.size());
+  for (const Cell& cell : cells) {
+    tasks.push_back([&rt, &alignments, &options, cache_fraction, cell] {
+      const graph::CsrGraph& g = cell.entry->graph;
+      const graph::VertexId source = algo::pick_source(g, options.seed);
       const algo::AccessTrace trace =
-          rt.make_trace(entry.graph, algorithm, source);
+          rt.make_trace(g, cell.algorithm, source);
       const auto capacity = static_cast<std::uint64_t>(
-          cache_fraction *
-          static_cast<double>(entry.graph.edge_list_bytes()));
-      const auto results =
-          cache::raf_sweep(trace, alignments, capacity);
-      std::vector<std::string> row = {to_string(algorithm) + " " +
-                                      entry.spec.paper_name};
-      for (const auto& r : results) row.push_back(fmt(r.raf(), 2));
-      table.add_row(std::move(row));
-      if (options.verbose) {
-        CXLG_INFO("fig3: " << to_string(algorithm) << " "
-                           << entry.spec.name << " done");
+          cache_fraction * static_cast<double>(g.edge_list_bytes()));
+      std::vector<double> rafs;
+      rafs.reserve(alignments.size());
+      for (const auto& r : cache::raf_sweep(trace, alignments, capacity)) {
+        rafs.push_back(r.raf());
       }
+      return rafs;
+    });
+  }
+  ExperimentRunner runner(table3_system(), options.jobs);
+  const std::vector<std::vector<double>> results = runner.map_tasks(tasks);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::vector<std::string> row = {to_string(cells[i].algorithm) + " " +
+                                    cells[i].entry->spec.paper_name};
+    for (const double raf : results[i]) row.push_back(fmt(raf, 2));
+    table.add_row(std::move(row));
+    if (options.verbose) {
+      // Logged after collection so the order matches the serial sweep.
+      CXLG_INFO("fig3: " << to_string(cells[i].algorithm) << " "
+                         << cells[i].entry->spec.name << " done");
     }
   }
   return table;

@@ -17,6 +17,11 @@ unsigned ExperimentRunner::workers() const noexcept {
                     : jobs_;
 }
 
+util::ThreadPool& ExperimentRunner::ensure_pool() {
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+  return *pool_;
+}
+
 std::vector<RunReport> ExperimentRunner::run_all(
     const std::vector<SweepJob>& jobs) {
   for (const SweepJob& job : jobs) {
@@ -39,7 +44,7 @@ std::vector<RunReport> ExperimentRunner::run_all(
     return reports;
   }
 
-  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+  ensure_pool();
 
   // Each task builds its own runtime (a config copy) and writes its report
   // into a pre-sized slot, so results land in insertion order no matter
@@ -66,6 +71,24 @@ std::vector<RunReport> ExperimentRunner::run_all(
   }
   if (first_error) std::rethrow_exception(first_error);
   return reports;
+}
+
+std::vector<TraceRunResult> ExperimentRunner::run_traces(
+    const std::vector<TraceJob>& jobs) {
+  for (const TraceJob& job : jobs) {
+    if (job.trace == nullptr) {
+      throw std::invalid_argument("TraceJob with null trace");
+    }
+  }
+  std::vector<std::function<TraceRunResult()>> tasks;
+  tasks.reserve(jobs.size());
+  for (const TraceJob& job : jobs) {
+    tasks.push_back([this, &job] {
+      const ExternalGraphRuntime rt(job.config ? *job.config : config_);
+      return rt.run_trace(*job.trace, job.request, job.edge_list_bytes);
+    });
+  }
+  return map_tasks(tasks);
 }
 
 std::vector<RunReport> ExperimentRunner::run_all(

@@ -12,8 +12,11 @@
 ///   std::vector<core::RunRequest> requests = ...;  // one per config
 ///   std::vector<core::RunReport> reports = runner.run_all(graph, requests);
 
+#include <functional>
+#include <future>
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -28,6 +31,18 @@ namespace cxlgraph::core {
 struct SweepJob {
   const graph::CsrGraph* graph = nullptr;
   RunRequest request;
+  std::optional<SystemConfig> config;
+};
+
+/// A prepared-trace run: ClusterRuntime builds one trace per shard and fans
+/// them here, each against its own backend stack (and optionally its own
+/// per-shard SystemConfig). The trace must outlive the run_traces call.
+struct TraceJob {
+  const algo::AccessTrace* trace = nullptr;
+  RunRequest request;
+  /// Edge-list bytes resident on this runtime's external memory (cache
+  /// capacity scaling); a shard passes its slice, not the whole graph.
+  std::uint64_t edge_list_bytes = 0;
   std::optional<SystemConfig> config;
 };
 
@@ -47,6 +62,43 @@ class ExperimentRunner {
   std::vector<RunReport> run_all(const graph::CsrGraph& graph,
                                  const std::vector<RunRequest>& requests);
 
+  /// Runs every prepared-trace job (ExternalGraphRuntime::run_trace) with
+  /// the same ordering and determinism guarantees as run_all.
+  std::vector<TraceRunResult> run_traces(const std::vector<TraceJob>& jobs);
+
+  /// Fans arbitrary independent tasks across the runner's workers; results
+  /// come back in insertion order. For sweep drivers whose work units are
+  /// not RunRequests (e.g. fig3's per-(algorithm, dataset) trace + RAF
+  /// evaluation). The first exception propagates after all tasks drain.
+  template <typename R>
+  std::vector<R> map_tasks(const std::vector<std::function<R()>>& tasks) {
+    static_assert(!std::is_same_v<R, bool>,
+                  "std::vector<bool> packs bits: concurrent per-slot "
+                  "writes race; wrap the result in a struct instead");
+    std::vector<R> results(tasks.size());
+    if (jobs_ == 1 || tasks.size() <= 1) {
+      for (std::size_t i = 0; i < tasks.size(); ++i) results[i] = tasks[i]();
+      return results;
+    }
+    util::ThreadPool& pool = ensure_pool();
+    std::vector<std::future<void>> futures;
+    futures.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      futures.push_back(
+          pool.submit([&tasks, &results, i] { results[i] = tasks[i](); }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+  }
+
   /// One serial run under the default config (baselines, warm-up).
   RunReport run(const graph::CsrGraph& graph, const RunRequest& request);
 
@@ -56,6 +108,8 @@ class ExperimentRunner {
   unsigned workers() const noexcept;
 
  private:
+  util::ThreadPool& ensure_pool();
+
   SystemConfig config_;
   unsigned jobs_;
   /// Created lazily by the first multi-job run_all, so runners that only

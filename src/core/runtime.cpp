@@ -191,16 +191,26 @@ RunReport ExternalGraphRuntime::run(const graph::CsrGraph& graph,
   const algo::AccessTrace trace =
       make_trace(graph, request.algorithm, source);
 
-  RunStack stack = build_stack(config_, request, graph.edge_list_bytes());
+  RunReport report =
+      run_trace(trace, request, graph.edge_list_bytes()).report;
+  report.source = source;
+  report.graph_edges = graph.num_edges();
+  return report;
+}
+
+TraceRunResult ExternalGraphRuntime::run_trace(
+    const algo::AccessTrace& trace, const RunRequest& request,
+    std::uint64_t edge_list_bytes) const {
+  RunStack stack = build_stack(config_, request, edge_list_bytes);
   gpusim::TraversalEngine engine(stack.sim, *stack.method, *stack.backend,
                                  config_.gpu);
   const gpusim::EngineResult engine_result = engine.run(trace);
 
-  RunReport report;
+  TraceRunResult result;
+  RunReport& report = result.report;
   report.algorithm = to_string(request.algorithm);
   report.backend = to_string(request.backend);
   report.access_method = stack.method->name();
-  report.source = source;
   report.runtime_sec = engine_result.runtime_sec();
   report.throughput_mbps = engine_result.throughput_mbps();
   report.raf = engine_result.raf();
@@ -216,8 +226,11 @@ RunReport ExternalGraphRuntime::run(const graph::CsrGraph& graph,
   report.write_transactions = engine_result.write_transactions;
   report.rmw_reads = engine_result.rmw_reads;
   report.frontier_vertices = engine_result.sublist_reads;
-  report.graph_edges = graph.num_edges();
-  return report;
+  result.step_durations.reserve(engine_result.steps.size());
+  for (const gpusim::StepResult& step : engine_result.steps) {
+    result.step_durations.push_back(step.duration);
+  }
+  return result;
 }
 
 double ExternalGraphRuntime::measure_latency_us(

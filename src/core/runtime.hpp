@@ -69,12 +69,29 @@ struct RunReport {
   std::uint64_t graph_edges = 0;
 };
 
+/// run_trace's result: the usual report plus per-step (superstep) wall
+/// times, which core::ClusterRuntime needs to compose barrier-synchronized
+/// shard timelines.
+struct TraceRunResult {
+  RunReport report;
+  std::vector<util::SimTime> step_durations;
+};
+
 class ExternalGraphRuntime {
  public:
   explicit ExternalGraphRuntime(SystemConfig config);
 
   /// Runs one workload end to end. Deterministic in (graph, request).
   RunReport run(const graph::CsrGraph& graph, const RunRequest& request);
+
+  /// Replays a prepared access trace through a freshly built backend stack.
+  /// `edge_list_bytes` is the size of the edge list resident on this
+  /// runtime's external memory (cache capacities scale with it); for a
+  /// cluster shard that is the shard's slice, not the whole graph. The
+  /// report's source and graph_edges fields are left for the caller.
+  TraceRunResult run_trace(const algo::AccessTrace& trace,
+                           const RunRequest& request,
+                           std::uint64_t edge_list_bytes) const;
 
   /// Runs the traversal only and returns its access trace (no simulation).
   algo::AccessTrace make_trace(const graph::CsrGraph& graph,

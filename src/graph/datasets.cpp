@@ -16,10 +16,11 @@ const std::vector<DatasetSpec>& paper_datasets() {
 }
 
 CsrGraph make_dataset(DatasetId id, unsigned scale, bool weighted,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, unsigned jobs) {
   GeneratorOptions options;
   options.seed = seed;
   options.max_weight = weighted ? 63 : 0;  // GAP benchmark convention
+  options.jobs = jobs;
   switch (id) {
     case DatasetId::kUrand:
       return generate_uniform(std::uint64_t{1} << scale, 32.0, options);

@@ -37,9 +37,11 @@ struct DatasetSpec {
 const std::vector<DatasetSpec>& paper_datasets();
 
 /// Generates one dataset at 2^scale vertices. Weighted graphs (for SSSP)
-/// carry uniform weights in [1, 63] as in the GAP benchmark.
+/// carry uniform weights in [1, 63] as in the GAP benchmark. `jobs`
+/// follows GeneratorOptions::jobs (1 = serial; output identical either
+/// way).
 CsrGraph make_dataset(DatasetId id, unsigned scale, bool weighted,
-                      std::uint64_t seed = 42);
+                      std::uint64_t seed = 42, unsigned jobs = 0);
 
 /// Parses "urand" / "kron" / "friendster" (case-sensitive).
 DatasetId dataset_from_name(const std::string& name);

@@ -1,10 +1,12 @@
 #include "graph/generate.hpp"
 
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 #include "graph/builder.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cxlgraph::graph {
 
@@ -26,6 +28,52 @@ void assign_weight(Edge& e, Xoshiro256& rng, std::uint32_t max_weight) {
                  : static_cast<Weight>(rng.next_in(1, max_weight));
 }
 
+/// Seed for chunk `chunk` of the sampling loop: one SplitMix64 step over a
+/// golden-ratio spread keeps neighboring chunks' Xoshiro states decorrelated.
+std::uint64_t chunk_seed(std::uint64_t seed, std::uint64_t chunk) {
+  util::SplitMix64 sm(seed ^ ((chunk + 1) * 0x9e3779b97f4a7c15ULL));
+  return sm.next();
+}
+
+/// Runs fn(begin, end) over [0, n) under GeneratorOptions::jobs semantics:
+/// 1 = serial on the calling thread, 0 = the shared default pool, N > 1 =
+/// a scoped N-thread pool. Work splitting never changes the output — the
+/// callers key their RNG streams to fixed positions, not to the split.
+void run_with_jobs(unsigned jobs, std::uint64_t n,
+                   const std::function<void(std::uint64_t, std::uint64_t)>& fn) {
+  if (jobs == 1 || n <= 1) {
+    fn(0, n);
+  } else if (jobs == 0) {
+    util::parallel_for(util::default_pool(), n, fn);
+  } else {
+    util::ThreadPool pool(jobs);
+    util::parallel_for(pool, n, fn);
+  }
+}
+
+/// Fills `edges` (pre-sized to the edge count) in kGeneratorChunkEdges
+/// chunks; `sample(rng, i, edge)` produces edge i from the chunk's RNG.
+/// The chunk grid is fixed, so output is identical for any `jobs`.
+template <typename SampleFn>
+void sample_edges_chunked(EdgeList& edges, const GeneratorOptions& options,
+                          const SampleFn& sample) {
+  const std::uint64_t num_edges = edges.size();
+  const std::uint64_t chunks =
+      (num_edges + kGeneratorChunkEdges - 1) / kGeneratorChunkEdges;
+  run_with_jobs(options.jobs, chunks,
+                [&](std::uint64_t chunk_begin, std::uint64_t chunk_end) {
+                  for (std::uint64_t c = chunk_begin; c < chunk_end; ++c) {
+                    Xoshiro256 rng(chunk_seed(options.seed, c));
+                    const std::uint64_t begin = c * kGeneratorChunkEdges;
+                    const std::uint64_t end =
+                        std::min(num_edges, begin + kGeneratorChunkEdges);
+                    for (std::uint64_t i = begin; i < end; ++i) {
+                      sample(rng, edges[i]);
+                    }
+                  }
+                });
+}
+
 }  // namespace
 
 CsrGraph generate_uniform(std::uint64_t num_vertices, double avg_degree,
@@ -35,16 +83,12 @@ CsrGraph generate_uniform(std::uint64_t num_vertices, double avg_degree,
   // Undirected edges; symmetrization doubles directed degree back up.
   const auto num_edges = static_cast<std::uint64_t>(
       static_cast<double>(num_vertices) * avg_degree / 2.0);
-  Xoshiro256 rng(options.seed);
-  EdgeList edges;
-  edges.reserve(num_edges);
-  for (std::uint64_t i = 0; i < num_edges; ++i) {
-    Edge e;
+  EdgeList edges(num_edges);
+  sample_edges_chunked(edges, options, [&](Xoshiro256& rng, Edge& e) {
     e.src = rng.next_below(num_vertices);
     e.dst = rng.next_below(num_vertices);
     assign_weight(e, rng, options.max_weight);
-    edges.push_back(e);
-  }
+  });
   return build_csr(num_vertices, std::move(edges),
                    clean_options(options.clean));
 }
@@ -60,10 +104,8 @@ CsrGraph generate_kronecker(unsigned scale, double edge_factor,
   constexpr double kB = 0.19;
   constexpr double kC = 0.19;
 
-  Xoshiro256 rng(options.seed);
-  EdgeList edges;
-  edges.reserve(num_edges);
-  for (std::uint64_t i = 0; i < num_edges; ++i) {
+  EdgeList edges(num_edges);
+  sample_edges_chunked(edges, options, [&](Xoshiro256& rng, Edge& e) {
     std::uint64_t src = 0;
     std::uint64_t dst = 0;
     for (unsigned bit = 0; bit < scale; ++bit) {
@@ -74,12 +116,10 @@ CsrGraph generate_kronecker(unsigned scale, double edge_factor,
       src = (src << 1) | static_cast<std::uint64_t>(src_bit);
       dst = (dst << 1) | static_cast<std::uint64_t>(dst_bit);
     }
-    Edge e;
     e.src = src;
     e.dst = dst;
     assign_weight(e, rng, options.max_weight);
-    edges.push_back(e);
-  }
+  });
   return build_csr(num_vertices, std::move(edges),
                    clean_options(options.clean));
 }
@@ -92,20 +132,27 @@ CsrGraph generate_power_law(std::uint64_t num_vertices, double avg_degree,
 
   // Chung–Lu: vertex i gets expected weight w_i ∝ (i+1)^(-1/(exponent-1)).
   // We then sample edges by picking endpoints proportionally to w via the
-  // inverse-CDF of the cumulative weights.
+  // inverse-CDF of the cumulative weights. The pow() evaluations dominate
+  // setup, so they fan out; the running sum stays serial (it is a strict
+  // prefix dependence and cheap).
   const double beta = 1.0 / (exponent - 1.0);
+  std::vector<double> weight(num_vertices, 0.0);
+  run_with_jobs(options.jobs, num_vertices,
+                [&](std::uint64_t begin, std::uint64_t end) {
+                  for (std::uint64_t i = begin; i < end; ++i) {
+                    weight[i] = std::pow(static_cast<double>(i + 1), -beta);
+                  }
+                });
   std::vector<double> cumulative(num_vertices + 1, 0.0);
   for (std::uint64_t i = 0; i < num_vertices; ++i) {
-    const double w = std::pow(static_cast<double>(i + 1), -beta);
-    cumulative[i + 1] = cumulative[i] + w;
+    cumulative[i + 1] = cumulative[i] + weight[i];
   }
   const double total_weight = cumulative.back();
 
   const auto num_edges = static_cast<std::uint64_t>(
       static_cast<double>(num_vertices) * avg_degree / 2.0);
-  Xoshiro256 rng(options.seed);
 
-  auto sample_vertex = [&]() -> VertexId {
+  auto sample_vertex = [&](Xoshiro256& rng) -> VertexId {
     const double target = rng.next_double() * total_weight;
     // Binary search on the cumulative weights.
     std::uint64_t lo = 0;
@@ -121,15 +168,12 @@ CsrGraph generate_power_law(std::uint64_t num_vertices, double avg_degree,
     return lo;
   };
 
-  EdgeList edges;
-  edges.reserve(num_edges);
-  for (std::uint64_t i = 0; i < num_edges; ++i) {
-    Edge e;
-    e.src = sample_vertex();
-    e.dst = sample_vertex();
+  EdgeList edges(num_edges);
+  sample_edges_chunked(edges, options, [&](Xoshiro256& rng, Edge& e) {
+    e.src = sample_vertex(rng);
+    e.dst = sample_vertex(rng);
     assign_weight(e, rng, options.max_weight);
-    edges.push_back(e);
-  }
+  });
   return build_csr(num_vertices, std::move(edges),
                    clean_options(options.clean));
 }

@@ -22,7 +22,17 @@ struct GeneratorOptions {
   std::uint32_t max_weight = 0;
   /// Symmetrize (undirected), dedup, strip self-loops — GAP-style cleanup.
   bool clean = true;
+  /// Edge sampling is split into fixed-size chunks, each with its own
+  /// seed-derived RNG stream, so the output depends only on `seed` —
+  /// never on thread count. 0 fans the chunks across the shared pool,
+  /// 1 runs them serially on the calling thread, N > 1 uses a scoped
+  /// N-thread pool (bounding the run to N workers).
+  unsigned jobs = 0;
 };
+
+/// Fixed chunk granularity for parallel edge sampling. Part of the output
+/// contract: changing it changes which RNG stream samples which edge.
+inline constexpr std::uint64_t kGeneratorChunkEdges = 1ull << 14;
 
 /// Uniform-random graph: `num_vertices * avg_degree / 2` undirected edges
 /// with both endpoints chosen uniformly (GAP "urand" analogue).

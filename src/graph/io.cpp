@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -71,11 +72,49 @@ CsrGraph load_binary(std::istream& is) {
   const auto n = read_pod<std::uint64_t>(is);
   const auto m = read_pod<std::uint64_t>(is);
   const auto weighted = read_pod<std::uint8_t>(is);
+  if (weighted > 1) {
+    throw std::runtime_error("graph binary: corrupt weighted flag " +
+                             std::to_string(weighted));
+  }
+  // Validate the header's counts against the bytes actually present
+  // before allocating — a corrupt count must not turn into a
+  // multi-gigabyte allocation or a garbage graph. The bound keeps the
+  // `needed` sum below 2^61 so the size arithmetic cannot wrap (2^56
+  // vertices/edges is far past any representable graph anyway).
+  constexpr std::uint64_t kMaxCount = 1ull << 56;
+  if (n > kMaxCount || m > kMaxCount) {
+    throw std::runtime_error("graph binary: implausible counts (" +
+                             std::to_string(n) + " vertices, " +
+                             std::to_string(m) + " edges)");
+  }
+  const std::uint64_t needed = (n + 1) * sizeof(EdgeIndex) +
+                               m * sizeof(VertexId) +
+                               (weighted != 0 ? m * sizeof(Weight) : 0);
+  const std::istream::pos_type body_start = is.tellg();
+  if (body_start != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type stream_end = is.tellg();
+    is.seekg(body_start);
+    const auto available =
+        static_cast<std::uint64_t>(stream_end - body_start);
+    if (available < needed) {
+      throw std::runtime_error(
+          "graph binary: truncated stream (header promises " +
+          std::to_string(needed) + " bytes, " + std::to_string(available) +
+          " remain)");
+    }
+  }
   auto offsets = read_vector<EdgeIndex>(is, n + 1);
   auto edges = read_vector<VertexId>(is, m);
   std::vector<Weight> weights;
   if (weighted != 0) weights = read_vector<Weight>(is, m);
-  return CsrGraph(std::move(offsets), std::move(edges), std::move(weights));
+  try {
+    return CsrGraph(std::move(offsets), std::move(edges),
+                    std::move(weights));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("graph binary: corrupt structure: ") +
+                             e.what());
+  }
 }
 
 void save_binary_file(const CsrGraph& graph, const std::string& path) {

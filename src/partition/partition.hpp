@@ -1,0 +1,105 @@
+#pragma once
+/// \file partition.hpp
+/// Graph partitioning for sharded multi-GPU scale-out simulation.
+///
+/// A Partition splits a CsrGraph into per-shard subgraphs. Each shard holds
+/// a compact local-ID CSR of the edges assigned to it plus bidirectional
+/// global<->local ID maps; every global vertex has exactly one *owning*
+/// shard (the one responsible for its traversal state), while vertices that
+/// merely appear as endpoints of another shard's edges exist there as
+/// ghosts. core::ClusterRuntime replays per-shard access traces against the
+/// shard subgraphs and charges inter-shard frontier traffic to the cut the
+/// partition induces.
+///
+/// Three strategies, from naive to placement-aware:
+///  * kVertexRange    — contiguous equal-vertex ranges (1D block);
+///  * kDegreeBalanced — contiguous ranges cut so each shard stores an
+///                      approximately equal share of the edge list;
+///  * kHashEdge       — each edge hashed to a shard independently (vertex
+///                      ownership hashed too), trading locality for
+///                      near-perfect edge balance on skewed graphs.
+///
+/// With one shard every strategy degenerates to the identity: the single
+/// shard's subgraph is byte-identical to the input graph and the ID maps
+/// are the identity, which is what lets ClusterRuntime reproduce the
+/// single-runtime path bit-for-bit.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace cxlgraph::partition {
+
+enum class Strategy {
+  kVertexRange,
+  kDegreeBalanced,
+  kHashEdge,
+};
+
+std::string to_string(Strategy strategy);
+Strategy strategy_from_name(const std::string& name);
+const std::vector<Strategy>& all_strategies();
+
+/// Sentinel for "this global vertex has no local ID on this shard".
+inline constexpr graph::VertexId kNoLocalId =
+    std::numeric_limits<graph::VertexId>::max();
+
+/// One shard's slice of the graph: a compact CSR over local vertex IDs.
+/// Local IDs are assigned in ascending global-ID order over the union of
+/// the shard's owned vertices and the endpoints of its edges, so a
+/// single-shard partition yields the identity mapping.
+struct ShardGraph {
+  graph::CsrGraph graph;
+  /// local ID -> global ID; size == graph.num_vertices().
+  std::vector<graph::VertexId> local_to_global;
+  /// global ID -> local ID for vertices present on this shard.
+  std::unordered_map<graph::VertexId, graph::VertexId> global_to_local;
+  /// How many of the shard's local vertices it owns (the rest are ghosts).
+  std::uint64_t num_owned = 0;
+
+  /// Local ID for `global`, or kNoLocalId when absent from this shard.
+  graph::VertexId to_local(graph::VertexId global) const {
+    const auto it = global_to_local.find(global);
+    return it == global_to_local.end() ? kNoLocalId : it->second;
+  }
+  graph::VertexId to_global(graph::VertexId local) const {
+    return local_to_global[local];
+  }
+};
+
+/// Partition quality numbers, the knobs a placement study sweeps.
+struct CutStats {
+  std::uint64_t total_edges = 0;
+  /// Directed edges whose endpoints are owned by different shards.
+  std::uint64_t cut_edges = 0;
+  double cut_fraction = 0.0;
+  std::uint64_t min_shard_edges = 0;
+  std::uint64_t max_shard_edges = 0;
+  /// max_shard_edges / (total_edges / shards); 1.0 is a perfect balance.
+  double edge_imbalance = 1.0;
+  /// Sum of per-shard local vertices (owned + ghosts) over global vertices;
+  /// 1.0 means no replication.
+  double vertex_replication = 1.0;
+};
+
+struct Partition {
+  Strategy strategy = Strategy::kVertexRange;
+  std::uint32_t num_shards = 1;
+  /// global vertex -> owning shard; size == graph.num_vertices().
+  std::vector<std::uint32_t> owner;
+  std::vector<ShardGraph> shards;
+  CutStats stats;
+};
+
+/// Partitions `graph` into `num_shards` shards. Every edge lands on exactly
+/// one shard and shard unions reconstruct the graph. `seed` perturbs the
+/// kHashEdge hash only. Throws std::invalid_argument for num_shards == 0.
+/// Deterministic in (graph, strategy, num_shards, seed).
+Partition make_partition(const graph::CsrGraph& graph, Strategy strategy,
+                         std::uint32_t num_shards, std::uint64_t seed = 0);
+
+}  // namespace cxlgraph::partition

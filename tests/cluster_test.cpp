@@ -1,0 +1,218 @@
+/// core::ClusterRuntime — sharded scale-out simulation.
+///
+/// The load-bearing guarantee is that one shard reproduces the
+/// single-runtime path bit-for-bit on every backend, so the scale-out axis
+/// is a pure extension: any difference between shards=1 and
+/// ExternalGraphRuntime::run would poison every speedup the scale-out
+/// bench reports.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cluster_runtime.hpp"
+#include "core/runtime.hpp"
+#include "graph/generate.hpp"
+
+namespace cxlgraph {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+
+graph::CsrGraph test_graph() {
+  graph::GeneratorOptions opts;
+  opts.seed = kSeed;
+  return graph::generate_uniform(1 << 10, 8.0, opts);
+}
+
+void expect_reports_identical(const core::RunReport& a,
+                              const core::RunReport& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.access_method, b.access_method);
+  EXPECT_EQ(a.source, b.source);
+  // Bit-stable: exact double equality, not a tolerance.
+  EXPECT_EQ(a.runtime_sec, b.runtime_sec);
+  EXPECT_EQ(a.throughput_mbps, b.throughput_mbps);
+  EXPECT_EQ(a.raf, b.raf);
+  EXPECT_EQ(a.avg_transfer_bytes, b.avg_transfer_bytes);
+  EXPECT_EQ(a.used_bytes, b.used_bytes);
+  EXPECT_EQ(a.fetched_bytes, b.fetched_bytes);
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.observed_read_latency_us, b.observed_read_latency_us);
+  EXPECT_EQ(a.avg_outstanding_reads, b.avg_outstanding_reads);
+  EXPECT_EQ(a.frontier_vertices, b.frontier_vertices);
+  EXPECT_EQ(a.graph_edges, b.graph_edges);
+}
+
+TEST(ClusterRuntime, SingleShardMatchesSingleRuntimeOnAllBackends) {
+  const graph::CsrGraph g = test_graph();
+  const core::SystemConfig cfg = core::table3_system();
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kBfs, core::Algorithm::kPagerankScan}) {
+    for (const core::BackendKind backend :
+         {core::BackendKind::kHostDram, core::BackendKind::kHostDramRemote,
+          core::BackendKind::kCxl, core::BackendKind::kXlfdd,
+          core::BackendKind::kBamNvme, core::BackendKind::kUvm,
+          core::BackendKind::kTieredDramCxl}) {
+      core::RunRequest req;
+      req.algorithm = algorithm;
+      req.backend = backend;
+      req.source_seed = kSeed;
+
+      core::ExternalGraphRuntime single(cfg);
+      const core::RunReport expected = single.run(g, req);
+
+      core::ClusterRuntime cluster(cfg);
+      core::ClusterRequest creq;
+      creq.run = req;
+      creq.num_shards = 1;
+      const core::ClusterReport actual = cluster.run(g, creq);
+
+      ASSERT_EQ(actual.shard_reports.size(), 1u);
+      expect_reports_identical(actual.shard_reports.front(), expected);
+      EXPECT_EQ(actual.runtime_sec, expected.runtime_sec);
+      EXPECT_EQ(actual.compute_sec, expected.runtime_sec);
+      EXPECT_EQ(actual.exchange_sec, 0.0);
+      EXPECT_EQ(actual.exchange_bytes, 0u);
+      EXPECT_EQ(actual.supersteps, expected.steps);
+    }
+  }
+}
+
+TEST(ClusterRuntime, ShardingConservesTraversalWork) {
+  const graph::CsrGraph g = test_graph();
+  core::ExternalGraphRuntime single(core::table3_system());
+  core::ClusterRuntime cluster(core::table3_system());
+
+  core::RunRequest req;
+  req.algorithm = core::Algorithm::kBfs;
+  req.backend = core::BackendKind::kHostDram;
+  req.source_seed = kSeed;
+  const core::RunReport baseline = single.run(g, req);
+
+  for (const partition::Strategy strategy : partition::all_strategies()) {
+    for (const std::uint32_t shards : {2u, 4u}) {
+      core::ClusterRequest creq;
+      creq.run = req;
+      creq.num_shards = shards;
+      creq.strategy = strategy;
+      const core::ClusterReport r = cluster.run(g, creq);
+      // Every frontier sublist byte is read on exactly one shard: the
+      // cluster-wide E matches the single runtime no matter the cut.
+      EXPECT_EQ(r.used_bytes, baseline.used_bytes)
+          << partition::to_string(strategy) << " x" << shards;
+      EXPECT_EQ(r.supersteps, baseline.steps);
+      EXPECT_GT(r.exchange_bytes, 0u);
+      EXPECT_GT(r.runtime_sec, 0.0);
+      EXPECT_GE(r.shard_compute_imbalance, 1.0);
+    }
+  }
+}
+
+TEST(ClusterRuntime, ParallelShardReplayMatchesSerial) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kBfs;
+  creq.run.backend = core::BackendKind::kCxl;
+  creq.run.source_seed = kSeed;
+  creq.num_shards = 4;
+  creq.strategy = partition::Strategy::kDegreeBalanced;
+
+  core::ClusterRuntime serial(core::table3_system(), /*jobs=*/1);
+  core::ClusterRuntime parallel(core::table3_system(), /*jobs=*/4);
+  const core::ClusterReport a = serial.run(g, creq);
+  const core::ClusterReport b = parallel.run(g, creq);
+
+  EXPECT_EQ(a.runtime_sec, b.runtime_sec);
+  EXPECT_EQ(a.compute_sec, b.compute_sec);
+  EXPECT_EQ(a.exchange_sec, b.exchange_sec);
+  EXPECT_EQ(a.exchange_bytes, b.exchange_bytes);
+  EXPECT_EQ(a.exchange_messages, b.exchange_messages);
+  EXPECT_EQ(a.fetched_bytes, b.fetched_bytes);
+  ASSERT_EQ(a.shard_reports.size(), b.shard_reports.size());
+  for (std::size_t s = 0; s < a.shard_reports.size(); ++s) {
+    expect_reports_identical(a.shard_reports[s], b.shard_reports[s]);
+  }
+}
+
+TEST(ClusterRuntime, FrontierAlgorithmsShardToo) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRuntime cluster(core::table3_system());
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kSssp, core::Algorithm::kCc}) {
+    core::ClusterRequest creq;
+    creq.run.algorithm = algorithm;
+    creq.run.backend = core::BackendKind::kHostDram;
+    creq.run.source_seed = kSeed;
+    creq.num_shards = 2;
+    const core::ClusterReport r = cluster.run(g, creq);
+    EXPECT_GT(r.runtime_sec, 0.0);
+    EXPECT_GT(r.used_bytes, 0u);
+    EXPECT_EQ(r.shard_reports.size(), 2u);
+  }
+}
+
+TEST(ClusterRuntime, RejectsAlgorithmsWithoutSupersteps) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRuntime cluster(core::table3_system());
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kBfsDirOpt;
+  creq.num_shards = 2;
+  EXPECT_THROW(cluster.run(g, creq), std::invalid_argument);
+}
+
+TEST(ClusterRuntime, RejectsMismatchedShardConfigs) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRuntime cluster(core::table3_system());
+  core::ClusterRequest creq;
+  creq.num_shards = 3;
+  creq.shard_configs.resize(2, core::table3_system());
+  EXPECT_THROW(cluster.run(g, creq), std::invalid_argument);
+}
+
+TEST(ClusterRuntime, PerShardConfigOverridesApply) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRuntime cluster(core::table3_system());
+
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kBfs;
+  creq.run.backend = core::BackendKind::kCxl;
+  creq.run.source_seed = kSeed;
+  creq.num_shards = 2;
+  const core::ClusterReport uniform = cluster.run(g, creq);
+
+  // Identical per-shard configs must not change anything...
+  creq.shard_configs.assign(2, core::table3_system());
+  const core::ClusterReport same = cluster.run(g, creq);
+  EXPECT_EQ(uniform.runtime_sec, same.runtime_sec);
+
+  // ...while a slower CXL device on shard 1 must show up in the makespan.
+  creq.shard_configs[1].cxl.added_latency = util::ps_from_us(3.0);
+  const core::ClusterReport skewed = cluster.run(g, creq);
+  EXPECT_GT(skewed.runtime_sec, uniform.runtime_sec);
+  EXPECT_GT(skewed.shard_compute_imbalance,
+            uniform.shard_compute_imbalance);
+}
+
+TEST(ClusterRuntime, ExchangeGrowsWithShardCount) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRuntime cluster(core::table3_system());
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kBfs;
+  creq.run.backend = core::BackendKind::kHostDram;
+  creq.run.source_seed = kSeed;
+  creq.strategy = partition::Strategy::kVertexRange;
+
+  std::uint64_t previous = 0;
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    creq.num_shards = shards;
+    const core::ClusterReport r = cluster.run(g, creq);
+    // More shards cut more edges: remote discoveries cannot shrink.
+    EXPECT_GE(r.exchange_bytes, previous) << shards << " shards";
+    previous = r.exchange_bytes;
+  }
+}
+
+}  // namespace
+}  // namespace cxlgraph

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/experiment.hpp"
 #include "core/experiment_runner.hpp"
 #include "core/runtime.hpp"
 #include "core/system_config.hpp"
@@ -222,6 +223,67 @@ TEST(ExperimentRunner, WorkerExceptionPropagates) {
 
   ExperimentRunner runner(table3_system(), /*jobs=*/2);
   EXPECT_THROW(runner.run_all({good, bad, good}), std::invalid_argument);
+}
+
+TEST(ExperimentRunner, RunTracesMatchesRun) {
+  const graph::CsrGraph g = test_graph();
+  RunRequest req;
+  req.algorithm = Algorithm::kBfs;
+  req.backend = BackendKind::kHostDram;
+
+  ExternalGraphRuntime rt(table3_system());
+  const RunReport expected = rt.run(g, req);
+  const algo::AccessTrace trace =
+      rt.make_trace(g, req.algorithm, expected.source);
+
+  TraceJob job;
+  job.trace = &trace;
+  job.request = req;
+  job.edge_list_bytes = g.edge_list_bytes();
+  ExperimentRunner runner(table3_system(), /*jobs=*/2);
+  const std::vector<TraceRunResult> results =
+      runner.run_traces({job, job});
+  ASSERT_EQ(results.size(), 2u);
+  for (const TraceRunResult& r : results) {
+    EXPECT_EQ(r.report.runtime_sec, expected.runtime_sec);
+    EXPECT_EQ(r.report.fetched_bytes, expected.fetched_bytes);
+    ASSERT_EQ(r.step_durations.size(), expected.steps);
+    util::SimTime total = 0;
+    for (const util::SimTime d : r.step_durations) total += d;
+    EXPECT_EQ(util::sec_from_ps(total), expected.runtime_sec);
+  }
+  EXPECT_THROW(runner.run_traces({TraceJob{}}), std::invalid_argument);
+}
+
+TEST(ExperimentRunner, MapTasksPreservesOrderAndPropagates) {
+  ExperimentRunner runner(table3_system(), /*jobs=*/4);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([i] { return i * i; });
+  }
+  const std::vector<int> results = runner.map_tasks(tasks);
+  ASSERT_EQ(results.size(), tasks.size());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(results[i], i * i);
+
+  tasks[7] = []() -> int { throw std::runtime_error("boom"); };
+  EXPECT_THROW(runner.map_tasks(tasks), std::runtime_error);
+}
+
+TEST(Experiment, MakeDatasetsParallelMatchesSerial) {
+  ExperimentOptions serial;
+  serial.scale = 10;
+  serial.jobs = 1;
+  ExperimentOptions parallel = serial;
+  parallel.jobs = 0;
+  const DatasetBundle a = make_datasets(serial);
+  const DatasetBundle b = make_datasets(parallel);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].spec.name, b.entries[i].spec.name);
+    EXPECT_EQ(a.entries[i].graph.offsets(), b.entries[i].graph.offsets());
+    EXPECT_EQ(a.entries[i].graph.edges(), b.entries[i].graph.edges());
+    EXPECT_EQ(a.entries[i].graph.weights(), b.entries[i].graph.weights());
+  }
 }
 
 }  // namespace

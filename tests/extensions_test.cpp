@@ -105,8 +105,10 @@ TEST(DeltaStepping, MatchesDijkstraForVariousDeltas) {
 }
 
 TEST(DeltaStepping, DeltaOneDegeneratesToDijkstraOrder) {
-  // delta = 1 processes one distance value per bucket: bucket count equals
-  // the number of distinct finite distances.
+  // delta = 1 processes one distance value per bucket: every distinct
+  // finite distance needs its own bucket. A popped bucket can turn out
+  // fully stale (all entries improved into earlier buckets), so the count
+  // may exceed the distinct distances — but never the distance range.
   graph::GeneratorOptions opts;
   opts.max_weight = 7;
   const CsrGraph g = graph::generate_uniform(256, 6.0, opts);
@@ -116,7 +118,8 @@ TEST(DeltaStepping, DeltaOneDegeneratesToDijkstraOrder) {
   for (const auto d : result.dist) {
     if (d != algo::kInfDistance) distinct.insert(d);
   }
-  EXPECT_EQ(result.buckets_processed, distinct.size());
+  EXPECT_GE(result.buckets_processed, distinct.size());
+  EXPECT_LE(result.buckets_processed, *distinct.rbegin() + 1);
 }
 
 TEST(DeltaStepping, UnweightedGraphWorks) {

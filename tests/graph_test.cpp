@@ -223,6 +223,40 @@ TEST(Generate, StarDegrees) {
   for (VertexId v = 1; v <= 6; ++v) EXPECT_EQ(g.degree(v), 1u);
 }
 
+TEST(Generate, ParallelSamplingIsBitIdenticalToSerial) {
+  // Edge sampling is chunk-seeded (GeneratorOptions::jobs): the parallel
+  // fan-out must produce exactly the serial graph, weights included.
+  // 2^15 * 8 / 2 edges spans several kGeneratorChunkEdges chunks.
+  GeneratorOptions serial;
+  serial.seed = 123;
+  serial.max_weight = 63;
+  serial.jobs = 1;
+  GeneratorOptions parallel = serial;
+  parallel.jobs = 0;
+
+  {
+    const CsrGraph a = generate_uniform(1 << 15, 8.0, serial);
+    const CsrGraph b = generate_uniform(1 << 15, 8.0, parallel);
+    EXPECT_EQ(a.offsets(), b.offsets());
+    EXPECT_EQ(a.edges(), b.edges());
+    EXPECT_EQ(a.weights(), b.weights());
+  }
+  {
+    const CsrGraph a = generate_kronecker(14, 8.0, serial);
+    const CsrGraph b = generate_kronecker(14, 8.0, parallel);
+    EXPECT_EQ(a.offsets(), b.offsets());
+    EXPECT_EQ(a.edges(), b.edges());
+    EXPECT_EQ(a.weights(), b.weights());
+  }
+  {
+    const CsrGraph a = generate_power_law(1 << 14, 12.0, 2.5, serial);
+    const CsrGraph b = generate_power_law(1 << 14, 12.0, 2.5, parallel);
+    EXPECT_EQ(a.offsets(), b.offsets());
+    EXPECT_EQ(a.edges(), b.edges());
+    EXPECT_EQ(a.weights(), b.weights());
+  }
+}
+
 // ------------------------------------------------------------------ io ----
 
 TEST(Io, BinaryRoundTripUnweighted) {
@@ -248,6 +282,71 @@ TEST(Io, BinaryRoundTripWeighted) {
 TEST(Io, BinaryRejectsGarbage) {
   std::stringstream buffer("not a graph");
   EXPECT_THROW(load_binary(buffer), std::runtime_error);
+}
+
+namespace {
+
+/// A valid serialized graph to corrupt.
+std::string serialized_graph() {
+  const CsrGraph g = build_csr_from_pairs(4, {{0, 1}, {1, 2}, {3, 0}});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  return buffer.str();
+}
+
+void expect_load_error(const std::string& bytes,
+                       const std::string& message_fragment) {
+  std::stringstream buffer(bytes);
+  try {
+    load_binary(buffer);
+    FAIL() << "expected runtime_error containing '" << message_fragment
+           << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(message_fragment),
+              std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+}  // namespace
+
+TEST(Io, BinaryRejectsBadMagic) {
+  std::string bytes = serialized_graph();
+  bytes[0] = 'X';
+  expect_load_error(bytes, "bad magic");
+}
+
+TEST(Io, BinaryRejectsUnsupportedVersion) {
+  std::string bytes = serialized_graph();
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  expect_load_error(bytes, "unsupported version");
+}
+
+TEST(Io, BinaryRejectsTruncatedStream) {
+  const std::string bytes = serialized_graph();
+  // Every strict prefix past the magic must fail cleanly, whether the cut
+  // lands in the header or mid-array.
+  for (const std::size_t keep :
+       {std::size_t{6}, std::size_t{20}, bytes.size() - 1}) {
+    expect_load_error(bytes.substr(0, keep), "graph binary:");
+  }
+}
+
+TEST(Io, BinaryRejectsImplausibleCounts) {
+  // A corrupt vertex count must be rejected by the size check before any
+  // allocation is attempted.
+  std::string bytes = serialized_graph();
+  for (std::size_t i = 8; i < 16; ++i) bytes[i] = '\xff';
+  expect_load_error(bytes, "graph binary:");
+}
+
+TEST(Io, BinaryRejectsCorruptStructure) {
+  // Flip an offsets entry so the array decreases: the payload is the right
+  // size but structurally garbage.
+  std::string bytes = serialized_graph();
+  const std::size_t offsets_start = 4 + 4 + 8 + 8 + 1;
+  bytes[offsets_start + 8] = '\x7f';  // offsets[1] becomes huge
+  expect_load_error(bytes, "corrupt structure");
 }
 
 TEST(Io, EdgeListRoundTrip) {

@@ -6,15 +6,20 @@
 ///   cxlgraph info     g.cxlg
 ///   cxlgraph reorder  --in=g.cxlg --out=g2.cxlg --order=degree-sorted
 ///   cxlgraph run      --graph=g.cxlg --algo=bfs --backend=cxl \
-///                     [--added-us=1.0] [--alignment=32] [--gen3]
+///                     [--added-us=1.0] [--alignment=32] [--gen3] \
+///                     [--shards=4] [--partitioner=degree-balanced]
 ///
 /// `run` without --graph generates the dataset on the fly
-/// (--dataset/--scale).
+/// (--dataset/--scale). With --shards >= 2 the run goes through the
+/// sharded cluster simulation (core::ClusterRuntime): the graph is
+/// partitioned, every shard gets its own GPU + backend stack, and the
+/// report adds the exchange/cut numbers.
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "core/cluster_runtime.hpp"
 #include "core/runtime.hpp"
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
@@ -159,6 +164,13 @@ int cmd_run(int argc, char** argv) {
                  "host-dram");
   cli.add_option("added-us", "CXL added latency [us]", "0");
   cli.add_option("alignment", "access alignment override [B]", "0");
+  cli.add_option("shards",
+                 "number of simulated GPU shards (>= 2 enables the "
+                 "cluster path)",
+                 "1");
+  cli.add_option("partitioner",
+                 "vertex-range | degree-balanced | hash-edge", "vertex-range");
+  cli.add_option("jobs", "worker threads for per-shard replays", "0");
   cli.add_flag("gen3", "use the Gen3 (Table-4) system preset");
   cli.add_flag("direct-cxl", "model a direct GPU-CXL path (Sec. 5)");
   if (!cli.parse(argc, argv)) return 0;
@@ -187,6 +199,48 @@ int cmd_run(int argc, char** argv) {
   if (cli.get_int("alignment") > 0) {
     req.alignment = static_cast<std::uint32_t>(cli.get_int("alignment"));
   }
+
+  const std::int64_t shards_arg = cli.get_int("shards");
+  const std::int64_t jobs_arg = cli.get_int("jobs");
+  if (shards_arg < 1 || shards_arg > 4096) {
+    throw std::invalid_argument("--shards must be in [1, 4096]");
+  }
+  if (jobs_arg < 0) throw std::invalid_argument("--jobs must be >= 0");
+  const auto shards = static_cast<std::uint32_t>(shards_arg);
+  if (shards >= 2) {
+    core::ClusterRuntime cluster(cfg, static_cast<unsigned>(jobs_arg));
+    core::ClusterRequest creq;
+    creq.run = req;
+    creq.num_shards = shards;
+    creq.strategy = partition::strategy_from_name(cli.get("partitioner"));
+    const core::ClusterReport r = cluster.run(g, creq);
+
+    util::TablePrinter table({"Metric", "Value"});
+    table.add_row({"algorithm", r.algorithm});
+    table.add_row({"backend", r.backend + " (" + r.access_method + ")"});
+    table.add_row({"shards", std::to_string(r.num_shards) + " x " +
+                                 r.partitioner});
+    table.add_row({"source", std::to_string(r.source)});
+    table.add_row({"cluster runtime",
+                   util::fmt(r.runtime_sec * 1e3, 3) + " ms"});
+    table.add_row({"  compute (max shard per superstep)",
+                   util::fmt(r.compute_sec * 1e3, 3) + " ms"});
+    table.add_row({"  frontier exchange",
+                   util::fmt(r.exchange_sec * 1e3, 3) + " ms"});
+    table.add_row({"exchange traffic",
+                   util::format_bytes(r.exchange_bytes) + " (" +
+                       util::fmt_count(r.exchange_messages) + " msgs)"});
+    table.add_row({"supersteps", util::fmt_count(r.supersteps)});
+    table.add_row({"D (fetched bytes, all shards)",
+                   util::format_bytes(r.fetched_bytes)});
+    table.add_row({"cut fraction", util::fmt(r.cut.cut_fraction, 3)});
+    table.add_row({"edge imbalance", util::fmt(r.cut.edge_imbalance, 2)});
+    table.add_row({"slowest shard compute",
+                   util::fmt(r.max_shard_compute_sec * 1e3, 3) + " ms"});
+    table.print(std::cout);
+    return 0;
+  }
+
   const core::RunReport r = runtime.run(g, req);
 
   util::TablePrinter table({"Metric", "Value"});
