@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "graph/generate.hpp"
+#include "partition/partition.hpp"
+
+namespace cxlgraph::partition {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+using GlobalEdge = std::tuple<VertexId, VertexId, Weight>;
+
+/// All directed edges of `g` as (src, dst, weight) triples, sorted.
+std::vector<GlobalEdge> global_edges(const CsrGraph& g) {
+  std::vector<GlobalEdge> out;
+  out.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto neighbors = g.neighbors(u);
+    const auto weights = g.weighted() ? g.weights_of(u)
+                                      : std::span<const Weight>{};
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      out.emplace_back(u, neighbors[i],
+                       weights.empty() ? Weight{1} : weights[i]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The union of every shard's edges, mapped back to global IDs.
+std::vector<GlobalEdge> union_edges(const Partition& p) {
+  std::vector<GlobalEdge> out;
+  for (const ShardGraph& shard : p.shards) {
+    const CsrGraph& g = shard.graph;
+    for (VertexId l = 0; l < g.num_vertices(); ++l) {
+      const auto neighbors = g.neighbors(l);
+      const auto weights = g.weighted() ? g.weights_of(l)
+                                        : std::span<const Weight>{};
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        out.emplace_back(shard.to_global(l),
+                         shard.to_global(neighbors[i]),
+                         weights.empty() ? Weight{1} : weights[i]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CsrGraph weighted_test_graph() {
+  graph::GeneratorOptions opts;
+  opts.seed = 11;
+  opts.max_weight = 63;
+  return graph::generate_uniform(1 << 9, 8.0, opts);
+}
+
+TEST(Partition, EveryEdgeLandsInExactlyOneShard) {
+  const CsrGraph g = weighted_test_graph();
+  const auto expected = global_edges(g);
+  for (const Strategy strategy : all_strategies()) {
+    for (const std::uint32_t shards : {1u, 2u, 3u, 5u, 16u}) {
+      const Partition p = make_partition(g, strategy, shards);
+      std::uint64_t total = 0;
+      for (const ShardGraph& shard : p.shards) {
+        total += shard.graph.num_edges();
+      }
+      EXPECT_EQ(total, g.num_edges())
+          << to_string(strategy) << " x" << shards;
+      // The union reconstructs the graph as an edge multiset, weights
+      // included — nothing lost, nothing duplicated.
+      EXPECT_EQ(union_edges(p), expected)
+          << to_string(strategy) << " x" << shards;
+    }
+  }
+}
+
+TEST(Partition, IdMapsRoundTrip) {
+  const CsrGraph g = weighted_test_graph();
+  for (const Strategy strategy : all_strategies()) {
+    const Partition p = make_partition(g, strategy, 4);
+    std::uint64_t owned_total = 0;
+    for (std::uint32_t s = 0; s < p.shards.size(); ++s) {
+      const ShardGraph& shard = p.shards[s];
+      ASSERT_EQ(shard.local_to_global.size(),
+                shard.graph.num_vertices());
+      for (VertexId l = 0; l < shard.local_to_global.size(); ++l) {
+        EXPECT_EQ(shard.to_local(shard.to_global(l)), l);
+      }
+      for (const auto& [global, local] : shard.global_to_local) {
+        EXPECT_EQ(shard.to_global(local), global);
+      }
+      owned_total += shard.num_owned;
+      // Every owned vertex is present and credited to this shard.
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (p.owner[v] == s) {
+          EXPECT_NE(shard.to_local(v), kNoLocalId);
+        }
+      }
+    }
+    // Each vertex is owned by exactly one shard.
+    EXPECT_EQ(owned_total, g.num_vertices());
+    EXPECT_EQ(p.owner.size(), g.num_vertices());
+  }
+}
+
+TEST(Partition, AbsentVertexMapsToNoLocalId) {
+  const CsrGraph g = graph::make_path(8);
+  const Partition p = make_partition(g, Strategy::kVertexRange, 4);
+  // Vertex 7 lives in the last range; the first shard only sees 0..2
+  // (owned 0,1 plus ghost 2).
+  EXPECT_EQ(p.shards[0].to_local(7), kNoLocalId);
+}
+
+TEST(Partition, SingleShardIsIdentity) {
+  const CsrGraph g = weighted_test_graph();
+  for (const Strategy strategy : all_strategies()) {
+    const Partition p = make_partition(g, strategy, 1);
+    ASSERT_EQ(p.shards.size(), 1u);
+    const ShardGraph& shard = p.shards[0];
+    EXPECT_EQ(shard.graph.offsets(), g.offsets());
+    EXPECT_EQ(shard.graph.edges(), g.edges());
+    EXPECT_EQ(shard.graph.weights(), g.weights());
+    EXPECT_EQ(shard.num_owned, g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(shard.to_local(v), v);
+      EXPECT_EQ(shard.to_global(v), v);
+    }
+    EXPECT_EQ(p.stats.cut_edges, 0u);
+    EXPECT_EQ(p.stats.vertex_replication, 1.0);
+  }
+}
+
+TEST(Partition, EmptyGraph) {
+  const CsrGraph g({0}, {});
+  for (const Strategy strategy : all_strategies()) {
+    const Partition p = make_partition(g, strategy, 3);
+    EXPECT_EQ(p.shards.size(), 3u);
+    for (const ShardGraph& shard : p.shards) {
+      EXPECT_EQ(shard.graph.num_vertices(), 0u);
+      EXPECT_EQ(shard.graph.num_edges(), 0u);
+      EXPECT_EQ(shard.num_owned, 0u);
+    }
+    EXPECT_EQ(p.stats.total_edges, 0u);
+    EXPECT_EQ(p.stats.cut_fraction, 0.0);
+  }
+}
+
+TEST(Partition, MoreShardsThanVertices) {
+  const CsrGraph g = graph::make_path(3);
+  const auto expected = global_edges(g);
+  for (const Strategy strategy : all_strategies()) {
+    const Partition p = make_partition(g, strategy, 8);
+    EXPECT_EQ(p.shards.size(), 8u);
+    EXPECT_EQ(union_edges(p), expected) << to_string(strategy);
+    std::uint64_t owned_total = 0;
+    for (const ShardGraph& shard : p.shards) {
+      owned_total += shard.num_owned;
+    }
+    EXPECT_EQ(owned_total, 3u);
+  }
+}
+
+TEST(Partition, VertexRangeOwnershipIsContiguous) {
+  const CsrGraph g = weighted_test_graph();
+  const Partition p = make_partition(g, Strategy::kVertexRange, 5);
+  for (std::size_t v = 1; v < p.owner.size(); ++v) {
+    EXPECT_GE(p.owner[v], p.owner[v - 1]);
+  }
+}
+
+TEST(Partition, DegreeBalancedBeatsVertexRangeOnSkew) {
+  // A star graph concentrates the whole edge list on vertex 0; the
+  // vertex-range partitioner dumps it all on shard 0 while the
+  // degree-balanced cut at least spreads the reverse edges.
+  const CsrGraph g = graph::make_star(63);
+  const Partition range = make_partition(g, Strategy::kVertexRange, 4);
+  const Partition balanced =
+      make_partition(g, Strategy::kDegreeBalanced, 4);
+  EXPECT_LE(balanced.stats.max_shard_edges, range.stats.max_shard_edges);
+  const Partition hashed = make_partition(g, Strategy::kHashEdge, 4);
+  // Hashing balances edges within a small factor even under skew.
+  EXPECT_LT(hashed.stats.edge_imbalance, 2.0);
+}
+
+TEST(Partition, RingCutEdgesMatchBoundaryCount) {
+  // An 8-ring split into two halves cuts exactly two undirected edges —
+  // four directed ones.
+  const CsrGraph g = graph::make_ring(8);
+  const Partition p = make_partition(g, Strategy::kVertexRange, 2);
+  EXPECT_EQ(p.stats.cut_edges, 4u);
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  const CsrGraph g = weighted_test_graph();
+  for (const Strategy strategy : all_strategies()) {
+    const Partition a = make_partition(g, strategy, 4, /*seed=*/9);
+    const Partition b = make_partition(g, strategy, 4, /*seed=*/9);
+    EXPECT_EQ(a.owner, b.owner);
+    for (std::size_t s = 0; s < a.shards.size(); ++s) {
+      EXPECT_EQ(a.shards[s].graph.offsets(), b.shards[s].graph.offsets());
+      EXPECT_EQ(a.shards[s].graph.edges(), b.shards[s].graph.edges());
+      EXPECT_EQ(a.shards[s].local_to_global, b.shards[s].local_to_global);
+    }
+  }
+}
+
+TEST(Partition, ZeroShardsThrows) {
+  const CsrGraph g = graph::make_path(4);
+  EXPECT_THROW(make_partition(g, Strategy::kVertexRange, 0),
+               std::invalid_argument);
+}
+
+TEST(Partition, StrategyNamesRoundTrip) {
+  for (const Strategy s : all_strategies()) {
+    EXPECT_EQ(strategy_from_name(to_string(s)), s);
+  }
+  EXPECT_THROW(strategy_from_name("metis"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cxlgraph::partition
