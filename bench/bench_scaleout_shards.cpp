@@ -1,12 +1,15 @@
 /// Scale-out extension: strong scaling of the sharded cluster simulation.
 ///
 /// Sweeps shard counts (1..--max-shards, powers of two) x partitioner x
-/// backend for BFS and a PageRank-style sequential sweep on the urand
-/// dataset, reporting cluster runtime, its compute/exchange split, the
-/// inter-shard frontier traffic, and the partition quality numbers. The
-/// shards=1 row of every series is the single-runtime baseline the
-/// speedups are normalized to; `--check-single` additionally asserts that
-/// it is bit-identical to ExternalGraphRuntime::run.
+/// backend for BFS, a PageRank-style sequential sweep, direction-
+/// optimizing BFS, and delta-stepping SSSP on the chosen dataset,
+/// reporting cluster runtime, its compute/exchange split, the inter-shard
+/// traffic, the ingress skew of the asymmetric exchange (max/mean ingress
+/// per phase — where degree-balanced and hash-edge cuts separate), and the
+/// partition quality numbers. The shards=1 row of every series is the
+/// single-runtime baseline the speedups are normalized to;
+/// `--check-single` additionally asserts that it is bit-identical to
+/// ExternalGraphRuntime::run for every shardable algorithm.
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -16,6 +19,18 @@
 namespace {
 
 using namespace cxlgraph;
+
+/// The algorithms the strong-scaling sweep covers (one per workload
+/// class). Validated against core::cluster_supports up front so an
+/// unsupported entry fails before the sweep starts, not mid-run.
+/// check_single() keeps its own, larger list: it verifies the shards=1
+/// identity for *every* shardable algorithm, sweep member or not.
+const std::vector<core::Algorithm>& sweep_algorithms() {
+  static const std::vector<core::Algorithm> algorithms = {
+      core::Algorithm::kBfs, core::Algorithm::kPagerankScan,
+      core::Algorithm::kBfsDirOpt, core::Algorithm::kSsspDelta};
+  return algorithms;
+}
 
 /// Bitwise comparison of the fields a shard=1 cluster must reproduce.
 bool reports_identical(const core::RunReport& a, const core::RunReport& b,
@@ -52,7 +67,9 @@ bool reports_identical(const core::RunReport& a, const core::RunReport& b,
 int check_single(const graph::CsrGraph& g,
                  const core::ExperimentOptions& options) {
   for (const core::Algorithm algorithm :
-       {core::Algorithm::kBfs, core::Algorithm::kPagerankScan}) {
+       {core::Algorithm::kBfs, core::Algorithm::kSssp,
+        core::Algorithm::kCc, core::Algorithm::kPagerankScan,
+        core::Algorithm::kBfsDirOpt, core::Algorithm::kSsspDelta}) {
     for (const core::BackendKind backend :
          {core::BackendKind::kHostDram, core::BackendKind::kCxl}) {
       core::RunRequest req;
@@ -83,7 +100,8 @@ int check_single(const graph::CsrGraph& g,
     }
   }
   std::cerr << "check-single OK: 1-shard cluster == single runtime "
-               "(bfs, pagerank-scan on host-dram, cxl)\n";
+               "(bfs, sssp, cc, pagerank-scan, bfs-dir-opt, sssp-delta "
+               "on host-dram, cxl)\n";
   return 0;
 }
 
@@ -91,6 +109,7 @@ int check_single(const graph::CsrGraph& g,
 
 int main(int argc, char** argv) {
   util::CliParser cli;
+  cli.add_option("dataset", "urand | kron | friendster", "urand");
   cli.add_option("scale", "log2 of dataset vertex count", "12");
   cli.add_option("seed", "random seed", "42");
   cli.add_option("max-shards", "largest shard count in the sweep", "16");
@@ -119,19 +138,35 @@ int main(int argc, char** argv) {
   }
   const auto max_shards = static_cast<std::uint32_t>(max_shards_arg);
 
+  // Weighted so delta-stepping gets non-trivial bucket structure. Note
+  // weight sampling advances the generator's RNG stream, so this is a
+  // different sampled graph than the unweighted one earlier sweeps used —
+  // rows are not comparable across that change.
   const graph::CsrGraph g = graph::make_dataset(
-      graph::DatasetId::kUrand, options.scale, /*weighted=*/false,
-      options.seed);
+      graph::dataset_from_name(cli.get("dataset")), options.scale,
+      /*weighted=*/true, options.seed);
 
   if (cli.get_bool("check-single")) return check_single(g, options);
 
+  // Fail fast: validate every (algorithm, partitioner) combination before
+  // the first run so an unsupported one aborts with a clear message
+  // up front, not half-way through the sweep.
+  for (const core::Algorithm algorithm : sweep_algorithms()) {
+    if (!core::cluster_supports(algorithm)) {
+      std::cerr << "scaleout: algorithm " << core::to_string(algorithm)
+                << " has no superstep decomposition; it cannot run under "
+                   "the sharded cluster. Drop it from the sweep.\n";
+      return 2;
+    }
+  }
+
   if (!cli.get_bool("csv")) {
     std::cout << "=== Scale-out: sharded multi-GPU strong scaling ===\n"
-              << "scale: 2^" << options.scale
-              << " vertices, seed: " << options.seed
+              << "dataset: " << cli.get("dataset") << ", scale: 2^"
+              << options.scale << " vertices, seed: " << options.seed
               << ", shards: 1.." << max_shards << "\n"
-              << "model: per-superstep max shard time + bulk frontier "
-                 "exchange over the GPU link\n\n";
+              << "model: per-superstep max shard time + asymmetric "
+                 "exchange (slowest-ingress shard per phase)\n\n";
   }
 
   std::vector<std::uint32_t> shard_counts;
@@ -141,12 +176,11 @@ int main(int argc, char** argv) {
 
   util::TablePrinter table(
       {"Algorithm", "Backend", "Partitioner", "Shards", "Runtime [ms]",
-       "Speedup", "Compute [ms]", "Exchange [ms]", "Exchange [B]",
-       "Cut frac", "Edge imbal", "Max shard [ms]"});
+       "Speedup", "Compute [ms]", "Exchange [us]", "Exchange [B]",
+       "Ingress skew", "Cut frac", "Edge imbal", "Max shard [ms]"});
 
   core::ClusterRuntime cluster(core::table3_system(), options.jobs);
-  for (const core::Algorithm algorithm :
-       {core::Algorithm::kBfs, core::Algorithm::kPagerankScan}) {
+  for (const core::Algorithm algorithm : sweep_algorithms()) {
     for (const core::BackendKind backend :
          {core::BackendKind::kHostDram, core::BackendKind::kCxl}) {
       double baseline_sec = 0.0;
@@ -163,7 +197,17 @@ int main(int argc, char** argv) {
           req.run.source_seed = options.seed;
           req.num_shards = shards;
           req.strategy = strategy;
-          const core::ClusterReport r = cluster.run(g, req);
+          core::ClusterReport r;
+          try {
+            r = cluster.run(g, req);
+          } catch (const std::exception& e) {
+            std::cerr << "scaleout: " << core::to_string(algorithm)
+                      << " x" << shards << " ("
+                      << partition::to_string(strategy) << ", "
+                      << core::to_string(backend)
+                      << ") failed: " << e.what() << "\n";
+            return 2;
+          }
           if (shards == 1) baseline_sec = r.runtime_sec;
           if (options.verbose) {
             CXLG_INFO("scaleout: " << r.algorithm << " " << r.backend
@@ -178,8 +222,9 @@ int main(int argc, char** argv) {
                std::to_string(shards), util::fmt(r.runtime_sec * 1e3, 3),
                util::fmt(baseline_sec / r.runtime_sec, 2),
                util::fmt(r.compute_sec * 1e3, 3),
-               util::fmt(r.exchange_sec * 1e3, 3),
+               util::fmt(r.exchange_sec * 1e6, 3),
                std::to_string(r.exchange_bytes),
+               util::fmt(r.exchange_ingress_skew, 2),
                util::fmt(r.cut.cut_fraction, 3),
                util::fmt(r.cut.edge_imbalance, 2),
                util::fmt(r.max_shard_compute_sec * 1e3, 3)});

@@ -5,6 +5,26 @@
 
 namespace cxlgraph::algo {
 
+bool DirectionDecider::decide_bottom_up(const DirectionVote& vote) {
+  // Heuristic switch (GAP): go bottom-up when the frontier is growing
+  // and its out-edges dominate the unexplored edges; return top-down
+  // when it thins out.
+  const bool growing = vote.frontier_vertices > previous_frontier_size_;
+  previous_frontier_size_ = vote.frontier_vertices;
+  if (!bottom_up_ && growing &&
+      static_cast<double>(vote.frontier_edges) >
+          static_cast<double>(total_edges_ - scanned_edges_) /
+              params_.alpha) {
+    bottom_up_ = true;
+  } else if (bottom_up_ &&
+             static_cast<double>(vote.frontier_vertices) <
+                 static_cast<double>(num_vertices_) / params_.beta) {
+    bottom_up_ = false;
+  }
+  scanned_edges_ += vote.frontier_edges;
+  return bottom_up_;
+}
+
 DobfsResult bfs_direction_optimizing(const graph::CsrGraph& graph,
                                      graph::VertexId source,
                                      const DirectionOptParams& params) {
@@ -17,36 +37,20 @@ DobfsResult bfs_direction_optimizing(const graph::CsrGraph& graph,
   result.bfs.depth[source] = 0;
 
   std::vector<graph::VertexId> frontier{source};
-  std::uint64_t scanned_edges = 0;
-  const std::uint64_t total_edges = graph.num_edges();
+  DirectionDecider decider(graph.num_edges(), n, params);
   std::uint32_t level = 0;
   bool bottom_up = false;
-  std::size_t previous_frontier_size = 0;
 
   while (!frontier.empty()) {
     result.bfs.frontiers.push_back(frontier);
 
-    // Heuristic switch (GAP): go bottom-up when the frontier is growing
-    // and its out-edges dominate the unexplored edges; return top-down
-    // when it thins out.
-    std::uint64_t frontier_edges = 0;
+    DirectionVote vote;
+    vote.frontier_vertices = frontier.size();
     for (const graph::VertexId u : frontier) {
-      frontier_edges += graph.degree(u);
+      vote.frontier_edges += graph.degree(u);
     }
-    const bool growing = frontier.size() > previous_frontier_size;
-    previous_frontier_size = frontier.size();
-    if (!bottom_up && growing &&
-        static_cast<double>(frontier_edges) >
-            static_cast<double>(total_edges - scanned_edges) /
-                params.alpha) {
-      bottom_up = true;
-    } else if (bottom_up &&
-               static_cast<double>(frontier.size()) <
-                   static_cast<double>(n) / params.beta) {
-      bottom_up = false;
-    }
+    bottom_up = decider.decide_bottom_up(vote);
     result.bottom_up_level.push_back(bottom_up);
-    scanned_edges += frontier_edges;
 
     std::vector<graph::VertexId> next;
     if (!bottom_up) {

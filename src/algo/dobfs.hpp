@@ -23,6 +23,52 @@ struct DirectionOptParams {
   double beta = 18.0;
 };
 
+/// One voter's contribution to a superstep's push-vs-pull decision: the
+/// stats the GAP heuristic consumes, countable locally. A cluster shard
+/// reports the out-edges of the frontier vertices it stores (each edge is
+/// stored on exactly one shard) and the frontier vertices it owns, so
+/// summing votes over shards reproduces the whole-graph stats exactly.
+struct DirectionVote {
+  /// Out-degree sum of the frontier vertices this voter stores edges for.
+  std::uint64_t frontier_edges = 0;
+  /// Frontier vertices this voter owns.
+  std::uint64_t frontier_vertices = 0;
+
+  DirectionVote& operator+=(const DirectionVote& other) noexcept {
+    frontier_edges += other.frontier_edges;
+    frontier_vertices += other.frontier_vertices;
+    return *this;
+  }
+};
+
+/// The direction heuristic with its cross-level state (hysteresis, scanned
+/// edges, previous frontier size) factored out of bfs_direction_optimizing
+/// so a sharded cluster can take one aggregate decision per superstep.
+/// Feeding it the whole-graph vote per level reproduces the single-runtime
+/// decision sequence bit-for-bit — and since shard votes sum to the
+/// whole-graph vote, the cluster's decisions are shard-count invariant.
+class DirectionDecider {
+ public:
+  DirectionDecider(std::uint64_t total_edges, std::uint64_t num_vertices,
+                   const DirectionOptParams& params = {})
+      : total_edges_(total_edges),
+        num_vertices_(num_vertices),
+        params_(params) {}
+
+  /// Consumes the aggregate vote for the next level; returns true when the
+  /// level should run bottom-up. Must be called exactly once per level, in
+  /// order.
+  bool decide_bottom_up(const DirectionVote& vote);
+
+ private:
+  std::uint64_t total_edges_;
+  std::uint64_t num_vertices_;
+  DirectionOptParams params_;
+  bool bottom_up_ = false;
+  std::uint64_t scanned_edges_ = 0;
+  std::uint64_t previous_frontier_size_ = 0;
+};
+
 struct DobfsResult {
   BfsResult bfs;  // depths/parents/frontiers, identical semantics
   /// Per level: true if the level ran bottom-up.

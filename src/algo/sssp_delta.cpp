@@ -66,6 +66,7 @@ DeltaSteppingResult sssp_delta_stepping(const graph::CsrGraph& graph,
       }
       if (phase.empty()) break;
       result.phases.push_back(phase);
+      result.phase_bucket.push_back(current);
 
       std::vector<graph::VertexId> requeue;
       for (const graph::VertexId u : phase) {

@@ -17,6 +17,13 @@ struct DeltaSteppingResult {
   std::vector<Distance> dist;
   /// Per relaxation phase: the vertices whose sublists were scanned.
   std::vector<std::vector<graph::VertexId>> phases;
+  /// Per relaxation phase: the bucket key (floor(dist/delta)) whose epoch
+  /// the phase ran under; size == phases.size(). Consecutive phases with
+  /// the same key are the light-edge fixpoint rounds of one bucket epoch;
+  /// a key change is the heavy-edge barrier where the next bucket opens.
+  /// This is the phase-boundary seam a sharded (BSP) replay needs to map
+  /// relaxation phases onto barrier-delimited supersteps.
+  std::vector<std::uint64_t> phase_bucket;
   std::uint64_t buckets_processed = 0;
 };
 

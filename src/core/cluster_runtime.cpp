@@ -5,7 +5,9 @@
 
 #include "algo/bfs.hpp"
 #include "algo/cc.hpp"
+#include "algo/dobfs.hpp"
 #include "algo/sssp.hpp"
+#include "algo/sssp_delta.hpp"
 #include "core/experiment_runner.hpp"
 #include "device/pcie.hpp"
 
@@ -18,22 +20,38 @@ using util::SimTime;
 
 /// A frontier vertex ID travels between shards as one vertex-ID word.
 constexpr std::uint64_t kExchangeBytesPerVertex = graph::kBytesPerEdge;
+/// A delta-stepping relaxation request carries (target ID, candidate
+/// distance): two words.
+constexpr std::uint64_t kRelaxRequestBytes = 2 * graph::kBytesPerEdge;
 
-/// One exchange phase (the traffic between two consecutive supersteps).
+/// One exchange phase (the traffic between two consecutive supersteps),
+/// resolved per ordered (source, destination-owner) shard pair so the
+/// asymmetric composition can find the slowest ingress.
 struct ExchangePhase {
   std::uint64_t bytes = 0;
   std::uint64_t messages = 0;
+  /// Row-major [from * num_shards + to]; diagonal stays zero.
+  std::vector<std::uint64_t> pair_bytes;
+
+  explicit ExchangePhase(std::uint32_t num_shards)
+      : pair_bytes(static_cast<std::size_t>(num_shards) * num_shards, 0) {}
+
+  void add(std::uint32_t num_shards, std::uint32_t from, std::uint32_t to,
+           std::uint64_t message_bytes) {
+    ++messages;
+    bytes += message_bytes;
+    pair_bytes[static_cast<std::size_t>(from) * num_shards + to] +=
+        message_bytes;
+  }
 };
 
-/// Appends `local`'s sublist to `step`, chunked exactly like
-/// algo::build_trace so a single-shard trace is bit-identical to the
+/// Appends the byte range [offset, offset + remaining) of `local`'s
+/// sublist to `step`, chunked exactly like algo::build_trace /
+/// algo::build_dobfs_trace so a single-shard trace is bit-identical to the
 /// unsharded one.
-void append_local_sublist(const graph::CsrGraph& g, VertexId local,
-                          algo::TraceStep& step, algo::AccessTrace& trace) {
-  const std::uint64_t total = g.sublist_bytes(local);
-  if (total == 0) return;
-  std::uint64_t offset = g.sublist_byte_offset(local);
-  std::uint64_t remaining = total;
+void append_byte_range(VertexId local, std::uint64_t offset,
+                       std::uint64_t remaining, algo::TraceStep& step,
+                       algo::AccessTrace& trace) {
   while (remaining > 0) {
     const std::uint64_t chunk =
         std::min(remaining, algo::kMaxWorkChunkBytes);
@@ -42,6 +60,60 @@ void append_local_sublist(const graph::CsrGraph& g, VertexId local,
     ++trace.total_reads;
     offset += chunk;
     remaining -= chunk;
+  }
+}
+
+/// Appends `local`'s whole sublist to `step`.
+void append_local_sublist(const graph::CsrGraph& g, VertexId local,
+                          algo::TraceStep& step, algo::AccessTrace& trace) {
+  append_byte_range(local, g.sublist_byte_offset(local),
+                    g.sublist_bytes(local), step, trace);
+}
+
+/// Appends to `step` the local sublists of the sorted `actives` present on
+/// `shard` with nonzero local degree; returns their local IDs. This is the
+/// one scan loop every frontier-shaped superstep shares, so the shards=1
+/// bit-identity chunking lives in a single place.
+std::vector<VertexId> scan_actives(const partition::ShardGraph& shard,
+                                   const std::vector<VertexId>& actives,
+                                   std::size_t reserve_hint,
+                                   algo::TraceStep& step,
+                                   algo::AccessTrace& trace) {
+  std::vector<VertexId> active_locals;
+  step.reads.reserve(reserve_hint);
+  for (const VertexId u : actives) {
+    const VertexId l = shard.to_local(u);
+    if (l == partition::kNoLocalId || shard.graph.degree(l) == 0) {
+      continue;
+    }
+    append_local_sublist(shard.graph, l, step, trace);
+    active_locals.push_back(l);
+  }
+  return active_locals;
+}
+
+/// One owner-notification sweep for shard `s`: every local neighbor of
+/// `active_locals` whose global ID passes `is_target` and is owned
+/// elsewhere gets one message of `message_bytes`, deduplicated via the
+/// caller's `stamp` in `sent` (one stamp value per (superstep, shard)).
+template <typename TargetPredicate>
+void notify_remote_targets(const partition::Partition& part, std::uint32_t s,
+                           const std::vector<VertexId>& active_locals,
+                           std::vector<std::uint64_t>& sent,
+                           std::uint64_t stamp, ExchangePhase& phase,
+                           std::uint64_t message_bytes,
+                           TargetPredicate is_target) {
+  const partition::ShardGraph& shard = part.shards[s];
+  for (const VertexId l : active_locals) {
+    for (const VertexId lv : shard.graph.neighbors(l)) {
+      const VertexId v = shard.to_global(lv);
+      if (!is_target(v)) continue;
+      const std::uint32_t to = part.owner[v];
+      if (to == s) continue;
+      if (sent[v] == stamp) continue;
+      sent[v] = stamp;
+      phase.add(part.num_shards, s, to, message_bytes);
+    }
   }
 }
 
@@ -62,21 +134,267 @@ std::vector<std::vector<VertexId>> frontiers_for(
       to_string(algorithm));
 }
 
-/// Single source of truth for what run() accepts: the frontier algorithms
-/// frontiers_for decomposes, plus the sequential PageRank sweep.
-bool has_superstep_decomposition(Algorithm algorithm) {
+/// PageRank-style sweep: one superstep scanning each shard's local edge
+/// list; ghost-rank updates flow to their owners afterwards.
+void decompose_pagerank(const partition::Partition& part,
+                        std::vector<algo::AccessTrace>& traces,
+                        std::vector<ExchangePhase>& phases) {
+  const std::uint32_t P = part.num_shards;
+  bool any_reads = false;
+  std::vector<algo::TraceStep> steps(P);
+  for (std::uint32_t s = 0; s < P; ++s) {
+    const partition::ShardGraph& shard = part.shards[s];
+    steps[s].reads.reserve(shard.graph.num_vertices());
+    for (VertexId l = 0; l < shard.graph.num_vertices(); ++l) {
+      append_local_sublist(shard.graph, l, steps[s], traces[s]);
+    }
+    any_reads = any_reads || !steps[s].reads.empty();
+  }
+  if (!any_reads) return;
+  ExchangePhase phase(P);
+  for (std::uint32_t s = 0; s < P; ++s) {
+    const partition::ShardGraph& shard = part.shards[s];
+    traces[s].steps.push_back(std::move(steps[s]));
+    for (VertexId l = 0; l < shard.graph.num_vertices(); ++l) {
+      const std::uint32_t to = part.owner[shard.to_global(l)];
+      if (to == s) continue;  // owned, not a ghost
+      phase.add(P, s, to, kExchangeBytesPerVertex);
+    }
+  }
+  phases.push_back(std::move(phase));
+}
+
+/// Frontier algorithms (BFS, Bellman-Ford SSSP, CC): one superstep per
+/// frontier; a shard that discovers a next-frontier vertex owned elsewhere
+/// sends its ID to the owner once per (superstep, shard, vertex).
+void decompose_frontiers(
+    const graph::CsrGraph& g, const partition::Partition& part,
+    const std::vector<std::vector<VertexId>>& frontiers,
+    std::vector<algo::AccessTrace>& traces,
+    std::vector<ExchangePhase>& phases) {
+  const std::uint32_t P = part.num_shards;
+  const std::uint64_t n = g.num_vertices();
+  // next_stamp[v] == k+1 marks v as a member of frontier k+1; sent[v]
+  // deduplicates (superstep, shard, vertex) notifications.
+  std::vector<std::uint64_t> next_stamp(n, 0);
+  std::vector<std::uint64_t> sent(n, 0);
+  std::uint64_t stamp = 0;
+  for (std::size_t k = 0; k < frontiers.size(); ++k) {
+    std::vector<VertexId> frontier = frontiers[k];
+    std::sort(frontier.begin(), frontier.end());
+
+    std::vector<algo::TraceStep> steps(P);
+    std::vector<std::vector<VertexId>> active_locals(P);
+    bool any_reads = false;
+    for (std::uint32_t s = 0; s < P; ++s) {
+      active_locals[s] = scan_actives(part.shards[s], frontier,
+                                      frontier.size() / P + 1, steps[s],
+                                      traces[s]);
+      any_reads = any_reads || !steps[s].reads.empty();
+    }
+    if (!any_reads) continue;
+    for (std::uint32_t s = 0; s < P; ++s) {
+      traces[s].steps.push_back(std::move(steps[s]));
+    }
+
+    if (P > 1 && k + 1 < frontiers.size()) {
+      for (const VertexId v : frontiers[k + 1]) next_stamp[v] = k + 1;
+      ExchangePhase phase(P);
+      for (std::uint32_t s = 0; s < P; ++s) {
+        ++stamp;
+        notify_remote_targets(part, s, active_locals[s], sent, stamp,
+                              phase, kExchangeBytesPerVertex,
+                              [&next_stamp, k](VertexId v) {
+                                return next_stamp[v] == k + 1;
+                              });
+      }
+      phases.push_back(std::move(phase));
+    }
+  }
+}
+
+/// Direction-optimizing BFS: per superstep every shard votes push vs pull
+/// from its local frontier stats; the aggregate — which equals the
+/// whole-graph stats, since each edge is stored on exactly one shard and
+/// each frontier vertex owned by exactly one — feeds the same
+/// algo::DirectionDecider the single runtime uses, so the cluster runs one
+/// direction per superstep and the decision sequence is shard-count
+/// invariant (at shards=1 it is bit-identical to build_dobfs_trace). Pull
+/// supersteps scan unvisited local sublists with the first-found-parent
+/// early exit applied against the shard's local neighbor list.
+void decompose_dobfs(const graph::CsrGraph& g,
+                     const partition::Partition& part, VertexId source,
+                     std::vector<algo::AccessTrace>& traces,
+                     std::vector<ExchangePhase>& phases,
+                     ClusterReport& report) {
+  const std::uint32_t P = part.num_shards;
+  const std::uint64_t n = g.num_vertices();
+  // Depths drive both the pull-phase early exit and the next-frontier
+  // membership test; direction-optimized depths equal plain BFS depths.
+  const algo::BfsResult bfs = algo::bfs(g, source);
+
+  algo::DirectionDecider decider(g.num_edges(), n);
+  std::vector<std::uint64_t> sent(n, 0);
+  std::uint64_t stamp = 0;
+
+  for (std::size_t k = 0; k < bfs.frontiers.size(); ++k) {
+    std::vector<VertexId> frontier = bfs.frontiers[k];
+    std::sort(frontier.begin(), frontier.end());
+
+    // The vote: every level consumes one decision, kept or not, so the
+    // decider's hysteresis matches the single runtime's level for level.
+    algo::DirectionVote aggregate;
+    for (std::uint32_t s = 0; s < P; ++s) {
+      const partition::ShardGraph& shard = part.shards[s];
+      algo::DirectionVote vote;
+      for (const VertexId u : frontier) {
+        if (part.owner[u] == s) ++vote.frontier_vertices;
+        const VertexId l = shard.to_local(u);
+        if (l != partition::kNoLocalId) {
+          vote.frontier_edges += shard.graph.degree(l);
+        }
+      }
+      aggregate += vote;
+    }
+    const bool bottom_up = decider.decide_bottom_up(aggregate);
+
+    std::vector<algo::TraceStep> steps(P);
+    std::vector<std::vector<VertexId>> active_locals(P);
+    // Pull-phase discoveries: global vertices a shard found a parent for.
+    std::vector<std::vector<VertexId>> discovered(P);
+    bool any_reads = false;
+    for (std::uint32_t s = 0; s < P; ++s) {
+      const partition::ShardGraph& shard = part.shards[s];
+      if (!bottom_up) {
+        active_locals[s] = scan_actives(shard, frontier,
+                                        frontier.size() / P + 1, steps[s],
+                                        traces[s]);
+      } else {
+        for (VertexId l = 0; l < shard.graph.num_vertices(); ++l) {
+          const VertexId v = shard.to_global(l);
+          const std::uint32_t d = bfs.depth[v];
+          const bool unvisited_at_level =
+              d == algo::kUnreachedDepth || d > k;
+          if (!unvisited_at_level || shard.graph.degree(l) == 0) continue;
+          std::uint64_t scanned = 0;
+          bool found = false;
+          for (const VertexId lu : shard.graph.neighbors(l)) {
+            ++scanned;
+            if (bfs.depth[shard.to_global(lu)] == k) {
+              found = true;
+              break;
+            }
+          }
+          append_byte_range(l, shard.graph.sublist_byte_offset(l),
+                            scanned * graph::kBytesPerEdge, steps[s],
+                            traces[s]);
+          if (found) discovered[s].push_back(v);
+        }
+      }
+      any_reads = any_reads || !steps[s].reads.empty();
+    }
+    if (!any_reads) continue;
+    for (std::uint32_t s = 0; s < P; ++s) {
+      traces[s].steps.push_back(std::move(steps[s]));
+    }
+    report.superstep_bottom_up.push_back(bottom_up ? 1 : 0);
+
+    if (P > 1 && k + 1 < bfs.frontiers.size()) {
+      ExchangePhase phase(P);
+      for (std::uint32_t s = 0; s < P; ++s) {
+        if (!bottom_up) {
+          // Push: owners of remotely discovered next-frontier vertices
+          // get one notification per (superstep, shard, vertex). Pull
+          // needs no stamp: discovered[s] already holds each vertex at
+          // most once per shard.
+          ++stamp;
+          notify_remote_targets(part, s, active_locals[s], sent, stamp,
+                                phase, kExchangeBytesPerVertex,
+                                [&bfs, k](VertexId v) {
+                                  return bfs.depth[v] == k + 1;
+                                });
+        } else {
+          // Pull: a shard that found a parent for a vertex it does not
+          // own notifies the owner (each vertex scanned once per shard).
+          for (const VertexId v : discovered[s]) {
+            const std::uint32_t to = part.owner[v];
+            if (to == s) continue;
+            phase.add(P, s, to, kExchangeBytesPerVertex);
+          }
+        }
+      }
+      phases.push_back(std::move(phase));
+    }
+  }
+}
+
+/// Delta-stepping SSSP: one superstep per relaxation phase, barrier-
+/// delimited along bucket epochs. Every scanned cut edge emits a
+/// relaxation request (target ID + candidate distance) to the target's
+/// owner, deduplicated per (phase, shard, target) — requests travel
+/// whether or not the relaxation wins, as in a real distributed
+/// delta-stepping where only the owner knows the current distance.
+void decompose_delta(const graph::CsrGraph& g,
+                     const partition::Partition& part, VertexId source,
+                     std::vector<algo::AccessTrace>& traces,
+                     std::vector<ExchangePhase>& phases,
+                     ClusterReport& report) {
+  const std::uint32_t P = part.num_shards;
+  const std::uint64_t n = g.num_vertices();
+  const algo::DeltaSteppingResult delta =
+      algo::sssp_delta_stepping(g, source);
+  report.bucket_epochs = delta.buckets_processed;
+
+  std::vector<std::uint64_t> sent(n, 0);
+  std::uint64_t stamp = 0;
+  for (std::size_t p = 0; p < delta.phases.size(); ++p) {
+    std::vector<VertexId> scan = delta.phases[p];
+    std::sort(scan.begin(), scan.end());
+
+    std::vector<algo::TraceStep> steps(P);
+    std::vector<std::vector<VertexId>> active_locals(P);
+    bool any_reads = false;
+    for (std::uint32_t s = 0; s < P; ++s) {
+      active_locals[s] = scan_actives(part.shards[s], scan,
+                                      scan.size() / P + 1, steps[s],
+                                      traces[s]);
+      any_reads = any_reads || !steps[s].reads.empty();
+    }
+    if (!any_reads) continue;
+    for (std::uint32_t s = 0; s < P; ++s) {
+      traces[s].steps.push_back(std::move(steps[s]));
+    }
+    report.superstep_bucket.push_back(delta.phase_bucket[p]);
+
+    if (P > 1 && p + 1 < delta.phases.size()) {
+      ExchangePhase phase(P);
+      for (std::uint32_t s = 0; s < P; ++s) {
+        ++stamp;
+        // Every scanned cut edge is a relaxation request.
+        notify_remote_targets(part, s, active_locals[s], sent, stamp,
+                              phase, kRelaxRequestBytes,
+                              [](VertexId) { return true; });
+      }
+      phases.push_back(std::move(phase));
+    }
+  }
+}
+
+}  // namespace
+
+bool cluster_supports(Algorithm algorithm) noexcept {
   switch (algorithm) {
     case Algorithm::kBfs:
     case Algorithm::kSssp:
     case Algorithm::kCc:
     case Algorithm::kPagerankScan:
+    case Algorithm::kBfsDirOpt:
+    case Algorithm::kSsspDelta:
       return true;
     default:
       return false;
   }
 }
-
-}  // namespace
 
 ClusterRuntime::ClusterRuntime(SystemConfig config, unsigned jobs)
     : runner_(std::move(config), jobs) {}
@@ -89,7 +407,7 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
         "ClusterRequest: shard_configs must be empty or one per shard");
   }
   const Algorithm algorithm = request.run.algorithm;
-  if (!has_superstep_decomposition(algorithm)) {
+  if (!cluster_supports(algorithm)) {
     throw std::invalid_argument(
         "ClusterRuntime: algorithm has no superstep decomposition: " +
         to_string(algorithm));
@@ -98,7 +416,6 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
   const VertexId source = request.run.source.value_or(
       algo::pick_source(graph, request.run.source_seed));
   const std::uint32_t P = request.num_shards;
-  const std::uint64_t n = graph.num_vertices();
 
   partition::Partition part = partition::make_partition(
       graph, request.strategy, P, request.partition_seed);
@@ -107,93 +424,28 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
   // Build one trace per shard, superstep-aligned: every shard has a step
   // for every kept global step (possibly with no reads — the shard still
   // pays the kernel-launch barrier). Steps with no reads on any shard are
-  // dropped, matching algo::build_trace. Exchange phases are computed in
-  // the same sweep from the shard subgraphs: a shard that discovers a
-  // next-frontier vertex owned elsewhere sends its ID once.
+  // dropped, matching the single-runtime trace builders. Exchange phases
+  // are computed in the same sweep from the shard subgraphs.
   // -------------------------------------------------------------------
+  ClusterReport report;
   std::vector<algo::AccessTrace> traces(P);
   std::vector<ExchangePhase> phases;
 
-  if (algorithm == Algorithm::kPagerankScan) {
-    // One sequential sweep of each shard's local edge list; ghost-rank
-    // updates flow to owners after the iteration.
-    bool any_reads = false;
-    std::vector<algo::TraceStep> steps(P);
-    for (std::uint32_t s = 0; s < P; ++s) {
-      const partition::ShardGraph& shard = part.shards[s];
-      steps[s].reads.reserve(shard.graph.num_vertices());
-      for (VertexId l = 0; l < shard.graph.num_vertices(); ++l) {
-        append_local_sublist(shard.graph, l, steps[s], traces[s]);
-      }
-      any_reads = any_reads || !steps[s].reads.empty();
-    }
-    if (any_reads) {
-      ExchangePhase phase;
-      for (std::uint32_t s = 0; s < P; ++s) {
-        traces[s].steps.push_back(std::move(steps[s]));
-        const partition::ShardGraph& shard = part.shards[s];
-        const std::uint64_t ghosts =
-            shard.local_to_global.size() - shard.num_owned;
-        phase.messages += ghosts;
-        phase.bytes += ghosts * kExchangeBytesPerVertex;
-      }
-      phases.push_back(phase);
-    }
-  } else {
-    const std::vector<std::vector<VertexId>> frontiers =
-        frontiers_for(graph, algorithm, source);
-    // next_stamp[v] == k+1 marks v as a member of frontier k+1;
-    // sent[v] deduplicates (superstep, shard, vertex) notifications.
-    std::vector<std::uint64_t> next_stamp(n, 0);
-    std::vector<std::uint64_t> sent(n, 0);
-    std::uint64_t kept = 0;
-    for (std::size_t k = 0; k < frontiers.size(); ++k) {
-      std::vector<VertexId> frontier = frontiers[k];
-      std::sort(frontier.begin(), frontier.end());
-
-      std::vector<algo::TraceStep> steps(P);
-      std::vector<std::vector<VertexId>> active_locals(P);
-      bool any_reads = false;
-      for (std::uint32_t s = 0; s < P; ++s) {
-        const partition::ShardGraph& shard = part.shards[s];
-        steps[s].reads.reserve(frontier.size() / P + 1);
-        for (const VertexId u : frontier) {
-          const VertexId l = shard.to_local(u);
-          if (l == partition::kNoLocalId || shard.graph.degree(l) == 0) {
-            continue;
-          }
-          append_local_sublist(shard.graph, l, steps[s], traces[s]);
-          active_locals[s].push_back(l);
-        }
-        any_reads = any_reads || !steps[s].reads.empty();
-      }
-      if (!any_reads) continue;
-      for (std::uint32_t s = 0; s < P; ++s) {
-        traces[s].steps.push_back(std::move(steps[s]));
-      }
-      ++kept;
-
-      if (P > 1 && k + 1 < frontiers.size()) {
-        for (const VertexId v : frontiers[k + 1]) next_stamp[v] = k + 1;
-        ExchangePhase phase;
-        for (std::uint32_t s = 0; s < P; ++s) {
-          const partition::ShardGraph& shard = part.shards[s];
-          const std::uint64_t sent_stamp = kept * P + s + 1;
-          for (const VertexId l : active_locals[s]) {
-            for (const VertexId lv : shard.graph.neighbors(l)) {
-              const VertexId g = shard.to_global(lv);
-              if (next_stamp[g] != k + 1) continue;
-              if (part.owner[g] == s) continue;
-              if (sent[g] == sent_stamp) continue;
-              sent[g] = sent_stamp;
-              ++phase.messages;
-              phase.bytes += kExchangeBytesPerVertex;
-            }
-          }
-        }
-        phases.push_back(phase);
-      }
-    }
+  switch (algorithm) {
+    case Algorithm::kPagerankScan:
+      decompose_pagerank(part, traces, phases);
+      break;
+    case Algorithm::kBfsDirOpt:
+      decompose_dobfs(graph, part, source, traces, phases, report);
+      break;
+    case Algorithm::kSsspDelta:
+      decompose_delta(graph, part, source, traces, phases, report);
+      break;
+    default:
+      decompose_frontiers(graph, part,
+                          frontiers_for(graph, algorithm, source), traces,
+                          phases);
+      break;
   }
 
   // -------------------------------------------------------------------
@@ -213,12 +465,12 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
   // -------------------------------------------------------------------
   // Compose the cluster timeline.
   // -------------------------------------------------------------------
-  ClusterReport report;
   report.partitioner = partition::to_string(request.strategy);
   report.num_shards = P;
   report.source = source;
   report.cut = part.stats;
   report.supersteps = results.empty() ? 0 : traces[0].steps.size();
+  report.pair_exchange_bytes.assign(static_cast<std::size_t>(P) * P, 0);
 
   double compute_total_sec = 0.0;
   for (std::uint32_t s = 0; s < P; ++s) {
@@ -266,11 +518,35 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
           : device::pcie_x16(config().gpu_link_gen).bandwidth_mbps;
   const double latency_sec =
       util::sec_from_ps(request.exchange_latency);
+  // Asymmetric composition: a phase ends when the slowest-ingress shard
+  // has drained, so the phase costs max over destinations of the bytes
+  // converging there — not the bulk total over one shared pipe.
+  std::uint64_t sum_max_ingress = 0;
   for (const ExchangePhase& phase : phases) {
     report.exchange_bytes += phase.bytes;
     report.exchange_messages += phase.messages;
-    report.exchange_sec += latency_sec + static_cast<double>(phase.bytes) /
-                                             (bandwidth_mbps * 1.0e6);
+    std::uint64_t max_ingress = 0;
+    for (std::uint32_t t = 0; t < P; ++t) {
+      std::uint64_t ingress = 0;
+      for (std::uint32_t s = 0; s < P; ++s) {
+        ingress += phase.pair_bytes[static_cast<std::size_t>(s) * P + t];
+      }
+      max_ingress = std::max(max_ingress, ingress);
+    }
+    sum_max_ingress += max_ingress;
+    report.exchange_sec +=
+        latency_sec +
+        static_cast<double>(max_ingress) / (bandwidth_mbps * 1.0e6);
+    for (std::size_t i = 0; i < phase.pair_bytes.size(); ++i) {
+      report.pair_exchange_bytes[i] += phase.pair_bytes[i];
+    }
+  }
+  if (report.exchange_bytes > 0) {
+    // Balanced all-to-all would cost total/P per phase; the skew is how
+    // much the slowest ingress exceeded that.
+    report.exchange_ingress_skew =
+        static_cast<double>(sum_max_ingress) * static_cast<double>(P) /
+        static_cast<double>(report.exchange_bytes);
   }
   report.runtime_sec = report.compute_sec + report.exchange_sec;
   return report;

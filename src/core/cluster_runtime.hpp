@@ -4,18 +4,44 @@
 ///
 /// ClusterRuntime partitions a graph across N shards (src/partition), runs
 /// one full ExternalGraphRuntime stack — GPU engine, link, devices — per
-/// shard, and models the bulk inter-shard frontier exchange that a BSP
-/// (superstep-synchronized) cluster performs between BFS levels or
-/// PageRank iterations. Per-shard replays are independent and fan out
+/// shard, and models the inter-shard exchange that a BSP
+/// (superstep-synchronized) cluster performs between BFS levels, PageRank
+/// iterations, direction-optimizing supersteps, or delta-stepping
+/// relaxation phases. Per-shard replays are independent and fan out
 /// across ExperimentRunner workers; the cluster timeline is then composed
 /// superstep by superstep:
 ///
 ///   runtime = sum_k [ max_over_shards(step_time[s][k]) + exchange_time(k) ]
 ///
-/// where exchange_time charges the deduplicated remote-frontier bytes
-/// against the inter-shard link bandwidth plus a fixed all-to-all barrier
-/// latency. With one shard no exchange is charged and the result is
-/// bit-identical to ExternalGraphRuntime::run.
+/// The exchange model is asymmetric: every deduplicated message is
+/// attributed to its (source shard, destination owner) pair, and a phase
+/// costs the fixed all-to-all barrier latency plus the *slowest ingress* —
+/// max over destination shards of the bytes converging on that shard —
+/// over the inter-shard link bandwidth. A partitioner that concentrates
+/// cut edges on one owner therefore pays more than one that spreads the
+/// same total traffic evenly, which is exactly the effect the per-pair cut
+/// matrix (partition::CutStats) measures statically. With one shard no
+/// exchange is charged and the result is bit-identical to
+/// ExternalGraphRuntime::run.
+///
+/// Superstep decompositions per algorithm:
+///  * kBfs / kSssp / kCc — one superstep per frontier; shards read the
+///    local sublists of frontier vertices and notify owners of remotely
+///    discovered next-frontier vertices (one vertex-ID word each).
+///  * kPagerankScan — one superstep sweeping each shard's local edge list;
+///    ghost-rank updates flow to owners afterwards.
+///  * kBfsDirOpt — one superstep per level; every shard votes push vs pull
+///    from its local frontier stats (algo::DirectionVote) and the cluster
+///    takes the aggregate decision through the same algo::DirectionDecider
+///    the single runtime uses. Since shard votes sum exactly to the
+///    whole-graph stats, the decision sequence is shard-count invariant.
+///    Pull supersteps scan each shard's unvisited local sublists with the
+///    first-found-parent early exit applied per shard.
+///  * kSsspDelta — one superstep per relaxation phase, barrier-delimited
+///    along bucket epochs (algo::DeltaSteppingResult::phase_bucket);
+///    shards exchange relaxation requests (target ID + candidate
+///    distance) for every scanned cut edge with a non-local target,
+///    deduplicated per (phase, shard, target).
 ///
 ///   core::ClusterRuntime cluster(core::table3_system());
 ///   core::ClusterRequest req;
@@ -33,6 +59,12 @@
 #include "partition/partition.hpp"
 
 namespace cxlgraph::core {
+
+/// True when `algorithm` has a superstep decomposition ClusterRuntime can
+/// shard: kBfs, kSssp, kCc, kPagerankScan, kBfsDirOpt, and kSsspDelta.
+/// (kBfsWriteback's write phase has no decomposition yet.) Sweep drivers
+/// check this up front to fail fast instead of aborting mid-sweep.
+bool cluster_supports(Algorithm algorithm) noexcept;
 
 struct ClusterRequest {
   /// The per-shard workload: algorithm, backend, and sweep knobs.
@@ -69,6 +101,25 @@ struct ClusterReport {
   std::uint64_t exchange_messages = 0;
   std::uint64_t supersteps = 0;
 
+  /// Exchange traffic per ordered shard pair, row-major
+  /// [from * num_shards + to], summed over all exchange phases. The grand
+  /// total equals exchange_bytes; diagonal entries are zero.
+  std::vector<std::uint64_t> pair_exchange_bytes;
+  /// How lopsided the exchange phases were: the per-phase max-ingress
+  /// bytes (what the asymmetric model charges) summed over phases,
+  /// relative to the perfectly balanced all-to-all (total bytes / shards
+  /// per phase). 1.0 = every destination absorbs an equal share; higher
+  /// means the cut concentrates traffic on few owners.
+  double exchange_ingress_skew = 1.0;
+
+  /// kBfsDirOpt only: the cluster's aggregate direction per kept
+  /// superstep (1 = bottom-up/pull, 0 = top-down/push).
+  std::vector<std::uint8_t> superstep_bottom_up;
+  /// kSsspDelta only: the bucket key whose epoch each kept superstep
+  /// (relaxation phase) ran under, and the total bucket epochs processed.
+  std::vector<std::uint64_t> superstep_bucket;
+  std::uint64_t bucket_epochs = 0;
+
   /// Sums over shards (the cluster-wide D / E / transaction counts).
   std::uint64_t fetched_bytes = 0;
   std::uint64_t used_bytes = 0;
@@ -90,9 +141,8 @@ class ClusterRuntime {
   explicit ClusterRuntime(SystemConfig config, unsigned jobs = 0);
 
   /// Partitions, replays every shard, and composes the cluster timeline.
-  /// Supports kBfs, kSssp, kCc, and kPagerankScan; throws
-  /// std::invalid_argument for algorithms without a superstep
-  /// decomposition. Deterministic in (graph, request).
+  /// Supports every algorithm cluster_supports() accepts; throws
+  /// std::invalid_argument otherwise. Deterministic in (graph, request).
   ClusterReport run(const graph::CsrGraph& graph,
                     const ClusterRequest& request);
 

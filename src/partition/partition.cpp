@@ -212,9 +212,17 @@ Partition make_partition(const graph::CsrGraph& g, Strategy strategy,
   // Cut statistics over the ownership assignment.
   CutStats& stats = p.stats;
   stats.total_edges = m;
+  stats.num_shards = num_shards;
+  stats.pair_cut_edges.assign(
+      static_cast<std::size_t>(num_shards) * num_shards, 0);
   for (VertexId u = 0; u < n; ++u) {
     for (const VertexId v : g.neighbors(u)) {
-      if (p.owner[u] != p.owner[v]) ++stats.cut_edges;
+      if (p.owner[u] != p.owner[v]) {
+        ++stats.cut_edges;
+        ++stats.pair_cut_edges[static_cast<std::size_t>(p.owner[u]) *
+                                   num_shards +
+                               p.owner[v]];
+      }
     }
   }
   stats.cut_fraction =

@@ -77,6 +77,31 @@ struct CutStats {
   /// Directed edges whose endpoints are owned by different shards.
   std::uint64_t cut_edges = 0;
   double cut_fraction = 0.0;
+  /// Per-shard-pair cut matrix, row-major [src_owner * num_shards +
+  /// dst_owner]: directed edges from a vertex owned by `src_owner` to a
+  /// vertex owned by `dst_owner`. Diagonal entries are zero; the grand
+  /// total equals cut_edges. Row sums are a shard's egress cut (traffic it
+  /// originates), column sums its ingress cut (traffic it absorbs) — the
+  /// asymmetry an all-to-all exchange model charges per destination.
+  /// make_partition fills both; on a default-constructed CutStats the
+  /// matrix is empty and num_shards stays 0, so egress_cut/ingress_cut
+  /// return 0 while pair_cut (an unchecked index) must not be called.
+  std::uint32_t num_shards = 0;
+  std::vector<std::uint64_t> pair_cut_edges;
+
+  std::uint64_t pair_cut(std::uint32_t from, std::uint32_t to) const {
+    return pair_cut_edges[static_cast<std::size_t>(from) * num_shards + to];
+  }
+  std::uint64_t egress_cut(std::uint32_t from) const {
+    std::uint64_t total = 0;
+    for (std::uint32_t t = 0; t < num_shards; ++t) total += pair_cut(from, t);
+    return total;
+  }
+  std::uint64_t ingress_cut(std::uint32_t to) const {
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < num_shards; ++s) total += pair_cut(s, to);
+    return total;
+  }
   std::uint64_t min_shard_edges = 0;
   std::uint64_t max_shard_edges = 0;
   /// max_shard_edges / (total_edges / shards); 1.0 is a perfect balance.

@@ -49,7 +49,8 @@ TEST(ClusterRuntime, SingleShardMatchesSingleRuntimeOnAllBackends) {
   const graph::CsrGraph g = test_graph();
   const core::SystemConfig cfg = core::table3_system();
   for (const core::Algorithm algorithm :
-       {core::Algorithm::kBfs, core::Algorithm::kPagerankScan}) {
+       {core::Algorithm::kBfs, core::Algorithm::kPagerankScan,
+        core::Algorithm::kBfsDirOpt, core::Algorithm::kSsspDelta}) {
     for (const core::BackendKind backend :
          {core::BackendKind::kHostDram, core::BackendKind::kHostDramRemote,
           core::BackendKind::kCxl, core::BackendKind::kXlfdd,
@@ -140,7 +141,8 @@ TEST(ClusterRuntime, FrontierAlgorithmsShardToo) {
   const graph::CsrGraph g = test_graph();
   core::ClusterRuntime cluster(core::table3_system());
   for (const core::Algorithm algorithm :
-       {core::Algorithm::kSssp, core::Algorithm::kCc}) {
+       {core::Algorithm::kSssp, core::Algorithm::kCc,
+        core::Algorithm::kBfsDirOpt, core::Algorithm::kSsspDelta}) {
     core::ClusterRequest creq;
     creq.run.algorithm = algorithm;
     creq.run.backend = core::BackendKind::kHostDram;
@@ -153,13 +155,91 @@ TEST(ClusterRuntime, FrontierAlgorithmsShardToo) {
   }
 }
 
+// Same seed + shard count must produce the same cluster timeline bit for
+// bit, across repeated runs, fresh runtime instances, and --jobs values —
+// the sharded analogue of the golden-trace determinism guarantee.
+TEST(ClusterRuntime, MultiShardTimelineIsDeterministic) {
+  const graph::CsrGraph g = test_graph();
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kBfs, core::Algorithm::kBfsDirOpt,
+        core::Algorithm::kSsspDelta}) {
+    core::ClusterRequest creq;
+    creq.run.algorithm = algorithm;
+    creq.run.backend = core::BackendKind::kHostDram;
+    creq.run.source_seed = kSeed;
+    creq.num_shards = 4;
+    creq.strategy = partition::Strategy::kHashEdge;
+
+    core::ClusterRuntime serial(core::table3_system(), /*jobs=*/1);
+    core::ClusterRuntime parallel(core::table3_system(), /*jobs=*/4);
+    const core::ClusterReport a = serial.run(g, creq);
+    const core::ClusterReport b = serial.run(g, creq);
+    const core::ClusterReport c = parallel.run(g, creq);
+    for (const core::ClusterReport* r : {&b, &c}) {
+      EXPECT_EQ(a.runtime_sec, r->runtime_sec);
+      EXPECT_EQ(a.compute_sec, r->compute_sec);
+      EXPECT_EQ(a.exchange_sec, r->exchange_sec);
+      EXPECT_EQ(a.exchange_bytes, r->exchange_bytes);
+      EXPECT_EQ(a.exchange_messages, r->exchange_messages);
+      EXPECT_EQ(a.pair_exchange_bytes, r->pair_exchange_bytes);
+      EXPECT_EQ(a.exchange_ingress_skew, r->exchange_ingress_skew);
+      EXPECT_EQ(a.supersteps, r->supersteps);
+      EXPECT_EQ(a.superstep_bottom_up, r->superstep_bottom_up);
+      EXPECT_EQ(a.superstep_bucket, r->superstep_bucket);
+      EXPECT_EQ(a.bucket_epochs, r->bucket_epochs);
+      ASSERT_EQ(a.shard_reports.size(), r->shard_reports.size());
+      for (std::size_t s = 0; s < a.shard_reports.size(); ++s) {
+        expect_reports_identical(a.shard_reports[s], r->shard_reports[s]);
+      }
+    }
+  }
+}
+
 TEST(ClusterRuntime, RejectsAlgorithmsWithoutSupersteps) {
   const graph::CsrGraph g = test_graph();
+  EXPECT_FALSE(core::cluster_supports(core::Algorithm::kBfsWriteback));
+  EXPECT_TRUE(core::cluster_supports(core::Algorithm::kBfsDirOpt));
+  EXPECT_TRUE(core::cluster_supports(core::Algorithm::kSsspDelta));
   core::ClusterRuntime cluster(core::table3_system());
   core::ClusterRequest creq;
-  creq.run.algorithm = core::Algorithm::kBfsDirOpt;
+  creq.run.algorithm = core::Algorithm::kBfsWriteback;
   creq.num_shards = 2;
   EXPECT_THROW(cluster.run(g, creq), std::invalid_argument);
+}
+
+// The asymmetric exchange model: pair totals account for every byte
+// charged, the diagonal stays empty, and the max-ingress composition is
+// bounded by the bulk-pipe equivalent on one side and the balanced
+// all-to-all on the other.
+TEST(ClusterRuntime, AsymmetricExchangeAccountsEveryByte) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRuntime cluster(core::table3_system());
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kBfs, core::Algorithm::kBfsDirOpt,
+        core::Algorithm::kSsspDelta, core::Algorithm::kPagerankScan}) {
+    for (const partition::Strategy strategy : partition::all_strategies()) {
+      core::ClusterRequest creq;
+      creq.run.algorithm = algorithm;
+      creq.run.backend = core::BackendKind::kHostDram;
+      creq.run.source_seed = kSeed;
+      creq.num_shards = 4;
+      creq.strategy = strategy;
+      const core::ClusterReport r = cluster.run(g, creq);
+      ASSERT_EQ(r.pair_exchange_bytes.size(), 16u);
+      std::uint64_t total = 0;
+      for (std::uint32_t s = 0; s < 4; ++s) {
+        EXPECT_EQ(r.pair_exchange_bytes[s * 4 + s], 0u);
+        for (std::uint32_t t = 0; t < 4; ++t) {
+          total += r.pair_exchange_bytes[s * 4 + t];
+        }
+      }
+      EXPECT_EQ(total, r.exchange_bytes)
+          << core::to_string(algorithm) << " "
+          << partition::to_string(strategy);
+      EXPECT_GE(r.exchange_ingress_skew, 1.0);
+      EXPECT_LE(r.exchange_ingress_skew, 4.0);
+    }
+  }
 }
 
 TEST(ClusterRuntime, RejectsMismatchedShardConfigs) {
@@ -193,6 +273,26 @@ TEST(ClusterRuntime, PerShardConfigOverridesApply) {
   EXPECT_GT(skewed.runtime_sec, uniform.runtime_sec);
   EXPECT_GT(skewed.shard_compute_imbalance,
             uniform.shard_compute_imbalance);
+}
+
+// The point of the asymmetric model: partitioners with different cut
+// shapes pay different exchange-phase times even for similar totals,
+// because the slowest-ingress destination sets the pace.
+TEST(ClusterRuntime, PartitionersSeparateInExchangeTime) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRuntime cluster(core::table3_system());
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kBfs;
+  creq.run.backend = core::BackendKind::kHostDram;
+  creq.run.source_seed = kSeed;
+  creq.num_shards = 4;
+
+  creq.strategy = partition::Strategy::kDegreeBalanced;
+  const core::ClusterReport balanced = cluster.run(g, creq);
+  creq.strategy = partition::Strategy::kHashEdge;
+  const core::ClusterReport hashed = cluster.run(g, creq);
+  EXPECT_NE(balanced.exchange_sec, hashed.exchange_sec);
+  EXPECT_NE(balanced.pair_exchange_bytes, hashed.pair_exchange_bytes);
 }
 
 TEST(ClusterRuntime, ExchangeGrowsWithShardCount) {

@@ -10,7 +10,10 @@
 #include <vector>
 
 #include "algo/bfs.hpp"
+#include "algo/dobfs.hpp"
+#include "algo/sssp_delta.hpp"
 #include "algo/trace.hpp"
+#include "core/cluster_runtime.hpp"
 #include "core/experiment_runner.hpp"
 #include "core/runtime.hpp"
 #include "core/system_config.hpp"
@@ -24,6 +27,13 @@ constexpr std::uint64_t kSeed = 7;
 graph::CsrGraph golden_graph() {
   graph::GeneratorOptions opts;
   opts.seed = kSeed;
+  return graph::generate_uniform(1 << 10, 8.0, opts);
+}
+
+graph::CsrGraph golden_weighted_graph() {
+  graph::GeneratorOptions opts;
+  opts.seed = kSeed;
+  opts.max_weight = 63;
   return graph::generate_uniform(1 << 10, 8.0, opts);
 }
 
@@ -185,6 +195,90 @@ TEST(GoldenTrace, ParallelSweepMatchesSerialSweep) {
   EXPECT_EQ(parallel_reports[0].backend, "host-dram");
   EXPECT_EQ(parallel_reports[1].backend, "cxl");
   EXPECT_EQ(parallel_reports.back().backend, "cxl");
+}
+
+// Sharded DOBFS golden trace: shard votes sum exactly to the whole-graph
+// stats, so the cluster's per-superstep push/pull decisions are
+// shard-count invariant and must equal the single-runtime heuristic's
+// per-level sequence at shards=1, 2, and 4.
+TEST(GoldenTrace, ShardedDobfsDirectionDecisionsArePinned) {
+  const graph::CsrGraph g = golden_graph();
+  const graph::VertexId source = algo::pick_source(g, kSeed);
+  const algo::DobfsResult single = algo::bfs_direction_optimizing(g, source);
+  // The hybrid actually kicks in on the golden graph: some pull levels,
+  // but not all (the first level is always push).
+  ASSERT_GT(single.bottom_up_levels(), 0u);
+  ASSERT_LT(single.bottom_up_levels(), single.bottom_up_level.size());
+
+  core::ClusterRuntime cluster(core::table3_system());
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kBfsDirOpt;
+  creq.run.backend = core::BackendKind::kHostDram;
+  creq.run.source_seed = kSeed;
+  creq.strategy = partition::Strategy::kDegreeBalanced;
+
+  std::vector<core::ClusterReport> reports;
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    creq.num_shards = shards;
+    reports.push_back(cluster.run(g, creq));
+  }
+  // On the golden graph no level drops empty: supersteps == levels, and
+  // the kept-superstep direction sequence is the per-level one.
+  ASSERT_EQ(reports[0].supersteps, single.bottom_up_level.size());
+  for (const core::ClusterReport& r : reports) {
+    ASSERT_EQ(r.superstep_bottom_up.size(), single.bottom_up_level.size())
+        << r.num_shards << " shards";
+    for (std::size_t k = 0; k < single.bottom_up_level.size(); ++k) {
+      EXPECT_EQ(r.superstep_bottom_up[k] != 0,
+                static_cast<bool>(single.bottom_up_level[k]))
+          << r.num_shards << " shards, superstep " << k;
+    }
+  }
+  // Repeated runs are bit-identical, exchange included.
+  creq.num_shards = 2;
+  const core::ClusterReport again = cluster.run(g, creq);
+  EXPECT_EQ(again.superstep_bottom_up, reports[1].superstep_bottom_up);
+  EXPECT_EQ(again.exchange_bytes, reports[1].exchange_bytes);
+  EXPECT_EQ(again.pair_exchange_bytes, reports[1].pair_exchange_bytes);
+  EXPECT_EQ(again.runtime_sec, reports[1].runtime_sec);
+}
+
+// Sharded delta-stepping golden trace: relaxation phases map 1:1 onto
+// supersteps at every shard count, carrying their bucket epoch; epoch
+// count and the per-superstep bucket keys are pinned against the
+// single-runtime algorithm at shards=1, 2, and 4.
+TEST(GoldenTrace, ShardedDeltaSteppingBucketEpochsArePinned) {
+  const graph::CsrGraph g = golden_weighted_graph();
+  const graph::VertexId source = algo::pick_source(g, kSeed);
+  const algo::DeltaSteppingResult single =
+      algo::sssp_delta_stepping(g, source);
+  ASSERT_GT(single.buckets_processed, 1u);
+  ASSERT_EQ(single.phase_bucket.size(), single.phases.size());
+
+  core::ClusterRuntime cluster(core::table3_system());
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kSsspDelta;
+  creq.run.backend = core::BackendKind::kHostDram;
+  creq.run.source_seed = kSeed;
+  creq.strategy = partition::Strategy::kHashEdge;
+
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    creq.num_shards = shards;
+    const core::ClusterReport r = cluster.run(g, creq);
+    EXPECT_EQ(r.bucket_epochs, single.buckets_processed)
+        << shards << " shards";
+    // On the golden graph no phase drops empty: the kept supersteps carry
+    // exactly the algorithm's phase->bucket mapping.
+    ASSERT_EQ(r.superstep_bucket.size(), single.phase_bucket.size())
+        << shards << " shards";
+    EXPECT_EQ(r.superstep_bucket, single.phase_bucket)
+        << shards << " shards";
+    EXPECT_EQ(r.supersteps, r.superstep_bucket.size());
+    // Bucket epochs are barrier-ordered: keys never decrease.
+    for (std::size_t p = 1; p < r.superstep_bucket.size(); ++p) {
+      EXPECT_GE(r.superstep_bucket[p], r.superstep_bucket[p - 1]);
+    }
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <tuple>
 #include <vector>
 
+#include "core/cluster_runtime.hpp"
 #include "graph/generate.hpp"
 #include "partition/partition.hpp"
 
@@ -206,6 +207,90 @@ TEST(Partition, DeterministicAcrossCalls) {
       EXPECT_EQ(a.shards[s].graph.offsets(), b.shards[s].graph.offsets());
       EXPECT_EQ(a.shards[s].graph.edges(), b.shards[s].graph.edges());
       EXPECT_EQ(a.shards[s].local_to_global, b.shards[s].local_to_global);
+    }
+  }
+}
+
+// Property: the per-shard-pair cut matrix is a refinement of the
+// aggregate cut stats — per-pair entries recount every directed cut edge
+// exactly once (row sums = per-shard egress, column sums = per-shard
+// ingress, grand total = cut_edges) and the diagonal stays empty.
+TEST(Partition, PairCutMatrixSumsMatchAggregateStats) {
+  const CsrGraph g = weighted_test_graph();
+  for (const Strategy strategy : all_strategies()) {
+    for (const std::uint32_t shards : {1u, 2u, 3u, 5u, 16u}) {
+      const Partition p = make_partition(g, strategy, shards, /*seed=*/3);
+      const CutStats& stats = p.stats;
+      ASSERT_EQ(stats.num_shards, shards);
+      ASSERT_EQ(stats.pair_cut_edges.size(),
+                static_cast<std::size_t>(shards) * shards);
+
+      // Recount from the ownership assignment, independently.
+      std::vector<std::uint64_t> expected(
+          static_cast<std::size_t>(shards) * shards, 0);
+      for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        for (const VertexId v : g.neighbors(u)) {
+          if (p.owner[u] != p.owner[v]) {
+            ++expected[static_cast<std::size_t>(p.owner[u]) * shards +
+                       p.owner[v]];
+          }
+        }
+      }
+      EXPECT_EQ(stats.pair_cut_edges, expected)
+          << to_string(strategy) << " x" << shards;
+
+      std::uint64_t egress_total = 0;
+      std::uint64_t ingress_total = 0;
+      std::uint64_t grand_total = 0;
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        EXPECT_EQ(stats.pair_cut(s, s), 0u);
+        egress_total += stats.egress_cut(s);
+        ingress_total += stats.ingress_cut(s);
+        for (std::uint32_t t = 0; t < shards; ++t) {
+          grand_total += stats.pair_cut(s, t);
+        }
+      }
+      EXPECT_EQ(grand_total, stats.cut_edges)
+          << to_string(strategy) << " x" << shards;
+      EXPECT_EQ(egress_total, stats.cut_edges);
+      EXPECT_EQ(ingress_total, stats.cut_edges);
+    }
+  }
+}
+
+// Property: ClusterRuntime's asymmetric exchange neither invents nor
+// drops traffic — the per-pair byte matrix it reports sums to the total
+// bytes charged, for every algorithm and partitioner.
+TEST(Partition, ClusterExchangeBytesEqualPairSums) {
+  const CsrGraph g = weighted_test_graph();
+  core::ClusterRuntime cluster(core::table3_system());
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kBfs, core::Algorithm::kSssp,
+        core::Algorithm::kCc, core::Algorithm::kPagerankScan,
+        core::Algorithm::kBfsDirOpt, core::Algorithm::kSsspDelta}) {
+    for (const Strategy strategy : all_strategies()) {
+      core::ClusterRequest creq;
+      creq.run.algorithm = algorithm;
+      creq.run.backend = core::BackendKind::kHostDram;
+      creq.run.source_seed = 11;
+      creq.num_shards = 3;
+      creq.strategy = strategy;
+      const core::ClusterReport r = cluster.run(g, creq);
+      ASSERT_EQ(r.pair_exchange_bytes.size(), 9u);
+      std::uint64_t total = 0;
+      for (std::uint32_t s = 0; s < 3; ++s) {
+        EXPECT_EQ(r.pair_exchange_bytes[s * 3 + s], 0u)
+            << "self-traffic from shard " << s;
+        for (std::uint32_t t = 0; t < 3; ++t) {
+          total += r.pair_exchange_bytes[s * 3 + t];
+        }
+      }
+      EXPECT_EQ(total, r.exchange_bytes)
+          << core::to_string(algorithm) << " " << to_string(strategy);
+      // A cut can only carry traffic if it exists; no cut, no exchange.
+      if (r.cut.cut_edges == 0) {
+        EXPECT_EQ(r.exchange_bytes, 0u);
+      }
     }
   }
 }

@@ -230,7 +230,18 @@ int cmd_run(int argc, char** argv) {
     table.add_row({"exchange traffic",
                    util::format_bytes(r.exchange_bytes) + " (" +
                        util::fmt_count(r.exchange_messages) + " msgs)"});
+    table.add_row({"exchange ingress skew (max/mean)",
+                   util::fmt(r.exchange_ingress_skew, 2)});
     table.add_row({"supersteps", util::fmt_count(r.supersteps)});
+    if (req.algorithm == core::Algorithm::kBfsDirOpt) {
+      std::uint64_t pull = 0;
+      for (const std::uint8_t b : r.superstep_bottom_up) pull += b;
+      table.add_row({"  pull (bottom-up) supersteps",
+                     util::fmt_count(pull)});
+    }
+    if (req.algorithm == core::Algorithm::kSsspDelta) {
+      table.add_row({"  bucket epochs", util::fmt_count(r.bucket_epochs)});
+    }
     table.add_row({"D (fetched bytes, all shards)",
                    util::format_bytes(r.fetched_bytes)});
     table.add_row({"cut fraction", util::fmt(r.cut.cut_fraction, 3)});
