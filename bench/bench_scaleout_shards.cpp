@@ -10,6 +10,10 @@
 /// single-runtime baseline the speedups are normalized to;
 /// `--check-single` additionally asserts that it is bit-identical to
 /// ExternalGraphRuntime::run for every shardable algorithm.
+/// `--reorder both` adds a partitioner-aware-reordering variant per row
+/// (degree-sort within each shard's local subgraph): runtime/compute move
+/// with the changed layout while the cut columns stay identical, which is
+/// exactly the locality-vs-cut separation the knob demonstrates.
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -113,6 +117,11 @@ int main(int argc, char** argv) {
   cli.add_option("scale", "log2 of dataset vertex count", "12");
   cli.add_option("seed", "random seed", "42");
   cli.add_option("max-shards", "largest shard count in the sweep", "16");
+  cli.add_option("reorder",
+                 "per-shard local relabeling in the sweep: none | "
+                 "shard-degree | both (both shows the locality effect "
+                 "side by side; the cut columns stay identical)",
+                 "none");
   cli.add_option("jobs",
                  "worker threads for per-shard replays "
                  "(0 = all cores, 1 = serial; results are identical)",
@@ -174,10 +183,19 @@ int main(int argc, char** argv) {
     shard_counts.push_back(s);
   }
 
+  std::vector<partition::ShardReorder> reorders;
+  if (cli.get("reorder") == "both") {
+    reorders = {partition::ShardReorder::kNone,
+                partition::ShardReorder::kDegreeSorted};
+  } else {
+    reorders = {partition::reorder_from_name(cli.get("reorder"))};
+  }
+
   util::TablePrinter table(
-      {"Algorithm", "Backend", "Partitioner", "Shards", "Runtime [ms]",
-       "Speedup", "Compute [ms]", "Exchange [us]", "Exchange [B]",
-       "Ingress skew", "Cut frac", "Edge imbal", "Max shard [ms]"});
+      {"Algorithm", "Backend", "Partitioner", "Reorder", "Shards",
+       "Runtime [ms]", "Speedup", "Compute [ms]", "Exchange [us]",
+       "Exchange [B]", "Ingress skew", "Cut frac", "Edge imbal",
+       "Max shard [ms]"});
 
   core::ClusterRuntime cluster(core::table3_system(), options.jobs);
   for (const core::Algorithm algorithm : sweep_algorithms()) {
@@ -190,44 +208,55 @@ int main(int argc, char** argv) {
             shards == 1 ? std::vector<partition::Strategy>{
                               partition::Strategy::kVertexRange}
                         : partition::all_strategies();
+        // The reorder is irrelevant at one shard too (that row is the
+        // unsharded baseline); emit it with kNone only.
+        const auto& row_reorders =
+            shards == 1 ? std::vector<partition::ShardReorder>{
+                              partition::ShardReorder::kNone}
+                        : reorders;
         for (const partition::Strategy strategy : strategies) {
-          core::ClusterRequest req;
-          req.run.algorithm = algorithm;
-          req.run.backend = backend;
-          req.run.source_seed = options.seed;
-          req.num_shards = shards;
-          req.strategy = strategy;
-          core::ClusterReport r;
-          try {
-            r = cluster.run(g, req);
-          } catch (const std::exception& e) {
-            std::cerr << "scaleout: " << core::to_string(algorithm)
-                      << " x" << shards << " ("
-                      << partition::to_string(strategy) << ", "
-                      << core::to_string(backend)
-                      << ") failed: " << e.what() << "\n";
-            return 2;
+          for (const partition::ShardReorder reorder : row_reorders) {
+            core::ClusterRequest req;
+            req.run.algorithm = algorithm;
+            req.run.backend = backend;
+            req.run.source_seed = options.seed;
+            req.num_shards = shards;
+            req.strategy = strategy;
+            req.reorder = reorder;
+            core::ClusterReport r;
+            try {
+              r = cluster.run(g, req);
+            } catch (const std::exception& e) {
+              std::cerr << "scaleout: " << core::to_string(algorithm)
+                        << " x" << shards << " ("
+                        << partition::to_string(strategy) << ", "
+                        << core::to_string(backend)
+                        << ") failed: " << e.what() << "\n";
+              return 2;
+            }
+            if (shards == 1) baseline_sec = r.runtime_sec;
+            if (options.verbose) {
+              CXLG_INFO("scaleout: " << r.algorithm << " " << r.backend
+                                     << " " << r.partitioner << " x"
+                                     << shards << ": t="
+                                     << util::fmt(r.runtime_sec * 1e3, 3)
+                                     << " ms");
+            }
+            table.add_row(
+                {r.algorithm, r.backend,
+                 shards == 1 ? "-" : r.partitioner,
+                 shards == 1 ? "-" : partition::to_string(reorder),
+                 std::to_string(shards),
+                 util::fmt(r.runtime_sec * 1e3, 3),
+                 util::fmt(baseline_sec / r.runtime_sec, 2),
+                 util::fmt(r.compute_sec * 1e3, 3),
+                 util::fmt(r.exchange_sec * 1e6, 3),
+                 std::to_string(r.exchange_bytes),
+                 util::fmt(r.exchange_ingress_skew, 2),
+                 util::fmt(r.cut.cut_fraction, 3),
+                 util::fmt(r.cut.edge_imbalance, 2),
+                 util::fmt(r.max_shard_compute_sec * 1e3, 3)});
           }
-          if (shards == 1) baseline_sec = r.runtime_sec;
-          if (options.verbose) {
-            CXLG_INFO("scaleout: " << r.algorithm << " " << r.backend
-                                   << " " << r.partitioner << " x" << shards
-                                   << ": t="
-                                   << util::fmt(r.runtime_sec * 1e3, 3)
-                                   << " ms");
-          }
-          table.add_row(
-              {r.algorithm, r.backend,
-               shards == 1 ? "-" : r.partitioner,
-               std::to_string(shards), util::fmt(r.runtime_sec * 1e3, 3),
-               util::fmt(baseline_sec / r.runtime_sec, 2),
-               util::fmt(r.compute_sec * 1e3, 3),
-               util::fmt(r.exchange_sec * 1e6, 3),
-               std::to_string(r.exchange_bytes),
-               util::fmt(r.exchange_ingress_skew, 2),
-               util::fmt(r.cut.cut_fraction, 3),
-               util::fmt(r.cut.edge_imbalance, 2),
-               util::fmt(r.max_shard_compute_sec * 1e3, 3)});
         }
       }
     }

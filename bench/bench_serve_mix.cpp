@@ -1,0 +1,259 @@
+/// Serving extension: saturation curve of the multi-tenant query server.
+///
+/// Sweeps offered load (as multiples of the measured single-stack
+/// capacity) x scheduling policy for a mixed analytics workload — BFS,
+/// connected components, a PageRank-style scan, and optionally a
+/// shard-spanning BFS class routed through ClusterRuntime — all sharing
+/// one modeled GPU + interconnect + device stack. Each row reports
+/// completed/goodput throughput, the exact per-query latency tail
+/// (p50/p95/p99), queue-vs-service split, SLO violation and shed rates,
+/// and server utilization: offered load is the new sweep axis the serving
+/// layer opens.
+///
+/// --smoke runs a reduced deterministic sweep and fails (exit 1) if any
+/// run breaks SLO-accounting conservation (sum of completed queries'
+/// isolated-run bytes != bytes accounted quantum-by-quantum at the shared
+/// link), if the exact percentiles are not ordered p50 <= p95 <= p99, or
+/// if FIFO latency improves when the offered load rises.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cxlgraph;
+
+serve::WorkloadSpec make_spec(std::uint64_t seed, std::uint32_t queries,
+                              double slo_us, std::uint32_t span_shards) {
+  serve::WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_queries = queries;
+  spec.source_pool = 8;
+  serve::QueryClass bfs;
+  bfs.algorithm = core::Algorithm::kBfs;
+  bfs.weight = 3.0;
+  bfs.slo = util::ps_from_us(slo_us);
+  serve::QueryClass cc;
+  cc.algorithm = core::Algorithm::kCc;
+  cc.weight = 1.0;
+  cc.slo = util::ps_from_us(4.0 * slo_us);
+  serve::QueryClass scan;
+  scan.algorithm = core::Algorithm::kPagerankScan;
+  scan.weight = 1.0;
+  scan.slo = util::ps_from_us(4.0 * slo_us);
+  spec.mix = {bfs, cc, scan};
+  if (span_shards >= 2) {
+    serve::QueryClass sharded_bfs = bfs;
+    sharded_bfs.weight = 1.0;
+    sharded_bfs.shards = span_shards;
+    sharded_bfs.strategy = partition::Strategy::kDegreeBalanced;
+    spec.mix.push_back(sharded_bfs);
+  }
+  return spec;
+}
+
+/// Mean isolated service time (us) of the mix, from a one-query-at-a-time
+/// probe serve at negligible load; 1e6 / mean is the capacity in qps.
+double probe_capacity_qps(serve::QueryServer& server,
+                          const graph::CsrGraph& g,
+                          serve::ServeRequest request) {
+  request.workload.offered_qps = 0.001;
+  request.workload.num_queries = std::min<std::uint32_t>(
+      request.workload.num_queries, 24);
+  request.config.policy = serve::SchedulingPolicy::kFifo;
+  request.config.max_waiting = 0;
+  const serve::ServeReport probe = server.serve(g, request);
+  if (probe.service_us.mean <= 0.0) {
+    throw std::runtime_error("probe serve produced no service time");
+  }
+  return 1.0e6 / probe.service_us.mean;
+}
+
+int run_serve_mix(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("dataset", "urand | kron | friendster", "urand");
+  cli.add_option("scale", "log2 of dataset vertex count", "12");
+  cli.add_option("seed", "random seed", "42");
+  cli.add_option("backend",
+                 "host-dram | host-dram-remote | cxl (shared stack)",
+                 "cxl");
+  cli.add_option("queries", "queries per serve run", "96");
+  cli.add_option("slo-us",
+                 "BFS-class SLO [us]; heavier classes get 4x", "15000");
+  cli.add_option("policy",
+                 "fifo | round-robin | slo-priority | all", "all");
+  cli.add_option("quantum", "supersteps per preemptive turn", "4");
+  cli.add_option("queue-cap",
+                 "admission: max waiting queries (0 = unbounded)", "0");
+  cli.add_option("loads",
+                 "comma-separated offered-load factors (x capacity)",
+                 "0.25,0.5,1,2,4");
+  cli.add_option("span-shards",
+                 "add a query class spanning this many shards (0 = off)",
+                 "0");
+  cli.add_option("jobs",
+                 "worker threads for profiling "
+                 "(0 = all cores, 1 = serial; results are identical)",
+                 "0");
+  cli.add_flag("smoke",
+               "reduced sweep + conservation/ordering checks; exit 1 on "
+               "failure");
+  cli.add_flag("csv", "emit CSV instead of an aligned table");
+  cli.add_flag("verbose", "log per-run progress to stderr");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool smoke = cli.get_bool("smoke");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const unsigned scale =
+      smoke ? 10u : static_cast<unsigned>(cli.get_int("scale"));
+  const auto queries = static_cast<std::uint32_t>(
+      smoke ? 32 : cli.get_int("queries"));
+  const double slo_us = cli.get_double("slo-us");
+  const auto span_shards =
+      static_cast<std::uint32_t>(cli.get_int("span-shards"));
+  const auto jobs = cli.get_int("jobs");
+  if (jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
+  if (cli.get_bool("verbose")) util::set_log_level(util::LogLevel::kInfo);
+
+  std::vector<double> load_factors;
+  if (smoke) {
+    load_factors = {0.5, 2.0};
+  } else {
+    for (const std::string& item : util::split_csv(cli.get("loads"))) {
+      std::size_t used = 0;
+      const double factor = std::stod(item, &used);
+      if (used != item.size() || !(factor > 0.0)) {
+        throw std::invalid_argument("--loads: bad load factor '" + item +
+                                    "'");
+      }
+      load_factors.push_back(factor);
+    }
+  }
+
+  std::vector<serve::SchedulingPolicy> policies;
+  if (cli.get("policy") == "all" || smoke) {
+    policies = serve::all_policies();
+  } else {
+    policies = {serve::policy_from_name(cli.get("policy"))};
+  }
+
+  const graph::CsrGraph g = graph::make_dataset(
+      graph::dataset_from_name(cli.get("dataset")), scale,
+      /*weighted=*/true, seed);
+
+  serve::QueryServer server(core::table3_system(),
+                            static_cast<unsigned>(jobs));
+  serve::ServeRequest base;
+  base.base.backend = core::backend_from_name(cli.get("backend"));
+  base.workload = make_spec(seed, queries, slo_us, span_shards);
+  base.config.quantum_supersteps =
+      static_cast<std::uint32_t>(cli.get_int("quantum"));
+  base.config.max_waiting =
+      static_cast<std::uint32_t>(cli.get_int("queue-cap"));
+
+  const double capacity_qps = probe_capacity_qps(server, g, base);
+
+  if (!cli.get_bool("csv")) {
+    std::cout << "=== Serving: offered-load sweep over one shared stack "
+                 "===\n"
+              << "dataset: " << cli.get("dataset") << ", scale: 2^"
+              << scale << ", seed: " << seed << ", queries: " << queries
+              << ", backend: " << core::to_string(base.base.backend)
+              << "\ncapacity (1 / mean isolated service): "
+              << util::fmt(capacity_qps, 1) << " qps\n\n";
+  }
+
+  util::TablePrinter table(
+      {"Policy", "Load [x cap]", "Offered [qps]", "Completed [qps]",
+       "Goodput [qps]", "p50 [ms]", "p95 [ms]", "p99 [ms]",
+       "Queue p95 [ms]", "SLO viol", "Shed", "Util"});
+
+  int failures = 0;
+  double previous_fifo_p95 = -1.0;
+  for (const serve::SchedulingPolicy policy : policies) {
+    for (const double factor : load_factors) {
+      serve::ServeRequest req = base;
+      req.config.policy = policy;
+      req.workload.offered_qps = capacity_qps * factor;
+      const serve::ServeReport r = server.serve(g, req);
+      if (cli.get_bool("verbose")) {
+        CXLG_INFO("serve: " << r.policy << " x" << factor << ": p95="
+                            << util::fmt(r.latency_us.p95 / 1e3, 2)
+                            << " ms, util="
+                            << util::fmt(r.utilization, 2));
+      }
+
+      if (!r.conservation_ok()) {
+        std::cerr << "serve_mix: CONSERVATION FAILED (" << r.policy
+                  << ", load x" << factor << "): link bytes "
+                  << r.link_bytes << " != query bytes " << r.query_bytes
+                  << "\n";
+        ++failures;
+      }
+      if (!(r.latency_us.p50 <= r.latency_us.p95 &&
+            r.latency_us.p95 <= r.latency_us.p99)) {
+        std::cerr << "serve_mix: PERCENTILE ORDER FAILED (" << r.policy
+                  << ", load x" << factor << ")\n";
+        ++failures;
+      }
+      // Monotonicity only holds for ascending loads with an unbounded
+      // queue; --loads is user-ordered, so this check is smoke-only.
+      if (smoke && policy == serve::SchedulingPolicy::kFifo &&
+          base.config.max_waiting == 0) {
+        if (previous_fifo_p95 >= 0.0 &&
+            r.latency_us.p95 < previous_fifo_p95) {
+          std::cerr << "serve_mix: FIFO p95 improved as load rose (x"
+                    << factor << ")\n";
+          ++failures;
+        }
+        previous_fifo_p95 = r.latency_us.p95;
+      }
+
+      table.add_row(
+          {r.policy, util::fmt(factor, 2),
+           util::fmt(capacity_qps * factor, 1),
+           util::fmt(r.completed_qps, 1), util::fmt(r.goodput_qps, 1),
+           util::fmt(r.latency_us.p50 / 1e3, 3),
+           util::fmt(r.latency_us.p95 / 1e3, 3),
+           util::fmt(r.latency_us.p99 / 1e3, 3),
+           util::fmt(r.queue_us.p95 / 1e3, 3),
+           util::fmt(r.slo_violation_rate, 3),
+           util::fmt(r.offered == 0
+                         ? 0.0
+                         : static_cast<double>(r.shed) /
+                               static_cast<double>(r.offered),
+                     3),
+           util::fmt(r.utilization, 3)});
+    }
+  }
+
+  if (cli.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  if (failures > 0) {
+    std::cerr << "serve_mix: " << failures << " check(s) failed\n";
+    return 1;
+  }
+  if (smoke) std::cerr << "serve_mix smoke OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_serve_mix(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

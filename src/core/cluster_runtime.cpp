@@ -418,7 +418,7 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
   const std::uint32_t P = request.num_shards;
 
   partition::Partition part = partition::make_partition(
-      graph, request.strategy, P, request.partition_seed);
+      graph, request.strategy, P, request.partition_seed, request.reorder);
 
   // -------------------------------------------------------------------
   // Build one trace per shard, superstep-aligned: every shard has a step
@@ -494,20 +494,33 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
         (compute_total_sec / static_cast<double>(P));
   }
 
+  // Per-superstep cluster-wide fetched bytes (the serving layer charges
+  // these against the shared link superstep by superstep).
+  report.superstep_fetched_bytes.assign(report.supersteps, 0);
+  for (std::uint32_t s = 0; s < P; ++s) {
+    for (std::size_t k = 0; k < report.supersteps; ++k) {
+      report.superstep_fetched_bytes[k] +=
+          results[s].step_fetched_bytes[k];
+    }
+  }
+
   if (P == 1) {
     // Single shard: no barriers beyond the engine's own, no exchange. The
     // report reproduces ExternalGraphRuntime::run bit-for-bit.
+    report.superstep_compute_ps = results.front().step_durations;
     report.runtime_sec = report.shard_reports.front().runtime_sec;
     report.compute_sec = report.runtime_sec;
     return report;
   }
 
   SimTime compute_ps = 0;
+  report.superstep_compute_ps.reserve(report.supersteps);
   for (std::size_t k = 0; k < report.supersteps; ++k) {
     SimTime slowest = 0;
     for (std::uint32_t s = 0; s < P; ++s) {
       slowest = std::max(slowest, results[s].step_durations[k]);
     }
+    report.superstep_compute_ps.push_back(slowest);
     compute_ps += slowest;
   }
   report.compute_sec = util::sec_from_ps(compute_ps);
@@ -516,12 +529,14 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
       request.exchange_bandwidth_mbps > 0.0
           ? request.exchange_bandwidth_mbps
           : device::pcie_x16(config().gpu_link_gen).bandwidth_mbps;
-  const double latency_sec =
-      util::sec_from_ps(request.exchange_latency);
   // Asymmetric composition: a phase ends when the slowest-ingress shard
   // has drained, so the phase costs max over destinations of the bytes
-  // converging there — not the bulk total over one shared pipe.
+  // converging there — not the bulk total over one shared pipe. Each
+  // phase is costed once, in integer picoseconds; exchange_sec is the
+  // sum of those phases, so the per-phase seam decomposes the totals
+  // exactly (the same pattern compute_sec uses).
   std::uint64_t sum_max_ingress = 0;
+  SimTime exchange_ps = 0;
   for (const ExchangePhase& phase : phases) {
     report.exchange_bytes += phase.bytes;
     report.exchange_messages += phase.messages;
@@ -534,13 +549,17 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
       max_ingress = std::max(max_ingress, ingress);
     }
     sum_max_ingress += max_ingress;
-    report.exchange_sec +=
-        latency_sec +
-        static_cast<double>(max_ingress) / (bandwidth_mbps * 1.0e6);
+    const SimTime phase_ps =
+        request.exchange_latency +
+        static_cast<SimTime>(static_cast<double>(max_ingress) *
+                             util::ps_per_byte(bandwidth_mbps));
+    report.exchange_phase_ps.push_back(phase_ps);
+    exchange_ps += phase_ps;
     for (std::size_t i = 0; i < phase.pair_bytes.size(); ++i) {
       report.pair_exchange_bytes[i] += phase.pair_bytes[i];
     }
   }
+  report.exchange_sec = util::sec_from_ps(exchange_ps);
   if (report.exchange_bytes > 0) {
     // Balanced all-to-all would cost total/P per phase; the skew is how
     // much the slowest ingress exceeded that.

@@ -73,6 +73,10 @@ struct ClusterRequest {
   partition::Strategy strategy = partition::Strategy::kVertexRange;
   /// Perturbs the kHashEdge placement only.
   std::uint64_t partition_seed = 0;
+  /// Partitioner-aware local relabeling applied per shard after the cut is
+  /// fixed (degree-sort within each shard's subgraph). Changes layout and
+  /// therefore per-shard replay cost, never the cut or the exchange.
+  partition::ShardReorder reorder = partition::ShardReorder::kNone;
   /// Per-shard SystemConfig overrides for heterogeneous clusters; empty
   /// uses the runtime's config everywhere, otherwise size must equal
   /// num_shards.
@@ -111,6 +115,17 @@ struct ClusterReport {
   /// per phase). 1.0 = every destination absorbs an equal share; higher
   /// means the cut concentrates traffic on few owners.
   double exchange_ingress_skew = 1.0;
+
+  /// Per-superstep profile, the serving layer's contention seam: the
+  /// slowest shard's wall time per kept superstep, the inter-shard
+  /// exchange cost per phase (phase j follows kept superstep j), and the
+  /// cluster-wide fetched bytes per kept superstep (summed over shards —
+  /// superstep_fetched_bytes sums exactly to fetched_bytes). At one shard
+  /// these are the single stack's own step durations/bytes and
+  /// exchange_phase_ps is empty.
+  std::vector<util::SimTime> superstep_compute_ps;
+  std::vector<util::SimTime> exchange_phase_ps;
+  std::vector<std::uint64_t> superstep_fetched_bytes;
 
   /// kBfsDirOpt only: the cluster's aggregate direction per kept
   /// superstep (1 = bottom-up/pull, 0 = top-down/push).

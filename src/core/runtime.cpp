@@ -186,16 +186,21 @@ algo::AccessTrace ExternalGraphRuntime::make_trace(
 
 RunReport ExternalGraphRuntime::run(const graph::CsrGraph& graph,
                                     const RunRequest& request) {
+  return run_profiled(graph, request).report;
+}
+
+TraceRunResult ExternalGraphRuntime::run_profiled(
+    const graph::CsrGraph& graph, const RunRequest& request) {
   const graph::VertexId source = request.source.value_or(
       algo::pick_source(graph, request.source_seed));
   const algo::AccessTrace trace =
       make_trace(graph, request.algorithm, source);
 
-  RunReport report =
-      run_trace(trace, request, graph.edge_list_bytes()).report;
-  report.source = source;
-  report.graph_edges = graph.num_edges();
-  return report;
+  TraceRunResult result =
+      run_trace(trace, request, graph.edge_list_bytes());
+  result.report.source = source;
+  result.report.graph_edges = graph.num_edges();
+  return result;
 }
 
 TraceRunResult ExternalGraphRuntime::run_trace(
@@ -227,13 +232,21 @@ TraceRunResult ExternalGraphRuntime::run_trace(
   report.rmw_reads = engine_result.rmw_reads;
   report.frontier_vertices = engine_result.sublist_reads;
   result.step_durations.reserve(engine_result.steps.size());
+  result.step_fetched_bytes.reserve(engine_result.steps.size());
   for (const gpusim::StepResult& step : engine_result.steps) {
     result.step_durations.push_back(step.duration);
+    result.step_fetched_bytes.push_back(step.fetched_bytes);
   }
   return result;
 }
 
 double ExternalGraphRuntime::measure_latency_us(
+    BackendKind backend,
+    std::optional<util::SimTime> cxl_added_latency) const {
+  return measure_latency(backend, cxl_added_latency).mean_us;
+}
+
+gpusim::PointerChaseResult ExternalGraphRuntime::measure_latency(
     BackendKind backend,
     std::optional<util::SimTime> cxl_added_latency) const {
   sim::Simulator sim;
@@ -259,7 +272,7 @@ double ExternalGraphRuntime::measure_latency_us(
       throw std::invalid_argument(
           "pointer chase requires a memory-path backend");
   }
-  return gpusim::pointer_chase_latency_us(sim, link, *dev);
+  return gpusim::pointer_chase(sim, link, *dev);
 }
 
 }  // namespace cxlgraph::core

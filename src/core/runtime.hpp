@@ -19,6 +19,7 @@
 
 #include "algo/trace.hpp"
 #include "core/system_config.hpp"
+#include "gpusim/pointer_chase.hpp"
 #include "graph/csr.hpp"
 
 namespace cxlgraph::core {
@@ -70,11 +71,17 @@ struct RunReport {
 };
 
 /// run_trace's result: the usual report plus per-step (superstep) wall
-/// times, which core::ClusterRuntime needs to compose barrier-synchronized
-/// shard timelines.
+/// times and byte counts. ClusterRuntime composes barrier-synchronized
+/// shard timelines from the durations; the serving layer (serve::
+/// QueryServer) additionally needs the per-step fetched bytes so it can
+/// charge interleaved queries against the shared link at superstep
+/// granularity — and prove the per-query bytes it accounts sum exactly to
+/// what the stack fetched. step_durations sums to the engine's total time
+/// and step_fetched_bytes to the report's fetched_bytes, both exactly.
 struct TraceRunResult {
   RunReport report;
   std::vector<util::SimTime> step_durations;
+  std::vector<std::uint64_t> step_fetched_bytes;
 };
 
 class ExternalGraphRuntime {
@@ -83,6 +90,13 @@ class ExternalGraphRuntime {
 
   /// Runs one workload end to end. Deterministic in (graph, request).
   RunReport run(const graph::CsrGraph& graph, const RunRequest& request);
+
+  /// The contention seam for the serving layer: identical to run() (the
+  /// returned report is bit-for-bit the same), but also surfaces the
+  /// per-superstep durations and fetched bytes a shared-resource scheduler
+  /// interleaves. run() is implemented on top of this.
+  TraceRunResult run_profiled(const graph::CsrGraph& graph,
+                              const RunRequest& request);
 
   /// Replays a prepared access trace through a freshly built backend stack.
   /// `edge_list_bytes` is the size of the edge list resident on this
@@ -103,6 +117,12 @@ class ExternalGraphRuntime {
   double measure_latency_us(BackendKind backend,
                             std::optional<util::SimTime> cxl_added_latency =
                                 std::nullopt) const;
+
+  /// Same chase, full per-hop distribution (tail percentiles for latency
+  /// reports). measure_latency_us is this result's mean.
+  gpusim::PointerChaseResult measure_latency(
+      BackendKind backend,
+      std::optional<util::SimTime> cxl_added_latency = std::nullopt) const;
 
   const SystemConfig& config() const noexcept { return config_; }
 

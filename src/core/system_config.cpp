@@ -44,6 +44,26 @@ std::string to_string(Algorithm algorithm) {
   throw std::invalid_argument("unknown Algorithm");
 }
 
+BackendKind backend_from_name(const std::string& name) {
+  for (const BackendKind kind :
+       {BackendKind::kHostDram, BackendKind::kHostDramRemote,
+        BackendKind::kCxl, BackendKind::kXlfdd, BackendKind::kBamNvme,
+        BackendKind::kUvm, BackendKind::kTieredDramCxl}) {
+    if (to_string(kind) == name) return kind;
+  }
+  throw std::invalid_argument("unknown backend: " + name);
+}
+
+Algorithm algorithm_from_name(const std::string& name) {
+  for (const Algorithm algorithm :
+       {Algorithm::kBfs, Algorithm::kSssp, Algorithm::kCc,
+        Algorithm::kPagerankScan, Algorithm::kBfsDirOpt,
+        Algorithm::kSsspDelta, Algorithm::kBfsWriteback}) {
+    if (to_string(algorithm) == name) return algorithm;
+  }
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
 SystemConfig table3_system() {
   SystemConfig cfg;
   cfg.gpu_link_gen = device::PcieGen::kGen4;  // RTX A5000, PCIe 4.0 x16

@@ -43,6 +43,11 @@ enum class Algorithm {
 std::string to_string(BackendKind kind);
 std::string to_string(Algorithm algorithm);
 
+/// Reverse of to_string over every BackendKind / Algorithm; throws
+/// std::invalid_argument for unknown names (CLI/bench option parsing).
+BackendKind backend_from_name(const std::string& name);
+Algorithm algorithm_from_name(const std::string& name);
+
 struct SystemConfig {
   device::PcieGen gpu_link_gen = device::PcieGen::kGen4;
   gpusim::GpuParams gpu;

@@ -6,28 +6,37 @@
 
 namespace cxlgraph::gpusim {
 
-double pointer_chase_latency_us(sim::Simulator& sim, device::PcieLink& link,
-                                device::MemoryDevice& device,
-                                const PointerChaseParams& params) {
+PointerChaseResult pointer_chase(sim::Simulator& sim,
+                                 device::PcieLink& link,
+                                 device::MemoryDevice& device,
+                                 const PointerChaseParams& params) {
   struct ChaseState {
     unsigned remaining;
     util::Xoshiro256 rng{0xc0ffee};
     sim::SimTime start = 0;
+    sim::SimTime hop_start = 0;
     sim::SimTime end = 0;
+    std::vector<double> hop_us;
   };
   auto state = std::make_shared<ChaseState>();
   state->remaining = params.hops;
   state->start = sim.now();
+  state->hop_us.reserve(params.hops);
 
   // Dependent chain: each completion schedules the next hop after the
   // warp-sync gap. std::function allows the self-reference.
   auto hop = std::make_shared<std::function<void()>>();
   *hop = [&sim, &link, &device, state, hop, params]() {
+    if (state->remaining != params.hops) {
+      state->hop_us.push_back(util::us_from_ps(sim.now() -
+                                               state->hop_start));
+    }
     if (state->remaining == 0) {
       state->end = sim.now();
       return;
     }
     --state->remaining;
+    state->hop_start = sim.now();
     const std::uint64_t addr =
         state->rng.next_below(params.span_bytes / params.read_bytes) *
         params.read_bytes;
@@ -39,9 +48,22 @@ double pointer_chase_latency_us(sim::Simulator& sim, device::PcieLink& link,
   };
   (*hop)();
   sim.run();
+  // The closure holds a copy of its own owning shared_ptr (it must, to
+  // stay alive across scheduled events); reset it now that the queue has
+  // drained, or the cycle would leak the state on every call.
+  *hop = nullptr;
 
-  const double total_us = util::us_from_ps(state->end - state->start);
-  return total_us / static_cast<double>(params.hops);
+  PointerChaseResult result;
+  result.hop_us = std::move(state->hop_us);
+  result.mean_us = util::us_from_ps(state->end - state->start) /
+                   static_cast<double>(params.hops);
+  return result;
+}
+
+double pointer_chase_latency_us(sim::Simulator& sim, device::PcieLink& link,
+                                device::MemoryDevice& device,
+                                const PointerChaseParams& params) {
+  return pointer_chase(sim, link, device, params).mean_us;
 }
 
 }  // namespace cxlgraph::gpusim

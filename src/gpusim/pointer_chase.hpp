@@ -7,6 +7,7 @@
 /// per hop is the external-memory latency as seen from the GPU.
 
 #include <cstdint>
+#include <vector>
 
 #include "device/pcie.hpp"
 
@@ -27,5 +28,18 @@ struct PointerChaseParams {
 double pointer_chase_latency_us(sim::Simulator& sim, device::PcieLink& link,
                                 device::MemoryDevice& device,
                                 const PointerChaseParams& params = {});
+
+/// Per-hop latency distribution of the same chase. mean_us matches
+/// pointer_chase_latency_us on an identical chain; hop_us holds one sample
+/// per hop (issue to warp-resume), so a latency report can quote tails
+/// (p50/p95/p99 via util::summarize_percentiles) instead of one average.
+struct PointerChaseResult {
+  double mean_us = 0.0;
+  std::vector<double> hop_us;
+};
+PointerChaseResult pointer_chase(sim::Simulator& sim,
+                                 device::PcieLink& link,
+                                 device::MemoryDevice& device,
+                                 const PointerChaseParams& params = {});
 
 }  // namespace cxlgraph::gpusim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "graph/reorder.hpp"
 #include "util/rng.hpp"
 
 namespace cxlgraph::partition {
@@ -87,6 +88,24 @@ std::vector<std::uint32_t> assign_owners(const graph::CsrGraph& g,
   throw std::invalid_argument("unknown partition strategy");
 }
 
+/// Applies `reorder` to one built shard: relabels the local CSR and
+/// remaps both ID maps so to_local/to_global stay consistent. Ownership
+/// and num_owned are untouched — reordering is local-layout only.
+void reorder_shard(ShardGraph& shard, ShardReorder reorder) {
+  if (reorder == ShardReorder::kNone) return;
+  const std::vector<VertexId> perm = graph::make_permutation(
+      shard.graph, graph::VertexOrder::kDegreeSorted);
+  shard.graph = graph::apply_permutation(shard.graph, perm);
+  std::vector<VertexId> local_to_global(shard.local_to_global.size());
+  for (VertexId l = 0; l < shard.local_to_global.size(); ++l) {
+    local_to_global[perm[l]] = shard.local_to_global[l];
+  }
+  shard.local_to_global = std::move(local_to_global);
+  for (auto& [global, local] : shard.global_to_local) {
+    local = perm[local];
+  }
+}
+
 /// Shard index for the directed edge (src, edge-list position e).
 std::uint32_t edge_shard(Strategy strategy,
                          const std::vector<std::uint32_t>& owner,
@@ -126,8 +145,27 @@ const std::vector<Strategy>& all_strategies() {
   return strategies;
 }
 
+std::string to_string(ShardReorder reorder) {
+  switch (reorder) {
+    case ShardReorder::kNone:
+      return "none";
+    case ShardReorder::kDegreeSorted:
+      return "shard-degree";
+  }
+  return "unknown";
+}
+
+ShardReorder reorder_from_name(const std::string& name) {
+  for (const ShardReorder r :
+       {ShardReorder::kNone, ShardReorder::kDegreeSorted}) {
+    if (to_string(r) == name) return r;
+  }
+  throw std::invalid_argument("unknown shard reorder: " + name);
+}
+
 Partition make_partition(const graph::CsrGraph& g, Strategy strategy,
-                         std::uint32_t num_shards, std::uint64_t seed) {
+                         std::uint32_t num_shards, std::uint64_t seed,
+                         ShardReorder reorder) {
   if (num_shards == 0) {
     throw std::invalid_argument("make_partition: num_shards must be >= 1");
   }
@@ -207,6 +245,7 @@ Partition make_partition(const graph::CsrGraph& g, Strategy strategy,
     }
     shard.graph = graph::CsrGraph(std::move(offsets), std::move(edges),
                                   std::move(weights));
+    reorder_shard(shard, reorder);
   }
 
   // Cut statistics over the ownership assignment.

@@ -44,14 +44,34 @@ std::string to_string(Strategy strategy);
 Strategy strategy_from_name(const std::string& name);
 const std::vector<Strategy>& all_strategies();
 
+/// Partitioner-aware reordering: how each shard relabels its *local*
+/// subgraph after the cut is fixed. Ownership, the cut, and the exchange
+/// traffic are untouched — only where sublists sit inside the shard's
+/// local edge list changes, which is exactly the locality lever
+/// (alignment boundaries, cache reuse, hot-prefix packing) a per-device
+/// layout can pull without re-partitioning.
+///  * kNone        — local IDs in ascending global-ID order (identity at
+///                   one shard, the bit-identity baseline);
+///  * kDegreeSorted — hubs first within each shard: local ID 0 is the
+///                   shard's highest-degree vertex, packing its hottest
+///                   sublists into a dense prefix.
+enum class ShardReorder {
+  kNone,
+  kDegreeSorted,
+};
+
+std::string to_string(ShardReorder reorder);
+ShardReorder reorder_from_name(const std::string& name);
+
 /// Sentinel for "this global vertex has no local ID on this shard".
 inline constexpr graph::VertexId kNoLocalId =
     std::numeric_limits<graph::VertexId>::max();
 
 /// One shard's slice of the graph: a compact CSR over local vertex IDs.
-/// Local IDs are assigned in ascending global-ID order over the union of
-/// the shard's owned vertices and the endpoints of its edges, so a
-/// single-shard partition yields the identity mapping.
+/// Under ShardReorder::kNone local IDs are assigned in ascending global-ID
+/// order over the union of the shard's owned vertices and the endpoints of
+/// its edges, so a single-shard partition yields the identity mapping;
+/// other reorders relabel afterwards with the ID maps updated to match.
 struct ShardGraph {
   graph::CsrGraph graph;
   /// local ID -> global ID; size == graph.num_vertices().
@@ -122,9 +142,12 @@ struct Partition {
 
 /// Partitions `graph` into `num_shards` shards. Every edge lands on exactly
 /// one shard and shard unions reconstruct the graph. `seed` perturbs the
-/// kHashEdge hash only. Throws std::invalid_argument for num_shards == 0.
-/// Deterministic in (graph, strategy, num_shards, seed).
+/// kHashEdge hash only; `reorder` relabels each shard's local subgraph
+/// after the cut is fixed (ownership and cut stats are reorder-invariant).
+/// Throws std::invalid_argument for num_shards == 0.
+/// Deterministic in (graph, strategy, num_shards, seed, reorder).
 Partition make_partition(const graph::CsrGraph& graph, Strategy strategy,
-                         std::uint32_t num_shards, std::uint64_t seed = 0);
+                         std::uint32_t num_shards, std::uint64_t seed = 0,
+                         ShardReorder reorder = ShardReorder::kNone);
 
 }  // namespace cxlgraph::partition

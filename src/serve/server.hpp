@@ -1,0 +1,199 @@
+#pragma once
+/// \file server.hpp
+/// Multi-tenant query serving over one shared GPU + CXL stack.
+///
+/// QueryServer admits a WorkloadSpec's query stream and executes it
+/// against a single modeled GPU + interconnect + device stack instead of
+/// replaying each query in isolation. The contention model is superstep-
+/// granular time-sharing, which is how one physical GPU actually
+/// multiplexes analytics queries — kernels (supersteps) are the natural
+/// preemption points:
+///
+///  1. Every distinct (query class, source) is profiled once on an idle
+///     stack through the core contention seam
+///     (ExternalGraphRuntime::run_profiled, or core::ClusterRuntime for
+///     shard-spanning queries), yielding its per-superstep durations and
+///     fetched bytes. Latency tolerance *within* a query — the paper's
+///     outstanding-request argument — is captured there.
+///  2. A discrete-event queueing simulation (sim::Simulator) then
+///     interleaves the admitted queries' supersteps onto the shared stack
+///     under a scheduling policy: FIFO run-to-completion, round-robin
+///     batching (a quantum of supersteps per turn), or SLO-aware priority
+///     (earliest deadline first, preemptible between quanta). An
+///     admission controller sheds arrivals past the waiting-queue
+///     capacity.
+///
+/// Everything is deterministic in (graph, ServeRequest): per-query seeds
+/// derive from the workload seed, profiling fan-out is insertion-ordered,
+/// and the queueing simulation is single-threaded. A single admitted
+/// query on an idle server reproduces the ExternalGraphRuntime report
+/// bit-for-bit; byte conservation (sum of per-query service bytes ==
+/// bytes accounted at the shared link) is checked by conservation_ok().
+///
+///   serve::QueryServer server(core::table3_system());
+///   serve::ServeRequest req;
+///   req.base.backend = core::BackendKind::kCxl;
+///   req.workload.offered_qps = 500.0;
+///   req.workload.num_queries = 256;
+///   serve::ServeReport report = server.serve(graph, req);
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/cluster_runtime.hpp"
+#include "core/experiment_runner.hpp"
+#include "core/runtime.hpp"
+#include "serve/workload.hpp"
+#include "util/stats.hpp"
+
+namespace cxlgraph::serve {
+
+enum class SchedulingPolicy {
+  kFifo,         ///< run-to-completion in arrival order
+  kRoundRobin,   ///< quantum_supersteps per turn, rotate
+  kSloPriority,  ///< earliest (arrival + SLO) deadline first, per quantum
+};
+
+std::string to_string(SchedulingPolicy policy);
+SchedulingPolicy policy_from_name(const std::string& name);
+const std::vector<SchedulingPolicy>& all_policies();
+
+struct ServeConfig {
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  /// Admission capacity: arrivals finding this many queries *waiting*
+  /// (the one in service not counted) are shed. 0 = unbounded queue.
+  std::uint32_t max_waiting = 0;
+  /// Supersteps served per scheduling turn under the preemptive policies
+  /// (round-robin, SLO priority). FIFO ignores it.
+  std::uint32_t quantum_supersteps = 4;
+};
+
+struct ServeRequest {
+  /// Backend + sweep knobs of the one shared stack. algorithm and source
+  /// are overridden per query from the workload mix.
+  core::RunRequest base;
+  WorkloadSpec workload;
+  ServeConfig config;
+};
+
+/// One profiled (query class, source) pair: the idle-server run every
+/// admitted query of that shape replays slices of.
+struct QueryProfile {
+  std::uint32_t class_index = 0;
+  graph::VertexId source = 0;
+  std::uint32_t shards = 1;
+  /// Isolated run report. For shard-spanning queries this is synthesized
+  /// from the ClusterReport (fetched/used bytes summed over shards).
+  core::RunReport report;
+  /// Shard-spanning queries only: composed cluster makespan and exchange.
+  double cluster_runtime_sec = 0.0;
+  std::uint64_t exchange_bytes = 0;
+  /// Per-superstep service demand on the shared stack. For cluster-routed
+  /// queries each exchange phase's cost is folded into its superstep.
+  std::vector<util::SimTime> step_ps;
+  std::vector<std::uint64_t> step_bytes;
+  util::SimTime service_ps = 0;      // sum of step_ps
+  std::uint64_t service_bytes = 0;   // sum of step_bytes
+};
+
+struct QueryRecord {
+  std::uint64_t id = 0;
+  std::uint32_t class_index = 0;
+  std::size_t profile_index = 0;
+  util::SimTime arrival = 0;
+  util::SimTime first_service = 0;
+  util::SimTime completion = 0;
+  util::SimTime service_ps = 0;  // time actually holding the shared stack
+  util::SimTime queue_ps = 0;    // completion - arrival - service_ps
+  std::uint64_t service_bytes = 0;
+  util::SimTime slo = 0;
+  bool shed = false;
+  bool slo_violated = false;
+};
+
+struct ServeReport {
+  std::string backend;
+  std::string access_method;
+  std::string policy;
+  std::string process;
+
+  std::uint32_t offered = 0;
+  std::uint32_t admitted = 0;
+  std::uint32_t completed = 0;
+  std::uint32_t shed = 0;
+
+  /// Simulated time from t=0 to the last completion.
+  double makespan_sec = 0.0;
+  double completed_qps = 0.0;
+  /// Completions that met their SLO, per second of makespan.
+  double goodput_qps = 0.0;
+  /// SLO violations / completed.
+  double slo_violation_rate = 0.0;
+
+  /// Exact per-query percentiles (completed queries, microseconds).
+  util::PercentileSummary latency_us;
+  util::PercentileSummary queue_us;
+  util::PercentileSummary service_us;
+  /// O(1)-memory streaming estimates of the same latency quantiles (P²),
+  /// fed in completion order — the production-side cross-check.
+  double streaming_p50_us = 0.0;
+  double streaming_p95_us = 0.0;
+  double streaming_p99_us = 0.0;
+
+  /// Time-in-queue vs time-in-service totals over completed queries.
+  double time_in_queue_sec = 0.0;
+  double time_in_service_sec = 0.0;
+  /// Shared-stack busy time / makespan.
+  double utilization = 0.0;
+
+  /// Bytes accounted quantum-by-quantum at the shared link vs the sum of
+  /// completed queries' isolated-run fetched bytes. Equal unless the
+  /// per-superstep seam miscounts — the SLO-accounting conservation check.
+  std::uint64_t link_bytes = 0;
+  std::uint64_t query_bytes = 0;
+  bool conservation_ok() const noexcept {
+    return link_bytes == query_bytes;
+  }
+
+  std::vector<QueryRecord> queries;
+  std::vector<QueryProfile> profiles;
+};
+
+class QueryServer {
+ public:
+  /// `jobs` bounds the profiling fan-out (ExperimentRunner semantics:
+  /// 0 = hardware concurrency, 1 = serial; results identical either way).
+  explicit QueryServer(core::SystemConfig config, unsigned jobs = 0);
+
+  /// Runs the workload to completion. Deterministic in (graph, request).
+  ServeReport serve(const graph::CsrGraph& graph,
+                    const ServeRequest& request);
+
+  const core::SystemConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Everything that determines a profile besides the graph: the stack
+  /// knobs of the base request plus the class shape and the source.
+  using ProfileKey =
+      std::tuple<int /*backend*/, std::uint64_t /*cxl_added_latency*/,
+                 std::uint32_t /*alignment*/, std::uint64_t /*cache_bytes*/,
+                 int /*algorithm*/, std::uint32_t /*shards*/,
+                 int /*strategy*/, graph::VertexId /*source*/>;
+
+  core::SystemConfig config_;
+  unsigned jobs_;
+  /// Distinct (class, source) profiles fan out here.
+  core::ExperimentRunner runner_;
+  /// Idle-stack profiles are pure functions of (config, graph, key), so
+  /// repeated serves — an offered-load sweep, a policy comparison — reuse
+  /// them. Invalidated whenever the graph changes, detected by a cheap
+  /// content fingerprint (not the address: a different graph reallocated
+  /// at the same address must not reuse stale profiles).
+  std::map<ProfileKey, QueryProfile> profile_cache_;
+  std::uint64_t cached_graph_fingerprint_ = 0;
+};
+
+}  // namespace cxlgraph::serve

@@ -83,6 +83,25 @@ bool CliParser::get_bool(const std::string& name) const {
   return v == "true" || v == "1" || v == "yes" || v == "on";
 }
 
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t comma = value.find(',', pos);
+    const std::string item =
+        value.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+    if (item.empty()) {
+      throw std::invalid_argument(
+          "empty item in comma-separated list: '" + value + "'");
+    }
+    items.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return items;
+}
+
 void CliParser::print_usage(const std::string& program) const {
   std::fprintf(stderr, "usage: %s [options]\n", program.c_str());
   for (const auto& [name, opt] : options_) {

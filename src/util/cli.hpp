@@ -51,4 +51,10 @@ class CliParser {
   std::vector<std::string> positional_;
 };
 
+/// Splits a comma-separated option value ("0.25,0.5,1") into its items.
+/// Throws std::invalid_argument on empty input or empty items (",1",
+/// "1,,2") so list-valued options fail with a description, not a crash
+/// deep in std::stod.
+std::vector<std::string> split_csv(const std::string& value);
+
 }  // namespace cxlgraph::util

@@ -57,6 +57,18 @@ std::uint64_t bucket_upper(std::size_t index) noexcept {
   return index == 0 ? 1 : (std::uint64_t{1} << index);
 }
 
+/// Linear-interpolated percentile over an already-sorted sample vector —
+/// the one rank convention percentile() and summarize_percentiles share.
+double percentile_sorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::clamp(pct, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 }  // namespace
 
 void Log2Histogram::add(std::uint64_t value) noexcept {
@@ -100,15 +112,110 @@ std::string Log2Histogram::to_string() const {
 }
 
 double percentile(std::vector<double> samples, double pct) {
-  if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
-  const double rank =
-      std::clamp(pct, 0.0, 100.0) / 100.0 *
-      static_cast<double>(samples.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  return percentile_sorted(samples, pct);
+}
+
+PercentileSummary summarize_percentiles(std::vector<double> samples) {
+  PercentileSummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = percentile_sorted(samples, 50.0);
+  s.p95 = percentile_sorted(samples, 95.0);
+  s.p99 = percentile_sorted(samples, 99.0);
+  return s;
+}
+
+StreamingQuantile::StreamingQuantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    q_ = std::clamp(q, 1e-6, 1.0 - 1e-6);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increment_[0] = 0.0;
+  increment_[1] = q_ / 2.0;
+  increment_[2] = q_;
+  increment_[3] = (1.0 + q_) / 2.0;
+  increment_[4] = 1.0;
+}
+
+void StreamingQuantile::add(double x) noexcept {
+  if (count_ < 5) {
+    height_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(height_, height_ + 5);
+      for (int i = 0; i < 5; ++i) {
+        position_[i] = static_cast<double>(i + 1);
+      }
+    }
+    return;
+  }
+  ++count_;
+
+  // Which marker cell the sample lands in; stretch the extremes.
+  int cell;
+  if (x < height_[0]) {
+    height_[0] = x;
+    cell = 0;
+  } else if (x >= height_[4]) {
+    height_[4] = std::max(height_[4], x);
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= height_[cell + 1]) ++cell;
+  }
+  for (int i = cell + 1; i < 5; ++i) position_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+  // Nudge the three interior markers toward their desired positions with
+  // piecewise-parabolic (fallback: linear) height interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - position_[i];
+    const double below = position_[i] - position_[i - 1];
+    const double above = position_[i + 1] - position_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      const double np = position_[i] + sign;
+      const double parabolic =
+          height_[i] +
+          sign / (position_[i + 1] - position_[i - 1]) *
+              ((below + sign) * (height_[i + 1] - height_[i]) / above +
+               (above - sign) * (height_[i] - height_[i - 1]) / below);
+      if (height_[i - 1] < parabolic && parabolic < height_[i + 1]) {
+        height_[i] = parabolic;
+      } else {
+        const double step = sign > 0 ? height_[i + 1] : height_[i - 1];
+        const double gap = sign > 0 ? above : -below;
+        height_[i] += sign * (step - height_[i]) / gap;
+      }
+      position_[i] = np;
+    }
+  }
+}
+
+double StreamingQuantile::estimate() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact from the stored prefix.
+    double sorted[5];
+    std::copy(height_, height_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const double rank = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+  return height_[2];
 }
 
 double geometric_mean(const std::vector<double>& values) {

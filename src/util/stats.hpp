@@ -60,6 +60,44 @@ class Log2Histogram {
 /// Exact percentile from a sample vector (copies + sorts; test/report use).
 double percentile(std::vector<double> samples, double pct);
 
+/// Exact tail summary of a sample set: the numbers a latency report leads
+/// with. Computed by one sort of a copy; for million-sample streams use
+/// StreamingQuantile instead.
+struct PercentileSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+PercentileSummary summarize_percentiles(std::vector<double> samples);
+
+/// Streaming single-quantile estimator (the P² algorithm, Jain & Chlamtac
+/// 1985): five markers, O(1) memory, no stored samples. Exact for the
+/// first five observations, a piecewise-parabolic estimate afterwards.
+/// Deterministic in the insertion sequence.
+class StreamingQuantile {
+ public:
+  /// q in (0, 1), e.g. 0.99 for p99.
+  explicit StreamingQuantile(double q);
+
+  void add(double x) noexcept;
+  std::uint64_t count() const noexcept { return count_; }
+  double quantile() const noexcept { return q_; }
+  /// Current estimate; 0 before the first sample.
+  double estimate() const noexcept;
+
+ private:
+  double q_;
+  std::uint64_t count_ = 0;
+  double height_[5] = {};    // marker heights (sample values)
+  double position_[5] = {};  // actual marker positions (1-based ranks)
+  double desired_[5] = {};   // desired marker positions
+  double increment_[5] = {}; // desired-position increments per sample
+};
+
 /// Geometric mean of strictly positive values; 0 if the input is empty.
 double geometric_mean(const std::vector<double>& values);
 

@@ -295,6 +295,56 @@ TEST(ClusterRuntime, PartitionersSeparateInExchangeTime) {
   EXPECT_NE(balanced.pair_exchange_bytes, hashed.pair_exchange_bytes);
 }
 
+TEST(ClusterRuntime, ShardDegreeReorderMovesLayoutNotExchange) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRuntime cluster(core::table3_system());
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kBfs;
+  creq.run.backend = core::BackendKind::kCxl;
+  creq.run.source_seed = kSeed;
+  creq.num_shards = 4;
+  creq.strategy = partition::Strategy::kDegreeBalanced;
+  const core::ClusterReport plain = cluster.run(g, creq);
+  creq.reorder = partition::ShardReorder::kDegreeSorted;
+  const core::ClusterReport sorted = cluster.run(g, creq);
+
+  // The relabel never touches ownership, so the exchange — messages,
+  // bytes, per-pair attribution — and the cut stats are bit-identical;
+  // only the per-shard replay (layout-dependent) may move.
+  EXPECT_EQ(plain.exchange_bytes, sorted.exchange_bytes);
+  EXPECT_EQ(plain.exchange_messages, sorted.exchange_messages);
+  EXPECT_EQ(plain.pair_exchange_bytes, sorted.pair_exchange_bytes);
+  EXPECT_EQ(plain.cut.cut_edges, sorted.cut.cut_edges);
+  EXPECT_EQ(plain.supersteps, sorted.supersteps);
+  EXPECT_EQ(plain.used_bytes, sorted.used_bytes);
+}
+
+TEST(ClusterRuntime, SuperstepProfileSeamsSumToTotals) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRuntime cluster(core::table3_system());
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kBfs;
+  creq.run.backend = core::BackendKind::kHostDram;
+  creq.run.source_seed = kSeed;
+  for (const std::uint32_t shards : {1u, 4u}) {
+    creq.num_shards = shards;
+    const core::ClusterReport r = cluster.run(g, creq);
+    ASSERT_EQ(r.superstep_compute_ps.size(), r.supersteps);
+    ASSERT_EQ(r.superstep_fetched_bytes.size(), r.supersteps);
+    std::uint64_t bytes = 0;
+    for (const std::uint64_t b : r.superstep_fetched_bytes) bytes += b;
+    EXPECT_EQ(bytes, r.fetched_bytes);
+    util::SimTime compute = 0;
+    for (const util::SimTime t : r.superstep_compute_ps) compute += t;
+    EXPECT_EQ(util::sec_from_ps(compute), r.compute_sec);
+    if (shards == 1) {
+      EXPECT_TRUE(r.exchange_phase_ps.empty());
+    } else {
+      EXPECT_EQ(r.exchange_phase_ps.size() <= r.supersteps, true);
+    }
+  }
+}
+
 TEST(ClusterRuntime, ExchangeGrowsWithShardCount) {
   const graph::CsrGraph g = test_graph();
   core::ClusterRuntime cluster(core::table3_system());

@@ -6,6 +6,7 @@
 
 #include "core/cluster_runtime.hpp"
 #include "graph/generate.hpp"
+#include "graph/reorder.hpp"
 #include "partition/partition.hpp"
 
 namespace cxlgraph::partition {
@@ -306,6 +307,80 @@ TEST(Partition, StrategyNamesRoundTrip) {
     EXPECT_EQ(strategy_from_name(to_string(s)), s);
   }
   EXPECT_THROW(strategy_from_name("metis"), std::invalid_argument);
+}
+
+TEST(Partition, ReorderNamesRoundTrip) {
+  for (const ShardReorder r :
+       {ShardReorder::kNone, ShardReorder::kDegreeSorted}) {
+    EXPECT_EQ(reorder_from_name(to_string(r)), r);
+  }
+  EXPECT_THROW(reorder_from_name("hilbert"), std::invalid_argument);
+}
+
+TEST(Partition, ShardDegreeReorderPreservesEdgesOwnershipAndCut) {
+  const CsrGraph g = weighted_test_graph();
+  for (const Strategy strategy : all_strategies()) {
+    const Partition plain = make_partition(g, strategy, 4, /*seed=*/3);
+    const Partition sorted = make_partition(g, strategy, 4, /*seed=*/3,
+                                            ShardReorder::kDegreeSorted);
+    // The relabel is local-layout only: same global edge multiset, same
+    // ownership, identical cut statistics.
+    EXPECT_EQ(union_edges(plain), union_edges(sorted));
+    EXPECT_EQ(plain.owner, sorted.owner);
+    EXPECT_EQ(plain.stats.cut_edges, sorted.stats.cut_edges);
+    EXPECT_EQ(plain.stats.pair_cut_edges, sorted.stats.pair_cut_edges);
+    EXPECT_EQ(plain.stats.max_shard_edges, sorted.stats.max_shard_edges);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(plain.shards[s].num_owned, sorted.shards[s].num_owned);
+      EXPECT_EQ(plain.shards[s].graph.num_edges(),
+                sorted.shards[s].graph.num_edges());
+    }
+  }
+}
+
+TEST(Partition, ShardDegreeReorderSortsLocalDegreesDescending) {
+  const CsrGraph g = weighted_test_graph();
+  const Partition p = make_partition(g, Strategy::kDegreeBalanced, 4,
+                                     /*seed=*/0,
+                                     ShardReorder::kDegreeSorted);
+  for (const ShardGraph& shard : p.shards) {
+    for (VertexId l = 1; l < shard.graph.num_vertices(); ++l) {
+      EXPECT_GE(shard.graph.degree(l - 1), shard.graph.degree(l));
+    }
+  }
+}
+
+TEST(Partition, ShardDegreeReorderIdMapsStayConsistent) {
+  const CsrGraph g = weighted_test_graph();
+  const Partition p = make_partition(g, Strategy::kHashEdge, 3,
+                                     /*seed=*/7,
+                                     ShardReorder::kDegreeSorted);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    const ShardGraph& shard = p.shards[s];
+    for (VertexId l = 0; l < shard.graph.num_vertices(); ++l) {
+      EXPECT_EQ(shard.to_local(shard.to_global(l)), l);
+    }
+    // The shard still stores exactly the same global vertices.
+    const Partition plain = make_partition(g, Strategy::kHashEdge, 3, 7);
+    std::vector<VertexId> a = shard.local_to_global;
+    std::vector<VertexId> b = plain.shards[s].local_to_global;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Partition, ShardDegreeReorderAtOneShardEqualsWholeGraphDegreeSort) {
+  const CsrGraph g = weighted_test_graph();
+  const Partition p = make_partition(g, Strategy::kVertexRange, 1,
+                                     /*seed=*/0,
+                                     ShardReorder::kDegreeSorted);
+  // One shard owns everything, so the local relabel is exactly the
+  // whole-graph degree-sorted reorder.
+  const CsrGraph expected =
+      graph::reorder(g, graph::VertexOrder::kDegreeSorted);
+  EXPECT_EQ(p.shards[0].graph.offsets(), expected.offsets());
+  EXPECT_EQ(p.shards[0].graph.edges(), expected.edges());
 }
 
 }  // namespace

@@ -1,0 +1,307 @@
+/// serve::QueryServer — multi-tenant serving over one shared stack.
+///
+/// The load-bearing guarantees:
+///  * a single admitted query on an idle server reproduces the
+///    ExternalGraphRuntime report bit-for-bit (the serving layer is a
+///    pure extension of the single-query path);
+///  * results are deterministic in (graph, request) — across repeated
+///    runs and across profiling thread counts;
+///  * per-query latency is monotonically non-improving as offered load
+///    rises (same arrival sequence, compressed), and p50 <= p95 <= p99;
+///  * byte conservation: the bytes accounted quantum-by-quantum at the
+///    shared link equal the sum of completed queries' isolated-run
+///    fetched bytes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/bfs.hpp"
+#include "core/runtime.hpp"
+#include "graph/generate.hpp"
+#include "serve/server.hpp"
+
+namespace cxlgraph {
+namespace {
+
+constexpr std::uint64_t kSeed = 11;
+
+graph::CsrGraph test_graph() {
+  graph::GeneratorOptions opts;
+  opts.seed = kSeed;
+  opts.max_weight = 63;
+  return graph::generate_uniform(1 << 10, 8.0, opts);
+}
+
+serve::ServeRequest mixed_request(double offered_qps,
+                                  std::uint32_t num_queries) {
+  serve::ServeRequest req;
+  req.base.backend = core::BackendKind::kCxl;
+  req.workload.seed = kSeed;
+  req.workload.offered_qps = offered_qps;
+  req.workload.num_queries = num_queries;
+  req.workload.source_pool = 4;
+  serve::QueryClass bfs;
+  bfs.algorithm = core::Algorithm::kBfs;
+  bfs.weight = 2.0;
+  bfs.slo = util::ps_from_us(5'000.0);
+  serve::QueryClass scan;
+  scan.algorithm = core::Algorithm::kPagerankScan;
+  scan.weight = 1.0;
+  scan.slo = util::ps_from_us(20'000.0);
+  req.workload.mix = {bfs, scan};
+  return req;
+}
+
+void expect_records_identical(const serve::ServeReport& a,
+                              const serve::ServeReport& b) {
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (std::size_t i = 0; i < a.queries.size(); ++i) {
+    const serve::QueryRecord& x = a.queries[i];
+    const serve::QueryRecord& y = b.queries[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.class_index, y.class_index);
+    EXPECT_EQ(x.profile_index, y.profile_index);
+    EXPECT_EQ(x.arrival, y.arrival);
+    EXPECT_EQ(x.first_service, y.first_service);
+    EXPECT_EQ(x.completion, y.completion);
+    EXPECT_EQ(x.service_ps, y.service_ps);
+    EXPECT_EQ(x.queue_ps, y.queue_ps);
+    EXPECT_EQ(x.service_bytes, y.service_bytes);
+    EXPECT_EQ(x.shed, y.shed);
+    EXPECT_EQ(x.slo_violated, y.slo_violated);
+  }
+  EXPECT_EQ(a.link_bytes, b.link_bytes);
+  EXPECT_EQ(a.query_bytes, b.query_bytes);
+  EXPECT_EQ(a.makespan_sec, b.makespan_sec);
+  EXPECT_EQ(a.latency_us.p99, b.latency_us.p99);
+}
+
+TEST(QueryServer, SingleQueryIdleServerMatchesSingleRuntime) {
+  const graph::CsrGraph g = test_graph();
+  const core::SystemConfig cfg = core::table3_system();
+
+  for (const core::BackendKind backend :
+       {core::BackendKind::kHostDram, core::BackendKind::kCxl}) {
+    serve::ServeRequest req;
+    req.base.backend = backend;
+    req.workload.seed = kSeed;
+    req.workload.num_queries = 1;
+    req.workload.offered_qps = 100.0;
+    serve::QueryServer server(cfg);
+    const serve::ServeReport r = server.serve(g, req);
+
+    ASSERT_EQ(r.completed, 1u);
+    ASSERT_EQ(r.profiles.size(), 1u);
+    const serve::QueryRecord& record = r.queries.front();
+    EXPECT_FALSE(record.shed);
+    EXPECT_EQ(record.queue_ps, 0u);
+
+    // The expected isolated run: same source derivation as the server's.
+    const std::vector<serve::Query> queries =
+        serve::make_queries(req.workload);
+    core::RunRequest expected_req;
+    expected_req.backend = backend;
+    expected_req.source =
+        algo::pick_source(g, queries.front().source_seed);
+    core::ExternalGraphRuntime single(cfg);
+    const core::RunReport expected = single.run(g, expected_req);
+
+    const core::RunReport& actual = r.profiles.front().report;
+    EXPECT_EQ(actual.algorithm, expected.algorithm);
+    EXPECT_EQ(actual.backend, expected.backend);
+    EXPECT_EQ(actual.access_method, expected.access_method);
+    EXPECT_EQ(actual.source, expected.source);
+    EXPECT_EQ(actual.runtime_sec, expected.runtime_sec);
+    EXPECT_EQ(actual.throughput_mbps, expected.throughput_mbps);
+    EXPECT_EQ(actual.raf, expected.raf);
+    EXPECT_EQ(actual.avg_transfer_bytes, expected.avg_transfer_bytes);
+    EXPECT_EQ(actual.used_bytes, expected.used_bytes);
+    EXPECT_EQ(actual.fetched_bytes, expected.fetched_bytes);
+    EXPECT_EQ(actual.transactions, expected.transactions);
+    EXPECT_EQ(actual.steps, expected.steps);
+    EXPECT_EQ(actual.observed_read_latency_us,
+              expected.observed_read_latency_us);
+    EXPECT_EQ(actual.avg_outstanding_reads,
+              expected.avg_outstanding_reads);
+    EXPECT_EQ(actual.frontier_vertices, expected.frontier_vertices);
+    EXPECT_EQ(actual.graph_edges, expected.graph_edges);
+
+    // The served latency is exactly the isolated runtime: the per-step
+    // durations sum to the engine's total time (integer picoseconds).
+    EXPECT_EQ(util::sec_from_ps(record.service_ps), expected.runtime_sec);
+    EXPECT_EQ(r.latency_us.p50, r.latency_us.p99);
+    EXPECT_EQ(r.link_bytes, expected.fetched_bytes);
+    EXPECT_TRUE(r.conservation_ok());
+  }
+}
+
+TEST(QueryServer, DeterministicAcrossJobsAndRepeatedRuns) {
+  const graph::CsrGraph g = test_graph();
+  const serve::ServeRequest req = mixed_request(2000.0, 24);
+
+  serve::QueryServer serial(core::table3_system(), /*jobs=*/1);
+  const serve::ServeReport first = serial.serve(g, req);
+  // Repeat on the same server: profile cache warm, results identical.
+  const serve::ServeReport repeat = serial.serve(g, req);
+  expect_records_identical(first, repeat);
+
+  // Fresh server, parallel profiling: still identical.
+  serve::QueryServer parallel(core::table3_system(), /*jobs=*/4);
+  const serve::ServeReport fanned = parallel.serve(g, req);
+  expect_records_identical(first, fanned);
+}
+
+TEST(QueryServer, LatencyMonotoneNonImprovingInOfferedLoad) {
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer server(core::table3_system());
+
+  std::vector<std::vector<util::SimTime>> latencies;
+  for (const double qps : {200.0, 2000.0, 20000.0}) {
+    const serve::ServeRequest req = mixed_request(qps, 24);
+    const serve::ServeReport r = server.serve(g, req);
+    ASSERT_EQ(r.completed, 24u);
+    EXPECT_LE(r.latency_us.p50, r.latency_us.p95);
+    EXPECT_LE(r.latency_us.p95, r.latency_us.p99);
+    EXPECT_TRUE(r.conservation_ok());
+    std::vector<util::SimTime> per_query;
+    for (const serve::QueryRecord& rec : r.queries) {
+      per_query.push_back(rec.completion - rec.arrival);
+    }
+    latencies.push_back(std::move(per_query));
+  }
+  // FIFO + the same arrival sequence compressed: every query's latency is
+  // non-decreasing in offered load (Lindley's recursion).
+  for (std::size_t level = 1; level < latencies.size(); ++level) {
+    for (std::size_t i = 0; i < latencies[level].size(); ++i) {
+      EXPECT_GE(latencies[level][i], latencies[level - 1][i])
+          << "query " << i << " improved at load level " << level;
+    }
+  }
+}
+
+TEST(QueryServer, ByteConservationAcrossPoliciesAndLoads) {
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer server(core::table3_system());
+  for (const serve::SchedulingPolicy policy : serve::all_policies()) {
+    for (const double qps : {500.0, 20000.0}) {
+      serve::ServeRequest req = mixed_request(qps, 24);
+      req.config.policy = policy;
+      req.config.quantum_supersteps = 2;
+      const serve::ServeReport r = server.serve(g, req);
+      EXPECT_TRUE(r.conservation_ok())
+          << serve::to_string(policy) << " at " << qps << " qps: link "
+          << r.link_bytes << " != queries " << r.query_bytes;
+      // And the shared-link bytes match the profiles' own totals.
+      std::uint64_t expected = 0;
+      for (const serve::QueryRecord& rec : r.queries) {
+        if (!rec.shed) {
+          expected += r.profiles[rec.profile_index].service_bytes;
+        }
+      }
+      EXPECT_EQ(r.link_bytes, expected);
+    }
+  }
+}
+
+TEST(QueryServer, AdmissionControllerShedsPastQueueCap) {
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer server(core::table3_system());
+  serve::ServeRequest req = mixed_request(50000.0, 32);
+  req.config.max_waiting = 2;
+  const serve::ServeReport r = server.serve(g, req);
+  EXPECT_GT(r.shed, 0u);
+  EXPECT_EQ(r.completed + r.shed, r.offered);
+  EXPECT_EQ(r.admitted + r.shed, r.offered);
+  EXPECT_TRUE(r.conservation_ok());
+  for (const serve::QueryRecord& rec : r.queries) {
+    if (rec.shed) {
+      EXPECT_EQ(rec.service_ps, 0u);
+      EXPECT_EQ(rec.service_bytes, 0u);
+    }
+  }
+}
+
+TEST(QueryServer, FifoCompletesInArrivalOrderRoundRobinInterleaves) {
+  const graph::CsrGraph g = test_graph();
+  serve::ServeRequest req = mixed_request(20000.0, 24);
+  serve::QueryServer server(core::table3_system());
+  const serve::ServeReport fifo = server.serve(g, req);
+
+  // FIFO runs to completion in arrival order: completions are ordered
+  // like arrivals (arrivals are strictly increasing by construction).
+  for (std::size_t i = 1; i < fifo.queries.size(); ++i) {
+    EXPECT_LE(fifo.queries[i - 1].completion, fifo.queries[i].completion);
+  }
+
+  // Round-robin with a one-superstep quantum interleaves: under heavy
+  // load with mixed service demands some later-arriving (shorter) query
+  // overtakes an earlier (longer) one. Deterministic, so this either
+  // always holds for this seed or never does.
+  req.config.policy = serve::SchedulingPolicy::kRoundRobin;
+  req.config.quantum_supersteps = 1;
+  const serve::ServeReport rr = server.serve(g, req);
+  bool overtaken = false;
+  for (std::size_t i = 1; i < rr.queries.size() && !overtaken; ++i) {
+    overtaken = rr.queries[i].completion < rr.queries[i - 1].completion;
+  }
+  EXPECT_TRUE(overtaken);
+  // Work conservation: both policies move the same bytes.
+  EXPECT_EQ(fifo.link_bytes, rr.link_bytes);
+}
+
+TEST(QueryServer, ClosedLoopCompletesAllQueriesWithoutShedding) {
+  const graph::CsrGraph g = test_graph();
+  serve::ServeRequest req = mixed_request(0.0, 24);
+  req.workload.process = serve::ArrivalProcess::kClosedLoop;
+  req.workload.num_clients = 3;
+  req.workload.mean_think_time = util::ps_from_us(100.0);
+  req.workload.offered_qps = 1.0;  // unused in closed loop
+  serve::QueryServer server(core::table3_system());
+  const serve::ServeReport r = server.serve(g, req);
+  EXPECT_EQ(r.completed, 24u);
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_TRUE(r.conservation_ok());
+  // With 3 clients at most 3 queries can be admitted-but-unfinished at
+  // any time; waiting never exceeds clients - 1... which admission with
+  // an unbounded queue trivially satisfies; assert arrivals are spread
+  // (not all at 0) and strictly increasing per client chain.
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    util::SimTime last = 0;
+    for (std::size_t i = c; i < r.queries.size(); i += 3) {
+      EXPECT_GT(r.queries[i].arrival, last);
+      last = r.queries[i].arrival;
+    }
+  }
+}
+
+TEST(QueryServer, ShardSpanningQueriesRouteThroughCluster) {
+  const graph::CsrGraph g = test_graph();
+  serve::ServeRequest req;
+  req.base.backend = core::BackendKind::kCxl;
+  req.workload.seed = kSeed;
+  req.workload.num_queries = 6;
+  req.workload.offered_qps = 1000.0;
+  req.workload.source_pool = 2;
+  serve::QueryClass spanning;
+  spanning.algorithm = core::Algorithm::kBfs;
+  spanning.shards = 4;
+  spanning.strategy = partition::Strategy::kDegreeBalanced;
+  spanning.slo = util::ps_from_us(50'000.0);
+  req.workload.mix = {spanning};
+
+  serve::QueryServer server(core::table3_system());
+  const serve::ServeReport r = server.serve(g, req);
+  EXPECT_EQ(r.completed, 6u);
+  EXPECT_TRUE(r.conservation_ok());
+  for (const serve::QueryProfile& p : r.profiles) {
+    EXPECT_EQ(p.shards, 4u);
+    EXPECT_GT(p.exchange_bytes, 0u);
+    // Cluster-composed service time covers at least the compute phases.
+    EXPECT_GT(p.service_ps, 0u);
+    EXPECT_EQ(p.step_ps.size(), p.report.steps);
+    EXPECT_EQ(p.step_bytes.size(), p.report.steps);
+  }
+}
+
+}  // namespace
+}  // namespace cxlgraph

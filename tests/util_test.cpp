@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -156,6 +157,80 @@ TEST(Percentile, ExactValues) {
   EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
   EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(PercentileSummary, EmptyIsZero) {
+  const PercentileSummary s = summarize_percentiles({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(PercentileSummary, KnownValues) {
+  // 1..100: linear-interpolated percentiles over the sorted samples.
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const PercentileSummary s = summarize_percentiles(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.5);
+  EXPECT_DOUBLE_EQ(s.p95, 95.05);
+  EXPECT_DOUBLE_EQ(s.p99, 99.01);
+  EXPECT_DOUBLE_EQ(s.p50, percentile(v, 50));
+  EXPECT_DOUBLE_EQ(s.p95, percentile(v, 95));
+  EXPECT_DOUBLE_EQ(s.p99, percentile(v, 99));
+}
+
+TEST(PercentileSummary, OrderInvariantAndMonotone) {
+  std::vector<double> v = {9, 1, 7, 3, 5, 8, 2, 6, 4, 0};
+  const PercentileSummary s = summarize_percentiles(v);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  std::reverse(v.begin(), v.end());
+  const PercentileSummary r = summarize_percentiles(v);
+  EXPECT_DOUBLE_EQ(s.p95, r.p95);
+}
+
+TEST(StreamingQuantile, ExactForSmallSamples) {
+  StreamingQuantile q(0.5);
+  EXPECT_EQ(q.estimate(), 0.0);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.estimate(), 3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.estimate(), 2.0);  // exact median of {1,2,3}
+}
+
+TEST(StreamingQuantile, TracksExactPercentilesOnRandomStream) {
+  Xoshiro256 rng(2024);
+  StreamingQuantile p50(0.50), p95(0.95), p99(0.99);
+  std::vector<double> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    // Heavy-ish tail: squared uniform keeps the P2 markers honest.
+    const double u = rng.next_double();
+    const double x = u * u * 1000.0;
+    samples.push_back(x);
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  const PercentileSummary exact = summarize_percentiles(samples);
+  EXPECT_NEAR(p50.estimate(), exact.p50, 0.05 * exact.p50 + 1.0);
+  EXPECT_NEAR(p95.estimate(), exact.p95, 0.05 * exact.p95 + 1.0);
+  EXPECT_NEAR(p99.estimate(), exact.p99, 0.05 * exact.p99 + 1.0);
+  EXPECT_EQ(p99.count(), 20'000u);
+}
+
+TEST(StreamingQuantile, DeterministicInInsertionSequence) {
+  StreamingQuantile a(0.95), b(0.95);
+  Xoshiro256 r1(7), r2(7);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(r1.next_double());
+    b.add(r2.next_double());
+  }
+  EXPECT_EQ(a.estimate(), b.estimate());
 }
 
 TEST(GeometricMean, MatchesHandComputation) {

@@ -7,13 +7,22 @@
 ///   cxlgraph reorder  --in=g.cxlg --out=g2.cxlg --order=degree-sorted
 ///   cxlgraph run      --graph=g.cxlg --algo=bfs --backend=cxl \
 ///                     [--added-us=1.0] [--alignment=32] [--gen3] \
-///                     [--shards=4] [--partitioner=degree-balanced]
+///                     [--shards=4] [--partitioner=degree-balanced] \
+///                     [--reorder=shard-degree]
+///   cxlgraph serve    --dataset=urand --scale=14 --backend=cxl \
+///                     [--qps=500] [--queries=128] [--policy=fifo] \
+///                     [--slo-us=20000] [--queue-cap=64] [--closed-loop]
 ///
 /// `run` without --graph generates the dataset on the fly
 /// (--dataset/--scale). With --shards >= 2 the run goes through the
 /// sharded cluster simulation (core::ClusterRuntime): the graph is
 /// partitioned, every shard gets its own GPU + backend stack, and the
 /// report adds the exchange/cut numbers.
+///
+/// `serve` admits a seeded stream of mixed analytics queries against one
+/// shared stack (serve::QueryServer) and reports the latency tail,
+/// goodput, SLO violations, and shed rate under the chosen scheduling
+/// policy and admission cap.
 
 #include <fstream>
 #include <iostream>
@@ -24,6 +33,7 @@
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
 #include "graph/reorder.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -33,30 +43,10 @@ namespace {
 using namespace cxlgraph;
 
 int usage() {
-  std::cerr << "usage: cxlgraph <generate|convert|info|reorder|run> "
+  std::cerr << "usage: cxlgraph <generate|convert|info|reorder|run|serve> "
                "[options]\n"
                "run --help with a subcommand for its options\n";
   return 2;
-}
-
-core::Algorithm algorithm_from(const std::string& name) {
-  for (const auto algo :
-       {core::Algorithm::kBfs, core::Algorithm::kSssp, core::Algorithm::kCc,
-        core::Algorithm::kPagerankScan, core::Algorithm::kBfsDirOpt,
-        core::Algorithm::kSsspDelta}) {
-    if (core::to_string(algo) == name) return algo;
-  }
-  throw std::invalid_argument("unknown algorithm: " + name);
-}
-
-core::BackendKind backend_from(const std::string& name) {
-  for (const auto backend :
-       {core::BackendKind::kHostDram, core::BackendKind::kHostDramRemote,
-        core::BackendKind::kCxl, core::BackendKind::kXlfdd,
-        core::BackendKind::kBamNvme, core::BackendKind::kUvm}) {
-    if (core::to_string(backend) == name) return backend;
-  }
-  throw std::invalid_argument("unknown backend: " + name);
 }
 
 graph::VertexOrder order_from(const std::string& name) {
@@ -170,6 +160,9 @@ int cmd_run(int argc, char** argv) {
                  "1");
   cli.add_option("partitioner",
                  "vertex-range | degree-balanced | hash-edge", "vertex-range");
+  cli.add_option("reorder",
+                 "per-shard local relabeling: none | shard-degree",
+                 "none");
   cli.add_option("jobs", "worker threads for per-shard replays", "0");
   cli.add_flag("gen3", "use the Gen3 (Table-4) system preset");
   cli.add_flag("direct-cxl", "model a direct GPU-CXL path (Sec. 5)");
@@ -190,8 +183,8 @@ int cmd_run(int argc, char** argv) {
   core::ExternalGraphRuntime runtime(cfg);
 
   core::RunRequest req;
-  req.algorithm = algorithm_from(cli.get("algo"));
-  req.backend = backend_from(cli.get("backend"));
+  req.algorithm = core::algorithm_from_name(cli.get("algo"));
+  req.backend = core::backend_from_name(cli.get("backend"));
   req.source_seed = seed;
   if (cli.get_double("added-us") > 0) {
     req.cxl_added_latency = util::ps_from_us(cli.get_double("added-us"));
@@ -213,13 +206,17 @@ int cmd_run(int argc, char** argv) {
     creq.run = req;
     creq.num_shards = shards;
     creq.strategy = partition::strategy_from_name(cli.get("partitioner"));
+    creq.reorder = partition::reorder_from_name(cli.get("reorder"));
     const core::ClusterReport r = cluster.run(g, creq);
 
     util::TablePrinter table({"Metric", "Value"});
     table.add_row({"algorithm", r.algorithm});
     table.add_row({"backend", r.backend + " (" + r.access_method + ")"});
     table.add_row({"shards", std::to_string(r.num_shards) + " x " +
-                                 r.partitioner});
+                                 r.partitioner +
+                                 (cli.get("reorder") == "none"
+                                      ? ""
+                                      : " + " + cli.get("reorder"))});
     table.add_row({"source", std::to_string(r.source)});
     table.add_row({"cluster runtime",
                    util::fmt(r.runtime_sec * 1e3, 3) + " ms"});
@@ -274,6 +271,131 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("graph", "binary CSR path (omit to generate)", "");
+  cli.add_option("dataset", "generated dataset when --graph absent",
+                 "urand");
+  cli.add_option("scale", "generated scale", "14");
+  cli.add_option("seed", "seed (workload + dataset)", "42");
+  cli.add_option("backend", "host-dram | host-dram-remote | cxl", "cxl");
+  cli.add_option("mix",
+                 "comma-separated algorithms sharing the stack",
+                 "bfs,cc,pagerank-scan");
+  cli.add_option("qps", "open-loop offered load [queries/s]", "500");
+  cli.add_option("queries", "queries in the stream", "128");
+  cli.add_option("policy", "fifo | round-robin | slo-priority", "fifo");
+  cli.add_option("slo-us", "per-query latency objective [us]", "20000");
+  cli.add_option("queue-cap",
+                 "admission: max waiting queries (0 = unbounded)", "0");
+  cli.add_option("quantum", "supersteps per preemptive turn", "4");
+  cli.add_option("span-shards",
+                 "route the first mix class across this many shards "
+                 "(0 = single stack)",
+                 "0");
+  cli.add_option("clients", "closed-loop client count", "4");
+  cli.add_option("think-us", "closed-loop mean think time [us]", "1000");
+  cli.add_option("source-pool",
+                 "distinct traversal sources (0 = one per query)", "8");
+  cli.add_option("jobs", "worker threads for profiling", "0");
+  cli.add_flag("closed-loop",
+               "closed-loop clients instead of open-loop Poisson");
+  cli.add_flag("gen3", "use the Gen3 (Table-4) system preset");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const graph::CsrGraph g =
+      cli.get("graph").empty()
+          ? graph::make_dataset(
+                graph::dataset_from_name(cli.get("dataset")),
+                static_cast<unsigned>(cli.get_int("scale")),
+                /*weighted=*/true, seed)
+          : graph::load_binary_file(cli.get("graph"));
+
+  const auto jobs = cli.get_int("jobs");
+  if (jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
+  serve::QueryServer server(
+      cli.get_bool("gen3") ? core::table4_system() : core::table3_system(),
+      static_cast<unsigned>(jobs));
+
+  serve::ServeRequest req;
+  req.base.backend = core::backend_from_name(cli.get("backend"));
+  req.workload.seed = seed;
+  req.workload.num_queries =
+      static_cast<std::uint32_t>(cli.get_int("queries"));
+  req.workload.source_pool =
+      static_cast<std::uint32_t>(cli.get_int("source-pool"));
+  if (cli.get_bool("closed-loop")) {
+    req.workload.process = serve::ArrivalProcess::kClosedLoop;
+    req.workload.num_clients =
+        static_cast<std::uint32_t>(cli.get_int("clients"));
+    req.workload.mean_think_time =
+        util::ps_from_us(cli.get_double("think-us"));
+  } else {
+    req.workload.offered_qps = cli.get_double("qps");
+  }
+  const auto span_shards =
+      static_cast<std::uint32_t>(cli.get_int("span-shards"));
+  if (cli.get("mix").empty()) {
+    throw std::invalid_argument(
+        "serve: --mix must name at least one algorithm");
+  }
+  bool first_class = true;
+  for (const std::string& name : util::split_csv(cli.get("mix"))) {
+    serve::QueryClass cls;
+    cls.algorithm = core::algorithm_from_name(name);
+    cls.slo = util::ps_from_us(cli.get_double("slo-us"));
+    if (first_class && span_shards >= 2) {
+      cls.shards = span_shards;
+      cls.strategy = partition::Strategy::kDegreeBalanced;
+    }
+    first_class = false;
+    req.workload.mix.push_back(cls);
+  }
+  req.config.policy = serve::policy_from_name(cli.get("policy"));
+  req.config.max_waiting =
+      static_cast<std::uint32_t>(cli.get_int("queue-cap"));
+  req.config.quantum_supersteps =
+      static_cast<std::uint32_t>(cli.get_int("quantum"));
+
+  const serve::ServeReport r = server.serve(g, req);
+  if (!r.conservation_ok()) {
+    std::cerr << "error: serve byte-conservation check failed: link "
+              << r.link_bytes << " != queries " << r.query_bytes << "\n";
+    return 1;
+  }
+
+  util::TablePrinter table({"Metric", "Value"});
+  table.add_row({"backend", r.backend + " (" + r.access_method + ")"});
+  table.add_row({"policy", r.policy + " / " + r.process});
+  table.add_row({"queries",
+                 util::fmt_count(r.offered) + " offered, " +
+                     util::fmt_count(r.completed) + " completed, " +
+                     util::fmt_count(r.shed) + " shed"});
+  table.add_row({"makespan", util::fmt(r.makespan_sec * 1e3, 3) + " ms"});
+  table.add_row({"completed throughput",
+                 util::fmt(r.completed_qps, 1) + " qps"});
+  table.add_row({"goodput (within SLO)",
+                 util::fmt(r.goodput_qps, 1) + " qps"});
+  table.add_row({"SLO violation rate",
+                 util::fmt(r.slo_violation_rate, 3)});
+  table.add_row({"latency p50 / p95 / p99",
+                 util::fmt(r.latency_us.p50 / 1e3, 3) + " / " +
+                     util::fmt(r.latency_us.p95 / 1e3, 3) + " / " +
+                     util::fmt(r.latency_us.p99 / 1e3, 3) + " ms"});
+  table.add_row({"streaming p99 (P2)",
+                 util::fmt(r.streaming_p99_us / 1e3, 3) + " ms"});
+  table.add_row({"time in queue / in service",
+                 util::fmt(r.time_in_queue_sec * 1e3, 3) + " / " +
+                     util::fmt(r.time_in_service_sec * 1e3, 3) + " ms"});
+  table.add_row({"server utilization", util::fmt(r.utilization, 3)});
+  table.add_row({"shared-link bytes", util::format_bytes(r.link_bytes)});
+  table.add_row({"distinct profiles",
+                 util::fmt_count(r.profiles.size())});
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -288,6 +410,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(sub_argc, sub_argv);
     if (command == "reorder") return cmd_reorder(sub_argc, sub_argv);
     if (command == "run") return cmd_run(sub_argc, sub_argv);
+    if (command == "serve") return cmd_serve(sub_argc, sub_argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
