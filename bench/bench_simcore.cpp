@@ -1,0 +1,559 @@
+/// bench_simcore — self-timing perf-regression harness for the
+/// discrete-event simulation core.
+///
+/// Unlike the figure benches (which report *simulated* time), this binary
+/// measures the simulator's own wall-clock throughput: it replays canonical
+/// BFS / PageRank-scan / delta-stepping / write-back traces and a serving
+/// mix through freshly built GPU+interconnect+device stacks, and reports
+/// processed events per second of wall time for each. Results land in
+/// BENCH_simcore.json so every future PR has a perf trajectory to compare
+/// against.
+///
+/// The event core's bit-identity contract is checked at the same time:
+/// every simulated result is folded into an FNV checksum, replays are run
+/// twice (run-to-run identity), and under --smoke the checksums are also
+/// compared against goldens pinned from the pre-rewrite std::function core
+/// — any drift in simulated behaviour exits 1.
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "access/emogi.hpp"
+#include "access/method.hpp"
+#include "access/xlfdd_direct.hpp"
+#include "algo/bfs.hpp"
+#include "algo/sssp_delta.hpp"
+#include "algo/trace.hpp"
+#include "core/cluster_runtime.hpp"
+#include "core/runtime.hpp"
+#include "core/system_config.hpp"
+#include "device/cxl_device.hpp"
+#include "device/host_dram.hpp"
+#include "device/xlfdd.hpp"
+#include "gpusim/engine.hpp"
+#include "graph/generate.hpp"
+#include "serve/server.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cxlgraph;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a checksumming of simulated results. Doubles are folded bit-exactly,
+// so a checksum match means the simulation behaved identically.
+// ---------------------------------------------------------------------------
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t x) {
+    h = (h ^ x) * 0x100000001b3ULL;
+  }
+  void mix_double(double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+};
+
+std::uint64_t checksum_report(const core::RunReport& r) {
+  Fnv f;
+  f.mix_double(r.runtime_sec);
+  f.mix(r.used_bytes);
+  f.mix(r.fetched_bytes);
+  f.mix(r.transactions);
+  f.mix(r.steps);
+  f.mix(r.frontier_vertices);
+  f.mix(r.written_bytes);
+  f.mix(r.write_transactions);
+  f.mix(r.rmw_reads);
+  f.mix(r.source);
+  f.mix_double(r.observed_read_latency_us);
+  f.mix_double(r.avg_outstanding_reads);
+  return f.h;
+}
+
+std::uint64_t checksum_engine(const gpusim::EngineResult& r) {
+  Fnv f;
+  f.mix(r.total_time);
+  f.mix(r.used_bytes);
+  f.mix(r.fetched_bytes);
+  f.mix(r.transactions);
+  f.mix(r.sublist_reads);
+  f.mix(r.written_bytes);
+  f.mix(r.write_transactions);
+  f.mix(r.rmw_reads);
+  for (const gpusim::StepResult& s : r.steps) {
+    f.mix(s.duration);
+    f.mix(s.fetched_bytes);
+  }
+  return f.h;
+}
+
+std::uint64_t checksum_cluster(const core::ClusterReport& r) {
+  Fnv f;
+  f.mix_double(r.runtime_sec);
+  f.mix(r.fetched_bytes);
+  f.mix(r.used_bytes);
+  f.mix(r.transactions);
+  f.mix(r.supersteps);
+  f.mix(r.exchange_bytes);
+  for (const util::SimTime t : r.superstep_compute_ps) f.mix(t);
+  for (const util::SimTime t : r.exchange_phase_ps) f.mix(t);
+  return f.h;
+}
+
+std::uint64_t checksum_serve(const serve::ServeReport& r) {
+  Fnv f;
+  f.mix(r.offered);
+  f.mix(r.admitted);
+  f.mix(r.completed);
+  f.mix(r.shed);
+  f.mix(r.link_bytes);
+  f.mix(r.query_bytes);
+  f.mix_double(r.makespan_sec);
+  f.mix_double(r.latency_us.p50);
+  f.mix_double(r.latency_us.p95);
+  f.mix_double(r.latency_us.p99);
+  return f.h;
+}
+
+// ---------------------------------------------------------------------------
+// Replay stacks: the same composition ExternalGraphRuntime builds, assembled
+// here by hand so the harness can read Simulator::events_processed().
+// ---------------------------------------------------------------------------
+struct ReplayMetrics {
+  std::uint64_t events = 0;
+  std::uint64_t checksum = 0;
+};
+
+std::uint64_t emogi_cache_bytes(const core::SystemConfig& cfg,
+                                std::uint64_t edge_list_bytes) {
+  const auto scaled = static_cast<std::uint64_t>(
+      cfg.emogi_cache_fraction * static_cast<double>(edge_list_bytes));
+  return std::max(scaled, cfg.emogi_cache_min_bytes);
+}
+
+ReplayMetrics replay_dram(const core::SystemConfig& cfg,
+                          const algo::AccessTrace& trace,
+                          std::uint64_t edge_list_bytes) {
+  sim::Simulator sim;
+  device::PcieLink link(sim, device::pcie_x16(cfg.gpu_link_gen));
+  device::HostDram dram(sim, cfg.dram_local, "host-dram");
+  access::EmogiParams ep = cfg.emogi;
+  ep.gpu_cache_bytes = emogi_cache_bytes(cfg, edge_list_bytes);
+  access::EmogiAccess method(ep);
+  access::MemoryPathBackend backend(link, dram);
+  gpusim::TraversalEngine engine(sim, method, backend, cfg.gpu);
+  const gpusim::EngineResult result = engine.run(trace);
+  return ReplayMetrics{sim.events_processed(), checksum_engine(result)};
+}
+
+ReplayMetrics replay_cxl(const core::SystemConfig& cfg,
+                         const algo::AccessTrace& trace,
+                         std::uint64_t edge_list_bytes) {
+  sim::Simulator sim;
+  device::PcieLink link(sim, device::pcie_x16(cfg.gpu_link_gen));
+  device::CxlMemoryPool pool(sim, cfg.cxl, cfg.cxl_devices,
+                             cfg.cxl_interleave_bytes);
+  access::EmogiParams ep = cfg.emogi;
+  ep.gpu_cache_bytes = emogi_cache_bytes(cfg, edge_list_bytes);
+  access::EmogiAccess method(ep);
+  access::MemoryPathBackend backend(link, pool);
+  gpusim::TraversalEngine engine(sim, method, backend, cfg.gpu);
+  const gpusim::EngineResult result = engine.run(trace);
+  return ReplayMetrics{sim.events_processed(), checksum_engine(result)};
+}
+
+ReplayMetrics replay_xlfdd(const core::SystemConfig& cfg,
+                           const algo::AccessTrace& trace) {
+  sim::Simulator sim;
+  device::PcieLink link(sim, device::pcie_x16(cfg.gpu_link_gen));
+  auto array = device::make_xlfdd_array(sim, link, cfg.xlfdd_drives);
+  access::XlfddDirectAccess method(cfg.xlfdd);
+  access::StoragePathBackend backend(*array, "storage:xlfdd");
+  gpusim::TraversalEngine engine(sim, method, backend, cfg.gpu);
+  const gpusim::EngineResult result = engine.run(trace);
+  return ReplayMetrics{sim.events_processed(), checksum_engine(result)};
+}
+
+/// Raw event-queue churn: a dependent chain interleaved with same-timestamp
+/// bursts, the two access patterns the traversal replay is made of.
+ReplayMetrics queue_churn(std::uint64_t chain_events,
+                          std::uint64_t burst_width) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::function<void()> burst = [&fired]() { ++fired; };
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < chain_events) {
+      for (std::uint64_t i = 0; i < burst_width; ++i) {
+        sim.schedule_after(1, burst);
+        ++fired;  // accounted at schedule so the chain terminates
+      }
+      fired -= burst_width;
+      sim.schedule_after(2, chain);
+    }
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  Fnv f;
+  f.mix(fired);
+  f.mix(sim.now());
+  return ReplayMetrics{sim.events_processed(), f.h};
+}
+
+// ---------------------------------------------------------------------------
+// Result collection + JSON emission.
+// ---------------------------------------------------------------------------
+struct BenchRow {
+  std::string name;
+  std::uint64_t events = 0;   // simulator events (0 where not applicable)
+  double wall_sec = 0.0;
+  std::uint64_t checksum = 0;
+  std::uint64_t work_items = 0;  // trace reads / queries / ops, for context
+};
+
+void emit_json(const std::vector<BenchRow>& rows, unsigned scale,
+               std::uint64_t seed, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  os << "{\n  \"bench\": \"simcore\",\n  \"scale\": " << scale
+     << ",\n  \"seed\": " << seed << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    const double eps =
+        r.wall_sec > 0.0 ? static_cast<double>(r.events) / r.wall_sec : 0.0;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"events\": %" PRIu64
+                  ", \"wall_sec\": %.6f, \"events_per_sec\": %.0f, "
+                  "\"work_items\": %" PRIu64 ", \"checksum\": \"%016" PRIx64
+                  "\"}%s\n",
+                  r.name.c_str(), r.events, r.wall_sec, eps, r.work_items,
+                  r.checksum, i + 1 == rows.size() ? "" : ",");
+    os << buf;
+  }
+  os << "  ]\n}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Golden checksums of the smoke configuration (urand scale 10, seed 42,
+// avg degree 16), pinned from the pre-rewrite std::function event core.
+// They define the bit-identity contract: the event core may get faster,
+// but every simulated report must stay exactly this. Regenerate with
+// --print-golden ONLY for an intentional behaviour change.
+// ---------------------------------------------------------------------------
+struct Golden {
+  const char* name;
+  std::uint64_t checksum;
+};
+
+constexpr unsigned kSmokeScale = 10;
+constexpr std::uint64_t kSmokeSeed = 42;
+
+// clang-format off
+constexpr Golden kGoldens[] = {
+    {"bfs/host-dram",        0xa2792c8c8f14dfa4ULL},
+    {"bfs/host-dram-remote", 0xa98095382bb6ef72ULL},
+    {"bfs/cxl",              0xc4a94a71a38f9ea3ULL},
+    {"bfs/xlfdd",            0x8e5bd2573e59865fULL},
+    {"bfs/bam-nvme",         0x48d666b706712423ULL},
+    {"bfs/uvm",              0xa6fdc565e60baa2fULL},
+    {"bfs/tiered-dram-cxl",  0xcd7c85cafa4e750bULL},
+    {"bfs-writeback/xlfdd",  0x0727c11793c29d3aULL},
+    {"bfs-writeback/cxl",    0x5daa40f86dd2bdaeULL},
+    {"sssp-delta/cxl",       0x2286d2cffbdec8a1ULL},
+    {"cluster-bfs-x2/cxl",   0xd814731d761153acULL},
+    {"serve-mix/cxl",        0x3a7130d4619d4a3bULL},
+};
+// clang-format on
+
+const std::vector<core::BackendKind>& all_backends() {
+  static const std::vector<core::BackendKind> kinds = {
+      core::BackendKind::kHostDram,      core::BackendKind::kHostDramRemote,
+      core::BackendKind::kCxl,           core::BackendKind::kXlfdd,
+      core::BackendKind::kBamNvme,       core::BackendKind::kUvm,
+      core::BackendKind::kTieredDramCxl,
+  };
+  return kinds;
+}
+
+serve::ServeRequest smoke_serve_request() {
+  serve::ServeRequest req;
+  req.base.backend = core::BackendKind::kCxl;
+  req.workload.seed = kSmokeSeed;
+  req.workload.num_queries = 48;
+  req.workload.offered_qps = 2000.0;
+  req.workload.source_pool = 6;
+  serve::QueryClass bfs;
+  bfs.algorithm = core::Algorithm::kBfs;
+  bfs.weight = 3.0;
+  serve::QueryClass scan;
+  scan.algorithm = core::Algorithm::kPagerankScan;
+  scan.weight = 1.0;
+  req.workload.mix = {bfs, scan};
+  req.config.policy = serve::SchedulingPolicy::kSloPriority;
+  return req;
+}
+
+/// Computes the smoke identity suite: one checksum per golden row.
+std::vector<std::uint64_t> compute_identity_checksums(
+    const graph::CsrGraph& g) {
+  const core::SystemConfig cfg = core::table3_system();
+  core::ExternalGraphRuntime runtime(cfg);
+  std::vector<std::uint64_t> sums;
+
+  core::RunRequest req;
+  req.algorithm = core::Algorithm::kBfs;
+  for (const core::BackendKind backend : all_backends()) {
+    req.backend = backend;
+    sums.push_back(checksum_report(runtime.run(g, req)));
+  }
+  req.algorithm = core::Algorithm::kBfsWriteback;
+  req.backend = core::BackendKind::kXlfdd;
+  sums.push_back(checksum_report(runtime.run(g, req)));
+  req.backend = core::BackendKind::kCxl;
+  sums.push_back(checksum_report(runtime.run(g, req)));
+  req.algorithm = core::Algorithm::kSsspDelta;
+  sums.push_back(checksum_report(runtime.run(g, req)));
+
+  core::ClusterRuntime cluster(cfg, /*jobs=*/1);
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kBfs;
+  creq.run.backend = core::BackendKind::kCxl;
+  creq.num_shards = 2;
+  sums.push_back(checksum_cluster(cluster.run(g, creq)));
+
+  serve::QueryServer server(cfg, /*jobs=*/1);
+  sums.push_back(checksum_serve(server.serve(g, smoke_serve_request())));
+  return sums;
+}
+
+graph::CsrGraph make_graph(unsigned scale, std::uint64_t seed) {
+  graph::GeneratorOptions opts;
+  opts.seed = seed;
+  opts.max_weight = 64;  // weighted, so delta-stepping has real buckets
+  return graph::generate_uniform(1ull << scale, 16.0, opts);
+}
+
+int run_simcore(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("scale", "log2 of dataset vertex count", "14");
+  cli.add_option("seed", "random seed", "42");
+  cli.add_option("reps", "replay repetitions per microbench", "3");
+  cli.add_option("json", "output path", "BENCH_simcore.json");
+  cli.add_flag("smoke",
+               "small scale + bit-identity self-check vs pinned goldens; "
+               "exit 1 on mismatch");
+  cli.add_flag("print-golden",
+               "print the golden table for the smoke configuration");
+  cli.add_flag("csv", "emit CSV instead of an aligned table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool smoke = cli.get_bool("smoke");
+  const bool print_golden = cli.get_bool("print-golden");
+  const unsigned scale =
+      smoke || print_golden ? kSmokeScale
+                            : static_cast<unsigned>(cli.get_int("scale"));
+  const std::uint64_t seed =
+      smoke || print_golden ? kSmokeSeed
+                            : static_cast<std::uint64_t>(cli.get_int("seed"));
+  const unsigned reps =
+      std::max(1u, static_cast<unsigned>(cli.get_int("reps")));
+
+  // -------------------------------------------------------------------
+  // Identity suite (always at the smoke configuration so goldens apply).
+  // -------------------------------------------------------------------
+  const graph::CsrGraph smoke_graph = make_graph(kSmokeScale, kSmokeSeed);
+  const std::vector<std::uint64_t> sums =
+      compute_identity_checksums(smoke_graph);
+  const std::size_t n_golden = sizeof(kGoldens) / sizeof(kGoldens[0]);
+  if (sums.size() != n_golden) {
+    std::cerr << "identity suite size mismatch\n";
+    return 1;
+  }
+  if (print_golden) {
+    for (std::size_t i = 0; i < n_golden; ++i) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "    {\"%s\", 0x%016" PRIx64 "ULL},",
+                    kGoldens[i].name, sums[i]);
+      std::cout << buf << "\n";
+    }
+    return 0;
+  }
+  bool identity_ok = true;
+  for (std::size_t i = 0; i < n_golden; ++i) {
+    if (kGoldens[i].checksum != 0 && sums[i] != kGoldens[i].checksum) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "IDENTITY MISMATCH %s: got %016" PRIx64
+                    " want %016" PRIx64,
+                    kGoldens[i].name, sums[i], kGoldens[i].checksum);
+      std::cerr << buf << "\n";
+      identity_ok = false;
+    }
+  }
+  // Run-to-run determinism, independent of the pinned goldens.
+  if (compute_identity_checksums(smoke_graph) != sums) {
+    std::cerr << "IDENTITY MISMATCH: repeated run differs\n";
+    identity_ok = false;
+  }
+
+  // -------------------------------------------------------------------
+  // Throughput microbenches.
+  // -------------------------------------------------------------------
+  const core::SystemConfig cfg = core::table3_system();
+  const graph::CsrGraph g =
+      scale == kSmokeScale && seed == kSmokeSeed ? smoke_graph
+                                                 : make_graph(scale, seed);
+  const graph::VertexId source = algo::pick_source(g, 1);
+
+  auto build_start = Clock::now();
+  const algo::AccessTrace bfs_trace =
+      algo::build_trace(g, algo::bfs(g, source).frontiers);
+  const double bfs_build_sec = seconds_since(build_start);
+  const algo::AccessTrace scan_trace = algo::build_sequential_trace(g, 1);
+  const algo::AccessTrace delta_trace =
+      algo::build_trace(g, algo::sssp_delta_stepping(g, source).phases);
+  const algo::AccessTrace writeback_trace =
+      algo::build_writeback_trace(g, algo::bfs(g, source).frontiers);
+
+  std::vector<BenchRow> rows;
+  const auto run_replay =
+      [&rows, reps](const std::string& name, std::uint64_t work_items,
+                    const std::function<ReplayMetrics()>& once) {
+        BenchRow row;
+        row.name = name;
+        row.work_items = work_items;
+        const auto start = Clock::now();
+        for (unsigned r = 0; r < reps; ++r) {
+          const ReplayMetrics m = once();
+          if (r == 0) {
+            row.events = m.events;
+            row.checksum = m.checksum;
+          } else if (m.checksum != row.checksum) {
+            std::cerr << "IDENTITY MISMATCH: " << name
+                      << " differs across repetitions\n";
+            std::exit(1);
+          }
+        }
+        row.wall_sec = seconds_since(start) / reps;
+        row.events *= 1;  // events per single replay
+        rows.push_back(row);
+      };
+
+  const std::uint64_t elb = g.edge_list_bytes();
+  run_replay("bfs_replay_dram", bfs_trace.total_reads,
+             [&] { return replay_dram(cfg, bfs_trace, elb); });
+  run_replay("bfs_replay_cxl", bfs_trace.total_reads,
+             [&] { return replay_cxl(cfg, bfs_trace, elb); });
+  run_replay("pagerank_replay_dram", scan_trace.total_reads,
+             [&] { return replay_dram(cfg, scan_trace, elb); });
+  run_replay("delta_replay_cxl", delta_trace.total_reads,
+             [&] { return replay_cxl(cfg, delta_trace, elb); });
+  run_replay("writeback_replay_xlfdd",
+             writeback_trace.total_reads + writeback_trace.total_writes,
+             [&] { return replay_xlfdd(cfg, writeback_trace); });
+  run_replay("queue_churn", 400'000,
+             [&] { return queue_churn(200'000, 1); });
+
+  {
+    BenchRow row;
+    row.name = "trace_build_bfs";
+    row.work_items = bfs_trace.total_reads;
+    row.events = bfs_trace.total_reads;
+    Fnv f;
+    f.mix(bfs_trace.total_reads);
+    f.mix(bfs_trace.total_sublist_bytes);
+    row.checksum = f.h;
+    const auto start = Clock::now();
+    for (unsigned r = 0; r < reps; ++r) {
+      const algo::AccessTrace t =
+          algo::build_trace(g, algo::bfs(g, source).frontiers);
+      if (t.total_reads != bfs_trace.total_reads) std::exit(1);
+    }
+    row.wall_sec = seconds_since(start) / reps;
+    (void)bfs_build_sec;
+    rows.push_back(row);
+  }
+
+  {
+    core::ClusterRuntime cluster(cfg, /*jobs=*/1);
+    core::ClusterRequest creq;
+    creq.run.algorithm = core::Algorithm::kBfs;
+    creq.run.backend = core::BackendKind::kCxl;
+    creq.num_shards = 4;
+    creq.strategy = partition::Strategy::kDegreeBalanced;
+    BenchRow row;
+    row.name = "cluster_bfs_x4_cxl";
+    const auto start = Clock::now();
+    const core::ClusterReport cr = cluster.run(g, creq);
+    row.wall_sec = seconds_since(start);
+    row.checksum = checksum_cluster(cr);
+    row.work_items = cr.supersteps;
+    rows.push_back(row);
+  }
+
+  {
+    serve::QueryServer server(cfg, /*jobs=*/1);
+    serve::ServeRequest req = smoke_serve_request();
+    BenchRow row;
+    row.name = "serve_mix_cxl";
+    const auto start = Clock::now();
+    const serve::ServeReport sr = server.serve(g, req);
+    row.wall_sec = seconds_since(start);
+    row.checksum = checksum_serve(sr);
+    row.work_items = sr.completed;
+    rows.push_back(row);
+  }
+
+  // -------------------------------------------------------------------
+  // Emit.
+  // -------------------------------------------------------------------
+  util::TablePrinter table(
+      {"bench", "events", "wall_ms", "events/sec", "checksum"});
+  for (const BenchRow& r : rows) {
+    char sum[32];
+    std::snprintf(sum, sizeof(sum), "%016" PRIx64, r.checksum);
+    const double eps =
+        r.wall_sec > 0.0 ? static_cast<double>(r.events) / r.wall_sec : 0.0;
+    table.add_row({r.name, std::to_string(r.events),
+                   std::to_string(r.wall_sec * 1e3), std::to_string(eps),
+                   sum});
+  }
+  if (cli.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    std::cout << "=== simulation-core throughput (wall clock) ===\n";
+    table.print(std::cout);
+    std::cout << (identity_ok ? "identity: OK\n" : "identity: FAILED\n");
+  }
+  emit_json(rows, scale, seed, cli.get("json"));
+  return identity_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_simcore(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_simcore: " << e.what() << "\n";
+    return 1;
+  }
+}

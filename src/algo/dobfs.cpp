@@ -90,23 +90,35 @@ AccessTrace build_dobfs_trace(const graph::CsrGraph& graph,
                               const DobfsResult& result) {
   const std::uint64_t n = graph.num_vertices();
   AccessTrace trace;
+  // Exact chunk totals for the push levels (degree sums); pull levels
+  // depend on each scan's early exit, which only the replay below knows,
+  // so they grow the arena incrementally.
+  std::uint64_t top_down_chunks = 0;
+  for (std::size_t level = 0; level < result.bfs.frontiers.size();
+       ++level) {
+    if (result.bottom_up_level[level]) continue;
+    for (const graph::VertexId v : result.bfs.frontiers[level]) {
+      top_down_chunks += (graph.sublist_bytes(v) + kMaxWorkChunkBytes - 1) /
+                         kMaxWorkChunkBytes;
+    }
+  }
+  trace.reserve(result.bfs.frontiers.size(), top_down_chunks);
+  std::vector<graph::VertexId> scratch;
 
   // Track which vertices are still unvisited entering each level by
   // replaying depths.
   for (std::size_t level = 0; level < result.bfs.frontiers.size();
        ++level) {
-    TraceStep step;
     if (!result.bottom_up_level[level]) {
-      std::vector<graph::VertexId> frontier =
-          result.bfs.frontiers[level];
-      std::sort(frontier.begin(), frontier.end());
+      const std::vector<graph::VertexId>& frontier =
+          sorted_frontier(result.bfs.frontiers[level], scratch);
       for (const graph::VertexId v : frontier) {
         std::uint64_t offset = graph.sublist_byte_offset(v);
         std::uint64_t remaining = graph.sublist_bytes(v);
         while (remaining > 0) {
           const std::uint64_t chunk =
               std::min(remaining, kMaxWorkChunkBytes);
-          step.reads.push_back(SublistRef{v, offset, chunk});
+          trace.add_read(SublistRef{v, offset, chunk});
           trace.total_sublist_bytes += chunk;
           ++trace.total_reads;
           offset += chunk;
@@ -133,7 +145,7 @@ AccessTrace build_dobfs_trace(const graph::CsrGraph& graph,
         while (remaining > 0) {
           const std::uint64_t chunk =
               std::min(remaining, kMaxWorkChunkBytes);
-          step.reads.push_back(SublistRef{v, offset, chunk});
+          trace.add_read(SublistRef{v, offset, chunk});
           trace.total_sublist_bytes += chunk;
           ++trace.total_reads;
           offset += chunk;
@@ -141,7 +153,7 @@ AccessTrace build_dobfs_trace(const graph::CsrGraph& graph,
         }
       }
     }
-    if (!step.reads.empty()) trace.steps.push_back(std::move(step));
+    trace.commit_step();
   }
   return trace;
 }

@@ -6,16 +6,21 @@ namespace cxlgraph::algo {
 
 namespace {
 
-/// Appends v's sublist to `step`, split into warp-sized work chunks.
+std::uint64_t chunk_count(std::uint64_t bytes) {
+  return (bytes + kMaxWorkChunkBytes - 1) / kMaxWorkChunkBytes;
+}
+
+/// Appends v's sublist to the trace's open step, split into warp-sized
+/// work chunks.
 void append_sublist(const graph::CsrGraph& graph, graph::VertexId v,
-                    TraceStep& step, AccessTrace& trace) {
+                    AccessTrace& trace) {
   const std::uint64_t total = graph.sublist_bytes(v);
   if (total == 0) return;
   std::uint64_t offset = graph.sublist_byte_offset(v);
   std::uint64_t remaining = total;
   while (remaining > 0) {
     const std::uint64_t chunk = std::min(remaining, kMaxWorkChunkBytes);
-    step.reads.push_back(SublistRef{v, offset, chunk});
+    trace.add_read(SublistRef{v, offset, chunk});
     trace.total_sublist_bytes += chunk;
     ++trace.total_reads;
     offset += chunk;
@@ -23,27 +28,52 @@ void append_sublist(const graph::CsrGraph& graph, graph::VertexId v,
   }
 }
 
+/// Exact read-arena size for a frontier schedule: the chunk counts depend
+/// only on degrees, so one cheap pass sizes the whole trace.
+std::uint64_t total_chunks(
+    const graph::CsrGraph& graph,
+    const std::vector<std::vector<graph::VertexId>>& frontiers) {
+  std::uint64_t chunks = 0;
+  for (const auto& frontier : frontiers) {
+    for (const graph::VertexId v : frontier) {
+      chunks += chunk_count(graph.sublist_bytes(v));
+    }
+  }
+  return chunks;
+}
+
 }  // namespace
+
+// Frontiers from level-synchronous traversals are almost always already
+// vertex-ID sorted (status-bitmap scans emit them in order), so check
+// before paying for a sort; the scratch buffer is reused across steps
+// when a copy is unavoidable.
+const std::vector<graph::VertexId>& sorted_frontier(
+    const std::vector<graph::VertexId>& raw,
+    std::vector<graph::VertexId>& scratch) {
+  if (std::is_sorted(raw.begin(), raw.end())) return raw;
+  scratch.assign(raw.begin(), raw.end());
+  std::sort(scratch.begin(), scratch.end());
+  return scratch;
+}
 
 AccessTrace build_trace(
     const graph::CsrGraph& graph,
     const std::vector<std::vector<graph::VertexId>>& frontiers) {
   AccessTrace trace;
-  trace.steps.reserve(frontiers.size());
+  trace.reserve(frontiers.size(), total_chunks(graph, frontiers));
+  std::vector<graph::VertexId> scratch;
   for (const auto& raw_frontier : frontiers) {
     // GPU level-synchronous traversals materialize the frontier by
     // scanning a per-vertex status bitmap, so a step's edge-sublist reads
     // sweep the edge list in ascending vertex-ID order. This ordering is
     // what gives coarse-grained (512 B / 4 kB) cache lines their reuse and
     // keeps the paper's Fig.-3 RAF at ~4 rather than ~15 at 4 kB.
-    std::vector<graph::VertexId> frontier = raw_frontier;
-    std::sort(frontier.begin(), frontier.end());
-    TraceStep step;
-    step.reads.reserve(frontier.size());
-    for (graph::VertexId v : frontier) {
-      append_sublist(graph, v, step, trace);
+    const auto& frontier = sorted_frontier(raw_frontier, scratch);
+    for (const graph::VertexId v : frontier) {
+      append_sublist(graph, v, trace);
     }
-    if (!step.reads.empty()) trace.steps.push_back(std::move(step));
+    trace.commit_step();
   }
   return trace;
 }
@@ -53,26 +83,22 @@ AccessTrace build_writeback_trace(
     const std::vector<std::vector<graph::VertexId>>& frontiers,
     std::uint32_t property_bytes) {
   AccessTrace trace;
-  trace.steps.reserve(frontiers.size());
+  std::uint64_t writes = 0;
+  for (const auto& frontier : frontiers) writes += frontier.size();
+  trace.reserve(frontiers.size(), total_chunks(graph, frontiers), writes);
   // Result region starts page-aligned after the edge list.
   const std::uint64_t region =
       (graph.edge_list_bytes() + 4095) / 4096 * 4096;
+  std::vector<graph::VertexId> scratch;
   for (const auto& raw_frontier : frontiers) {
-    std::vector<graph::VertexId> frontier = raw_frontier;
-    std::sort(frontier.begin(), frontier.end());
-    TraceStep step;
-    step.reads.reserve(frontier.size());
-    step.writes.reserve(frontier.size());
+    const auto& frontier = sorted_frontier(raw_frontier, scratch);
     for (const graph::VertexId v : frontier) {
-      append_sublist(graph, v, step, trace);
-      step.writes.push_back(
-          WriteRef{region + v * property_bytes, property_bytes});
+      append_sublist(graph, v, trace);
+      trace.add_write(WriteRef{region + v * property_bytes, property_bytes});
       trace.total_write_bytes += property_bytes;
       ++trace.total_writes;
     }
-    if (!step.reads.empty() || !step.writes.empty()) {
-      trace.steps.push_back(std::move(step));
-    }
+    trace.commit_step();
   }
   return trace;
 }
@@ -82,12 +108,10 @@ AccessTrace build_trace_with_layout(
     const std::vector<std::vector<graph::VertexId>>& frontiers,
     const graph::EdgeListLayout& layout) {
   AccessTrace trace;
-  trace.steps.reserve(frontiers.size());
+  trace.reserve(frontiers.size(), total_chunks(graph, frontiers));
+  std::vector<graph::VertexId> scratch;
   for (const auto& raw_frontier : frontiers) {
-    std::vector<graph::VertexId> frontier = raw_frontier;
-    std::sort(frontier.begin(), frontier.end());
-    TraceStep step;
-    step.reads.reserve(frontier.size());
+    const auto& frontier = sorted_frontier(raw_frontier, scratch);
     for (const graph::VertexId v : frontier) {
       const std::uint64_t total = graph.sublist_bytes(v);
       if (total == 0) continue;
@@ -95,14 +119,14 @@ AccessTrace build_trace_with_layout(
       std::uint64_t remaining = total;
       while (remaining > 0) {
         const std::uint64_t chunk = std::min(remaining, kMaxWorkChunkBytes);
-        step.reads.push_back(SublistRef{v, offset, chunk});
+        trace.add_read(SublistRef{v, offset, chunk});
         trace.total_sublist_bytes += chunk;
         ++trace.total_reads;
         offset += chunk;
         remaining -= chunk;
       }
     }
-    if (!step.reads.empty()) trace.steps.push_back(std::move(step));
+    trace.commit_step();
   }
   return trace;
 }
@@ -110,13 +134,16 @@ AccessTrace build_trace_with_layout(
 AccessTrace build_sequential_trace(const graph::CsrGraph& graph,
                                    unsigned num_iterations) {
   AccessTrace trace;
+  std::uint64_t chunks_per_iter = 0;
+  for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    chunks_per_iter += chunk_count(graph.sublist_bytes(v));
+  }
+  trace.reserve(num_iterations, num_iterations * chunks_per_iter);
   for (unsigned iter = 0; iter < num_iterations; ++iter) {
-    TraceStep step;
-    step.reads.reserve(graph.num_vertices());
     for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
-      append_sublist(graph, v, step, trace);
+      append_sublist(graph, v, trace);
     }
-    if (!step.reads.empty()) trace.steps.push_back(std::move(step));
+    trace.commit_step();
   }
   return trace;
 }

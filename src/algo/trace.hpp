@@ -9,8 +9,15 @@
 /// trace against a memory-system model; the cache module replays it to
 /// measure read amplification (Fig. 3). `total_sublist_bytes` is the
 /// paper's E — the denominator of the RAF D/E.
+///
+/// Storage is arena-style: every step's reads (and writes) live in two
+/// contiguous vectors, with per-step extents recording where each step
+/// ends. Construction reserves the arenas exactly once (builders know the
+/// totals from frontier degree sums), replay walks one flat array, and a
+/// million-read trace costs two allocations instead of one per step.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -24,6 +31,8 @@ struct SublistRef {
   graph::VertexId vertex = 0;
   std::uint64_t byte_offset = 0;
   std::uint64_t byte_len = 0;
+
+  friend bool operator==(const SublistRef&, const SublistRef&) = default;
 };
 
 /// One external-memory write (Sec.-5 extension): e.g. storing a result
@@ -31,16 +40,32 @@ struct SublistRef {
 struct WriteRef {
   std::uint64_t addr = 0;
   std::uint64_t bytes = 0;
+
+  friend bool operator==(const WriteRef&, const WriteRef&) = default;
 };
 
-/// One synchronized traversal step (BFS level / SSSP iteration).
+/// A build buffer for one synchronized traversal step (BFS level / SSSP
+/// iteration). Algorithms that assemble several steps concurrently (the
+/// cluster runtime builds one per shard) fill TraceSteps and append them;
+/// single-stream builders write into the trace's arenas directly.
 struct TraceStep {
   std::vector<SublistRef> reads;
   std::vector<WriteRef> writes;
 };
 
 struct AccessTrace {
-  std::vector<TraceStep> steps;
+  /// Arena storage: step s's reads span
+  /// read_arena[step_ends[s-1].read_end .. step_ends[s].read_end).
+  std::vector<SublistRef> read_arena;
+  std::vector<WriteRef> write_arena;
+  struct StepExtent {
+    std::uint64_t read_end = 0;
+    std::uint64_t write_end = 0;
+
+    friend bool operator==(const StepExtent&, const StepExtent&) = default;
+  };
+  std::vector<StepExtent> step_ends;
+
   /// Sum of all sublist byte lengths (paper's E).
   std::uint64_t total_sublist_bytes = 0;
   /// Total number of sublist reads across steps.
@@ -49,12 +74,71 @@ struct AccessTrace {
   std::uint64_t total_write_bytes = 0;
   std::uint64_t total_writes = 0;
 
+  std::size_t num_steps() const noexcept { return step_ends.size(); }
+
+  std::span<const SublistRef> step_reads(std::size_t s) const noexcept {
+    const std::uint64_t begin = s == 0 ? 0 : step_ends[s - 1].read_end;
+    return {read_arena.data() + begin, step_ends[s].read_end - begin};
+  }
+
+  std::span<const WriteRef> step_writes(std::size_t s) const noexcept {
+    const std::uint64_t begin = s == 0 ? 0 : step_ends[s - 1].write_end;
+    return {write_arena.data() + begin, step_ends[s].write_end - begin};
+  }
+
+  /// Pre-sizes the arenas; pass exact totals to make construction
+  /// allocation-free from here on.
+  void reserve(std::size_t steps, std::size_t reads, std::size_t writes = 0) {
+    step_ends.reserve(steps);
+    read_arena.reserve(reads);
+    write_arena.reserve(writes);
+  }
+
+  /// Direct arena building: push reads/writes for the current step, then
+  /// commit_step() to close it. By default a step with no reads and no
+  /// writes is dropped (the single-runtime builders' historical contract);
+  /// pass keep_if_empty for barrier-aligned multi-shard traces, where an
+  /// idle shard must still consume its superstep slot.
+  void add_read(const SublistRef& read) { read_arena.push_back(read); }
+  void add_write(const WriteRef& write) { write_arena.push_back(write); }
+  void commit_step(bool keep_if_empty = false) {
+    const std::uint64_t read_end = read_arena.size();
+    const std::uint64_t write_end = write_arena.size();
+    const StepExtent prev =
+        step_ends.empty() ? StepExtent{} : step_ends.back();
+    if (!keep_if_empty && read_end == prev.read_end &&
+        write_end == prev.write_end) {
+      return;
+    }
+    step_ends.push_back(StepExtent{read_end, write_end});
+  }
+
+  /// Appends a step built in a TraceStep buffer.
+  void append_step(const TraceStep& step, bool keep_if_empty = false) {
+    read_arena.insert(read_arena.end(), step.reads.begin(),
+                      step.reads.end());
+    write_arena.insert(write_arena.end(), step.writes.begin(),
+                       step.writes.end());
+    commit_step(keep_if_empty);
+  }
+
   double avg_sublist_bytes() const noexcept {
     return total_reads == 0 ? 0.0
                             : static_cast<double>(total_sublist_bytes) /
                                   static_cast<double>(total_reads);
   }
+
+  friend bool operator==(const AccessTrace&, const AccessTrace&) = default;
 };
+
+/// Returns `raw` if it is already vertex-ID sorted (level-synchronous
+/// traversals emit frontiers in order, so this is the common case), else
+/// sorts a copy into `scratch` and returns that. Shared by every
+/// frontier-shaped trace builder so the ordering contract lives in one
+/// place.
+const std::vector<graph::VertexId>& sorted_frontier(
+    const std::vector<graph::VertexId>& raw,
+    std::vector<graph::VertexId>& scratch);
 
 /// GPU traversals process a frontier's edges warp-parallel, so a hub
 /// vertex's multi-megabyte sublist is fetched by many warps at once, not

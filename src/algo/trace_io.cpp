@@ -31,10 +31,11 @@ void save_trace(const AccessTrace& trace, std::ostream& os) {
   write_pod(os, kVersion);
   write_pod(os, trace.total_sublist_bytes);
   write_pod(os, trace.total_reads);
-  write_pod(os, static_cast<std::uint64_t>(trace.steps.size()));
-  for (const TraceStep& step : trace.steps) {
-    write_pod(os, static_cast<std::uint64_t>(step.reads.size()));
-    for (const SublistRef& read : step.reads) {
+  write_pod(os, static_cast<std::uint64_t>(trace.num_steps()));
+  for (std::size_t s = 0; s < trace.num_steps(); ++s) {
+    const auto reads = trace.step_reads(s);
+    write_pod(os, static_cast<std::uint64_t>(reads.size()));
+    for (const SublistRef& read : reads) {
       write_pod(os, read.vertex);
       write_pod(os, read.byte_offset);
       write_pod(os, read.byte_len);
@@ -58,20 +59,22 @@ AccessTrace load_trace(std::istream& is) {
   trace.total_sublist_bytes = read_pod<std::uint64_t>(is);
   trace.total_reads = read_pod<std::uint64_t>(is);
   const auto num_steps = read_pod<std::uint64_t>(is);
-  trace.steps.resize(num_steps);
+  trace.reserve(num_steps, trace.total_reads);
 
   std::uint64_t check_bytes = 0;
   std::uint64_t check_reads = 0;
-  for (TraceStep& step : trace.steps) {
+  for (std::uint64_t s = 0; s < num_steps; ++s) {
     const auto num_reads = read_pod<std::uint64_t>(is);
-    step.reads.resize(num_reads);
-    for (SublistRef& read : step.reads) {
+    for (std::uint64_t r = 0; r < num_reads; ++r) {
+      SublistRef read;
       read.vertex = read_pod<std::uint64_t>(is);
       read.byte_offset = read_pod<std::uint64_t>(is);
       read.byte_len = read_pod<std::uint64_t>(is);
       check_bytes += read.byte_len;
       ++check_reads;
+      trace.add_read(read);
     }
+    trace.commit_step();
   }
   if (check_bytes != trace.total_sublist_bytes ||
       check_reads != trace.total_reads) {

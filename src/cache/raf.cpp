@@ -11,14 +11,13 @@ RafResult evaluate_raf(const algo::AccessTrace& trace,
   SwCache cache(cache_params);
 
   RafResult result;
-  for (const auto& step : trace.steps) {
-    for (const auto& read : step.reads) {
-      result.used_bytes += read.byte_len;
-      cache.access_range(read.byte_offset, read.byte_len,
-                         [&](std::uint64_t /*line*/) {
-                           result.fetched_bytes += options.alignment;
-                         });
-    }
+  // Step boundaries do not matter for cache replay; walk the flat arena.
+  for (const auto& read : trace.read_arena) {
+    result.used_bytes += read.byte_len;
+    cache.access_range(read.byte_offset, read.byte_len,
+                       [&](std::uint64_t /*line*/) {
+                         result.fetched_bytes += options.alignment;
+                       });
   }
   result.cache_hits = cache.stats().hits;
   result.cache_misses = cache.stats().misses;

@@ -37,17 +37,22 @@ bool SwCache::access_line(std::uint64_t line_index) {
   const std::uint64_t base = set * ways_;
   ++use_clock_;
 
+  // Hit scan first — tags only, no LRU bookkeeping touched.
+  const std::uint64_t* tags = tags_.data() + base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (tags[w] == line_index) {
+      ++stats_.hits;
+      last_use_[base + w] = use_clock_;
+      return true;
+    }
+  }
+  // Miss: pick the victim exactly as the fused scan did — the last
+  // invalid way if any, else the first way with the minimal use stamp.
   std::uint64_t victim = base;
   std::uint64_t victim_use = ~std::uint64_t{0};
   for (std::uint32_t w = 0; w < ways_; ++w) {
     const std::uint64_t slot = base + w;
-    if (tags_[slot] == line_index) {
-      ++stats_.hits;
-      last_use_[slot] = use_clock_;
-      return true;
-    }
     if (tags_[slot] == kEmpty) {
-      // Prefer filling an invalid way over evicting.
       victim = slot;
       victim_use = 0;
     } else if (last_use_[slot] < victim_use) {

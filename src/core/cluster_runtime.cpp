@@ -154,7 +154,7 @@ void decompose_pagerank(const partition::Partition& part,
   ExchangePhase phase(P);
   for (std::uint32_t s = 0; s < P; ++s) {
     const partition::ShardGraph& shard = part.shards[s];
-    traces[s].steps.push_back(std::move(steps[s]));
+    traces[s].append_step(steps[s], /*keep_if_empty=*/true);
     for (VertexId l = 0; l < shard.graph.num_vertices(); ++l) {
       const std::uint32_t to = part.owner[shard.to_global(l)];
       if (to == s) continue;  // owned, not a ghost
@@ -194,7 +194,7 @@ void decompose_frontiers(
     }
     if (!any_reads) continue;
     for (std::uint32_t s = 0; s < P; ++s) {
-      traces[s].steps.push_back(std::move(steps[s]));
+      traces[s].append_step(steps[s], /*keep_if_empty=*/true);
     }
 
     if (P > 1 && k + 1 < frontiers.size()) {
@@ -295,7 +295,7 @@ void decompose_dobfs(const graph::CsrGraph& g,
     }
     if (!any_reads) continue;
     for (std::uint32_t s = 0; s < P; ++s) {
-      traces[s].steps.push_back(std::move(steps[s]));
+      traces[s].append_step(steps[s], /*keep_if_empty=*/true);
     }
     report.superstep_bottom_up.push_back(bottom_up ? 1 : 0);
 
@@ -362,7 +362,7 @@ void decompose_delta(const graph::CsrGraph& g,
     }
     if (!any_reads) continue;
     for (std::uint32_t s = 0; s < P; ++s) {
-      traces[s].steps.push_back(std::move(steps[s]));
+      traces[s].append_step(steps[s], /*keep_if_empty=*/true);
     }
     report.superstep_bucket.push_back(delta.phase_bucket[p]);
 
@@ -469,7 +469,7 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
   report.num_shards = P;
   report.source = source;
   report.cut = part.stats;
-  report.supersteps = results.empty() ? 0 : traces[0].steps.size();
+  report.supersteps = results.empty() ? 0 : traces[0].num_steps();
   report.pair_exchange_bytes.assign(static_cast<std::size_t>(P) * P, 0);
 
   double compute_total_sec = 0.0;

@@ -13,6 +13,7 @@ CxlDevice::CxlDevice(Simulator& sim, const CxlDeviceParams& params,
   if (params.flit_bytes == 0 || params.device_tags == 0) {
     throw std::invalid_argument("CxlDevice: bad parameters");
   }
+  listener_ = sim_.add_listener(this, &CxlDevice::on_event);
   caps_.name = std::move(name);
   caps_.min_alignment = 1;
   caps_.max_transfer = 128;
@@ -26,27 +27,16 @@ void CxlDevice::read(std::uint64_t addr, std::uint32_t bytes, ReadyFn ready) {
 
   const std::uint32_t flit_count =
       (bytes + params_.flit_bytes - 1) / params_.flit_bytes;
-  auto parent = std::make_shared<ParentRead>(
-      ParentRead{flit_count, std::move(ready)});
+  const std::uint32_t parent =
+      parents_.acquire(ParentRead{flit_count, ready});
 
   // Socket hop (if remote) + port ingress, then each flit contends for a
   // device tag.
-  sim_.schedule_after(
-      params_.socket_hop + params_.port_ingress,
-      [this, parent, flit_count]() {
-    for (std::uint32_t i = 0; i < flit_count; ++i) {
-      Flit flit{parent};
-      if (flits_in_flight_ < params_.device_tags) {
-        ++flits_in_flight_;
-        admit_flit(std::move(flit));
-      } else {
-        waiting_flits_.push_back(std::move(flit));
-      }
-    }
-  });
+  sim_.schedule_after(params_.socket_hop + params_.port_ingress, listener_,
+                      kIngress, parent, flit_count);
 }
 
-void CxlDevice::admit_flit(Flit flit) {
+void CxlDevice::admit_flit(std::uint32_t parent_slot) {
   const SimTime arrival = sim_.now();  // latency-bridge timestamp
 
   // Single-channel DRAM: serialize the flit, then the access latency.
@@ -64,24 +54,59 @@ void CxlDevice::admit_flit(Flit flit) {
 
   stats_.internal_latency_us.add(util::us_from_ps(pop_time - arrival));
 
-  sim_.schedule_at(pop_time, [this, flit = std::move(flit)]() {
-    // The FPGA's outstanding-request budget spans the whole device
-    // residency, so the tag is released only once the flit has also
-    // crossed the egress port.
-    sim_.schedule_after(params_.port_egress, [this]() {
-      if (!waiting_flits_.empty()) {
-        Flit next = std::move(waiting_flits_.front());
-        waiting_flits_.pop_front();
-        admit_flit(std::move(next));
-      } else {
-        --flits_in_flight_;
+  sim_.schedule_at(pop_time, listener_, kPop, parent_slot);
+}
+
+void CxlDevice::on_event(void* self, std::uint16_t opcode, std::uint32_t a,
+                         std::uint32_t b) {
+  auto* dev = static_cast<CxlDevice*>(self);
+  switch (opcode) {
+    case kIngress: {
+      const auto parent = static_cast<std::uint32_t>(a);
+      const auto flit_count = static_cast<std::uint32_t>(b);
+      for (std::uint32_t i = 0; i < flit_count; ++i) {
+        if (dev->flits_in_flight_ < dev->params_.device_tags) {
+          ++dev->flits_in_flight_;
+          dev->admit_flit(parent);
+        } else {
+          dev->waiting_flits_.push_back(parent);
+        }
       }
-    });
-    if (--flit.parent->flits_remaining == 0) {
-      sim_.schedule_after(params_.port_egress + params_.socket_hop,
-                          std::move(flit.parent->ready));
+      break;
     }
-  });
+    case kPop: {
+      const auto parent = static_cast<std::uint32_t>(a);
+      // The FPGA's outstanding-request budget spans the whole device
+      // residency, so the tag is released only once the flit has also
+      // crossed the egress port.
+      dev->sim_.schedule_after(dev->params_.port_egress, dev->listener_,
+                               kTagFree);
+      if (--dev->parents_[parent].flits_remaining == 0) {
+        dev->sim_.schedule_after(
+            dev->params_.port_egress + dev->params_.socket_hop,
+            dev->parents_[parent].ready);
+        dev->parents_.release(parent);
+      }
+      break;
+    }
+    case kTagFree: {
+      if (!dev->waiting_flits_.empty()) {
+        const std::uint32_t next = dev->waiting_flits_.front();
+        dev->waiting_flits_.pop_front();
+        dev->admit_flit(next);
+      } else {
+        --dev->flits_in_flight_;
+      }
+      break;
+    }
+    case kWriteCoherent: {
+      const auto slot = static_cast<std::uint32_t>(a);
+      const PendingWrite w = dev->pending_writes_[slot];
+      dev->pending_writes_.release(slot);
+      dev->read(w.addr, w.bytes, w.ready);
+      break;
+    }
+  }
 }
 
 CxlMemoryPool::CxlMemoryPool(Simulator& sim, const CxlDeviceParams& params,
@@ -107,11 +132,10 @@ void CxlDevice::write(std::uint64_t addr, std::uint32_t bytes,
   // round (snoop/ownership) before the data can commit. The bridge delays
   // write completions like read data: the prototype's adjustable latency
   // sits between the CXL interface and the DRAM in both directions.
-  const SimTime coherency = params_.write_coherency_overhead;
-  sim_.schedule_after(coherency, [this, addr, bytes,
-                                  ready = std::move(ready)]() mutable {
-    read(addr, bytes, std::move(ready));
-  });
+  const std::uint32_t slot =
+      pending_writes_.acquire(PendingWrite{addr, bytes, ready});
+  sim_.schedule_after(params_.write_coherency_overhead, listener_,
+                      kWriteCoherent, slot);
 }
 
 void CxlMemoryPool::read(std::uint64_t addr, std::uint32_t bytes,
@@ -120,14 +144,14 @@ void CxlMemoryPool::read(std::uint64_t addr, std::uint32_t bytes,
   // in our workloads' aligned access patterns, so route by start address.
   const std::size_t index =
       static_cast<std::size_t>((addr / interleave_bytes_) % devices_.size());
-  devices_[index]->read(addr, bytes, std::move(ready));
+  devices_[index]->read(addr, bytes, ready);
 }
 
 void CxlMemoryPool::write(std::uint64_t addr, std::uint32_t bytes,
                           ReadyFn ready) {
   const std::size_t index =
       static_cast<std::size_t>((addr / interleave_bytes_) % devices_.size());
-  devices_[index]->write(addr, bytes, std::move(ready));
+  devices_[index]->write(addr, bytes, ready);
 }
 
 void CxlMemoryPool::set_added_latency(SimTime added) noexcept {

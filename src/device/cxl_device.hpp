@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "device/device.hpp"
+#include "util/slot_pool.hpp"
 #include "util/units.hpp"
 
 namespace cxlgraph::device {
@@ -72,24 +73,43 @@ class CxlDevice final : public MemoryDevice {
   }
 
  private:
+  /// A multi-flit read's join state, pooled; flits reference their parent
+  /// by slot index (one flit == one event payload).
   struct ParentRead {
-    std::uint32_t flits_remaining;
+    std::uint32_t flits_remaining = 0;
     ReadyFn ready;
   };
-  struct Flit {
-    std::shared_ptr<ParentRead> parent;
+  /// A write waiting out its coherency round before entering the read
+  /// pipeline, pooled.
+  struct PendingWrite {
+    std::uint64_t addr = 0;
+    std::uint32_t bytes = 0;
+    ReadyFn ready;
   };
 
-  void admit_flit(Flit flit);
+  enum Op : std::uint16_t {
+    kIngress,        ///< request crossed the port; flits contend for tags
+    kPop,            ///< latency bridge released a flit
+    kTagFree,        ///< flit crossed egress; its device tag frees
+    kWriteCoherent,  ///< coherency round done; write enters the pipeline
+  };
+
+  static void on_event(void* self, std::uint16_t opcode, std::uint32_t a,
+                       std::uint32_t b);
+
+  void admit_flit(std::uint32_t parent_slot);
 
   Simulator& sim_;
   CxlDeviceParams params_;
   double ps_per_byte_;
+  std::uint16_t listener_ = 0;
   DeviceCaps caps_;
   DeviceStats stats_;
 
+  util::SlotPool<ParentRead> parents_;
+  util::SlotPool<PendingWrite> pending_writes_;
   std::uint32_t flits_in_flight_ = 0;
-  std::deque<Flit> waiting_flits_;
+  std::deque<std::uint32_t> waiting_flits_;  // parent slot per queued flit
   SimTime channel_busy_until_ = 0;
   /// Latency-bridge FIFO ordering: pops are monotone in time.
   SimTime last_pop_time_ = 0;

@@ -21,10 +21,12 @@ namespace cxlgraph::device {
 using sim::SimTime;
 using sim::Simulator;
 
-/// Invoked when a device has the requested data ready to cross the GPU link.
-using ReadyFn = std::function<void()>;
-/// Invoked when the data has fully arrived at the GPU.
-using DoneFn = std::function<void()>;
+/// Notified when a device has the requested data ready to cross the GPU
+/// link. A POD continuation (listener + opcode + payload) dispatched
+/// through the simulator's handler table — no per-request allocation.
+using ReadyFn = sim::Callback;
+/// Notified when the data has fully arrived at the GPU.
+using DoneFn = sim::Callback;
 
 struct DeviceCaps {
   std::string name;

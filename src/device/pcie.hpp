@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "device/device.hpp"
+#include "util/slot_pool.hpp"
 #include "util/units.hpp"
 
 namespace cxlgraph::device {
@@ -87,16 +89,32 @@ class PcieLink {
   std::uint32_t tags_in_use() const noexcept { return tags_in_use_; }
 
  private:
+  /// In-flight request state, pooled and addressed by slot index; events
+  /// carry the slot in their payload instead of capturing state.
   struct PendingRead {
-    MemoryDevice* device;
-    std::uint64_t addr;
-    std::uint32_t bytes;
-    DoneFn done;
+    MemoryDevice* device = nullptr;
+    std::uint64_t addr = 0;
+    std::uint32_t bytes = 0;
     bool is_write = false;
+    DoneFn done;
+    SimTime issue_time = 0;
   };
 
-  void start_memory_read(PendingRead request);
-  void start_memory_write(PendingRead request);
+  enum Op : std::uint16_t {
+    kReadAtDevice,     ///< request crossed the upstream hop
+    kReadReady,        ///< device has the data (ReadyFn target)
+    kReadDelivered,    ///< last byte + response overhead at the GPU
+    kWriteAtDevice,    ///< write payload + request hop at the device
+    kWriteAccepted,    ///< device ack'd the write (ReadyFn target)
+    kWriteDelivered,   ///< completion back at the GPU
+    kStorageDelivered, ///< storage DMA fully returned
+  };
+
+  static void on_event(void* self, std::uint16_t opcode, std::uint32_t a,
+                       std::uint32_t b);
+
+  void start_memory_read(std::uint32_t slot);
+  void start_memory_write(std::uint32_t slot);
   void release_tag_and_admit();
   /// Serializes `bytes` through the return path starting no earlier than
   /// now; returns the time the last byte arrives at the GPU.
@@ -107,10 +125,12 @@ class PcieLink {
   Simulator& sim_;
   PcieLinkParams params_;
   double ps_per_byte_;
+  std::uint16_t listener_ = 0;
   SimTime return_busy_until_ = 0;
   SimTime upstream_busy_until_ = 0;
   std::uint32_t tags_in_use_ = 0;
-  std::deque<PendingRead> waiting_;
+  util::SlotPool<PendingRead> pool_;
+  std::deque<std::uint32_t> waiting_;
   PcieLinkStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace cxlgraph::device {
 
@@ -17,6 +18,7 @@ StorageDrive::StorageDrive(Simulator& sim, PcieLink& link,
       params.max_transfer == 0) {
     throw std::invalid_argument("StorageDrive: bad parameters");
   }
+  listener_ = sim_.add_listener(this, &StorageDrive::on_event);
 }
 
 void StorageDrive::submit(std::uint64_t addr, std::uint32_t bytes,
@@ -27,15 +29,16 @@ void StorageDrive::submit(std::uint64_t addr, std::uint32_t bytes,
   }
   ++stats_.requests;
   stats_.bytes += bytes;
-  Pending request{bytes, std::move(done), /*is_write=*/false};
+  const std::uint32_t slot =
+      pool_.acquire(Pending{bytes, /*is_write=*/false, done, 0});
   if (outstanding_ >= params_.queue_depth) {
-    waiting_.push_back(std::move(request));
+    waiting_.push_back(slot);
     return;
   }
   ++outstanding_;
   stats_.peak_outstanding = std::max<std::uint64_t>(
       stats_.peak_outstanding, outstanding_);
-  start(std::move(request));
+  start(slot);
 }
 
 void StorageDrive::submit_write(std::uint64_t addr, std::uint32_t bytes,
@@ -46,59 +49,47 @@ void StorageDrive::submit_write(std::uint64_t addr, std::uint32_t bytes,
   }
   ++stats_.requests;
   stats_.bytes += bytes;
-  Pending request{bytes, std::move(done), /*is_write=*/true};
+  const std::uint32_t slot =
+      pool_.acquire(Pending{bytes, /*is_write=*/true, done, 0});
   if (outstanding_ >= params_.queue_depth) {
-    waiting_.push_back(std::move(request));
+    waiting_.push_back(slot);
     return;
   }
   ++outstanding_;
   stats_.peak_outstanding = std::max<std::uint64_t>(
       stats_.peak_outstanding, outstanding_);
-  start_write(std::move(request));
+  start_write(slot);
 }
 
-void StorageDrive::start_write(Pending request) {
-  const SimTime submit_time = sim_.now();
+void StorageDrive::start_write(std::uint32_t slot) {
+  pool_[slot].submit_time = sim_.now();
   // Pull the payload out of GPU memory over the shared link (upstream),
   // then program the media at the write service rate.
-  link_.upstream_transfer(
-      request.bytes,
-      [this, submit_time, request = std::move(request)]() mutable {
-        const SimTime interval = static_cast<SimTime>(
-            static_cast<double>(util::kPsPerSec) / params_.write_iops + 0.5);
-        const SimTime service_start =
-            std::max(controller_busy_until_,
-                     sim_.now() + params_.submission_overhead);
-        controller_busy_until_ = service_start + interval;
-        const SimTime programmed =
-            controller_busy_until_ + params_.program_latency;
-        sim_.schedule_at(
-            programmed,
-            [this, submit_time, done = std::move(request.done)]() mutable {
-              stats_.service_latency_us.add(
-                  util::us_from_ps(sim_.now() - submit_time));
-              finish(std::move(done));
-            });
-      });
+  link_.upstream_transfer(pool_[slot].bytes,
+                          sim::Callback{listener_, kPayloadUp, slot});
 }
 
-void StorageDrive::finish(DoneFn done) {
+void StorageDrive::finish(std::uint32_t slot) {
   if (!waiting_.empty()) {
-    Pending next = std::move(waiting_.front());
+    const std::uint32_t next = waiting_.front();
     waiting_.pop_front();
-    if (next.is_write) {
-      start_write(std::move(next));
+    if (pool_[next].is_write) {
+      start_write(next);
     } else {
-      start(std::move(next));
+      start(next);
     }
   } else {
     --outstanding_;
   }
-  done();
+  const DoneFn done = pool_[slot].done;
+  pool_.release(slot);
+  sim_.dispatch(done);
 }
 
-void StorageDrive::start(Pending request) {
+void StorageDrive::start(std::uint32_t slot) {
+  Pending& p = pool_[slot];
   const SimTime submit_time = sim_.now();
+  p.submit_time = submit_time;
 
   // Controller pipeline: one request per service interval (IOPS cap).
   const SimTime service_start =
@@ -111,47 +102,86 @@ void StorageDrive::start(Pending request) {
   const SimTime drive_link_start =
       std::max(drive_link_busy_until_, media_ready);
   const auto transfer = static_cast<SimTime>(
-      static_cast<double>(request.bytes) * ps_per_byte_drive_link_ + 0.5);
+      static_cast<double>(p.bytes) * ps_per_byte_drive_link_ + 0.5);
   drive_link_busy_until_ = drive_link_start + transfer;
 
-  sim_.schedule_at(
-      drive_link_busy_until_,
-      [this, submit_time, bytes = request.bytes,
-       done = std::move(request.done)]() mutable {
-        stats_.service_latency_us.add(
-            util::us_from_ps(sim_.now() - submit_time));
-        link_.storage_deliver(bytes, [this, done = std::move(done)]() {
-          // Completion frees the queue slot; admit a waiter.
-          finish(std::move(done));
-        });
-      });
+  sim_.schedule_at(drive_link_busy_until_, listener_, kDataAtLink, slot);
+}
+
+void StorageDrive::on_event(void* self, std::uint16_t opcode, std::uint32_t a,
+                            std::uint32_t /*b*/) {
+  auto* drive = static_cast<StorageDrive*>(self);
+  const auto slot = static_cast<std::uint32_t>(a);
+  switch (opcode) {
+    case kDataAtLink: {
+      const Pending& p = drive->pool_[slot];
+      drive->stats_.service_latency_us.add(
+          util::us_from_ps(drive->sim_.now() - p.submit_time));
+      drive->link_.storage_deliver(
+          p.bytes, sim::Callback{drive->listener_, kDelivered, slot});
+      break;
+    }
+    case kDelivered:
+      // Completion frees the queue slot; admit a waiter.
+      drive->finish(slot);
+      break;
+    case kPayloadUp: {
+      const SimTime interval = static_cast<SimTime>(
+          static_cast<double>(util::kPsPerSec) / drive->params_.write_iops +
+          0.5);
+      const SimTime service_start =
+          std::max(drive->controller_busy_until_,
+                   drive->sim_.now() + drive->params_.submission_overhead);
+      drive->controller_busy_until_ = service_start + interval;
+      const SimTime programmed =
+          drive->controller_busy_until_ + drive->params_.program_latency;
+      drive->sim_.schedule_at(programmed, drive->listener_, kProgrammed,
+                              slot);
+      break;
+    }
+    case kProgrammed:
+      drive->stats_.service_latency_us.add(util::us_from_ps(
+          drive->sim_.now() - drive->pool_[slot].submit_time));
+      drive->finish(slot);
+      break;
+  }
 }
 
 StorageArray::StorageArray(Simulator& sim, PcieLink& link,
                            const StorageDriveParams& params,
                            unsigned num_drives, std::uint32_t stripe_bytes)
-    : params_(params), stripe_bytes_(stripe_bytes) {
+    : sim_(sim), params_(params), stripe_bytes_(stripe_bytes) {
   if (num_drives == 0 || stripe_bytes == 0) {
     throw std::invalid_argument("StorageArray: bad parameters");
   }
+  listener_ = sim_.add_listener(this, &StorageArray::on_event);
   drives_.reserve(num_drives);
   for (unsigned i = 0; i < num_drives; ++i) {
     drives_.push_back(std::make_unique<StorageDrive>(sim, link, params));
   }
 }
 
-void StorageArray::submit(std::uint64_t addr, std::uint32_t bytes,
-                          DoneFn done) {
+void StorageArray::on_event(void* self, std::uint16_t /*opcode*/,
+                            std::uint32_t a, std::uint32_t /*b*/) {
+  auto* array = static_cast<StorageArray*>(self);
+  const auto slot = static_cast<std::uint32_t>(a);
+  if (--array->joins_[slot].remaining == 0) {
+    const DoneFn done = array->joins_[slot].done;
+    array->joins_.release(slot);
+    array->sim_.dispatch(done);
+  }
+}
+
+template <typename Submit>
+void StorageArray::submit_split(std::uint64_t addr, std::uint32_t bytes,
+                                DoneFn done, Submit&& submit_one) {
   const std::uint64_t first_stripe = addr / stripe_bytes_;
   const std::uint64_t last_stripe = (addr + bytes - 1) / stripe_bytes_;
   if (first_stripe == last_stripe) {
-    drives_[first_stripe % drives_.size()]->submit(addr, bytes,
-                                                   std::move(done));
+    submit_one(*drives_[first_stripe % drives_.size()], addr, bytes, done);
     return;
   }
   // Straddling request: split at stripe boundaries, join on completion.
-  auto remaining = std::make_shared<std::uint32_t>(0);
-  auto joined = std::make_shared<DoneFn>(std::move(done));
   std::uint64_t cursor = addr;
   std::uint32_t left = bytes;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> parts;
@@ -164,45 +194,26 @@ void StorageArray::submit(std::uint64_t addr, std::uint32_t bytes,
     cursor += chunk;
     left -= chunk;
   }
-  *remaining = static_cast<std::uint32_t>(parts.size());
+  const std::uint32_t join = joins_.acquire(
+      Join{static_cast<std::uint32_t>(parts.size()), done});
   for (const auto& [part_addr, part_bytes] : parts) {
-    drives_[(part_addr / stripe_bytes_) % drives_.size()]->submit(
-        part_addr, part_bytes, [remaining, joined]() {
-          if (--*remaining == 0) (*joined)();
-        });
+    submit_one(*drives_[(part_addr / stripe_bytes_) % drives_.size()],
+               part_addr, part_bytes, sim::Callback{listener_, 0, join});
   }
+}
+
+void StorageArray::submit(std::uint64_t addr, std::uint32_t bytes,
+                          DoneFn done) {
+  submit_split(addr, bytes, done,
+               [](StorageDrive& drive, std::uint64_t a, std::uint32_t n,
+                  DoneFn d) { drive.submit(a, n, d); });
 }
 
 void StorageArray::submit_write(std::uint64_t addr, std::uint32_t bytes,
                                 DoneFn done) {
-  const std::uint64_t first_stripe = addr / stripe_bytes_;
-  const std::uint64_t last_stripe = (addr + bytes - 1) / stripe_bytes_;
-  if (first_stripe == last_stripe) {
-    drives_[first_stripe % drives_.size()]->submit_write(addr, bytes,
-                                                         std::move(done));
-    return;
-  }
-  auto remaining = std::make_shared<std::uint32_t>(0);
-  auto joined = std::make_shared<DoneFn>(std::move(done));
-  std::uint64_t cursor = addr;
-  std::uint32_t left = bytes;
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> parts;
-  while (left > 0) {
-    const std::uint64_t stripe_end =
-        (cursor / stripe_bytes_ + 1) * stripe_bytes_;
-    const auto chunk = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(left, stripe_end - cursor));
-    parts.emplace_back(cursor, chunk);
-    cursor += chunk;
-    left -= chunk;
-  }
-  *remaining = static_cast<std::uint32_t>(parts.size());
-  for (const auto& [part_addr, part_bytes] : parts) {
-    drives_[(part_addr / stripe_bytes_) % drives_.size()]->submit_write(
-        part_addr, part_bytes, [remaining, joined]() {
-          if (--*remaining == 0) (*joined)();
-        });
-  }
+  submit_split(addr, bytes, done,
+               [](StorageDrive& drive, std::uint64_t a, std::uint32_t n,
+                  DoneFn d) { drive.submit_write(a, n, d); });
 }
 
 StorageDriveStats StorageArray::aggregate_stats() const {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "device/pcie.hpp"
+#include "util/slot_pool.hpp"
 #include "util/units.hpp"
 
 namespace cxlgraph::device {
@@ -73,25 +74,39 @@ class StorageDrive {
   std::uint32_t outstanding() const noexcept { return outstanding_; }
 
  private:
+  /// Pooled per-request state; events carry the slot index.
   struct Pending {
-    std::uint32_t bytes;
-    DoneFn done;
+    std::uint32_t bytes = 0;
     bool is_write = false;
+    DoneFn done;
+    SimTime submit_time = 0;
   };
 
-  void start(Pending request);
-  void start_write(Pending request);
-  void finish(DoneFn done);
+  enum Op : std::uint16_t {
+    kDataAtLink,   ///< media read done, handing bytes to the shared link
+    kDelivered,    ///< shared link delivered the data to the GPU
+    kPayloadUp,    ///< write payload DMA'd out of GPU memory
+    kProgrammed,   ///< media program complete
+  };
+
+  static void on_event(void* self, std::uint16_t opcode, std::uint32_t a,
+                       std::uint32_t b);
+
+  void start(std::uint32_t slot);
+  void start_write(std::uint32_t slot);
+  void finish(std::uint32_t slot);
 
   Simulator& sim_;
   PcieLink& link_;
   StorageDriveParams params_;
   SimTime service_interval_;
   double ps_per_byte_drive_link_;
+  std::uint16_t listener_ = 0;
   SimTime controller_busy_until_ = 0;
   SimTime drive_link_busy_until_ = 0;
   std::uint32_t outstanding_ = 0;
-  std::deque<Pending> waiting_;
+  util::SlotPool<Pending> pool_;
+  std::deque<std::uint32_t> waiting_;
   StorageDriveStats stats_;
 };
 
@@ -117,9 +132,25 @@ class StorageArray {
   StorageDriveStats aggregate_stats() const;
 
  private:
+  /// Join state for a straddling request split across drives, pooled.
+  struct Join {
+    std::uint32_t remaining = 0;
+    DoneFn done;
+  };
+
+  static void on_event(void* self, std::uint16_t opcode, std::uint32_t a,
+                       std::uint32_t b);
+
+  template <typename Submit>
+  void submit_split(std::uint64_t addr, std::uint32_t bytes, DoneFn done,
+                    Submit&& submit_one);
+
+  Simulator& sim_;
   StorageDriveParams params_;
   std::vector<std::unique_ptr<StorageDrive>> drives_;
   std::uint32_t stripe_bytes_;
+  std::uint16_t listener_ = 0;
+  util::SlotPool<Join> joins_;
 };
 
 }  // namespace cxlgraph::device

@@ -19,11 +19,12 @@ CpuProbeResult cpu_random_read_probe(
   {
     const sim::SimTime issued = sim.now();
     sim.schedule_after(probe_params.cpu_overhead, [&]() {
-      dev.read(0, probe_params.read_bytes, [&]() {
-        sim.schedule_after(probe_params.cpu_overhead, [&, issued]() {
-          isolated_latency = sim.now() - issued;
-        });
-      });
+      dev.read(0, probe_params.read_bytes, sim.make_callback([&]() {
+                 sim.schedule_after(probe_params.cpu_overhead,
+                                    [&, issued]() {
+                                      isolated_latency = sim.now() - issued;
+                                    });
+               }));
     });
     sim.run();
   }
@@ -58,18 +59,19 @@ CpuProbeResult cpu_random_read_probe(
       // CPU -> device hop, the device model, then the return hop.
       sim.schedule_after(probe_params.cpu_overhead, [&, state, issue_more,
                                                      addr, issued]() {
-        dev.read(addr, probe_params.read_bytes, [&, state, issue_more,
-                                                 issued]() {
-          sim.schedule_after(probe_params.cpu_overhead,
-                             [&, state, issue_more, issued]() {
-                               --state->outstanding;
-                               ++state->completed;
-                               state->bytes += probe_params.read_bytes;
-                               state->latency_us.add(
-                                   util::us_from_ps(sim.now() - issued));
-                               (*issue_more)();
-                             });
-        });
+        dev.read(addr, probe_params.read_bytes,
+                 sim.make_callback([&, state, issue_more, issued]() {
+                   sim.schedule_after(
+                       probe_params.cpu_overhead,
+                       [&, state, issue_more, issued]() {
+                         --state->outstanding;
+                         ++state->completed;
+                         state->bytes += probe_params.read_bytes;
+                         state->latency_us.add(
+                             util::us_from_ps(sim.now() - issued));
+                         (*issue_more)();
+                       });
+                 }));
       });
       if (state->stopped) break;
     }

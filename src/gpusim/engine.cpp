@@ -1,49 +1,179 @@
 #include "gpusim/engine.hpp"
 
 #include <algorithm>
-
 #include <stdexcept>
 
 namespace cxlgraph::gpusim {
 
-namespace {
+TraversalEngine::TraversalEngine(Simulator& sim,
+                                 access::AccessMethod& method,
+                                 access::MemoryBackend& backend,
+                                 const GpuParams& params)
+    : sim_(sim), method_(method), backend_(backend), params_(params) {
+  if (params.num_warps == 0 || params.warp_mlp == 0) {
+    throw std::invalid_argument("TraversalEngine: bad GPU parameters");
+  }
+  listener_ = sim_.add_listener(this, &TraversalEngine::on_event);
+  warps_.resize(params_.num_warps);
+}
 
-/// Shared state for one synchronized step.
-struct StepState {
-  const algo::TraceStep* step = nullptr;
-  std::size_t next_read = 0;
-  StepResult result;
-};
+void TraversalEngine::on_event(void* self, std::uint16_t opcode,
+                               std::uint32_t a, std::uint32_t b) {
+  auto* engine = static_cast<TraversalEngine*>(self);
+  switch (opcode) {
+    case kStepLaunch:
+      for (std::uint32_t w = 0; w < engine->warps_.size(); ++w) {
+        engine->pump_reads(w);
+      }
+      break;
+    case kReadDone:
+      engine->sim_.schedule_after(engine->params_.txn_process_overhead,
+                                  engine->listener_, kReadProcessed, a);
+      break;
+    case kReadProcessed:
+      --engine->warps_[a].in_flight;
+      engine->pump_reads(a);
+      break;
+    case kRmwReadDone:
+      // Partially-valid unit on flash: the read half landed; program the
+      // full unit now.
+      engine->backend_.issue_write(
+          engine->wtxns_[b].txn,
+          sim::Callback{engine->listener_, kWriteDone, a});
+      break;
+    case kWriteDone:
+      engine->sim_.schedule_after(engine->params_.txn_process_overhead,
+                                  engine->listener_, kWriteProcessed, a);
+      break;
+    case kWriteProcessed:
+      --engine->warps_[a].in_flight;
+      engine->pump_writes(a);
+      break;
+  }
+}
 
-/// One warp's execution state: the expansion of its current sublist and how
-/// far it has issued into it.
-struct WarpState {
-  std::vector<access::Transaction> txns;
-  std::size_t next_txn = 0;
-  std::uint32_t in_flight = 0;
-};
+void TraversalEngine::pump_reads(std::uint32_t warp_index) {
+  WarpState& w = warps_[warp_index];
+  while (w.in_flight < params_.warp_mlp) {
+    if (w.next_txn == w.txns.size()) {
+      bool got_work = false;
+      while (next_read_ < num_reads_) {
+        const algo::SublistRef& read = reads_[next_read_++];
+        ++step_result_.sublist_reads;
+        step_result_.used_bytes += read.byte_len;
+        w.txns.clear();
+        w.next_txn = 0;
+        method_.expand(read, w.txns);
+        if (!w.txns.empty()) {
+          got_work = true;
+          break;
+        }
+        // Full cache hit: the sublist costs no external traffic.
+      }
+      if (!got_work) return;  // work queue drained; warp goes idle
+    }
+    const access::Transaction txn = w.txns[w.next_txn++];
+    ++w.in_flight;
+    ++step_result_.transactions;
+    step_result_.fetched_bytes += txn.bytes;
+    backend_.issue(txn, sim::Callback{listener_, kReadDone, warp_index});
+  }
+}
 
-/// A coalesced write transaction plus how many of its bytes carry payload
-/// (the rest is alignment rounding; on storage paths a partially-valid
-/// transaction needs a read-modify-write cycle).
-struct WriteTxn {
-  access::Transaction txn;
-  std::uint64_t valid_bytes = 0;
-};
+void TraversalEngine::pump_writes(std::uint32_t warp_index) {
+  WarpState& w = warps_[warp_index];
+  while (w.in_flight < params_.warp_mlp && next_write_ < wtxns_.size()) {
+    const auto write_index = static_cast<std::uint32_t>(next_write_++);
+    const WriteTxn& wt = wtxns_[write_index];
+    ++w.in_flight;
+    ++step_result_.write_transactions;
+    step_result_.written_bytes += wt.txn.bytes;
+    step_result_.write_payload_bytes += wt.valid_bytes;
+    if (storage_writes_ && wt.valid_bytes < wt.txn.bytes) {
+      // Partially-valid unit on flash: read-modify-write.
+      ++step_result_.rmw_reads;
+      step_result_.fetched_bytes += wt.txn.bytes;
+      backend_.issue(wt.txn, sim::Callback{listener_, kRmwReadDone,
+                                           warp_index, write_index});
+    } else {
+      backend_.issue_write(wt.txn,
+                           sim::Callback{listener_, kWriteDone, warp_index});
+    }
+  }
+}
+
+EngineResult TraversalEngine::run(const algo::AccessTrace& trace) {
+  EngineResult result;
+  const SimTime run_start = sim_.now();
+
+  for (std::size_t s = 0; s < trace.num_steps(); ++s) {
+    const auto step_reads = trace.step_reads(s);
+    const auto step_writes = trace.step_writes(s);
+    const SimTime step_start = sim_.now();
+
+    reads_ = step_reads.data();
+    num_reads_ = step_reads.size();
+    next_read_ = 0;
+    step_result_ = StepResult{};
+    for (WarpState& w : warps_) {
+      w.txns.clear();
+      w.next_txn = 0;
+      w.in_flight = 0;
+    }
+
+    // Kernel launch, then all warps start pulling work; the simulator run
+    // is the step barrier (the step is done when no events remain).
+    sim_.schedule_after(params_.step_launch_overhead, listener_,
+                        kStepLaunch);
+    sim_.run();
+
+    // Write phase (Sec.-5 extension): result write-back after the level's
+    // reads. Coalesced write transactions fan out over the same warps.
+    if (!step_writes.empty()) {
+      // Memory-path writes cap at one GPU cache line; storage-path writes
+      // may carry up to the alignment unit (>=128 for coarse lines).
+      storage_writes_ = backend_.needs_read_modify_write();
+      const std::uint64_t cap =
+          storage_writes_
+              ? std::max<std::uint64_t>(method_.alignment(), 2048)
+              : access::kGpuCacheLineBytes;
+      coalesce_writes(step_writes, method_.alignment(), cap);
+      next_write_ = 0;
+      for (WarpState& w : warps_) w.in_flight = 0;
+      for (std::uint32_t w = 0; w < warps_.size(); ++w) pump_writes(w);
+      sim_.run();
+    }
+
+    step_result_.duration = sim_.now() - step_start;
+    result.steps.push_back(step_result_);
+    result.used_bytes += step_result_.used_bytes;
+    result.fetched_bytes += step_result_.fetched_bytes;
+    result.transactions += step_result_.transactions;
+    result.sublist_reads += step_result_.sublist_reads;
+    result.write_transactions += step_result_.write_transactions;
+    result.written_bytes += step_result_.written_bytes;
+    result.write_payload_bytes += step_result_.write_payload_bytes;
+    result.rmw_reads += step_result_.rmw_reads;
+  }
+
+  result.total_time = sim_.now() - run_start;
+  return result;
+}
 
 /// Rounds each write to the access alignment and merges adjacent/overlapping
 /// rounded ranges up to `cap` bytes per transaction. Writes arrive sorted
-/// (trace steps are vertex-ID ordered), so one forward pass suffices.
-std::vector<WriteTxn> coalesce_writes(
-    const std::vector<algo::WriteRef>& writes, std::uint32_t alignment,
+/// (trace steps are vertex-ID ordered), so one forward pass suffices. The
+/// output buffer is pooled across steps.
+void TraversalEngine::coalesce_writes(
+    std::span<const algo::WriteRef> writes, std::uint32_t alignment,
     std::uint64_t cap) {
-  std::vector<WriteTxn> out;
+  wtxns_.clear();
   for (const algo::WriteRef& w : writes) {
     const std::uint64_t start = w.addr / alignment * alignment;
     const std::uint64_t end =
         (w.addr + w.bytes + alignment - 1) / alignment * alignment;
-    if (!out.empty()) {
-      WriteTxn& last = out.back();
+    if (!wtxns_.empty()) {
+      WriteTxn& last = wtxns_.back();
       const std::uint64_t last_end = last.txn.addr + last.txn.bytes;
       if (start <= last_end && end - last.txn.addr <= cap) {
         if (end > last_end) {
@@ -57,143 +187,8 @@ std::vector<WriteTxn> coalesce_writes(
     wt.txn.addr = start;
     wt.txn.bytes = static_cast<std::uint32_t>(end - start);
     wt.valid_bytes = w.bytes;
-    out.push_back(wt);
+    wtxns_.push_back(wt);
   }
-  return out;
-}
-
-}  // namespace
-
-TraversalEngine::TraversalEngine(Simulator& sim,
-                                 access::AccessMethod& method,
-                                 access::MemoryBackend& backend,
-                                 const GpuParams& params)
-    : sim_(sim), method_(method), backend_(backend), params_(params) {
-  if (params.num_warps == 0 || params.warp_mlp == 0) {
-    throw std::invalid_argument("TraversalEngine: bad GPU parameters");
-  }
-}
-
-EngineResult TraversalEngine::run(const algo::AccessTrace& trace) {
-  EngineResult result;
-  const SimTime run_start = sim_.now();
-
-  std::vector<WarpState> warps(params_.num_warps);
-
-  for (const auto& trace_step : trace.steps) {
-    StepState state;
-    state.step = &trace_step;
-    const SimTime step_start = sim_.now();
-
-    for (auto& w : warps) {
-      w.txns.clear();
-      w.next_txn = 0;
-      w.in_flight = 0;
-    }
-
-    // pump(w): keep the warp's outstanding-transaction budget full. A warp
-    // whose expansion is exhausted pulls the next frontier vertex from the
-    // shared work queue (dynamic load balancing, as GPU kernels do via
-    // atomic work-list indices).
-    std::function<void(WarpState&)> pump = [&](WarpState& w) {
-      while (w.in_flight < params_.warp_mlp) {
-        if (w.next_txn == w.txns.size()) {
-          bool got_work = false;
-          while (state.next_read < state.step->reads.size()) {
-            const algo::SublistRef& read =
-                state.step->reads[state.next_read++];
-            ++state.result.sublist_reads;
-            state.result.used_bytes += read.byte_len;
-            w.txns.clear();
-            w.next_txn = 0;
-            method_.expand(read, w.txns);
-            if (!w.txns.empty()) {
-              got_work = true;
-              break;
-            }
-            // Full cache hit: the sublist costs no external traffic.
-          }
-          if (!got_work) return;  // work queue drained; warp goes idle
-        }
-        const access::Transaction txn = w.txns[w.next_txn++];
-        ++w.in_flight;
-        ++state.result.transactions;
-        state.result.fetched_bytes += txn.bytes;
-        backend_.issue(txn, [this, &pump, &w]() {
-          sim_.schedule_after(params_.txn_process_overhead, [&pump, &w]() {
-            --w.in_flight;
-            pump(w);
-          });
-        });
-      }
-    };
-
-    // Kernel launch, then all warps start pulling work.
-    sim_.schedule_after(params_.step_launch_overhead, [&]() {
-      for (auto& w : warps) pump(w);
-    });
-    sim_.run();  // barrier: the step is done when no events remain
-
-    // Write phase (Sec.-5 extension): result write-back after the level's
-    // reads. Coalesced write transactions fan out over the same warps.
-    if (!trace_step.writes.empty()) {
-      // Memory-path writes cap at one GPU cache line; storage-path writes
-      // may carry up to the alignment unit (>=128 for coarse lines).
-      const bool storage = backend_.needs_read_modify_write();
-      const std::uint64_t cap =
-          storage ? std::max<std::uint64_t>(method_.alignment(), 2048)
-                  : access::kGpuCacheLineBytes;
-      const std::vector<WriteTxn> wtxns = coalesce_writes(
-          trace_step.writes, method_.alignment(), cap);
-      std::size_t next_write = 0;
-      for (auto& w : warps) w.in_flight = 0;
-
-      std::function<void(WarpState&)> pump_writes = [&](WarpState& w) {
-        while (w.in_flight < params_.warp_mlp &&
-               next_write < wtxns.size()) {
-          const WriteTxn& wt = wtxns[next_write++];
-          ++w.in_flight;
-          ++state.result.write_transactions;
-          state.result.written_bytes += wt.txn.bytes;
-          state.result.write_payload_bytes += wt.valid_bytes;
-          auto complete = [this, &pump_writes, &w]() {
-            sim_.schedule_after(params_.txn_process_overhead,
-                                [&pump_writes, &w]() {
-                                  --w.in_flight;
-                                  pump_writes(w);
-                                });
-          };
-          if (storage && wt.valid_bytes < wt.txn.bytes) {
-            // Partially-valid unit on flash: read-modify-write.
-            ++state.result.rmw_reads;
-            state.result.fetched_bytes += wt.txn.bytes;
-            backend_.issue(wt.txn, [this, txn = wt.txn,
-                                    complete = std::move(complete)]() {
-              backend_.issue_write(txn, std::move(complete));
-            });
-          } else {
-            backend_.issue_write(wt.txn, std::move(complete));
-          }
-        }
-      };
-      for (auto& w : warps) pump_writes(w);
-      sim_.run();
-    }
-
-    state.result.duration = sim_.now() - step_start;
-    result.steps.push_back(state.result);
-    result.used_bytes += state.result.used_bytes;
-    result.fetched_bytes += state.result.fetched_bytes;
-    result.transactions += state.result.transactions;
-    result.sublist_reads += state.result.sublist_reads;
-    result.write_transactions += state.result.write_transactions;
-    result.written_bytes += state.result.written_bytes;
-    result.write_payload_bytes += state.result.write_payload_bytes;
-    result.rmw_reads += state.result.rmw_reads;
-  }
-
-  result.total_time = sim_.now() - run_start;
-  return result;
 }
 
 }  // namespace cxlgraph::gpusim

@@ -16,6 +16,7 @@
 /// exceed N_max = 768, so the PCIe tag budget — not the GPU — binds.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "access/method.hpp"
@@ -91,10 +92,61 @@ class TraversalEngine {
   EngineResult run(const algo::AccessTrace& trace);
 
  private:
+  /// One warp's execution state: the expansion of its current sublist and
+  /// how far it has issued into it. Pooled across steps and traces — the
+  /// transaction buffers keep their capacity, so the steady state issues
+  /// no allocations.
+  struct WarpState {
+    std::vector<access::Transaction> txns;
+    std::size_t next_txn = 0;
+    std::uint32_t in_flight = 0;
+  };
+
+  /// A coalesced write transaction plus how many of its bytes carry
+  /// payload (the rest is alignment rounding; on storage paths a
+  /// partially-valid transaction needs a read-modify-write cycle).
+  struct WriteTxn {
+    access::Transaction txn;
+    std::uint64_t valid_bytes = 0;
+  };
+
+  enum Op : std::uint16_t {
+    kStepLaunch,      ///< kernel launched; all warps start pulling work
+    kReadDone,        ///< a read transaction landed (a = warp index)
+    kReadProcessed,   ///< post-completion processing done; refill the warp
+    kWriteDone,       ///< a write transaction completed (a = warp index)
+    kWriteProcessed,  ///< write bookkeeping done; refill the warp
+    kRmwReadDone,     ///< RMW read landed (a = warp, b = write index)
+  };
+
+  static void on_event(void* self, std::uint16_t opcode, std::uint32_t a,
+                       std::uint32_t b);
+
+  /// Keeps the warp's outstanding-transaction budget full. A warp whose
+  /// expansion is exhausted pulls the next frontier vertex from the shared
+  /// work queue (dynamic load balancing, as GPU kernels do via atomic
+  /// work-list indices). Plain loops over pooled state — no recursion,
+  /// no captured closures.
+  void pump_reads(std::uint32_t warp_index);
+  void pump_writes(std::uint32_t warp_index);
+  void coalesce_writes(std::span<const algo::WriteRef> writes,
+                       std::uint32_t alignment, std::uint64_t cap);
+
   Simulator& sim_;
   access::AccessMethod& method_;
   access::MemoryBackend& backend_;
   GpuParams params_;
+  std::uint16_t listener_ = 0;
+
+  // Per-step replay state (reset at each step; buffers reuse capacity).
+  std::vector<WarpState> warps_;
+  std::vector<WriteTxn> wtxns_;
+  const algo::SublistRef* reads_ = nullptr;
+  std::size_t num_reads_ = 0;
+  std::size_t next_read_ = 0;
+  std::size_t next_write_ = 0;
+  bool storage_writes_ = false;
+  StepResult step_result_;
 };
 
 }  // namespace cxlgraph::gpusim

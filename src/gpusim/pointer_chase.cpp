@@ -40,11 +40,13 @@ PointerChaseResult pointer_chase(sim::Simulator& sim,
     const std::uint64_t addr =
         state->rng.next_below(params.span_bytes / params.read_bytes) *
         params.read_bytes;
+    // Cold path (hundreds of hops): the one-shot closure adapter keeps
+    // the self-referencing chain without a bespoke listener.
     link.memory_read(device, addr, params.read_bytes,
-                     [&sim, hop, params]() {
+                     sim.make_callback([&sim, hop, params]() {
                        sim.schedule_after(params.warp_sync_overhead,
                                           [hop]() { (*hop)(); });
-                     });
+                     }));
   };
   (*hop)();
   sim.run();

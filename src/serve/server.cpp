@@ -54,7 +54,10 @@ struct ServeSim {
   std::uint32_t admitted = 0;
   std::uint32_t completed = 0;
   std::uint32_t shed = 0;
+  std::uint32_t batched = 0;
   std::uint64_t link_bytes = 0;
+  /// batch_identical: queries riding the active replay, per leader.
+  std::vector<std::vector<std::size_t>> followers;
   /// Completed latencies in completion order (streaming-estimator feed).
   std::vector<double> completion_order_latency_us;
 
@@ -68,7 +71,8 @@ struct ServeSim {
            std::vector<QueryRecord>& records_in)
       : config(config_in), spec(spec_in), queries(queries_in),
         profiles(profiles_in), records(records_in),
-        next_step(queries_in.size(), 0) {}
+        next_step(queries_in.size(), 0),
+        followers(config_in.batch_identical ? queries_in.size() : 0) {}
 
   util::SimTime deadline(std::size_t i) const {
     return records[i].arrival + records[i].slo;
@@ -117,6 +121,28 @@ struct ServeSim {
     QueryRecord& r = records[i];
     const QueryProfile& p = profiles[r.profile_index];
     if (next_step[i] == 0) r.first_service = sim.now();
+    if (config.batch_identical) {
+      // Identical waiting queries (same profile => same class shape and
+      // source) ride this replay: one execution answers them all. They
+      // leave the ready queue and complete with the batch. Only queries
+      // that have not started can ride — a preempted leader sitting in
+      // the ready queue (next_step > 0) has consumed stack time and may
+      // carry followers of its own; absorbing it would orphan them and
+      // double-count its spent quanta.
+      for (auto it = ready.begin(); it != ready.end();) {
+        if (next_step[*it] == 0 &&
+            records[*it].profile_index == r.profile_index) {
+          records[*it].batch_follower = true;
+          if (records[*it].first_service == 0) {
+            records[*it].first_service = sim.now();
+          }
+          followers[i].push_back(*it);
+          it = ready.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     const std::size_t remaining = p.step_ps.size() - next_step[i];
     const std::size_t quantum =
         config.policy == SchedulingPolicy::kFifo
@@ -138,20 +164,35 @@ struct ServeSim {
     sim.schedule_after(duration, [this]() { quantum_done(); });
   }
 
+  void complete_one(std::size_t i) {
+    QueryRecord& r = records[i];
+    r.completion = sim.now();
+    r.queue_ps = r.completion - r.arrival - r.service_ps;
+    r.slo_violated = r.completion - r.arrival > r.slo;
+    last_completion = std::max(last_completion, r.completion);
+    completion_order_latency_us.push_back(
+        util::us_from_ps(r.completion - r.arrival));
+    ++completed;
+    if (spec.process == ArrivalProcess::kClosedLoop) {
+      issue_next(static_cast<std::uint32_t>(i % spec.num_clients));
+    }
+  }
+
   void quantum_done() {
     const std::size_t i = active;
     active = kNoQuery;
     QueryRecord& r = records[i];
     if (next_step[i] == profiles[r.profile_index].step_ps.size()) {
-      r.completion = sim.now();
-      r.queue_ps = r.completion - r.arrival - r.service_ps;
-      r.slo_violated = r.completion - r.arrival > r.slo;
-      last_completion = std::max(last_completion, r.completion);
-      completion_order_latency_us.push_back(
-          util::us_from_ps(r.completion - r.arrival));
-      ++completed;
-      if (spec.process == ArrivalProcess::kClosedLoop) {
-        issue_next(static_cast<std::uint32_t>(i % spec.num_clients));
+      complete_one(i);
+      if (config.batch_identical) {
+        // Followers completed by the shared replay: no stack time of
+        // their own (service_ps stays 0), bytes fetched once by the
+        // leader's quanta.
+        for (const std::size_t f : followers[i]) {
+          complete_one(f);
+          ++batched;
+        }
+        followers[i].clear();
       }
     } else {
       ready.push_back(i);
@@ -205,8 +246,39 @@ const std::vector<SchedulingPolicy>& all_policies() {
   return policies;
 }
 
-QueryServer::QueryServer(core::SystemConfig config, unsigned jobs)
-    : config_(std::move(config)), jobs_(jobs), runner_(config_, jobs) {}
+QueryServer::QueryServer(core::SystemConfig config, unsigned jobs,
+                         std::size_t profile_cache_capacity)
+    : config_(std::move(config)),
+      jobs_(jobs),
+      runner_(config_, jobs),
+      profile_cache_capacity_(profile_cache_capacity) {}
+
+bool QueryServer::cache_has(const ProfileKey& key) {
+  return profile_cache_.count(key) != 0;
+}
+
+const QueryProfile& QueryServer::cache_at(const ProfileKey& key) {
+  CacheEntry& entry = profile_cache_.at(key);
+  entry.last_use = ++cache_clock_;
+  return entry.profile;
+}
+
+void QueryServer::cache_put(const ProfileKey& key, QueryProfile profile) {
+  ++profiles_computed_;
+  profile_cache_.insert_or_assign(
+      key, CacheEntry{std::move(profile), ++cache_clock_});
+}
+
+void QueryServer::cache_evict_to_capacity() {
+  if (profile_cache_capacity_ == 0) return;
+  while (profile_cache_.size() > profile_cache_capacity_) {
+    auto victim = profile_cache_.begin();
+    for (auto it = std::next(victim); it != profile_cache_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    profile_cache_.erase(victim);
+  }
+}
 
 ServeReport QueryServer::serve(const graph::CsrGraph& graph,
                                const ServeRequest& request) {
@@ -269,7 +341,7 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
   std::vector<std::size_t> task_slot;
   for (std::size_t k = 0; k < keys.size(); ++k) {
     const QueryClass& cls = mix[keys[k].class_index];
-    if (cls.shards != 1 || profile_cache_.count(keys[k].key) != 0) {
+    if (cls.shards != 1 || cache_has(keys[k].key)) {
       continue;
     }
     task_slot.push_back(k);
@@ -290,7 +362,7 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
   }
   std::vector<QueryProfile> fanned = runner_.map_tasks(tasks);
   for (std::size_t t = 0; t < fanned.size(); ++t) {
-    profile_cache_.emplace(keys[task_slot[t]].key, std::move(fanned[t]));
+    cache_put(keys[task_slot[t]].key, std::move(fanned[t]));
   }
 
   // Shard-spanning profiles route through ClusterRuntime (which fans its
@@ -298,7 +370,7 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
   core::ClusterRuntime cluster(config_, jobs_);
   for (std::size_t k = 0; k < keys.size(); ++k) {
     const QueryClass& cls = mix[keys[k].class_index];
-    if (cls.shards == 1 || profile_cache_.count(keys[k].key) != 0) {
+    if (cls.shards == 1 || cache_has(keys[k].key)) {
       continue;
     }
     core::ClusterRequest creq;
@@ -331,17 +403,20 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
       p.step_ps[j] += cr.exchange_phase_ps[j];
     }
     p.step_bytes = cr.superstep_fetched_bytes;
-    profile_cache_.emplace(keys[k].key, std::move(p));
+    cache_put(keys[k].key, std::move(p));
   }
 
   std::vector<QueryProfile> profiles;
   profiles.reserve(keys.size());
   for (const PendingKey& pending : keys) {
-    profiles.push_back(profile_cache_.at(pending.key));
+    profiles.push_back(cache_at(pending.key));
     // The cached copy carries the class index of whichever serve created
     // it; rebind to this workload's mix (the key ignores slo/weight).
     profiles.back().class_index = pending.class_index;
   }
+  // This serve holds copies of everything it needs; trim the cache for
+  // the next one.
+  cache_evict_to_capacity();
   for (QueryProfile& p : profiles) {
     p.service_ps = 0;
     p.service_bytes = 0;
@@ -373,6 +448,7 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
   report.admitted = simulation.admitted;
   report.completed = simulation.completed;
   report.shed = simulation.shed;
+  report.batched = simulation.batched;
   report.link_bytes = simulation.link_bytes;
   report.makespan_sec = util::sec_from_ps(simulation.last_completion);
 
@@ -388,7 +464,10 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
     queue_total += r.queue_ps;
     service_total += r.service_ps;
     if (!r.slo_violated) ++met_slo;
-    report.query_bytes += profiles[r.profile_index].report.fetched_bytes;
+    // A batch follower's bytes were fetched once, by its leader's replay.
+    if (!r.batch_follower) {
+      report.query_bytes += profiles[r.profile_index].report.fetched_bytes;
+    }
   }
   report.latency_us = util::summarize_percentiles(std::move(latency_us));
   report.queue_us = util::summarize_percentiles(std::move(queue_us));

@@ -69,6 +69,14 @@ struct ServeConfig {
   /// Supersteps served per scheduling turn under the preemptive policies
   /// (round-robin, SLO priority). FIFO ignores it.
   std::uint32_t quantum_supersteps = 4;
+  /// Batch identical queries into one replay: when the stack picks up a
+  /// query, every *waiting* query with the same (class shape, source) —
+  /// i.e. the same profile — rides along, and the whole batch completes
+  /// when the single shared replay does. Real serving traffic is full of
+  /// repeated queries (trending sources), so one execution can answer
+  /// many of them; followers consume no stack time and no link bytes.
+  /// Off by default: the unbatched schedule is the per-query baseline.
+  bool batch_identical = false;
 };
 
 struct ServeRequest {
@@ -112,6 +120,10 @@ struct QueryRecord {
   util::SimTime slo = 0;
   bool shed = false;
   bool slo_violated = false;
+  /// True when this query rode another query's replay (batch_identical):
+  /// it completed with the batch but held the stack for no time of its
+  /// own, and its bytes were fetched once, by the batch leader.
+  bool batch_follower = false;
 };
 
 struct ServeReport {
@@ -124,6 +136,8 @@ struct ServeReport {
   std::uint32_t admitted = 0;
   std::uint32_t completed = 0;
   std::uint32_t shed = 0;
+  /// Completions that were batch followers (batch_identical only).
+  std::uint32_t batched = 0;
 
   /// Simulated time from t=0 to the last completion.
   double makespan_sec = 0.0;
@@ -166,13 +180,27 @@ class QueryServer {
  public:
   /// `jobs` bounds the profiling fan-out (ExperimentRunner semantics:
   /// 0 = hardware concurrency, 1 = serial; results identical either way).
-  explicit QueryServer(core::SystemConfig config, unsigned jobs = 0);
+  /// `profile_cache_capacity` bounds the cross-serve profile cache to that
+  /// many entries, evicted least-recently-used (0 = unbounded). Eviction
+  /// only costs re-profiling on a later serve — results are unaffected.
+  explicit QueryServer(core::SystemConfig config, unsigned jobs = 0,
+                       std::size_t profile_cache_capacity = 0);
 
   /// Runs the workload to completion. Deterministic in (graph, request).
   ServeReport serve(const graph::CsrGraph& graph,
                     const ServeRequest& request);
 
   const core::SystemConfig& config() const noexcept { return config_; }
+
+  std::size_t profile_cache_size() const noexcept {
+    return profile_cache_.size();
+  }
+  /// Idle-stack profile runs performed over this server's lifetime; a
+  /// capacity-bounded cache re-profiles evicted shapes, an unbounded one
+  /// profiles each distinct shape once per graph.
+  std::uint64_t profiles_computed() const noexcept {
+    return profiles_computed_;
+  }
 
  private:
   /// Everything that determines a profile besides the graph: the stack
@@ -183,6 +211,17 @@ class QueryServer {
                  int /*algorithm*/, std::uint32_t /*shards*/,
                  int /*strategy*/, graph::VertexId /*source*/>;
 
+  struct CacheEntry {
+    QueryProfile profile;
+    /// LRU stamp: the serve-scoped access clock at last touch.
+    std::uint64_t last_use = 0;
+  };
+
+  bool cache_has(const ProfileKey& key);
+  const QueryProfile& cache_at(const ProfileKey& key);
+  void cache_put(const ProfileKey& key, QueryProfile profile);
+  void cache_evict_to_capacity();
+
   core::SystemConfig config_;
   unsigned jobs_;
   /// Distinct (class, source) profiles fan out here.
@@ -191,8 +230,13 @@ class QueryServer {
   /// repeated serves — an offered-load sweep, a policy comparison — reuse
   /// them. Invalidated whenever the graph changes, detected by a cheap
   /// content fingerprint (not the address: a different graph reallocated
-  /// at the same address must not reuse stale profiles).
-  std::map<ProfileKey, QueryProfile> profile_cache_;
+  /// at the same address must not reuse stale profiles). Bounded to
+  /// profile_cache_capacity_ entries with LRU eviction (0 = unbounded) so
+  /// a long-lived multi-tenant server cannot grow without limit.
+  std::map<ProfileKey, CacheEntry> profile_cache_;
+  std::size_t profile_cache_capacity_ = 0;
+  std::uint64_t cache_clock_ = 0;
+  std::uint64_t profiles_computed_ = 0;
   std::uint64_t cached_graph_fingerprint_ = 0;
 };
 

@@ -2,13 +2,30 @@
 /// \file event_queue.hpp
 /// Time-ordered event queue for the discrete-event simulator.
 ///
-/// Events at equal timestamps execute in insertion order (a monotonically
-/// increasing sequence number breaks ties), which keeps every simulation
-/// bit-for-bit deterministic.
+/// Events are type-tagged PODs — a listener index, an opcode, and a small
+/// payload — not heap-allocated callables: the queue never touches the
+/// allocator on the steady state, which is what makes the simulation core
+/// allocation-free per event.
+///
+/// Storage exploits the structure of hardware pipelines: almost every
+/// event stream a component schedules is *monotone in time* (a fixed-delay
+/// request hop, a serialized channel's ready times, a link's deliveries,
+/// the per-transaction processing gap — each later than the one before).
+/// The queue therefore keeps one FIFO *lane* per (listener, opcode) class,
+/// appends in O(1) while a stream stays monotone, and falls back to a flat
+/// 4-ary min-heap for the rare out-of-order push. pop() takes the
+/// lexicographic (time, seq) minimum over the lane heads and the heap
+/// front, so the drain order is *exactly* the (time, seq) order a single
+/// heap would produce — lanes are a speed trick, not a semantic: equal
+/// timestamps still execute in push order (the monotonically increasing
+/// sequence number breaks ties), keeping every simulation bit-for-bit
+/// deterministic, and a stream that stops being monotone only loses the
+/// fast path, never its ordering.
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/units.hpp"
@@ -16,42 +33,196 @@
 namespace cxlgraph::sim {
 
 using util::SimTime;
-using EventFn = std::function<void()>;
+
+/// One scheduled event. `listener` indexes the simulator's registered
+/// handler table, `opcode` tells the listener what happened, and `a`/`b`
+/// carry a small payload (a pool slot, a warp index, a flit count...).
+/// 32 bytes — two events per cache line — so sift paths stay cheap.
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint16_t listener = 0;
+  std::uint16_t opcode = 0;
+};
 
 class EventQueue {
  public:
-  void push(SimTime time, EventFn fn) {
-    heap_.push(Entry{time, next_seq_++, std::move(fn)});
+  void push(SimTime time, std::uint16_t listener, std::uint16_t opcode,
+            std::uint32_t a = 0, std::uint32_t b = 0) {
+    const Event e{time, next_seq_++, a, b, listener, opcode};
+    ++count_;
+    Lane& lane = lanes_[lane_for(listener, opcode)];
+    if (lane.events.empty() || time >= lane.events.back().time) {
+      lane.events.push_back(e);  // seq grows monotonically: stays sorted
+    } else {
+      heap_push(e);
+    }
+    min_valid_ = false;  // rescan on next pop/peek
   }
 
-  bool empty() const noexcept { return heap_.empty(); }
-  std::size_t size() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
 
-  SimTime next_time() const { return heap_.top().time; }
+  SimTime next_time() const noexcept {
+    return const_cast<EventQueue*>(this)->find_min().time;
+  }
 
-  /// Removes and returns the earliest event's callable.
-  EventFn pop() {
-    // priority_queue::top() is const; the move is safe because the entry is
-    // popped immediately after.
-    EventFn fn = std::move(const_cast<Entry&>(heap_.top()).fn);
-    heap_.pop();
-    return fn;
+  /// Removes and returns the earliest event. Undefined when empty().
+  Event pop() {
+    const Event e = find_min();
+    if (min_lane_ == kHeapLane) {
+      heap_pop();
+    } else {
+      Lane& lane = lanes_[min_lane_];
+      ++lane.head;
+      if (lane.head == lane.events.size()) {
+        lane.events.clear();
+        lane.head = 0;
+      } else if (lane.head >= 1024 && lane.head * 2 >= lane.events.size()) {
+        // Steady-state lanes never fully drain; compact the served prefix
+        // occasionally (amortized O(1)) so memory stays bounded.
+        lane.events.erase(lane.events.begin(),
+                          lane.events.begin() +
+                              static_cast<std::ptrdiff_t>(lane.head));
+        lane.head = 0;
+      }
+    }
+    --count_;
+    min_valid_ = false;
+    return e;
   }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;
-    EventFn fn;
+  static constexpr std::size_t kArity = 4;
+  static constexpr std::uint32_t kHeapLane = 0xffffffffu;
+  /// Beyond this many distinct (listener, opcode) classes, the rest share
+  /// the heap — ordering is unaffected, only the fast path.
+  static constexpr std::size_t kMaxLanes = 48;
 
-    bool operator>(const Entry& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+  struct Lane {
+    std::uint32_t key = 0;
+    std::size_t head = 0;
+    std::vector<Event> events;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  static bool before(const Event& x, const Event& y) noexcept {
+    if (x.time != y.time) return x.time < y.time;
+    return x.seq < y.seq;
+  }
+
+  /// Maps (listener, opcode) to a lane via a small open-addressed table.
+  std::size_t lane_for(std::uint16_t listener, std::uint16_t opcode) {
+    const std::uint32_t key =
+        (static_cast<std::uint32_t>(listener) << 16) | opcode;
+    std::size_t slot = (key * 0x9e3779b1u) & (kTableSize - 1);
+    for (;;) {
+      const std::int32_t entry = table_[slot];
+      if (entry >= 0 && lanes_[static_cast<std::size_t>(entry)].key == key) {
+        return static_cast<std::size_t>(entry);
+      }
+      if (entry < 0) {
+        if (lanes_.size() >= kMaxLanes) return overflow_lane();
+        lanes_.push_back(Lane{key, 0, {}});
+        table_[slot] = static_cast<std::int32_t>(lanes_.size() - 1);
+        return lanes_.size() - 1;
+      }
+      slot = (slot + 1) & (kTableSize - 1);
+    }
+  }
+
+  /// Shared lane of last resort once the table is full; it is almost never
+  /// monotone, so its pushes effectively land in the heap.
+  std::size_t overflow_lane() {
+    if (lanes_.empty() || lanes_[0].key != 0xffffffffu) {
+      lanes_.insert(lanes_.begin(), Lane{0xffffffffu, 0, {}});
+      // Table entries shift by one; rebuild.
+      rebuild_table();
+    }
+    return 0;
+  }
+
+  void rebuild_table() {
+    table_.assign(kTableSize, -1);
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i].key == 0xffffffffu) continue;
+      std::size_t slot = (lanes_[i].key * 0x9e3779b1u) & (kTableSize - 1);
+      while (table_[slot] >= 0) slot = (slot + 1) & (kTableSize - 1);
+      table_[slot] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  const Event& cached_min() const {
+    return min_lane_ == kHeapLane ? heap_.front()
+                                  : lanes_[min_lane_]
+                                        .events[lanes_[min_lane_].head];
+  }
+
+  /// Scans lane heads + heap front for the (time, seq) minimum.
+  const Event& find_min() {
+    if (min_valid_) return cached_min();
+    const Event* best = nullptr;
+    std::uint32_t best_lane = kHeapLane;
+    if (!heap_.empty()) best = &heap_.front();
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      const Lane& lane = lanes_[i];
+      if (lane.head == lane.events.size()) continue;
+      const Event& head = lane.events[lane.head];
+      if (best == nullptr || before(head, *best)) {
+        best = &head;
+        best_lane = static_cast<std::uint32_t>(i);
+      }
+    }
+    min_lane_ = best_lane;
+    min_valid_ = true;
+    return *best;
+  }
+
+  // Both sift directions move a hole instead of swapping — one 32-byte
+  // copy per level rather than three.
+  void heap_push(const Event& e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);  // placeholder; overwritten below
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void heap_pop() {
+    const Event back = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + kArity, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], back)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = back;
+  }
+
+  static constexpr std::size_t kTableSize = 128;
+
+  std::vector<Event> heap_;  // implicit 4-ary min-heap on (time, seq)
+  std::vector<Lane> lanes_;
+  std::vector<std::int32_t> table_ = std::vector<std::int32_t>(kTableSize, -1);
+  std::size_t count_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint32_t min_lane_ = kHeapLane;
+  bool min_valid_ = false;
 };
 
 }  // namespace cxlgraph::sim

@@ -2,15 +2,29 @@
 
 namespace cxlgraph::sim {
 
+Simulator::Simulator() {
+  // Listener 0: the closure trampoline backing the std::function fallback.
+  add_listener(this, &Simulator::closure_trampoline);
+}
+
+void Simulator::closure_trampoline(void* self, std::uint16_t /*opcode*/,
+                                   std::uint32_t a, std::uint32_t /*b*/) {
+  auto* sim = static_cast<Simulator*>(self);
+  // Free the slot before running: the closure may schedule more closures.
+  EventFn fn = std::move(sim->closures_[a]);
+  sim->closures_.release(a);
+  fn();
+}
+
 std::uint64_t Simulator::run(std::uint64_t max_events) {
   std::uint64_t count = 0;
   while (!queue_.empty()) {
     if (count >= max_events) {
       throw std::runtime_error("Simulator::run: event budget exceeded");
     }
-    now_ = queue_.next_time();
-    EventFn fn = queue_.pop();
-    fn();
+    const Event ev = queue_.pop();
+    now_ = ev.time;
+    execute(ev);
     ++count;
   }
   processed_ += count;
@@ -24,9 +38,9 @@ std::uint64_t Simulator::run_until(SimTime deadline,
     if (count >= max_events) {
       throw std::runtime_error("Simulator::run_until: event budget exceeded");
     }
-    now_ = queue_.next_time();
-    EventFn fn = queue_.pop();
-    fn();
+    const Event ev = queue_.pop();
+    now_ = ev.time;
+    execute(ev);
     ++count;
   }
   if (now_ < deadline && queue_.empty()) {

@@ -1,0 +1,47 @@
+#pragma once
+/// \file slot_pool.hpp
+/// Free-listed slot pool for POD-ish per-request state.
+///
+/// The event-driven device models keep in-flight request state in pools
+/// and put the slot *index* in the event payload instead of capturing
+/// state in a closure. acquire() reuses the most recently released slot
+/// (LIFO keeps the working set cache-hot) or grows the backing vector;
+/// release() resets the slot to a default-constructed T so stale
+/// callbacks or pointers cannot leak across requests. Indices stay valid
+/// across growth (only the backing storage reallocates), so they are
+/// safe to carry through scheduled events.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cxlgraph::util {
+
+template <typename T>
+class SlotPool {
+ public:
+  std::uint32_t acquire(T value) {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      slots_[slot] = std::move(value);
+      return slot;
+    }
+    slots_.push_back(std::move(value));
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void release(std::uint32_t slot) {
+    slots_[slot] = T{};
+    free_.push_back(slot);
+  }
+
+  T& operator[](std::uint32_t slot) { return slots_[slot]; }
+  const T& operator[](std::uint32_t slot) const { return slots_[slot]; }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace cxlgraph::util

@@ -12,7 +12,19 @@ namespace cxlgraph::util {
 /// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
 class OnlineStats {
  public:
-  void add(double x) noexcept;
+  void add(double x) noexcept {
+    if (count_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = x < min_ ? x : min_;
+      max_ = x > max_ ? x : max_;
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
 
   std::uint64_t count() const noexcept { return count_; }
   double mean() const noexcept { return count_ ? mean_ : 0.0; }

@@ -272,17 +272,18 @@ TEST(Trace, SkipsZeroDegreeVertices) {
 TEST(Trace, OffsetsAreSublistByteOffsets) {
   const CsrGraph g = graph::make_star(4);
   const AccessTrace t = build_trace(g, {{0}});
-  ASSERT_EQ(t.steps.size(), 1u);
-  ASSERT_EQ(t.steps[0].reads.size(), 1u);
-  EXPECT_EQ(t.steps[0].reads[0].byte_offset, g.sublist_byte_offset(0));
-  EXPECT_EQ(t.steps[0].reads[0].byte_len, g.sublist_bytes(0));
+  ASSERT_EQ(t.num_steps(), 1u);
+  const auto reads = t.step_reads(0);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].byte_offset, g.sublist_byte_offset(0));
+  EXPECT_EQ(reads[0].byte_len, g.sublist_bytes(0));
 }
 
 TEST(Trace, SequentialTraceCoversWholeEdgeList) {
   const CsrGraph g = graph::generate_uniform(512, 8.0, {});
   const AccessTrace t = build_sequential_trace(g, 2);
   EXPECT_EQ(t.total_sublist_bytes, 2 * g.edge_list_bytes());
-  EXPECT_EQ(t.steps.size(), 2u);
+  EXPECT_EQ(t.num_steps(), 2u);
 }
 
 TEST(Trace, AvgSublistBytesIsConsistent) {

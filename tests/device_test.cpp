@@ -34,7 +34,7 @@ TEST(Pcie, SingleReadLatencyDecomposes) {
   HostDram dram(sim, dp);
 
   SimTime completion = 0;
-  link.memory_read(dram, 0, 128, [&] { completion = sim.now(); });
+  link.memory_read(dram, 0, 128, sim.make_callback([&] { completion = sim.now(); }));
   sim.run();
   // request overhead + dram (latency + channel slot) + serialization +
   // response overhead.
@@ -57,11 +57,10 @@ TEST(Pcie, BandwidthCapsThroughput) {
   int done = 0;
   SimTime last = 0;
   for (int i = 0; i < reads; ++i) {
-    link.memory_read(dram, static_cast<std::uint64_t>(i) * bytes, bytes,
-                     [&] {
+    link.memory_read(dram, static_cast<std::uint64_t>(i) * bytes, bytes, sim.make_callback([&] {
                        ++done;
                        last = sim.now();
-                     });
+                     }));
   }
   sim.run();
   EXPECT_EQ(done, reads);
@@ -84,8 +83,7 @@ TEST(Pcie, TagLimitEnforcesLittlesLaw) {
   const std::uint32_t bytes = 128;
   SimTime last = 0;
   for (int i = 0; i < reads; ++i) {
-    link.memory_read(dram, static_cast<std::uint64_t>(i) * bytes, bytes,
-                     [&] { last = sim.now(); });
+    link.memory_read(dram, static_cast<std::uint64_t>(i) * bytes, bytes, sim.make_callback([&] { last = sim.now(); }));
   }
   sim.run();
   const double observed_latency_us =
@@ -107,9 +105,9 @@ TEST(Pcie, NeverExceedsTagBudget) {
   dp.access_latency = ps_from_us(4.0);
   HostDram dram(sim, dp);
   for (int i = 0; i < 5'000; ++i) {
-    link.memory_read(dram, static_cast<std::uint64_t>(i) * 128, 128, [&] {
+    link.memory_read(dram, static_cast<std::uint64_t>(i) * 128, 128, sim.make_callback([&] {
       EXPECT_LE(link.tags_in_use(), lp.n_max);
-    });
+    }));
   }
   sim.run();
   EXPECT_LE(link.stats().tags_in_use.max(),
@@ -124,10 +122,10 @@ TEST(Pcie, StorageDeliveriesShareBandwidthButNotTags) {
   SimTime last = 0;
   const int deliveries = 10'000;
   for (int i = 0; i < deliveries; ++i) {
-    link.storage_deliver(4096, [&] {
+    link.storage_deliver(4096, sim.make_callback([&] {
       ++done;
       last = sim.now();
-    });
+    }));
   }
   sim.run();
   EXPECT_EQ(done, deliveries);
@@ -155,8 +153,8 @@ TEST(HostDram, SocketHopAddsLatency) {
   HostDram b(sim, remote, "remote");
   SimTime t_local = 0;
   SimTime t_remote = 0;
-  a.read(0, 128, [&] { t_local = sim.now(); });
-  b.read(0, 128, [&] { t_remote = sim.now(); });
+  a.read(0, 128, sim.make_callback([&] { t_local = sim.now(); }));
+  b.read(0, 128, sim.make_callback([&] { t_remote = sim.now(); }));
   sim.run();
   EXPECT_EQ(t_remote - t_local, ps_from_ns(100));
 }
@@ -164,8 +162,8 @@ TEST(HostDram, SocketHopAddsLatency) {
 TEST(HostDram, StatsAccumulate) {
   Simulator sim;
   HostDram dram(sim, HostDramParams{});
-  dram.read(0, 64, [] {});
-  dram.read(64, 64, [] {});
+  dram.read(0, 64, sim.make_callback([] {}));
+  dram.read(64, 64, sim.make_callback([] {}));
   sim.run();
   EXPECT_EQ(dram.stats().requests, 2u);
   EXPECT_EQ(dram.stats().bytes, 128u);
@@ -183,8 +181,8 @@ TEST(Cxl, AddedLatencyDelaysCompletion) {
 
   SimTime t0 = 0;
   SimTime t2 = 0;
-  dev0.read(0, 64, [&] { t0 = sim.now(); });
-  dev2.read(0, 64, [&] { t2 = sim.now(); });
+  dev0.read(0, 64, sim.make_callback([&] { t0 = sim.now(); }));
+  dev2.read(0, 64, sim.make_callback([&] { t2 = sim.now(); }));
   sim.run();
   // The latency bridge releases at stamp + added latency, so the delta is
   // (almost exactly) the programmed 2 us.
@@ -194,7 +192,7 @@ TEST(Cxl, AddedLatencyDelaysCompletion) {
 TEST(Cxl, LargeReadsSplitIntoFlits) {
   Simulator sim;
   CxlDevice dev(sim, CxlDeviceParams{}, "dev");
-  dev.read(0, 128, [] {});
+  dev.read(0, 128, sim.make_callback([] {}));
   sim.run();
   // One 128 B read = 2 flits worth of channel work; stats count the
   // original request.
@@ -210,7 +208,7 @@ TEST(Cxl, FlitTagBudgetRespected) {
   CxlDevice dev(sim, p, "dev");
   int done = 0;
   for (int i = 0; i < 100; ++i) {
-    dev.read(static_cast<std::uint64_t>(i) * 128, 128, [&] { ++done; });
+    dev.read(static_cast<std::uint64_t>(i) * 128, 128, sim.make_callback([&] { ++done; }));
     EXPECT_LE(dev.flits_in_flight(), p.device_tags);
   }
   sim.run();
@@ -226,8 +224,7 @@ TEST(Cxl, InOrderBridgeMonotonePops) {
   CxlDevice dev(sim, p, "dev");
   std::vector<SimTime> completions;
   for (int i = 0; i < 32; ++i) {
-    dev.read(static_cast<std::uint64_t>(i) * 64, 64,
-             [&] { completions.push_back(sim.now()); });
+    dev.read(static_cast<std::uint64_t>(i) * 64, 64, sim.make_callback([&] { completions.push_back(sim.now()); }));
   }
   sim.run();
   ASSERT_EQ(completions.size(), 32u);
@@ -245,8 +242,7 @@ TEST(Cxl, ChannelBandwidthCapsThroughput) {
   // Issue in waves bounded by tags; completions trigger nothing, so just
   // flood: the tag queue inside the device handles backpressure.
   for (int i = 0; i < reads; ++i) {
-    dev.read(static_cast<std::uint64_t>(i) * 64, 64,
-             [&] { last = sim.now(); });
+    dev.read(static_cast<std::uint64_t>(i) * 64, 64, sim.make_callback([&] { last = sim.now(); }));
   }
   sim.run();
   const double mbps =
@@ -265,8 +261,7 @@ TEST(Cxl, ThroughputDropsWithAddedLatency) {
     SimTime last = 0;
     const int reads = 20'000;
     for (int i = 0; i < reads; ++i) {
-      dev.read(static_cast<std::uint64_t>(i) * 64, 64,
-               [&] { last = sim.now(); });
+      dev.read(static_cast<std::uint64_t>(i) * 64, 64, sim.make_callback([&] { last = sim.now(); }));
     }
     sim.run();
     return util::mbps_from(static_cast<std::uint64_t>(reads) * 64, last);
@@ -285,7 +280,7 @@ TEST(CxlPool, InterleavesAcrossDevices) {
   CxlMemoryPool pool(sim, CxlDeviceParams{}, 4, 4096);
   // Touch one page per device.
   for (std::uint64_t p = 0; p < 4; ++p) {
-    pool.read(p * 4096, 64, [] {});
+    pool.read(p * 4096, 64, sim.make_callback([] {}));
   }
   sim.run();
   for (unsigned i = 0; i < 4; ++i) {
@@ -297,7 +292,7 @@ TEST(CxlPool, AggregateStatsSumAcrossDevices) {
   Simulator sim;
   CxlMemoryPool pool(sim, CxlDeviceParams{}, 3, 4096);
   for (int i = 0; i < 30; ++i) {
-    pool.read(static_cast<std::uint64_t>(i) * 4096, 64, [] {});
+    pool.read(static_cast<std::uint64_t>(i) * 4096, 64, sim.make_callback([] {}));
   }
   sim.run();
   EXPECT_EQ(pool.stats().requests, 30u);
@@ -334,10 +329,10 @@ TEST(Storage, IopsCapsRequestRate) {
   SimTime last = 0;
   int done = 0;
   for (int i = 0; i < requests; ++i) {
-    drive.submit(static_cast<std::uint64_t>(i) * 512, 512, [&] {
+    drive.submit(static_cast<std::uint64_t>(i) * 512, 512, sim.make_callback([&] {
       ++done;
       last = sim.now();
-    });
+    }));
   }
   sim.run();
   EXPECT_EQ(done, requests);
@@ -355,8 +350,7 @@ TEST(Storage, SmallReadsDoNotBeatIops) {
     SimTime last = 0;
     const int requests = 5'000;
     for (int i = 0; i < requests; ++i) {
-      drive.submit(static_cast<std::uint64_t>(i) * 4096, bytes,
-                   [&] { last = sim.now(); });
+      drive.submit(static_cast<std::uint64_t>(i) * 4096, bytes, sim.make_callback([&] { last = sim.now(); }));
     }
     sim.run();
     return static_cast<double>(requests) / util::sec_from_ps(last);
@@ -371,7 +365,7 @@ TEST(Storage, QueueDepthNeverExceeded) {
   p.queue_depth = 8;
   StorageDrive drive(sim, link, p);
   for (int i = 0; i < 200; ++i) {
-    drive.submit(static_cast<std::uint64_t>(i) * 16, 16, [] {});
+    drive.submit(static_cast<std::uint64_t>(i) * 16, 16, sim.make_callback([] {}));
   }
   sim.run();
   EXPECT_LE(drive.stats().peak_outstanding, 8u);
@@ -382,7 +376,7 @@ TEST(Storage, RejectsOversizeTransfer) {
   Simulator sim;
   PcieLink link(sim, pcie_x16(PcieGen::kGen4));
   StorageDrive drive(sim, link, xlfdd_drive_params());
-  EXPECT_THROW(drive.submit(0, 4096, [] {}), std::invalid_argument);
+  EXPECT_THROW(drive.submit(0, 4096, sim.make_callback([] {})), std::invalid_argument);
 }
 
 TEST(StorageArray, RoutesByStripe) {
@@ -391,7 +385,7 @@ TEST(StorageArray, RoutesByStripe) {
   StorageArray array(sim, link, xlfdd_drive_params(), 4, 8192);
   int done = 0;
   for (std::uint64_t s = 0; s < 8; ++s) {
-    array.submit(s * 8192, 256, [&] { ++done; });
+    array.submit(s * 8192, 256, sim.make_callback([&] { ++done; }));
   }
   sim.run();
   EXPECT_EQ(done, 8);
@@ -404,7 +398,7 @@ TEST(StorageArray, SplitsStraddlingRequests) {
   StorageArray array(sim, link, xlfdd_drive_params(), 4, 8192);
   int done = 0;
   // 1 kB read crossing the first stripe boundary: two parts, one `done`.
-  array.submit(8192 - 512, 1024, [&] { ++done; });
+  array.submit(8192 - 512, 1024, sim.make_callback([&] { ++done; }));
   sim.run();
   EXPECT_EQ(done, 1);
   EXPECT_EQ(array.aggregate_stats().requests, 2u);
@@ -430,7 +424,7 @@ TEST(StorageArray, AggregateIopsScaleWithDrives) {
     const int requests = 10'000;
     for (int i = 0; i < requests; ++i) {
       const std::uint64_t addr = rng.next_below(1u << 20) * 4096ull;
-      array.submit(addr, 512, [&] { last = sim.now(); });
+      array.submit(addr, 512, sim.make_callback([&] { last = sim.now(); }));
     }
     sim.run();
     return static_cast<double>(requests) / util::sec_from_ps(last);

@@ -71,7 +71,7 @@ TEST(Dobfs, TraceStepsAlignWithLevels) {
   const auto hybrid =
       algo::bfs_direction_optimizing(g, algo::pick_source(g, 3));
   const auto trace = algo::build_dobfs_trace(g, hybrid);
-  EXPECT_LE(trace.steps.size(), hybrid.bfs.frontiers.size());
+  EXPECT_LE(trace.num_steps(), hybrid.bfs.frontiers.size());
 }
 
 TEST(Dobfs, OutOfRangeSourceThrows) {

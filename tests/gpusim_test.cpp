@@ -55,7 +55,7 @@ TEST(Engine, ConservesBytes) {
   // Everything the engine issued actually crossed the link.
   EXPECT_EQ(r.fetched_bytes, link.stats().bytes_delivered);
   EXPECT_GE(r.fetched_bytes, r.used_bytes);  // uncached: RAF >= 1
-  EXPECT_EQ(r.steps.size(), trace.steps.size());
+  EXPECT_EQ(r.steps.size(), trace.num_steps());
 }
 
 TEST(Engine, StepDurationsSumToTotal) {

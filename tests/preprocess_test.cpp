@@ -190,15 +190,13 @@ TEST(Layout, TraceWithNaturalLayoutEqualsPlainTrace) {
   const auto plain = algo::build_trace(g, frontiers);
   const auto via_layout = algo::build_trace_with_layout(
       g, frontiers, graph::EdgeListLayout::natural(g));
-  ASSERT_EQ(plain.steps.size(), via_layout.steps.size());
+  ASSERT_EQ(plain.num_steps(), via_layout.num_steps());
   EXPECT_EQ(plain.total_sublist_bytes, via_layout.total_sublist_bytes);
-  for (std::size_t s = 0; s < plain.steps.size(); ++s) {
-    ASSERT_EQ(plain.steps[s].reads.size(),
-              via_layout.steps[s].reads.size());
-    for (std::size_t i = 0; i < plain.steps[s].reads.size(); ++i) {
-      EXPECT_EQ(plain.steps[s].reads[i].byte_offset,
-                via_layout.steps[s].reads[i].byte_offset);
-    }
+  ASSERT_EQ(plain.read_arena.size(), via_layout.read_arena.size());
+  EXPECT_EQ(plain.step_ends, via_layout.step_ends);
+  for (std::size_t i = 0; i < plain.read_arena.size(); ++i) {
+    EXPECT_EQ(plain.read_arena[i].byte_offset,
+              via_layout.read_arena[i].byte_offset);
   }
 }
 
@@ -248,7 +246,7 @@ TEST(RafModel, PredictsUncachedSequentialScanRaf) {
 TEST(RafModel, PaddedPredictionMatchesPaddedLayoutExactly) {
   const CsrGraph g = graph::generate_uniform(2048, 16.0, {});
   const auto trace = algo::build_trace_with_layout(
-      g, algo::build_sequential_trace(g, 1).steps.empty()
+      g, algo::build_sequential_trace(g, 1).num_steps() == 0
              ? std::vector<std::vector<VertexId>>{}
              : std::vector<std::vector<VertexId>>{[&] {
                  std::vector<VertexId> all(g.num_vertices());

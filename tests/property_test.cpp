@@ -37,8 +37,7 @@ double memory_path_throughput(const PcieLinkParams& lp,
   HostDram dram(sim, dp);
   SimTime last = 0;
   for (int i = 0; i < reads; ++i) {
-    link.memory_read(dram, static_cast<std::uint64_t>(i) * bytes, bytes,
-                     [&] { last = sim.now(); });
+    link.memory_read(dram, static_cast<std::uint64_t>(i) * bytes, bytes, sim.make_callback([&] { last = sim.now(); }));
   }
   sim.run();
   return util::mbps_from(static_cast<std::uint64_t>(reads) * bytes, last);
@@ -52,8 +51,7 @@ double storage_throughput(const StorageDriveParams& p, std::uint32_t bytes,
   StorageDrive drive(sim, link, p);
   SimTime last = 0;
   for (int i = 0; i < reads; ++i) {
-    drive.submit(static_cast<std::uint64_t>(i) * bytes, bytes,
-                 [&] { last = sim.now(); });
+    drive.submit(static_cast<std::uint64_t>(i) * bytes, bytes, sim.make_callback([&] { last = sim.now(); }));
   }
   sim.run();
   return util::mbps_from(static_cast<std::uint64_t>(reads) * bytes, last);
@@ -82,8 +80,7 @@ TEST_P(LittlesLawRegime, DesMatchesModelWithinTenPercent) {
   SimTime last = 0;
   const int reads = 30'000;
   for (int i = 0; i < reads; ++i) {
-    link.memory_read(dram, static_cast<std::uint64_t>(i) * bytes, bytes,
-                     [&] { last = sim.now(); });
+    link.memory_read(dram, static_cast<std::uint64_t>(i) * bytes, bytes, sim.make_callback([&] { last = sim.now(); }));
   }
   sim.run();
   const double measured_mbps =
@@ -201,8 +198,7 @@ TEST(Conservation, EveryIssuedReadCompletesExactlyOnce) {
   std::vector<int> completions(5'000, 0);
   for (int i = 0; i < 5'000; ++i) {
     const std::uint32_t bytes = 32u * (1 + rng.next_below(4));
-    link.memory_read(dram, rng.next_below(1 << 28), bytes,
-                     [&completions, i] { ++completions[i]; });
+    link.memory_read(dram, rng.next_below(1 << 28), bytes, sim.make_callback([&completions, i] { ++completions[i]; }));
   }
   sim.run();
   for (int i = 0; i < 5'000; ++i) EXPECT_EQ(completions[i], 1) << i;
@@ -228,14 +224,14 @@ TEST(Conservation, MixedMemoryAndStorageTrafficSharesOneLink) {
   std::uint64_t bytes_total = 0;
   SimTime last = 0;
   for (int i = 0; i < 10'000; ++i) {
-    link.memory_read(dram, static_cast<std::uint64_t>(i) * 128, 128, [&] {
+    link.memory_read(dram, static_cast<std::uint64_t>(i) * 128, 128, sim.make_callback([&] {
       bytes_total += 128;
       last = sim.now();
-    });
-    drive.submit(static_cast<std::uint64_t>(i) * 2048, 2048, [&] {
+    }));
+    drive.submit(static_cast<std::uint64_t>(i) * 2048, 2048, sim.make_callback([&] {
       bytes_total += 2048;
       last = sim.now();
-    });
+    }));
   }
   sim.run();
   const double mbps = util::mbps_from(bytes_total, last);

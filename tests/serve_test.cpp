@@ -303,5 +303,130 @@ TEST(QueryServer, ShardSpanningQueriesRouteThroughCluster) {
   }
 }
 
+// ------------------------------------------- batching identical queries ----
+
+/// A saturating stream of *identical* queries (one class, one source).
+serve::ServeRequest identical_request(double offered_qps,
+                                      std::uint32_t num_queries) {
+  serve::ServeRequest req;
+  req.base.backend = core::BackendKind::kCxl;
+  req.workload.seed = kSeed;
+  req.workload.offered_qps = offered_qps;
+  req.workload.num_queries = num_queries;
+  req.workload.source_pool = 1;  // every query hits the same profile
+  serve::QueryClass bfs;
+  bfs.algorithm = core::Algorithm::kBfs;
+  bfs.slo = util::ps_from_us(5'000.0);
+  req.workload.mix = {bfs};
+  return req;
+}
+
+TEST(QueryServer, BatchingIdenticalQueriesImprovesMakespan) {
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer server(core::table3_system());
+  serve::ServeRequest req = identical_request(1.0e6, 24);
+
+  const serve::ServeReport solo = server.serve(g, req);
+  req.config.batch_identical = true;
+  const serve::ServeReport batched = server.serve(g, req);
+
+  EXPECT_EQ(batched.completed, solo.completed);
+  EXPECT_GT(batched.batched, 0u);
+  EXPECT_EQ(solo.batched, 0u);
+  // One replay answers a whole backlog of identical queries.
+  EXPECT_LT(batched.makespan_sec, solo.makespan_sec);
+  EXPECT_LT(batched.latency_us.p99, solo.latency_us.p99);
+  // Followers hold the stack for no time of their own and their bytes are
+  // fetched once — conservation must still balance.
+  EXPECT_TRUE(batched.conservation_ok());
+  EXPECT_LT(batched.link_bytes, solo.link_bytes);
+}
+
+TEST(QueryServer, BatchingNeverBatchesDistinctProfiles) {
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer server(core::table3_system());
+  serve::ServeRequest req = mixed_request(1.0e5, 24);
+  req.config.batch_identical = true;
+  const serve::ServeReport r = server.serve(g, req);
+  EXPECT_TRUE(r.conservation_ok());
+  for (const serve::QueryRecord& rec : r.queries) {
+    if (!rec.batch_follower || rec.shed) continue;
+    // A follower's completion must match some non-follower of the same
+    // profile (its batch leader).
+    bool found_leader = false;
+    for (const serve::QueryRecord& other : r.queries) {
+      if (!other.batch_follower && !other.shed &&
+          other.profile_index == rec.profile_index &&
+          other.completion == rec.completion) {
+        found_leader = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found_leader) << "follower " << rec.id << " has no leader";
+    EXPECT_EQ(rec.service_ps, 0u);
+    EXPECT_EQ(rec.service_bytes, 0u);
+  }
+}
+
+TEST(QueryServer, BatchingUnderPreemptionCompletesEveryAdmittedQuery) {
+  // Regression: a preempted batch leader re-queued mid-flight must not be
+  // absorbed as another query's follower (that would orphan its own
+  // followers and leave them incomplete forever).
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer server(core::table3_system());
+  serve::ServeRequest req = identical_request(2.0e5, 32);
+  req.config.batch_identical = true;
+  for (const serve::SchedulingPolicy policy : serve::all_policies()) {
+    req.config.policy = policy;
+    req.config.quantum_supersteps = 1;  // maximal preemption churn
+    const serve::ServeReport r = server.serve(g, req);
+    EXPECT_EQ(r.completed, r.admitted) << serve::to_string(policy);
+    EXPECT_TRUE(r.conservation_ok()) << serve::to_string(policy);
+    for (const serve::QueryRecord& rec : r.queries) {
+      if (!rec.shed) {
+        EXPECT_GT(rec.completion, 0u) << serve::to_string(policy)
+                                      << " query " << rec.id;
+      }
+    }
+  }
+}
+
+TEST(QueryServer, BatchingIsDeterministic) {
+  const graph::CsrGraph g = test_graph();
+  serve::ServeRequest req = identical_request(5.0e5, 32);
+  req.config.batch_identical = true;
+  req.config.policy = serve::SchedulingPolicy::kSloPriority;
+  serve::QueryServer a(core::table3_system());
+  serve::QueryServer b(core::table3_system());
+  expect_records_identical(a.serve(g, req), b.serve(g, req));
+}
+
+// ------------------------------------------------ profile-cache eviction ----
+
+TEST(QueryServer, ProfileCacheEvictionBoundsMemoryNotResults) {
+  const graph::CsrGraph g = test_graph();
+  serve::ServeRequest req = mixed_request(1.0e5, 32);
+  req.workload.source_pool = 6;  // several distinct profiles
+
+  serve::QueryServer unbounded(core::table3_system());
+  serve::QueryServer bounded(core::table3_system(), /*jobs=*/0,
+                             /*profile_cache_capacity=*/2);
+  const serve::ServeReport a = unbounded.serve(g, req);
+  const serve::ServeReport b = bounded.serve(g, req);
+  // Eviction is a memory policy, not a semantic one.
+  expect_records_identical(a, b);
+  EXPECT_GT(unbounded.profile_cache_size(), 2u);
+  EXPECT_LE(bounded.profile_cache_size(), 2u);
+
+  // A repeat serve hits the unbounded cache fully but must re-profile the
+  // evicted shapes on the bounded server — same results either way.
+  const std::uint64_t before = bounded.profiles_computed();
+  const serve::ServeReport a2 = unbounded.serve(g, req);
+  const serve::ServeReport b2 = bounded.serve(g, req);
+  expect_records_identical(a2, b2);
+  EXPECT_EQ(unbounded.profiles_computed(), a.profiles.size());
+  EXPECT_GT(bounded.profiles_computed(), before);
+}
+
 }  // namespace
 }  // namespace cxlgraph

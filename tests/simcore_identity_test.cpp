@@ -1,0 +1,132 @@
+/// Bit-identity contract of the discrete-event core.
+///
+/// The event core was rewritten from std::function callbacks on a
+/// priority_queue to type-tagged POD events on FIFO lanes + a 4-ary heap;
+/// these checksums were captured from the *pre-rewrite* core and pin every
+/// simulated report bit-for-bit — runtime seconds, byte counts,
+/// transactions, link latency statistics — on all seven backends, the
+/// write-back and delta-stepping paths, and a sharded cluster run. The
+/// core may get faster; it may not drift by one bit. Regenerate the
+/// constants (bench_simcore --print-golden prints the overlapping set)
+/// only for an intentional behaviour change, and say so in the PR.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/cluster_runtime.hpp"
+#include "core/runtime.hpp"
+#include "core/system_config.hpp"
+#include "graph/generate.hpp"
+
+namespace cxlgraph {
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t x) { h = (h ^ x) * 0x100000001b3ULL; }
+  void mix_double(double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+};
+
+std::uint64_t checksum_report(const core::RunReport& r) {
+  Fnv f;
+  f.mix_double(r.runtime_sec);
+  f.mix(r.used_bytes);
+  f.mix(r.fetched_bytes);
+  f.mix(r.transactions);
+  f.mix(r.steps);
+  f.mix(r.frontier_vertices);
+  f.mix(r.written_bytes);
+  f.mix(r.write_transactions);
+  f.mix(r.rmw_reads);
+  f.mix(r.source);
+  f.mix_double(r.observed_read_latency_us);
+  f.mix_double(r.avg_outstanding_reads);
+  return f.h;
+}
+
+graph::CsrGraph golden_graph() {
+  graph::GeneratorOptions opts;
+  opts.seed = 42;
+  opts.max_weight = 64;
+  return graph::generate_uniform(1 << 10, 16.0, opts);
+}
+
+struct BackendGolden {
+  core::BackendKind backend;
+  std::uint64_t checksum;
+};
+
+// Captured from the std::function/priority_queue core at commit "serving
+// subsystem" (pre core-swap), urand scale 10, seed 42, BFS.
+// clang-format off
+constexpr BackendGolden kBfsGoldens[] = {
+    {core::BackendKind::kHostDram,       0xa2792c8c8f14dfa4ULL},
+    {core::BackendKind::kHostDramRemote, 0xa98095382bb6ef72ULL},
+    {core::BackendKind::kCxl,            0xc4a94a71a38f9ea3ULL},
+    {core::BackendKind::kXlfdd,          0x8e5bd2573e59865fULL},
+    {core::BackendKind::kBamNvme,        0x48d666b706712423ULL},
+    {core::BackendKind::kUvm,            0xa6fdc565e60baa2fULL},
+    {core::BackendKind::kTieredDramCxl,  0xcd7c85cafa4e750bULL},
+};
+// clang-format on
+
+TEST(SimCoreIdentity, BfsReportsMatchPreRewriteCoreOnAllBackends) {
+  const graph::CsrGraph g = golden_graph();
+  core::ExternalGraphRuntime runtime(core::table3_system());
+  core::RunRequest req;
+  req.algorithm = core::Algorithm::kBfs;
+  for (const BackendGolden& golden : kBfsGoldens) {
+    req.backend = golden.backend;
+    const std::uint64_t sum = checksum_report(runtime.run(g, req));
+    EXPECT_EQ(sum, golden.checksum)
+        << "simulated results drifted on backend "
+        << core::to_string(golden.backend);
+  }
+}
+
+TEST(SimCoreIdentity, WritePathAndDeltaReportsMatchPreRewriteCore) {
+  const graph::CsrGraph g = golden_graph();
+  core::ExternalGraphRuntime runtime(core::table3_system());
+  core::RunRequest req;
+
+  req.algorithm = core::Algorithm::kBfsWriteback;
+  req.backend = core::BackendKind::kXlfdd;
+  EXPECT_EQ(checksum_report(runtime.run(g, req)), 0x0727c11793c29d3aULL)
+      << "write-back drifted on the storage (RMW) path";
+  req.backend = core::BackendKind::kCxl;
+  EXPECT_EQ(checksum_report(runtime.run(g, req)), 0x5daa40f86dd2bdaeULL)
+      << "write-back drifted on the memory (coherency) path";
+
+  req.algorithm = core::Algorithm::kSsspDelta;
+  EXPECT_EQ(checksum_report(runtime.run(g, req)), 0x2286d2cffbdec8a1ULL)
+      << "delta-stepping replay drifted";
+}
+
+TEST(SimCoreIdentity, ClusterReportMatchesPreRewriteCore) {
+  const graph::CsrGraph g = golden_graph();
+  core::ClusterRuntime cluster(core::table3_system(), /*jobs=*/1);
+  core::ClusterRequest creq;
+  creq.run.algorithm = core::Algorithm::kBfs;
+  creq.run.backend = core::BackendKind::kCxl;
+  creq.num_shards = 2;
+  const core::ClusterReport r = cluster.run(g, creq);
+
+  Fnv f;
+  f.mix_double(r.runtime_sec);
+  f.mix(r.fetched_bytes);
+  f.mix(r.used_bytes);
+  f.mix(r.transactions);
+  f.mix(r.supersteps);
+  f.mix(r.exchange_bytes);
+  for (const util::SimTime t : r.superstep_compute_ps) f.mix(t);
+  for (const util::SimTime t : r.exchange_phase_ps) f.mix(t);
+  EXPECT_EQ(f.h, 0xd814731d761153acULL)
+      << "sharded cluster composition drifted";
+}
+
+}  // namespace
+}  // namespace cxlgraph

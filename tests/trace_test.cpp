@@ -21,11 +21,12 @@ TEST(TraceOrdering, StepsAreVertexIdSorted) {
   const CsrGraph g = graph::generate_uniform(1024, 8.0, {});
   const auto frontiers = bfs(g, pick_source(g, 1)).frontiers;
   const AccessTrace trace = build_trace(g, frontiers);
-  for (const auto& step : trace.steps) {
-    for (std::size_t i = 1; i < step.reads.size(); ++i) {
-      EXPECT_LE(step.reads[i - 1].vertex, step.reads[i].vertex);
+  for (std::size_t s = 0; s < trace.num_steps(); ++s) {
+    const auto reads = trace.step_reads(s);
+    for (std::size_t i = 1; i < reads.size(); ++i) {
+      EXPECT_LE(reads[i - 1].vertex, reads[i].vertex);
       // Sorted vertices => sorted byte offsets (CSR layout is monotone).
-      EXPECT_LE(step.reads[i - 1].byte_offset, step.reads[i].byte_offset);
+      EXPECT_LE(reads[i - 1].byte_offset, reads[i].byte_offset);
     }
   }
 }
@@ -35,11 +36,11 @@ TEST(TraceChunking, HubSublistsSplitAtChunkLimit) {
   // ceil(8000/2048) = 4 chunks.
   const CsrGraph g = graph::make_star(1000);
   const AccessTrace trace = build_trace(g, {{0}});
-  ASSERT_EQ(trace.steps.size(), 1u);
-  EXPECT_EQ(trace.steps[0].reads.size(), 4u);
+  ASSERT_EQ(trace.num_steps(), 1u);
+  EXPECT_EQ(trace.step_reads(0).size(), 4u);
   std::uint64_t covered = 0;
   std::uint64_t expected_offset = g.sublist_byte_offset(0);
-  for (const auto& read : trace.steps[0].reads) {
+  for (const auto& read : trace.step_reads(0)) {
     EXPECT_LE(read.byte_len, kMaxWorkChunkBytes);
     EXPECT_EQ(read.byte_offset, expected_offset);  // contiguous chunks
     EXPECT_EQ(read.vertex, 0u);
@@ -52,8 +53,8 @@ TEST(TraceChunking, HubSublistsSplitAtChunkLimit) {
 TEST(TraceChunking, SmallSublistsStayWhole) {
   const CsrGraph g = graph::make_star(10);  // 80 B hub sublist
   const AccessTrace trace = build_trace(g, {{0}});
-  ASSERT_EQ(trace.steps[0].reads.size(), 1u);
-  EXPECT_EQ(trace.steps[0].reads[0].byte_len, 80u);
+  ASSERT_EQ(trace.step_reads(0).size(), 1u);
+  EXPECT_EQ(trace.step_reads(0)[0].byte_len, 80u);
 }
 
 TEST(TraceChunking, TotalsCountChunks) {
@@ -72,25 +73,16 @@ TEST(TraceIo, RoundTrip) {
   const AccessTrace loaded = load_trace(buffer);
   EXPECT_EQ(loaded.total_sublist_bytes, original.total_sublist_bytes);
   EXPECT_EQ(loaded.total_reads, original.total_reads);
-  ASSERT_EQ(loaded.steps.size(), original.steps.size());
-  for (std::size_t s = 0; s < loaded.steps.size(); ++s) {
-    ASSERT_EQ(loaded.steps[s].reads.size(), original.steps[s].reads.size());
-    for (std::size_t i = 0; i < loaded.steps[s].reads.size(); ++i) {
-      EXPECT_EQ(loaded.steps[s].reads[i].vertex,
-                original.steps[s].reads[i].vertex);
-      EXPECT_EQ(loaded.steps[s].reads[i].byte_offset,
-                original.steps[s].reads[i].byte_offset);
-      EXPECT_EQ(loaded.steps[s].reads[i].byte_len,
-                original.steps[s].reads[i].byte_len);
-    }
-  }
+  ASSERT_EQ(loaded.num_steps(), original.num_steps());
+  EXPECT_EQ(loaded.step_ends, original.step_ends);
+  EXPECT_EQ(loaded.read_arena, original.read_arena);
 }
 
 TEST(TraceIo, EmptyTraceRoundTrips) {
   std::stringstream buffer;
   save_trace(AccessTrace{}, buffer);
   const AccessTrace loaded = load_trace(buffer);
-  EXPECT_TRUE(loaded.steps.empty());
+  EXPECT_EQ(loaded.num_steps(), 0u);
   EXPECT_EQ(loaded.total_reads, 0u);
 }
 

@@ -31,7 +31,7 @@ TEST(LinkWrites, WriteCompletesAndCountsBytes) {
   PcieLink link(sim, device::pcie_x16(PcieGen::kGen4));
   device::HostDram dram(sim, device::HostDramParams{});
   bool done = false;
-  link.memory_write(dram, 0, 64, [&] { done = true; });
+  link.memory_write(dram, 0, 64, sim.make_callback([&] { done = true; }));
   sim.run();
   EXPECT_TRUE(done);
   EXPECT_EQ(link.stats().memory_writes, 1u);
@@ -48,9 +48,9 @@ TEST(LinkWrites, WritesShareTheTagBudgetWithReads) {
   int completions = 0;
   for (int i = 0; i < 2'000; ++i) {
     link.memory_read(dram, static_cast<std::uint64_t>(i) * 64, 64,
-                     [&] { ++completions; });
+                     sim.make_callback([&] { ++completions; }));
     link.memory_write(dram, static_cast<std::uint64_t>(i) * 64, 64,
-                      [&] { ++completions; });
+                      sim.make_callback([&] { ++completions; }));
     EXPECT_LE(link.tags_in_use(), lp.n_max);
   }
   sim.run();
@@ -70,8 +70,8 @@ TEST(LinkWrites, UpstreamDoesNotStealDownstreamBandwidth) {
     const int reads = 10'000;
     for (int i = 0; i < reads; ++i) {
       link.memory_read(dram, static_cast<std::uint64_t>(i) * 128, 128,
-                       [&] { last = sim.now(); });
-      if (with_writes) link.upstream_transfer(128, [] {});
+                       sim.make_callback([&] { last = sim.now(); }));
+      if (with_writes) link.upstream_transfer(128, sim.make_callback([] {}));
     }
     sim.run();
     return util::mbps_from(static_cast<std::uint64_t>(reads) * 128, last);
@@ -105,7 +105,7 @@ TEST(DeviceWrites, DefaultDeviceIsReadOnly) {
   };
   Simulator sim;
   ReadOnlyDevice dev(sim);
-  EXPECT_THROW(dev.write(0, 64, [] {}), std::logic_error);
+  EXPECT_THROW(dev.write(0, 64, sim.make_callback([] {})), std::logic_error);
 }
 
 TEST(DeviceWrites, CxlWriteSlowerThanReadByCoherency) {
@@ -114,12 +114,12 @@ TEST(DeviceWrites, CxlWriteSlowerThanReadByCoherency) {
   device::CxlDevice dev(sim, p, "dev");
   SimTime read_done = 0;
   SimTime write_done = 0;
-  dev.read(0, 64, [&] { read_done = sim.now(); });
+  dev.read(0, 64, sim.make_callback([&] { read_done = sim.now(); }));
   sim.run();
   const SimTime read_latency = read_done;
   Simulator sim2;
   device::CxlDevice dev2(sim2, p, "dev2");
-  dev2.write(0, 64, [&] { write_done = sim2.now(); });
+  dev2.write(0, 64, sim2.make_callback([&] { write_done = sim2.now(); }));
   sim2.run();
   EXPECT_EQ(write_done - read_latency, p.write_coherency_overhead);
 }
@@ -130,7 +130,7 @@ TEST(DeviceWrites, StorageWriteDominatedByProgramLatency) {
   device::StorageDriveParams p = device::xlfdd_drive_params();
   device::StorageDrive drive(sim, link, p);
   SimTime done_at = 0;
-  drive.submit_write(0, 512, [&] { done_at = sim.now(); });
+  drive.submit_write(0, 512, sim.make_callback([&] { done_at = sim.now(); }));
   sim.run();
   EXPECT_GE(done_at, p.program_latency);
   EXPECT_LT(done_at, p.program_latency + ps_from_us(5.0));
@@ -146,7 +146,7 @@ TEST(DeviceWrites, WriteIopsCapSustainedRate) {
   SimTime last = 0;
   for (int i = 0; i < writes; ++i) {
     drive.submit_write(static_cast<std::uint64_t>(i) * 512, 512,
-                       [&] { last = sim.now(); });
+                       sim.make_callback([&] { last = sim.now(); }));
   }
   sim.run();
   const double iops =
@@ -174,10 +174,8 @@ TEST(EngineWrites, WritebackTraceHasOneWritePerReachedVertex) {
 TEST(EngineWrites, WritesLandInResultRegion) {
   const graph::CsrGraph g = graph::generate_uniform(512, 8.0, {});
   const auto trace = writeback_trace(g, 2);
-  for (const auto& step : trace.steps) {
-    for (const auto& w : step.writes) {
-      EXPECT_GE(w.addr, g.edge_list_bytes());
-    }
+  for (const auto& w : trace.write_arena) {
+    EXPECT_GE(w.addr, g.edge_list_bytes());
   }
 }
 
