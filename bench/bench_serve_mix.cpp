@@ -15,6 +15,13 @@
 /// isolated-run bytes != bytes accounted quantum-by-quantum at the shared
 /// link), if the exact percentiles are not ordered p50 <= p95 <= p99, or
 /// if FIFO latency improves when the offered load rises.
+///
+/// --soak replaces the sweep with a sustained-load soak: one long serve at
+/// a fixed load factor with the stack's thermal-throttling model enabled
+/// (budget derived from a cold calibration run), reporting p99 over equal
+/// makespan windows. Fails (exit 1) if the hot run's sustained-window p99
+/// does not end up strictly above its cold-start-window p99.
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -75,6 +82,103 @@ double probe_capacity_qps(serve::QueryServer& server,
   return 1.0e6 / probe.service_us.mean;
 }
 
+/// Sustained-load soak with the stack thermal model on. The thermal budget
+/// is calibrated from a cold (model-off) run of the same workload so the
+/// soak throttles at any graph scale: the heat rate is the cold run's
+/// link-byte rate, cooling absorbs half of it, and the budget is a small
+/// fraction of the total heat the run deposits.
+int run_soak(serve::ServeRequest request, const graph::CsrGraph& g,
+             unsigned jobs, double load_factor, std::size_t windows,
+             bool csv) {
+  request.config.policy = serve::SchedulingPolicy::kFifo;
+
+  serve::QueryServer cold_server(core::table3_system(), jobs);
+  const double capacity_qps = probe_capacity_qps(cold_server, g, request);
+  request.workload.offered_qps = capacity_qps * load_factor;
+  const serve::ServeReport cold = cold_server.serve(g, request);
+  if (cold.completed == 0 || cold.makespan_sec <= 0.0) {
+    throw std::runtime_error("soak: cold run completed no queries");
+  }
+
+  core::SystemConfig hot_config = core::table3_system();
+  device::ThermalParams thermal;
+  thermal.enabled = true;
+  const double total_heat_mb =
+      static_cast<double>(cold.link_bytes) / 1.0e6;
+  thermal.heat_per_mb = 1.0;
+  thermal.cool_per_sec = 0.5 * total_heat_mb / cold.makespan_sec;
+  thermal.throttle_threshold = std::max(total_heat_mb * 0.05, 1e-6);
+  thermal.hysteresis = 0.9;
+  thermal.throttle_factor = 0.5;
+  hot_config.cxl.thermal = thermal;
+  hot_config.storage_thermal = thermal;
+
+  serve::QueryServer hot_server(std::move(hot_config), jobs);
+  const serve::ServeReport hot = hot_server.serve(g, request);
+
+  const std::vector<serve::SoakWindow> cold_windows =
+      serve::soak_windows(cold, windows);
+  const std::vector<serve::SoakWindow> hot_windows =
+      serve::soak_windows(hot, windows);
+
+  if (!csv) {
+    std::cout << "=== Serving soak: sustained load x"
+              << util::fmt(load_factor, 2) << " with thermal throttling "
+                 "===\n"
+              << "capacity: " << util::fmt(capacity_qps, 1)
+              << " qps, throttled quanta: " << hot.throttled_quanta
+              << ", peak heat: " << util::fmt(hot.stack_peak_heat, 1)
+              << " (budget " << util::fmt(thermal.throttle_threshold, 1)
+              << ")\n\n";
+  }
+  util::TablePrinter table({"Window", "Start [s]", "End [s]", "Completed",
+                            "Cold p99 [ms]", "Hot p99 [ms]"});
+  for (std::size_t w = 0; w < hot_windows.size(); ++w) {
+    table.add_row({std::to_string(w),
+                   util::fmt(hot_windows[w].start_sec, 4),
+                   util::fmt(hot_windows[w].end_sec, 4),
+                   std::to_string(hot_windows[w].completed),
+                   util::fmt(w < cold_windows.size()
+                                 ? cold_windows[w].p99_us / 1e3
+                                 : 0.0,
+                             3),
+                   util::fmt(hot_windows[w].p99_us / 1e3, 3)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  int failures = 0;
+  if (!hot.conservation_ok()) {
+    std::cerr << "soak: CONSERVATION FAILED: link bytes " << hot.link_bytes
+              << " != query bytes " << hot.query_bytes << "\n";
+    ++failures;
+  }
+  if (hot.throttled_quanta == 0) {
+    std::cerr << "soak: thermal model never throttled\n";
+    ++failures;
+  }
+  // The acceptance property: sustained-load p99 strictly above the
+  // cold-start p99 of the same (hot) run.
+  const serve::SoakWindow& first = hot_windows.front();
+  const serve::SoakWindow& last = hot_windows.back();
+  if (!(last.p99_us > first.p99_us)) {
+    std::cerr << "soak: sustained p99 (" << util::fmt(last.p99_us, 1)
+              << " us) not above cold-start p99 ("
+              << util::fmt(first.p99_us, 1) << " us)\n";
+    ++failures;
+  }
+  if (failures > 0) {
+    std::cerr << "soak: " << failures << " check(s) failed\n";
+    return 1;
+  }
+  std::cerr << "serve_mix soak OK\n";
+  return 0;
+}
+
 int run_serve_mix(int argc, char** argv) {
   util::CliParser cli;
   cli.add_option("dataset", "urand | kron | friendster", "urand");
@@ -104,6 +208,12 @@ int run_serve_mix(int argc, char** argv) {
   cli.add_flag("smoke",
                "reduced sweep + conservation/ordering checks; exit 1 on "
                "failure");
+  cli.add_flag("soak",
+               "sustained-load soak with thermal throttling; windowed p99 "
+               "over time, exit 1 if sustained p99 <= cold-start p99");
+  cli.add_option("soak-load", "soak offered load (x capacity)", "0.8");
+  cli.add_option("soak-windows", "makespan windows in the soak report",
+                 "6");
   cli.add_flag("csv", "emit CSV instead of an aligned table");
   cli.add_flag("verbose", "log per-run progress to stderr");
   if (!cli.parse(argc, argv)) return 0;
@@ -156,6 +266,17 @@ int run_serve_mix(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.get_int("quantum"));
   base.config.max_waiting =
       static_cast<std::uint32_t>(cli.get_int("queue-cap"));
+
+  if (cli.get_bool("soak")) {
+    const double load = cli.get_double("soak-load");
+    const auto windows =
+        static_cast<std::size_t>(cli.get_int("soak-windows"));
+    if (!(load > 0.0) || windows == 0) {
+      throw std::invalid_argument("--soak-load/--soak-windows must be > 0");
+    }
+    return run_soak(base, g, static_cast<unsigned>(jobs), load, windows,
+                    cli.get_bool("csv"));
+  }
 
   const double capacity_qps = probe_capacity_qps(server, g, base);
 

@@ -129,6 +129,24 @@ std::uint64_t checksum_serve(const serve::ServeReport& r) {
   return f.h;
 }
 
+/// Soak rows fold the p99-over-time trajectory, not just the end state:
+/// a thermal-model change that shifts *when* the stack throttles moves a
+/// window percentile even if the aggregate tail happens to match.
+std::uint64_t checksum_soak(const serve::ServeReport& r) {
+  Fnv f;
+  f.mix(r.completed);
+  f.mix(r.throttled_quanta);
+  f.mix(r.link_bytes);
+  f.mix_double(r.stack_peak_heat);
+  f.mix_double(r.makespan_sec);
+  for (const serve::SoakWindow& w : serve::soak_windows(r, 4)) {
+    f.mix(w.completed);
+    f.mix_double(w.p50_us);
+    f.mix_double(w.p99_us);
+  }
+  return f.h;
+}
+
 // ---------------------------------------------------------------------------
 // Replay stacks: the same composition ExternalGraphRuntime builds, assembled
 // here by hand so the harness can read Simulator::events_processed().
@@ -280,6 +298,7 @@ constexpr Golden kGoldens[] = {
     {"sssp-delta/cxl",       0x2286d2cffbdec8a1ULL},
     {"cluster-bfs-x2/cxl",   0xd814731d761153acULL},
     {"serve-mix/cxl",        0x3a7130d4619d4a3bULL},
+    {"serve-soak-throttled/cxl", 0x9f350cf45ef2e614ULL},
 };
 // clang-format on
 
@@ -309,6 +328,44 @@ serve::ServeRequest smoke_serve_request() {
   req.workload.mix = {bfs, scan};
   req.config.policy = serve::SchedulingPolicy::kSloPriority;
   return req;
+}
+
+/// The sustained-load soak with the stack thermal model on: a cold
+/// (model-off) FIFO serve calibrates the thermal budget — the heat rate is
+/// the cold run's link-byte rate, cooling absorbs half of it, the budget
+/// is 5% of the total heat deposited — then the same workload runs hot.
+/// Both serves are deterministic, so the hot report checksums stably at
+/// any graph scale.
+serve::ServeReport run_throttled_soak(const graph::CsrGraph& g) {
+  serve::ServeRequest req = smoke_serve_request();
+  req.config.policy = serve::SchedulingPolicy::kFifo;
+  serve::QueryServer cold(core::table3_system(), /*jobs=*/1);
+  // Probe serve: mean isolated service time sets the stack's capacity;
+  // the soak itself offers 0.8x of it so queueing amplifies the
+  // throttled quanta into a rising tail (both serves share the cold
+  // server's profile cache).
+  const serve::ServeReport probe = cold.serve(g, req);
+  if (probe.completed == 0 || probe.service_us.mean <= 0.0) {
+    throw std::runtime_error("soak: probe serve completed no queries");
+  }
+  req.workload.offered_qps = 0.8 * (1.0e6 / probe.service_us.mean);
+  const serve::ServeReport c = cold.serve(g, req);
+  if (c.completed == 0 || c.makespan_sec <= 0.0) {
+    throw std::runtime_error("soak: cold serve completed no queries");
+  }
+  const double total_heat_mb = static_cast<double>(c.link_bytes) / 1.0e6;
+  device::ThermalParams thermal;
+  thermal.enabled = true;
+  thermal.heat_per_mb = 1.0;
+  thermal.cool_per_sec = 0.5 * total_heat_mb / c.makespan_sec;
+  thermal.throttle_threshold = std::max(total_heat_mb * 0.05, 1e-6);
+  thermal.hysteresis = 0.9;
+  thermal.throttle_factor = 0.5;
+  core::SystemConfig cfg = core::table3_system();
+  cfg.cxl.thermal = thermal;
+  cfg.storage_thermal = thermal;
+  serve::QueryServer hot(std::move(cfg), /*jobs=*/1);
+  return hot.serve(g, req);
 }
 
 /// Computes the smoke identity suite: one checksum per golden row.
@@ -341,6 +398,7 @@ std::vector<std::uint64_t> compute_identity_checksums(
 
   serve::QueryServer server(cfg, /*jobs=*/1);
   sums.push_back(checksum_serve(server.serve(g, smoke_serve_request())));
+  sums.push_back(checksum_soak(run_throttled_soak(g)));
   return sums;
 }
 
@@ -519,6 +577,25 @@ int run_simcore(int argc, char** argv) {
     row.wall_sec = seconds_since(start);
     row.checksum = checksum_serve(sr);
     row.work_items = sr.completed;
+    rows.push_back(row);
+  }
+
+  {
+    // p99-over-time under thermal throttling (cold calibration + hot run).
+    BenchRow row;
+    row.name = "serve_soak_throttled_cxl";
+    const auto start = Clock::now();
+    const serve::ServeReport sr = run_throttled_soak(g);
+    row.wall_sec = seconds_since(start);
+    row.checksum = checksum_soak(sr);
+    row.work_items = sr.throttled_quanta;
+    const std::vector<serve::SoakWindow> windows = serve::soak_windows(sr, 4);
+    if (sr.throttled_quanta == 0 ||
+        !(windows.back().p99_us > windows.front().p99_us)) {
+      std::cerr << "IDENTITY MISMATCH serve_soak_throttled_cxl: sustained "
+                   "p99 not above cold-start p99\n";
+      identity_ok = false;
+    }
     rows.push_back(row);
   }
 

@@ -85,8 +85,12 @@ RunStack build_stack(const SystemConfig& cfg, const RunRequest& req,
       break;
     }
     case BackendKind::kXlfdd: {
-      s.storage_array =
-          device::make_xlfdd_array(s.sim, *s.link, cfg.xlfdd_drives);
+      device::StorageDriveParams sp = device::xlfdd_drive_params();
+      sp.thermal = cfg.storage_thermal;
+      sp.endurance = cfg.storage_endurance;
+      sp.qd_curve = cfg.storage_qd_curve;
+      s.storage_array = std::make_unique<device::StorageArray>(
+          s.sim, *s.link, sp, cfg.xlfdd_drives, device::kXlfddStripeBytes);
       access::XlfddDirectParams xp = cfg.xlfdd;
       if (req.alignment) xp.alignment = *req.alignment;
       s.method = std::make_unique<access::XlfddDirectAccess>(xp);
@@ -96,8 +100,12 @@ RunStack build_stack(const SystemConfig& cfg, const RunRequest& req,
       break;
     }
     case BackendKind::kBamNvme: {
-      s.storage_array =
-          device::make_nvme_array(s.sim, *s.link, cfg.nvme_drives);
+      device::StorageDriveParams sp = device::nvme_drive_params();
+      sp.thermal = cfg.storage_thermal;
+      sp.endurance = cfg.storage_endurance;
+      sp.qd_curve = cfg.storage_qd_curve;
+      s.storage_array = std::make_unique<device::StorageArray>(
+          s.sim, *s.link, sp, cfg.nvme_drives, device::kNvmeStripeBytes);
       access::BamParams bp = cfg.bam;
       if (req.alignment) bp.line_bytes = *req.alignment;
       bp.cache_bytes =
@@ -227,6 +235,10 @@ TraceRunResult ExternalGraphRuntime::run_trace(
   report.observed_read_latency_us =
       stack.link->stats().memory_read_latency_us.mean();
   report.avg_outstanding_reads = stack.link->stats().tags_in_use.mean();
+  report.link_return_busy_sec =
+      util::sec_from_ps(stack.link->stats().return_busy_time);
+  report.link_upstream_busy_sec =
+      util::sec_from_ps(stack.link->stats().upstream_busy_time);
   report.written_bytes = engine_result.written_bytes;
   report.write_transactions = engine_result.write_transactions;
   report.rmw_reads = engine_result.rmw_reads;

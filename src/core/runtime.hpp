@@ -59,6 +59,11 @@ struct RunReport {
   // Link-level observations (memory path only where applicable).
   double observed_read_latency_us = 0.0;
   double avg_outstanding_reads = 0.0;
+  /// Active-transfer time per full-duplex link half, in simulated seconds.
+  /// Utilization = busy / runtime per direction; the halves are reported
+  /// separately because they saturate independently.
+  double link_return_busy_sec = 0.0;
+  double link_upstream_busy_sec = 0.0;
 
   // Write-side numbers (Sec.-5 extension; zero for read-only workloads).
   std::uint64_t written_bytes = 0;

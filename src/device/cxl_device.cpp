@@ -13,6 +13,7 @@ CxlDevice::CxlDevice(Simulator& sim, const CxlDeviceParams& params,
   if (params.flit_bytes == 0 || params.device_tags == 0) {
     throw std::invalid_argument("CxlDevice: bad parameters");
   }
+  validate(params.thermal);
   listener_ = sim_.add_listener(this, &CxlDevice::on_event);
   caps_.name = std::move(name);
   caps_.min_alignment = 1;
@@ -41,8 +42,18 @@ void CxlDevice::admit_flit(std::uint32_t parent_slot) {
 
   // Single-channel DRAM: serialize the flit, then the access latency.
   const SimTime slot_start = std::max(channel_busy_until_, arrival);
-  const auto transfer = static_cast<SimTime>(
+  auto transfer = static_cast<SimTime>(
       static_cast<double>(params_.flit_bytes) * ps_per_byte_ + 0.5);
+  if (params_.thermal.enabled) {
+    // Sustained channel traffic heats the card; while throttled the
+    // channel serializes flits at throttle_factor of its rated bandwidth.
+    const double mult =
+        thermal_.charge(params_.thermal, arrival, params_.flit_bytes);
+    if (mult > 1.0) {
+      transfer =
+          static_cast<SimTime>(static_cast<double>(transfer) * mult + 0.5);
+    }
+  }
   channel_busy_until_ = slot_start + transfer;
   const SimTime dram_ready = channel_busy_until_ + params_.dram_latency;
 

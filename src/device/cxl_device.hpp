@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "device/device.hpp"
+#include "device/state_model.hpp"
 #include "util/slot_pool.hpp"
 #include "util/units.hpp"
 
@@ -50,6 +51,10 @@ struct CxlDeviceParams {
   /// write access there will be ... cache coherency" overheads). Models
   /// the snoop/ownership round the host must run before committing.
   SimTime write_coherency_overhead = util::ps_from_ns(100);
+  /// Thermal throttling of the onboard channel (CXLSSDEval-shaped; see
+  /// state_model.hpp). Defaults OFF, keeping the default path
+  /// bit-identical to the time-invariant baseline.
+  ThermalParams thermal;
 };
 
 class CxlDevice final : public MemoryDevice {
@@ -65,6 +70,14 @@ class CxlDevice final : public MemoryDevice {
 
   const CxlDeviceParams& params() const noexcept { return params_; }
   std::uint32_t flits_in_flight() const noexcept { return flits_in_flight_; }
+
+  /// Thermal observables (0 / false while params().thermal is off).
+  double heat() const noexcept { return thermal_.heat(); }
+  double peak_heat() const noexcept { return thermal_.peak_heat(); }
+  bool throttled() const noexcept { return thermal_.throttled(); }
+  std::uint64_t throttled_flits() const noexcept {
+    return thermal_.throttled_ops();
+  }
 
   /// Reprograms the latency bridge (the real prototype exposes this as a
   /// register behind CXL.io).
@@ -113,6 +126,7 @@ class CxlDevice final : public MemoryDevice {
   SimTime channel_busy_until_ = 0;
   /// Latency-bridge FIFO ordering: pops are monotone in time.
   SimTime last_pop_time_ = 0;
+  ThermalState thermal_;
 };
 
 /// Address-interleaved pool of CXL devices (NUMA page interleaving in the

@@ -152,6 +152,7 @@ SimTime PcieLink::serialize_upstream(std::uint32_t bytes) {
   const auto transfer =
       static_cast<SimTime>(static_cast<double>(bytes) * ps_per_byte_ + 0.5);
   upstream_busy_until_ = start + transfer;
+  stats_.upstream_busy_time += transfer;
   return upstream_busy_until_;
 }
 
@@ -160,7 +161,7 @@ SimTime PcieLink::serialize_return(std::uint32_t bytes) {
   const auto transfer =
       static_cast<SimTime>(static_cast<double>(bytes) * ps_per_byte_ + 0.5);
   return_busy_until_ = start + transfer;
-  stats_.busy_time += transfer;
+  stats_.return_busy_time += transfer;
   return return_busy_until_;
 }
 

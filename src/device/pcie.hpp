@@ -53,8 +53,16 @@ struct PcieLinkStats {
   util::OnlineStats memory_read_latency_us;
   /// Outstanding-tag count sampled at each memory-read issue.
   util::OnlineStats tags_in_use;
-  /// Simulated time the return path spent actively transferring.
-  SimTime busy_time = 0;
+  /// Simulated time the return (device -> GPU) half spent transferring.
+  SimTime return_busy_time = 0;
+  /// Simulated time the upstream (GPU -> device) half spent transferring.
+  /// The link is full duplex, so the two are tracked independently; both
+  /// memory-path writes and storage write-payload DMA charge this half.
+  SimTime upstream_busy_time = 0;
+  /// Total active-transfer time across both halves.
+  SimTime busy_time() const noexcept {
+    return return_busy_time + upstream_busy_time;
+  }
 };
 
 /// The link. All GPU-visible external-memory traffic flows through one

@@ -18,12 +18,20 @@ StorageDrive::StorageDrive(Simulator& sim, PcieLink& link,
       params.max_transfer == 0) {
     throw std::invalid_argument("StorageDrive: bad parameters");
   }
+  validate(params.thermal);
+  validate(params.endurance);
+  validate(params.qd_curve);
+  state_dependent_ = params.thermal.enabled || params.endurance.enabled ||
+                     params.qd_curve.enabled;
   listener_ = sim_.add_listener(this, &StorageDrive::on_event);
 }
 
 void StorageDrive::submit(std::uint64_t addr, std::uint32_t bytes,
                           DoneFn done) {
   (void)addr;  // media layout does not affect random-read timing
+  if (bytes == 0) {
+    throw std::invalid_argument("StorageDrive: zero-byte transfer");
+  }
   if (bytes > params_.max_transfer) {
     throw std::invalid_argument("StorageDrive: transfer exceeds max");
   }
@@ -44,11 +52,15 @@ void StorageDrive::submit(std::uint64_t addr, std::uint32_t bytes,
 void StorageDrive::submit_write(std::uint64_t addr, std::uint32_t bytes,
                                 DoneFn done) {
   (void)addr;
+  if (bytes == 0) {
+    throw std::invalid_argument("StorageDrive: zero-byte write");
+  }
   if (bytes > params_.max_transfer) {
     throw std::invalid_argument("StorageDrive: write exceeds max transfer");
   }
   ++stats_.requests;
   stats_.bytes += bytes;
+  stats_.written_bytes += bytes;
   const std::uint32_t slot =
       pool_.acquire(Pending{bytes, /*is_write=*/true, done, 0});
   if (outstanding_ >= params_.queue_depth) {
@@ -86,23 +98,51 @@ void StorageDrive::finish(std::uint32_t slot) {
   sim_.dispatch(done);
 }
 
+/// Service-time stretch from the enabled state models for a transfer of
+/// `bytes` observed at `now`. Only called when state_dependent_ is set, so
+/// the default path never touches floating point beyond the baseline math.
+double StorageDrive::service_stretch(SimTime now, std::uint32_t bytes) {
+  double stretch = 1.0;
+  if (params_.qd_curve.enabled) {
+    stretch /= qd_scale(params_.qd_curve, outstanding_);
+  }
+  if (params_.thermal.enabled) {
+    const double mult = thermal_.charge(params_.thermal, now, bytes);
+    if (mult > 1.0) ++stats_.throttled_requests;
+    stretch *= mult;
+    stats_.peak_heat = thermal_.peak_heat();
+  }
+  return stretch;
+}
+
 void StorageDrive::start(std::uint32_t slot) {
   Pending& p = pool_[slot];
   const SimTime submit_time = sim_.now();
   p.submit_time = submit_time;
 
+  SimTime interval = service_interval_;
+  auto transfer = static_cast<SimTime>(
+      static_cast<double>(p.bytes) * ps_per_byte_drive_link_ + 0.5);
+  if (state_dependent_) {
+    const double stretch = service_stretch(submit_time, p.bytes);
+    if (stretch != 1.0) {
+      interval = static_cast<SimTime>(
+          static_cast<double>(interval) * stretch + 0.5);
+      transfer = static_cast<SimTime>(
+          static_cast<double>(transfer) * stretch + 0.5);
+    }
+  }
+
   // Controller pipeline: one request per service interval (IOPS cap).
   const SimTime service_start =
       std::max(controller_busy_until_,
                submit_time + params_.submission_overhead);
-  controller_busy_until_ = service_start + service_interval_;
+  controller_busy_until_ = service_start + interval;
   const SimTime media_ready = controller_busy_until_ + params_.access_latency;
 
   // Per-drive link hop, then the shared GPU link delivers the data.
   const SimTime drive_link_start =
       std::max(drive_link_busy_until_, media_ready);
-  const auto transfer = static_cast<SimTime>(
-      static_cast<double>(p.bytes) * ps_per_byte_drive_link_ + 0.5);
   drive_link_busy_until_ = drive_link_start + transfer;
 
   sim_.schedule_at(drive_link_busy_until_, listener_, kDataAtLink, slot);
@@ -126,15 +166,34 @@ void StorageDrive::on_event(void* self, std::uint16_t opcode, std::uint32_t a,
       drive->finish(slot);
       break;
     case kPayloadUp: {
-      const SimTime interval = static_cast<SimTime>(
+      SimTime interval = static_cast<SimTime>(
           static_cast<double>(util::kPsPerSec) / drive->params_.write_iops +
           0.5);
+      SimTime program = drive->params_.program_latency;
+      if (drive->state_dependent_) {
+        const std::uint32_t bytes = drive->pool_[slot].bytes;
+        const double stretch =
+            drive->service_stretch(drive->sim_.now(), bytes);
+        if (stretch != 1.0) {
+          interval = static_cast<SimTime>(
+              static_cast<double>(interval) * stretch + 0.5);
+        }
+        if (drive->params_.endurance.enabled) {
+          // Factor first, then charge: the first write of a fresh device
+          // programs at the rated latency.
+          program = static_cast<SimTime>(
+              static_cast<double>(program) *
+                  drive->wear_.latency_factor(drive->params_.endurance) +
+              0.5);
+          drive->wear_.charge(drive->params_.endurance, bytes);
+          drive->stats_.wear_units = drive->wear_.wear_units();
+        }
+      }
       const SimTime service_start =
           std::max(drive->controller_busy_until_,
                    drive->sim_.now() + drive->params_.submission_overhead);
       drive->controller_busy_until_ = service_start + interval;
-      const SimTime programmed =
-          drive->controller_busy_until_ + drive->params_.program_latency;
+      const SimTime programmed = drive->controller_busy_until_ + program;
       drive->sim_.schedule_at(programmed, drive->listener_, kProgrammed,
                               slot);
       break;
@@ -175,21 +234,28 @@ void StorageArray::on_event(void* self, std::uint16_t /*opcode*/,
 template <typename Submit>
 void StorageArray::submit_split(std::uint64_t addr, std::uint32_t bytes,
                                 DoneFn done, Submit&& submit_one) {
+  // Reject empty requests up front: `addr + bytes - 1` would underflow and
+  // the zero-byte submit would never complete (nothing to join on).
+  if (bytes == 0) {
+    throw std::invalid_argument("StorageArray: zero-byte request");
+  }
   const std::uint64_t first_stripe = addr / stripe_bytes_;
   const std::uint64_t last_stripe = (addr + bytes - 1) / stripe_bytes_;
-  if (first_stripe == last_stripe) {
+  if (first_stripe == last_stripe && bytes <= params_.max_transfer) {
     submit_one(*drives_[first_stripe % drives_.size()], addr, bytes, done);
     return;
   }
-  // Straddling request: split at stripe boundaries, join on completion.
+  // Straddling or oversized request: split at stripe boundaries AND at the
+  // drive's max_transfer (a stripe can be wider than one transfer — XLFDD
+  // stripes 8 kB but moves at most 2 kB per command), join on completion.
   std::uint64_t cursor = addr;
   std::uint32_t left = bytes;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> parts;
   while (left > 0) {
     const std::uint64_t stripe_end =
         (cursor / stripe_bytes_ + 1) * stripe_bytes_;
-    const auto chunk = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(left, stripe_end - cursor));
+    const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        {left, stripe_end - cursor, params_.max_transfer}));
     parts.emplace_back(cursor, chunk);
     cursor += chunk;
     left -= chunk;
@@ -221,9 +287,13 @@ StorageDriveStats StorageArray::aggregate_stats() const {
   for (const auto& d : drives_) {
     out.requests += d->stats().requests;
     out.bytes += d->stats().bytes;
+    out.written_bytes += d->stats().written_bytes;
     out.service_latency_us.merge(d->stats().service_latency_us);
     out.peak_outstanding =
         std::max(out.peak_outstanding, d->stats().peak_outstanding);
+    out.throttled_requests += d->stats().throttled_requests;
+    out.peak_heat = std::max(out.peak_heat, d->stats().peak_heat);
+    out.wear_units += d->stats().wear_units;
   }
   return out;
 }

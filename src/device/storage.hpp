@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "device/pcie.hpp"
+#include "device/state_model.hpp"
 #include "util/slot_pool.hpp"
 #include "util/units.hpp"
 
@@ -47,13 +48,25 @@ struct StorageDriveParams {
   /// below read IOPS (garbage collection, page programming).
   double write_iops = 0.3e6;
   SimTime program_latency = util::ps_from_us(75.0);
+
+  /// State-dependent service (CXLSSDEval-shaped; see state_model.hpp).
+  /// All default OFF: the defaults keep the drive time-invariant and the
+  /// service-time arithmetic bit-identical to the baseline.
+  ThermalParams thermal;
+  EnduranceParams endurance;
+  QdCurveParams qd_curve;
 };
 
 struct StorageDriveStats {
   std::uint64_t requests = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t written_bytes = 0;  // write-path share of `bytes`
   util::OnlineStats service_latency_us;  // submit -> data handed to link
   std::uint64_t peak_outstanding = 0;
+  /// State-model observations (zero while every model is off).
+  std::uint64_t throttled_requests = 0;
+  double peak_heat = 0.0;
+  double wear_units = 0.0;
 };
 
 /// A single drive. Data is delivered through the shared GPU link.
@@ -72,6 +85,11 @@ class StorageDrive {
   const StorageDriveParams& params() const noexcept { return params_; }
   const StorageDriveStats& stats() const noexcept { return stats_; }
   std::uint32_t outstanding() const noexcept { return outstanding_; }
+
+  /// State-model observables (fixed at 0 / false while the models are off).
+  double heat() const noexcept { return thermal_.heat(); }
+  bool throttled() const noexcept { return thermal_.throttled(); }
+  double wear_units() const noexcept { return wear_.wear_units(); }
 
  private:
   /// Pooled per-request state; events carry the slot index.
@@ -95,6 +113,7 @@ class StorageDrive {
   void start(std::uint32_t slot);
   void start_write(std::uint32_t slot);
   void finish(std::uint32_t slot);
+  double service_stretch(SimTime now, std::uint32_t bytes);
 
   Simulator& sim_;
   PcieLink& link_;
@@ -108,6 +127,11 @@ class StorageDrive {
   util::SlotPool<Pending> pool_;
   std::deque<std::uint32_t> waiting_;
   StorageDriveStats stats_;
+  /// True iff any state model is enabled; the service-time derating code
+  /// is skipped entirely otherwise so the default path stays bit-identical.
+  bool state_dependent_ = false;
+  ThermalState thermal_;
+  WearState wear_;
 };
 
 /// A striped array of identical drives (16 XLFDDs / 4 NVMe SSDs in the

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "algo/bfs.hpp"
+#include "device/state_model.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -45,6 +46,14 @@ struct ServeSim {
   const std::vector<QueryProfile>& profiles;
   std::vector<QueryRecord>& records;
 
+  /// Shared-stack thermal model: the serve layer replays idle-stack
+  /// profiles, so sustained-load heating cannot come from the profiled
+  /// durations — the queueing sim carries its own heat accumulator, fed
+  /// by each quantum's link bytes, and stretches throttled quanta.
+  const device::ThermalParams& thermal;
+  device::ThermalState stack_heat;
+  std::uint32_t throttled_quanta = 0;
+
   sim::Simulator sim;
   std::deque<std::size_t> ready;
   std::vector<std::size_t> next_step;
@@ -68,9 +77,10 @@ struct ServeSim {
   ServeSim(const ServeConfig& config_in, const WorkloadSpec& spec_in,
            const std::vector<Query>& queries_in,
            const std::vector<QueryProfile>& profiles_in,
-           std::vector<QueryRecord>& records_in)
+           std::vector<QueryRecord>& records_in,
+           const device::ThermalParams& thermal_in)
       : config(config_in), spec(spec_in), queries(queries_in),
-        profiles(profiles_in), records(records_in),
+        profiles(profiles_in), records(records_in), thermal(thermal_in),
         next_step(queries_in.size(), 0),
         followers(config_in.batch_identical ? queries_in.size() : 0) {}
 
@@ -155,6 +165,17 @@ struct ServeSim {
     for (std::size_t k = next_step[i]; k < next_step[i] + quantum; ++k) {
       duration += p.step_ps[k];
       bytes += p.step_bytes[k];
+    }
+    if (thermal.enabled) {
+      // Quantum bytes heat the stack; once the accumulator crosses the
+      // budget the whole quantum serves at the derated bandwidth. The
+      // bytes themselves are unchanged — conservation still holds.
+      const double mult = stack_heat.charge(thermal, sim.now(), bytes);
+      if (mult > 1.0) {
+        duration = static_cast<util::SimTime>(
+            static_cast<double>(duration) * mult + 0.5);
+        ++throttled_quanta;
+      }
     }
     next_step[i] += quantum;
     r.service_ps += duration;
@@ -244,6 +265,35 @@ const std::vector<SchedulingPolicy>& all_policies() {
       SchedulingPolicy::kFifo, SchedulingPolicy::kRoundRobin,
       SchedulingPolicy::kSloPriority};
   return policies;
+}
+
+std::vector<SoakWindow> soak_windows(const ServeReport& report,
+                                     std::size_t windows) {
+  std::vector<SoakWindow> out;
+  if (windows == 0 || report.completed == 0 || report.makespan_sec <= 0.0) {
+    return out;
+  }
+  const double span = report.makespan_sec / static_cast<double>(windows);
+  std::vector<std::vector<double>> samples(windows);
+  for (const QueryRecord& r : report.queries) {
+    if (r.shed) continue;
+    const double t = util::sec_from_ps(r.completion);
+    auto w = static_cast<std::size_t>(t / span);
+    if (w >= windows) w = windows - 1;  // the last completion lands on the edge
+    samples[w].push_back(util::us_from_ps(r.completion - r.arrival));
+  }
+  out.resize(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    SoakWindow& win = out[w];
+    win.start_sec = span * static_cast<double>(w);
+    win.end_sec = span * static_cast<double>(w + 1);
+    win.completed = static_cast<std::uint32_t>(samples[w].size());
+    if (!samples[w].empty()) {
+      win.p50_us = util::percentile(samples[w], 50.0);
+      win.p99_us = util::percentile(std::move(samples[w]), 99.0);
+    }
+  }
+  return out;
 }
 
 QueryServer::QueryServer(core::SystemConfig config, unsigned jobs,
@@ -438,8 +488,28 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
     r.slo = queries[i].slo;
   }
 
+  // The shared stack's thermal model, resolved by backend: CXL-backed
+  // stacks heat the CXL channel, storage-backed stacks the drives; host
+  // DRAM has no throttle model (a disabled default keeps it cold).
+  static const device::ThermalParams kNoThermal{};
+  const device::ThermalParams* thermal = &kNoThermal;
+  switch (request.base.backend) {
+    case core::BackendKind::kCxl:
+    case core::BackendKind::kTieredDramCxl:
+      thermal = &config_.cxl.thermal;
+      break;
+    case core::BackendKind::kXlfdd:
+    case core::BackendKind::kBamNvme:
+    case core::BackendKind::kUvm:
+      thermal = &config_.storage_thermal;
+      break;
+    default:
+      break;
+  }
+  device::validate(*thermal);
+
   ServeSim simulation(request.config, spec, queries, profiles,
-                      report.queries);
+                      report.queries, *thermal);
   simulation.run();
 
   // -------------------------------------------------------------------
@@ -451,6 +521,8 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
   report.batched = simulation.batched;
   report.link_bytes = simulation.link_bytes;
   report.makespan_sec = util::sec_from_ps(simulation.last_completion);
+  report.throttled_quanta = simulation.throttled_quanta;
+  report.stack_peak_heat = simulation.stack_heat.peak_heat();
 
   std::vector<double> latency_us, queue_us, service_us;
   latency_us.reserve(report.completed);

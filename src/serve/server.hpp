@@ -172,9 +172,34 @@ struct ServeReport {
     return link_bytes == query_bytes;
   }
 
+  /// Stack thermal model (SystemConfig cxl.thermal / storage_thermal,
+  /// resolved by backend): quanta served while the shared stack was
+  /// throttled, and the heat accumulator's high-water mark. Both stay 0
+  /// with the model off.
+  std::uint32_t throttled_quanta = 0;
+  double stack_peak_heat = 0.0;
+
   std::vector<QueryRecord> queries;
   std::vector<QueryProfile> profiles;
 };
+
+/// One slice of a soak run: the completed queries whose completion fell in
+/// [start_sec, end_sec) of the makespan, with their latency percentiles.
+/// Under sustained load with thermal throttling enabled the later windows'
+/// p99 drifts above the cold-start windows'.
+struct SoakWindow {
+  double start_sec = 0.0;
+  double end_sec = 0.0;
+  std::uint32_t completed = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Buckets a report's completed queries into `windows` equal slices of the
+/// makespan (completion-time order). Empty report or windows == 0 yields
+/// an empty vector; empty slices have completed == 0 and zero percentiles.
+std::vector<SoakWindow> soak_windows(const ServeReport& report,
+                                     std::size_t windows);
 
 class QueryServer {
  public:

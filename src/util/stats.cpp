@@ -71,15 +71,16 @@ double Log2Histogram::quantile(double q) const noexcept {
   double cumulative = 0.0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     const double next = cumulative + static_cast<double>(buckets_[i]);
-    if (next >= target) {
+    // Only a populated bucket can satisfy the quantile: with q == 0 the
+    // target is 0 and every leading empty bucket trivially reaches it,
+    // which used to interpolate into a range holding no samples at all.
+    if (buckets_[i] > 0 && next >= target) {
       const double lo =
           i == 0 ? 0.0 : static_cast<double>(bucket_upper(i - 1));
       const double hi = static_cast<double>(bucket_upper(i));
       const double frac =
-          buckets_[i] == 0
-              ? 0.0
-              : (target - cumulative) / static_cast<double>(buckets_[i]);
-      return lo + frac * (hi - lo);
+          (target - cumulative) / static_cast<double>(buckets_[i]);
+      return lo + std::max(frac, 0.0) * (hi - lo);
     }
     cumulative = next;
   }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "device/cxl_device.hpp"
 #include "device/host_dram.hpp"
@@ -9,6 +10,7 @@
 #include "device/storage.hpp"
 #include "device/xlfdd.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace cxlgraph::device {
 namespace {
@@ -133,6 +135,66 @@ TEST(Pcie, StorageDeliveriesShareBandwidthButNotTags) {
   const double mbps =
       util::mbps_from(static_cast<std::uint64_t>(deliveries) * 4096, last);
   EXPECT_NEAR(mbps, lp.bandwidth_mbps, lp.bandwidth_mbps * 0.02);
+}
+
+TEST(Pcie, ReturnBusyTimeMatchesSerializedBytes) {
+  // The return half's busy time is exactly the per-transfer serialization
+  // sum — the utilization the link reports must be conserved, not sampled.
+  Simulator sim;
+  PcieLinkParams lp = pcie_x16(PcieGen::kGen4);
+  PcieLink link(sim, lp);
+  HostDram dram(sim, HostDramParams{});
+  const int reads = 500;
+  const std::uint32_t bytes = 128;
+  for (int i = 0; i < reads; ++i) {
+    link.memory_read(dram, static_cast<std::uint64_t>(i) * bytes, bytes,
+                     sim.make_callback([] {}));
+  }
+  sim.run();
+  const auto per_transfer = static_cast<SimTime>(
+      static_cast<double>(bytes) * util::ps_per_byte(lp.bandwidth_mbps) +
+      0.5);
+  EXPECT_EQ(link.stats().return_busy_time,
+            static_cast<SimTime>(reads) * per_transfer);
+  EXPECT_EQ(link.stats().upstream_busy_time, 0u);
+}
+
+TEST(Pcie, UpstreamBusyTimeTracksWritePayloads) {
+  // Regression: serialize_upstream held the upstream half busy but never
+  // charged the busy-time stat, so write-heavy runs reported the link as
+  // idle. Both halves must now account their own transfers.
+  Simulator sim;
+  PcieLinkParams lp = pcie_x16(PcieGen::kGen4);
+  PcieLink link(sim, lp);
+  HostDram dram(sim, HostDramParams{});
+  const int writes = 300;
+  const std::uint32_t bytes = 512;
+  for (int i = 0; i < writes; ++i) {
+    link.memory_write(dram, static_cast<std::uint64_t>(i) * bytes, bytes,
+                      sim.make_callback([] {}));
+  }
+  sim.run();
+  const auto per_transfer = static_cast<SimTime>(
+      static_cast<double>(bytes) * util::ps_per_byte(lp.bandwidth_mbps) +
+      0.5);
+  EXPECT_EQ(link.stats().upstream_busy_time,
+            static_cast<SimTime>(writes) * per_transfer);
+  EXPECT_EQ(link.stats().return_busy_time, 0u);
+  EXPECT_EQ(link.stats().busy_time(), link.stats().upstream_busy_time);
+}
+
+TEST(Pcie, BusyTimeSumsBothHalves) {
+  Simulator sim;
+  PcieLink link(sim, pcie_x16(PcieGen::kGen4));
+  HostDram dram(sim, HostDramParams{});
+  link.memory_read(dram, 0, 128, sim.make_callback([] {}));
+  link.memory_write(dram, 4096, 256, sim.make_callback([] {}));
+  link.upstream_transfer(1024, sim.make_callback([] {}));
+  sim.run();
+  EXPECT_GT(link.stats().return_busy_time, 0u);
+  EXPECT_GT(link.stats().upstream_busy_time, 0u);
+  EXPECT_EQ(link.stats().busy_time(), link.stats().return_busy_time +
+                                          link.stats().upstream_busy_time);
 }
 
 TEST(Pcie, RejectsBadParameters) {
@@ -403,6 +465,103 @@ TEST(StorageArray, SplitsStraddlingRequests) {
   EXPECT_EQ(done, 1);
   EXPECT_EQ(array.aggregate_stats().requests, 2u);
   EXPECT_EQ(array.aggregate_stats().bytes, 1024u);
+}
+
+TEST(StorageArray, RejectsZeroByteRequests) {
+  // Regression: (addr + bytes - 1) underflowed for bytes == 0, computing a
+  // last stripe of ~2^64 and splitting the "request" across every drive.
+  Simulator sim;
+  PcieLink link(sim, pcie_x16(PcieGen::kGen4));
+  StorageArray array(sim, link, xlfdd_drive_params(), 4, 8192);
+  EXPECT_THROW(array.submit(0, 0, sim.make_callback([] {})),
+               std::invalid_argument);
+  EXPECT_THROW(array.submit(8192, 0, sim.make_callback([] {})),
+               std::invalid_argument);
+  EXPECT_THROW(array.submit_write(0, 0, sim.make_callback([] {})),
+               std::invalid_argument);
+  EXPECT_EQ(array.aggregate_stats().requests, 0u);
+}
+
+TEST(StorageArray, SplitsChunksAtMaxTransfer) {
+  // Regression: an in-stripe request larger than the drive's max_transfer
+  // (XLFDD: 2 kB moves inside an 8 kB stripe) passed straight to the
+  // drive and threw mid-simulation. The array must split it.
+  Simulator sim;
+  PcieLink link(sim, pcie_x16(PcieGen::kGen4));
+  const StorageDriveParams p = xlfdd_drive_params();
+  StorageArray array(sim, link, p, 4, 8192);
+  int done = 0;
+  // 4 kB aligned inside stripe 0: two 2 kB commands on one drive.
+  array.submit(0, 4096, sim.make_callback([&] { ++done; }));
+  // 5 kB crossing a stripe boundary with an oversized leading chunk:
+  // stripe 0 carries 3 kB (2 kB + 1 kB), stripe 1 the remaining 2 kB.
+  array.submit(8192 - 3072, 5120, sim.make_callback([&] { ++done; }));
+  sim.run();
+  EXPECT_EQ(done, 2);
+  const StorageDriveStats agg = array.aggregate_stats();
+  EXPECT_EQ(agg.requests, 5u);
+  EXPECT_EQ(agg.bytes, 4096u + 5120u);
+  // Every issued command respected the limit, or the drives would throw.
+  EXPECT_LE(p.max_transfer, 2048u);
+}
+
+TEST(StorageArray, SplitsOversizedWrites) {
+  Simulator sim;
+  PcieLink link(sim, pcie_x16(PcieGen::kGen4));
+  StorageArray array(sim, link, xlfdd_drive_params(), 4, 8192);
+  int done = 0;
+  array.submit_write(0, 4096, sim.make_callback([&] { ++done; }));
+  sim.run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(array.aggregate_stats().requests, 2u);
+  EXPECT_EQ(array.aggregate_stats().written_bytes, 4096u);
+}
+
+TEST(Storage, SaturationRespectsQueueDepthProperty) {
+  // Property: under randomized mixed read/write saturation the drive
+  // never holds more than queue_depth requests, and every submit
+  // eventually completes.
+  Simulator sim;
+  PcieLink link(sim, pcie_x16(PcieGen::kGen4));
+  StorageDriveParams p = xlfdd_drive_params();
+  p.queue_depth = 16;
+  StorageDrive drive(sim, link, p);
+  util::Xoshiro256 rng(17);
+  const int requests = 4'000;
+  int done = 0;
+  for (int i = 0; i < requests; ++i) {
+    const std::uint32_t bytes =
+        16u * static_cast<std::uint32_t>(1 + rng.next_below(128));
+    const std::uint64_t addr = rng.next_below(1u << 20) * 16ull;
+    if (rng.next_below(4) == 0) {
+      drive.submit_write(addr, bytes, sim.make_callback([&] { ++done; }));
+    } else {
+      drive.submit(addr, bytes, sim.make_callback([&] { ++done; }));
+    }
+    EXPECT_LE(drive.outstanding(), p.queue_depth);
+  }
+  sim.run();
+  EXPECT_EQ(done, requests);
+  EXPECT_LE(drive.stats().peak_outstanding, p.queue_depth);
+  EXPECT_GT(drive.stats().written_bytes, 0u);
+  EXPECT_LT(drive.stats().written_bytes, drive.stats().bytes);
+}
+
+TEST(Stats, QuantileZeroSkipsEmptyBuckets) {
+  // Regression: q == 0 matched the first bucket even when empty (target 0
+  // is trivially reached), interpolating into a range holding no samples.
+  util::Log2Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(1000);
+  // 1000 lands in (512, 1024]; q = 0 must return a value from that range,
+  // not 0.0 from the empty first bucket.
+  EXPECT_GE(h.quantile(0.0), 512.0);
+  EXPECT_LE(h.quantile(0.0), 1024.0);
+  // Populated-bucket quantiles are unchanged.
+  EXPECT_GE(h.quantile(0.5), 512.0);
+  EXPECT_LE(h.quantile(1.0), 1024.0);
+  // Empty histogram still reports 0.
+  util::Log2Histogram empty;
+  EXPECT_EQ(empty.quantile(0.0), 0.0);
 }
 
 TEST(StorageArray, XlfddArraySupportsRequiredIops) {

@@ -428,5 +428,59 @@ TEST(QueryServer, ProfileCacheEvictionBoundsMemoryNotResults) {
   EXPECT_GT(bounded.profiles_computed(), before);
 }
 
+// ------------------------------------------------------- thermal soak ----
+
+TEST(QueryServer, SustainedLoadUnderThrottlingRaisesTailOverTime) {
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer cold_server(core::table3_system());
+
+  // Capacity probe, then a sustained open-loop run at 0.8x capacity.
+  serve::ServeRequest probe = mixed_request(0.001, 8);
+  const serve::ServeReport idle = cold_server.serve(g, probe);
+  ASSERT_GT(idle.service_us.mean, 0.0);
+  const double capacity_qps = 1.0e6 / idle.service_us.mean;
+
+  serve::ServeRequest sustained = mixed_request(capacity_qps * 0.8, 48);
+  const serve::ServeReport cold = cold_server.serve(g, sustained);
+  ASSERT_GT(cold.makespan_sec, 0.0);
+  ASSERT_GT(cold.link_bytes, 0u);
+
+  // Thermal budget calibrated from the cold run: cooling absorbs half of
+  // the cold byte rate and the throttle trips after ~5% of the traffic.
+  core::SystemConfig hot_cfg = core::table3_system();
+  hot_cfg.cxl.thermal.enabled = true;
+  const double heat_mb = static_cast<double>(cold.link_bytes) / 1.0e6;
+  hot_cfg.cxl.thermal.heat_per_mb = 1.0;
+  hot_cfg.cxl.thermal.cool_per_sec = 0.5 * heat_mb / cold.makespan_sec;
+  hot_cfg.cxl.thermal.throttle_threshold = heat_mb * 0.05;
+  hot_cfg.cxl.thermal.hysteresis = 0.9;
+  hot_cfg.cxl.thermal.throttle_factor = 0.5;
+  serve::QueryServer hot_server(std::move(hot_cfg));
+  const serve::ServeReport hot = hot_server.serve(g, sustained);
+
+  // The stack heats up and throttles; sustained-load p99 sits strictly
+  // above the cold-start p99 and drifts upward across the run's windows.
+  EXPECT_GT(hot.throttled_quanta, 0u);
+  EXPECT_GT(hot.stack_peak_heat, 0.0);
+  EXPECT_GT(hot.latency_us.p99, cold.latency_us.p99);
+  const auto hot_windows = serve::soak_windows(hot, 4);
+  ASSERT_GE(hot_windows.size(), 2u);
+  EXPECT_GT(hot_windows.back().p99_us, hot_windows.front().p99_us);
+  // Throttling stretches time, never drops bytes: conservation holds.
+  EXPECT_TRUE(hot.conservation_ok());
+  EXPECT_EQ(hot.link_bytes, cold.link_bytes);
+
+  // With the model constructed but disabled, the serving layer reproduces
+  // the cold run record-for-record (the default path is untouched).
+  core::SystemConfig off_cfg = core::table3_system();
+  off_cfg.cxl.thermal = hot_server.config().cxl.thermal;
+  off_cfg.cxl.thermal.enabled = false;
+  serve::QueryServer off_server(std::move(off_cfg));
+  const serve::ServeReport off = off_server.serve(g, sustained);
+  expect_records_identical(cold, off);
+  EXPECT_EQ(off.throttled_quanta, 0u);
+  EXPECT_EQ(off.stack_peak_heat, 0.0);
+}
+
 }  // namespace
 }  // namespace cxlgraph
