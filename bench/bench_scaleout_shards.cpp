@@ -14,11 +14,13 @@
 /// (degree-sort within each shard's local subgraph): runtime/compute move
 /// with the changed layout while the cut columns stay identical, which is
 /// exactly the locality-vs-cut separation the knob demonstrates.
+#include <memory>
 #include <sstream>
 
 #include "bench_common.hpp"
 #include "core/cluster_runtime.hpp"
 #include "graph/datasets.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -131,7 +133,18 @@ int main(int argc, char** argv) {
                "and exit");
   cli.add_flag("csv", "emit CSV instead of an aligned table");
   cli.add_flag("verbose", "log per-run progress to stderr");
+  cli.add_option("trace-out",
+                 "write the sweep's final run as a Chrome trace-event "
+                 "JSON timeline here",
+                 "");
+  cli.add_option("metrics-out", "write a metrics snapshot JSON here", "");
   if (!cli.parse(argc, argv)) return 0;
+
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (!cli.get("trace-out").empty() || !cli.get("metrics-out").empty()) {
+    telemetry =
+        std::make_unique<obs::Telemetry>(obs::Telemetry::enabled_config());
+  }
 
   core::ExperimentOptions options;
   options.scale = static_cast<unsigned>(cli.get_int("scale"));
@@ -223,6 +236,15 @@ int main(int argc, char** argv) {
             req.num_shards = shards;
             req.strategy = strategy;
             req.reorder = reorder;
+            // One run = one timeline: only the sweep's final row (last
+            // algorithm, CXL backend, largest shard count) is recorded.
+            cluster.set_telemetry(algorithm == sweep_algorithms().back() &&
+                                          backend == core::BackendKind::kCxl &&
+                                          shards == shard_counts.back() &&
+                                          strategy == strategies.back() &&
+                                          reorder == row_reorders.back()
+                                      ? telemetry.get()
+                                      : nullptr);
             core::ClusterReport r;
             try {
               r = cluster.run(g, req);
@@ -267,6 +289,20 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
     std::cout << "\n";
+  }
+  if (telemetry != nullptr) {
+    const std::string trace_path = cli.get("trace-out");
+    if (!trace_path.empty() && !telemetry->save_trace(trace_path)) {
+      std::cerr << "error: cannot write trace to " << trace_path << "\n";
+      return 1;
+    }
+    const std::string metrics_path = cli.get("metrics-out");
+    if (!metrics_path.empty() &&
+        !telemetry->save_metrics(metrics_path)) {
+      std::cerr << "error: cannot write metrics to " << metrics_path
+                << "\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -23,10 +23,12 @@
 /// does not end up strictly above its cold-start-window p99.
 #include <algorithm>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/datasets.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -89,7 +91,7 @@ double probe_capacity_qps(serve::QueryServer& server,
 /// fraction of the total heat the run deposits.
 int run_soak(serve::ServeRequest request, const graph::CsrGraph& g,
              unsigned jobs, double load_factor, std::size_t windows,
-             bool csv) {
+             bool csv, obs::Telemetry* telemetry) {
   request.config.policy = serve::SchedulingPolicy::kFifo;
 
   serve::QueryServer cold_server(core::table3_system(), jobs);
@@ -113,7 +115,10 @@ int run_soak(serve::ServeRequest request, const graph::CsrGraph& g,
   hot_config.cxl.thermal = thermal;
   hot_config.storage_thermal = thermal;
 
+  // Only the hot run is traced: its throttle episodes and latency drift
+  // are what the soak timeline is for.
   serve::QueryServer hot_server(std::move(hot_config), jobs);
+  hot_server.set_telemetry(telemetry);
   const serve::ServeReport hot = hot_server.serve(g, request);
 
   const std::vector<serve::SoakWindow> cold_windows =
@@ -216,7 +221,34 @@ int run_serve_mix(int argc, char** argv) {
                  "6");
   cli.add_flag("csv", "emit CSV instead of an aligned table");
   cli.add_flag("verbose", "log per-run progress to stderr");
+  cli.add_option("trace-out",
+                 "write a Chrome trace-event JSON timeline of the last "
+                 "serve (soak: the hot run) here",
+                 "");
+  cli.add_option("metrics-out", "write a metrics snapshot JSON here", "");
   if (!cli.parse(argc, argv)) return 0;
+
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (!cli.get("trace-out").empty() || !cli.get("metrics-out").empty()) {
+    telemetry =
+        std::make_unique<obs::Telemetry>(obs::Telemetry::enabled_config());
+  }
+  const auto save_telemetry = [&cli, &telemetry]() {
+    if (telemetry == nullptr) return 0;
+    const std::string trace_path = cli.get("trace-out");
+    if (!trace_path.empty() && !telemetry->save_trace(trace_path)) {
+      std::cerr << "error: cannot write trace to " << trace_path << "\n";
+      return 1;
+    }
+    const std::string metrics_path = cli.get("metrics-out");
+    if (!metrics_path.empty() &&
+        !telemetry->save_metrics(metrics_path)) {
+      std::cerr << "error: cannot write metrics to " << metrics_path
+                << "\n";
+      return 1;
+    }
+    return 0;
+  };
 
   const bool smoke = cli.get_bool("smoke");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -274,8 +306,10 @@ int run_serve_mix(int argc, char** argv) {
     if (!(load > 0.0) || windows == 0) {
       throw std::invalid_argument("--soak-load/--soak-windows must be > 0");
     }
-    return run_soak(base, g, static_cast<unsigned>(jobs), load, windows,
-                    cli.get_bool("csv"));
+    const int rc = run_soak(base, g, static_cast<unsigned>(jobs), load,
+                            windows, cli.get_bool("csv"), telemetry.get());
+    const int save_rc = save_telemetry();
+    return rc != 0 ? rc : save_rc;
   }
 
   const double capacity_qps = probe_capacity_qps(server, g, base);
@@ -302,6 +336,11 @@ int run_serve_mix(int argc, char** argv) {
       serve::ServeRequest req = base;
       req.config.policy = policy;
       req.workload.offered_qps = capacity_qps * factor;
+      // Only the sweep's final run is recorded: one serve = one timeline.
+      server.set_telemetry(policy == policies.back() &&
+                                   factor == load_factors.back()
+                               ? telemetry.get()
+                               : nullptr);
       const serve::ServeReport r = server.serve(g, req);
       if (cli.get_bool("verbose")) {
         CXLG_INFO("serve: " << r.policy << " x" << factor << ": p95="
@@ -365,7 +404,7 @@ int run_serve_mix(int argc, char** argv) {
     return 1;
   }
   if (smoke) std::cerr << "serve_mix smoke OK\n";
-  return 0;
+  return save_telemetry();
 }
 
 }  // namespace

@@ -11,9 +11,11 @@
 ///
 /// The event core's bit-identity contract is checked at the same time:
 /// every simulated result is folded into an FNV checksum, replays are run
-/// twice (run-to-run identity), and under --smoke the checksums are also
-/// compared against goldens pinned from the pre-rewrite std::function core
-/// — any drift in simulated behaviour exits 1.
+/// twice (run-to-run identity), once more with a fully-enabled telemetry
+/// sink attached to every layer (observing must not perturb), and under
+/// --smoke the checksums are also compared against goldens pinned from the
+/// pre-rewrite std::function core — any drift in simulated behaviour
+/// exits 1.
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -37,6 +39,7 @@
 #include "device/xlfdd.hpp"
 #include "gpusim/engine.hpp"
 #include "graph/generate.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/server.hpp"
 #include "sim/simulator.hpp"
 #include "util/cli.hpp"
@@ -336,7 +339,8 @@ serve::ServeRequest smoke_serve_request() {
 /// is 5% of the total heat deposited — then the same workload runs hot.
 /// Both serves are deterministic, so the hot report checksums stably at
 /// any graph scale.
-serve::ServeReport run_throttled_soak(const graph::CsrGraph& g) {
+serve::ServeReport run_throttled_soak(const graph::CsrGraph& g,
+                                      obs::Telemetry* telemetry = nullptr) {
   serve::ServeRequest req = smoke_serve_request();
   req.config.policy = serve::SchedulingPolicy::kFifo;
   serve::QueryServer cold(core::table3_system(), /*jobs=*/1);
@@ -365,14 +369,20 @@ serve::ServeReport run_throttled_soak(const graph::CsrGraph& g) {
   cfg.cxl.thermal = thermal;
   cfg.storage_thermal = thermal;
   serve::QueryServer hot(std::move(cfg), /*jobs=*/1);
+  hot.set_telemetry(telemetry);
   return hot.serve(g, req);
 }
 
-/// Computes the smoke identity suite: one checksum per golden row.
+/// Computes the smoke identity suite: one checksum per golden row. When a
+/// telemetry sink is supplied every layer is tapped, which is how the
+/// observability contract (telemetry ON must be bit-identical to OFF) is
+/// enforced in CI: the suite is recomputed with a fully-enabled sink and
+/// the checksums must not move.
 std::vector<std::uint64_t> compute_identity_checksums(
-    const graph::CsrGraph& g) {
+    const graph::CsrGraph& g, obs::Telemetry* telemetry = nullptr) {
   const core::SystemConfig cfg = core::table3_system();
   core::ExternalGraphRuntime runtime(cfg);
+  runtime.set_telemetry(telemetry);
   std::vector<std::uint64_t> sums;
 
   core::RunRequest req;
@@ -390,6 +400,7 @@ std::vector<std::uint64_t> compute_identity_checksums(
   sums.push_back(checksum_report(runtime.run(g, req)));
 
   core::ClusterRuntime cluster(cfg, /*jobs=*/1);
+  cluster.set_telemetry(telemetry);
   core::ClusterRequest creq;
   creq.run.algorithm = core::Algorithm::kBfs;
   creq.run.backend = core::BackendKind::kCxl;
@@ -397,8 +408,9 @@ std::vector<std::uint64_t> compute_identity_checksums(
   sums.push_back(checksum_cluster(cluster.run(g, creq)));
 
   serve::QueryServer server(cfg, /*jobs=*/1);
+  server.set_telemetry(telemetry);
   sums.push_back(checksum_serve(server.serve(g, smoke_serve_request())));
-  sums.push_back(checksum_soak(run_throttled_soak(g)));
+  sums.push_back(checksum_soak(run_throttled_soak(g, telemetry)));
   return sums;
 }
 
@@ -470,6 +482,21 @@ int run_simcore(int argc, char** argv) {
   if (compute_identity_checksums(smoke_graph) != sums) {
     std::cerr << "IDENTITY MISMATCH: repeated run differs\n";
     identity_ok = false;
+  }
+  // Observability contract: the suite recomputed with a fully-enabled
+  // telemetry sink tapping every layer must checksum identically — the
+  // hooks only read state, never schedule. Also require the sink to have
+  // captured spans, so a silently-detached hook can't pass vacuously.
+  {
+    obs::Telemetry telemetry(obs::Telemetry::enabled_config());
+    if (compute_identity_checksums(smoke_graph, &telemetry) != sums) {
+      std::cerr << "IDENTITY MISMATCH: telemetry-enabled run differs\n";
+      identity_ok = false;
+    }
+    if (telemetry.tracer().empty() || telemetry.metrics().size() == 0) {
+      std::cerr << "IDENTITY SUITE: telemetry-enabled run captured nothing\n";
+      identity_ok = false;
+    }
   }
 
   // -------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "algo/sssp_delta.hpp"
 #include "core/experiment_runner.hpp"
 #include "device/pcie.hpp"
+#include "obs/telemetry.hpp"
 
 namespace cxlgraph::core {
 
@@ -396,6 +397,50 @@ bool cluster_supports(Algorithm algorithm) noexcept {
   }
 }
 
+namespace {
+
+/// Post-hoc cluster timeline: compute spans on a "supersteps" track and
+/// exchange spans on an "exchange" track, laid out exactly as the
+/// composed makespan charges them (superstep k, then exchange phase k).
+void record_cluster_telemetry(obs::Telemetry& telemetry,
+                              const ClusterReport& report) {
+  if (telemetry.tracing()) {
+    obs::SpanTracer& tracer = telemetry.tracer();
+    const std::uint16_t compute_track =
+        tracer.track("cluster", "supersteps");
+    const std::uint16_t exchange_track = tracer.track("cluster", "exchange");
+    const std::uint32_t n_step = tracer.intern("superstep");
+    const std::uint32_t n_exchange = tracer.intern("exchange");
+    const std::uint32_t k_bytes = tracer.intern("bytes");
+    SimTime at = 0;
+    for (std::size_t k = 0; k < report.superstep_compute_ps.size(); ++k) {
+      tracer.complete(compute_track, n_step, at,
+                      report.superstep_compute_ps[k], k_bytes,
+                      k < report.superstep_fetched_bytes.size()
+                          ? report.superstep_fetched_bytes[k]
+                          : 0);
+      at += report.superstep_compute_ps[k];
+      if (k < report.exchange_phase_ps.size()) {
+        tracer.complete(exchange_track, n_exchange, at,
+                        report.exchange_phase_ps[k]);
+        at += report.exchange_phase_ps[k];
+      }
+    }
+  }
+  if (telemetry.metering()) {
+    obs::MetricsRegistry& metrics = telemetry.metrics();
+    metrics.counter("cluster", "supersteps").add(report.supersteps);
+    metrics.counter("cluster", "exchange_bytes").add(report.exchange_bytes);
+    metrics.counter("cluster", "exchange_messages")
+        .add(report.exchange_messages);
+    metrics.gauge("cluster", "ingress_skew").set(report.exchange_ingress_skew);
+    metrics.gauge("cluster", "compute_imbalance")
+        .set(report.shard_compute_imbalance);
+  }
+}
+
+}  // namespace
+
 ClusterRuntime::ClusterRuntime(SystemConfig config, unsigned jobs)
     : runner_(std::move(config), jobs) {}
 
@@ -510,6 +555,9 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
     report.superstep_compute_ps = results.front().step_durations;
     report.runtime_sec = report.shard_reports.front().runtime_sec;
     report.compute_sec = report.runtime_sec;
+    if (telemetry_ != nullptr && telemetry_->enabled()) {
+      record_cluster_telemetry(*telemetry_, report);
+    }
     return report;
   }
 
@@ -568,6 +616,9 @@ ClusterReport ClusterRuntime::run(const graph::CsrGraph& graph,
         static_cast<double>(report.exchange_bytes);
   }
   report.runtime_sec = report.compute_sec + report.exchange_sec;
+  if (telemetry_ != nullptr && telemetry_->enabled()) {
+    record_cluster_telemetry(*telemetry_, report);
+  }
   return report;
 }
 

@@ -163,9 +163,18 @@ class ClusterRuntime {
 
   const SystemConfig& config() const noexcept { return runner_.config(); }
 
+  /// Attaches a telemetry sink (nullptr detaches). The cluster timeline —
+  /// barrier-synchronized supersteps and exchange phases — is emitted
+  /// post-hoc from the composed report, after the parallel shard replays
+  /// have joined, so the fan-out itself stays untapped and thread-safe.
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
  private:
   /// Shard replays fan out here; the pool is lazy and reused across runs.
   ExperimentRunner runner_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace cxlgraph::core

@@ -1,5 +1,6 @@
 #include "core/runtime.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -12,6 +13,7 @@
 #include "device/storage.hpp"
 #include "device/tiered.hpp"
 #include "gpusim/pointer_chase.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace cxlgraph::core {
@@ -160,6 +162,103 @@ RunStack build_stack(const SystemConfig& cfg, const RunRequest& req,
   return s;
 }
 
+/// Attaches the passive observation set for one run_trace: a simulator
+/// tap with link-busy (per direction), outstanding-reads, and device
+/// heat probes, plus the device state-model transition taps. Everything
+/// reads; nothing schedules.
+std::unique_ptr<obs::SimRunObserver> attach_run_observer(
+    obs::Telemetry& telemetry, RunStack& stack) {
+  auto observer = std::make_unique<obs::SimRunObserver>(telemetry, "sim");
+  device::PcieLink* const link = stack.link.get();
+  observer->add_probe(
+      "link_return_busy_us",
+      [link, prev = util::SimTime{0}]() mutable {
+        const util::SimTime busy = link->stats().return_busy_time;
+        const double delta = util::us_from_ps(busy - prev);
+        prev = busy;
+        return delta;
+      });
+  observer->add_probe(
+      "link_upstream_busy_us",
+      [link, prev = util::SimTime{0}]() mutable {
+        const util::SimTime busy = link->stats().upstream_busy_time;
+        const double delta = util::us_from_ps(busy - prev);
+        prev = busy;
+        return delta;
+      });
+  observer->add_probe(
+      "outstanding_reads",
+      [link] { return static_cast<double>(link->tags_in_use()); },
+      obs::TimeSeriesSampler::Reduce::kMax);
+
+  auto* pool =
+      dynamic_cast<device::CxlMemoryPool*>(stack.memory_device.get());
+  if (pool == nullptr) {
+    pool = dynamic_cast<device::CxlMemoryPool*>(stack.slow_tier.get());
+  }
+  if (pool != nullptr) {
+    pool->set_telemetry(&telemetry);
+    observer->add_probe(
+        "heat",
+        [pool] {
+          double h = 0.0;
+          for (unsigned i = 0; i < pool->num_devices(); ++i) {
+            h = std::max(h, pool->device(i).heat());
+          }
+          return h;
+        },
+        obs::TimeSeriesSampler::Reduce::kMax);
+  }
+  if (stack.storage_array != nullptr) {
+    stack.storage_array->set_telemetry(&telemetry);
+    observer->add_probe(
+        "heat",
+        [array = stack.storage_array.get()] {
+          double h = 0.0;
+          for (unsigned i = 0; i < array->num_drives(); ++i) {
+            h = std::max(h, array->drive(i).heat());
+          }
+          return h;
+        },
+        obs::TimeSeriesSampler::Reduce::kMax);
+  }
+  stack.sim.set_observer(observer.get());
+  return observer;
+}
+
+/// Post-run emission: per-superstep spans along the replay timeline
+/// (step_durations sums exactly to the engine's total, so cumulative
+/// starts are exact) plus the run-level metric aggregates.
+void record_run_telemetry(obs::Telemetry& telemetry,
+                          const TraceRunResult& result) {
+  if (telemetry.tracing()) {
+    obs::SpanTracer& tracer = telemetry.tracer();
+    const std::uint16_t track =
+        tracer.track("runtime", result.report.access_method);
+    const std::uint32_t name = tracer.intern("superstep");
+    const std::uint32_t key = tracer.intern("bytes");
+    util::SimTime at = 0;
+    for (std::size_t i = 0; i < result.step_durations.size(); ++i) {
+      tracer.complete(track, name, at, result.step_durations[i], key,
+                      result.step_fetched_bytes[i]);
+      at += result.step_durations[i];
+    }
+  }
+  if (telemetry.metering()) {
+    obs::MetricsRegistry& metrics = telemetry.metrics();
+    metrics.counter("runtime", "supersteps")
+        .add(result.step_durations.size());
+    metrics.counter("runtime", "fetched_bytes")
+        .add(result.report.fetched_bytes);
+    metrics.counter("runtime", "transactions")
+        .add(result.report.transactions);
+    util::Log2Histogram& steps = metrics.histogram("runtime", "step_ns");
+    for (const util::SimTime d : result.step_durations) {
+      steps.add(d / util::kPsPerNs);
+    }
+  }
+}
+
 }  // namespace
 
 ExternalGraphRuntime::ExternalGraphRuntime(SystemConfig config)
@@ -217,7 +316,15 @@ TraceRunResult ExternalGraphRuntime::run_trace(
   RunStack stack = build_stack(config_, request, edge_list_bytes);
   gpusim::TraversalEngine engine(stack.sim, *stack.method, *stack.backend,
                                  config_.gpu);
+  std::unique_ptr<obs::SimRunObserver> observer;
+  if (telemetry_ != nullptr && telemetry_->enabled()) {
+    observer = attach_run_observer(*telemetry_, stack);
+  }
   const gpusim::EngineResult engine_result = engine.run(trace);
+  if (observer != nullptr) {
+    observer->finish();
+    stack.sim.set_observer(nullptr);
+  }
 
   TraceRunResult result;
   RunReport& report = result.report;
@@ -248,6 +355,9 @@ TraceRunResult ExternalGraphRuntime::run_trace(
   for (const gpusim::StepResult& step : engine_result.steps) {
     result.step_durations.push_back(step.duration);
     result.step_fetched_bytes.push_back(step.fetched_bytes);
+  }
+  if (telemetry_ != nullptr && telemetry_->enabled()) {
+    record_run_telemetry(*telemetry_, result);
   }
   return result;
 }

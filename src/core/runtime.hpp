@@ -22,6 +22,10 @@
 #include "gpusim/pointer_chase.hpp"
 #include "graph/csr.hpp"
 
+namespace cxlgraph::obs {
+class Telemetry;
+}
+
 namespace cxlgraph::core {
 
 struct RunRequest {
@@ -131,8 +135,19 @@ class ExternalGraphRuntime {
 
   const SystemConfig& config() const noexcept { return config_; }
 
+  /// Attaches a telemetry sink (nullptr detaches). When enabled, each
+  /// run_trace records per-superstep spans, a live simulator tap with
+  /// link/heat/outstanding probes, and device state-model transitions —
+  /// all passively: results stay bit-identical to the detached path.
+  /// Only for runtimes driven from one thread (the CLI / bench path);
+  /// sweep fan-out should leave its per-task runtimes untapped.
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
  private:
   SystemConfig config_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace cxlgraph::core

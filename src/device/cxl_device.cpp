@@ -53,6 +53,9 @@ void CxlDevice::admit_flit(std::uint32_t parent_slot) {
       transfer =
           static_cast<SimTime>(static_cast<double>(transfer) * mult + 0.5);
     }
+    if (state_trace_.bound()) {
+      state_trace_.on_thermal(arrival, thermal_.throttled());
+    }
   }
   channel_busy_until_ = slot_start + transfer;
   const SimTime dram_ready = channel_busy_until_ + params_.dram_latency;

@@ -24,6 +24,7 @@
 
 #include "device/device.hpp"
 #include "device/state_model.hpp"
+#include "obs/telemetry.hpp"
 #include "util/slot_pool.hpp"
 #include "util/units.hpp"
 
@@ -85,6 +86,12 @@ class CxlDevice final : public MemoryDevice {
     params_.added_latency = added;
   }
 
+  /// Passive telemetry tap for thermal transitions (nullptr detaches);
+  /// the track is named after this device under the "device" process.
+  void set_telemetry(obs::Telemetry* telemetry) {
+    state_trace_.bind(telemetry, "device", caps_.name);
+  }
+
  private:
   /// A multi-flit read's join state, pooled; flits reference their parent
   /// by slot index (one flit == one event payload).
@@ -127,6 +134,7 @@ class CxlDevice final : public MemoryDevice {
   /// Latency-bridge FIFO ordering: pops are monotone in time.
   SimTime last_pop_time_ = 0;
   ThermalState thermal_;
+  obs::StateModelTrace state_trace_;
 };
 
 /// Address-interleaved pool of CXL devices (NUMA page interleaving in the
@@ -148,8 +156,14 @@ class CxlMemoryPool final : public MemoryDevice {
     return static_cast<unsigned>(devices_.size());
   }
   CxlDevice& device(unsigned i) { return *devices_[i]; }
+  const CxlDevice& device(unsigned i) const { return *devices_[i]; }
 
   void set_added_latency(SimTime added) noexcept;
+
+  /// Binds every member device's state-model tap.
+  void set_telemetry(obs::Telemetry* telemetry) {
+    for (auto& d : devices_) d->set_telemetry(telemetry);
+  }
 
  private:
   std::vector<std::unique_ptr<CxlDevice>> devices_;

@@ -111,6 +111,9 @@ double StorageDrive::service_stretch(SimTime now, std::uint32_t bytes) {
     if (mult > 1.0) ++stats_.throttled_requests;
     stretch *= mult;
     stats_.peak_heat = thermal_.peak_heat();
+    if (state_trace_.bound()) {
+      state_trace_.on_thermal(now, thermal_.throttled());
+    }
   }
   return stretch;
 }
@@ -187,6 +190,10 @@ void StorageDrive::on_event(void* self, std::uint16_t opcode, std::uint32_t a,
               0.5);
           drive->wear_.charge(drive->params_.endurance, bytes);
           drive->stats_.wear_units = drive->wear_.wear_units();
+          if (drive->state_trace_.bound()) {
+            drive->state_trace_.on_wear(drive->sim_.now(),
+                                        drive->wear_.wear_units());
+          }
         }
       }
       const SimTime service_start =
@@ -280,6 +287,13 @@ void StorageArray::submit_write(std::uint64_t addr, std::uint32_t bytes,
   submit_split(addr, bytes, done,
                [](StorageDrive& drive, std::uint64_t a, std::uint32_t n,
                   DoneFn d) { drive.submit_write(a, n, d); });
+}
+
+void StorageArray::set_telemetry(obs::Telemetry* telemetry) {
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    drives_[i]->set_telemetry(telemetry,
+                              params_.name + "[" + std::to_string(i) + "]");
+  }
 }
 
 StorageDriveStats StorageArray::aggregate_stats() const {

@@ -19,6 +19,7 @@
 
 #include "device/pcie.hpp"
 #include "device/state_model.hpp"
+#include "obs/telemetry.hpp"
 #include "util/slot_pool.hpp"
 #include "util/units.hpp"
 
@@ -91,6 +92,12 @@ class StorageDrive {
   bool throttled() const noexcept { return thermal_.throttled(); }
   double wear_units() const noexcept { return wear_.wear_units(); }
 
+  /// Passive telemetry tap for state-model transitions (nullptr detaches).
+  /// `thread` names this drive's trace track under the "device" process.
+  void set_telemetry(obs::Telemetry* telemetry, const std::string& thread) {
+    state_trace_.bind(telemetry, "device", thread);
+  }
+
  private:
   /// Pooled per-request state; events carry the slot index.
   struct Pending {
@@ -132,6 +139,7 @@ class StorageDrive {
   bool state_dependent_ = false;
   ThermalState thermal_;
   WearState wear_;
+  obs::StateModelTrace state_trace_;
 };
 
 /// A striped array of identical drives (16 XLFDDs / 4 NVMe SSDs in the
@@ -149,7 +157,11 @@ class StorageArray {
   unsigned num_drives() const noexcept {
     return static_cast<unsigned>(drives_.size());
   }
+  const StorageDrive& drive(unsigned i) const noexcept { return *drives_[i]; }
   const StorageDriveParams& drive_params() const noexcept { return params_; }
+
+  /// Binds every member drive's state-model tap (tracks "name[i]").
+  void set_telemetry(obs::Telemetry* telemetry);
   double total_iops() const noexcept {
     return params_.iops * static_cast<double>(drives_.size());
   }

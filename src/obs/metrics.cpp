@@ -1,0 +1,112 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cxlgraph::obs {
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& component,
+                                               const std::string& name,
+                                               Kind kind) {
+  auto key = std::make_pair(component, name);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    auto e = std::make_unique<Entry>();
+    e->kind = kind;
+    it = entries_.emplace(std::move(key), std::move(e)).first;
+  } else if (it->second->kind != kind) {
+    throw std::logic_error("MetricsRegistry: metric '" + component + "/" +
+                           name + "' registered with conflicting kinds");
+  }
+  return *it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& component,
+                                  const std::string& name) {
+  return entry(component, name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& component,
+                              const std::string& name) {
+  return entry(component, name, Kind::kGauge).gauge;
+}
+
+util::Log2Histogram& MetricsRegistry::histogram(const std::string& component,
+                                                const std::string& name) {
+  return entry(component, name, Kind::kHistogram).histogram;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [key, e] : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"component\":\"" << json_escape(key.first) << "\",\"name\":\""
+       << json_escape(key.second) << "\"";
+    switch (e->kind) {
+      case Kind::kCounter:
+        os << ",\"kind\":\"counter\",\"value\":" << e->counter.value();
+        break;
+      case Kind::kGauge:
+        os << ",\"kind\":\"gauge\",\"value\":" << json_number(e->gauge.value())
+           << ",\"max\":" << json_number(e->gauge.max())
+           << ",\"updates\":" << e->gauge.updates();
+        break;
+      case Kind::kHistogram: {
+        const auto& h = e->histogram;
+        os << ",\"kind\":\"histogram\",\"count\":" << h.count()
+           << ",\"p50\":" << json_number(h.quantile(0.50))
+           << ",\"p99\":" << json_number(h.quantile(0.99)) << ",\"buckets\":[";
+        for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+          if (i != 0) os << ",";
+          os << h.buckets()[i];
+        }
+        os << "]";
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Integers that fit exactly print without an exponent or trailing dot.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace cxlgraph::obs

@@ -1,0 +1,96 @@
+#pragma once
+/// \file metrics.hpp
+/// Named metrics registry: counters, gauges, and Log2Histogram-backed
+/// histograms keyed by (component, name). Components hold on to the
+/// returned handle pointers, so the per-update cost is one pointer
+/// indirection plus the arithmetic — and components only fetch handles
+/// when telemetry is enabled, so the disabled path never touches the
+/// registry at all.
+///
+/// Snapshots are deterministic: entries export in (component, name)
+/// order regardless of registration order, so two runs producing the
+/// same update sequence serialize byte-identical JSON.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "util/stats.hpp"
+
+namespace cxlgraph::obs {
+
+/// Monotonic event/byte counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value gauge that also tracks the high-water mark.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (updates_ == 0 || v > max_) max_ = v;
+    value_ = v;
+    ++updates_;
+  }
+  double value() const noexcept { return value_; }
+  double max() const noexcept { return max_; }
+  std::uint64_t updates() const noexcept { return updates_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t updates_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Handles are stable for the registry's lifetime; re-registering the
+  /// same (component, name) returns the existing instrument. Registering
+  /// a name that already exists with a different kind throws.
+  Counter& counter(const std::string& component, const std::string& name);
+  Gauge& gauge(const std::string& component, const std::string& name);
+  util::Log2Histogram& histogram(const std::string& component,
+                                 const std::string& name);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Writes a `{"metrics": [...]}` JSON snapshot sorted by
+  /// (component, name) — the export format behind --metrics-out.
+  void write_json(std::ostream& os) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    util::Log2Histogram histogram;
+  };
+
+  Entry& entry(const std::string& component, const std::string& name,
+               Kind kind);
+
+  // std::map keeps the export order sorted; unique_ptr keeps handles
+  // stable across inserts.
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Entry>>
+      entries_;
+};
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+/// Formats a double for JSON: shortest representation that round-trips,
+/// never NaN/Inf (clamped to 0 with a lossless fallback for integers).
+std::string json_number(double v);
+
+}  // namespace cxlgraph::obs

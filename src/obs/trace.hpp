@@ -1,0 +1,89 @@
+#pragma once
+/// \file trace.hpp
+/// Simulated-time span tracer emitting Chrome trace-event JSON (the
+/// format chrome://tracing and Perfetto load natively).
+///
+/// The trace model maps simulation structure onto the viewer's
+/// process/thread grid: a *track* is one (process, thread) row — e.g.
+/// ("runtime", "supersteps") or ("device", "ssd[3]") — and events land
+/// on a track as either complete spans (`ph:"X"`, start + duration) or
+/// instants (`ph:"i"`). Timestamps are simulated picoseconds recorded
+/// verbatim; export divides to microseconds (the trace-event unit) at
+/// full precision, so nothing is rounded until serialization.
+///
+/// Recording is append-only into flat vectors with interned names:
+/// no allocation per event beyond vector growth, no clock reads, no
+/// observable effect on the simulation.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace cxlgraph::obs {
+
+class TimeSeriesSampler;
+
+inline constexpr std::uint32_t kNoArg = 0xffffffffu;
+
+struct TraceEvent {
+  util::SimTime ts = 0;   ///< start (instant: the moment), simulated ps
+  util::SimTime dur = 0;  ///< complete spans only
+  std::uint64_t arg = 0;  ///< numeric argument (arg_key != kNoArg)
+  std::uint32_t name = 0; ///< interned string id
+  std::uint32_t arg_key = kNoArg;  ///< interned key for `arg`, or kNoArg
+  std::uint16_t track = 0;
+  char phase = 'X';  ///< 'X' complete span, 'i' instant
+};
+
+class SpanTracer {
+ public:
+  struct Track {
+    std::string process;
+    std::string thread;
+    std::uint32_t pid = 0;  ///< 1-based, one per distinct process name
+    std::uint32_t tid = 0;  ///< 1-based within the process
+  };
+
+  /// Returns the track id for (process, thread), creating it on first use.
+  std::uint16_t track(const std::string& process, const std::string& thread);
+
+  /// Interns a string, returning a stable id.
+  std::uint32_t intern(const std::string& s);
+
+  void complete(std::uint16_t track, std::uint32_t name, util::SimTime start,
+                util::SimTime dur, std::uint32_t arg_key = kNoArg,
+                std::uint64_t arg = 0) {
+    events_.push_back(TraceEvent{start, dur, arg, name, arg_key, track, 'X'});
+  }
+  void instant(std::uint16_t track, std::uint32_t name, util::SimTime at,
+               std::uint32_t arg_key = kNoArg, std::uint64_t arg = 0) {
+    events_.push_back(TraceEvent{at, 0, arg, name, arg_key, track, 'i'});
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  const std::vector<Track>& tracks() const noexcept { return tracks_; }
+  const std::string& string_at(std::uint32_t id) const {
+    return strings_[id];
+  }
+  bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<Track> tracks_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::uint32_t> intern_;
+  std::unordered_map<std::string, std::uint32_t> pids_;
+  std::unordered_map<std::string, std::uint16_t> track_ids_;
+};
+
+/// Serializes spans (+ optional sampler channels as counter tracks) as a
+/// `{"traceEvents":[...]}` document: metadata names first, then events
+/// sorted by simulated time (stable — ties keep emission order).
+void write_chrome_trace(std::ostream& os, const SpanTracer& tracer,
+                        const TimeSeriesSampler* sampler = nullptr);
+
+}  // namespace cxlgraph::obs

@@ -1,0 +1,368 @@
+#include "obs/trace_check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace cxlgraph::obs {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return keyword("true", [] {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      }());
+      case 'f': return keyword("false", [] {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        return v;
+      }());
+      case 'n': return keyword("null", JsonValue{});
+      default: return number();
+    }
+  }
+
+  JsonValue keyword(const char* word, JsonValue result) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+    return result;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key.string), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    expect('"');
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'b': v.string += '\b'; break;
+        case 'f': v.string += '\f'; break;
+        case 'n': v.string += '\n'; break;
+        case 'r': v.string += '\r'; break;
+        case 't': v.string += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogates pass through as
+          // replacement-free bytes; the tracer never emits them).
+          if (code < 0x80) {
+            v.string += static_cast<char>(code);
+          } else if (code < 0x800) {
+            v.string += static_cast<char>(0xC0 | (code >> 6));
+            v.string += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            v.string += static_cast<char>(0xE0 | (code >> 12));
+            v.string += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            v.string += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_string(const JsonValue* v) {
+  return v != nullptr && v->type == JsonValue::Type::kString;
+}
+bool is_number(const JsonValue* v) {
+  return v != nullptr && v->type == JsonValue::Type::kNumber;
+}
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+JsonValue parse_json(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_json(buf.str());
+}
+
+TraceCheckResult check_trace(const JsonValue& doc) {
+  TraceCheckResult result;
+  const auto fail = [&result](std::size_t i, const std::string& what) {
+    result.error = "traceEvents[" + std::to_string(i) + "]: " + what;
+    return result;
+  };
+
+  if (doc.type != JsonValue::Type::kObject) {
+    result.error = "root is not an object";
+    return result;
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    result.error = "missing traceEvents array";
+    return result;
+  }
+
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    if (ev.type != JsonValue::Type::kObject) return fail(i, "not an object");
+    const JsonValue* ph = ev.find("ph");
+    if (!is_string(ph) || ph->string.size() != 1) {
+      return fail(i, "missing one-character ph");
+    }
+    if (!is_string(ev.find("name"))) return fail(i, "missing name");
+    if (!is_number(ev.find("pid")) || !is_number(ev.find("tid"))) {
+      return fail(i, "missing pid/tid");
+    }
+    const char phase = ph->string[0];
+    switch (phase) {
+      case 'M': {
+        const JsonValue* args = ev.find("args");
+        if (args == nullptr || !is_string(args->find("name"))) {
+          return fail(i, "metadata without args.name");
+        }
+        const std::string& meta = ev.find("name")->string;
+        if (meta != "process_name" && meta != "thread_name") {
+          return fail(i, "unknown metadata record '" + meta + "'");
+        }
+        ++result.metadata;
+        break;
+      }
+      case 'X': {
+        const JsonValue* ts = ev.find("ts");
+        const JsonValue* dur = ev.find("dur");
+        if (!is_number(ts) || ts->number < 0.0) return fail(i, "bad ts");
+        if (!is_number(dur) || dur->number < 0.0) return fail(i, "bad dur");
+        ++result.spans;
+        break;
+      }
+      case 'i':
+      case 'I': {
+        const JsonValue* ts = ev.find("ts");
+        if (!is_number(ts) || ts->number < 0.0) return fail(i, "bad ts");
+        ++result.instants;
+        break;
+      }
+      case 'C': {
+        const JsonValue* ts = ev.find("ts");
+        if (!is_number(ts) || ts->number < 0.0) return fail(i, "bad ts");
+        if (ev.find("args") == nullptr) return fail(i, "counter without args");
+        ++result.counters;
+        break;
+      }
+      default:
+        return fail(i, std::string("unsupported phase '") + phase + "'");
+    }
+  }
+  result.events = events->array.size();
+  result.ok = true;
+  return result;
+}
+
+std::vector<TrackSummary> summarize_trace(const JsonValue& doc) {
+  const TraceCheckResult check = check_trace(doc);
+  if (!check.ok) {
+    throw std::runtime_error("invalid trace: " + check.error);
+  }
+  const JsonValue& events = *doc.find("traceEvents");
+
+  // Resolve pid/tid to names from metadata records first.
+  std::map<double, std::string> process_names;
+  std::map<std::pair<double, double>, std::string> thread_names;
+  for (const JsonValue& ev : events.array) {
+    if (ev.find("ph")->string != "M") continue;
+    const std::string& meta = ev.find("name")->string;
+    const double pid = ev.find("pid")->number;
+    const std::string& name = ev.find("args")->find("name")->string;
+    if (meta == "process_name") {
+      process_names[pid] = name;
+    } else {
+      thread_names[{pid, ev.find("tid")->number}] = name;
+    }
+  }
+
+  std::map<std::pair<std::string, std::string>, TrackSummary> tracks;
+  for (const JsonValue& ev : events.array) {
+    const char phase = ev.find("ph")->string[0];
+    if (phase != 'X' && phase != 'i' && phase != 'I') continue;
+    const double pid = ev.find("pid")->number;
+    const double tid = ev.find("tid")->number;
+    const auto pit = process_names.find(pid);
+    std::string process = pit != process_names.end()
+                              ? pit->second
+                              : "pid " + std::to_string(pid);
+    const auto tit = thread_names.find({pid, tid});
+    std::string thread =
+        tit != thread_names.end() ? tit->second : "tid " + std::to_string(tid);
+
+    auto [it, inserted] =
+        tracks.try_emplace({std::move(process), std::move(thread)});
+    TrackSummary& t = it->second;
+    if (inserted) {
+      t.process = it->first.first;
+      t.thread = it->first.second;
+      t.first_us = ev.find("ts")->number;
+    }
+    const double ts = ev.find("ts")->number;
+    t.first_us = std::min(t.first_us, ts);
+    if (phase == 'X') {
+      const double dur = ev.find("dur")->number;
+      ++t.spans;
+      t.busy_us += dur;
+      t.last_us = std::max(t.last_us, ts + dur);
+    } else {
+      ++t.instants;
+      t.last_us = std::max(t.last_us, ts);
+    }
+  }
+
+  std::vector<TrackSummary> out;
+  out.reserve(tracks.size());
+  for (auto& [key, t] : tracks) out.push_back(std::move(t));
+  return out;
+}
+
+}  // namespace cxlgraph::obs

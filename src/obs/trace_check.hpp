@@ -1,0 +1,73 @@
+#pragma once
+/// \file trace_check.hpp
+/// Self-contained trace-event JSON validation and summarization: a
+/// minimal recursive-descent JSON reader (no dependency beyond the
+/// standard library), a schema checker for the subset of the Chrome
+/// trace-event format our writer emits, and a per-track utilization
+/// fold. Lives in the library (not the tool) so tests exercise the
+/// exact code `tools/trace_summary` ships.
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace cxlgraph::obs {
+
+/// A parsed JSON value. Numbers are doubles (trace-event ts/dur fit
+/// comfortably); object members keep document order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses one JSON document; throws std::runtime_error with a byte
+/// offset on malformed input.
+JsonValue parse_json(std::istream& in);
+JsonValue parse_json(const std::string& text);
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::string error;  ///< first violation, empty when ok
+  std::size_t events = 0;
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  std::size_t counters = 0;
+  std::size_t metadata = 0;
+};
+
+/// Validates a `{"traceEvents": [...]}` document against the schema the
+/// tracer emits: every event an object with string `ph`/`name` and
+/// numeric `pid`/`tid`; non-metadata events carry `ts` >= 0; complete
+/// spans carry `dur` >= 0; metadata events name a process or thread.
+TraceCheckResult check_trace(const JsonValue& doc);
+
+struct TrackSummary {
+  std::string process;
+  std::string thread;
+  std::uint64_t spans = 0;
+  std::uint64_t instants = 0;
+  double busy_us = 0.0;   ///< sum of span durations
+  double first_us = 0.0;  ///< earliest event timestamp on the track
+  double last_us = 0.0;   ///< latest span end / instant timestamp
+
+  /// busy time over the track's own [first, last] window.
+  double utilization() const noexcept {
+    const double window = last_us - first_us;
+    return window > 0.0 ? busy_us / window : 0.0;
+  }
+};
+
+/// Folds a validated trace into per-(process, thread) utilization rows,
+/// sorted by (process, thread). Counter/metadata events are skipped.
+std::vector<TrackSummary> summarize_trace(const JsonValue& doc);
+
+}  // namespace cxlgraph::obs

@@ -1,15 +1,18 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "algo/bfs.hpp"
 #include "device/state_model.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -74,6 +77,103 @@ struct ServeSim {
   std::vector<std::vector<std::size_t>> client_queries;
   std::vector<std::size_t> client_cursor;
 
+  /// Telemetry (all null/false when detached — the default path). Every
+  /// hook below only appends to obs-owned buffers, so the schedule and
+  /// every record stay bit-identical to the untapped run.
+  obs::Telemetry* telemetry = nullptr;
+  bool tracing = false;
+  bool sampling = false;
+  std::uint16_t track_stack = 0;      ///< ("serve","stack"): quanta spans
+  std::uint16_t track_lifecycle = 0;  ///< ("serve","lifecycle"): instants
+  std::uint32_t n_quantum = 0, n_admit = 0, n_shed = 0, n_complete = 0;
+  std::uint32_t k_query = 0;
+  obs::Counter* c_admitted = nullptr;
+  obs::Counter* c_shed = nullptr;
+  obs::Counter* c_completed = nullptr;
+  util::Log2Histogram* h_latency_ns = nullptr;
+  std::uint32_t ch_depth = 0;  ///< waiting + in service, sampled per event
+  std::uint32_t ch_bytes = 0;  ///< link bytes charged per quantum
+  obs::StateModelTrace stack_trace;
+  std::unique_ptr<obs::SimRunObserver> observer;
+
+  void attach_telemetry(obs::Telemetry* sink) {
+    if (sink == nullptr || !sink->enabled()) return;
+    telemetry = sink;
+    if (sink->tracing()) {
+      tracing = true;
+      obs::SpanTracer& tr = sink->tracer();
+      track_stack = tr.track("serve", "stack");
+      track_lifecycle = tr.track("serve", "lifecycle");
+      n_quantum = tr.intern("quantum");
+      n_admit = tr.intern("admit");
+      n_shed = tr.intern("shed");
+      n_complete = tr.intern("complete");
+      k_query = tr.intern("query");
+    }
+    if (sink->metering()) {
+      obs::MetricsRegistry& m = sink->metrics();
+      c_admitted = &m.counter("serve", "admitted");
+      c_shed = &m.counter("serve", "shed");
+      c_completed = &m.counter("serve", "completed");
+      h_latency_ns = &m.histogram("serve", "latency_ns");
+    }
+    if (sink->sampling()) {
+      sampling = true;
+      obs::TimeSeriesSampler& s = sink->sampler();
+      ch_depth = s.channel("serve/queue_depth",
+                           obs::TimeSeriesSampler::Reduce::kMax);
+      ch_bytes = s.channel("serve/quantum_bytes",
+                           obs::TimeSeriesSampler::Reduce::kSum);
+    }
+    stack_trace.bind(sink, "serve", "stack-heat");
+    observer = std::make_unique<obs::SimRunObserver>(*sink, "serve_sim");
+    observer->add_probe(
+        "heat", [this]() { return stack_heat.heat(); },
+        obs::TimeSeriesSampler::Reduce::kMax);
+  }
+
+  double depth() const noexcept {
+    return static_cast<double>(ready.size() + (active != kNoQuery ? 1 : 0));
+  }
+
+  void note_admission(std::size_t i, bool was_shed) {
+    const QueryRecord& r = records[i];
+    if (tracing) {
+      telemetry->tracer().instant(track_lifecycle,
+                                  was_shed ? n_shed : n_admit, sim.now(),
+                                  k_query, r.id);
+    }
+    if (c_admitted != nullptr) (was_shed ? c_shed : c_admitted)->add(1);
+    if (sampling && !was_shed) {
+      telemetry->sampler().record(ch_depth, sim.now(), depth());
+    }
+  }
+
+  void note_quantum(std::size_t i, util::SimTime duration,
+                    std::uint64_t bytes) {
+    if (tracing) {
+      telemetry->tracer().complete(track_stack, n_quantum, sim.now(),
+                                   duration, k_query, records[i].id);
+    }
+    if (sampling) {
+      obs::TimeSeriesSampler& s = telemetry->sampler();
+      s.record(ch_bytes, sim.now(), static_cast<double>(bytes));
+      s.record(ch_depth, sim.now(), depth());
+    }
+  }
+
+  void note_completion(std::size_t i) {
+    const QueryRecord& r = records[i];
+    if (tracing) {
+      telemetry->tracer().instant(track_lifecycle, n_complete, sim.now(),
+                                  k_query, r.id);
+    }
+    if (c_completed != nullptr) {
+      c_completed->add(1);
+      h_latency_ns->add((r.completion - r.arrival) / util::kPsPerNs);
+    }
+  }
+
   ServeSim(const ServeConfig& config_in, const WorkloadSpec& spec_in,
            const std::vector<Query>& queries_in,
            const std::vector<QueryProfile>& profiles_in,
@@ -101,6 +201,7 @@ struct ServeSim {
     if (config.max_waiting > 0 && ready.size() >= config.max_waiting) {
       r.shed = true;
       ++shed;
+      if (telemetry != nullptr) note_admission(i, /*was_shed=*/true);
       // A shed query does not stall its closed-loop client.
       if (spec.process == ArrivalProcess::kClosedLoop) {
         issue_next(static_cast<std::uint32_t>(i % spec.num_clients));
@@ -109,6 +210,7 @@ struct ServeSim {
     }
     ++admitted;
     ready.push_back(i);
+    if (telemetry != nullptr) note_admission(i, /*was_shed=*/false);
     dispatch();
   }
 
@@ -176,12 +278,16 @@ struct ServeSim {
             static_cast<double>(duration) * mult + 0.5);
         ++throttled_quanta;
       }
+      if (stack_trace.bound()) {
+        stack_trace.on_thermal(sim.now(), stack_heat.throttled());
+      }
     }
     next_step[i] += quantum;
     r.service_ps += duration;
     r.service_bytes += bytes;
     busy_ps += duration;
     link_bytes += bytes;
+    if (telemetry != nullptr) note_quantum(i, duration, bytes);
     sim.schedule_after(duration, [this]() { quantum_done(); });
   }
 
@@ -194,6 +300,7 @@ struct ServeSim {
     completion_order_latency_us.push_back(
         util::us_from_ps(r.completion - r.arrival));
     ++completed;
+    if (telemetry != nullptr) note_completion(i);
     if (spec.process == ArrivalProcess::kClosedLoop) {
       issue_next(static_cast<std::uint32_t>(i % spec.num_clients));
     }
@@ -235,7 +342,12 @@ struct ServeSim {
       }
       for (std::uint32_t c = 0; c < spec.num_clients; ++c) issue_next(c);
     }
+    if (observer != nullptr) sim.set_observer(observer.get());
     sim.run();
+    if (observer != nullptr) {
+      observer->finish();
+      sim.set_observer(nullptr);
+    }
   }
 };
 
@@ -273,25 +385,16 @@ std::vector<SoakWindow> soak_windows(const ServeReport& report,
   if (windows == 0 || report.completed == 0 || report.makespan_sec <= 0.0) {
     return out;
   }
-  const double span = report.makespan_sec / static_cast<double>(windows);
-  std::vector<std::vector<double>> samples(windows);
+  obs::WindowSeries series;
   for (const QueryRecord& r : report.queries) {
     if (r.shed) continue;
-    const double t = util::sec_from_ps(r.completion);
-    auto w = static_cast<std::size_t>(t / span);
-    if (w >= windows) w = windows - 1;  // the last completion lands on the edge
-    samples[w].push_back(util::us_from_ps(r.completion - r.arrival));
+    series.record(util::sec_from_ps(r.completion),
+                  util::us_from_ps(r.completion - r.arrival));
   }
-  out.resize(windows);
-  for (std::size_t w = 0; w < windows; ++w) {
-    SoakWindow& win = out[w];
-    win.start_sec = span * static_cast<double>(w);
-    win.end_sec = span * static_cast<double>(w + 1);
-    win.completed = static_cast<std::uint32_t>(samples[w].size());
-    if (!samples[w].empty()) {
-      win.p50_us = util::percentile(samples[w], 50.0);
-      win.p99_us = util::percentile(std::move(samples[w]), 99.0);
-    }
+  out.reserve(windows);
+  for (const obs::WindowSeries::Window& w :
+       series.fold(windows, report.makespan_sec)) {
+    out.push_back(SoakWindow{w.start_sec, w.end_sec, w.count, w.p50, w.p99});
   }
   return out;
 }
@@ -510,6 +613,7 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
 
   ServeSim simulation(request.config, spec, queries, profiles,
                       report.queries, *thermal);
+  simulation.attach_telemetry(telemetry_);
   simulation.run();
 
   // -------------------------------------------------------------------
@@ -553,6 +657,13 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
   report.streaming_p50_us = p50.estimate();
   report.streaming_p95_us = p95.estimate();
   report.streaming_p99_us = p99.estimate();
+  const auto rel_error = [](double exact, double estimate) {
+    return exact > 0.0 ? std::fabs(estimate - exact) / exact : 0.0;
+  };
+  report.p2_max_rel_error = std::max(
+      {rel_error(report.latency_us.p50, report.streaming_p50_us),
+       rel_error(report.latency_us.p95, report.streaming_p95_us),
+       rel_error(report.latency_us.p99, report.streaming_p99_us)});
   report.time_in_queue_sec = util::sec_from_ps(queue_total);
   report.time_in_service_sec = util::sec_from_ps(service_total);
   if (report.makespan_sec > 0.0) {

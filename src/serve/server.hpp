@@ -156,6 +156,10 @@ struct ServeReport {
   double streaming_p50_us = 0.0;
   double streaming_p95_us = 0.0;
   double streaming_p99_us = 0.0;
+  /// Worst relative gap between the exact percentiles and their P²
+  /// estimates, over {p50, p95, p99} (0 when nothing completed). The
+  /// number a dashboard trusting the streaming estimators should watch.
+  double p2_max_rel_error = 0.0;
 
   /// Time-in-queue vs time-in-service totals over completed queries.
   double time_in_queue_sec = 0.0;
@@ -217,6 +221,17 @@ class QueryServer {
 
   const core::SystemConfig& config() const noexcept { return config_; }
 
+  /// Attaches a telemetry sink (nullptr detaches). When enabled, the
+  /// queueing simulation records the query lifecycle (admit / shed /
+  /// quanta / complete), queue-depth and heat channels, and stack
+  /// throttle transitions — passively, so every ServeReport field stays
+  /// bit-identical to the detached path. Idle-stack profiling runs are
+  /// deliberately untapped: they fan out across threads and describe
+  /// cached profiles, not serving-time behavior.
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
   std::size_t profile_cache_size() const noexcept {
     return profile_cache_.size();
   }
@@ -263,6 +278,7 @@ class QueryServer {
   std::uint64_t cache_clock_ = 0;
   std::uint64_t profiles_computed_ = 0;
   std::uint64_t cached_graph_fingerprint_ = 0;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace cxlgraph::serve

@@ -24,6 +24,9 @@ std::uint64_t Simulator::run(std::uint64_t max_events) {
     }
     const Event ev = queue_.pop();
     now_ = ev.time;
+    if (observer_ != nullptr) {
+      observer_->on_event(now_, ev.listener, ev.opcode);
+    }
     execute(ev);
     ++count;
   }
@@ -40,6 +43,9 @@ std::uint64_t Simulator::run_until(SimTime deadline,
     }
     const Event ev = queue_.pop();
     now_ = ev.time;
+    if (observer_ != nullptr) {
+      observer_->on_event(now_, ev.listener, ev.opcode);
+    }
     execute(ev);
     ++count;
   }

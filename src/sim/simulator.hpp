@@ -39,6 +39,17 @@ using HandlerFn = void (*)(void* self, std::uint16_t opcode, std::uint32_t a,
 
 inline constexpr std::uint16_t kNullListener = 0xffffu;
 
+/// Passive tap on the dispatch loop. An attached observer sees every event
+/// just before its handler runs; implementations must only *read* (count,
+/// sample, trace) — scheduling events or mutating simulation state from an
+/// observer would perturb the (time, seq) order the identity goldens pin.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  virtual void on_event(SimTime now, std::uint16_t listener,
+                        std::uint16_t opcode) = 0;
+};
+
 /// A continuation as data: who to notify (listener), what about (opcode),
 /// and a small payload. Copyable, trivially destructible, no allocation.
 /// Invoke through Simulator::dispatch (immediate) or schedule_at/after.
@@ -58,6 +69,13 @@ class Simulator {
   SimTime now() const noexcept { return now_; }
   std::uint64_t events_processed() const noexcept { return processed_; }
   std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Attaches (or detaches, with nullptr) a passive dispatch observer.
+  /// Costs one predictable branch per event when detached.
+  void set_observer(EventObserver* observer) noexcept {
+    observer_ = observer;
+  }
+  EventObserver* observer() const noexcept { return observer_; }
 
   /// Registers a listener; the returned index is this component's event
   /// address for the lifetime of the simulator.
@@ -153,6 +171,7 @@ class Simulator {
   util::SlotPool<EventFn> closures_;
   SimTime now_ = 0;
   std::uint64_t processed_ = 0;
+  EventObserver* observer_ = nullptr;
 };
 
 }  // namespace cxlgraph::sim

@@ -64,6 +64,16 @@ void Log2Histogram::add(std::uint64_t value) noexcept {
   ++count_;
 }
 
+void Log2Histogram::merge(const Log2Histogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+}
+
 double Log2Histogram::quantile(double q) const noexcept {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

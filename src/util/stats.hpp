@@ -60,6 +60,9 @@ class Log2Histogram {
   /// Renders a human-readable summary, one line per non-empty bucket.
   std::string to_string() const;
 
+  /// Merges another histogram into this one (parallel / shard reduction).
+  void merge(const Log2Histogram& other);
+
   const std::vector<std::uint64_t>& buckets() const noexcept {
     return buckets_;
   }

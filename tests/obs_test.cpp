@@ -1,0 +1,284 @@
+/// obs — metrics registry, span tracer, sampler, and trace validation.
+///
+/// The load-bearing guarantees:
+///  * registry snapshots are deterministic: entries export sorted by
+///    (component, name) regardless of registration order, so identical
+///    update sequences serialize byte-identical JSON;
+///  * Log2Histogram::merge is exactly "add every sample to one
+///    histogram" (the parallel-reduction contract);
+///  * trace export orders spans by simulated time with stable ties, and
+///    round-trips through the trace_check parser/validator;
+///  * sampler buckets fold by the channel's declared reduction, and
+///    WindowSeries::fold reproduces the soak-window arithmetic.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_check.hpp"
+#include "util/stats.hpp"
+
+namespace cxlgraph {
+namespace {
+
+// ------------------------------------------------------------ metrics ----
+
+TEST(MetricsRegistry, HandlesAreStableAndSharedByName) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("sim", "events");
+  a.add(3);
+  // Same (component, name) → the same instrument; other names are new.
+  EXPECT_EQ(&reg.counter("sim", "events"), &a);
+  EXPECT_NE(&reg.counter("sim", "other"), &a);
+  EXPECT_EQ(reg.counter("sim", "events").value(), 3u);
+  EXPECT_EQ(reg.size(), 2u);
+  // Re-registering under a different kind is a programming error.
+  EXPECT_THROW(reg.gauge("sim", "events"), std::logic_error);
+  EXPECT_THROW(reg.histogram("sim", "events"), std::logic_error);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndRegistrationOrderInvariant) {
+  const auto snapshot = [](bool reversed) {
+    obs::MetricsRegistry reg;
+    const auto update = [&reg]() {
+      reg.counter("serve", "admitted").add(7);
+      reg.gauge("cluster", "skew").set(1.5);
+      reg.histogram("runtime", "step_ns").add(1024);
+    };
+    const auto update_reversed = [&reg]() {
+      reg.histogram("runtime", "step_ns").add(1024);
+      reg.gauge("cluster", "skew").set(1.5);
+      reg.counter("serve", "admitted").add(7);
+    };
+    reversed ? update_reversed() : update();
+    std::ostringstream os;
+    reg.write_json(os);
+    return os.str();
+  };
+  const std::string forward = snapshot(false);
+  EXPECT_EQ(forward, snapshot(true));
+  // Sorted by (component, name): cluster < runtime < serve.
+  EXPECT_LT(forward.find("cluster"), forward.find("runtime"));
+  EXPECT_LT(forward.find("runtime"), forward.find("serve"));
+  // And it parses as JSON with one entry per instrument.
+  const obs::JsonValue doc = obs::parse_json(forward);
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  EXPECT_EQ(doc.find("metrics")->array.size(), 3u);
+}
+
+TEST(MetricsRegistry, GaugeTracksHighWaterMark) {
+  obs::Gauge g;
+  g.set(2.0);
+  g.set(5.0);
+  g.set(1.0);
+  EXPECT_EQ(g.value(), 1.0);
+  EXPECT_EQ(g.max(), 5.0);
+  EXPECT_EQ(g.updates(), 3u);
+}
+
+TEST(Log2Histogram, MergeEqualsSampleUnion) {
+  util::Log2Histogram a, b, all;
+  const std::vector<std::uint64_t> left = {1, 2, 3, 100, 5000};
+  const std::vector<std::uint64_t> right = {0, 7, 1 << 20, 42};
+  for (const std::uint64_t v : left) {
+    a.add(v);
+    all.add(v);
+  }
+  for (const std::uint64_t v : right) {
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.buckets(), all.buckets());
+  EXPECT_EQ(a.quantile(0.5), all.quantile(0.5));
+  // Merging an empty histogram is the identity.
+  util::Log2Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.buckets(), all.buckets());
+}
+
+TEST(MetricsJson, EscapeAndNumberEdgeCases) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(obs::json_number(42.0), "42");
+  EXPECT_EQ(obs::json_number(-3.0), "-3");
+  // Non-finite values must not leak into JSON.
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "0");
+}
+
+// ------------------------------------------------------------- tracer ----
+
+TEST(SpanTracer, TracksGetStablePidsAndTids) {
+  obs::SpanTracer tracer;
+  const std::uint16_t a = tracer.track("device", "ssd[0]");
+  const std::uint16_t b = tracer.track("device", "ssd[1]");
+  const std::uint16_t c = tracer.track("runtime", "supersteps");
+  EXPECT_EQ(tracer.track("device", "ssd[0]"), a);  // idempotent
+  const auto& tracks = tracer.tracks();
+  ASSERT_EQ(tracks.size(), 3u);
+  EXPECT_EQ(tracks[a].pid, tracks[b].pid);  // same process
+  EXPECT_NE(tracks[a].tid, tracks[b].tid);
+  EXPECT_NE(tracks[c].pid, tracks[a].pid);  // distinct process
+}
+
+TEST(SpanTracer, ExportOrdersBySimulatedTimeWithStableTies) {
+  obs::SpanTracer tracer;
+  const std::uint16_t t = tracer.track("runtime", "supersteps");
+  const std::uint32_t name = tracer.intern("step");
+  // Recorded out of order; ties at ts=100 must keep emission order.
+  tracer.complete(t, name, /*start=*/300, /*dur=*/50);
+  tracer.complete(t, name, /*start=*/100, /*dur=*/10, tracer.intern("k"),
+                  /*arg=*/1);
+  tracer.instant(t, tracer.intern("mark"), /*at=*/100);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, tracer);
+  const obs::JsonValue doc = obs::parse_json(os.str());
+  const obs::TraceCheckResult check = obs::check_trace(doc);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.spans, 2u);
+  EXPECT_EQ(check.instants, 1u);
+
+  // Non-metadata events appear time-sorted: 100 (span), 100 (instant,
+  // recorded after the tied span), 300.
+  std::vector<double> ts;
+  std::vector<std::string> phases;
+  for (const obs::JsonValue& ev : doc.find("traceEvents")->array) {
+    if (ev.find("ph")->string == "M") continue;
+    ts.push_back(ev.find("ts")->number);
+    phases.push_back(ev.find("ph")->string);
+  }
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0], ts[1]);
+  EXPECT_LT(ts[1], ts[2]);
+  EXPECT_EQ(phases[0], "X");
+  EXPECT_EQ(phases[1], "i");
+  // Same tracer contents → byte-identical serialization.
+  std::ostringstream again;
+  obs::write_chrome_trace(again, tracer);
+  EXPECT_EQ(os.str(), again.str());
+}
+
+TEST(SpanTracer, SummaryFoldsBusyTimePerTrack) {
+  obs::SpanTracer tracer;
+  const std::uint16_t t = tracer.track("serve", "stack");
+  const std::uint32_t name = tracer.intern("quantum");
+  // Two spans of 2 us and 3 us within a 10 us window.
+  tracer.complete(t, name, 0, 2 * util::kPsPerUs);
+  tracer.complete(t, name, 7 * util::kPsPerUs, 3 * util::kPsPerUs);
+  std::ostringstream os;
+  obs::write_chrome_trace(os, tracer);
+  const std::vector<obs::TrackSummary> rows =
+      obs::summarize_trace(obs::parse_json(os.str()));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].process, "serve");
+  EXPECT_EQ(rows[0].thread, "stack");
+  EXPECT_EQ(rows[0].spans, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].busy_us, 5.0);
+  EXPECT_DOUBLE_EQ(rows[0].utilization(), 0.5);
+}
+
+TEST(TraceCheck, RejectsMalformedEvents) {
+  // A complete span without a duration violates the trace-event schema.
+  const obs::JsonValue no_dur = obs::parse_json(
+      R"({"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":1,"tid":1}]})");
+  EXPECT_FALSE(obs::check_trace(no_dur).ok);
+  const obs::JsonValue bad_root = obs::parse_json(R"([1,2,3])");
+  EXPECT_FALSE(obs::check_trace(bad_root).ok);
+  EXPECT_THROW(obs::parse_json("{\"truncated\":"), std::runtime_error);
+}
+
+// ------------------------------------------------------------ sampler ----
+
+TEST(TimeSeriesSampler, BucketsFoldByDeclaredReduction) {
+  obs::TimeSeriesSampler sampler(/*quantum=*/100);
+  const std::uint32_t last = sampler.channel("q/depth");
+  const std::uint32_t sum =
+      sampler.channel("q/bytes", obs::TimeSeriesSampler::Reduce::kSum);
+  const std::uint32_t max =
+      sampler.channel("q/peak", obs::TimeSeriesSampler::Reduce::kMax);
+  EXPECT_EQ(sampler.channel("q/depth"), last);  // deduped by name
+  for (const auto [t, v] : std::vector<std::pair<util::SimTime, double>>{
+           {10, 3.0}, {50, 7.0}, {90, 5.0}, {250, 2.0}}) {
+    sampler.record(last, t, v);
+    sampler.record(sum, t, v);
+    sampler.record(max, t, v);
+  }
+  // Bucket [0,100) folded three samples; bucket [200,300) one.
+  ASSERT_EQ(sampler.series(last).size(), 2u);
+  const auto& b0 = sampler.series(last)[0];
+  EXPECT_EQ(b0.index, 0u);
+  EXPECT_EQ(b0.count, 3u);
+  EXPECT_EQ(b0.reduced(obs::TimeSeriesSampler::Reduce::kLast), 5.0);
+  EXPECT_EQ(sampler.series(sum)[0].reduced(
+                obs::TimeSeriesSampler::Reduce::kSum),
+            15.0);
+  EXPECT_EQ(sampler.series(max)[0].reduced(
+                obs::TimeSeriesSampler::Reduce::kMax),
+            7.0);
+  EXPECT_EQ(sampler.series(last)[1].index, 2u);
+  EXPECT_FALSE(sampler.empty());
+}
+
+TEST(WindowSeries, FoldMatchesSoakWindowArithmetic) {
+  // 8 samples over a 4-second horizon into 4 windows; the hand-rolled
+  // reference is the exact bookkeeping bench_serve_mix --soak used.
+  obs::WindowSeries series;
+  const std::vector<std::pair<double, double>> samples = {
+      {0.1, 10.0}, {0.9, 20.0}, {1.5, 30.0}, {1.6, 40.0},
+      {2.2, 50.0}, {3.3, 60.0}, {3.9, 70.0}, {4.0, 80.0}};  // at horizon
+  for (const auto& [t, v] : samples) series.record(t, v);
+  const auto windows = series.fold(4, 4.0);
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[0].start_sec, 0.0);
+  EXPECT_EQ(windows[0].end_sec, 1.0);
+  EXPECT_EQ(windows[0].count, 2u);
+  EXPECT_EQ(windows[1].count, 2u);
+  EXPECT_EQ(windows[2].count, 1u);
+  // The sample at exactly the horizon lands in the last window.
+  EXPECT_EQ(windows[3].count, 3u);
+  EXPECT_EQ(windows[0].p50,
+            util::percentile(std::vector<double>{10.0, 20.0}, 50.0));
+  EXPECT_EQ(windows[3].p99,
+            util::percentile(std::vector<double>{60.0, 70.0, 80.0}, 99.0));
+  // Degenerate folds are empty, not UB.
+  EXPECT_TRUE(series.fold(0, 4.0).empty());
+  EXPECT_TRUE(series.fold(4, 0.0).empty());
+  EXPECT_TRUE(obs::WindowSeries{}.fold(4, 4.0).empty());
+}
+
+// ---------------------------------------------------------- telemetry ----
+
+TEST(Telemetry, DisabledByDefaultAndTogglesGateSubsystems) {
+  obs::Telemetry off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.tracing());
+
+  obs::TelemetryConfig cfg = obs::Telemetry::enabled_config();
+  cfg.metrics = false;
+  obs::Telemetry trace_only(cfg);
+  EXPECT_TRUE(trace_only.tracing());
+  EXPECT_FALSE(trace_only.metering());
+  EXPECT_TRUE(trace_only.sampling());
+}
+
+TEST(Telemetry, EmptyTraceStillValidates) {
+  obs::Telemetry telemetry(obs::Telemetry::enabled_config());
+  std::ostringstream os;
+  telemetry.write_trace_json(os);
+  const obs::TraceCheckResult check =
+      obs::check_trace(obs::parse_json(os.str()));
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.spans, 0u);
+}
+
+}  // namespace
+}  // namespace cxlgraph

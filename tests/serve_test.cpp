@@ -13,6 +13,8 @@
 ///    fetched bytes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "algo/bfs.hpp"
@@ -480,6 +482,38 @@ TEST(QueryServer, SustainedLoadUnderThrottlingRaisesTailOverTime) {
   expect_records_identical(cold, off);
   EXPECT_EQ(off.throttled_quanta, 0u);
   EXPECT_EQ(off.stack_peak_heat, 0.0);
+}
+
+// ------------------------------------- streaming-estimator fidelity ----
+
+TEST(QueryServer, StreamingP2StaysNearExactPercentiles) {
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer server(core::table3_system());
+  const serve::ServeReport r = server.serve(g, mixed_request(2000.0, 64));
+  ASSERT_GT(r.completed, 0u);
+
+  // The report's field is exactly the worst relative gap over the three
+  // tracked quantiles...
+  const auto rel = [](double exact, double est) {
+    return exact > 0.0 ? std::fabs(est - exact) / exact : 0.0;
+  };
+  const double expected =
+      std::max({rel(r.latency_us.p50, r.streaming_p50_us),
+                rel(r.latency_us.p95, r.streaming_p95_us),
+                rel(r.latency_us.p99, r.streaming_p99_us)});
+  EXPECT_EQ(r.p2_max_rel_error, expected);
+
+  // ...and the P² markers, fed every completion, stay within 25% of the
+  // exact sorted-sample percentiles at this sample count. A regression in
+  // either estimator (or in the completion-order feed) blows this bound.
+  EXPECT_GE(r.p2_max_rel_error, 0.0);
+  EXPECT_LT(r.p2_max_rel_error, 0.25);
+
+  // One completion: the estimator degenerates to the single sample and
+  // the gap is exactly zero.
+  const serve::ServeReport one = server.serve(g, mixed_request(100.0, 1));
+  ASSERT_EQ(one.completed, 1u);
+  EXPECT_EQ(one.p2_max_rel_error, 0.0);
 }
 
 }  // namespace

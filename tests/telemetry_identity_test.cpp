@@ -1,0 +1,192 @@
+/// The observability contract's load-bearing half: enabling telemetry
+/// must not change a single simulated result. Every hook only reads
+/// state and appends to obs-owned buffers — no extra simulator events,
+/// no perturbed (time, seq) order — so a run with a fully-enabled
+/// Telemetry sink attached is record-identical to the untapped run.
+/// Each case also asserts the sink actually captured something, so a
+/// regression that silently detaches the hooks fails here instead of
+/// passing vacuously.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cluster_runtime.hpp"
+#include "core/runtime.hpp"
+#include "graph/generate.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/server.hpp"
+
+namespace cxlgraph {
+namespace {
+
+constexpr std::uint64_t kSeed = 17;
+
+graph::CsrGraph test_graph() {
+  graph::GeneratorOptions opts;
+  opts.seed = kSeed;
+  opts.max_weight = 63;
+  return graph::generate_uniform(1 << 10, 8.0, opts);
+}
+
+void expect_reports_identical(const core::RunReport& a,
+                              const core::RunReport& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.access_method, b.access_method);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.runtime_sec, b.runtime_sec);
+  EXPECT_EQ(a.throughput_mbps, b.throughput_mbps);
+  EXPECT_EQ(a.raf, b.raf);
+  EXPECT_EQ(a.avg_transfer_bytes, b.avg_transfer_bytes);
+  EXPECT_EQ(a.used_bytes, b.used_bytes);
+  EXPECT_EQ(a.fetched_bytes, b.fetched_bytes);
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.observed_read_latency_us, b.observed_read_latency_us);
+  EXPECT_EQ(a.avg_outstanding_reads, b.avg_outstanding_reads);
+  EXPECT_EQ(a.link_return_busy_sec, b.link_return_busy_sec);
+  EXPECT_EQ(a.link_upstream_busy_sec, b.link_upstream_busy_sec);
+  EXPECT_EQ(a.written_bytes, b.written_bytes);
+  EXPECT_EQ(a.frontier_vertices, b.frontier_vertices);
+  EXPECT_EQ(a.graph_edges, b.graph_edges);
+}
+
+TEST(TelemetryIdentity, RuntimeRunIsBitIdenticalWithTelemetryOn) {
+  const graph::CsrGraph g = test_graph();
+
+  for (const core::BackendKind backend :
+       {core::BackendKind::kCxl, core::BackendKind::kBamNvme}) {
+    core::RunRequest req;
+    req.algorithm = core::Algorithm::kBfs;
+    req.backend = backend;
+    req.source_seed = kSeed;
+
+    core::ExternalGraphRuntime off(core::table3_system());
+    const core::RunReport baseline = off.run(g, req);
+
+    obs::Telemetry telemetry(obs::Telemetry::enabled_config());
+    core::ExternalGraphRuntime on(core::table3_system());
+    on.set_telemetry(&telemetry);
+    const core::RunReport tapped = on.run(g, req);
+
+    expect_reports_identical(baseline, tapped);
+    // The tap really fired: superstep spans, event counters, channels.
+    EXPECT_FALSE(telemetry.tracer().empty());
+    EXPECT_GT(telemetry.metrics().size(), 0u);
+    EXPECT_FALSE(telemetry.sampler().empty());
+  }
+}
+
+TEST(TelemetryIdentity, ClusterRunIsBitIdenticalWithTelemetryOn) {
+  const graph::CsrGraph g = test_graph();
+  core::ClusterRequest req;
+  req.run.algorithm = core::Algorithm::kBfs;
+  req.run.backend = core::BackendKind::kCxl;
+  req.run.source_seed = kSeed;
+  req.num_shards = 4;
+  req.strategy = partition::Strategy::kDegreeBalanced;
+
+  core::ClusterRuntime off(core::table3_system());
+  const core::ClusterReport baseline = off.run(g, req);
+
+  obs::Telemetry telemetry(obs::Telemetry::enabled_config());
+  core::ClusterRuntime on(core::table3_system());
+  on.set_telemetry(&telemetry);
+  const core::ClusterReport tapped = on.run(g, req);
+
+  EXPECT_EQ(baseline.runtime_sec, tapped.runtime_sec);
+  EXPECT_EQ(baseline.compute_sec, tapped.compute_sec);
+  EXPECT_EQ(baseline.exchange_sec, tapped.exchange_sec);
+  EXPECT_EQ(baseline.exchange_bytes, tapped.exchange_bytes);
+  EXPECT_EQ(baseline.exchange_messages, tapped.exchange_messages);
+  EXPECT_EQ(baseline.supersteps, tapped.supersteps);
+  EXPECT_EQ(baseline.fetched_bytes, tapped.fetched_bytes);
+  EXPECT_EQ(baseline.superstep_compute_ps, tapped.superstep_compute_ps);
+  EXPECT_EQ(baseline.exchange_phase_ps, tapped.exchange_phase_ps);
+  EXPECT_EQ(baseline.superstep_fetched_bytes,
+            tapped.superstep_fetched_bytes);
+  EXPECT_FALSE(telemetry.tracer().empty());
+}
+
+TEST(TelemetryIdentity, ServeRunIsRecordIdenticalWithTelemetryOn) {
+  const graph::CsrGraph g = test_graph();
+  serve::ServeRequest req;
+  req.base.backend = core::BackendKind::kCxl;
+  req.workload.seed = kSeed;
+  req.workload.offered_qps = 2000.0;
+  req.workload.num_queries = 32;
+  req.workload.source_pool = 4;
+  serve::QueryClass bfs;
+  bfs.algorithm = core::Algorithm::kBfs;
+  bfs.slo = util::ps_from_us(5'000.0);
+  serve::QueryClass scan;
+  scan.algorithm = core::Algorithm::kPagerankScan;
+  scan.slo = util::ps_from_us(20'000.0);
+  req.workload.mix = {bfs, scan};
+  req.config.policy = serve::SchedulingPolicy::kRoundRobin;
+  req.config.max_waiting = 8;  // exercise the shed path too
+
+  serve::QueryServer off(core::table3_system());
+  const serve::ServeReport baseline = off.serve(g, req);
+
+  obs::Telemetry telemetry(obs::Telemetry::enabled_config());
+  serve::QueryServer on(core::table3_system());
+  on.set_telemetry(&telemetry);
+  const serve::ServeReport tapped = on.serve(g, req);
+
+  ASSERT_EQ(baseline.queries.size(), tapped.queries.size());
+  for (std::size_t i = 0; i < baseline.queries.size(); ++i) {
+    const serve::QueryRecord& x = baseline.queries[i];
+    const serve::QueryRecord& y = tapped.queries[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.arrival, y.arrival);
+    EXPECT_EQ(x.first_service, y.first_service);
+    EXPECT_EQ(x.completion, y.completion);
+    EXPECT_EQ(x.service_ps, y.service_ps);
+    EXPECT_EQ(x.queue_ps, y.queue_ps);
+    EXPECT_EQ(x.service_bytes, y.service_bytes);
+    EXPECT_EQ(x.shed, y.shed);
+    EXPECT_EQ(x.slo_violated, y.slo_violated);
+  }
+  EXPECT_EQ(baseline.link_bytes, tapped.link_bytes);
+  EXPECT_EQ(baseline.query_bytes, tapped.query_bytes);
+  EXPECT_EQ(baseline.makespan_sec, tapped.makespan_sec);
+  EXPECT_EQ(baseline.latency_us.p99, tapped.latency_us.p99);
+  EXPECT_EQ(baseline.streaming_p99_us, tapped.streaming_p99_us);
+  EXPECT_EQ(baseline.p2_max_rel_error, tapped.p2_max_rel_error);
+
+  // Lifecycle instants (admit/shed/complete) and quanta spans landed.
+  EXPECT_FALSE(telemetry.tracer().empty());
+  EXPECT_GT(telemetry.metrics().size(), 0u);
+}
+
+TEST(TelemetryIdentity, DeviceStateTracingLeavesThrottledRunIdentical) {
+  // Thermal throttling ON is where the device hooks actually fire; the
+  // state-model trace must observe the episodes without changing them.
+  const graph::CsrGraph g = test_graph();
+  core::SystemConfig cfg = core::table3_system();
+  cfg.cxl.thermal.enabled = true;
+  cfg.cxl.thermal.heat_per_mb = 1.0;
+  cfg.cxl.thermal.cool_per_sec = 0.1;
+  cfg.cxl.thermal.throttle_threshold = 0.05;
+  cfg.cxl.thermal.hysteresis = 0.9;
+  cfg.cxl.thermal.throttle_factor = 0.5;
+
+  core::RunRequest req;
+  req.algorithm = core::Algorithm::kBfs;
+  req.backend = core::BackendKind::kCxl;
+  req.source_seed = kSeed;
+
+  core::ExternalGraphRuntime off(cfg);
+  const core::RunReport baseline = off.run(g, req);
+
+  obs::Telemetry telemetry(obs::Telemetry::enabled_config());
+  core::ExternalGraphRuntime on(cfg);
+  on.set_telemetry(&telemetry);
+  const core::RunReport tapped = on.run(g, req);
+
+  expect_reports_identical(baseline, tapped);
+}
+
+}  // namespace
+}  // namespace cxlgraph

@@ -26,6 +26,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/cluster_runtime.hpp"
@@ -33,6 +34,7 @@
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
 #include "graph/reorder.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -47,6 +49,40 @@ int usage() {
                "[options]\n"
                "run --help with a subcommand for its options\n";
   return 2;
+}
+
+/// Telemetry plumbing shared by `run` and `serve`: both outputs default
+/// empty (telemetry fully off — the bit-identical fast path); naming
+/// either file enables the sink for the whole run.
+void add_telemetry_options(util::CliParser& cli) {
+  cli.add_option("trace-out",
+                 "write a Chrome trace-event JSON timeline here "
+                 "(load in Perfetto)",
+                 "");
+  cli.add_option("metrics-out", "write a metrics snapshot JSON here", "");
+}
+
+std::unique_ptr<obs::Telemetry> make_telemetry(const util::CliParser& cli) {
+  if (cli.get("trace-out").empty() && cli.get("metrics-out").empty()) {
+    return nullptr;
+  }
+  return std::make_unique<obs::Telemetry>(obs::Telemetry::enabled_config());
+}
+
+int save_telemetry(const util::CliParser& cli,
+                   const obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) return 0;
+  const std::string trace_path = cli.get("trace-out");
+  if (!trace_path.empty() && !telemetry->save_trace(trace_path)) {
+    std::cerr << "error: cannot write trace to " << trace_path << "\n";
+    return 1;
+  }
+  const std::string metrics_path = cli.get("metrics-out");
+  if (!metrics_path.empty() && !telemetry->save_metrics(metrics_path)) {
+    std::cerr << "error: cannot write metrics to " << metrics_path << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 graph::VertexOrder order_from(const std::string& name) {
@@ -166,7 +202,9 @@ int cmd_run(int argc, char** argv) {
   cli.add_option("jobs", "worker threads for per-shard replays", "0");
   cli.add_flag("gen3", "use the Gen3 (Table-4) system preset");
   cli.add_flag("direct-cxl", "model a direct GPU-CXL path (Sec. 5)");
+  add_telemetry_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const std::unique_ptr<obs::Telemetry> telemetry = make_telemetry(cli);
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   graph::CsrGraph g =
@@ -202,6 +240,7 @@ int cmd_run(int argc, char** argv) {
   const auto shards = static_cast<std::uint32_t>(shards_arg);
   if (shards >= 2) {
     core::ClusterRuntime cluster(cfg, static_cast<unsigned>(jobs_arg));
+    cluster.set_telemetry(telemetry.get());
     core::ClusterRequest creq;
     creq.run = req;
     creq.num_shards = shards;
@@ -246,9 +285,10 @@ int cmd_run(int argc, char** argv) {
     table.add_row({"slowest shard compute",
                    util::fmt(r.max_shard_compute_sec * 1e3, 3) + " ms"});
     table.print(std::cout);
-    return 0;
+    return save_telemetry(cli, telemetry.get());
   }
 
+  runtime.set_telemetry(telemetry.get());
   const core::RunReport r = runtime.run(g, req);
 
   util::TablePrinter table({"Metric", "Value"});
@@ -268,7 +308,7 @@ int cmd_run(int argc, char** argv) {
   table.add_row({"latency under load",
                  util::fmt(r.observed_read_latency_us, 2) + " us"});
   table.print(std::cout);
-  return 0;
+  return save_telemetry(cli, telemetry.get());
 }
 
 int cmd_serve(int argc, char** argv) {
@@ -301,7 +341,9 @@ int cmd_serve(int argc, char** argv) {
   cli.add_flag("closed-loop",
                "closed-loop clients instead of open-loop Poisson");
   cli.add_flag("gen3", "use the Gen3 (Table-4) system preset");
+  add_telemetry_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const std::unique_ptr<obs::Telemetry> telemetry = make_telemetry(cli);
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const graph::CsrGraph g =
@@ -317,6 +359,7 @@ int cmd_serve(int argc, char** argv) {
   serve::QueryServer server(
       cli.get_bool("gen3") ? core::table4_system() : core::table3_system(),
       static_cast<unsigned>(jobs));
+  server.set_telemetry(telemetry.get());
 
   serve::ServeRequest req;
   req.base.backend = core::backend_from_name(cli.get("backend"));
@@ -385,6 +428,7 @@ int cmd_serve(int argc, char** argv) {
                      util::fmt(r.latency_us.p99 / 1e3, 3) + " ms"});
   table.add_row({"streaming p99 (P2)",
                  util::fmt(r.streaming_p99_us / 1e3, 3) + " ms"});
+  table.add_row({"P2 max rel error", util::fmt(r.p2_max_rel_error, 4)});
   table.add_row({"time in queue / in service",
                  util::fmt(r.time_in_queue_sec * 1e3, 3) + " / " +
                      util::fmt(r.time_in_service_sec * 1e3, 3) + " ms"});
@@ -393,7 +437,7 @@ int cmd_serve(int argc, char** argv) {
   table.add_row({"distinct profiles",
                  util::fmt_count(r.profiles.size())});
   table.print(std::cout);
-  return 0;
+  return save_telemetry(cli, telemetry.get());
 }
 
 }  // namespace

@@ -1,0 +1,106 @@
+// trace_summary: fold a Chrome trace-event JSON file (as written by
+// --trace-out) into a per-track utilization table, or just validate it.
+//
+//   trace_summary trace.json            # utilization table
+//   trace_summary --check trace.json    # schema validation only
+//   trace_summary --csv trace.json      # machine-readable rows
+//
+// Exit status: 0 on a valid trace, 1 on schema/parse errors or bad usage.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: trace_summary [--check] [--csv] <trace.json>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  bool csv = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "trace_summary: unknown option " << arg << "\n";
+      usage();
+      return 1;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_summary: cannot open " << path << "\n";
+    return 1;
+  }
+
+  cxlgraph::obs::JsonValue doc;
+  try {
+    doc = cxlgraph::obs::parse_json(in);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_summary: " << e.what() << "\n";
+    return 1;
+  }
+
+  const cxlgraph::obs::TraceCheckResult check =
+      cxlgraph::obs::check_trace(doc);
+  if (!check.ok) {
+    std::cerr << "trace_summary: invalid trace: " << check.error << "\n";
+    return 1;
+  }
+  if (check_only) {
+    std::printf("trace OK: %zu events (%zu spans, %zu instants, "
+                "%zu counters, %zu metadata)\n",
+                check.events, check.spans, check.instants, check.counters,
+                check.metadata);
+    return 0;
+  }
+
+  const std::vector<cxlgraph::obs::TrackSummary> tracks =
+      cxlgraph::obs::summarize_trace(doc);
+  if (csv) {
+    std::printf("process,thread,spans,instants,busy_us,window_us,util\n");
+    for (const auto& t : tracks) {
+      std::printf("%s,%s,%llu,%llu,%.3f,%.3f,%.4f\n", t.process.c_str(),
+                  t.thread.c_str(), static_cast<unsigned long long>(t.spans),
+                  static_cast<unsigned long long>(t.instants), t.busy_us,
+                  t.last_us - t.first_us, t.utilization());
+    }
+    return 0;
+  }
+
+  std::printf("%-12s %-24s %8s %8s %14s %14s %7s\n", "process", "thread",
+              "spans", "instants", "busy (us)", "window (us)", "util");
+  for (const auto& t : tracks) {
+    std::printf("%-12s %-24s %8llu %8llu %14.3f %14.3f %6.1f%%\n",
+                t.process.c_str(), t.thread.c_str(),
+                static_cast<unsigned long long>(t.spans),
+                static_cast<unsigned long long>(t.instants), t.busy_us,
+                t.last_us - t.first_us, 100.0 * t.utilization());
+  }
+  return 0;
+}
