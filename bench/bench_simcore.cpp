@@ -40,6 +40,7 @@
 #include "gpusim/engine.hpp"
 #include "graph/generate.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/fleet.hpp"
 #include "serve/server.hpp"
 #include "sim/simulator.hpp"
 #include "util/cli.hpp"
@@ -129,6 +130,33 @@ std::uint64_t checksum_serve(const serve::ServeReport& r) {
   f.mix_double(r.latency_us.p50);
   f.mix_double(r.latency_us.p95);
   f.mix_double(r.latency_us.p99);
+  return f.h;
+}
+
+/// Fleet rows fold the serve aggregate plus the fleet-only surfaces —
+/// shed decomposition, per-replica placement, and migration accounting —
+/// so a router or migration change cannot hide behind a matching
+/// fleet-wide latency distribution.
+std::uint64_t checksum_fleet(const serve::FleetReport& r) {
+  Fnv f;
+  f.mix(checksum_serve(r.serve));
+  f.mix(r.peak_replicas);
+  f.mix(r.shed_queue);
+  f.mix(r.shed_quota);
+  f.mix(r.shed_deadline);
+  f.mix(r.migration_bytes);
+  f.mix_double(r.migration_sec);
+  for (const serve::ReplicaStats& s : r.replica_stats) {
+    f.mix(s.served);
+    f.mix(s.quanta);
+    f.mix(s.link_bytes);
+  }
+  for (const serve::MigrationRecord& m : r.migrations) {
+    f.mix(m.state_bytes);
+    f.mix(m.moved_waiting);
+    f.mix(m.moved_active ? 1 : 0);
+    f.mix_double(m.copy_sec);
+  }
   return f.h;
 }
 
@@ -302,6 +330,7 @@ constexpr Golden kGoldens[] = {
     {"cluster-bfs-x2/cxl",   0xd814731d761153acULL},
     {"serve-mix/cxl",        0x3a7130d4619d4a3bULL},
     {"serve-soak-throttled/cxl", 0x9f350cf45ef2e614ULL},
+    {"fleet-serve/cxl",      0x48d4a0e8f363a983ULL},
 };
 // clang-format on
 
@@ -330,6 +359,27 @@ serve::ServeRequest smoke_serve_request() {
   scan.weight = 1.0;
   req.workload.mix = {bfs, scan};
   req.config.policy = serve::SchedulingPolicy::kSloPriority;
+  return req;
+}
+
+/// The fleet identity configuration: the smoke workload over 4 replicas
+/// behind join-shortest-queue with preemptive round-robin scheduling and
+/// one live migration mid-run — every fleet-only code path (routing,
+/// placement, drain, redirect, state-copy accounting) is on the checksum.
+serve::FleetRequest smoke_fleet_request() {
+  const serve::ServeRequest base = smoke_serve_request();
+  serve::FleetRequest req;
+  req.base = base.base;
+  req.workload = base.workload;
+  req.fleet.replicas = 4;
+  req.fleet.router = serve::RouterKind::kJoinShortestQueue;
+  req.fleet.serve.policy = serve::SchedulingPolicy::kRoundRobin;
+  req.fleet.serve.quantum_supersteps = 2;
+  // 48 queries at 2000 qps arrive over ~24 ms; migrate tenant 0 from
+  // replica 0 to 1 while the stream is still in flight.
+  req.fleet.migrations = {
+      serve::MigrationPlan{/*at_sec=*/0.008, /*class_index=*/0,
+                           /*from=*/0, /*to=*/1}};
   return req;
 }
 
@@ -411,6 +461,10 @@ std::vector<std::uint64_t> compute_identity_checksums(
   server.set_telemetry(telemetry);
   sums.push_back(checksum_serve(server.serve(g, smoke_serve_request())));
   sums.push_back(checksum_soak(run_throttled_soak(g, telemetry)));
+
+  serve::FleetServer fleet(cfg, /*jobs=*/1);
+  fleet.set_telemetry(telemetry);
+  sums.push_back(checksum_fleet(fleet.serve(g, smoke_fleet_request())));
   return sums;
 }
 
@@ -604,6 +658,23 @@ int run_simcore(int argc, char** argv) {
     row.wall_sec = seconds_since(start);
     row.checksum = checksum_serve(sr);
     row.work_items = sr.completed;
+    rows.push_back(row);
+  }
+
+  {
+    serve::FleetServer fleet(cfg, /*jobs=*/1);
+    BenchRow row;
+    row.name = "fleet_serve_cxl";
+    const auto start = Clock::now();
+    const serve::FleetReport fr = fleet.serve(g, smoke_fleet_request());
+    row.wall_sec = seconds_since(start);
+    row.checksum = checksum_fleet(fr);
+    row.work_items = fr.serve.completed;
+    if (!fr.serve.conservation_ok()) {
+      std::cerr << "IDENTITY MISMATCH fleet_serve_cxl: byte conservation "
+                   "violated\n";
+      identity_ok = false;
+    }
     rows.push_back(row);
   }
 

@@ -40,16 +40,26 @@ bool TimeSeriesSampler::empty() const noexcept {
 }
 
 std::vector<WindowSeries::Window> WindowSeries::fold(
-    std::size_t windows, double horizon_sec) const {
+    std::size_t windows, double horizon_sec,
+    std::uint32_t* out_of_horizon) const {
   std::vector<Window> out;
+  if (out_of_horizon != nullptr) *out_of_horizon = 0;
   if (windows == 0 || samples_.empty() || horizon_sec <= 0.0) return out;
   const double span = horizon_sec / static_cast<double>(windows);
   std::vector<std::vector<double>> values(windows);
+  std::uint32_t dropped = 0;
   for (const Sample& s : samples_) {
+    if (s.t_sec > horizon_sec) {
+      // Out of horizon: dropped and counted, never clamped into the last
+      // window (that inflated its count and percentiles).
+      ++dropped;
+      continue;
+    }
     auto w = static_cast<std::size_t>(s.t_sec / span);
     if (w >= windows) w = windows - 1;  // the horizon edge lands inside
     values[w].push_back(s.value);
   }
+  if (out_of_horizon != nullptr) *out_of_horizon = dropped;
   out.resize(windows);
   for (std::size_t w = 0; w < windows; ++w) {
     Window& win = out[w];

@@ -101,10 +101,15 @@ class WindowSeries {
     double p99 = 0.0;
   };
 
-  /// Buckets samples into `windows` equal slices of [0, horizon_sec);
-  /// samples at or past the horizon land in the last window. Empty when
+  /// Buckets samples into `windows` equal slices of [0, horizon_sec].
+  /// A sample at exactly the horizon lands in the last window (the soak
+  /// convention: the final completion defines the horizon); samples
+  /// strictly *past* the horizon are dropped — not clamped into the last
+  /// window, which would silently inflate its count and percentiles —
+  /// and counted into `*out_of_horizon` when non-null. Empty when
   /// `windows` is 0, there are no samples, or the horizon is degenerate.
-  std::vector<Window> fold(std::size_t windows, double horizon_sec) const;
+  std::vector<Window> fold(std::size_t windows, double horizon_sec,
+                           std::uint32_t* out_of_horizon = nullptr) const;
 
  private:
   struct Sample {

@@ -1,0 +1,645 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "device/pcie.hpp"
+#include "device/state_model.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/replica.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cxlgraph::serve {
+
+namespace {
+
+util::SimTime ps_from_sec(double sec) {
+  return static_cast<util::SimTime>(
+      sec * static_cast<double>(util::kPsPerSec) + 0.5);
+}
+
+void validate_fleet(const FleetConfig& fleet, std::size_t num_classes) {
+  if (fleet.replicas == 0) {
+    throw std::invalid_argument("fleet needs at least one replica");
+  }
+  for (const TenantQuota& q : fleet.quotas) {
+    if (q.class_index >= num_classes) {
+      throw std::invalid_argument("quota tenant class " +
+                                  std::to_string(q.class_index) +
+                                  " out of range (workload has " +
+                                  std::to_string(num_classes) + " classes)");
+    }
+  }
+  for (const MigrationPlan& m : fleet.migrations) {
+    if (m.class_index >= num_classes) {
+      throw std::invalid_argument("migration tenant class " +
+                                  std::to_string(m.class_index) +
+                                  " out of range (workload has " +
+                                  std::to_string(num_classes) + " classes)");
+    }
+    if (m.from >= fleet.replicas || m.to >= fleet.replicas) {
+      throw std::invalid_argument(
+          "migration endpoints " + std::to_string(m.from) + "->" +
+          std::to_string(m.to) + " out of range for " +
+          std::to_string(fleet.replicas) + " replicas");
+    }
+    if (m.from == m.to) {
+      throw std::invalid_argument("migration source == target (replica " +
+                                  std::to_string(m.from) + ")");
+    }
+    if (m.at_sec < 0.0) {
+      throw std::invalid_argument("migration time must be >= 0");
+    }
+  }
+  if (fleet.elastic.enabled) {
+    const ElasticConfig& e = fleet.elastic;
+    if (e.min_replicas == 0) {
+      throw std::invalid_argument("elastic min_replicas must be >= 1");
+    }
+    if (e.min_replicas > fleet.replicas || fleet.replicas > e.max_replicas) {
+      throw std::invalid_argument(
+          "elastic bounds must satisfy min <= replicas <= max (" +
+          std::to_string(e.min_replicas) + " <= " +
+          std::to_string(fleet.replicas) +
+          " <= " + std::to_string(e.max_replicas) + ")");
+    }
+    if (e.check_interval_sec <= 0.0) {
+      throw std::invalid_argument("elastic check interval must be > 0");
+    }
+    if (e.scale_up_depth <= e.scale_down_depth) {
+      throw std::invalid_argument(
+          "elastic scale_up_depth must exceed scale_down_depth");
+    }
+  }
+}
+
+/// The fleet-wide frontend of one queueing simulation: routing, quotas,
+/// SLO shedding, migrations, and the elastic controller, over a set of
+/// ReplicaSims on the shared clock. Lives on the stack for one serve().
+struct FleetSim {
+  const FleetConfig& fleet;
+  SimShared& shared;
+  /// deque: ReplicaSim holds a SimShared& and scheduled closures capture
+  /// replica addresses, so growth must not relocate existing elements.
+  std::deque<ReplicaSim> replicas;
+
+  struct ReplicaMeta {
+    util::SimTime joined = 0;
+    bool draining = false;
+    bool retired = false;
+    util::SimTime retired_at = 0;
+  };
+  std::vector<ReplicaMeta> meta;
+
+  util::Xoshiro256 router_rng;
+  /// Per-tenant admission state (indexed by class; 0 limit = unbounded).
+  std::vector<std::uint32_t> quota_limit;
+  std::vector<std::uint32_t> in_flight;
+  /// Migration pins: tenant class -> replica all later arrivals route to.
+  std::unordered_map<std::uint32_t, std::uint32_t> route_override;
+
+  std::uint32_t shed_queue = 0;
+  std::uint32_t shed_quota = 0;
+  std::uint32_t shed_deadline = 0;
+
+  struct MigrationState {
+    MigrationRecord record;
+    /// Queries drained at the source, parked until the state copy lands.
+    std::vector<std::size_t> in_transit;
+    bool delivered = false;
+  };
+  std::vector<MigrationState> migrations;
+  std::uint64_t migration_bytes = 0;
+  util::SimTime migration_ps = 0;
+  /// Interconnect rate the migration state copy is charged at.
+  double copy_mbps = 24'000.0;
+
+  /// Elastic controller state: its own depth series (not the telemetry
+  /// sampler — the controller must work untapped), fed on every arrival,
+  /// completion, and tick.
+  obs::TimeSeriesSampler depth_series;
+  std::uint32_t ch_waiting = 0;
+  std::size_t depth_cursor = 0;
+  std::uint32_t cooldown = 0;
+  util::SimTime interval_ps = 0;
+  std::vector<ScalingEvent> scaling_events;
+  std::uint32_t peak_replicas = 0;
+
+  bool fleet_telemetry = false;
+
+  FleetSim(const FleetConfig& fleet_in, SimShared& shared_in,
+           std::size_t num_classes)
+      : fleet(fleet_in),
+        shared(shared_in),
+        router_rng(fleet_in.router_seed),
+        quota_limit(num_classes, 0),
+        in_flight(num_classes, 0),
+        depth_series(std::max<util::SimTime>(
+            1, ps_from_sec(fleet_in.elastic.check_interval_sec) / 8)),
+        interval_ps(ps_from_sec(fleet_in.elastic.check_interval_sec)) {
+    for (const TenantQuota& q : fleet.quotas) {
+      quota_limit[q.class_index] = q.max_in_flight;
+    }
+    for (std::uint32_t k = 0; k < fleet.replicas; ++k) add_replica();
+    peak_replicas = fleet.replicas;
+    if (fleet.elastic.enabled) {
+      ch_waiting = depth_series.channel("fleet/waiting",
+                                        obs::TimeSeriesSampler::Reduce::kLast);
+    }
+  }
+
+  ReplicaSim& add_replica() {
+    const std::uint32_t k = static_cast<std::uint32_t>(replicas.size());
+    ReplicaSim& r = replicas.emplace_back(shared, k);
+    meta.push_back(ReplicaMeta{shared.sim.now(), false, false, 0});
+    if (fleet_telemetry) attach_replica_telemetry(r);
+    return r;
+  }
+
+  void attach_replica_telemetry(ReplicaSim& r) {
+    const std::string k = std::to_string(r.index);
+    r.attach_telemetry("replica" + k, "serve/replica" + k + "/quantum_bytes",
+                       "replica" + k + "-heat");
+  }
+
+  void attach_telemetry(obs::Telemetry* sink) {
+    shared.attach_telemetry(sink);
+    if (shared.telemetry == nullptr) return;
+    fleet_telemetry = true;
+    for (ReplicaSim& r : replicas) attach_replica_telemetry(r);
+  }
+
+  bool routable(std::uint32_t k) const {
+    return !meta[k].draining && !meta[k].retired;
+  }
+  std::vector<std::uint32_t> routable_set() const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t k = 0; k < replicas.size(); ++k) {
+      if (routable(k)) out.push_back(k);
+    }
+    if (out.empty()) {
+      // Every replica draining or retired (transiently possible if a
+      // migration target was later drained): fall back to the live set.
+      for (std::uint32_t k = 0; k < replicas.size(); ++k) {
+        if (!meta[k].retired) out.push_back(k);
+      }
+    }
+    if (out.empty()) out.push_back(0);
+    return out;
+  }
+
+  double total_depth() const {
+    double d = 0.0;
+    for (const ReplicaSim& r : replicas) d += r.depth();
+    return d;
+  }
+  std::uint64_t total_waiting() const {
+    std::uint64_t w = 0;
+    for (const ReplicaSim& r : replicas) w += r.waiting();
+    return w;
+  }
+
+  void record_depth() {
+    if (!fleet.elastic.enabled) return;
+    depth_series.record(ch_waiting, shared.sim.now(),
+                        static_cast<double>(total_waiting()));
+  }
+
+  std::uint32_t route(std::size_t i) {
+    const QueryRecord& r = shared.records[i];
+    const auto pinned = route_override.find(r.class_index);
+    if (pinned != route_override.end() && !meta[pinned->second].retired) {
+      return pinned->second;
+    }
+    const std::vector<std::uint32_t> set = routable_set();
+    switch (fleet.router) {
+      case RouterKind::kRandom:
+        return set[router_rng.next_below(set.size())];
+      case RouterKind::kJoinShortestQueue: {
+        std::uint32_t best = set.front();
+        for (const std::uint32_t k : set) {
+          if (replicas[k].depth() < replicas[best].depth()) best = k;
+        }
+        return best;
+      }
+      case RouterKind::kClassAffinity:
+        return set[r.class_index % set.size()];
+    }
+    return set.front();
+  }
+
+  /// The fleet's arrival path: admission gates in fixed order (quota,
+  /// deadline feasibility, routed queue capacity), then admit. With one
+  /// replica and no gates this reduces exactly to the solo deliver.
+  void arrive(std::size_t i) {
+    QueryRecord& r = shared.records[i];
+    r.arrival = shared.sim.now();
+    const std::uint32_t cls = r.class_index;
+    if (quota_limit[cls] > 0 && in_flight[cls] >= quota_limit[cls]) {
+      ++shed_quota;
+      shared.shed_query(i);
+      record_depth();
+      return;
+    }
+    if (fleet.slo_shedding) {
+      // Feasibility on the emptiest routable replica: if even its backlog
+      // plus this query's full demand busts the deadline, serving it only
+      // wastes stack time on a guaranteed violation.
+      util::SimTime least = std::numeric_limits<util::SimTime>::max();
+      for (const std::uint32_t k : routable_set()) {
+        least = std::min(least, replicas[k].backlog_ps);
+      }
+      if (least + shared.remaining_ps(i) > r.slo) {
+        ++shed_deadline;
+        shared.shed_query(i);
+        record_depth();
+        return;
+      }
+    }
+    ReplicaSim& rep = replicas[route(i)];
+    if (fleet.serve.max_waiting > 0 &&
+        rep.waiting() >= fleet.serve.max_waiting) {
+      ++shed_queue;
+      shared.shed_query(i);
+      record_depth();
+      return;
+    }
+    ++in_flight[cls];
+    rep.admit(i);
+    record_depth();
+  }
+
+  void on_complete(std::size_t i) {
+    const QueryRecord& r = shared.records[i];
+    if (in_flight[r.class_index] > 0) --in_flight[r.class_index];
+    // A draining replica retires the moment it runs dry.
+    const std::uint32_t k = r.replica;
+    if (k < replicas.size() && meta[k].draining && !meta[k].retired &&
+        replicas[k].idle()) {
+      meta[k].retired = true;
+      meta[k].retired_at = shared.sim.now();
+    }
+    record_depth();
+  }
+
+  // -- Live migration ------------------------------------------------------
+
+  void schedule_migrations() {
+    migrations.reserve(fleet.migrations.size());
+    for (std::size_t m = 0; m < fleet.migrations.size(); ++m) {
+      migrations.emplace_back();
+      const MigrationPlan& plan = fleet.migrations[m];
+      shared.sim.schedule_at(ps_from_sec(plan.at_sec),
+                             [this, m]() { migrate(m); });
+    }
+  }
+
+  void migrate(std::size_t m) {
+    const MigrationPlan& plan = fleet.migrations[m];
+    MigrationState& state = migrations[m];
+    MigrationRecord& rec = state.record;
+    rec.class_index = plan.class_index;
+    rec.from = plan.from;
+    rec.to = plan.to;
+    rec.start_sec = util::sec_from_ps(shared.sim.now());
+    route_override[plan.class_index] = plan.to;
+
+    ReplicaSim& src = replicas[plan.from];
+    state.in_transit = src.extract_waiting(plan.class_index);
+    rec.moved_waiting = static_cast<std::uint32_t>(state.in_transit.size());
+
+    // The tenant's resident state: used bytes of every distinct profile
+    // that moves (waiting queries now, plus the in-flight one if it will
+    // hand off). Charged to the interconnect as one copy.
+    std::set<std::size_t> moved_profiles;
+    for (const std::size_t i : state.in_transit) {
+      moved_profiles.insert(shared.records[i].profile_index);
+    }
+    const std::size_t marked = src.mark_redirect(
+        plan.class_index, [this, m](std::size_t i) { redirected(m, i); });
+    if (marked != kNoQuery) {
+      moved_profiles.insert(shared.records[marked].profile_index);
+    }
+    std::uint64_t bytes = 0;
+    for (const std::size_t p : moved_profiles) {
+      bytes += shared.profiles[p].report.used_bytes;
+    }
+    const util::SimTime copy_ps = static_cast<util::SimTime>(
+        std::ceil(static_cast<double>(bytes) * util::ps_per_byte(copy_mbps)));
+    rec.state_bytes = bytes;
+    rec.copy_sec = util::sec_from_ps(copy_ps);
+    migration_bytes += bytes;
+    migration_ps += copy_ps;
+    shared.sim.schedule_after(copy_ps, [this, m]() { copy_landed(m); });
+  }
+
+  void copy_landed(std::size_t m) {
+    MigrationState& state = migrations[m];
+    state.delivered = true;
+    const std::uint32_t to = state.record.to;
+    for (const std::size_t i : state.in_transit) replicas[to].resume(i);
+    state.in_transit.clear();
+  }
+
+  /// The in-flight query yielded at its preemption point. If the state
+  /// copy already landed it resumes on the target now (mid-serve, replay
+  /// progress intact); otherwise it rides the copy with the waiting set.
+  void redirected(std::size_t m, std::size_t i) {
+    MigrationState& state = migrations[m];
+    state.record.moved_active = true;
+    if (state.delivered) {
+      replicas[state.record.to].resume(i);
+    } else {
+      state.in_transit.push_back(i);
+    }
+  }
+
+  // -- Elastic controller --------------------------------------------------
+
+  std::uint32_t active_count() const {
+    std::uint32_t n = 0;
+    for (std::uint32_t k = 0; k < replicas.size(); ++k) {
+      if (routable(k)) ++n;
+    }
+    return n;
+  }
+
+  void start_elastic() {
+    if (!fleet.elastic.enabled) return;
+    shared.sim.schedule_after(interval_ps, [this]() { elastic_tick(); });
+  }
+
+  void elastic_tick() {
+    record_depth();
+    if (shared.all_resolved()) return;  // workload drained: stop the chain
+    const ElasticConfig& e = fleet.elastic;
+
+    // Mean waiting depth observed since the last decision (every bucket
+    // the series gained), falling back to the instantaneous depth.
+    const std::vector<obs::TimeSeriesSampler::Bucket>& buckets =
+        depth_series.series(ch_waiting);
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (std::size_t b = depth_cursor; b < buckets.size(); ++b) {
+      sum += buckets[b].sum;
+      count += buckets[b].count;
+    }
+    depth_cursor = buckets.size();
+    const double observed =
+        count > 0 ? sum / static_cast<double>(count)
+                  : static_cast<double>(total_waiting());
+
+    const std::uint32_t active = active_count();
+    const double per = observed / static_cast<double>(std::max(1u, active));
+    if (cooldown > 0) {
+      --cooldown;
+    } else if (per > e.scale_up_depth && active < e.max_replicas) {
+      grow(per);
+    } else if (per < e.scale_down_depth && active > e.min_replicas) {
+      shrink(per);
+    }
+    shared.sim.schedule_after(interval_ps, [this]() { elastic_tick(); });
+  }
+
+  void grow(double per) {
+    ReplicaSim& r = add_replica();
+    peak_replicas =
+        std::max(peak_replicas, static_cast<std::uint32_t>(replicas.size()));
+    cooldown = fleet.elastic.cooldown_intervals;
+    ScalingEvent ev;
+    ev.at_sec = util::sec_from_ps(shared.sim.now());
+    ev.added = true;
+    ev.replica = r.index;
+    ev.routable_after = active_count();
+    ev.depth_per_replica = per;
+    scaling_events.push_back(ev);
+  }
+
+  void shrink(double per) {
+    // Drain the least-loaded routable replica; ties retire the youngest.
+    std::uint32_t victim = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t k = 0; k < replicas.size(); ++k) {
+      if (!routable(k)) continue;
+      if (victim == std::numeric_limits<std::uint32_t>::max() ||
+          replicas[k].depth() < replicas[victim].depth() ||
+          (replicas[k].depth() == replicas[victim].depth() &&
+           k > victim)) {
+        victim = k;
+      }
+    }
+    meta[victim].draining = true;
+    if (replicas[victim].idle()) {
+      meta[victim].retired = true;
+      meta[victim].retired_at = shared.sim.now();
+    }
+    cooldown = fleet.elastic.cooldown_intervals;
+    ScalingEvent ev;
+    ev.at_sec = util::sec_from_ps(shared.sim.now());
+    ev.added = false;
+    ev.replica = victim;
+    ev.routable_after = active_count();
+    ev.depth_per_replica = per;
+    scaling_events.push_back(ev);
+  }
+
+  // -- Aggregation ---------------------------------------------------------
+
+  void fill(FleetReport& report) {
+    ServeReport& serve = report.serve;
+    serve.admitted = shared.admitted;
+    serve.completed = shared.completed;
+    serve.shed = shared.shed;
+    serve.batched = shared.batched;
+    serve.makespan_sec = util::sec_from_ps(shared.last_completion);
+
+    util::SimTime busy_ps = 0;
+    util::SimTime capacity_ps = 0;
+    double peak_heat = 0.0;
+    report.replica_stats.reserve(replicas.size());
+    for (std::uint32_t k = 0; k < replicas.size(); ++k) {
+      const ReplicaSim& r = replicas[k];
+      busy_ps += r.busy_ps;
+      serve.link_bytes += r.link_bytes;
+      serve.throttled_quanta += r.throttled_quanta;
+      peak_heat = std::max(peak_heat, r.heat.peak_heat());
+      // Lifetime: join to retirement, or to the fleet makespan for
+      // replicas that served to the end. The summed lifetimes are the
+      // fleet's capacity — the utilization denominator.
+      const util::SimTime end =
+          meta[k].retired ? meta[k].retired_at : shared.last_completion;
+      const util::SimTime life = end > meta[k].joined ? end - meta[k].joined : 0;
+      capacity_ps += life;
+
+      ReplicaStats stats;
+      stats.replica = k;
+      stats.served = r.served;
+      stats.quanta = r.quanta;
+      stats.busy_sec = util::sec_from_ps(r.busy_ps);
+      stats.link_bytes = r.link_bytes;
+      stats.throttled_quanta = r.throttled_quanta;
+      stats.peak_heat = r.heat.peak_heat();
+      stats.joined_sec = util::sec_from_ps(meta[k].joined);
+      stats.retired = meta[k].retired;
+      stats.retired_sec = util::sec_from_ps(meta[k].retired_at);
+      if (life > 0) {
+        stats.utilization =
+            util::sec_from_ps(r.busy_ps) / util::sec_from_ps(life);
+      }
+      report.replica_stats.push_back(stats);
+    }
+    serve.stack_peak_heat = peak_heat;
+    summarize_serve(serve, shared, busy_ps, util::sec_from_ps(capacity_ps));
+
+    report.peak_replicas = peak_replicas;
+    report.shed_queue = shed_queue;
+    report.shed_quota = shed_quota;
+    report.shed_deadline = shed_deadline;
+    report.migration_bytes = migration_bytes;
+    report.migration_sec = util::sec_from_ps(migration_ps);
+    report.migrations.reserve(migrations.size());
+    for (const MigrationState& state : migrations) {
+      report.migrations.push_back(state.record);
+    }
+
+    // p99 transients around each scaling event, from the completion
+    // record (post-hoc: the event windows are known only at the end).
+    const double window = fleet.elastic.transient_window_sec > 0.0
+                              ? fleet.elastic.transient_window_sec
+                              : 2.0 * fleet.elastic.check_interval_sec;
+    report.scaling_events = scaling_events;
+    for (ScalingEvent& ev : report.scaling_events) {
+      std::vector<double> before, after;
+      for (const QueryRecord& r : shared.records) {
+        if (r.shed) continue;
+        const double done = util::sec_from_ps(r.completion);
+        if (done >= ev.at_sec - window && done < ev.at_sec) {
+          before.push_back(util::us_from_ps(r.completion - r.arrival));
+        } else if (done >= ev.at_sec && done <= ev.at_sec + window) {
+          after.push_back(util::us_from_ps(r.completion - r.arrival));
+        }
+      }
+      ev.completions_before = static_cast<std::uint32_t>(before.size());
+      ev.completions_after = static_cast<std::uint32_t>(after.size());
+      ev.p99_before_us = before.empty()
+                             ? 0.0
+                             : util::percentile(std::move(before), 99.0);
+      ev.p99_after_us =
+          after.empty() ? 0.0 : util::percentile(std::move(after), 99.0);
+    }
+  }
+};
+
+}  // namespace
+
+std::string to_string(RouterKind router) {
+  switch (router) {
+    case RouterKind::kRandom:
+      return "random";
+    case RouterKind::kJoinShortestQueue:
+      return "join-shortest-queue";
+    case RouterKind::kClassAffinity:
+      return "class-affinity";
+  }
+  return "unknown";
+}
+
+RouterKind router_from_name(const std::string& name) {
+  for (const RouterKind r : all_routers()) {
+    if (to_string(r) == name) return r;
+  }
+  std::string valid;
+  for (const RouterKind r : all_routers()) {
+    if (!valid.empty()) valid += ", ";
+    valid += to_string(r);
+  }
+  throw std::invalid_argument("unknown router '" + name +
+                              "' (valid: " + valid + ")");
+}
+
+const std::vector<RouterKind>& all_routers() {
+  static const std::vector<RouterKind> routers = {
+      RouterKind::kRandom, RouterKind::kJoinShortestQueue,
+      RouterKind::kClassAffinity};
+  return routers;
+}
+
+FleetServer::FleetServer(core::SystemConfig config, unsigned jobs,
+                         std::size_t profile_cache_capacity)
+    : profiler_(std::move(config), jobs, profile_cache_capacity) {}
+
+FleetReport FleetServer::serve(const graph::CsrGraph& graph,
+                               const FleetRequest& request) {
+  const WorkloadSpec& spec = request.workload;
+  const std::size_t num_classes = resolve_mix(spec).size();
+  validate_fleet(request.fleet, num_classes);
+
+  FleetReport report;
+  report.router = to_string(request.fleet.router);
+  report.replicas = request.fleet.replicas;
+  report.peak_replicas = request.fleet.replicas;
+  ServeReport& serve = report.serve;
+  serve.policy = to_string(request.fleet.serve.policy);
+  serve.process = to_string(spec.process);
+
+  ProfiledWorkload workload =
+      profiler_.profile_workload(graph, request.base, spec);
+  serve.offered = static_cast<std::uint32_t>(workload.queries.size());
+  if (workload.queries.empty()) return report;
+  serve.backend = workload.profiles.front().report.backend;
+  serve.access_method = workload.profiles.front().report.access_method;
+
+  serve.queries.resize(workload.queries.size());
+  for (std::size_t i = 0; i < workload.queries.size(); ++i) {
+    QueryRecord& r = serve.queries[i];
+    r.id = workload.queries[i].id;
+    r.class_index = workload.queries[i].class_index;
+    r.profile_index = workload.query_profile[i];
+    r.slo = workload.queries[i].slo;
+  }
+
+  const device::ThermalParams& thermal =
+      profiler_.stack_thermal(request.base.backend);
+  device::validate(thermal);
+
+  SimShared shared(request.fleet.serve, spec, workload.queries,
+                   workload.profiles, serve.queries, thermal);
+  FleetSim sim(request.fleet, shared, num_classes);
+  sim.copy_mbps =
+      device::pcie_x16(profiler_.config().gpu_link_gen).bandwidth_mbps;
+  shared.total_depth = [&sim]() { return sim.total_depth(); };
+  shared.deliver = [&sim](std::size_t i) { sim.arrive(i); };
+  shared.on_complete = [&sim](std::size_t i) { sim.on_complete(i); };
+  sim.attach_telemetry(telemetry_);
+  sim.schedule_migrations();
+  sim.start_elastic();
+  std::unique_ptr<obs::SimRunObserver> observer;
+  if (shared.telemetry != nullptr) {
+    observer =
+        std::make_unique<obs::SimRunObserver>(*shared.telemetry, "fleet_sim");
+    observer->add_probe(
+        "heat",
+        [&sim]() {
+          double h = 0.0;
+          for (const ReplicaSim& r : sim.replicas) {
+            h = std::max(h, r.heat.heat());
+          }
+          return h;
+        },
+        obs::TimeSeriesSampler::Reduce::kMax);
+  }
+  shared.run(observer.get());
+
+  sim.fill(report);
+  serve.profiles = std::move(workload.profiles);
+  return report;
+}
+
+}  // namespace cxlgraph::serve

@@ -1,0 +1,215 @@
+#pragma once
+/// \file fleet.hpp
+/// Fleet serving: N replicas of the (optionally sharded) stack behind a
+/// router, with per-tenant quotas, SLO-aware shedding, live migration,
+/// and an elastic replica controller.
+///
+/// FleetServer is the cluster-scale front of the serving layer. It
+/// profiles the workload once (through QueryServer's cached profiling
+/// seam — a replica is a copy, so profiles are shared), then runs one
+/// discrete-event queueing simulation in which every replica is a
+/// serve::ReplicaSim on the common clock:
+///
+///   * Router — random (seeded, stateless), join-shortest-queue
+///     (waiting + in-service, ties to the lowest index), or
+///     class-affinity (tenant class pinned to class % routable).
+///   * Admission — per-tenant in-flight quotas, the per-replica waiting
+///     cap, and optional SLO-aware shedding: an arrival whose remaining
+///     demand cannot meet its deadline even on the emptiest replica
+///     (least backlog) is dropped at the door instead of serving late.
+///   * Live migration — at a planned time, a tenant class drains from
+///     one replica to another: waiting queries move immediately, the
+///     in-flight query hands off at its next preemption point, and the
+///     tenant's resident state (distinct moved profiles' used bytes) is
+///     charged to the interconnect as a copy delay before the moved
+///     queries resume on the target — mid-serve, replay progress intact.
+///     Migration bytes are accounted separately from serve link bytes,
+///     so conservation_ok() still checks query bytes exactly.
+///   * Elastic controller — observes the fleet's waiting-depth series
+///     (an obs::TimeSeriesSampler) on a fixed interval and grows or
+///     drains the fleet between min/max replicas; every scaling event
+///     reports the p99 latency transient around it.
+///
+/// With replicas=1, the random router, and no quotas/shedding/migration,
+/// FleetServer is bit-identical to QueryServer::serve on the same
+/// request (tier-1 test + bench_fleet --smoke, CI-enforced).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+
+namespace cxlgraph::serve {
+
+enum class RouterKind {
+  kRandom,             ///< seeded uniform pick over routable replicas
+  kJoinShortestQueue,  ///< least waiting + in-service, ties to lowest index
+  kClassAffinity,      ///< class pinned to class_index % routable count
+};
+
+std::string to_string(RouterKind router);
+RouterKind router_from_name(const std::string& name);
+const std::vector<RouterKind>& all_routers();
+
+/// Per-tenant admission quota: at most max_in_flight queries of the
+/// class admitted and not yet completed; arrivals past it are shed.
+struct TenantQuota {
+  std::uint32_t class_index = 0;
+  std::uint32_t max_in_flight = 1;
+};
+
+/// A planned live migration: at `at_sec` of simulated time, tenant
+/// `class_index` drains from replica `from` and resumes on `to`.
+struct MigrationPlan {
+  double at_sec = 0.0;
+  std::uint32_t class_index = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+};
+
+struct ElasticConfig {
+  bool enabled = false;
+  std::uint32_t min_replicas = 1;
+  std::uint32_t max_replicas = 8;
+  /// Controller period (simulated seconds between decisions).
+  double check_interval_sec = 1e-3;
+  /// Scale up when mean waiting depth per routable replica exceeds this.
+  double scale_up_depth = 8.0;
+  /// Drain one replica when it falls below this (and > min_replicas).
+  double scale_down_depth = 1.0;
+  /// Decisions suppressed for this many intervals after a scaling event.
+  std::uint32_t cooldown_intervals = 2;
+  /// Half-width of the p99 transient window around each scaling event;
+  /// 0 derives 2 * check_interval_sec.
+  double transient_window_sec = 0.0;
+};
+
+struct FleetConfig {
+  std::uint32_t replicas = 1;
+  RouterKind router = RouterKind::kRandom;
+  /// Random-router stream seed (routing only — records never depend on
+  /// the draws beyond which replica served).
+  std::uint64_t router_seed = 0x5eedf1ee7ULL;
+  /// Per-replica scheduling: policy, quantum, waiting cap, batching.
+  ServeConfig serve;
+  std::vector<TenantQuota> quotas;
+  /// Drop arrivals that cannot meet their SLO even on the least-backlog
+  /// replica (remaining demand alone already busts the deadline).
+  bool slo_shedding = false;
+  std::vector<MigrationPlan> migrations;
+  ElasticConfig elastic;
+};
+
+struct FleetRequest {
+  /// Backend + sweep knobs of every replica's stack. algorithm and
+  /// source are overridden per query from the workload mix.
+  core::RunRequest base;
+  WorkloadSpec workload;
+  FleetConfig fleet;
+};
+
+struct ReplicaStats {
+  std::uint32_t replica = 0;
+  std::uint32_t served = 0;  ///< completions here (followers included)
+  std::uint32_t quanta = 0;
+  double busy_sec = 0.0;
+  std::uint64_t link_bytes = 0;
+  std::uint32_t throttled_quanta = 0;
+  double peak_heat = 0.0;
+  double joined_sec = 0.0;   ///< 0 for the initial fleet
+  bool retired = false;      ///< drained by the elastic controller
+  double retired_sec = 0.0;  ///< retirement time (0 unless retired)
+  /// busy / lifetime (join to retirement-or-makespan).
+  double utilization = 0.0;
+};
+
+struct MigrationRecord {
+  std::uint32_t class_index = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  double start_sec = 0.0;
+  /// State-copy duration charged to the interconnect.
+  double copy_sec = 0.0;
+  /// Resident state moved: distinct migrated profiles' used bytes.
+  std::uint64_t state_bytes = 0;
+  std::uint32_t moved_waiting = 0;
+  /// An in-flight query handed off at a preemption point (resumes on
+  /// the target mid-serve).
+  bool moved_active = false;
+};
+
+struct ScalingEvent {
+  double at_sec = 0.0;
+  bool added = false;  ///< false = drain decision
+  std::uint32_t replica = 0;
+  std::uint32_t routable_after = 0;
+  /// Observed mean waiting depth per routable replica at the decision.
+  double depth_per_replica = 0.0;
+  /// p99 latency of completions inside the window before/after the
+  /// event — the transient the controller is judged on.
+  std::uint32_t completions_before = 0;
+  std::uint32_t completions_after = 0;
+  double p99_before_us = 0.0;
+  double p99_after_us = 0.0;
+};
+
+struct FleetReport {
+  /// Fleet-wide aggregate in ServeReport shape: per-query records
+  /// (QueryRecord::replica says who served), percentiles, conservation.
+  /// utilization is fleet busy time over summed replica lifetime.
+  ServeReport serve;
+  std::string router;
+  std::uint32_t replicas = 0;  ///< initial fleet size
+  std::uint32_t peak_replicas = 0;
+  std::vector<ReplicaStats> replica_stats;
+  /// Shed decomposition (sums to serve.shed).
+  std::uint32_t shed_queue = 0;
+  std::uint32_t shed_quota = 0;
+  std::uint32_t shed_deadline = 0;
+  std::vector<MigrationRecord> migrations;
+  /// Interconnect bytes + time spent on migration state copies —
+  /// deliberately not folded into serve.link_bytes (conservation checks
+  /// query bytes; migration traffic is overhead on top).
+  std::uint64_t migration_bytes = 0;
+  double migration_sec = 0.0;
+  std::vector<ScalingEvent> scaling_events;
+};
+
+class FleetServer {
+ public:
+  /// `jobs` and `profile_cache_capacity` follow QueryServer semantics
+  /// (they configure the embedded profiling server).
+  explicit FleetServer(core::SystemConfig config, unsigned jobs = 0,
+                       std::size_t profile_cache_capacity = 0);
+
+  /// Runs the workload over the fleet. Deterministic in (graph, request);
+  /// throws std::invalid_argument for malformed fleet configs (zero
+  /// replicas, out-of-range migration endpoints or tenant classes,
+  /// inconsistent elastic bounds).
+  FleetReport serve(const graph::CsrGraph& graph,
+                    const FleetRequest& request);
+
+  /// Telemetry sink shared by the fleet: the lifecycle track and
+  /// aggregate depth channel plus per-replica quantum/byte/heat tracks
+  /// ("replica<k>"). Passive — results stay bit-identical.
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
+  const core::SystemConfig& config() const noexcept {
+    return profiler_.config();
+  }
+  std::size_t profile_cache_size() const noexcept {
+    return profiler_.profile_cache_size();
+  }
+
+ private:
+  /// Profiling + cache live in a QueryServer: every replica replays the
+  /// same idle-stack profiles, so the fleet shares one cache.
+  QueryServer profiler_;
+  obs::Telemetry* telemetry_ = nullptr;
+};
+
+}  // namespace cxlgraph::serve

@@ -1,0 +1,222 @@
+#pragma once
+/// \file replica.hpp
+/// The composable per-replica queueing simulation behind serving.
+///
+/// QueryServer's original queueing loop owned one stack, one ready queue,
+/// and one thermal accumulator. To serve from a fleet those pieces split
+/// in two, sharing a single discrete-event clock:
+///
+///   `SimShared` — per *workload* state: the simulator, the query stream
+///   and its profiles, per-query replay progress (`next_step` lives here
+///   so a live-migrated query resumes on the target mid-serve), batching
+///   follower lists, completion accounting, closed-loop client chains,
+///   and query-lifecycle telemetry (admit/shed/complete instants, the
+///   aggregate queue-depth channel).
+///
+///   `ReplicaSim` — per *stack* state: the ready queue, the in-service
+///   query, busy/link/thermal accounting, and per-replica telemetry
+///   (quantum spans, byte channel, heat trace). It also carries the two
+///   live-migration primitives: `extract_waiting` (drain a tenant's
+///   queued queries) and `mark_redirect` (hand the in-flight query to a
+///   sink at its next preemption point instead of requeueing locally).
+///
+/// QueryServer::serve drives exactly one ReplicaSim through the same
+/// event sequence as the pre-split loop — bit-identical, pinned by the
+/// bench_simcore goldens and serve_test — while serve::FleetServer
+/// drives N of them behind a router.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "device/state_model.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "sim/simulator.hpp"
+
+namespace cxlgraph::serve {
+
+inline constexpr std::size_t kNoQuery = std::numeric_limits<std::size_t>::max();
+
+/// Workload-wide state of one queueing simulation, shared by every
+/// replica. Owned by the frontend (QueryServer's single-stack serve or
+/// FleetServer's fleet loop) for the duration of one serve() call.
+struct SimShared {
+  const ServeConfig& config;
+  const WorkloadSpec& spec;
+  const std::vector<Query>& queries;
+  const std::vector<QueryProfile>& profiles;
+  std::vector<QueryRecord>& records;
+  const device::ThermalParams& thermal;
+
+  sim::Simulator sim;
+  /// Per-query replay progress. Migration moves the query, not the
+  /// counter — a partially-served query resumes exactly where it left.
+  std::vector<std::size_t> next_step;
+  /// batch_identical: queries riding the active replay, per leader.
+  std::vector<std::vector<std::size_t>> followers;
+  /// Per-profile suffix sums: remaining_after[p][k] = sum of step_ps[k..].
+  /// O(1) remaining-demand estimates for routing / SLO shedding.
+  std::vector<std::vector<util::SimTime>> remaining_after;
+  /// Completed latencies in completion order (streaming-estimator feed).
+  std::vector<double> completion_order_latency_us;
+  util::SimTime last_completion = 0;
+  std::uint32_t admitted = 0;
+  std::uint32_t completed = 0;
+  std::uint32_t shed = 0;
+  std::uint32_t batched = 0;
+
+  /// Arrival entry point (admission + routing), set by the frontend; the
+  /// closed-loop reissue path and open-loop scheduling both call it.
+  std::function<void(std::size_t)> deliver;
+  /// Optional frontend hook fired after a record is finalized (the fleet
+  /// uses it for quota release, drain retirement, and depth sampling).
+  std::function<void(std::size_t)> on_complete;
+
+  /// Closed loop: per-client query chains and issue cursors.
+  std::vector<std::vector<std::size_t>> client_queries;
+  std::vector<std::size_t> client_cursor;
+
+  /// Telemetry (all null/false when detached — the default path). Every
+  /// hook below only appends to obs-owned buffers, so the schedule and
+  /// every record stay bit-identical to the untapped run.
+  obs::Telemetry* telemetry = nullptr;
+  bool tracing = false;
+  bool sampling = false;
+  std::uint16_t track_lifecycle = 0;  ///< ("serve","lifecycle"): instants
+  std::uint32_t n_admit = 0, n_shed = 0, n_complete = 0, k_query = 0;
+  obs::Counter* c_admitted = nullptr;
+  obs::Counter* c_shed = nullptr;
+  obs::Counter* c_completed = nullptr;
+  util::Log2Histogram* h_latency_ns = nullptr;
+  std::uint32_t ch_depth = 0;  ///< waiting + in service, sampled per event
+  /// Aggregate depth across every replica, for the ch_depth samples. Set
+  /// by the frontend (solo: the one replica's depth).
+  std::function<double()> total_depth;
+
+  SimShared(const ServeConfig& config_in, const WorkloadSpec& spec_in,
+            const std::vector<Query>& queries_in,
+            const std::vector<QueryProfile>& profiles_in,
+            std::vector<QueryRecord>& records_in,
+            const device::ThermalParams& thermal_in);
+
+  util::SimTime deadline(std::size_t i) const {
+    return records[i].arrival + records[i].slo;
+  }
+  /// Unserved profiled demand of query i (its remaining supersteps).
+  util::SimTime remaining_ps(std::size_t i) const {
+    return remaining_after[records[i].profile_index][next_step[i]];
+  }
+  bool all_resolved() const noexcept {
+    return completed + shed >= queries.size();
+  }
+
+  void attach_telemetry(obs::Telemetry* sink);
+  void note_admission(std::size_t i, bool was_shed);
+  void note_completion(std::size_t i);
+  void sample_depth();
+
+  /// Marks query i shed: record flag, counter, telemetry, and the
+  /// closed-loop reissue (a shed query does not stall its client).
+  void shed_query(std::size_t i);
+  /// Finalizes query i's record (completion, queue/ride split, SLO),
+  /// feeds the streaming estimators, reissues the closed-loop client,
+  /// and fires on_complete.
+  void complete_query(std::size_t i);
+  void issue_next(std::uint32_t client);
+
+  /// Schedules the workload's arrivals through `deliver` (open-loop: one
+  /// event per query; closed-loop: per-client chains), then drains the
+  /// simulator, with `observer` attached for the duration when non-null.
+  void run(obs::SimRunObserver* observer);
+};
+
+/// One stack's slice of the queueing simulation. All scheduling-policy
+/// decisions (quantum size, SLO priority, batching absorption) happen
+/// here, against this replica's ready queue only.
+struct ReplicaSim {
+  SimShared& shared;
+  std::uint32_t index = 0;
+
+  std::deque<std::size_t> ready;
+  std::size_t active = kNoQuery;
+  util::SimTime busy_ps = 0;
+  std::uint64_t link_bytes = 0;
+  std::uint32_t quanta = 0;
+  std::uint32_t served = 0;  ///< completions on this replica (+followers)
+  std::uint32_t throttled_quanta = 0;
+  /// Per-replica thermal accumulator: each stack heats independently.
+  device::ThermalState heat;
+  /// Unserved profiled demand queued here (waiting + preempted active
+  /// remainder); the router's ETA signal. Thermal stretch not included.
+  util::SimTime backlog_ps = 0;
+
+  ReplicaSim(SimShared& shared_in, std::uint32_t index_in)
+      : shared(shared_in), index(index_in) {}
+
+  std::size_t waiting() const noexcept { return ready.size(); }
+  bool busy() const noexcept { return active != kNoQuery; }
+  bool idle() const noexcept { return !busy() && ready.empty(); }
+  double depth() const noexcept {
+    return static_cast<double>(ready.size() + (busy() ? 1 : 0));
+  }
+
+  /// Admission: counts the query, queues it, and dispatches. The solo
+  /// path and first-time fleet admissions go through here.
+  void admit(std::size_t i);
+  /// Re-queues an already-admitted query (migration resume on the
+  /// target): no admitted++ and no admit telemetry, just placement.
+  void resume(std::size_t i);
+
+  /// Live migration, waiting half: removes every waiting query of
+  /// `class_index` (queue order preserved) and returns them. Their
+  /// replay progress stays in SimShared.
+  std::vector<std::size_t> extract_waiting(std::uint32_t class_index);
+  /// Live migration, in-flight half: if the active query belongs to
+  /// `class_index`, hand it to `sink` at its next preemption point (or
+  /// never, if it completes first — FIFO runs to completion). Returns
+  /// the marked query index, or kNoQuery when nothing was in flight.
+  std::size_t mark_redirect(std::uint32_t class_index,
+                            std::function<void(std::size_t)> sink);
+
+  /// Binds per-replica telemetry: the quantum span track, the byte
+  /// channel, and the heat trace. No-op when SimShared is untapped.
+  void attach_telemetry(const std::string& track_name,
+                        const std::string& bytes_channel,
+                        const std::string& heat_trace_name);
+
+  void dispatch();
+  void quantum_done();
+
+ private:
+  void place(std::size_t i);
+  void note_quantum(std::size_t i, util::SimTime duration,
+                    std::uint64_t bytes);
+
+  /// In-flight redirect (armed by mark_redirect, fires at most once).
+  std::size_t redirect_query_ = kNoQuery;
+  std::function<void(std::size_t)> redirect_sink_;
+
+  std::uint16_t track_ = 0;       ///< ("serve", <track_name>): quanta
+  std::uint32_t n_quantum_ = 0;
+  std::uint32_t ch_bytes_ = 0;    ///< link bytes charged per quantum
+  bool replica_tracing_ = false;
+  bool replica_sampling_ = false;
+  obs::StateModelTrace heat_trace_;
+};
+
+/// Shared report aggregation over the finished simulation: exact + P²
+/// percentiles, queue/service/ride time split, query-byte conservation
+/// side, goodput and SLO accounting. `busy_ps` is the summed stack busy
+/// time and `capacity_sec` the utilization denominator (solo: makespan;
+/// fleet: summed replica lifetime). Expects report.makespan_sec and the
+/// counters (admitted/completed/shed/link_bytes) already set.
+void summarize_serve(ServeReport& report, const SimShared& shared,
+                     util::SimTime busy_ps, double capacity_sec);
+
+}  // namespace cxlgraph::serve

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
@@ -13,14 +12,13 @@
 #include "algo/bfs.hpp"
 #include "device/state_model.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/replica.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace cxlgraph::serve {
 
 namespace {
-
-constexpr std::size_t kNoQuery = std::numeric_limits<std::size_t>::max();
 
 /// Content fingerprint for profile-cache invalidation: a full FNV-style
 /// pass over shape, offsets, edges, and weights, so *any* structural
@@ -38,318 +36,6 @@ std::uint64_t graph_fingerprint(const graph::CsrGraph& g) {
   for (const graph::Weight w : g.weights()) mix(w);
   return h;
 }
-
-/// The deterministic queueing simulation: admitted queries time-share the
-/// one profiled stack at superstep granularity. Single-threaded; every
-/// tie (equal timestamps, equal deadlines) breaks by insertion order.
-struct ServeSim {
-  const ServeConfig& config;
-  const WorkloadSpec& spec;
-  const std::vector<Query>& queries;
-  const std::vector<QueryProfile>& profiles;
-  std::vector<QueryRecord>& records;
-
-  /// Shared-stack thermal model: the serve layer replays idle-stack
-  /// profiles, so sustained-load heating cannot come from the profiled
-  /// durations — the queueing sim carries its own heat accumulator, fed
-  /// by each quantum's link bytes, and stretches throttled quanta.
-  const device::ThermalParams& thermal;
-  device::ThermalState stack_heat;
-  std::uint32_t throttled_quanta = 0;
-
-  sim::Simulator sim;
-  std::deque<std::size_t> ready;
-  std::vector<std::size_t> next_step;
-  std::size_t active = kNoQuery;
-  util::SimTime busy_ps = 0;
-  util::SimTime last_completion = 0;
-  std::uint32_t admitted = 0;
-  std::uint32_t completed = 0;
-  std::uint32_t shed = 0;
-  std::uint32_t batched = 0;
-  std::uint64_t link_bytes = 0;
-  /// batch_identical: queries riding the active replay, per leader.
-  std::vector<std::vector<std::size_t>> followers;
-  /// Completed latencies in completion order (streaming-estimator feed).
-  std::vector<double> completion_order_latency_us;
-
-  /// Closed loop: per-client query chains and issue cursors.
-  std::vector<std::vector<std::size_t>> client_queries;
-  std::vector<std::size_t> client_cursor;
-
-  /// Telemetry (all null/false when detached — the default path). Every
-  /// hook below only appends to obs-owned buffers, so the schedule and
-  /// every record stay bit-identical to the untapped run.
-  obs::Telemetry* telemetry = nullptr;
-  bool tracing = false;
-  bool sampling = false;
-  std::uint16_t track_stack = 0;      ///< ("serve","stack"): quanta spans
-  std::uint16_t track_lifecycle = 0;  ///< ("serve","lifecycle"): instants
-  std::uint32_t n_quantum = 0, n_admit = 0, n_shed = 0, n_complete = 0;
-  std::uint32_t k_query = 0;
-  obs::Counter* c_admitted = nullptr;
-  obs::Counter* c_shed = nullptr;
-  obs::Counter* c_completed = nullptr;
-  util::Log2Histogram* h_latency_ns = nullptr;
-  std::uint32_t ch_depth = 0;  ///< waiting + in service, sampled per event
-  std::uint32_t ch_bytes = 0;  ///< link bytes charged per quantum
-  obs::StateModelTrace stack_trace;
-  std::unique_ptr<obs::SimRunObserver> observer;
-
-  void attach_telemetry(obs::Telemetry* sink) {
-    if (sink == nullptr || !sink->enabled()) return;
-    telemetry = sink;
-    if (sink->tracing()) {
-      tracing = true;
-      obs::SpanTracer& tr = sink->tracer();
-      track_stack = tr.track("serve", "stack");
-      track_lifecycle = tr.track("serve", "lifecycle");
-      n_quantum = tr.intern("quantum");
-      n_admit = tr.intern("admit");
-      n_shed = tr.intern("shed");
-      n_complete = tr.intern("complete");
-      k_query = tr.intern("query");
-    }
-    if (sink->metering()) {
-      obs::MetricsRegistry& m = sink->metrics();
-      c_admitted = &m.counter("serve", "admitted");
-      c_shed = &m.counter("serve", "shed");
-      c_completed = &m.counter("serve", "completed");
-      h_latency_ns = &m.histogram("serve", "latency_ns");
-    }
-    if (sink->sampling()) {
-      sampling = true;
-      obs::TimeSeriesSampler& s = sink->sampler();
-      ch_depth = s.channel("serve/queue_depth",
-                           obs::TimeSeriesSampler::Reduce::kMax);
-      ch_bytes = s.channel("serve/quantum_bytes",
-                           obs::TimeSeriesSampler::Reduce::kSum);
-    }
-    stack_trace.bind(sink, "serve", "stack-heat");
-    observer = std::make_unique<obs::SimRunObserver>(*sink, "serve_sim");
-    observer->add_probe(
-        "heat", [this]() { return stack_heat.heat(); },
-        obs::TimeSeriesSampler::Reduce::kMax);
-  }
-
-  double depth() const noexcept {
-    return static_cast<double>(ready.size() + (active != kNoQuery ? 1 : 0));
-  }
-
-  void note_admission(std::size_t i, bool was_shed) {
-    const QueryRecord& r = records[i];
-    if (tracing) {
-      telemetry->tracer().instant(track_lifecycle,
-                                  was_shed ? n_shed : n_admit, sim.now(),
-                                  k_query, r.id);
-    }
-    if (c_admitted != nullptr) (was_shed ? c_shed : c_admitted)->add(1);
-    if (sampling && !was_shed) {
-      telemetry->sampler().record(ch_depth, sim.now(), depth());
-    }
-  }
-
-  void note_quantum(std::size_t i, util::SimTime duration,
-                    std::uint64_t bytes) {
-    if (tracing) {
-      telemetry->tracer().complete(track_stack, n_quantum, sim.now(),
-                                   duration, k_query, records[i].id);
-    }
-    if (sampling) {
-      obs::TimeSeriesSampler& s = telemetry->sampler();
-      s.record(ch_bytes, sim.now(), static_cast<double>(bytes));
-      s.record(ch_depth, sim.now(), depth());
-    }
-  }
-
-  void note_completion(std::size_t i) {
-    const QueryRecord& r = records[i];
-    if (tracing) {
-      telemetry->tracer().instant(track_lifecycle, n_complete, sim.now(),
-                                  k_query, r.id);
-    }
-    if (c_completed != nullptr) {
-      c_completed->add(1);
-      h_latency_ns->add((r.completion - r.arrival) / util::kPsPerNs);
-    }
-  }
-
-  ServeSim(const ServeConfig& config_in, const WorkloadSpec& spec_in,
-           const std::vector<Query>& queries_in,
-           const std::vector<QueryProfile>& profiles_in,
-           std::vector<QueryRecord>& records_in,
-           const device::ThermalParams& thermal_in)
-      : config(config_in), spec(spec_in), queries(queries_in),
-        profiles(profiles_in), records(records_in), thermal(thermal_in),
-        next_step(queries_in.size(), 0),
-        followers(config_in.batch_identical ? queries_in.size() : 0) {}
-
-  util::SimTime deadline(std::size_t i) const {
-    return records[i].arrival + records[i].slo;
-  }
-
-  void issue_next(std::uint32_t client) {
-    if (client_cursor[client] == client_queries[client].size()) return;
-    const std::size_t i = client_queries[client][client_cursor[client]++];
-    sim.schedule_after(queries[i].think_gap,
-                       [this, i]() { arrive(i); });
-  }
-
-  void arrive(std::size_t i) {
-    QueryRecord& r = records[i];
-    r.arrival = sim.now();
-    if (config.max_waiting > 0 && ready.size() >= config.max_waiting) {
-      r.shed = true;
-      ++shed;
-      if (telemetry != nullptr) note_admission(i, /*was_shed=*/true);
-      // A shed query does not stall its closed-loop client.
-      if (spec.process == ArrivalProcess::kClosedLoop) {
-        issue_next(static_cast<std::uint32_t>(i % spec.num_clients));
-      }
-      return;
-    }
-    ++admitted;
-    ready.push_back(i);
-    if (telemetry != nullptr) note_admission(i, /*was_shed=*/false);
-    dispatch();
-  }
-
-  void dispatch() {
-    if (active != kNoQuery || ready.empty()) return;
-    std::size_t i;
-    if (config.policy == SchedulingPolicy::kSloPriority) {
-      auto best = ready.begin();
-      for (auto it = std::next(ready.begin()); it != ready.end(); ++it) {
-        if (deadline(*it) < deadline(*best)) best = it;
-      }
-      i = *best;
-      ready.erase(best);
-    } else {
-      i = ready.front();
-      ready.pop_front();
-    }
-
-    active = i;
-    QueryRecord& r = records[i];
-    const QueryProfile& p = profiles[r.profile_index];
-    if (next_step[i] == 0) r.first_service = sim.now();
-    if (config.batch_identical) {
-      // Identical waiting queries (same profile => same class shape and
-      // source) ride this replay: one execution answers them all. They
-      // leave the ready queue and complete with the batch. Only queries
-      // that have not started can ride — a preempted leader sitting in
-      // the ready queue (next_step > 0) has consumed stack time and may
-      // carry followers of its own; absorbing it would orphan them and
-      // double-count its spent quanta.
-      for (auto it = ready.begin(); it != ready.end();) {
-        if (next_step[*it] == 0 &&
-            records[*it].profile_index == r.profile_index) {
-          records[*it].batch_follower = true;
-          if (records[*it].first_service == 0) {
-            records[*it].first_service = sim.now();
-          }
-          followers[i].push_back(*it);
-          it = ready.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
-    const std::size_t remaining = p.step_ps.size() - next_step[i];
-    const std::size_t quantum =
-        config.policy == SchedulingPolicy::kFifo
-            ? remaining
-            : std::min<std::size_t>(
-                  std::max<std::uint32_t>(config.quantum_supersteps, 1),
-                  remaining);
-    util::SimTime duration = 0;
-    std::uint64_t bytes = 0;
-    for (std::size_t k = next_step[i]; k < next_step[i] + quantum; ++k) {
-      duration += p.step_ps[k];
-      bytes += p.step_bytes[k];
-    }
-    if (thermal.enabled) {
-      // Quantum bytes heat the stack; once the accumulator crosses the
-      // budget the whole quantum serves at the derated bandwidth. The
-      // bytes themselves are unchanged — conservation still holds.
-      const double mult = stack_heat.charge(thermal, sim.now(), bytes);
-      if (mult > 1.0) {
-        duration = static_cast<util::SimTime>(
-            static_cast<double>(duration) * mult + 0.5);
-        ++throttled_quanta;
-      }
-      if (stack_trace.bound()) {
-        stack_trace.on_thermal(sim.now(), stack_heat.throttled());
-      }
-    }
-    next_step[i] += quantum;
-    r.service_ps += duration;
-    r.service_bytes += bytes;
-    busy_ps += duration;
-    link_bytes += bytes;
-    if (telemetry != nullptr) note_quantum(i, duration, bytes);
-    sim.schedule_after(duration, [this]() { quantum_done(); });
-  }
-
-  void complete_one(std::size_t i) {
-    QueryRecord& r = records[i];
-    r.completion = sim.now();
-    r.queue_ps = r.completion - r.arrival - r.service_ps;
-    r.slo_violated = r.completion - r.arrival > r.slo;
-    last_completion = std::max(last_completion, r.completion);
-    completion_order_latency_us.push_back(
-        util::us_from_ps(r.completion - r.arrival));
-    ++completed;
-    if (telemetry != nullptr) note_completion(i);
-    if (spec.process == ArrivalProcess::kClosedLoop) {
-      issue_next(static_cast<std::uint32_t>(i % spec.num_clients));
-    }
-  }
-
-  void quantum_done() {
-    const std::size_t i = active;
-    active = kNoQuery;
-    QueryRecord& r = records[i];
-    if (next_step[i] == profiles[r.profile_index].step_ps.size()) {
-      complete_one(i);
-      if (config.batch_identical) {
-        // Followers completed by the shared replay: no stack time of
-        // their own (service_ps stays 0), bytes fetched once by the
-        // leader's quanta.
-        for (const std::size_t f : followers[i]) {
-          complete_one(f);
-          ++batched;
-        }
-        followers[i].clear();
-      }
-    } else {
-      ready.push_back(i);
-    }
-    dispatch();
-  }
-
-  void run() {
-    if (spec.process == ArrivalProcess::kOpenLoopPoisson) {
-      for (std::size_t i = 0; i < queries.size(); ++i) {
-        sim.schedule_at(queries[i].arrival,
-                        [this, i]() { arrive(i); });
-      }
-    } else {
-      client_queries.resize(spec.num_clients);
-      client_cursor.assign(spec.num_clients, 0);
-      for (std::size_t i = 0; i < queries.size(); ++i) {
-        client_queries[i % spec.num_clients].push_back(i);
-      }
-      for (std::uint32_t c = 0; c < spec.num_clients; ++c) issue_next(c);
-    }
-    if (observer != nullptr) sim.set_observer(observer.get());
-    sim.run();
-    if (observer != nullptr) {
-      observer->finish();
-      sim.set_observer(nullptr);
-    }
-  }
-};
 
 }  // namespace
 
@@ -369,7 +55,13 @@ SchedulingPolicy policy_from_name(const std::string& name) {
   for (const SchedulingPolicy p : all_policies()) {
     if (to_string(p) == name) return p;
   }
-  throw std::invalid_argument("unknown scheduling policy: " + name);
+  std::string valid;
+  for (const SchedulingPolicy p : all_policies()) {
+    if (!valid.empty()) valid += ", ";
+    valid += to_string(p);
+  }
+  throw std::invalid_argument("unknown scheduling policy '" + name +
+                              "' (valid: " + valid + ")");
 }
 
 const std::vector<SchedulingPolicy>& all_policies() {
@@ -433,17 +125,29 @@ void QueryServer::cache_evict_to_capacity() {
   }
 }
 
-ServeReport QueryServer::serve(const graph::CsrGraph& graph,
-                               const ServeRequest& request) {
-  const WorkloadSpec& spec = request.workload;
-  const std::vector<QueryClass> mix = resolve_mix(spec);
-  const std::vector<Query> queries = make_queries(spec);
+const device::ThermalParams& QueryServer::stack_thermal(
+    core::BackendKind backend) const noexcept {
+  static const device::ThermalParams kNoThermal{};
+  switch (backend) {
+    case core::BackendKind::kCxl:
+    case core::BackendKind::kTieredDramCxl:
+      return config_.cxl.thermal;
+    case core::BackendKind::kXlfdd:
+    case core::BackendKind::kBamNvme:
+    case core::BackendKind::kUvm:
+      return config_.storage_thermal;
+    default:
+      return kNoThermal;
+  }
+}
 
-  ServeReport report;
-  report.policy = to_string(request.config.policy);
-  report.process = to_string(spec.process);
-  report.offered = static_cast<std::uint32_t>(queries.size());
-  if (queries.empty()) return report;
+ProfiledWorkload QueryServer::profile_workload(const graph::CsrGraph& graph,
+                                               const core::RunRequest& base,
+                                               const WorkloadSpec& workload) {
+  const std::vector<QueryClass> mix = resolve_mix(workload);
+  ProfiledWorkload out;
+  out.queries = make_queries(workload);
+  if (out.queries.empty()) return out;
 
   // -------------------------------------------------------------------
   // Profile every distinct (class shape, source) once on an idle stack.
@@ -457,13 +161,13 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
     profile_cache_.clear();
     cached_graph_fingerprint_ = fingerprint;
   }
-  const auto key_for = [&request, &mix](std::uint32_t c,
-                                        graph::VertexId source) {
+  const auto key_for = [&base, &mix](std::uint32_t c,
+                                     graph::VertexId source) {
     const QueryClass& cls = mix[c];
-    return ProfileKey{static_cast<int>(request.base.backend),
-                      request.base.cxl_added_latency.value_or(0),
-                      request.base.alignment.value_or(0),
-                      request.base.cache_bytes.value_or(0),
+    return ProfileKey{static_cast<int>(base.backend),
+                      base.cxl_added_latency.value_or(0),
+                      base.alignment.value_or(0),
+                      base.cache_bytes.value_or(0),
                       static_cast<int>(cls.algorithm), cls.shards,
                       static_cast<int>(cls.strategy), source};
   };
@@ -475,17 +179,16 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
     graph::VertexId source;
   };
   std::vector<PendingKey> keys;
-  std::vector<std::size_t> query_profile(queries.size());
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    const graph::VertexId source =
-        request.base.source.value_or(
-            algo::pick_source(graph, queries[i].source_seed));
-    const ProfileKey key = key_for(queries[i].class_index, source);
+  out.query_profile.resize(out.queries.size());
+  for (std::size_t i = 0; i < out.queries.size(); ++i) {
+    const graph::VertexId source = base.source.value_or(
+        algo::pick_source(graph, out.queries[i].source_seed));
+    const ProfileKey key = key_for(out.queries[i].class_index, source);
     const auto [it, inserted] = slot_of.try_emplace(key, keys.size());
     if (inserted) {
-      keys.push_back(PendingKey{key, queries[i].class_index, source});
+      keys.push_back(PendingKey{key, out.queries[i].class_index, source});
     }
-    query_profile[i] = it->second;
+    out.query_profile[i] = it->second;
   }
 
   // Single-stack profiles not yet cached fan out across the runner's
@@ -498,9 +201,9 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
       continue;
     }
     task_slot.push_back(k);
-    tasks.push_back([this, &graph, &request, &cls, pending = keys[k]]() {
+    tasks.push_back([this, &graph, &base, &cls, pending = keys[k]]() {
       core::ExternalGraphRuntime runtime(config_);
-      core::RunRequest req = request.base;
+      core::RunRequest req = base;
       req.algorithm = cls.algorithm;
       req.source = pending.source;
       core::TraceRunResult run = runtime.run_profiled(graph, req);
@@ -527,7 +230,7 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
       continue;
     }
     core::ClusterRequest creq;
-    creq.run = request.base;
+    creq.run = base;
     creq.run.algorithm = cls.algorithm;
     creq.run.source = keys[k].source;
     creq.num_shards = cls.shards;
@@ -559,127 +262,96 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
     cache_put(keys[k].key, std::move(p));
   }
 
-  std::vector<QueryProfile> profiles;
-  profiles.reserve(keys.size());
+  out.profiles.reserve(keys.size());
   for (const PendingKey& pending : keys) {
-    profiles.push_back(cache_at(pending.key));
+    out.profiles.push_back(cache_at(pending.key));
     // The cached copy carries the class index of whichever serve created
     // it; rebind to this workload's mix (the key ignores slo/weight).
-    profiles.back().class_index = pending.class_index;
+    out.profiles.back().class_index = pending.class_index;
   }
   // This serve holds copies of everything it needs; trim the cache for
   // the next one.
   cache_evict_to_capacity();
-  for (QueryProfile& p : profiles) {
+  for (QueryProfile& p : out.profiles) {
     p.service_ps = 0;
     p.service_bytes = 0;
     for (const util::SimTime d : p.step_ps) p.service_ps += d;
     for (const std::uint64_t b : p.step_bytes) p.service_bytes += b;
   }
-  report.backend = profiles.front().report.backend;
-  report.access_method = profiles.front().report.access_method;
+  return out;
+}
+
+ServeReport QueryServer::serve(const graph::CsrGraph& graph,
+                               const ServeRequest& request) {
+  const WorkloadSpec& spec = request.workload;
+
+  ServeReport report;
+  report.policy = to_string(request.config.policy);
+  report.process = to_string(spec.process);
+
+  ProfiledWorkload workload =
+      profile_workload(graph, request.base, spec);
+  report.offered = static_cast<std::uint32_t>(workload.queries.size());
+  if (workload.queries.empty()) return report;
+  report.backend = workload.profiles.front().report.backend;
+  report.access_method = workload.profiles.front().report.access_method;
 
   // -------------------------------------------------------------------
-  // The queueing simulation over the shared stack.
+  // The queueing simulation over the one shared stack: a single
+  // ReplicaSim driven through exactly the pre-fleet event sequence.
   // -------------------------------------------------------------------
-  report.queries.resize(queries.size());
-  for (std::size_t i = 0; i < queries.size(); ++i) {
+  report.queries.resize(workload.queries.size());
+  for (std::size_t i = 0; i < workload.queries.size(); ++i) {
     QueryRecord& r = report.queries[i];
-    r.id = queries[i].id;
-    r.class_index = queries[i].class_index;
-    r.profile_index = query_profile[i];
-    r.slo = queries[i].slo;
+    r.id = workload.queries[i].id;
+    r.class_index = workload.queries[i].class_index;
+    r.profile_index = workload.query_profile[i];
+    r.slo = workload.queries[i].slo;
   }
 
-  // The shared stack's thermal model, resolved by backend: CXL-backed
-  // stacks heat the CXL channel, storage-backed stacks the drives; host
-  // DRAM has no throttle model (a disabled default keeps it cold).
-  static const device::ThermalParams kNoThermal{};
-  const device::ThermalParams* thermal = &kNoThermal;
-  switch (request.base.backend) {
-    case core::BackendKind::kCxl:
-    case core::BackendKind::kTieredDramCxl:
-      thermal = &config_.cxl.thermal;
-      break;
-    case core::BackendKind::kXlfdd:
-    case core::BackendKind::kBamNvme:
-    case core::BackendKind::kUvm:
-      thermal = &config_.storage_thermal;
-      break;
-    default:
-      break;
-  }
-  device::validate(*thermal);
+  const device::ThermalParams& thermal =
+      stack_thermal(request.base.backend);
+  device::validate(thermal);
 
-  ServeSim simulation(request.config, spec, queries, profiles,
-                      report.queries, *thermal);
-  simulation.attach_telemetry(telemetry_);
-  simulation.run();
+  SimShared shared(request.config, spec, workload.queries,
+                   workload.profiles, report.queries, thermal);
+  ReplicaSim replica(shared, /*index=*/0);
+  shared.total_depth = [&replica]() { return replica.depth(); };
+  shared.deliver = [&shared, &replica,
+                    &config = request.config](std::size_t i) {
+    QueryRecord& r = shared.records[i];
+    r.arrival = shared.sim.now();
+    if (config.max_waiting > 0 && replica.waiting() >= config.max_waiting) {
+      shared.shed_query(i);
+      return;
+    }
+    replica.admit(i);
+  };
+  shared.attach_telemetry(telemetry_);
+  replica.attach_telemetry("stack", "serve/quantum_bytes", "stack-heat");
+  std::unique_ptr<obs::SimRunObserver> observer;
+  if (shared.telemetry != nullptr) {
+    observer =
+        std::make_unique<obs::SimRunObserver>(*shared.telemetry, "serve_sim");
+    observer->add_probe(
+        "heat", [&replica]() { return replica.heat.heat(); },
+        obs::TimeSeriesSampler::Reduce::kMax);
+  }
+  shared.run(observer.get());
 
   // -------------------------------------------------------------------
   // Aggregate.
   // -------------------------------------------------------------------
-  report.admitted = simulation.admitted;
-  report.completed = simulation.completed;
-  report.shed = simulation.shed;
-  report.batched = simulation.batched;
-  report.link_bytes = simulation.link_bytes;
-  report.makespan_sec = util::sec_from_ps(simulation.last_completion);
-  report.throttled_quanta = simulation.throttled_quanta;
-  report.stack_peak_heat = simulation.stack_heat.peak_heat();
-
-  std::vector<double> latency_us, queue_us, service_us;
-  latency_us.reserve(report.completed);
-  std::uint32_t met_slo = 0;
-  util::SimTime queue_total = 0, service_total = 0;
-  for (const QueryRecord& r : report.queries) {
-    if (r.shed) continue;
-    latency_us.push_back(util::us_from_ps(r.completion - r.arrival));
-    queue_us.push_back(util::us_from_ps(r.queue_ps));
-    service_us.push_back(util::us_from_ps(r.service_ps));
-    queue_total += r.queue_ps;
-    service_total += r.service_ps;
-    if (!r.slo_violated) ++met_slo;
-    // A batch follower's bytes were fetched once, by its leader's replay.
-    if (!r.batch_follower) {
-      report.query_bytes += profiles[r.profile_index].report.fetched_bytes;
-    }
-  }
-  report.latency_us = util::summarize_percentiles(std::move(latency_us));
-  report.queue_us = util::summarize_percentiles(std::move(queue_us));
-  report.service_us = util::summarize_percentiles(std::move(service_us));
-  util::StreamingQuantile p50(0.50), p95(0.95), p99(0.99);
-  for (const double x : simulation.completion_order_latency_us) {
-    p50.add(x);
-    p95.add(x);
-    p99.add(x);
-  }
-  report.streaming_p50_us = p50.estimate();
-  report.streaming_p95_us = p95.estimate();
-  report.streaming_p99_us = p99.estimate();
-  const auto rel_error = [](double exact, double estimate) {
-    return exact > 0.0 ? std::fabs(estimate - exact) / exact : 0.0;
-  };
-  report.p2_max_rel_error = std::max(
-      {rel_error(report.latency_us.p50, report.streaming_p50_us),
-       rel_error(report.latency_us.p95, report.streaming_p95_us),
-       rel_error(report.latency_us.p99, report.streaming_p99_us)});
-  report.time_in_queue_sec = util::sec_from_ps(queue_total);
-  report.time_in_service_sec = util::sec_from_ps(service_total);
-  if (report.makespan_sec > 0.0) {
-    report.completed_qps =
-        static_cast<double>(report.completed) / report.makespan_sec;
-    report.goodput_qps =
-        static_cast<double>(met_slo) / report.makespan_sec;
-    report.utilization =
-        util::sec_from_ps(simulation.busy_ps) / report.makespan_sec;
-  }
-  if (report.completed > 0) {
-    report.slo_violation_rate =
-        static_cast<double>(report.completed - met_slo) /
-        static_cast<double>(report.completed);
-  }
-  report.profiles = std::move(profiles);
+  report.admitted = shared.admitted;
+  report.completed = shared.completed;
+  report.shed = shared.shed;
+  report.batched = shared.batched;
+  report.link_bytes = replica.link_bytes;
+  report.makespan_sec = util::sec_from_ps(shared.last_completion);
+  report.throttled_quanta = replica.throttled_quanta;
+  report.stack_peak_heat = replica.heat.peak_heat();
+  summarize_serve(report, shared, replica.busy_ps, report.makespan_sec);
+  report.profiles = std::move(workload.profiles);
   return report;
 }
 

@@ -115,9 +115,17 @@ struct QueryRecord {
   util::SimTime first_service = 0;
   util::SimTime completion = 0;
   util::SimTime service_ps = 0;  // time actually holding the shared stack
-  util::SimTime queue_ps = 0;    // completion - arrival - service_ps
+  /// Time spent riding a batch leader's replay (batch_identical only):
+  /// the follower holds no stack time of its own, but quanta served on
+  /// its behalf are not queueing either.
+  util::SimTime ride_ps = 0;
+  util::SimTime queue_ps = 0;  // completion - arrival - service_ps - ride_ps
   std::uint64_t service_bytes = 0;
   util::SimTime slo = 0;
+  /// Replica that served (or is serving) this query. 0 for the
+  /// single-stack QueryServer; a live-migrated query reports the replica
+  /// it completed on.
+  std::uint32_t replica = 0;
   bool shed = false;
   bool slo_violated = false;
   /// True when this query rode another query's replay (batch_identical):
@@ -161,9 +169,11 @@ struct ServeReport {
   /// number a dashboard trusting the streaming estimators should watch.
   double p2_max_rel_error = 0.0;
 
-  /// Time-in-queue vs time-in-service totals over completed queries.
+  /// Time-in-queue vs time-in-service vs time-riding-a-batch totals over
+  /// completed queries; the three sum to total sojourn exactly.
   double time_in_queue_sec = 0.0;
   double time_in_service_sec = 0.0;
+  double time_riding_sec = 0.0;
   /// Shared-stack busy time / makespan.
   double utilization = 0.0;
 
@@ -205,6 +215,16 @@ struct SoakWindow {
 std::vector<SoakWindow> soak_windows(const ServeReport& report,
                                      std::size_t windows);
 
+/// A workload expanded and profiled against one graph: the concrete query
+/// stream, the distinct (class shape, source) profiles, and the map from
+/// query to profile. The input every queueing simulation — single-stack
+/// or fleet — consumes.
+struct ProfiledWorkload {
+  std::vector<Query> queries;
+  std::vector<QueryProfile> profiles;
+  std::vector<std::size_t> query_profile;
+};
+
 class QueryServer {
  public:
   /// `jobs` bounds the profiling fan-out (ExperimentRunner semantics:
@@ -218,6 +238,20 @@ class QueryServer {
   /// Runs the workload to completion. Deterministic in (graph, request).
   ServeReport serve(const graph::CsrGraph& graph,
                     const ServeRequest& request);
+
+  /// The profiling front half of serve(), exposed so FleetServer can
+  /// reuse the cache and fan-out: expands the workload and profiles every
+  /// distinct (class shape, source) once on an idle stack. Deterministic
+  /// in (graph, base, workload); empty stream yields empty vectors.
+  ProfiledWorkload profile_workload(const graph::CsrGraph& graph,
+                                    const core::RunRequest& base,
+                                    const WorkloadSpec& workload);
+
+  /// The shared stack's thermal model, resolved by backend: CXL-backed
+  /// stacks heat the CXL channel, storage-backed stacks the drives; host
+  /// DRAM has no throttle model (a disabled default keeps it cold).
+  const device::ThermalParams& stack_thermal(
+      core::BackendKind backend) const noexcept;
 
   const core::SystemConfig& config() const noexcept { return config_; }
 

@@ -1,0 +1,353 @@
+/// serve::FleetServer — replicated stacks behind a router.
+///
+/// The load-bearing guarantees:
+///  * replicas=1 + random router + no quotas/shedding/migration is
+///    bit-identical to QueryServer::serve on the same request — the
+///    fleet is a pure extension of the single-stack path;
+///  * results are deterministic in (graph, request) across repeated
+///    runs and profiling thread counts;
+///  * byte conservation holds for every router, and live migration
+///    charges its state copy to the interconnect without touching the
+///    serve-side ledger;
+///  * a live-migrated in-flight query resumes on the target mid-serve
+///    (replay progress intact) and completes there;
+///  * the elastic controller scales up under backlog and reports the
+///    p99 transient around every scaling event.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generate.hpp"
+#include "serve/fleet.hpp"
+#include "serve/server.hpp"
+
+namespace cxlgraph {
+namespace {
+
+constexpr std::uint64_t kSeed = 23;
+
+graph::CsrGraph test_graph() {
+  graph::GeneratorOptions opts;
+  opts.seed = kSeed;
+  opts.max_weight = 63;
+  return graph::generate_uniform(1 << 10, 8.0, opts);
+}
+
+serve::FleetRequest mixed_fleet_request(double offered_qps,
+                                        std::uint32_t num_queries) {
+  serve::FleetRequest req;
+  req.base.backend = core::BackendKind::kCxl;
+  req.workload.seed = kSeed;
+  req.workload.offered_qps = offered_qps;
+  req.workload.num_queries = num_queries;
+  req.workload.source_pool = 4;
+  serve::QueryClass bfs;
+  bfs.algorithm = core::Algorithm::kBfs;
+  bfs.weight = 2.0;
+  bfs.slo = util::ps_from_us(5'000.0);
+  serve::QueryClass scan;
+  scan.algorithm = core::Algorithm::kPagerankScan;
+  scan.weight = 1.0;
+  scan.slo = util::ps_from_us(20'000.0);
+  req.workload.mix = {bfs, scan};
+  return req;
+}
+
+void expect_reports_identical(const serve::ServeReport& a,
+                              const serve::ServeReport& b) {
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (std::size_t i = 0; i < a.queries.size(); ++i) {
+    const serve::QueryRecord& x = a.queries[i];
+    const serve::QueryRecord& y = b.queries[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.arrival, y.arrival);
+    EXPECT_EQ(x.first_service, y.first_service);
+    EXPECT_EQ(x.completion, y.completion);
+    EXPECT_EQ(x.service_ps, y.service_ps);
+    EXPECT_EQ(x.ride_ps, y.ride_ps);
+    EXPECT_EQ(x.queue_ps, y.queue_ps);
+    EXPECT_EQ(x.service_bytes, y.service_bytes);
+    EXPECT_EQ(x.replica, y.replica);
+    EXPECT_EQ(x.shed, y.shed);
+    EXPECT_EQ(x.slo_violated, y.slo_violated);
+  }
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.link_bytes, b.link_bytes);
+  EXPECT_EQ(a.query_bytes, b.query_bytes);
+  EXPECT_EQ(a.throttled_quanta, b.throttled_quanta);
+  EXPECT_EQ(a.makespan_sec, b.makespan_sec);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.latency_us.p50, b.latency_us.p50);
+  EXPECT_EQ(a.latency_us.p99, b.latency_us.p99);
+  EXPECT_EQ(a.streaming_p99_us, b.streaming_p99_us);
+}
+
+// The acceptance gate: one replica behind the random router, no quotas,
+// no shedding, no migration — the fleet must reproduce QueryServer's
+// report bit-for-bit, every record field included.
+TEST(FleetServer, SingleReplicaBitIdenticalToQueryServer) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest freq = mixed_fleet_request(2000.0, 48);
+  freq.fleet.replicas = 1;
+  freq.fleet.router = serve::RouterKind::kRandom;
+  freq.fleet.serve.policy = serve::SchedulingPolicy::kSloPriority;
+  freq.fleet.serve.max_waiting = 12;
+
+  serve::ServeRequest sreq;
+  sreq.base = freq.base;
+  sreq.workload = freq.workload;
+  sreq.config = freq.fleet.serve;
+
+  serve::QueryServer solo(core::table3_system());
+  serve::FleetServer fleet(core::table3_system());
+  const serve::ServeReport a = solo.serve(g, sreq);
+  const serve::FleetReport b = fleet.serve(g, freq);
+  expect_reports_identical(a, b.serve);
+  EXPECT_EQ(b.replicas, 1u);
+  EXPECT_EQ(b.peak_replicas, 1u);
+  EXPECT_EQ(b.shed_queue, a.shed);
+  EXPECT_EQ(b.shed_quota, 0u);
+  EXPECT_EQ(b.shed_deadline, 0u);
+  EXPECT_EQ(b.migration_bytes, 0u);
+  EXPECT_TRUE(b.serve.conservation_ok());
+}
+
+TEST(FleetServer, DeterministicAcrossJobsAndRepeatedRuns) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest req = mixed_fleet_request(3000.0, 40);
+  req.fleet.replicas = 3;
+  req.fleet.router = serve::RouterKind::kJoinShortestQueue;
+  req.fleet.serve.policy = serve::SchedulingPolicy::kRoundRobin;
+
+  serve::FleetServer serial(core::table3_system(), /*jobs=*/1);
+  serve::FleetServer wide(core::table3_system(), /*jobs=*/4);
+  const serve::FleetReport a = serial.serve(g, req);
+  const serve::FleetReport b = wide.serve(g, req);
+  const serve::FleetReport c = serial.serve(g, req);
+  expect_reports_identical(a.serve, b.serve);
+  expect_reports_identical(a.serve, c.serve);
+}
+
+TEST(FleetServer, RoutersSpreadLoadAndConserveBytes) {
+  const graph::CsrGraph g = test_graph();
+  for (const serve::RouterKind router : serve::all_routers()) {
+    serve::FleetRequest req = mixed_fleet_request(4000.0, 48);
+    req.fleet.replicas = 3;
+    req.fleet.router = router;
+    serve::FleetServer fleet(core::table3_system());
+    const serve::FleetReport r = fleet.serve(g, req);
+    EXPECT_EQ(r.serve.completed, 48u) << to_string(router);
+    EXPECT_TRUE(r.serve.conservation_ok()) << to_string(router);
+    ASSERT_EQ(r.replica_stats.size(), 3u);
+    std::uint32_t used = 0;
+    std::uint64_t sum_link = 0;
+    for (const serve::ReplicaStats& s : r.replica_stats) {
+      if (s.served > 0) ++used;
+      sum_link += s.link_bytes;
+      EXPECT_LE(s.utilization, 1.0 + 1e-9) << to_string(router);
+    }
+    EXPECT_GE(used, 2u) << to_string(router) << " left replicas idle";
+    EXPECT_EQ(sum_link, r.serve.link_bytes) << to_string(router);
+  }
+}
+
+TEST(FleetServer, ClassAffinityPinsTenantsToReplicas) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest req = mixed_fleet_request(4000.0, 40);
+  req.fleet.replicas = 2;
+  req.fleet.router = serve::RouterKind::kClassAffinity;
+  serve::FleetServer fleet(core::table3_system());
+  const serve::FleetReport r = fleet.serve(g, req);
+  for (const serve::QueryRecord& q : r.serve.queries) {
+    if (q.shed) continue;
+    EXPECT_EQ(q.replica, q.class_index % 2u);
+  }
+}
+
+TEST(FleetServer, TenantQuotaCapsInFlightQueries) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest req = mixed_fleet_request(8000.0, 48);
+  req.fleet.replicas = 2;
+  req.fleet.quotas = {serve::TenantQuota{/*class_index=*/0,
+                                         /*max_in_flight=*/1}};
+  serve::FleetServer fleet(core::table3_system());
+  const serve::FleetReport r = fleet.serve(g, req);
+  EXPECT_GT(r.shed_quota, 0u);
+  EXPECT_EQ(r.shed_quota + r.shed_queue + r.shed_deadline, r.serve.shed);
+  // Only the quota'd tenant gets shed at this load.
+  for (const serve::QueryRecord& q : r.serve.queries) {
+    if (q.shed) {
+      EXPECT_EQ(q.class_index, 0u);
+    }
+  }
+  EXPECT_TRUE(r.serve.conservation_ok());
+}
+
+TEST(FleetServer, SloSheddingDropsInfeasibleArrivals) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest req = mixed_fleet_request(20'000.0, 48);
+  req.fleet.replicas = 2;
+  req.fleet.router = serve::RouterKind::kJoinShortestQueue;
+  req.fleet.slo_shedding = true;
+  // A query's isolated demand is ~80 us here: SLOs just above it admit
+  // arrivals onto an empty replica but make any real backlog infeasible.
+  req.workload.mix[0].slo = util::ps_from_us(120.0);
+  req.workload.mix[1].slo = util::ps_from_us(180.0);
+  serve::FleetServer fleet(core::table3_system());
+  const serve::FleetReport r = fleet.serve(g, req);
+  EXPECT_GT(r.shed_deadline, 0u);
+  EXPECT_GT(r.serve.completed, 0u);
+  EXPECT_EQ(r.serve.completed + r.serve.shed, r.serve.offered);
+  EXPECT_TRUE(r.serve.conservation_ok());
+}
+
+TEST(FleetServer, LiveMigrationMovesTenantMidServe) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest req = mixed_fleet_request(6000.0, 40);
+  req.fleet.replicas = 2;
+  // Affinity pins class 0 to replica 0, so the migration has a backlog
+  // to drain; round-robin with a 1-superstep quantum guarantees an
+  // early preemption point for the in-flight handoff.
+  req.fleet.router = serve::RouterKind::kClassAffinity;
+  req.fleet.serve.policy = serve::SchedulingPolicy::kRoundRobin;
+  req.fleet.serve.quantum_supersteps = 1;
+
+  serve::FleetServer probe(core::table3_system());
+  const serve::FleetReport baseline = probe.serve(g, req);
+  ASSERT_GT(baseline.serve.makespan_sec, 0.0);
+
+  req.fleet.migrations = {serve::MigrationPlan{
+      baseline.serve.makespan_sec / 3.0, /*class_index=*/0,
+      /*from=*/0, /*to=*/1}};
+  serve::FleetServer fleet(core::table3_system());
+  const serve::FleetReport r = fleet.serve(g, req);
+
+  ASSERT_EQ(r.migrations.size(), 1u);
+  const serve::MigrationRecord& m = r.migrations.front();
+  EXPECT_GT(m.state_bytes, 0u);
+  EXPECT_GT(m.moved_waiting + (m.moved_active ? 1u : 0u), 0u);
+  EXPECT_GT(r.migration_bytes, 0u);
+  EXPECT_GT(r.migration_sec, 0.0);
+  // The copy is charged to the interconnect, not the serve ledger:
+  // query-byte conservation must still hold exactly.
+  EXPECT_TRUE(r.serve.conservation_ok());
+  EXPECT_EQ(r.serve.completed + r.serve.shed, r.serve.offered);
+
+  // Mid-serve resume: a tenant query whose service began at the source
+  // before the migration completed on the target.
+  const util::SimTime mig_ps =
+      static_cast<util::SimTime>(m.start_sec * 1e12);
+  bool resumed_mid_serve = false;
+  for (const serve::QueryRecord& q : r.serve.queries) {
+    if (q.shed || q.class_index != 0) continue;
+    if (q.first_service > 0 && q.first_service < mig_ps && q.replica == 1) {
+      resumed_mid_serve = true;
+    }
+  }
+  EXPECT_TRUE(m.moved_active ? resumed_mid_serve : true);
+  // Post-migration arrivals of the tenant route to the target.
+  for (const serve::QueryRecord& q : r.serve.queries) {
+    if (q.shed || q.class_index != 0) continue;
+    if (q.arrival > mig_ps + util::kPsPerUs) {
+      EXPECT_EQ(q.replica, 1u);
+    }
+  }
+}
+
+TEST(FleetServer, ElasticControllerScalesUpUnderBacklog) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest req = mixed_fleet_request(50'000.0, 48);
+  req.fleet.replicas = 1;
+  req.fleet.router = serve::RouterKind::kJoinShortestQueue;
+
+  serve::FleetServer probe(core::table3_system());
+  const serve::FleetReport fixed = probe.serve(g, req);
+  ASSERT_GT(fixed.serve.makespan_sec, 0.0);
+
+  req.fleet.elastic.enabled = true;
+  req.fleet.elastic.min_replicas = 1;
+  req.fleet.elastic.max_replicas = 4;
+  req.fleet.elastic.check_interval_sec = fixed.serve.makespan_sec / 40.0;
+  req.fleet.elastic.scale_up_depth = 4.0;
+  req.fleet.elastic.scale_down_depth = 0.5;
+  req.fleet.elastic.cooldown_intervals = 1;
+  serve::FleetServer fleet(core::table3_system());
+  const serve::FleetReport r = fleet.serve(g, req);
+
+  EXPECT_GT(r.peak_replicas, 1u);
+  bool grew = false;
+  for (const serve::ScalingEvent& ev : r.scaling_events) {
+    if (!ev.added) continue;
+    grew = true;
+    EXPECT_GT(ev.at_sec, 0.0);
+    EXPECT_GT(ev.routable_after, 1u);
+    EXPECT_GT(ev.depth_per_replica, req.fleet.elastic.scale_up_depth);
+    EXPECT_GE(ev.p99_before_us, 0.0);
+    EXPECT_GE(ev.p99_after_us, 0.0);
+  }
+  EXPECT_TRUE(grew);
+  EXPECT_EQ(r.serve.completed, r.serve.offered);
+  EXPECT_TRUE(r.serve.conservation_ok());
+  // Extra capacity must not slow the fleet down.
+  EXPECT_LE(r.serve.makespan_sec, fixed.serve.makespan_sec * 1.01);
+  // Replicas added mid-run report their join time and a sane lifetime.
+  for (const serve::ReplicaStats& s : r.replica_stats) {
+    if (s.replica >= req.fleet.replicas) {
+      EXPECT_GT(s.joined_sec, 0.0);
+    }
+    EXPECT_LE(s.utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(FleetServer, ValidatesFleetConfiguration) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetServer fleet(core::table3_system());
+  serve::FleetRequest req = mixed_fleet_request(1000.0, 4);
+
+  req.fleet.replicas = 0;
+  EXPECT_THROW(fleet.serve(g, req), std::invalid_argument);
+  req.fleet.replicas = 2;
+
+  req.fleet.quotas = {serve::TenantQuota{/*class_index=*/7, 1}};
+  EXPECT_THROW(fleet.serve(g, req), std::invalid_argument);
+  req.fleet.quotas.clear();
+
+  req.fleet.migrations = {serve::MigrationPlan{0.0, 0, /*from=*/0,
+                                               /*to=*/5}};
+  EXPECT_THROW(fleet.serve(g, req), std::invalid_argument);
+  req.fleet.migrations = {serve::MigrationPlan{0.0, 0, /*from=*/1,
+                                               /*to=*/1}};
+  EXPECT_THROW(fleet.serve(g, req), std::invalid_argument);
+  req.fleet.migrations.clear();
+
+  req.fleet.elastic.enabled = true;
+  req.fleet.elastic.min_replicas = 3;  // min > replicas
+  EXPECT_THROW(fleet.serve(g, req), std::invalid_argument);
+  req.fleet.elastic.min_replicas = 1;
+  req.fleet.elastic.check_interval_sec = 0.0;
+  EXPECT_THROW(fleet.serve(g, req), std::invalid_argument);
+}
+
+TEST(FleetServer, RouterNamesRoundTripAndRejectUnknown) {
+  for (const serve::RouterKind r : serve::all_routers()) {
+    EXPECT_EQ(serve::router_from_name(serve::to_string(r)), r);
+  }
+  try {
+    serve::router_from_name("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("random"), std::string::npos);
+    EXPECT_NE(what.find("join-shortest-queue"), std::string::npos);
+    EXPECT_NE(what.find("class-affinity"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cxlgraph

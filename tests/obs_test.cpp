@@ -255,6 +255,38 @@ TEST(WindowSeries, FoldMatchesSoakWindowArithmetic) {
   EXPECT_TRUE(obs::WindowSeries{}.fold(4, 4.0).empty());
 }
 
+TEST(WindowSeries, FoldDropsAndCountsSamplesPastHorizon) {
+  // Regression: samples strictly past the horizon used to clamp into the
+  // last window, silently inflating its count and percentiles. They are
+  // dropped and reported instead; a sample at exactly the horizon still
+  // belongs to the last window (the soak convention).
+  obs::WindowSeries series;
+  series.record(0.5, 10.0);
+  series.record(1.5, 20.0);
+  series.record(2.0, 30.0);   // exactly at horizon: last window
+  series.record(2.01, 999.0); // past horizon: dropped
+  series.record(7.0, 999.0);  // far past horizon: dropped
+  std::uint32_t dropped = 123;
+  const auto windows = series.fold(2, 2.0, &dropped);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(windows[0].count, 1u);
+  EXPECT_EQ(windows[1].count, 2u);
+  // The outliers' values never leak into the last window's tail.
+  EXPECT_EQ(windows[1].p99,
+            util::percentile(std::vector<double>{20.0, 30.0}, 99.0));
+  // The counter resets even on degenerate folds.
+  dropped = 123;
+  EXPECT_TRUE(series.fold(0, 2.0, &dropped).empty());
+  EXPECT_EQ(dropped, 0u);
+  // Without outliers the fold is untouched and the counter reads zero.
+  obs::WindowSeries clean;
+  clean.record(0.5, 10.0);
+  dropped = 123;
+  EXPECT_EQ(clean.fold(2, 2.0, &dropped).size(), 2u);
+  EXPECT_EQ(dropped, 0u);
+}
+
 // ---------------------------------------------------------- telemetry ----
 
 TEST(Telemetry, DisabledByDefaultAndTogglesGateSubsystems) {

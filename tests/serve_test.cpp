@@ -15,6 +15,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "algo/bfs.hpp"
@@ -514,6 +516,117 @@ TEST(QueryServer, StreamingP2StaysNearExactPercentiles) {
   const serve::ServeReport one = server.serve(g, mixed_request(100.0, 1));
   ASSERT_EQ(one.completed, 1u);
   EXPECT_EQ(one.p2_max_rel_error, 0.0);
+}
+
+TEST(QueryServer, StreamingP2StaysFiniteBelowFiveCompletions) {
+  // Regression guard for the P² warm-up: with fewer than five
+  // completions the estimator interpolates its sorted prefix; the
+  // reported gap must be a real number, never NaN or infinity.
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer server(core::table3_system());
+  for (const std::uint32_t n : {2u, 3u, 4u}) {
+    const serve::ServeReport r = server.serve(g, mixed_request(500.0, n));
+    ASSERT_EQ(r.completed, n);
+    EXPECT_TRUE(std::isfinite(r.streaming_p50_us));
+    EXPECT_TRUE(std::isfinite(r.streaming_p95_us));
+    EXPECT_TRUE(std::isfinite(r.streaming_p99_us));
+    EXPECT_TRUE(std::isfinite(r.p2_max_rel_error)) << n << " completions";
+    EXPECT_GE(r.p2_max_rel_error, 0.0);
+  }
+}
+
+// ------------------------------------------- follower time accounting ----
+
+TEST(QueryServer, FollowerRideTimeSplitsSojournExactly) {
+  // Regression: a batch follower's queue_ps used to absorb its leader's
+  // service time (completion - arrival - 0), overstating queueing. The
+  // quanta a follower spends riding the shared replay are ride time, and
+  // sojourn must split exactly into queue + service + ride.
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer server(core::table3_system());
+  serve::ServeRequest req = identical_request(1.0e6, 24);
+  req.config.batch_identical = true;
+  const serve::ServeReport r = server.serve(g, req);
+  ASSERT_GT(r.batched, 0u);
+
+  util::SimTime sojourn_total = 0;
+  util::SimTime split_total = 0;
+  for (const serve::QueryRecord& rec : r.queries) {
+    if (rec.shed) continue;
+    const util::SimTime sojourn = rec.completion - rec.arrival;
+    EXPECT_EQ(rec.queue_ps + rec.service_ps + rec.ride_ps, sojourn)
+        << "query " << rec.id;
+    if (rec.batch_follower) {
+      EXPECT_EQ(rec.service_ps, 0u);
+      EXPECT_GT(rec.ride_ps, 0u) << "follower " << rec.id
+                                 << " rode for free";
+      // The fixed invariant: its wait is strictly less than its sojourn.
+      EXPECT_LT(rec.queue_ps, sojourn);
+    } else {
+      EXPECT_EQ(rec.ride_ps, 0u) << "non-follower " << rec.id;
+    }
+    sojourn_total += sojourn;
+    split_total += rec.queue_ps + rec.service_ps + rec.ride_ps;
+  }
+  EXPECT_EQ(split_total, sojourn_total);
+  // The report-level totals carry the same split.
+  const double total_sec = r.time_in_queue_sec + r.time_in_service_sec +
+                           r.time_riding_sec;
+  EXPECT_NEAR(total_sec, util::sec_from_ps(sojourn_total),
+              1e-9 * std::max(1.0, total_sec));
+  EXPECT_GT(r.time_riding_sec, 0.0);
+
+  // Without batching nothing rides.
+  req.config.batch_identical = false;
+  const serve::ServeReport plain = server.serve(g, req);
+  EXPECT_EQ(plain.time_riding_sec, 0.0);
+  for (const serve::QueryRecord& rec : plain.queries) {
+    EXPECT_EQ(rec.ride_ps, 0u);
+  }
+}
+
+// ----------------------------------------------- utilization sanity ----
+
+TEST(QueryServer, UtilizationNeverExceedsOneUnderThrottledSoak) {
+  // One stack serialized over a makespan can be at most 100% busy, even
+  // when thermal throttling stretches quanta and preemptive policies
+  // slice the schedule finely.
+  const graph::CsrGraph g = test_graph();
+  core::SystemConfig hot_cfg = core::table3_system();
+  hot_cfg.cxl.thermal.enabled = true;
+  hot_cfg.cxl.thermal.heat_per_mb = 1.0;
+  hot_cfg.cxl.thermal.cool_per_sec = 1.0;
+  hot_cfg.cxl.thermal.throttle_threshold = 0.5;
+  hot_cfg.cxl.thermal.hysteresis = 0.9;
+  hot_cfg.cxl.thermal.throttle_factor = 0.5;
+  for (const serve::SchedulingPolicy policy : serve::all_policies()) {
+    serve::QueryServer server(hot_cfg);
+    serve::ServeRequest req = mixed_request(1.0e5, 32);
+    req.config.policy = policy;
+    req.config.quantum_supersteps = 1;
+    const serve::ServeReport r = server.serve(g, req);
+    ASSERT_GT(r.makespan_sec, 0.0) << serve::to_string(policy);
+    EXPECT_GT(r.utilization, 0.0) << serve::to_string(policy);
+    EXPECT_LE(r.utilization, 1.0 + 1e-9) << serve::to_string(policy);
+  }
+}
+
+// ------------------------------------------------- config parsing ----
+
+TEST(QueryServer, PolicyNameParsingRejectsUnknownListingValidSet) {
+  for (const serve::SchedulingPolicy p : serve::all_policies()) {
+    EXPECT_EQ(serve::policy_from_name(serve::to_string(p)), p);
+  }
+  try {
+    serve::policy_from_name("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("fifo"), std::string::npos);
+    EXPECT_NE(what.find("round-robin"), std::string::npos);
+    EXPECT_NE(what.find("slo-priority"), std::string::npos);
+  }
 }
 
 }  // namespace

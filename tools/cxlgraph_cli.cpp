@@ -11,7 +11,9 @@
 ///                     [--reorder=shard-degree]
 ///   cxlgraph serve    --dataset=urand --scale=14 --backend=cxl \
 ///                     [--qps=500] [--queries=128] [--policy=fifo] \
-///                     [--slo-us=20000] [--queue-cap=64] [--closed-loop]
+///                     [--slo-us=20000] [--queue-cap=64] [--closed-loop] \
+///                     [--replicas=4] [--router=join-shortest-queue] \
+///                     [--migrate=at_ms:class:from:to] [--elastic-max=4]
 ///
 /// `run` without --graph generates the dataset on the fly
 /// (--dataset/--scale). With --shards >= 2 the run goes through the
@@ -22,7 +24,10 @@
 /// `serve` admits a seeded stream of mixed analytics queries against one
 /// shared stack (serve::QueryServer) and reports the latency tail,
 /// goodput, SLO violations, and shed rate under the chosen scheduling
-/// policy and admission cap.
+/// policy and admission cap. Any fleet option (--replicas >= 2, --router,
+/// --migrate, --quota, --elastic-max, --slo-shed) switches the command to
+/// serve::FleetServer: N replicated stacks behind the chosen router, with
+/// optional live tenant migration and elastic scaling.
 
 #include <fstream>
 #include <iostream>
@@ -35,6 +40,7 @@
 #include "graph/io.hpp"
 #include "graph/reorder.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/fleet.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -311,6 +317,60 @@ int cmd_run(int argc, char** argv) {
   return save_telemetry(cli, telemetry.get());
 }
 
+std::vector<std::string> split_on(const std::string& value, char sep) {
+  std::vector<std::string> parts;
+  std::string::size_type start = 0;
+  while (start <= value.size()) {
+    const std::string::size_type end = value.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(value.substr(start));
+      break;
+    }
+    parts.push_back(value.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+/// "at_ms:class:from:to" (times in milliseconds), comma-separated.
+std::vector<serve::MigrationPlan> parse_migrations(const std::string& spec) {
+  std::vector<serve::MigrationPlan> plans;
+  if (spec.empty()) return plans;
+  for (const std::string& item : util::split_csv(spec)) {
+    const std::vector<std::string> parts = split_on(item, ':');
+    if (parts.size() != 4) {
+      throw std::invalid_argument(
+          "bad --migrate entry '" + item +
+          "' (expected at_ms:class:from:to, e.g. 2.5:0:0:1)");
+    }
+    serve::MigrationPlan plan;
+    plan.at_sec = std::stod(parts[0]) * 1e-3;
+    plan.class_index = static_cast<std::uint32_t>(std::stoul(parts[1]));
+    plan.from = static_cast<std::uint32_t>(std::stoul(parts[2]));
+    plan.to = static_cast<std::uint32_t>(std::stoul(parts[3]));
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+/// "class:max_in_flight", comma-separated.
+std::vector<serve::TenantQuota> parse_quotas(const std::string& spec) {
+  std::vector<serve::TenantQuota> quotas;
+  if (spec.empty()) return quotas;
+  for (const std::string& item : util::split_csv(spec)) {
+    const std::vector<std::string> parts = split_on(item, ':');
+    if (parts.size() != 2) {
+      throw std::invalid_argument("bad --quota entry '" + item +
+                                  "' (expected class:max, e.g. 0:2)");
+    }
+    serve::TenantQuota quota;
+    quota.class_index = static_cast<std::uint32_t>(std::stoul(parts[0]));
+    quota.max_in_flight = static_cast<std::uint32_t>(std::stoul(parts[1]));
+    quotas.push_back(quota);
+  }
+  return quotas;
+}
+
 int cmd_serve(int argc, char** argv) {
   util::CliParser cli;
   cli.add_option("graph", "binary CSR path (omit to generate)", "");
@@ -338,6 +398,25 @@ int cmd_serve(int argc, char** argv) {
   cli.add_option("source-pool",
                  "distinct traversal sources (0 = one per query)", "8");
   cli.add_option("jobs", "worker threads for profiling", "0");
+  cli.add_option("replicas", "fleet size (>= 2 replicates the stack)", "1");
+  cli.add_option("router",
+                 "random | join-shortest-queue | class-affinity "
+                 "(engages the fleet path)",
+                 "");
+  cli.add_option("migrate",
+                 "live migrations, comma-separated at_ms:class:from:to",
+                 "");
+  cli.add_option("quota",
+                 "per-tenant admission caps, comma-separated class:max",
+                 "");
+  cli.add_option("elastic-max",
+                 "elastic controller: grow up to this many replicas "
+                 "(0 = fixed fleet)",
+                 "0");
+  cli.add_option("elastic-interval-us",
+                 "elastic controller check interval [us]", "1000");
+  cli.add_flag("slo-shed",
+               "shed arrivals whose SLO is already infeasible");
   cli.add_flag("closed-loop",
                "closed-loop clients instead of open-loop Poisson");
   cli.add_flag("gen3", "use the Gen3 (Table-4) system preset");
@@ -400,6 +479,96 @@ int cmd_serve(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.get_int("queue-cap"));
   req.config.quantum_supersteps =
       static_cast<std::uint32_t>(cli.get_int("quantum"));
+
+  // Any fleet option routes the request through serve::FleetServer.
+  const auto replicas = static_cast<std::uint32_t>(cli.get_int("replicas"));
+  const auto elastic_max =
+      static_cast<std::uint32_t>(cli.get_int("elastic-max"));
+  const bool fleet_path = replicas >= 2 || !cli.get("router").empty() ||
+                          !cli.get("migrate").empty() ||
+                          !cli.get("quota").empty() || elastic_max > 0 ||
+                          cli.get_bool("slo-shed");
+  if (fleet_path) {
+    if (replicas == 0) {
+      throw std::invalid_argument("--replicas must be >= 1");
+    }
+    serve::FleetRequest freq;
+    freq.base = req.base;
+    freq.workload = req.workload;
+    freq.fleet.serve = req.config;
+    freq.fleet.replicas = replicas;
+    if (!cli.get("router").empty()) {
+      freq.fleet.router = serve::router_from_name(cli.get("router"));
+    }
+    freq.fleet.migrations = parse_migrations(cli.get("migrate"));
+    freq.fleet.quotas = parse_quotas(cli.get("quota"));
+    freq.fleet.slo_shedding = cli.get_bool("slo-shed");
+    if (elastic_max > 0) {
+      freq.fleet.elastic.enabled = true;
+      freq.fleet.elastic.max_replicas = elastic_max;
+      freq.fleet.elastic.check_interval_sec =
+          cli.get_double("elastic-interval-us") * 1e-6;
+    }
+    serve::FleetServer fleet_server(cli.get_bool("gen3")
+                                        ? core::table4_system()
+                                        : core::table3_system(),
+                                    static_cast<unsigned>(jobs));
+    fleet_server.set_telemetry(telemetry.get());
+    const serve::FleetReport fr = fleet_server.serve(g, freq);
+    const serve::ServeReport& s = fr.serve;
+    if (!s.conservation_ok()) {
+      std::cerr << "error: serve byte-conservation check failed: link "
+                << s.link_bytes << " != queries " << s.query_bytes << "\n";
+      return 1;
+    }
+    util::TablePrinter table({"Metric", "Value"});
+    table.add_row({"backend", s.backend + " (" + s.access_method + ")"});
+    table.add_row({"fleet", std::to_string(fr.replicas) + " replicas (" +
+                                fr.router + " router), peak " +
+                                std::to_string(fr.peak_replicas)});
+    table.add_row({"policy", s.policy + " / " + s.process});
+    table.add_row({"queries",
+                   util::fmt_count(s.offered) + " offered, " +
+                       util::fmt_count(s.completed) + " completed, " +
+                       util::fmt_count(s.shed) + " shed"});
+    table.add_row({"shed (queue/quota/slo)",
+                   std::to_string(fr.shed_queue) + " / " +
+                       std::to_string(fr.shed_quota) + " / " +
+                       std::to_string(fr.shed_deadline)});
+    table.add_row({"makespan",
+                   util::fmt(s.makespan_sec * 1e3, 3) + " ms"});
+    table.add_row({"completed throughput",
+                   util::fmt(s.completed_qps, 1) + " qps"});
+    table.add_row({"goodput (within SLO)",
+                   util::fmt(s.goodput_qps, 1) + " qps"});
+    table.add_row({"latency p50 / p95 / p99",
+                   util::fmt(s.latency_us.p50 / 1e3, 3) + " / " +
+                       util::fmt(s.latency_us.p95 / 1e3, 3) + " / " +
+                       util::fmt(s.latency_us.p99 / 1e3, 3) + " ms"});
+    table.add_row({"fleet utilization", util::fmt(s.utilization, 3)});
+    table.add_row({"shared-link bytes", util::format_bytes(s.link_bytes)});
+    if (!fr.migrations.empty()) {
+      table.add_row({"migrations",
+                     util::fmt_count(fr.migrations.size()) + " (" +
+                         util::format_bytes(fr.migration_bytes) +
+                         " state copied, " +
+                         util::fmt(fr.migration_sec * 1e6, 1) + " us)"});
+    }
+    table.print(std::cout);
+    for (const serve::ReplicaStats& rs : fr.replica_stats) {
+      std::cout << "  replica " << rs.replica << ": "
+                << util::fmt_count(rs.served) << " served, util "
+                << util::fmt(rs.utilization, 3)
+                << (rs.retired ? " (retired)" : "") << "\n";
+    }
+    for (const serve::ScalingEvent& ev : fr.scaling_events) {
+      std::cout << "  " << (ev.added ? "scale-up" : "scale-down") << " t="
+                << util::fmt(ev.at_sec * 1e3, 3) << " ms: p99 "
+                << util::fmt(ev.p99_before_us / 1e3, 3) << " -> "
+                << util::fmt(ev.p99_after_us / 1e3, 3) << " ms\n";
+    }
+    return save_telemetry(cli, telemetry.get());
+  }
 
   const serve::ServeReport r = server.serve(g, req);
   if (!r.conservation_ok()) {
