@@ -22,6 +22,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,7 @@
 #include "gpusim/engine.hpp"
 #include "graph/generate.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace_check.hpp"
 #include "serve/fleet.hpp"
 #include "serve/server.hpp"
 #include "sim/simulator.hpp"
@@ -383,6 +385,29 @@ serve::FleetRequest smoke_fleet_request() {
   return req;
 }
 
+/// The fleet *observability* configuration: the smoke fleet with every
+/// remaining feature lit — SLO deadlines tight enough to shed and
+/// violate, the elastic controller making decisions, and the migration
+/// compressed into the hot window — so the health monitor has real
+/// saturation/underload/SLO signals to fold into incidents. Not on the
+/// golden table (the fleet-serve/cxl golden stays pinned to
+/// smoke_fleet_request); this request feeds the fourth identity pass.
+serve::FleetRequest smoke_fleet_full_request() {
+  serve::FleetRequest req = smoke_fleet_request();
+  req.workload.offered_qps = 24'000.0;
+  req.workload.mix[0].slo = util::ps_from_us(300.0);
+  req.workload.mix[1].slo = util::ps_from_us(2'000.0);
+  req.fleet.slo_shedding = true;
+  req.fleet.migrations = {
+      serve::MigrationPlan{/*at_sec=*/0.0005, /*class_index=*/0,
+                           /*from=*/0, /*to=*/1}};
+  req.fleet.elastic.enabled = true;
+  req.fleet.elastic.min_replicas = 2;
+  req.fleet.elastic.max_replicas = 6;
+  req.fleet.elastic.check_interval_sec = 250e-6;
+  return req;
+}
+
 /// The sustained-load soak with the stack thermal model on: a cold
 /// (model-off) FIFO serve calibrates the thermal budget — the heat rate is
 /// the cold run's link-byte rate, cooling absorbs half of it, the budget
@@ -549,6 +574,45 @@ int run_simcore(int argc, char** argv) {
     }
     if (telemetry.tracer().empty() || telemetry.metrics().size() == 0) {
       std::cerr << "IDENTITY SUITE: telemetry-enabled run captured nothing\n";
+      identity_ok = false;
+    }
+  }
+  // Fleet observability contract: the full fleet feature set (four
+  // replicas + migration + elastic scaling + SLO shedding) tapped by a
+  // fully-enabled sink must reproduce the untapped run record-for-record,
+  // the health monitor's incident log must be byte-identical and
+  // non-empty, and the sink must have captured closed query flows — a
+  // passive monitor that silently stopped observing fails here.
+  {
+    const serve::FleetRequest full = smoke_fleet_full_request();
+    serve::FleetServer off(core::table3_system(), /*jobs=*/1);
+    const serve::FleetReport a = off.serve(smoke_graph, full);
+    obs::Telemetry telemetry(obs::Telemetry::enabled_config());
+    serve::FleetServer on(core::table3_system(), /*jobs=*/1);
+    on.set_telemetry(&telemetry);
+    const serve::FleetReport b = on.serve(smoke_graph, full);
+    if (checksum_fleet(a) != checksum_fleet(b)) {
+      std::cerr << "IDENTITY MISMATCH: tapped full-fleet run differs\n";
+      identity_ok = false;
+    }
+    std::ostringstream log_a, log_b;
+    serve::write_incident_log(log_a, a);
+    serve::write_incident_log(log_b, b);
+    if (log_a.str() != log_b.str()) {
+      std::cerr << "IDENTITY MISMATCH: incident logs differ with sink on\n";
+      identity_ok = false;
+    }
+    if (a.incidents.empty()) {
+      std::cerr << "IDENTITY SUITE: full-fleet run raised no incidents\n";
+      identity_ok = false;
+    }
+    std::ostringstream trace_os;
+    telemetry.write_trace_json(trace_os);
+    const obs::TraceCheckResult check =
+        obs::check_trace(obs::parse_json(trace_os.str()));
+    if (!check.ok || check.flows == 0 || check.flow_events <= check.flows) {
+      std::cerr << "IDENTITY SUITE: fleet trace missing query flows"
+                << (check.ok ? "" : (": " + check.error)) << "\n";
       identity_ok = false;
     }
   }

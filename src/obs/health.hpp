@@ -1,0 +1,136 @@
+#pragma once
+/// \file health.hpp
+/// Online health monitor: streaming detectors over the observability
+/// feeds the serving layer already produces, folding them into a
+/// deterministic, sim-time-stamped incident log.
+///
+/// Detectors:
+///  - *saturation*: per-replica waiting depth sustained above the
+///    scale-up threshold (the same comparison the elastic controller
+///    acts on, so its decisions can consume the verdict bit-for-bit);
+///  - *underload*: depth below the scale-down threshold;
+///  - *queue trend*: N consecutive strictly-rising depth observations —
+///    an early-warning ramp signal that fires before saturation does;
+///  - *throttle*: thermal-throttle onset/exit per replica;
+///  - *slo violations*: violation rate over a sliding completion window.
+///
+/// The monitor is pure bookkeeping — it never schedules events, reads
+/// clocks, or mutates simulation state — so feeding it is identity-safe
+/// and an incident log is a deterministic function of the run. Each
+/// incident records open/close times, severity (escalating with the
+/// observed peak), the threshold crossed, and evidence (peak / last
+/// value / observation count).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace cxlgraph::obs {
+
+enum class IncidentKind : std::uint8_t {
+  kSaturation,
+  kUnderload,
+  kQueueTrend,
+  kThrottle,
+  kSloViolations,
+};
+
+enum class IncidentSeverity : std::uint8_t { kInfo, kWarning, kCritical };
+
+const char* to_string(IncidentKind kind) noexcept;
+const char* to_string(IncidentSeverity severity) noexcept;
+
+struct Incident {
+  std::uint32_t id = 0;  ///< sequential by open order
+  IncidentKind kind = IncidentKind::kSaturation;
+  IncidentSeverity severity = IncidentSeverity::kInfo;
+  std::string subject;           ///< "fleet" or "replica<k>"
+  util::SimTime opened_ps = 0;
+  util::SimTime closed_ps = 0;   ///< meaningful only when !open
+  bool open = true;              ///< still open at end of run
+  double threshold = 0.0;        ///< detector threshold that was crossed
+  double peak = 0.0;             ///< worst value observed while open
+  double last = 0.0;             ///< value at the most recent observation
+  std::uint64_t observations = 0;  ///< evidence: samples folded in
+};
+
+struct HealthConfig {
+  double depth_high = 8.0;  ///< saturation: per-replica waiting depth >
+  double depth_low = 1.0;   ///< underload: per-replica waiting depth <
+  std::uint32_t trend_run = 4;    ///< consecutive rising depth samples
+  std::uint32_t slo_window = 16;  ///< completions per violation window
+  double slo_rate = 0.5;          ///< violation fraction that opens
+};
+
+class HealthMonitor {
+ public:
+  /// What a depth observation means under the configured thresholds;
+  /// the elastic controller keys its grow/shrink decision off this.
+  enum class DepthVerdict : std::uint8_t {
+    kNominal,
+    kOverloaded,
+    kUnderloaded,
+  };
+
+  HealthMonitor() = default;
+  explicit HealthMonitor(const HealthConfig& config) : config_(config) {}
+
+  /// Feeds one per-replica mean waiting-depth sample (the elastic
+  /// controller's decision variable) and returns its verdict. Opens,
+  /// extends, or closes the saturation / underload / trend incidents.
+  DepthVerdict observe_depth(util::SimTime now, double depth_per_replica);
+
+  /// Feeds a thermal-throttle state change for one replica.
+  void observe_throttle(util::SimTime now, std::uint32_t replica,
+                        bool throttled);
+
+  /// Feeds one query completion (violated = finished past its SLO).
+  void observe_completion(util::SimTime now, bool slo_violated);
+
+  /// Id of the currently-open incident of `kind` (fleet-scoped kinds
+  /// only), or -1 — this is what scaling events link against.
+  std::int64_t open_incident(IncidentKind kind) const noexcept;
+
+  const std::vector<Incident>& incidents() const noexcept {
+    return incidents_;
+  }
+  const HealthConfig& config() const noexcept { return config_; }
+
+ private:
+  std::size_t open_new(IncidentKind kind, std::string subject,
+                       util::SimTime now, double threshold, double value);
+  void touch(std::int64_t index, util::SimTime now, double value);
+  void close(std::int64_t& index, util::SimTime now);
+
+  HealthConfig config_;
+  std::vector<Incident> incidents_;
+
+  // Index of the open incident per fleet-scoped kind, -1 when none.
+  std::int64_t open_saturation_ = -1;
+  std::int64_t open_underload_ = -1;
+  std::int64_t open_trend_ = -1;
+  std::int64_t open_slo_ = -1;
+  std::vector<std::int64_t> open_throttle_;  ///< per replica
+
+  double prev_depth_ = 0.0;
+  bool have_prev_depth_ = false;
+  std::uint32_t rising_run_ = 0;
+
+  std::vector<bool> slo_ring_;
+  std::size_t slo_pos_ = 0;
+  std::uint32_t slo_violations_ = 0;
+  bool slo_window_full_ = false;
+};
+
+/// Serializes one incident as a JSON object (integer-ps timestamps, so
+/// the bytes are exact and runs diff cleanly).
+void write_incident_json(std::ostream& os, const Incident& incident);
+
+/// Serializes a full `{"incidents":[...]}` document.
+void write_incidents_json(std::ostream& os,
+                          const std::vector<Incident>& incidents);
+
+}  // namespace cxlgraph::obs

@@ -8,8 +8,9 @@ namespace cxlgraph::obs {
 
 MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& component,
                                                const std::string& name,
+                                               const std::string& label,
                                                Kind kind) {
-  auto key = std::make_pair(component, name);
+  auto key = std::make_tuple(component, name, label);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     auto e = std::make_unique<Entry>();
@@ -17,24 +18,28 @@ MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& component,
     it = entries_.emplace(std::move(key), std::move(e)).first;
   } else if (it->second->kind != kind) {
     throw std::logic_error("MetricsRegistry: metric '" + component + "/" +
-                           name + "' registered with conflicting kinds");
+                           name + (label.empty() ? "" : "{" + label + "}") +
+                           "' registered with conflicting kinds");
   }
   return *it->second;
 }
 
 Counter& MetricsRegistry::counter(const std::string& component,
-                                  const std::string& name) {
-  return entry(component, name, Kind::kCounter).counter;
+                                  const std::string& name,
+                                  const std::string& label) {
+  return entry(component, name, label, Kind::kCounter).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& component,
-                              const std::string& name) {
-  return entry(component, name, Kind::kGauge).gauge;
+                              const std::string& name,
+                              const std::string& label) {
+  return entry(component, name, label, Kind::kGauge).gauge;
 }
 
 util::Log2Histogram& MetricsRegistry::histogram(const std::string& component,
-                                                const std::string& name) {
-  return entry(component, name, Kind::kHistogram).histogram;
+                                                const std::string& name,
+                                                const std::string& label) {
+  return entry(component, name, label, Kind::kHistogram).histogram;
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
@@ -43,8 +48,11 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   for (const auto& [key, e] : entries_) {
     if (!first) os << ",";
     first = false;
-    os << "{\"component\":\"" << json_escape(key.first) << "\",\"name\":\""
-       << json_escape(key.second) << "\"";
+    os << "{\"component\":\"" << json_escape(std::get<0>(key))
+       << "\",\"name\":\"" << json_escape(std::get<1>(key)) << "\"";
+    if (!std::get<2>(key).empty()) {
+      os << ",\"label\":\"" << json_escape(std::get<2>(key)) << "\"";
+    }
     switch (e->kind) {
       case Kind::kCounter:
         os << ",\"kind\":\"counter\",\"value\":" << e->counter.value();

@@ -1,21 +1,27 @@
 #pragma once
 /// \file metrics.hpp
 /// Named metrics registry: counters, gauges, and Log2Histogram-backed
-/// histograms keyed by (component, name). Components hold on to the
+/// histograms keyed by (component, name) plus an optional label for
+/// scoped instances of the same metric — e.g. per-replica
+/// ("fleet", "served", "replica=3") or per-tenant
+/// ("fleet", "goodput", "tenant=1"). Components hold on to the
 /// returned handle pointers, so the per-update cost is one pointer
 /// indirection plus the arithmetic — and components only fetch handles
 /// when telemetry is enabled, so the disabled path never touches the
 /// registry at all.
 ///
-/// Snapshots are deterministic: entries export in (component, name)
-/// order regardless of registration order, so two runs producing the
-/// same update sequence serialize byte-identical JSON.
+/// Snapshots are deterministic: entries export in (component, name,
+/// label) order regardless of registration order, so two runs producing
+/// the same update sequence serialize byte-identical JSON. Unlabeled
+/// entries serialize exactly as before the label dimension existed (no
+/// "label" field), so pre-existing consumers see unchanged bytes.
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "util/stats.hpp"
@@ -53,17 +59,23 @@ class Gauge {
 class MetricsRegistry {
  public:
   /// Handles are stable for the registry's lifetime; re-registering the
-  /// same (component, name) returns the existing instrument. Registering
-  /// a name that already exists with a different kind throws.
-  Counter& counter(const std::string& component, const std::string& name);
-  Gauge& gauge(const std::string& component, const std::string& name);
+  /// same (component, name, label) returns the existing instrument.
+  /// Registering a key that already exists with a different kind throws.
+  /// The label defaults to empty — the unlabeled metric — and distinct
+  /// labels are distinct instruments (they may even differ in kind).
+  Counter& counter(const std::string& component, const std::string& name,
+                   const std::string& label = std::string());
+  Gauge& gauge(const std::string& component, const std::string& name,
+               const std::string& label = std::string());
   util::Log2Histogram& histogram(const std::string& component,
-                                 const std::string& name);
+                                 const std::string& name,
+                                 const std::string& label = std::string());
 
   std::size_t size() const noexcept { return entries_.size(); }
 
   /// Writes a `{"metrics": [...]}` JSON snapshot sorted by
-  /// (component, name) — the export format behind --metrics-out.
+  /// (component, name, label) — the export format behind --metrics-out.
+  /// Labeled entries carry a "label" field; unlabeled entries omit it.
   void write_json(std::ostream& os) const;
 
  private:
@@ -77,11 +89,12 @@ class MetricsRegistry {
   };
 
   Entry& entry(const std::string& component, const std::string& name,
-               Kind kind);
+               const std::string& label, Kind kind);
 
   // std::map keeps the export order sorted; unique_ptr keeps handles
   // stable across inserts.
-  std::map<std::pair<std::string, std::string>, std::unique_ptr<Entry>>
+  std::map<std::tuple<std::string, std::string, std::string>,
+           std::unique_ptr<Entry>>
       entries_;
 };
 

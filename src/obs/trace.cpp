@@ -121,6 +121,14 @@ void write_chrome_trace(std::ostream& os, const SpanTracer& tracer,
     if (ev.phase == 'i') {
       os << ",\"s\":\"t\"";  // instant scope: thread
     }
+    if (ev.phase == 's' || ev.phase == 't' || ev.phase == 'f') {
+      // Flow events: the viewer matches arrows on (cat, name, id); the
+      // binding-point on the finish attaches the arrow to the enclosing
+      // slice rather than the next one.
+      os << ",\"cat\":\"" << json_escape(tracer.string_at(ev.name))
+         << "\",\"id\":" << ev.arg;
+      if (ev.phase == 'f') os << ",\"bp\":\"e\"";
+    }
     if (ev.arg_key != kNoArg) {
       os << ",\"args\":{\"" << json_escape(tracer.string_at(ev.arg_key))
          << "\":" << ev.arg << "}";

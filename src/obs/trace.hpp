@@ -11,6 +11,12 @@
 /// verbatim; export divides to microseconds (the trace-event unit) at
 /// full precision, so nothing is rounded until serialization.
 ///
+/// Causal flows: flow events (`ph:"s"/"t"/"f"` with a shared id) chain
+/// spans on *different* tracks into one arrow-linked sequence — the
+/// serving layer uses one flow per admitted query, so Perfetto renders
+/// a query's path across replica tracks (admit -> quanta -> migration
+/// handoff -> completion). A flow's id is carried in TraceEvent::arg.
+///
 /// Recording is append-only into flat vectors with interned names:
 /// no allocation per event beyond vector growth, no clock reads, no
 /// observable effect on the simulation.
@@ -36,7 +42,7 @@ struct TraceEvent {
   std::uint32_t name = 0; ///< interned string id
   std::uint32_t arg_key = kNoArg;  ///< interned key for `arg`, or kNoArg
   std::uint16_t track = 0;
-  char phase = 'X';  ///< 'X' complete span, 'i' instant
+  char phase = 'X';  ///< 'X' span, 'i' instant, 's'/'t'/'f' flow start/step/end
 };
 
 class SpanTracer {
@@ -62,6 +68,22 @@ class SpanTracer {
   void instant(std::uint16_t track, std::uint32_t name, util::SimTime at,
                std::uint32_t arg_key = kNoArg, std::uint64_t arg = 0) {
     events_.push_back(TraceEvent{at, 0, arg, name, arg_key, track, 'i'});
+  }
+
+  /// Flow events bind spans across tracks into one arrow-linked chain.
+  /// All three phases of a flow must share `name` and `id` (the viewer
+  /// matches on both); the id rides in TraceEvent::arg.
+  void flow_start(std::uint16_t track, std::uint32_t name, util::SimTime at,
+                  std::uint64_t id) {
+    events_.push_back(TraceEvent{at, 0, id, name, kNoArg, track, 's'});
+  }
+  void flow_step(std::uint16_t track, std::uint32_t name, util::SimTime at,
+                 std::uint64_t id) {
+    events_.push_back(TraceEvent{at, 0, id, name, kNoArg, track, 't'});
+  }
+  void flow_end(std::uint16_t track, std::uint32_t name, util::SimTime at,
+                std::uint64_t id) {
+    events_.push_back(TraceEvent{at, 0, id, name, kNoArg, track, 'f'});
   }
 
   const std::vector<TraceEvent>& events() const noexcept { return events_; }

@@ -246,6 +246,16 @@ TraceCheckResult check_trace(const JsonValue& doc) {
     return result;
   }
 
+  // Flow chains are validated against document order, which for our
+  // writer is simulated-time order (stable for ties): one 's' first,
+  // then steps, then exactly one 'f', timestamps never decreasing.
+  struct FlowState {
+    std::size_t start_index = 0;
+    double last_ts = 0.0;
+    bool finished = false;
+  };
+  std::map<std::string, FlowState> flows;
+
   for (std::size_t i = 0; i < events->array.size(); ++i) {
     const JsonValue& ev = events->array[i];
     if (ev.type != JsonValue::Type::kObject) return fail(i, "not an object");
@@ -293,10 +303,63 @@ TraceCheckResult check_trace(const JsonValue& doc) {
         ++result.counters;
         break;
       }
+      case 's':
+      case 't':
+      case 'f': {
+        const JsonValue* ts = ev.find("ts");
+        if (!is_number(ts) || ts->number < 0.0) return fail(i, "bad ts");
+        const JsonValue* id = ev.find("id");
+        std::string key;
+        if (is_number(id)) {
+          const auto integral = static_cast<long long>(id->number);
+          if (static_cast<double>(integral) == id->number) {
+            key = std::to_string(integral);
+          } else {
+            std::ostringstream num;
+            num << id->number;
+            key = num.str();
+          }
+        } else if (is_string(id)) {
+          key = id->string;
+        } else {
+          return fail(i, "flow event without id");
+        }
+        if (phase == 's') {
+          const auto [it, inserted] =
+              flows.emplace(key, FlowState{i, ts->number, false});
+          if (!inserted) {
+            return fail(i, "duplicate flow start for id " + key);
+          }
+        } else {
+          const auto it = flows.find(key);
+          if (it == flows.end()) {
+            return fail(i, std::string(phase == 'f' ? "flow finish"
+                                                    : "flow step") +
+                               " for id " + key + " with no start");
+          }
+          FlowState& state = it->second;
+          if (state.finished) {
+            return fail(i, "flow event for id " + key + " after its finish");
+          }
+          if (ts->number < state.last_ts) {
+            return fail(i, "flow id " + key + " timestamps decrease");
+          }
+          state.last_ts = ts->number;
+          if (phase == 'f') state.finished = true;
+        }
+        ++result.flow_events;
+        break;
+      }
       default:
         return fail(i, std::string("unsupported phase '") + phase + "'");
     }
   }
+  for (const auto& [key, state] : flows) {
+    if (!state.finished) {
+      return fail(state.start_index, "flow id " + key + " never finishes");
+    }
+  }
+  result.flows = flows.size();
   result.events = events->array.size();
   result.ok = true;
   return result;
@@ -327,7 +390,10 @@ std::vector<TrackSummary> summarize_trace(const JsonValue& doc) {
   std::map<std::pair<std::string, std::string>, TrackSummary> tracks;
   for (const JsonValue& ev : events.array) {
     const char phase = ev.find("ph")->string[0];
-    if (phase != 'X' && phase != 'i' && phase != 'I') continue;
+    if (phase != 'X' && phase != 'i' && phase != 'I' && phase != 's' &&
+        phase != 't' && phase != 'f') {
+      continue;
+    }
     const double pid = ev.find("pid")->number;
     const double tid = ev.find("tid")->number;
     const auto pit = process_names.find(pid);
@@ -353,8 +419,11 @@ std::vector<TrackSummary> summarize_trace(const JsonValue& doc) {
       ++t.spans;
       t.busy_us += dur;
       t.last_us = std::max(t.last_us, ts + dur);
-    } else {
+    } else if (phase == 'i' || phase == 'I') {
       ++t.instants;
+      t.last_us = std::max(t.last_us, ts);
+    } else {
+      ++t.flow_events;
       t.last_us = std::max(t.last_us, ts);
     }
   }

@@ -42,12 +42,18 @@ struct TraceCheckResult {
   std::size_t instants = 0;
   std::size_t counters = 0;
   std::size_t metadata = 0;
+  std::size_t flow_events = 0;  ///< total 's'/'t'/'f' events
+  std::size_t flows = 0;        ///< distinct flow ids (one per 's')
 };
 
 /// Validates a `{"traceEvents": [...]}` document against the schema the
 /// tracer emits: every event an object with string `ph`/`name` and
 /// numeric `pid`/`tid`; non-metadata events carry `ts` >= 0; complete
 /// spans carry `dur` >= 0; metadata events name a process or thread.
+/// Flow events ('s'/'t'/'f') carry an `id` and are checked as chains:
+/// every flow opens with exactly one 's' (ids unique), steps and the
+/// single 'f' follow it with non-decreasing timestamps in document
+/// order, and no flow is left unfinished.
 TraceCheckResult check_trace(const JsonValue& doc);
 
 struct TrackSummary {
@@ -55,6 +61,7 @@ struct TrackSummary {
   std::string thread;
   std::uint64_t spans = 0;
   std::uint64_t instants = 0;
+  std::uint64_t flow_events = 0;  ///< flow start/step/end events on the track
   double busy_us = 0.0;   ///< sum of span durations
   double first_us = 0.0;  ///< earliest event timestamp on the track
   double last_us = 0.0;   ///< latest span end / instant timestamp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <set>
@@ -12,6 +13,7 @@
 
 #include "device/pcie.hpp"
 #include "device/state_model.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "serve/replica.hpp"
 #include "util/rng.hpp"
@@ -24,6 +26,17 @@ namespace {
 util::SimTime ps_from_sec(double sec) {
   return static_cast<util::SimTime>(
       sec * static_cast<double>(util::kPsPerSec) + 0.5);
+}
+
+/// Detector thresholds mirror the elastic config so the monitor's depth
+/// verdict is the exact comparison the controller used to make inline.
+obs::HealthConfig health_config(const ElasticConfig& elastic) {
+  obs::HealthConfig h;
+  if (elastic.enabled) {
+    h.depth_high = elastic.scale_up_depth;
+    h.depth_low = elastic.scale_down_depth;
+  }
+  return h;
 }
 
 void validate_fleet(const FleetConfig& fleet, std::size_t num_classes) {
@@ -133,7 +146,17 @@ struct FleetSim {
   std::vector<ScalingEvent> scaling_events;
   std::uint32_t peak_replicas = 0;
 
+  /// Streaming health detectors over the depth / throttle / completion
+  /// feeds; pure bookkeeping, active whether or not a sink is attached
+  /// (the incident log is part of the report).
+  obs::HealthMonitor monitor;
+
   bool fleet_telemetry = false;
+  bool fleet_tracing = false;
+  std::uint16_t track_control = 0;  ///< ("fleet","control"): timeline
+  std::uint32_t n_migrate = 0, n_copy_landed = 0;
+  std::uint32_t n_scale_up = 0, n_scale_down = 0;
+  std::uint32_t k_class = 0, k_replica = 0;
 
   FleetSim(const FleetConfig& fleet_in, SimShared& shared_in,
            std::size_t num_classes)
@@ -144,7 +167,8 @@ struct FleetSim {
         in_flight(num_classes, 0),
         depth_series(std::max<util::SimTime>(
             1, ps_from_sec(fleet_in.elastic.check_interval_sec) / 8)),
-        interval_ps(ps_from_sec(fleet_in.elastic.check_interval_sec)) {
+        interval_ps(ps_from_sec(fleet_in.elastic.check_interval_sec)),
+        monitor(health_config(fleet_in.elastic)) {
     for (const TenantQuota& q : fleet.quotas) {
       quota_limit[q.class_index] = q.max_in_flight;
     }
@@ -154,6 +178,9 @@ struct FleetSim {
       ch_waiting = depth_series.channel("fleet/waiting",
                                         obs::TimeSeriesSampler::Reduce::kLast);
     }
+    shared.on_throttle = [this](std::uint32_t k, bool throttled) {
+      monitor.observe_throttle(shared.sim.now(), k, throttled);
+    };
   }
 
   ReplicaSim& add_replica() {
@@ -167,7 +194,7 @@ struct FleetSim {
   void attach_replica_telemetry(ReplicaSim& r) {
     const std::string k = std::to_string(r.index);
     r.attach_telemetry("replica" + k, "serve/replica" + k + "/quantum_bytes",
-                       "replica" + k + "-heat");
+                       "replica" + k + "-heat", "serve/replica" + k + "/depth");
   }
 
   void attach_telemetry(obs::Telemetry* sink) {
@@ -175,6 +202,17 @@ struct FleetSim {
     if (shared.telemetry == nullptr) return;
     fleet_telemetry = true;
     for (ReplicaSim& r : replicas) attach_replica_telemetry(r);
+    if (shared.telemetry->tracing()) {
+      fleet_tracing = true;
+      obs::SpanTracer& tr = shared.telemetry->tracer();
+      track_control = tr.track("fleet", "control");
+      n_migrate = tr.intern("migrate");
+      n_copy_landed = tr.intern("copy-landed");
+      n_scale_up = tr.intern("scale-up");
+      n_scale_down = tr.intern("scale-down");
+      k_class = tr.intern("class");
+      k_replica = tr.intern("replica");
+    }
   }
 
   bool routable(std::uint32_t k) const {
@@ -279,6 +317,7 @@ struct FleetSim {
 
   void on_complete(std::size_t i) {
     const QueryRecord& r = shared.records[i];
+    monitor.observe_completion(shared.sim.now(), r.slo_violated);
     if (in_flight[r.class_index] > 0) --in_flight[r.class_index];
     // A draining replica retires the moment it runs dry.
     const std::uint32_t k = r.replica;
@@ -311,6 +350,11 @@ struct FleetSim {
     rec.to = plan.to;
     rec.start_sec = util::sec_from_ps(shared.sim.now());
     route_override[plan.class_index] = plan.to;
+    if (fleet_tracing) {
+      shared.telemetry->tracer().instant(track_control, n_migrate,
+                                         shared.sim.now(), k_class,
+                                         plan.class_index);
+    }
 
     ReplicaSim& src = replicas[plan.from];
     state.in_transit = src.extract_waiting(plan.class_index);
@@ -345,6 +389,11 @@ struct FleetSim {
     MigrationState& state = migrations[m];
     state.delivered = true;
     const std::uint32_t to = state.record.to;
+    if (fleet_tracing) {
+      shared.telemetry->tracer().instant(track_control, n_copy_landed,
+                                         shared.sim.now(), k_class,
+                                         state.record.class_index);
+    }
     for (const std::size_t i : state.in_transit) replicas[to].resume(i);
     state.in_transit.clear();
   }
@@ -399,11 +448,21 @@ struct FleetSim {
 
     const std::uint32_t active = active_count();
     const double per = observed / static_cast<double>(std::max(1u, active));
+    // The health monitor owns the threshold comparison: its verdict is
+    // the same strict >/< check against the same bounds this tick used
+    // to make inline, so decisions are bit-identical — and each one now
+    // links the incident that argued for it. The monitor sees every
+    // sample (incidents track load even while cooldown gags the
+    // controller); only the action is gated here.
+    const obs::HealthMonitor::DepthVerdict verdict =
+        monitor.observe_depth(shared.sim.now(), per);
     if (cooldown > 0) {
       --cooldown;
-    } else if (per > e.scale_up_depth && active < e.max_replicas) {
+    } else if (verdict == obs::HealthMonitor::DepthVerdict::kOverloaded &&
+               active < e.max_replicas) {
       grow(per);
-    } else if (per < e.scale_down_depth && active > e.min_replicas) {
+    } else if (verdict == obs::HealthMonitor::DepthVerdict::kUnderloaded &&
+               active > e.min_replicas) {
       shrink(per);
     }
     shared.sim.schedule_after(interval_ps, [this]() { elastic_tick(); });
@@ -420,7 +479,14 @@ struct FleetSim {
     ev.replica = r.index;
     ev.routable_after = active_count();
     ev.depth_per_replica = per;
+    ev.incident = static_cast<std::int32_t>(
+        monitor.open_incident(obs::IncidentKind::kSaturation));
     scaling_events.push_back(ev);
+    if (fleet_tracing) {
+      shared.telemetry->tracer().instant(track_control, n_scale_up,
+                                         shared.sim.now(), k_replica,
+                                         r.index);
+    }
   }
 
   void shrink(double per) {
@@ -447,7 +513,13 @@ struct FleetSim {
     ev.replica = victim;
     ev.routable_after = active_count();
     ev.depth_per_replica = per;
+    ev.incident = static_cast<std::int32_t>(
+        monitor.open_incident(obs::IncidentKind::kUnderload));
     scaling_events.push_back(ev);
+    if (fleet_tracing) {
+      shared.telemetry->tracer().instant(track_control, n_scale_down,
+                                         shared.sim.now(), k_replica, victim);
+    }
   }
 
   // -- Aggregation ---------------------------------------------------------
@@ -507,6 +579,76 @@ struct FleetSim {
     report.migrations.reserve(migrations.size());
     for (const MigrationState& state : migrations) {
       report.migrations.push_back(state.record);
+    }
+    report.incidents = monitor.incidents();
+
+    // Mirror the incident log onto a ("fleet","health") trace track —
+    // closed incidents as spans, still-open ones as instants — so the
+    // viewer shows outages against the replica timelines and the sink
+    // provably captured them.
+    if (fleet_tracing) {
+      obs::SpanTracer& tr = shared.telemetry->tracer();
+      const std::uint16_t track_health = tr.track("fleet", "health");
+      const std::uint32_t k_incident = tr.intern("incident");
+      for (const obs::Incident& inc : report.incidents) {
+        const std::uint32_t name = tr.intern(obs::to_string(inc.kind));
+        if (inc.open) {
+          tr.instant(track_health, name, inc.opened_ps, k_incident, inc.id);
+        } else {
+          tr.complete(track_health, name, inc.opened_ps,
+                      inc.closed_ps - inc.opened_ps, k_incident, inc.id);
+        }
+      }
+    }
+
+    // Scoped metrics: per-replica and per-tenant counters under labeled
+    // keys (unlabeled exports stay byte-identical without them).
+    if (shared.telemetry != nullptr && shared.telemetry->metering()) {
+      obs::MetricsRegistry& m = shared.telemetry->metrics();
+      std::vector<std::uint32_t> handoffs(replicas.size(), 0);
+      for (const MigrationState& state : migrations) {
+        const std::uint32_t moved = state.record.moved_waiting +
+                                    (state.record.moved_active ? 1 : 0);
+        handoffs[state.record.from] += moved;
+        handoffs[state.record.to] += moved;
+      }
+      for (std::uint32_t k = 0; k < replicas.size(); ++k) {
+        const std::string label = "replica=" + std::to_string(k);
+        m.counter("fleet", "served", label).add(replicas[k].served);
+        m.counter("fleet", "handoffs", label).add(handoffs[k]);
+        m.gauge("fleet", "utilization", label)
+            .set(report.replica_stats[k].utilization);
+      }
+      const std::size_t num_classes = quota_limit.size();
+      std::vector<std::uint64_t> t_completed(num_classes, 0);
+      std::vector<std::uint64_t> t_goodput(num_classes, 0);
+      std::vector<std::uint64_t> t_shed(num_classes, 0);
+      std::vector<std::uint64_t> t_violations(num_classes, 0);
+      for (const QueryRecord& r : shared.records) {
+        if (r.class_index >= num_classes) continue;
+        if (r.shed) {
+          ++t_shed[r.class_index];
+        } else {
+          ++t_completed[r.class_index];
+          if (r.slo_violated) {
+            ++t_violations[r.class_index];
+          } else {
+            ++t_goodput[r.class_index];
+          }
+        }
+      }
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const std::string label = "tenant=" + std::to_string(c);
+        m.counter("fleet", "completed", label).add(t_completed[c]);
+        m.counter("fleet", "goodput", label).add(t_goodput[c]);
+        m.counter("fleet", "shed", label).add(t_shed[c]);
+        m.counter("fleet", "slo_violations", label).add(t_violations[c]);
+      }
+      for (const obs::Incident& inc : report.incidents) {
+        m.counter("fleet", "incidents",
+                  std::string("kind=") + obs::to_string(inc.kind))
+            .add(1);
+      }
     }
 
     // p99 transients around each scaling event, from the completion
@@ -640,6 +782,48 @@ FleetReport FleetServer::serve(const graph::CsrGraph& graph,
   sim.fill(report);
   serve.profiles = std::move(workload.profiles);
   return report;
+}
+
+void write_incident_log(std::ostream& os, const FleetReport& report) {
+  os << "{\"incidents\":[";
+  for (std::size_t i = 0; i < report.incidents.size(); ++i) {
+    if (i != 0) os << ",\n";
+    obs::write_incident_json(os, report.incidents[i]);
+  }
+  os << "],\n\"scaling\":[";
+  for (std::size_t i = 0; i < report.scaling_events.size(); ++i) {
+    const ScalingEvent& ev = report.scaling_events[i];
+    if (i != 0) os << ",\n";
+    os << "{\"at_sec\":" << obs::json_number(ev.at_sec) << ",\"action\":\""
+       << (ev.added ? "scale-up" : "scale-down")
+       << "\",\"replica\":" << ev.replica
+       << ",\"routable_after\":" << ev.routable_after
+       << ",\"depth_per_replica\":" << obs::json_number(ev.depth_per_replica)
+       << ",\"incident\":" << ev.incident
+       << ",\"completions_before\":" << ev.completions_before
+       << ",\"completions_after\":" << ev.completions_after
+       << ",\"p99_before_us\":" << obs::json_number(ev.p99_before_us)
+       << ",\"p99_after_us\":" << obs::json_number(ev.p99_after_us) << "}";
+  }
+  os << "],\n\"migrations\":[";
+  for (std::size_t i = 0; i < report.migrations.size(); ++i) {
+    const MigrationRecord& m = report.migrations[i];
+    if (i != 0) os << ",\n";
+    os << "{\"start_sec\":" << obs::json_number(m.start_sec)
+       << ",\"class\":" << m.class_index << ",\"from\":" << m.from
+       << ",\"to\":" << m.to << ",\"state_bytes\":" << m.state_bytes
+       << ",\"copy_sec\":" << obs::json_number(m.copy_sec)
+       << ",\"moved_waiting\":" << m.moved_waiting
+       << ",\"moved_active\":" << (m.moved_active ? "true" : "false") << "}";
+  }
+  os << "]}\n";
+}
+
+bool save_incident_log(const std::string& path, const FleetReport& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_incident_log(out, report);
+  return static_cast<bool>(out);
 }
 
 }  // namespace cxlgraph::serve

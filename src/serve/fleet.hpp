@@ -28,16 +28,22 @@
 ///   * Elastic controller — observes the fleet's waiting-depth series
 ///     (an obs::TimeSeriesSampler) on a fixed interval and grows or
 ///     drains the fleet between min/max replicas; every scaling event
-///     reports the p99 latency transient around it.
+///     reports the p99 latency transient around it. The threshold check
+///     itself lives in an obs::HealthMonitor: the controller acts on the
+///     monitor's depth verdict (bit-identical decisions), every scaling
+///     event links the incident that triggered it, and the run's full
+///     incident log rides the report (exportable via write_incident_log).
 ///
 /// With replicas=1, the random router, and no quotas/shedding/migration,
 /// FleetServer is bit-identical to QueryServer::serve on the same
 /// request (tier-1 test + bench_fleet --smoke, CI-enforced).
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "obs/health.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
 
@@ -153,6 +159,9 @@ struct ScalingEvent {
   std::uint32_t completions_after = 0;
   double p99_before_us = 0.0;
   double p99_after_us = 0.0;
+  /// Id of the health-monitor incident (saturation for grows, underload
+  /// for drains) whose verdict triggered this decision; -1 when none.
+  std::int32_t incident = -1;
 };
 
 struct FleetReport {
@@ -175,6 +184,12 @@ struct FleetReport {
   std::uint64_t migration_bytes = 0;
   double migration_sec = 0.0;
   std::vector<ScalingEvent> scaling_events;
+  /// The health monitor's incident log for the run: saturation /
+  /// underload / queue-trend / throttle / SLO-violation-rate incidents
+  /// with open/close sim times, severity, and evidence. Deterministic —
+  /// a pure function of the run, recorded whether or not a telemetry
+  /// sink is attached.
+  std::vector<obs::Incident> incidents;
 };
 
 class FleetServer {
@@ -211,5 +226,16 @@ class FleetServer {
   QueryServer profiler_;
   obs::Telemetry* telemetry_ = nullptr;
 };
+
+/// Serializes the fleet's health record as one JSON document:
+/// `{"incidents":[...],"scaling":[...],"migrations":[...]}` with
+/// integer-picosecond incident times, so two identical runs (and the
+/// same run at different profiling thread counts) produce byte-identical
+/// files. This is the --incidents-out format.
+void write_incident_log(std::ostream& os, const FleetReport& report);
+
+/// write_incident_log to `path`; false (with no partial file promise)
+/// when the file cannot be opened.
+bool save_incident_log(const std::string& path, const FleetReport& report);
 
 }  // namespace cxlgraph::serve

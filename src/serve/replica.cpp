@@ -37,7 +37,9 @@ void SimShared::attach_telemetry(obs::Telemetry* sink) {
     n_admit = tr.intern("admit");
     n_shed = tr.intern("shed");
     n_complete = tr.intern("complete");
+    n_queued = tr.intern("queued");
     k_query = tr.intern("query");
+    n_flow = tr.intern("query");
   }
   if (sink->metering()) {
     obs::MetricsRegistry& m = sink->metrics();
@@ -59,6 +61,12 @@ void SimShared::note_admission(std::size_t i, bool was_shed) {
     telemetry->tracer().instant(track_lifecycle,
                                 was_shed ? n_shed : n_admit, sim.now(),
                                 k_query, r.id);
+    // Every admitted query opens a causal flow; its quanta and migration
+    // hops add steps and completion finishes it. Shed queries never
+    // start one, so every 's' in an export has a matching 'f'.
+    if (!was_shed) {
+      telemetry->tracer().flow_start(track_lifecycle, n_flow, sim.now(), r.id);
+    }
   }
   if (c_admitted != nullptr) (was_shed ? c_shed : c_admitted)->add(1);
   if (sampling && !was_shed) sample_depth();
@@ -69,11 +77,19 @@ void SimShared::note_completion(std::size_t i) {
   if (tracing) {
     telemetry->tracer().instant(track_lifecycle, n_complete, sim.now(),
                                 k_query, r.id);
+    telemetry->tracer().flow_end(track_lifecycle, n_flow, sim.now(), r.id);
   }
   if (c_completed != nullptr) {
     c_completed->add(1);
     h_latency_ns->add((r.completion - r.arrival) / util::kPsPerNs);
   }
+}
+
+void SimShared::note_queued(std::size_t i) {
+  if (!tracing) return;
+  const QueryRecord& r = records[i];
+  telemetry->tracer().complete(track_lifecycle, n_queued, r.arrival,
+                               r.first_service - r.arrival, k_query, r.id);
 }
 
 void SimShared::sample_depth() {
@@ -145,7 +161,8 @@ void SimShared::run(obs::SimRunObserver* observer) {
 
 void ReplicaSim::attach_telemetry(const std::string& track_name,
                                   const std::string& bytes_channel,
-                                  const std::string& heat_trace_name) {
+                                  const std::string& heat_trace_name,
+                                  const std::string& depth_channel) {
   obs::Telemetry* sink = shared.telemetry;
   if (sink == nullptr) return;
   if (sink->tracing()) {
@@ -157,6 +174,8 @@ void ReplicaSim::attach_telemetry(const std::string& track_name,
     replica_sampling_ = true;
     ch_bytes_ = sink->sampler().channel(
         bytes_channel, obs::TimeSeriesSampler::Reduce::kSum);
+    ch_depth_ = sink->sampler().channel(
+        depth_channel, obs::TimeSeriesSampler::Reduce::kMax);
   }
   heat_trace_.bind(sink, "serve", heat_trace_name);
 }
@@ -167,11 +186,23 @@ void ReplicaSim::note_quantum(std::size_t i, util::SimTime duration,
     shared.telemetry->tracer().complete(track_, n_quantum_, shared.sim.now(),
                                         duration, shared.k_query,
                                         shared.records[i].id);
+    // Chain this quantum into the query's flow on the replica's track —
+    // the step lands at quantum start, so it always precedes the 'f'
+    // the completion will add.
+    shared.telemetry->tracer().flow_step(track_, shared.n_flow,
+                                         shared.sim.now(),
+                                         shared.records[i].id);
   }
   if (replica_sampling_) {
     shared.telemetry->sampler().record(ch_bytes_, shared.sim.now(),
                                        static_cast<double>(bytes));
     shared.sample_depth();
+  }
+}
+
+void ReplicaSim::sample_replica_depth() {
+  if (replica_sampling_) {
+    shared.telemetry->sampler().record(ch_depth_, shared.sim.now(), depth());
   }
 }
 
@@ -186,12 +217,22 @@ void ReplicaSim::admit(std::size_t i) {
   place(i);
   if (shared.telemetry != nullptr) {
     shared.note_admission(i, /*was_shed=*/false);
+    sample_replica_depth();
   }
   dispatch();
 }
 
 void ReplicaSim::resume(std::size_t i) {
   place(i);
+  if (shared.telemetry != nullptr) {
+    // Migration resume: the query's flow continues on this replica.
+    if (replica_tracing_) {
+      shared.telemetry->tracer().flow_step(track_, shared.n_flow,
+                                           shared.sim.now(),
+                                           shared.records[i].id);
+    }
+    sample_replica_depth();
+  }
   dispatch();
 }
 
@@ -206,6 +247,18 @@ std::vector<std::size_t> ReplicaSim::extract_waiting(
     } else {
       ++it;
     }
+  }
+  if (shared.telemetry != nullptr && !moved.empty()) {
+    // Migration drain: each moved query's flow steps through the source
+    // replica one last time before resuming on the target.
+    if (replica_tracing_) {
+      for (const std::size_t i : moved) {
+        shared.telemetry->tracer().flow_step(track_, shared.n_flow,
+                                             shared.sim.now(),
+                                             shared.records[i].id);
+      }
+    }
+    sample_replica_depth();
   }
   return moved;
 }
@@ -239,7 +292,10 @@ void ReplicaSim::dispatch() {
   active = i;
   QueryRecord& r = shared.records[i];
   const QueryProfile& p = shared.profiles[r.profile_index];
-  if (shared.next_step[i] == 0) r.first_service = shared.sim.now();
+  if (shared.next_step[i] == 0) {
+    r.first_service = shared.sim.now();
+    if (shared.telemetry != nullptr) shared.note_queued(i);
+  }
   if (shared.config.batch_identical) {
     // Identical waiting queries (same profile => same class shape and
     // source) ride this replay: one execution answers them all. They
@@ -254,6 +310,7 @@ void ReplicaSim::dispatch() {
         shared.records[*it].batch_follower = true;
         if (shared.records[*it].first_service == 0) {
           shared.records[*it].first_service = shared.sim.now();
+          if (shared.telemetry != nullptr) shared.note_queued(*it);
         }
         backlog_ps -= shared.remaining_ps(*it);
         shared.followers[i].push_back(*it);
@@ -290,6 +347,13 @@ void ReplicaSim::dispatch() {
     }
     if (heat_trace_.bound()) {
       heat_trace_.on_thermal(shared.sim.now(), heat.throttled());
+    }
+    if (shared.on_throttle) {
+      const bool throttled_now = heat.throttled();
+      if (throttled_now != throttle_state_) {
+        throttle_state_ = throttled_now;
+        shared.on_throttle(index, throttled_now);
+      }
     }
   }
   shared.next_step[i] += quantum;
@@ -344,6 +408,7 @@ void ReplicaSim::quantum_done() {
   } else {
     ready.push_back(i);
   }
+  if (shared.telemetry != nullptr) sample_replica_depth();
   dispatch();
 }
 

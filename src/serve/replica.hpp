@@ -77,6 +77,10 @@ struct SimShared {
   /// Optional frontend hook fired after a record is finalized (the fleet
   /// uses it for quota release, drain retirement, and depth sampling).
   std::function<void(std::size_t)> on_complete;
+  /// Optional frontend hook fired when a replica's thermal-throttle
+  /// state flips (the fleet feeds its health monitor). Strictly passive:
+  /// observers must not schedule events or touch simulation state.
+  std::function<void(std::uint32_t, bool)> on_throttle;
 
   /// Closed loop: per-client query chains and issue cursors.
   std::vector<std::vector<std::size_t>> client_queries;
@@ -90,6 +94,10 @@ struct SimShared {
   bool sampling = false;
   std::uint16_t track_lifecycle = 0;  ///< ("serve","lifecycle"): instants
   std::uint32_t n_admit = 0, n_shed = 0, n_complete = 0, k_query = 0;
+  std::uint32_t n_queued = 0;  ///< queue-wait span on the lifecycle track
+  /// Causal flow per admitted query ('s' at admit, 't' per quantum /
+  /// migration hop, 'f' at completion), named "query", id = query id.
+  std::uint32_t n_flow = 0;
   obs::Counter* c_admitted = nullptr;
   obs::Counter* c_shed = nullptr;
   obs::Counter* c_completed = nullptr;
@@ -119,6 +127,9 @@ struct SimShared {
   void attach_telemetry(obs::Telemetry* sink);
   void note_admission(std::size_t i, bool was_shed);
   void note_completion(std::size_t i);
+  /// Queue-wait span [arrival, first_service] on the lifecycle track;
+  /// fired when query i first reaches a stack (leader or batch rider).
+  void note_queued(std::size_t i);
   void sample_depth();
 
   /// Marks query i shed: record flag, counter, telemetry, and the
@@ -184,11 +195,13 @@ struct ReplicaSim {
   std::size_t mark_redirect(std::uint32_t class_index,
                             std::function<void(std::size_t)> sink);
 
-  /// Binds per-replica telemetry: the quantum span track, the byte
-  /// channel, and the heat trace. No-op when SimShared is untapped.
+  /// Binds per-replica telemetry: the quantum span track, the byte and
+  /// queue-depth channels, and the heat trace. No-op when SimShared is
+  /// untapped.
   void attach_telemetry(const std::string& track_name,
                         const std::string& bytes_channel,
-                        const std::string& heat_trace_name);
+                        const std::string& heat_trace_name,
+                        const std::string& depth_channel);
 
   void dispatch();
   void quantum_done();
@@ -197,6 +210,7 @@ struct ReplicaSim {
   void place(std::size_t i);
   void note_quantum(std::size_t i, util::SimTime duration,
                     std::uint64_t bytes);
+  void sample_replica_depth();
 
   /// In-flight redirect (armed by mark_redirect, fires at most once).
   std::size_t redirect_query_ = kNoQuery;
@@ -205,8 +219,10 @@ struct ReplicaSim {
   std::uint16_t track_ = 0;       ///< ("serve", <track_name>): quanta
   std::uint32_t n_quantum_ = 0;
   std::uint32_t ch_bytes_ = 0;    ///< link bytes charged per quantum
+  std::uint32_t ch_depth_ = 0;    ///< this replica's ready + active depth
   bool replica_tracing_ = false;
   bool replica_sampling_ = false;
+  bool throttle_state_ = false;   ///< last state fed to on_throttle
   obs::StateModelTrace heat_trace_;
 };
 

@@ -328,7 +328,8 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
     replica.admit(i);
   };
   shared.attach_telemetry(telemetry_);
-  replica.attach_telemetry("stack", "serve/quantum_bytes", "stack-heat");
+  replica.attach_telemetry("stack", "serve/quantum_bytes", "stack-heat",
+                           "serve/stack/depth");
   std::unique_ptr<obs::SimRunObserver> observer;
   if (shared.telemetry != nullptr) {
     observer =

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/telemetry.hpp"
@@ -105,6 +106,48 @@ TEST(Log2Histogram, MergeEqualsSampleUnion) {
   EXPECT_EQ(a.buckets(), all.buckets());
 }
 
+TEST(MetricsRegistry, LabelsScopeDistinctInstruments) {
+  obs::MetricsRegistry reg;
+  obs::Counter& unlabeled = reg.counter("fleet", "served");
+  obs::Counter& r0 = reg.counter("fleet", "served", "replica=0");
+  obs::Counter& r1 = reg.counter("fleet", "served", "replica=1");
+  EXPECT_NE(&unlabeled, &r0);
+  EXPECT_NE(&r0, &r1);
+  EXPECT_EQ(&reg.counter("fleet", "served", "replica=0"), &r0);
+  unlabeled.add(1);
+  r0.add(10);
+  r1.add(20);
+  EXPECT_EQ(reg.size(), 3u);
+  // Kind conflicts are detected per (component, name, label).
+  EXPECT_THROW(reg.gauge("fleet", "served", "replica=0"), std::logic_error);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const obs::JsonValue doc = obs::parse_json(os.str());
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  const auto& entries = doc.find("metrics")->array;
+  ASSERT_EQ(entries.size(), 3u);
+  // Sorted: unlabeled ("") before replica=0 before replica=1; the
+  // "label" field appears only on labeled entries.
+  EXPECT_EQ(entries[0].find("label"), nullptr);
+  EXPECT_EQ(entries[0].find("value")->number, 1.0);
+  ASSERT_NE(entries[1].find("label"), nullptr);
+  EXPECT_EQ(entries[1].find("label")->string, "replica=0");
+  EXPECT_EQ(entries[1].find("value")->number, 10.0);
+  EXPECT_EQ(entries[2].find("label")->string, "replica=1");
+}
+
+TEST(MetricsRegistry, UnlabeledSnapshotBytesUnchangedByLabelSupport) {
+  // A registry that never uses labels must serialize exactly as before
+  // the label dimension existed — no "label" field, no key changes.
+  obs::MetricsRegistry reg;
+  reg.counter("serve", "admitted").add(7);
+  reg.gauge("cluster", "skew").set(1.5);
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_EQ(os.str().find("label"), std::string::npos);
+}
+
 TEST(MetricsJson, EscapeAndNumberEdgeCases) {
   EXPECT_EQ(obs::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
   EXPECT_EQ(obs::json_number(42.0), "42");
@@ -184,6 +227,80 @@ TEST(SpanTracer, SummaryFoldsBusyTimePerTrack) {
   EXPECT_EQ(rows[0].spans, 2u);
   EXPECT_DOUBLE_EQ(rows[0].busy_us, 5.0);
   EXPECT_DOUBLE_EQ(rows[0].utilization(), 0.5);
+}
+
+TEST(SpanTracer, FlowEventsChainAcrossTracksAndValidate) {
+  obs::SpanTracer tracer;
+  const std::uint16_t r0 = tracer.track("serve", "replica0");
+  const std::uint16_t r1 = tracer.track("serve", "replica1");
+  const std::uint32_t name = tracer.intern("query");
+  // One query's causal chain: admitted on r0, a quantum there, handed
+  // off to r1 (migration), completed there.
+  tracer.flow_start(r0, name, /*at=*/1 * util::kPsPerUs, /*id=*/42);
+  tracer.flow_step(r0, name, 2 * util::kPsPerUs, 42);
+  tracer.flow_step(r1, name, 5 * util::kPsPerUs, 42);
+  tracer.flow_end(r1, name, 9 * util::kPsPerUs, 42);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, tracer);
+  const obs::JsonValue doc = obs::parse_json(os.str());
+  const obs::TraceCheckResult check = obs::check_trace(doc);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.flows, 1u);
+  EXPECT_EQ(check.flow_events, 4u);
+
+  // Every flow phase carries the binding cat + id; the finish carries
+  // the binding-point marker the viewer needs.
+  std::size_t finishes = 0;
+  for (const obs::JsonValue& ev : doc.find("traceEvents")->array) {
+    const std::string ph = ev.find("ph")->string;
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    ASSERT_NE(ev.find("cat"), nullptr);
+    EXPECT_EQ(ev.find("cat")->string, "query");
+    ASSERT_NE(ev.find("id"), nullptr);
+    EXPECT_EQ(ev.find("id")->number, 42.0);
+    if (ph == "f") {
+      ++finishes;
+      ASSERT_NE(ev.find("bp"), nullptr);
+      EXPECT_EQ(ev.find("bp")->string, "e");
+    }
+  }
+  EXPECT_EQ(finishes, 1u);
+
+  // The summary attributes two flow events to each replica track.
+  for (const obs::TrackSummary& t : obs::summarize_trace(doc)) {
+    EXPECT_EQ(t.flow_events, 2u) << t.thread;
+  }
+}
+
+TEST(TraceCheck, FlowValidationCatchesBrokenChains) {
+  const auto check = [](const char* events) {
+    return obs::check_trace(obs::parse_json(
+        std::string(R"({"traceEvents":[)") + events + "]}"));
+  };
+  const char* start =
+      R"({"name":"q","ph":"s","ts":1,"pid":1,"tid":1,"cat":"q","id":7})";
+  // A started flow must finish.
+  EXPECT_FALSE(check(start).ok);
+  EXPECT_NE(check(start).error.find("never finishes"), std::string::npos);
+  // A second start on a live id is a duplicate.
+  EXPECT_NE(check((std::string(start) + "," + start).c_str())
+                .error.find("duplicate flow start"),
+            std::string::npos);
+  // Steps and finishes need a live start.
+  const char* orphan_step =
+      R"({"name":"q","ph":"t","ts":2,"pid":1,"tid":1,"cat":"q","id":9})";
+  EXPECT_NE(check(orphan_step).error.find("no start"), std::string::npos);
+  // Timestamps along a flow must be non-decreasing.
+  const char* early_finish =
+      R"({"name":"q","ph":"f","bp":"e","ts":0,"pid":1,"tid":1,"cat":"q","id":7})";
+  EXPECT_NE(check((std::string(start) + "," + early_finish).c_str())
+                .error.find("decrease"),
+            std::string::npos);
+  // And a well-formed chain passes.
+  const char* good_finish =
+      R"({"name":"q","ph":"f","bp":"e","ts":3,"pid":1,"tid":1,"cat":"q","id":7})";
+  EXPECT_TRUE(check((std::string(start) + "," + good_finish).c_str()).ok);
 }
 
 TEST(TraceCheck, RejectsMalformedEvents) {
@@ -285,6 +402,135 @@ TEST(WindowSeries, FoldDropsAndCountsSamplesPastHorizon) {
   dropped = 123;
   EXPECT_EQ(clean.fold(2, 2.0, &dropped).size(), 2u);
   EXPECT_EQ(dropped, 0u);
+}
+
+// ------------------------------------------------------------- health ----
+
+TEST(HealthMonitor, SaturationOpensEscalatesAndCloses) {
+  obs::HealthConfig cfg;
+  cfg.depth_high = 8.0;
+  cfg.depth_low = 1.0;
+  obs::HealthMonitor mon(cfg);
+  using Verdict = obs::HealthMonitor::DepthVerdict;
+
+  EXPECT_EQ(mon.observe_depth(100, 4.0), Verdict::kNominal);
+  EXPECT_EQ(mon.open_incident(obs::IncidentKind::kSaturation), -1);
+  EXPECT_EQ(mon.observe_depth(200, 9.0), Verdict::kOverloaded);
+  const std::int64_t id = mon.open_incident(obs::IncidentKind::kSaturation);
+  ASSERT_GE(id, 0);
+  // Threshold comparisons are strict, mirroring the elastic controller:
+  // exactly depth_high is nominal and closes the incident.
+  EXPECT_EQ(mon.observe_depth(300, 8.0), Verdict::kNominal);
+  EXPECT_EQ(mon.open_incident(obs::IncidentKind::kSaturation), -1);
+
+  // Reopen and push past 1.5x the threshold: severity escalates.
+  EXPECT_EQ(mon.observe_depth(400, 10.0), Verdict::kOverloaded);
+  EXPECT_EQ(mon.observe_depth(500, 13.0), Verdict::kOverloaded);
+  EXPECT_EQ(mon.observe_depth(600, 0.5), Verdict::kUnderloaded);
+
+  const auto& incidents = mon.incidents();
+  ASSERT_EQ(incidents.size(), 3u);  // saturation, saturation, underload
+  const obs::Incident& first = incidents[0];
+  EXPECT_EQ(first.kind, obs::IncidentKind::kSaturation);
+  EXPECT_EQ(first.severity, obs::IncidentSeverity::kWarning);
+  EXPECT_EQ(first.subject, "fleet");
+  EXPECT_EQ(first.opened_ps, 200u);
+  EXPECT_EQ(first.closed_ps, 300u);
+  EXPECT_FALSE(first.open);
+  EXPECT_EQ(first.peak, 9.0);
+  const obs::Incident& second = incidents[1];
+  EXPECT_EQ(second.severity, obs::IncidentSeverity::kCritical);
+  EXPECT_EQ(second.peak, 13.0);
+  EXPECT_EQ(second.observations, 2u);
+  // The underload incident is open at "end of run".
+  EXPECT_EQ(incidents[2].kind, obs::IncidentKind::kUnderload);
+  EXPECT_TRUE(incidents[2].open);
+  EXPECT_EQ(mon.open_incident(obs::IncidentKind::kUnderload),
+            incidents[2].id);
+}
+
+TEST(HealthMonitor, QueueTrendFiresOnConsecutiveRisingSamples) {
+  obs::HealthConfig cfg;
+  cfg.depth_high = 100.0;  // keep saturation out of the way
+  cfg.depth_low = 0.0;
+  cfg.trend_run = 3;
+  obs::HealthMonitor mon(cfg);
+  mon.observe_depth(0, 2.0);
+  mon.observe_depth(10, 3.0);  // run = 1
+  mon.observe_depth(20, 4.0);  // run = 2
+  EXPECT_EQ(mon.open_incident(obs::IncidentKind::kQueueTrend), -1);
+  mon.observe_depth(30, 5.0);  // run = 3 -> opens
+  EXPECT_GE(mon.open_incident(obs::IncidentKind::kQueueTrend), 0);
+  mon.observe_depth(40, 5.0);  // not strictly rising -> closes
+  EXPECT_EQ(mon.open_incident(obs::IncidentKind::kQueueTrend), -1);
+  ASSERT_EQ(mon.incidents().size(), 1u);
+  EXPECT_EQ(mon.incidents()[0].opened_ps, 30u);
+  EXPECT_EQ(mon.incidents()[0].closed_ps, 40u);
+}
+
+TEST(HealthMonitor, ThrottleIncidentsArePerReplica) {
+  obs::HealthMonitor mon;
+  mon.observe_throttle(100, /*replica=*/2, true);
+  mon.observe_throttle(200, /*replica=*/0, true);
+  mon.observe_throttle(300, /*replica=*/2, false);
+  ASSERT_EQ(mon.incidents().size(), 2u);
+  EXPECT_EQ(mon.incidents()[0].kind, obs::IncidentKind::kThrottle);
+  EXPECT_EQ(mon.incidents()[0].subject, "replica2");
+  EXPECT_FALSE(mon.incidents()[0].open);
+  EXPECT_EQ(mon.incidents()[0].closed_ps, 300u);
+  EXPECT_EQ(mon.incidents()[1].subject, "replica0");
+  EXPECT_TRUE(mon.incidents()[1].open);
+}
+
+TEST(HealthMonitor, SloViolationRateNeedsAFullWindow) {
+  obs::HealthConfig cfg;
+  cfg.slo_window = 4;
+  cfg.slo_rate = 0.5;
+  obs::HealthMonitor mon(cfg);
+  // Three violations in the first three completions: the window is not
+  // full yet, so no incident.
+  mon.observe_completion(10, true);
+  mon.observe_completion(20, true);
+  mon.observe_completion(30, true);
+  EXPECT_EQ(mon.open_incident(obs::IncidentKind::kSloViolations), -1);
+  mon.observe_completion(40, false);  // window full: rate 0.75 > 0.5
+  EXPECT_GE(mon.open_incident(obs::IncidentKind::kSloViolations), 0);
+  // Clean completions evict the violations; at rate 0.5 (not > 0.5)
+  // the incident closes.
+  mon.observe_completion(50, false);
+  EXPECT_EQ(mon.open_incident(obs::IncidentKind::kSloViolations), -1);
+  ASSERT_EQ(mon.incidents().size(), 1u);
+  EXPECT_EQ(mon.incidents()[0].opened_ps, 40u);
+  EXPECT_EQ(mon.incidents()[0].closed_ps, 50u);
+}
+
+TEST(HealthMonitor, IncidentLogRoundTripsThroughJson) {
+  obs::HealthConfig cfg;
+  cfg.depth_high = 8.0;
+  obs::HealthMonitor mon(cfg);
+  mon.observe_depth(1'000'000, 9.5);
+  mon.observe_depth(2'000'000, 2.0);
+  mon.observe_throttle(3'000'000, 1, true);
+  std::ostringstream os;
+  obs::write_incidents_json(os, mon.incidents());
+  const obs::JsonValue doc = obs::parse_json(os.str());
+  ASSERT_NE(doc.find("incidents"), nullptr);
+  const auto& arr = doc.find("incidents")->array;
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr[0].find("kind")->string, "saturation");
+  EXPECT_EQ(arr[0].find("severity")->string, "warning");
+  EXPECT_EQ(arr[0].find("opened_ps")->number, 1'000'000.0);
+  EXPECT_EQ(arr[0].find("closed_ps")->number, 2'000'000.0);
+  EXPECT_FALSE(arr[0].find("open")->boolean);
+  EXPECT_EQ(arr[0].find("peak")->number, 9.5);
+  EXPECT_EQ(arr[0].find("threshold")->number, 8.0);
+  EXPECT_EQ(arr[1].find("kind")->string, "throttle");
+  EXPECT_EQ(arr[1].find("subject")->string, "replica1");
+  EXPECT_TRUE(arr[1].find("open")->boolean);
+  // Identical monitors serialize byte-identically.
+  std::ostringstream again;
+  obs::write_incidents_json(again, mon.incidents());
+  EXPECT_EQ(os.str(), again.str());
 }
 
 // ---------------------------------------------------------- telemetry ----

@@ -8,12 +8,15 @@
 /// passing vacuously.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
 #include "core/cluster_runtime.hpp"
 #include "core/runtime.hpp"
 #include "graph/generate.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace_check.hpp"
+#include "serve/fleet.hpp"
 #include "serve/server.hpp"
 
 namespace cxlgraph {
@@ -158,6 +161,124 @@ TEST(TelemetryIdentity, ServeRunIsRecordIdenticalWithTelemetryOn) {
   // Lifecycle instants (admit/shed/complete) and quanta spans landed.
   EXPECT_FALSE(telemetry.tracer().empty());
   EXPECT_GT(telemetry.metrics().size(), 0u);
+}
+
+TEST(TelemetryIdentity, FleetRunIsRecordIdenticalWithTelemetryOn) {
+  // The full fleet feature set at once — four replicas behind the JSQ
+  // router, a planned live migration, the elastic controller, and
+  // SLO-aware shedding — with a fully-enabled sink. Records, scaling
+  // decisions, and the health monitor's incident log must all be
+  // identical to the untapped run.
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest req;
+  req.base.backend = core::BackendKind::kCxl;
+  req.workload.seed = kSeed;
+  req.workload.offered_qps = 24'000.0;
+  req.workload.num_queries = 64;
+  req.workload.source_pool = 4;
+  serve::QueryClass bfs;
+  bfs.algorithm = core::Algorithm::kBfs;
+  bfs.weight = 2.0;
+  bfs.slo = util::ps_from_us(300.0);
+  serve::QueryClass scan;
+  scan.algorithm = core::Algorithm::kPagerankScan;
+  scan.weight = 1.0;
+  scan.slo = util::ps_from_us(2'000.0);
+  req.workload.mix = {bfs, scan};
+  req.fleet.replicas = 4;
+  req.fleet.router = serve::RouterKind::kJoinShortestQueue;
+  req.fleet.slo_shedding = true;
+  req.fleet.migrations = {serve::MigrationPlan{/*at_sec=*/0.0005,
+                                               /*class_index=*/0,
+                                               /*from=*/0, /*to=*/1}};
+  req.fleet.elastic.enabled = true;
+  req.fleet.elastic.min_replicas = 2;
+  req.fleet.elastic.max_replicas = 6;
+  req.fleet.elastic.check_interval_sec = 250e-6;
+
+  serve::FleetServer off(core::table3_system());
+  const serve::FleetReport baseline = off.serve(g, req);
+
+  obs::Telemetry telemetry(obs::Telemetry::enabled_config());
+  serve::FleetServer on(core::table3_system());
+  on.set_telemetry(&telemetry);
+  const serve::FleetReport tapped = on.serve(g, req);
+
+  ASSERT_EQ(baseline.serve.queries.size(), tapped.serve.queries.size());
+  for (std::size_t i = 0; i < baseline.serve.queries.size(); ++i) {
+    const serve::QueryRecord& x = baseline.serve.queries[i];
+    const serve::QueryRecord& y = tapped.serve.queries[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.arrival, y.arrival);
+    EXPECT_EQ(x.first_service, y.first_service);
+    EXPECT_EQ(x.completion, y.completion);
+    EXPECT_EQ(x.service_ps, y.service_ps);
+    EXPECT_EQ(x.queue_ps, y.queue_ps);
+    EXPECT_EQ(x.service_bytes, y.service_bytes);
+    EXPECT_EQ(x.replica, y.replica);
+    EXPECT_EQ(x.shed, y.shed);
+    EXPECT_EQ(x.slo_violated, y.slo_violated);
+  }
+  EXPECT_EQ(baseline.serve.link_bytes, tapped.serve.link_bytes);
+  EXPECT_EQ(baseline.serve.makespan_sec, tapped.serve.makespan_sec);
+  EXPECT_EQ(baseline.serve.latency_us.p99, tapped.serve.latency_us.p99);
+  EXPECT_EQ(baseline.peak_replicas, tapped.peak_replicas);
+  EXPECT_EQ(baseline.migration_bytes, tapped.migration_bytes);
+  ASSERT_EQ(baseline.scaling_events.size(), tapped.scaling_events.size());
+  for (std::size_t i = 0; i < baseline.scaling_events.size(); ++i) {
+    EXPECT_EQ(baseline.scaling_events[i].at_sec,
+              tapped.scaling_events[i].at_sec);
+    EXPECT_EQ(baseline.scaling_events[i].added,
+              tapped.scaling_events[i].added);
+    EXPECT_EQ(baseline.scaling_events[i].incident,
+              tapped.scaling_events[i].incident);
+  }
+
+  // The incident log is a pure function of the run: identical with and
+  // without the sink, and the workload is hot enough to produce one.
+  ASSERT_EQ(baseline.incidents.size(), tapped.incidents.size());
+  EXPECT_FALSE(baseline.incidents.empty());
+  for (std::size_t i = 0; i < baseline.incidents.size(); ++i) {
+    const obs::Incident& x = baseline.incidents[i];
+    const obs::Incident& y = tapped.incidents[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.severity, y.severity);
+    EXPECT_EQ(x.subject, y.subject);
+    EXPECT_EQ(x.opened_ps, y.opened_ps);
+    EXPECT_EQ(x.closed_ps, y.closed_ps);
+    EXPECT_EQ(x.open, y.open);
+    EXPECT_EQ(x.peak, y.peak);
+    EXPECT_EQ(x.observations, y.observations);
+  }
+  std::ostringstream log_a, log_b;
+  serve::write_incident_log(log_a, baseline);
+  serve::write_incident_log(log_b, tapped);
+  EXPECT_EQ(log_a.str(), log_b.str());
+
+  // Every scaling decision links a live incident from the log.
+  for (const serve::ScalingEvent& ev : tapped.scaling_events) {
+    ASSERT_GE(ev.incident, 0);
+    ASSERT_LT(static_cast<std::size_t>(ev.incident),
+              tapped.incidents.size());
+    const obs::Incident& inc =
+        tapped.incidents[static_cast<std::size_t>(ev.incident)];
+    EXPECT_EQ(inc.kind, ev.added ? obs::IncidentKind::kSaturation
+                                 : obs::IncidentKind::kUnderload);
+  }
+
+  // The sink provably captured the query flows: the exported trace
+  // validates and contains closed flow chains, and per-replica depth
+  // channels landed in the sampler.
+  std::ostringstream trace_os;
+  telemetry.write_trace_json(trace_os);
+  const obs::TraceCheckResult check =
+      obs::check_trace(obs::parse_json(trace_os.str()));
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_GT(check.flows, 0u);
+  EXPECT_GT(check.flow_events, check.flows);  // steps beyond the starts
+  EXPECT_GT(telemetry.metrics().size(), 0u);
+  EXPECT_FALSE(telemetry.sampler().empty());
 }
 
 TEST(TelemetryIdentity, DeviceStateTracingLeavesThrottledRunIdentical) {

@@ -13,7 +13,8 @@
 ///                     [--qps=500] [--queries=128] [--policy=fifo] \
 ///                     [--slo-us=20000] [--queue-cap=64] [--closed-loop] \
 ///                     [--replicas=4] [--router=join-shortest-queue] \
-///                     [--migrate=at_ms:class:from:to] [--elastic-max=4]
+///                     [--migrate=at_ms:class:from:to] [--elastic-max=4] \
+///                     [--incidents-out=incidents.json]
 ///
 /// `run` without --graph generates the dataset on the fly
 /// (--dataset/--scale). With --shards >= 2 the run goes through the
@@ -25,9 +26,10 @@
 /// shared stack (serve::QueryServer) and reports the latency tail,
 /// goodput, SLO violations, and shed rate under the chosen scheduling
 /// policy and admission cap. Any fleet option (--replicas >= 2, --router,
-/// --migrate, --quota, --elastic-max, --slo-shed) switches the command to
-/// serve::FleetServer: N replicated stacks behind the chosen router, with
-/// optional live tenant migration and elastic scaling.
+/// --migrate, --quota, --elastic-max, --slo-shed, --incidents-out)
+/// switches the command to serve::FleetServer: N replicated stacks behind
+/// the chosen router, with optional live tenant migration, elastic
+/// scaling, and the health monitor's incident log (--incidents-out).
 
 #include <fstream>
 #include <iostream>
@@ -417,6 +419,10 @@ int cmd_serve(int argc, char** argv) {
                  "elastic controller check interval [us]", "1000");
   cli.add_flag("slo-shed",
                "shed arrivals whose SLO is already infeasible");
+  cli.add_option("incidents-out",
+                 "write the health monitor's incident log JSON here "
+                 "(engages the fleet path)",
+                 "");
   cli.add_flag("closed-loop",
                "closed-loop clients instead of open-loop Poisson");
   cli.add_flag("gen3", "use the Gen3 (Table-4) system preset");
@@ -487,7 +493,8 @@ int cmd_serve(int argc, char** argv) {
   const bool fleet_path = replicas >= 2 || !cli.get("router").empty() ||
                           !cli.get("migrate").empty() ||
                           !cli.get("quota").empty() || elastic_max > 0 ||
-                          cli.get_bool("slo-shed");
+                          cli.get_bool("slo-shed") ||
+                          !cli.get("incidents-out").empty();
   if (fleet_path) {
     if (replicas == 0) {
       throw std::invalid_argument("--replicas must be >= 1");
@@ -554,6 +561,15 @@ int cmd_serve(int argc, char** argv) {
                          " state copied, " +
                          util::fmt(fr.migration_sec * 1e6, 1) + " us)"});
     }
+    if (!fr.incidents.empty()) {
+      std::uint32_t open = 0;
+      for (const obs::Incident& inc : fr.incidents) {
+        if (inc.open) ++open;
+      }
+      table.add_row({"health incidents",
+                     util::fmt_count(fr.incidents.size()) + " (" +
+                         std::to_string(open) + " still open)"});
+    }
     table.print(std::cout);
     for (const serve::ReplicaStats& rs : fr.replica_stats) {
       std::cout << "  replica " << rs.replica << ": "
@@ -565,7 +581,18 @@ int cmd_serve(int argc, char** argv) {
       std::cout << "  " << (ev.added ? "scale-up" : "scale-down") << " t="
                 << util::fmt(ev.at_sec * 1e3, 3) << " ms: p99 "
                 << util::fmt(ev.p99_before_us / 1e3, 3) << " -> "
-                << util::fmt(ev.p99_after_us / 1e3, 3) << " ms\n";
+                << util::fmt(ev.p99_after_us / 1e3, 3) << " ms";
+      if (ev.incident >= 0) std::cout << " (incident #" << ev.incident << ")";
+      std::cout << "\n";
+    }
+    if (!cli.get("incidents-out").empty()) {
+      if (!serve::save_incident_log(cli.get("incidents-out"), fr)) {
+        std::cerr << "error: cannot write " << cli.get("incidents-out")
+                  << "\n";
+        return 1;
+      }
+      std::cout << "incident log written to " << cli.get("incidents-out")
+                << "\n";
     }
     return save_telemetry(cli, telemetry.get());
   }

@@ -1,0 +1,274 @@
+// fleet_report: fold a fleet serve run's observability artifacts — the
+// Chrome trace export, the metrics snapshot, and the health monitor's
+// incident log — into per-replica / per-tenant tables plus a merged
+// migration/scaling/incident timeline.
+//
+//   fleet_report --trace fleet_trace.json --metrics fleet_metrics.json
+//                --incidents incidents.json     (one command line)
+//
+// Any subset of the three inputs works; each section prints from
+// whichever artifact carries it. Exit status: 0 on success, 1 on parse
+// errors or bad usage.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.hpp"
+
+namespace {
+
+using cxlgraph::obs::JsonValue;
+
+void usage() {
+  std::cerr << "usage: fleet_report [--trace trace.json] "
+               "[--metrics metrics.json] [--incidents incidents.json]\n";
+}
+
+JsonValue load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return cxlgraph::obs::parse_json(in);
+}
+
+double num_or(const JsonValue* v, double fallback) {
+  return (v != nullptr && v->type == JsonValue::Type::kNumber) ? v->number
+                                                               : fallback;
+}
+
+std::string str_or(const JsonValue* v, const std::string& fallback) {
+  return (v != nullptr && v->type == JsonValue::Type::kString) ? v->string
+                                                               : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// Trace section: the per-track summary (replica rows included), via the
+// same validated fold trace_summary uses.
+// ---------------------------------------------------------------------------
+
+void print_trace_section(const JsonValue& doc) {
+  const cxlgraph::obs::TraceCheckResult check =
+      cxlgraph::obs::check_trace(doc);
+  if (!check.ok) throw std::runtime_error("invalid trace: " + check.error);
+  std::printf("== trace: %zu events, %zu query flows ==\n", check.events,
+              check.flows);
+  std::printf("%-12s %-24s %8s %8s %8s %14s %7s\n", "process", "thread",
+              "spans", "instants", "flows", "busy (us)", "util");
+  for (const cxlgraph::obs::TrackSummary& t :
+       cxlgraph::obs::summarize_trace(doc)) {
+    std::printf("%-12s %-24s %8llu %8llu %8llu %14.3f %6.1f%%\n",
+                t.process.c_str(), t.thread.c_str(),
+                static_cast<unsigned long long>(t.spans),
+                static_cast<unsigned long long>(t.instants),
+                static_cast<unsigned long long>(t.flow_events), t.busy_us,
+                100.0 * t.utilization());
+  }
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics section: pivot the labeled fleet metrics into per-replica and
+// per-tenant tables.
+// ---------------------------------------------------------------------------
+
+void print_metrics_section(const JsonValue& doc) {
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || metrics->type != JsonValue::Type::kArray) {
+    throw std::runtime_error("metrics document has no metrics array");
+  }
+  // scope value ("replica=K" / "tenant=C" suffix) -> metric name -> value.
+  std::map<std::string, std::map<std::string, double>> replica_rows;
+  std::map<std::string, std::map<std::string, double>> tenant_rows;
+  for (const JsonValue& m : metrics->array) {
+    if (str_or(m.find("component"), "") != "fleet") continue;
+    const std::string label = str_or(m.find("label"), "");
+    const std::string name = str_or(m.find("name"), "");
+    const double value = num_or(m.find("value"), 0.0);
+    if (label.rfind("replica=", 0) == 0) {
+      replica_rows[label.substr(8)][name] = value;
+    } else if (label.rfind("tenant=", 0) == 0) {
+      tenant_rows[label.substr(7)][name] = value;
+    }
+  }
+  if (!replica_rows.empty()) {
+    std::printf("== per-replica metrics ==\n");
+    std::printf("%-8s %10s %10s %12s\n", "replica", "served", "handoffs",
+                "utilization");
+    for (const auto& [replica, row] : replica_rows) {
+      const auto get = [&row = row](const char* k) {
+        const auto it = row.find(k);
+        return it != row.end() ? it->second : 0.0;
+      };
+      std::printf("%-8s %10.0f %10.0f %12.3f\n", replica.c_str(),
+                  get("served"), get("handoffs"), get("utilization"));
+    }
+    std::printf("\n");
+  }
+  if (!tenant_rows.empty()) {
+    std::printf("== per-tenant metrics ==\n");
+    std::printf("%-8s %10s %10s %10s %14s\n", "tenant", "completed",
+                "goodput", "shed", "slo_violations");
+    for (const auto& [tenant, row] : tenant_rows) {
+      const auto get = [&row = row](const char* k) {
+        const auto it = row.find(k);
+        return it != row.end() ? it->second : 0.0;
+      };
+      std::printf("%-8s %10.0f %10.0f %10.0f %14.0f\n", tenant.c_str(),
+                  get("completed"), get("goodput"), get("shed"),
+                  get("slo_violations"));
+    }
+    std::printf("\n");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incident section: the incident table plus a merged timeline of
+// incident opens/closes, scaling decisions, and migrations.
+// ---------------------------------------------------------------------------
+
+struct TimelineEntry {
+  double at_ms = 0.0;
+  std::string text;
+};
+
+void print_incident_section(const JsonValue& doc) {
+  const JsonValue* incidents = doc.find("incidents");
+  if (incidents == nullptr || incidents->type != JsonValue::Type::kArray) {
+    throw std::runtime_error("incident log has no incidents array");
+  }
+  std::vector<TimelineEntry> timeline;
+
+  std::printf("== incidents: %zu ==\n", incidents->array.size());
+  std::printf("%-4s %-15s %-9s %-10s %12s %12s %8s %8s\n", "id", "kind",
+              "severity", "subject", "opened (ms)", "closed (ms)", "peak",
+              "thr");
+  for (const JsonValue& inc : incidents->array) {
+    const double id = num_or(inc.find("id"), 0);
+    const std::string kind = str_or(inc.find("kind"), "?");
+    const std::string subject = str_or(inc.find("subject"), "?");
+    const bool open = inc.find("open") != nullptr && inc.find("open")->boolean;
+    const double opened_ms = num_or(inc.find("opened_ps"), 0) / 1e9;
+    const double closed_ms = num_or(inc.find("closed_ps"), 0) / 1e9;
+    const double peak = num_or(inc.find("peak"), 0);
+    const double threshold = num_or(inc.find("threshold"), 0);
+    char closed_buf[32];
+    if (open) {
+      std::snprintf(closed_buf, sizeof(closed_buf), "%12s", "open");
+    } else {
+      std::snprintf(closed_buf, sizeof(closed_buf), "%12.3f", closed_ms);
+    }
+    std::printf("%-4.0f %-15s %-9s %-10s %12.3f %s %8.2f %8.2f\n", id,
+                kind.c_str(), str_or(inc.find("severity"), "?").c_str(),
+                subject.c_str(), opened_ms, closed_buf, peak, threshold);
+    timeline.push_back({opened_ms, "incident #" + std::to_string(int(id)) +
+                                       " open  " + kind + " (" + subject +
+                                       ")"});
+    if (!open) {
+      timeline.push_back({closed_ms, "incident #" + std::to_string(int(id)) +
+                                         " close " + kind});
+    }
+  }
+  std::printf("\n");
+
+  if (const JsonValue* scaling = doc.find("scaling");
+      scaling != nullptr && scaling->type == JsonValue::Type::kArray) {
+    for (const JsonValue& ev : scaling->array) {
+      const double at_ms = num_or(ev.find("at_sec"), 0) * 1e3;
+      const double incident = num_or(ev.find("incident"), -1);
+      std::string text = str_or(ev.find("action"), "?") + " replica " +
+                         std::to_string(int(num_or(ev.find("replica"), 0))) +
+                         " (depth/replica " +
+                         std::to_string(num_or(ev.find("depth_per_replica"),
+                                               0));
+      text.erase(text.find_last_not_of('0') + 1);  // trim double tail
+      if (!text.empty() && text.back() == '.') text.pop_back();
+      text += ")";
+      if (incident >= 0) {
+        text += " <- incident #" + std::to_string(int(incident));
+      }
+      timeline.push_back({at_ms, text});
+    }
+  }
+  if (const JsonValue* migrations = doc.find("migrations");
+      migrations != nullptr &&
+      migrations->type == JsonValue::Type::kArray) {
+    for (const JsonValue& m : migrations->array) {
+      const double at_ms = num_or(m.find("start_sec"), 0) * 1e3;
+      const double copy_us = num_or(m.find("copy_sec"), 0) * 1e6;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "migrate class %d: replica %d -> %d (%d waiting%s, "
+                    "%.0f B state, %.1f us copy)",
+                    int(num_or(m.find("class"), 0)),
+                    int(num_or(m.find("from"), 0)),
+                    int(num_or(m.find("to"), 0)),
+                    int(num_or(m.find("moved_waiting"), 0)),
+                    (m.find("moved_active") != nullptr &&
+                     m.find("moved_active")->boolean)
+                        ? " + in-flight"
+                        : "",
+                    num_or(m.find("state_bytes"), 0), copy_us);
+      timeline.push_back({at_ms, buf});
+    }
+  }
+
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const TimelineEntry& a, const TimelineEntry& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  std::printf("== timeline ==\n");
+  for (const TimelineEntry& e : timeline) {
+    std::printf("  [%10.3f ms] %s\n", e.at_ms, e.text.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, metrics_path, incidents_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--incidents") {
+      incidents_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "fleet_report: unknown argument " << arg << "\n";
+      usage();
+      return 1;
+    }
+  }
+  if (trace_path.empty() && metrics_path.empty() && incidents_path.empty()) {
+    usage();
+    return 1;
+  }
+
+  try {
+    if (!trace_path.empty()) print_trace_section(load_json(trace_path));
+    if (!metrics_path.empty()) print_metrics_section(load_json(metrics_path));
+    if (!incidents_path.empty()) {
+      print_incident_section(load_json(incidents_path));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_report: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -74,32 +74,35 @@ int main(int argc, char** argv) {
   }
   if (check_only) {
     std::printf("trace OK: %zu events (%zu spans, %zu instants, "
-                "%zu counters, %zu metadata)\n",
+                "%zu counters, %zu metadata, %zu flows/%zu flow events)\n",
                 check.events, check.spans, check.instants, check.counters,
-                check.metadata);
+                check.metadata, check.flows, check.flow_events);
     return 0;
   }
 
   const std::vector<cxlgraph::obs::TrackSummary> tracks =
       cxlgraph::obs::summarize_trace(doc);
   if (csv) {
-    std::printf("process,thread,spans,instants,busy_us,window_us,util\n");
+    std::printf("process,thread,spans,instants,flows,busy_us,window_us,util\n");
     for (const auto& t : tracks) {
-      std::printf("%s,%s,%llu,%llu,%.3f,%.3f,%.4f\n", t.process.c_str(),
+      std::printf("%s,%s,%llu,%llu,%llu,%.3f,%.3f,%.4f\n", t.process.c_str(),
                   t.thread.c_str(), static_cast<unsigned long long>(t.spans),
-                  static_cast<unsigned long long>(t.instants), t.busy_us,
+                  static_cast<unsigned long long>(t.instants),
+                  static_cast<unsigned long long>(t.flow_events), t.busy_us,
                   t.last_us - t.first_us, t.utilization());
     }
     return 0;
   }
 
-  std::printf("%-12s %-24s %8s %8s %14s %14s %7s\n", "process", "thread",
-              "spans", "instants", "busy (us)", "window (us)", "util");
+  std::printf("%-12s %-24s %8s %8s %8s %14s %14s %7s\n", "process", "thread",
+              "spans", "instants", "flows", "busy (us)", "window (us)",
+              "util");
   for (const auto& t : tracks) {
-    std::printf("%-12s %-24s %8llu %8llu %14.3f %14.3f %6.1f%%\n",
+    std::printf("%-12s %-24s %8llu %8llu %8llu %14.3f %14.3f %6.1f%%\n",
                 t.process.c_str(), t.thread.c_str(),
                 static_cast<unsigned long long>(t.spans),
-                static_cast<unsigned long long>(t.instants), t.busy_us,
+                static_cast<unsigned long long>(t.instants),
+                static_cast<unsigned long long>(t.flow_events), t.busy_us,
                 t.last_us - t.first_us, 100.0 * t.utilization());
   }
   return 0;
