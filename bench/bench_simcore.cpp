@@ -162,6 +162,32 @@ std::uint64_t checksum_fleet(const serve::FleetReport& r) {
   return f.h;
 }
 
+/// Faulted-fleet rows fold the recovery ledger on top of the fleet
+/// checksum — retry/failure/lost-work accounting per query and the
+/// crash/restart/replacement/io-retry counters — so a recovery-path
+/// change cannot hide behind an unchanged completion profile.
+std::uint64_t checksum_fleet_faulted(const serve::FleetReport& r) {
+  Fnv f;
+  f.mix(checksum_fleet(r));
+  f.mix(r.serve.failed);
+  f.mix(r.serve.query_retries);
+  f.mix(r.serve.lost_bytes);
+  f.mix(r.crashes);
+  f.mix(r.restarts);
+  f.mix(r.replacements);
+  f.mix(r.io_error_retries);
+  f.mix(r.link_degrade_windows);
+  f.mix_double(r.availability);
+  f.mix(r.incidents.size());
+  for (const serve::QueryRecord& q : r.serve.queries) {
+    f.mix(q.retries);
+    f.mix(q.lost_ps);
+    f.mix(q.lost_bytes);
+    f.mix(q.failed ? 1 : 0);
+  }
+  return f.h;
+}
+
 /// Soak rows fold the p99-over-time trajectory, not just the end state:
 /// a thermal-model change that shifts *when* the stack throttles moves a
 /// window percentile even if the aggregate tail happens to match.
@@ -333,6 +359,7 @@ constexpr Golden kGoldens[] = {
     {"serve-mix/cxl",        0x3a7130d4619d4a3bULL},
     {"serve-soak-throttled/cxl", 0x9f350cf45ef2e614ULL},
     {"fleet-serve/cxl",      0x48d4a0e8f363a983ULL},
+    {"fleet-faults/cxl",     0xba91cc53ef29089fULL},
 };
 // clang-format on
 
@@ -405,6 +432,35 @@ serve::FleetRequest smoke_fleet_full_request() {
   req.fleet.elastic.min_replicas = 2;
   req.fleet.elastic.max_replicas = 6;
   req.fleet.elastic.check_interval_sec = 250e-6;
+  return req;
+}
+
+/// The fleet *fault* configuration: the smoke fleet under a fixed fault
+/// plan with every fault kind drawn — two crash-restarts, two transient
+/// I/O error bursts, and one link-degradation window — plus the query
+/// retry policy exercised. The plan is a pure function of its seed, so
+/// the recovery path (abort, re-route, backoff, lost-work accounting)
+/// checksums stably on the golden table.
+serve::FleetRequest smoke_fleet_faults_request() {
+  serve::FleetRequest req = smoke_fleet_request();
+  // Offer enough load that the replicas are continuously busy — a crash
+  // then lands on in-flight work, so the retry/lost-work ledger is
+  // exercised rather than every crash hitting an idle replica.
+  req.workload.offered_qps = 12'000.0;
+  fault::FaultSpec& faults = req.fleet.faults;
+  faults.seed = 77;
+  faults.horizon_sec = 0.005;
+  faults.crashes = 3;
+  faults.restart_sec = 0.0015;
+  faults.io_bursts = 2;
+  faults.io_burst_sec = 0.002;
+  faults.io_error_rate = 0.5;
+  faults.io_retry_us = 40.0;
+  faults.link_flaps = 1;
+  faults.flap_sec = 0.001;
+  faults.flap_derate = 0.5;
+  faults.max_query_retries = 2;
+  faults.retry_backoff_us = 80.0;
   return req;
 }
 
@@ -490,6 +546,8 @@ std::vector<std::uint64_t> compute_identity_checksums(
   serve::FleetServer fleet(cfg, /*jobs=*/1);
   fleet.set_telemetry(telemetry);
   sums.push_back(checksum_fleet(fleet.serve(g, smoke_fleet_request())));
+  sums.push_back(
+      checksum_fleet_faulted(fleet.serve(g, smoke_fleet_faults_request())));
   return sums;
 }
 
@@ -737,6 +795,28 @@ int run_simcore(int argc, char** argv) {
     if (!fr.serve.conservation_ok()) {
       std::cerr << "IDENTITY MISMATCH fleet_serve_cxl: byte conservation "
                    "violated\n";
+      identity_ok = false;
+    }
+    rows.push_back(row);
+  }
+
+  {
+    serve::FleetServer fleet(cfg, /*jobs=*/1);
+    BenchRow row;
+    row.name = "fleet_faults_cxl";
+    const auto start = Clock::now();
+    const serve::FleetReport fr = fleet.serve(g, smoke_fleet_faults_request());
+    row.wall_sec = seconds_since(start);
+    row.checksum = checksum_fleet_faulted(fr);
+    row.work_items = fr.serve.completed;
+    if (!fr.serve.conservation_ok()) {
+      std::cerr << "IDENTITY MISMATCH fleet_faults_cxl: extended byte "
+                   "conservation violated\n";
+      identity_ok = false;
+    }
+    if (fr.crashes == 0 || fr.serve.query_retries == 0) {
+      std::cerr << "IDENTITY MISMATCH fleet_faults_cxl: fault plan drew no "
+                   "crashes / recovery retried nothing\n";
       identity_ok = false;
     }
     rows.push_back(row);

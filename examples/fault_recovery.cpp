@@ -1,0 +1,193 @@
+/// \file fault_recovery.cpp
+/// Fault injection and failure recovery walkthrough: what the serving
+/// fleet does when replicas crash, I/O goes bad, and the interconnect
+/// flaps — all from a seeded, perfectly reproducible fault plan.
+///
+///  1. generate a graph, define the tenant mix, probe one-stack
+///     capacity, and run a clean baseline over 3 replicas,
+///  2. replay the identical workload under crash-restarts: waiting
+///     queries re-route through the router for free, the in-flight
+///     query loses its completed supersteps and retries after a bounded
+///     backoff — read the recovery ledger (retries, lost work,
+///     availability) next to the clean run,
+///  3. exhaust the retry budget: permanent crashes with zero retries
+///     turn aborted queries into the `failed` terminal disposition, and
+///     the dispositions still partition exactly,
+///  4. let the elastic controller replace a permanently-crashed replica
+///     after a provisioning delay and watch the fleet heal,
+///  5. degrade I/O and the interconnect: error bursts and a link flap
+///     stretch latency but never drop a byte — the extended
+///     conservation ledger (link == query + lost) balances bit-exactly.
+///
+///   ./example_fault_recovery [--scale=12] [--seed=42] [--jobs=0]
+
+#include <iostream>
+#include <stdexcept>
+
+#include "graph/datasets.hpp"
+#include "serve/fleet.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cxlgraph;
+
+  util::CliParser cli;
+  cli.add_option("scale", "log2 of the vertex count", "12");
+  cli.add_option("seed", "random seed", "42");
+  cli.add_option("jobs", "worker threads for query profiling", "0");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto scale = static_cast<unsigned>(cli.get_int("scale"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::int64_t jobs = cli.get_int("jobs");
+  if (jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
+
+  std::cout << "Generating a uniform-random graph (2^" << scale
+            << " vertices)...\n";
+  const graph::CsrGraph g =
+      graph::make_dataset(graph::DatasetId::kUrand, scale,
+                          /*weighted=*/true, seed);
+  std::cout << "  " << g.num_vertices() << " vertices, " << g.num_edges()
+            << " edges\n\n";
+
+  serve::FleetServer fleet(core::table3_system(),
+                           static_cast<unsigned>(jobs));
+
+  // Two tenants: short BFS lookups and heavy PageRank-style scans.
+  serve::FleetRequest req;
+  req.base.backend = core::BackendKind::kCxl;
+  req.workload.seed = seed;
+  req.workload.num_queries = 96;
+  req.workload.source_pool = 8;
+  serve::QueryClass bfs;
+  bfs.algorithm = core::Algorithm::kBfs;
+  bfs.weight = 3.0;
+  serve::QueryClass scan;
+  scan.algorithm = core::Algorithm::kPagerankScan;
+  scan.weight = 1.0;
+  req.workload.mix = {bfs, scan};
+  req.fleet.replicas = 3;
+  req.fleet.router = serve::RouterKind::kJoinShortestQueue;
+
+  // Capacity probe: one query at a time on a single idle stack.
+  serve::QueryServer probe_server(core::table3_system(),
+                                  static_cast<unsigned>(jobs));
+  serve::ServeRequest probe;
+  probe.base = req.base;
+  probe.workload = req.workload;
+  probe.workload.offered_qps = 0.001;
+  probe.workload.num_queries = 16;
+  const serve::ServeReport idle = probe_server.serve(g, probe);
+  const double capacity_qps = 1.0e6 / idle.service_us.mean;
+  req.workload.offered_qps = capacity_qps * 1.5 * 3.0;
+  const double horizon_sec =
+      static_cast<double>(req.workload.num_queries) /
+      req.workload.offered_qps;
+  std::cout << "One-stack capacity: " << util::fmt(capacity_qps, 1)
+            << " qps; offering 1.5x across 3 replicas ("
+            << util::fmt(req.workload.offered_qps, 1) << " qps)\n\n";
+
+  const auto ledger_row = [](util::TablePrinter& t, const char* name,
+                             const serve::FleetReport& r) {
+    t.add_row({name, std::to_string(r.serve.completed),
+               std::to_string(r.serve.failed),
+               std::to_string(r.serve.query_retries),
+               util::fmt(r.serve.lost_work_sec * 1e3, 3),
+               util::fmt(r.availability, 4),
+               util::fmt(r.serve.latency_us.p99 / 1e3, 3)});
+  };
+
+  // ---------------------------------------------------------------
+  // 1 + 2. Clean baseline vs crash-restarts, identical workload.
+  // ---------------------------------------------------------------
+  std::cout << "=== crash-restarts vs the clean run ===\n";
+  const serve::FleetReport clean = fleet.serve(g, req);
+
+  serve::FleetRequest crashy = req;
+  crashy.fleet.faults.seed = seed;
+  crashy.fleet.faults.horizon_sec = horizon_sec;
+  crashy.fleet.faults.crashes = 2;
+  crashy.fleet.faults.restart_sec = horizon_sec / 8.0;
+  crashy.fleet.faults.max_query_retries = 3;
+  crashy.fleet.faults.retry_backoff_us = 80.0;
+  const serve::FleetReport restarted = fleet.serve(g, crashy);
+
+  util::TablePrinter ledger({"run", "completed", "failed", "retries",
+                             "lost_ms", "avail", "p99_ms"});
+  ledger_row(ledger, "clean", clean);
+  ledger_row(ledger, "crash-restart", restarted);
+  ledger.print(std::cout);
+  std::cout << "  " << restarted.crashes << " crashes, "
+            << restarted.restarts << " restarts, "
+            << restarted.incidents.size()
+            << " health incidents; every aborted attempt's bytes sit in "
+               "the lost-work ledger\n";
+
+  // ---------------------------------------------------------------
+  // 3. Permanent crashes, zero retry budget: the failed disposition.
+  // ---------------------------------------------------------------
+  std::cout << "\n=== permanent crashes, no retries ===\n";
+  serve::FleetRequest harsh = crashy;
+  harsh.fleet.faults.restart_sec = 0.0;  // permanent
+  harsh.fleet.faults.max_query_retries = 0;
+  const serve::FleetReport perm = fleet.serve(g, harsh);
+  ledger_row(ledger, "permanent", perm);
+  const serve::ServeReport& s = perm.serve;
+  std::cout << "  completed " << s.completed << " + shed " << s.shed
+            << " + failed " << s.failed << " == offered " << s.offered
+            << (s.completed + s.shed + s.failed == s.offered ? "  (exact)"
+                                                             : "  (BROKEN)")
+            << "\n";
+
+  // ---------------------------------------------------------------
+  // 4. Elastic replacement heals the fleet.
+  // ---------------------------------------------------------------
+  std::cout << "\n=== elastic replacement after a permanent crash ===\n";
+  serve::FleetRequest healed = harsh;
+  healed.fleet.faults.max_query_retries = 3;
+  healed.fleet.faults.provision_sec = horizon_sec / 8.0;
+  healed.fleet.elastic.enabled = true;
+  healed.fleet.elastic.min_replicas = 2;
+  healed.fleet.elastic.max_replicas = 6;
+  healed.fleet.elastic.check_interval_sec = horizon_sec / 32.0;
+  const serve::FleetReport rep = fleet.serve(g, healed);
+  ledger_row(ledger, "replaced", rep);
+  std::cout << "  " << rep.crashes << " permanent crashes, "
+            << rep.replacements
+            << " replacements provisioned; peak fleet size "
+            << rep.peak_replicas << "\n";
+
+  // ---------------------------------------------------------------
+  // 5. I/O error bursts + a link flap: delay, never loss.
+  // ---------------------------------------------------------------
+  std::cout << "\n=== I/O bursts + link flap (bytes delayed, never "
+               "dropped) ===\n";
+  serve::FleetRequest noisy = req;
+  noisy.fleet.faults.seed = seed;
+  noisy.fleet.faults.horizon_sec = horizon_sec;
+  noisy.fleet.faults.io_bursts = 2;
+  noisy.fleet.faults.io_burst_sec = horizon_sec / 4.0;
+  noisy.fleet.faults.io_error_rate = 0.4;
+  noisy.fleet.faults.io_retry_us = 40.0;
+  noisy.fleet.faults.link_flaps = 1;
+  noisy.fleet.faults.flap_sec = horizon_sec / 6.0;
+  noisy.fleet.faults.flap_derate = 0.5;
+  const serve::FleetReport io = fleet.serve(g, noisy);
+  ledger_row(ledger, "io+flap", io);
+  ledger.print(std::cout);
+  std::cout << "  " << io.io_error_retries << " transient I/O retries, "
+            << io.link_degrade_windows << " degraded link window(s)\n"
+            << "  conservation: link " << io.serve.link_bytes
+            << " == query " << io.serve.query_bytes << " + lost "
+            << io.serve.lost_bytes
+            << (io.serve.conservation_ok() ? "  (exact)" : "  (BROKEN)")
+            << "\n";
+
+  std::cout << "\nEvery run above is a pure function of (workload seed, "
+               "fault seed):\nsame flags, same crashes, same picosecond "
+               "— on any machine, at any --jobs.\n";
+  return 0;
+}

@@ -1,0 +1,229 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/cli.hpp"
+
+namespace cxlgraph::fault {
+
+namespace {
+
+/// 53-bit mantissa → [0, 1), the same mapping Xoshiro256::next_double
+/// uses, so fault draws share the repo-wide uniform convention.
+double unit_from(std::uint64_t bits) noexcept {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// One hash per (seed, tag, index): seeds a SplitMix64 with the three
+/// mixed together and takes its first output. Tags separate the event
+/// dimensions (crash time vs crash target vs burst time ...) so no two
+/// draws alias.
+std::uint64_t hash3(std::uint64_t seed, std::uint64_t tag,
+                    std::uint64_t index) noexcept {
+  util::SplitMix64 mixer(seed ^ (tag * 0x9e3779b97f4a7c15ULL) ^
+                         (index * 0xbf58476d1ce4e5b9ULL));
+  return mixer.next();
+}
+
+util::SimTime ps_from_sec(double sec) noexcept {
+  return static_cast<util::SimTime>(sec * static_cast<double>(util::kPsPerSec) +
+                                    0.5);
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("fault spec: " + what);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) fail("trailing characters in " + key + "=" + value);
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    fail("malformed number in " + key + "=" + value);
+  } catch (const std::out_of_range&) {
+    fail("out-of-range number in " + key + "=" + value);
+  }
+}
+
+std::uint64_t parse_count(const std::string& key, const std::string& value) {
+  const double parsed = parse_double(key, value);
+  if (parsed < 0.0 || parsed != static_cast<double>(
+                                    static_cast<std::uint64_t>(parsed))) {
+    fail(key + " must be a non-negative integer, got " + value);
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kReplicaCrash:
+      return "replica-crash";
+    case FaultKind::kIoErrorBurst:
+      return "io-error-burst";
+    case FaultKind::kLinkDegrade:
+      return "link-degrade";
+  }
+  return "?";
+}
+
+void validate(const FaultSpec& spec) {
+  if (!spec.enabled()) return;
+  if (spec.horizon_sec <= 0.0) {
+    fail("horizon must be > 0 when any fault count is set");
+  }
+  if (spec.restart_sec < 0.0) fail("restart delay must be >= 0");
+  if (spec.provision_sec < 0.0) fail("provision delay must be >= 0");
+  if (spec.io_bursts > 0) {
+    if (spec.io_burst_sec <= 0.0) fail("io burst window must be > 0");
+    if (spec.io_error_rate < 0.0 || spec.io_error_rate > 1.0) {
+      fail("io error rate must be in [0, 1]");
+    }
+    if (spec.io_retry_us < 0.0) fail("io retry backoff must be >= 0");
+    if (spec.io_max_retries == 0) fail("io retry budget must be >= 1");
+  }
+  if (spec.link_flaps > 0) {
+    if (spec.flap_sec <= 0.0) fail("link flap window must be > 0");
+    if (spec.flap_derate < 0.0 || spec.flap_derate > 1.0) {
+      fail("link derate factor must be in [0, 1]");
+    }
+  }
+  if (spec.retry_backoff_us < 0.0) fail("query retry backoff must be >= 0");
+}
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec out;
+  for (const std::string& item : util::split_csv(spec)) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) fail("expected key=value, got \"" + item + "\"");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      out.seed = parse_count(key, value);
+    } else if (key == "horizon-ms") {
+      out.horizon_sec = parse_double(key, value) * 1e-3;
+    } else if (key == "crashes") {
+      out.crashes = static_cast<std::uint32_t>(parse_count(key, value));
+    } else if (key == "restart-ms") {
+      out.restart_sec = parse_double(key, value) * 1e-3;
+    } else if (key == "provision-ms") {
+      out.provision_sec = parse_double(key, value) * 1e-3;
+    } else if (key == "io-bursts") {
+      out.io_bursts = static_cast<std::uint32_t>(parse_count(key, value));
+    } else if (key == "io-burst-ms") {
+      out.io_burst_sec = parse_double(key, value) * 1e-3;
+    } else if (key == "io-rate") {
+      out.io_error_rate = parse_double(key, value);
+    } else if (key == "io-retry-us") {
+      out.io_retry_us = parse_double(key, value);
+    } else if (key == "io-max-retries") {
+      out.io_max_retries = static_cast<std::uint32_t>(parse_count(key, value));
+    } else if (key == "link-flaps") {
+      out.link_flaps = static_cast<std::uint32_t>(parse_count(key, value));
+    } else if (key == "flap-ms") {
+      out.flap_sec = parse_double(key, value) * 1e-3;
+    } else if (key == "flap-derate") {
+      out.flap_derate = parse_double(key, value);
+    } else if (key == "query-retries") {
+      out.max_query_retries =
+          static_cast<std::uint32_t>(parse_count(key, value));
+    } else if (key == "backoff-us") {
+      out.retry_backoff_us = parse_double(key, value);
+    } else {
+      fail("unknown key \"" + key +
+           "\" (valid: seed, horizon-ms, crashes, restart-ms, provision-ms, "
+           "io-bursts, io-burst-ms, io-rate, io-retry-us, io-max-retries, "
+           "link-flaps, flap-ms, flap-derate, query-retries, backoff-us)");
+    }
+  }
+  validate(out);
+  return out;
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec, std::uint32_t replicas)
+    : spec_(spec) {
+  validate(spec);
+  if (!spec.enabled() || replicas == 0) return;
+  const double horizon_ps =
+      spec.horizon_sec * static_cast<double>(util::kPsPerSec);
+  const auto at_of = [&](std::uint64_t tag, std::uint32_t i) {
+    return static_cast<util::SimTime>(
+        horizon_ps * unit_from(hash3(spec.seed, tag, i)) + 0.5);
+  };
+  events_.reserve(spec.crashes + spec.io_bursts + spec.link_flaps);
+  for (std::uint32_t i = 0; i < spec.crashes; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kReplicaCrash;
+    e.at = at_of(1, i);
+    e.target = static_cast<std::uint32_t>(hash3(spec.seed, 2, i) % replicas);
+    e.duration = ps_from_sec(spec.restart_sec);
+    events_.push_back(e);
+  }
+  for (std::uint32_t i = 0; i < spec.io_bursts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kIoErrorBurst;
+    e.at = at_of(3, i);
+    e.target = static_cast<std::uint32_t>(hash3(spec.seed, 4, i) % replicas);
+    e.duration = ps_from_sec(spec.io_burst_sec);
+    e.magnitude = spec.io_error_rate;
+    events_.push_back(e);
+  }
+  for (std::uint32_t i = 0; i < spec.link_flaps; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLinkDegrade;
+    e.at = at_of(5, i);
+    e.duration = ps_from_sec(spec.flap_sec);
+    e.magnitude = spec.flap_derate;
+    events_.push_back(e);
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::make_tuple(a.at, static_cast<int>(a.kind), a.target) <
+                     std::make_tuple(b.at, static_cast<int>(b.kind), b.target);
+            });
+}
+
+bool FaultPlan::error_draw(std::uint64_t seed, std::uint64_t stream,
+                           std::uint64_t draw, double rate) noexcept {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  util::SplitMix64 mixer(seed ^ (stream * 0x94d049bb133111ebULL) ^
+                         (draw * 0x2545f4914f6cdd1dULL));
+  return unit_from(mixer.next()) < rate;
+}
+
+void validate(const IoFaultParams& params) {
+  if (!params.enabled) return;
+  if (params.error_rate < 0.0 || params.error_rate > 1.0) {
+    throw std::invalid_argument(
+        "io fault params: error_rate must be in [0, 1]");
+  }
+  if (params.max_retries == 0) {
+    throw std::invalid_argument(
+        "io fault params: max_retries must be >= 1 when enabled");
+  }
+}
+
+util::SimTime io_fault_penalty(const IoFaultParams& params,
+                               std::uint64_t request, std::uint32_t* errors) {
+  std::uint32_t count = 0;
+  util::SimTime penalty = 0;
+  if (params.enabled) {
+    while (count < params.max_retries &&
+           FaultPlan::error_draw(params.seed, request, count,
+                                 params.error_rate)) {
+      ++count;
+      penalty += params.retry_base * static_cast<util::SimTime>(count);
+    }
+  }
+  if (errors != nullptr) *errors = count;
+  return penalty;
+}
+
+}  // namespace cxlgraph::fault

@@ -11,6 +11,9 @@ const char* to_string(IncidentKind kind) noexcept {
     case IncidentKind::kQueueTrend: return "queue-trend";
     case IncidentKind::kThrottle: return "throttle";
     case IncidentKind::kSloViolations: return "slo-violations";
+    case IncidentKind::kReplicaDown: return "replica-down";
+    case IncidentKind::kIoErrorBurst: return "io-error-burst";
+    case IncidentKind::kLinkDegraded: return "link-degraded";
   }
   return "?";
 }
@@ -33,6 +36,9 @@ IncidentSeverity base_severity(IncidentKind kind) noexcept {
     case IncidentKind::kQueueTrend: return IncidentSeverity::kInfo;
     case IncidentKind::kThrottle: return IncidentSeverity::kWarning;
     case IncidentKind::kSloViolations: return IncidentSeverity::kWarning;
+    case IncidentKind::kReplicaDown: return IncidentSeverity::kCritical;
+    case IncidentKind::kIoErrorBurst: return IncidentSeverity::kWarning;
+    case IncidentKind::kLinkDegraded: return IncidentSeverity::kWarning;
   }
   return IncidentSeverity::kInfo;
 }
@@ -188,6 +194,71 @@ void HealthMonitor::observe_completion(util::SimTime now, bool slo_violated) {
   }
 }
 
+std::int64_t HealthMonitor::observe_crash(util::SimTime now,
+                                          std::uint32_t replica, bool down) {
+  if (open_down_.size() <= replica) open_down_.resize(replica + 1, -1);
+  std::int64_t& slot = open_down_[replica];
+  if (down) {
+    if (slot < 0) {
+      slot = static_cast<std::int64_t>(
+          open_new(IncidentKind::kReplicaDown,
+                   "replica" + std::to_string(replica), now, 0.0, 1.0));
+    } else {
+      touch(slot, now, 1.0);
+    }
+    return incidents_[static_cast<std::size_t>(slot)].id;
+  }
+  const std::int64_t id =
+      slot < 0 ? -1 : incidents_[static_cast<std::size_t>(slot)].id;
+  close(slot, now);
+  return id;
+}
+
+void HealthMonitor::observe_io_burst(util::SimTime now, std::uint32_t replica,
+                                     bool active, double rate) {
+  if (open_io_.size() <= replica) open_io_.resize(replica + 1, -1);
+  std::int64_t& slot = open_io_[replica];
+  if (active) {
+    if (slot < 0) {
+      slot = static_cast<std::int64_t>(
+          open_new(IncidentKind::kIoErrorBurst,
+                   "replica" + std::to_string(replica), now, rate, 0.0));
+    } else {
+      touch(slot, now, rate);
+    }
+  } else {
+    close(slot, now);
+  }
+}
+
+void HealthMonitor::observe_io_errors(util::SimTime now, std::uint32_t replica,
+                                      std::uint32_t errors) {
+  if (open_io_.size() <= replica) open_io_.resize(replica + 1, -1);
+  std::int64_t& slot = open_io_[replica];
+  if (slot < 0) {
+    slot = static_cast<std::int64_t>(
+        open_new(IncidentKind::kIoErrorBurst,
+                 "replica" + std::to_string(replica), now, 0.0,
+                 static_cast<double>(errors)));
+    return;
+  }
+  touch(slot, now, static_cast<double>(errors));
+}
+
+void HealthMonitor::observe_link(util::SimTime now, bool degraded,
+                                 double factor) {
+  if (degraded) {
+    if (open_link_ < 0) {
+      open_link_ = static_cast<std::int64_t>(open_new(
+          IncidentKind::kLinkDegraded, "fleet", now, factor, factor));
+    } else {
+      touch(open_link_, now, factor);
+    }
+  } else {
+    close(open_link_, now);
+  }
+}
+
 std::int64_t HealthMonitor::open_incident(IncidentKind kind) const noexcept {
   std::int64_t index = -1;
   switch (kind) {
@@ -195,7 +266,10 @@ std::int64_t HealthMonitor::open_incident(IncidentKind kind) const noexcept {
     case IncidentKind::kUnderload: index = open_underload_; break;
     case IncidentKind::kQueueTrend: index = open_trend_; break;
     case IncidentKind::kSloViolations: index = open_slo_; break;
+    case IncidentKind::kLinkDegraded: index = open_link_; break;
     case IncidentKind::kThrottle: return -1;  // per-replica, not fleet-wide
+    case IncidentKind::kReplicaDown: return -1;   // per-replica
+    case IncidentKind::kIoErrorBurst: return -1;  // per-replica
   }
   if (index < 0) return -1;
   return incidents_[static_cast<std::size_t>(index)].id;

@@ -36,6 +36,9 @@ enum class IncidentKind : std::uint8_t {
   kQueueTrend,
   kThrottle,
   kSloViolations,
+  kReplicaDown,    ///< replica crashed (fault layer)
+  kIoErrorBurst,   ///< transient I/O error window on a replica
+  kLinkDegraded,   ///< fleet interconnect derate / outage window
 };
 
 enum class IncidentSeverity : std::uint8_t { kInfo, kWarning, kCritical };
@@ -90,6 +93,27 @@ class HealthMonitor {
   /// Feeds one query completion (violated = finished past its SLO).
   void observe_completion(util::SimTime now, bool slo_violated);
 
+  /// Feeds a replica crash (down = true) or recovery (down = false).
+  /// Returns the id of the kReplicaDown incident opened / closed, or -1
+  /// when a recovery arrives with no matching open incident — this is
+  /// what crash-triggered scaling events link against.
+  std::int64_t observe_crash(util::SimTime now, std::uint32_t replica,
+                             bool down);
+
+  /// Feeds an I/O error-burst window edge for one replica; `rate` is
+  /// the per-request error probability inside the window.
+  void observe_io_burst(util::SimTime now, std::uint32_t replica, bool active,
+                        double rate);
+
+  /// Folds `errors` observed transient I/O errors into the replica's
+  /// open burst incident (opens one if the window edge was missed).
+  void observe_io_errors(util::SimTime now, std::uint32_t replica,
+                         std::uint32_t errors);
+
+  /// Feeds a link degradation window edge; `factor` is the remaining
+  /// bandwidth fraction (0 = outage).
+  void observe_link(util::SimTime now, bool degraded, double factor);
+
   /// Id of the currently-open incident of `kind` (fleet-scoped kinds
   /// only), or -1 — this is what scaling events link against.
   std::int64_t open_incident(IncidentKind kind) const noexcept;
@@ -113,7 +137,10 @@ class HealthMonitor {
   std::int64_t open_underload_ = -1;
   std::int64_t open_trend_ = -1;
   std::int64_t open_slo_ = -1;
+  std::int64_t open_link_ = -1;
   std::vector<std::int64_t> open_throttle_;  ///< per replica
+  std::vector<std::int64_t> open_down_;      ///< per replica
+  std::vector<std::int64_t> open_io_;        ///< per replica
 
   double prev_depth_ = 0.0;
   bool have_prev_depth_ = false;

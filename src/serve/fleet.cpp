@@ -39,61 +39,6 @@ obs::HealthConfig health_config(const ElasticConfig& elastic) {
   return h;
 }
 
-void validate_fleet(const FleetConfig& fleet, std::size_t num_classes) {
-  if (fleet.replicas == 0) {
-    throw std::invalid_argument("fleet needs at least one replica");
-  }
-  for (const TenantQuota& q : fleet.quotas) {
-    if (q.class_index >= num_classes) {
-      throw std::invalid_argument("quota tenant class " +
-                                  std::to_string(q.class_index) +
-                                  " out of range (workload has " +
-                                  std::to_string(num_classes) + " classes)");
-    }
-  }
-  for (const MigrationPlan& m : fleet.migrations) {
-    if (m.class_index >= num_classes) {
-      throw std::invalid_argument("migration tenant class " +
-                                  std::to_string(m.class_index) +
-                                  " out of range (workload has " +
-                                  std::to_string(num_classes) + " classes)");
-    }
-    if (m.from >= fleet.replicas || m.to >= fleet.replicas) {
-      throw std::invalid_argument(
-          "migration endpoints " + std::to_string(m.from) + "->" +
-          std::to_string(m.to) + " out of range for " +
-          std::to_string(fleet.replicas) + " replicas");
-    }
-    if (m.from == m.to) {
-      throw std::invalid_argument("migration source == target (replica " +
-                                  std::to_string(m.from) + ")");
-    }
-    if (m.at_sec < 0.0) {
-      throw std::invalid_argument("migration time must be >= 0");
-    }
-  }
-  if (fleet.elastic.enabled) {
-    const ElasticConfig& e = fleet.elastic;
-    if (e.min_replicas == 0) {
-      throw std::invalid_argument("elastic min_replicas must be >= 1");
-    }
-    if (e.min_replicas > fleet.replicas || fleet.replicas > e.max_replicas) {
-      throw std::invalid_argument(
-          "elastic bounds must satisfy min <= replicas <= max (" +
-          std::to_string(e.min_replicas) + " <= " +
-          std::to_string(fleet.replicas) +
-          " <= " + std::to_string(e.max_replicas) + ")");
-    }
-    if (e.check_interval_sec <= 0.0) {
-      throw std::invalid_argument("elastic check interval must be > 0");
-    }
-    if (e.scale_up_depth <= e.scale_down_depth) {
-      throw std::invalid_argument(
-          "elastic scale_up_depth must exceed scale_down_depth");
-    }
-  }
-}
-
 /// The fleet-wide frontend of one queueing simulation: routing, quotas,
 /// SLO shedding, migrations, and the elastic controller, over a set of
 /// ReplicaSims on the shared clock. Lives on the stack for one serve().
@@ -109,8 +54,35 @@ struct FleetSim {
     bool draining = false;
     bool retired = false;
     util::SimTime retired_at = 0;
+    std::uint32_t crashes = 0;
+    util::SimTime down_since = 0;
+    util::SimTime downtime = 0;
   };
   std::vector<ReplicaMeta> meta;
+
+  /// Seeded fault schedule (empty when the spec is disabled) and the
+  /// fault-window state it drives. All of this is dead weight on the
+  /// default path: dead_count stays 0 and the seams are never installed.
+  fault::FaultPlan plan;
+  std::uint32_t dead_count = 0;
+  std::uint32_t crashes_total = 0;
+  std::uint32_t restarts_total = 0;
+  std::uint32_t replacements_total = 0;
+  std::uint64_t io_retries_total = 0;
+  std::uint32_t link_windows_total = 0;
+  /// Per-replica I/O error-burst windows and the shared draw counter
+  /// (single-threaded queueing sim: the consumption order is the event
+  /// order, deterministic by construction).
+  std::vector<util::SimTime> io_until;
+  std::vector<double> io_rate;
+  std::uint64_t io_draws = 0;
+  /// Fleet-wide link degradation window.
+  util::SimTime link_until = 0;
+  double link_factor = 1.0;
+  /// Revivals / replacements still scheduled: while > 0, queries that
+  /// find no live replica park in `orphans` instead of failing outright.
+  std::uint32_t pending_recoveries = 0;
+  std::vector<std::size_t> orphans;
 
   util::Xoshiro256 router_rng;
   /// Per-tenant admission state (indexed by class; 0 limit = unbounded).
@@ -156,12 +128,14 @@ struct FleetSim {
   std::uint16_t track_control = 0;  ///< ("fleet","control"): timeline
   std::uint32_t n_migrate = 0, n_copy_landed = 0;
   std::uint32_t n_scale_up = 0, n_scale_down = 0;
+  std::uint32_t n_crash = 0, n_restart = 0, n_replace = 0;
   std::uint32_t k_class = 0, k_replica = 0;
 
   FleetSim(const FleetConfig& fleet_in, SimShared& shared_in,
            std::size_t num_classes)
       : fleet(fleet_in),
         shared(shared_in),
+        plan(fleet_in.faults, fleet_in.replicas),
         router_rng(fleet_in.router_seed),
         quota_limit(num_classes, 0),
         in_flight(num_classes, 0),
@@ -181,12 +155,19 @@ struct FleetSim {
     shared.on_throttle = [this](std::uint32_t k, bool throttled) {
       monitor.observe_throttle(shared.sim.now(), k, throttled);
     };
+    if (plan.active()) {
+      shared.fault_stretch = [this](std::uint32_t k, util::SimTime d) {
+        return fault_extra(k, d);
+      };
+    }
   }
 
   ReplicaSim& add_replica() {
     const std::uint32_t k = static_cast<std::uint32_t>(replicas.size());
     ReplicaSim& r = replicas.emplace_back(shared, k);
     meta.push_back(ReplicaMeta{shared.sim.now(), false, false, 0});
+    io_until.push_back(0);
+    io_rate.push_back(0.0);
     if (fleet_telemetry) attach_replica_telemetry(r);
     return r;
   }
@@ -210,13 +191,16 @@ struct FleetSim {
       n_copy_landed = tr.intern("copy-landed");
       n_scale_up = tr.intern("scale-up");
       n_scale_down = tr.intern("scale-down");
+      n_crash = tr.intern("crash");
+      n_restart = tr.intern("restart");
+      n_replace = tr.intern("replace");
       k_class = tr.intern("class");
       k_replica = tr.intern("replica");
     }
   }
 
   bool routable(std::uint32_t k) const {
-    return !meta[k].draining && !meta[k].retired;
+    return !meta[k].draining && !meta[k].retired && !replicas[k].dead;
   }
   std::vector<std::uint32_t> routable_set() const {
     std::vector<std::uint32_t> out;
@@ -227,11 +211,20 @@ struct FleetSim {
       // Every replica draining or retired (transiently possible if a
       // migration target was later drained): fall back to the live set.
       for (std::uint32_t k = 0; k < replicas.size(); ++k) {
-        if (!meta[k].retired) out.push_back(k);
+        if (!meta[k].retired && !replicas[k].dead) out.push_back(k);
       }
     }
     if (out.empty()) out.push_back(0);
     return out;
+  }
+  /// Any replica a query could legally land on right now? (The {0}
+  /// fallback above exists for the no-fault invariant that someone is
+  /// always alive; with crashes in play, callers must check first.)
+  bool has_live() const {
+    for (std::uint32_t k = 0; k < replicas.size(); ++k) {
+      if (!meta[k].retired && !replicas[k].dead) return true;
+    }
+    return false;
   }
 
   double total_depth() const {
@@ -254,7 +247,8 @@ struct FleetSim {
   std::uint32_t route(std::size_t i) {
     const QueryRecord& r = shared.records[i];
     const auto pinned = route_override.find(r.class_index);
-    if (pinned != route_override.end() && !meta[pinned->second].retired) {
+    if (pinned != route_override.end() && !meta[pinned->second].retired &&
+        !replicas[pinned->second].dead) {
       return pinned->second;
     }
     const std::vector<std::uint32_t> set = routable_set();
@@ -287,6 +281,22 @@ struct FleetSim {
       record_depth();
       return;
     }
+    if (dead_count > 0 && !has_live()) {
+      // Total outage: nowhere to place the query. It still counts as
+      // admitted (symmetric bookkeeping — failure releases the quota
+      // slot through on_failed); if a restart or replacement is coming
+      // it parks until then, otherwise it can only fail.
+      ++shared.admitted;
+      if (shared.telemetry != nullptr) shared.note_admission(i, false);
+      ++in_flight[cls];
+      if (pending_recoveries > 0) {
+        orphans.push_back(i);
+      } else {
+        shared.fail_query(i);
+      }
+      record_depth();
+      return;
+    }
     if (fleet.slo_shedding) {
       // Feasibility on the emptiest routable replica: if even its backlog
       // plus this query's full demand busts the deadline, serving it only
@@ -312,6 +322,14 @@ struct FleetSim {
     }
     ++in_flight[cls];
     rep.admit(i);
+    record_depth();
+  }
+
+  void on_failed(std::size_t i) {
+    // Quota release and depth sampling only — failure is deliberately
+    // not a completion for the SLO-rate window.
+    const QueryRecord& r = shared.records[i];
+    if (in_flight[r.class_index] > 0) --in_flight[r.class_index];
     record_depth();
   }
 
@@ -394,7 +412,15 @@ struct FleetSim {
                                          shared.sim.now(), k_class,
                                          state.record.class_index);
     }
-    for (const std::size_t i : state.in_transit) replicas[to].resume(i);
+    for (const std::size_t i : state.in_transit) {
+      if (replicas[to].dead) {
+        // The migration target crashed while the copy was in flight:
+        // the moved queries fall back to the router.
+        reroute(i);
+      } else {
+        replicas[to].resume(i);
+      }
+    }
     state.in_transit.clear();
   }
 
@@ -405,10 +431,277 @@ struct FleetSim {
     MigrationState& state = migrations[m];
     state.record.moved_active = true;
     if (state.delivered) {
-      replicas[state.record.to].resume(i);
+      if (replicas[state.record.to].dead) {
+        reroute(i);
+      } else {
+        replicas[state.record.to].resume(i);
+      }
     } else {
       state.in_transit.push_back(i);
     }
+  }
+
+  // -- Fault injection & recovery ------------------------------------------
+
+  void schedule_faults() {
+    for (const fault::FaultEvent& e : plan.events()) {
+      shared.sim.schedule_at(e.at, [this, &e]() { deliver_fault(e); });
+    }
+  }
+
+  void deliver_fault(const fault::FaultEvent& e) {
+    if (shared.all_resolved()) return;  // workload drained: quiet tail
+    switch (e.kind) {
+      case fault::FaultKind::kReplicaCrash:
+        crash(e);
+        break;
+      case fault::FaultKind::kIoErrorBurst:
+        io_burst(e);
+        break;
+      case fault::FaultKind::kLinkDegrade:
+        link_flap(e);
+        break;
+    }
+  }
+
+  /// The fault seam behind SimShared::fault_stretch: extra wall time for
+  /// a quantum on replica k whose profiled duration is `duration`.
+  util::SimTime fault_extra(std::uint32_t k, util::SimTime duration) {
+    util::SimTime extra = 0;
+    const util::SimTime now = shared.sim.now();
+    const fault::FaultSpec& spec = plan.spec();
+    if (k < io_until.size() && now < io_until[k] && io_rate[k] > 0.0) {
+      // Transient I/O errors: each failed attempt backs off linearly
+      // and retries, up to the cap. The final attempt always delivers —
+      // bytes are delayed, never dropped.
+      std::uint32_t attempt = 0;
+      while (attempt < spec.io_max_retries &&
+             fault::FaultPlan::error_draw(spec.seed, k, io_draws++,
+                                          io_rate[k])) {
+        ++attempt;
+        extra += util::ps_from_us(spec.io_retry_us *
+                                  static_cast<double>(attempt));
+      }
+      if (attempt > 0) {
+        io_retries_total += attempt;
+        monitor.observe_io_errors(now, k, attempt);
+      }
+    }
+    if (now < link_until && link_factor < 1.0) {
+      if (link_factor <= 0.0) {
+        // Outage: the quantum stalls until the link comes back.
+        extra += link_until - now;
+      } else {
+        extra += static_cast<util::SimTime>(
+            static_cast<double>(duration) * (1.0 / link_factor - 1.0) + 0.5);
+      }
+    }
+    return extra;
+  }
+
+  /// The event's target replica if it is alive, else the next live one
+  /// in index order — a plan drawn against the initial fleet keeps
+  /// meaning something after crashes and scale-downs. replicas.size()
+  /// when nothing is left to kill.
+  std::uint32_t crash_victim(std::uint32_t want) const {
+    const auto n = static_cast<std::uint32_t>(replicas.size());
+    for (std::uint32_t d = 0; d < n; ++d) {
+      const std::uint32_t k = (want + d) % n;
+      if (!meta[k].retired && !replicas[k].dead) return k;
+    }
+    return n;
+  }
+
+  void crash(const fault::FaultEvent& e) {
+    const std::uint32_t k = crash_victim(
+        e.target % static_cast<std::uint32_t>(replicas.size()));
+    if (k >= replicas.size()) return;  // whole fleet already down
+    const util::SimTime now = shared.sim.now();
+    ++crashes_total;
+    ++meta[k].crashes;
+    meta[k].down_since = now;
+    ++dead_count;
+    ReplicaSim& rep = replicas[k];
+    rep.on_crash();
+    const std::int64_t incident = monitor.observe_crash(now, k, true);
+    if (fleet_tracing) {
+      shared.telemetry->tracer().instant(track_control, n_crash, now,
+                                         k_replica, k);
+    }
+
+    // Recovery is scheduled before the rerouting below so queries that
+    // find no live replica know whether anyone is coming back.
+    if (e.duration > 0) {
+      ++pending_recoveries;
+      shared.sim.schedule_after(e.duration, [this, k]() { revive(k); });
+    } else if (fleet.elastic.enabled &&
+               active_count() < fleet.elastic.max_replicas) {
+      // A permanent crash is a scale-up trigger: a replacement joins
+      // after the provisioning delay.
+      ++pending_recoveries;
+      const double delay = plan.spec().provision_sec > 0.0
+                               ? plan.spec().provision_sec
+                               : fleet.elastic.check_interval_sec;
+      shared.sim.schedule_after(ps_from_sec(delay), [this, incident]() {
+        join_replacement(incident);
+      });
+    }
+
+    // Waiting queries lose any partial progress and re-route through
+    // the router immediately; they were not in flight, so no retry is
+    // charged against their budget.
+    for (const std::size_t i : rep.take_all_waiting()) {
+      lose_progress(i);
+      reroute(i);
+    }
+    // The in-flight query's completed supersteps are lost; it re-enters
+    // the queue after a deterministic backoff until the retry budget
+    // runs out.
+    const std::size_t aborted = rep.abort_active();
+    if (aborted != kNoQuery) {
+      lose_progress(aborted);
+      QueryRecord& r = shared.records[aborted];
+      if (r.retries >= plan.spec().max_query_retries) {
+        shared.fail_query(aborted);
+      } else {
+        ++r.retries;
+        const util::SimTime backoff = util::ps_from_us(
+            plan.spec().retry_backoff_us * static_cast<double>(r.retries));
+        shared.sim.schedule_after(backoff,
+                                  [this, aborted]() { reroute(aborted); });
+      }
+    }
+    record_depth();
+  }
+
+  /// Discards query i's completed supersteps (crash recovery): any
+  /// followers riding its replay re-enter individually, its accumulated
+  /// stack time and bytes move to the lost-work ledger, and the replay
+  /// restarts from superstep 0.
+  void lose_progress(std::size_t i) {
+    if (shared.config.batch_identical && !shared.followers.empty()) {
+      for (const std::size_t f : shared.followers[i]) {
+        QueryRecord& fr = shared.records[f];
+        fr.batch_follower = false;
+        fr.lost_ps += fr.ride_ps;
+        fr.ride_ps = 0;
+        reroute(f);
+      }
+      shared.followers[i].clear();
+    }
+    QueryRecord& r = shared.records[i];
+    r.lost_ps += r.service_ps;
+    r.lost_bytes += r.service_bytes;
+    r.service_ps = 0;
+    r.service_bytes = 0;
+    shared.next_step[i] = 0;
+  }
+
+  /// Places an already-admitted query back onto the fleet (crash
+  /// recovery): routes like an arrival but bypasses the admission gates
+  /// — the query already holds its quota slot.
+  void reroute(std::size_t i) {
+    const QueryRecord& r = shared.records[i];
+    if (r.shed || r.failed) return;
+    if (dead_count > 0 && !has_live()) {
+      if (pending_recoveries > 0) {
+        orphans.push_back(i);
+      } else {
+        shared.fail_query(i);
+      }
+      return;
+    }
+    replicas[route(i)].resume(i);
+    record_depth();
+  }
+
+  void drain_orphans() {
+    if (orphans.empty()) return;
+    std::vector<std::size_t> parked;
+    parked.swap(orphans);
+    for (const std::size_t i : parked) reroute(i);
+  }
+
+  void revive(std::uint32_t k) {
+    --pending_recoveries;
+    const util::SimTime now = shared.sim.now();
+    meta[k].downtime += now - meta[k].down_since;
+    meta[k].down_since = 0;
+    replicas[k].dead = false;
+    if (dead_count > 0) --dead_count;
+    ++restarts_total;
+    peak_replicas = std::max(peak_replicas, active_count());
+    monitor.observe_crash(now, k, false);
+    if (fleet_tracing) {
+      shared.telemetry->tracer().instant(track_control, n_restart, now,
+                                         k_replica, k);
+    }
+    drain_orphans();
+    record_depth();
+    // Anything parked in the local queue while the swallow was pending
+    // (or just rerouted here) starts as soon as the stack is clear.
+    replicas[k].dispatch();
+  }
+
+  void join_replacement(std::int64_t incident) {
+    --pending_recoveries;
+    if (shared.all_resolved()) return;
+    if (active_count() >= fleet.elastic.max_replicas) {
+      drain_orphans();
+      return;
+    }
+    ReplicaSim& r = add_replica();
+    ++replacements_total;
+    // Peak tracks concurrently-routable replicas: dead slots stay in the
+    // vector (indices are stable), so size() would overstate the fleet
+    // once a crash has retired one.
+    peak_replicas = std::max(peak_replicas, active_count());
+    ScalingEvent ev;
+    ev.at_sec = util::sec_from_ps(shared.sim.now());
+    ev.added = true;
+    ev.replica = r.index;
+    ev.routable_after = active_count();
+    ev.depth_per_replica = static_cast<double>(total_waiting()) /
+                           static_cast<double>(std::max(1u, active_count()));
+    ev.incident = static_cast<std::int32_t>(incident);
+    scaling_events.push_back(ev);
+    if (fleet_tracing) {
+      shared.telemetry->tracer().instant(track_control, n_replace,
+                                         shared.sim.now(), k_replica, r.index);
+    }
+    drain_orphans();
+    record_depth();
+  }
+
+  void io_burst(const fault::FaultEvent& e) {
+    const auto k = static_cast<std::uint32_t>(
+        e.target % static_cast<std::uint32_t>(replicas.size()));
+    const util::SimTime now = shared.sim.now();
+    const util::SimTime until = now + e.duration;
+    io_until[k] = std::max(io_until[k], until);
+    io_rate[k] = e.magnitude;
+    monitor.observe_io_burst(now, k, true, e.magnitude);
+    shared.sim.schedule_at(until, [this, k]() {
+      // Overlapping bursts extend the window; only the last edge closes.
+      if (shared.sim.now() >= io_until[k]) {
+        monitor.observe_io_burst(shared.sim.now(), k, false, 0.0);
+      }
+    });
+  }
+
+  void link_flap(const fault::FaultEvent& e) {
+    const util::SimTime now = shared.sim.now();
+    const util::SimTime until = now + e.duration;
+    link_until = std::max(link_until, until);
+    link_factor = e.magnitude;
+    ++link_windows_total;
+    monitor.observe_link(now, true, e.magnitude);
+    shared.sim.schedule_at(until, [this]() {
+      if (shared.sim.now() >= link_until) {
+        link_factor = 1.0;
+        monitor.observe_link(shared.sim.now(), false, 1.0);
+      }
+    });
   }
 
   // -- Elastic controller --------------------------------------------------
@@ -470,8 +763,7 @@ struct FleetSim {
 
   void grow(double per) {
     ReplicaSim& r = add_replica();
-    peak_replicas =
-        std::max(peak_replicas, static_cast<std::uint32_t>(replicas.size()));
+    peak_replicas = std::max(peak_replicas, active_count());
     cooldown = fleet.elastic.cooldown_intervals;
     ScalingEvent ev;
     ev.at_sec = util::sec_from_ps(shared.sim.now());
@@ -529,6 +821,7 @@ struct FleetSim {
     serve.admitted = shared.admitted;
     serve.completed = shared.completed;
     serve.shed = shared.shed;
+    serve.failed = shared.failed;
     serve.batched = shared.batched;
     serve.makespan_sec = util::sec_from_ps(shared.last_completion);
 
@@ -548,7 +841,14 @@ struct FleetSim {
       const util::SimTime end =
           meta[k].retired ? meta[k].retired_at : shared.last_completion;
       const util::SimTime life = end > meta[k].joined ? end - meta[k].joined : 0;
-      capacity_ps += life;
+      // Downtime (a still-dead replica counts to the makespan) is not
+      // capacity; 0 without faults, so the denominator is unchanged.
+      util::SimTime down = meta[k].downtime;
+      if (r.dead && meta[k].down_since > 0 && end > meta[k].down_since) {
+        down += end - meta[k].down_since;
+      }
+      const util::SimTime alive = life > down ? life - down : 0;
+      capacity_ps += alive;
 
       ReplicaStats stats;
       stats.replica = k;
@@ -561,9 +861,11 @@ struct FleetSim {
       stats.joined_sec = util::sec_from_ps(meta[k].joined);
       stats.retired = meta[k].retired;
       stats.retired_sec = util::sec_from_ps(meta[k].retired_at);
-      if (life > 0) {
+      stats.crashes = meta[k].crashes;
+      stats.down_sec = util::sec_from_ps(down);
+      if (alive > 0) {
         stats.utilization =
-            util::sec_from_ps(r.busy_ps) / util::sec_from_ps(life);
+            util::sec_from_ps(r.busy_ps) / util::sec_from_ps(alive);
       }
       report.replica_stats.push_back(stats);
     }
@@ -581,6 +883,16 @@ struct FleetSim {
       report.migrations.push_back(state.record);
     }
     report.incidents = monitor.incidents();
+    report.crashes = crashes_total;
+    report.restarts = restarts_total;
+    report.replacements = replacements_total;
+    report.io_error_retries = io_retries_total;
+    report.link_degrade_windows = link_windows_total;
+    report.availability =
+        serve.completed + serve.failed > 0
+            ? static_cast<double>(serve.completed) /
+                  static_cast<double>(serve.completed + serve.failed)
+            : 1.0;
 
     // Mirror the incident log onto a ("fleet","health") trace track —
     // closed incidents as spans, still-open ones as instants — so the
@@ -628,6 +940,10 @@ struct FleetSim {
         if (r.class_index >= num_classes) continue;
         if (r.shed) {
           ++t_shed[r.class_index];
+        } else if (r.failed) {
+          // Failed queries are neither completed nor goodput; they show
+          // up in the serve counters and the availability figure.
+          continue;
         } else {
           ++t_completed[r.class_index];
           if (r.slo_violated) {
@@ -660,7 +976,7 @@ struct FleetSim {
     for (ScalingEvent& ev : report.scaling_events) {
       std::vector<double> before, after;
       for (const QueryRecord& r : shared.records) {
-        if (r.shed) continue;
+        if (r.shed || r.failed) continue;
         const double done = util::sec_from_ps(r.completion);
         if (done >= ev.at_sec - window && done < ev.at_sec) {
           before.push_back(util::us_from_ps(r.completion - r.arrival));
@@ -680,6 +996,61 @@ struct FleetSim {
 };
 
 }  // namespace
+
+void FleetConfig::validate(std::size_t num_classes) const {
+  if (replicas == 0) {
+    throw std::invalid_argument("fleet needs at least one replica");
+  }
+  for (const TenantQuota& q : quotas) {
+    if (q.class_index >= num_classes) {
+      throw std::invalid_argument("quota tenant class " +
+                                  std::to_string(q.class_index) +
+                                  " out of range (workload has " +
+                                  std::to_string(num_classes) + " classes)");
+    }
+  }
+  for (const MigrationPlan& m : migrations) {
+    if (m.class_index >= num_classes) {
+      throw std::invalid_argument("migration tenant class " +
+                                  std::to_string(m.class_index) +
+                                  " out of range (workload has " +
+                                  std::to_string(num_classes) + " classes)");
+    }
+    if (m.from >= replicas || m.to >= replicas) {
+      throw std::invalid_argument(
+          "migration endpoints " + std::to_string(m.from) + "->" +
+          std::to_string(m.to) + " out of range for " +
+          std::to_string(replicas) + " replicas");
+    }
+    if (m.from == m.to) {
+      throw std::invalid_argument("migration source == target (replica " +
+                                  std::to_string(m.from) + ")");
+    }
+    if (m.at_sec < 0.0) {
+      throw std::invalid_argument("migration time must be >= 0");
+    }
+  }
+  if (elastic.enabled) {
+    const ElasticConfig& e = elastic;
+    if (e.min_replicas == 0) {
+      throw std::invalid_argument("elastic min_replicas must be >= 1");
+    }
+    if (e.min_replicas > replicas || replicas > e.max_replicas) {
+      throw std::invalid_argument(
+          "elastic bounds must satisfy min <= replicas <= max (" +
+          std::to_string(e.min_replicas) + " <= " + std::to_string(replicas) +
+          " <= " + std::to_string(e.max_replicas) + ")");
+    }
+    if (e.check_interval_sec <= 0.0) {
+      throw std::invalid_argument("elastic check interval must be > 0");
+    }
+    if (e.scale_up_depth <= e.scale_down_depth) {
+      throw std::invalid_argument(
+          "elastic scale_up_depth must exceed scale_down_depth");
+    }
+  }
+  fault::validate(faults);
+}
 
 std::string to_string(RouterKind router) {
   switch (router) {
@@ -721,7 +1092,7 @@ FleetReport FleetServer::serve(const graph::CsrGraph& graph,
                                const FleetRequest& request) {
   const WorkloadSpec& spec = request.workload;
   const std::size_t num_classes = resolve_mix(spec).size();
-  validate_fleet(request.fleet, num_classes);
+  request.fleet.validate(num_classes);
 
   FleetReport report;
   report.router = to_string(request.fleet.router);
@@ -759,9 +1130,11 @@ FleetReport FleetServer::serve(const graph::CsrGraph& graph,
   shared.total_depth = [&sim]() { return sim.total_depth(); };
   shared.deliver = [&sim](std::size_t i) { sim.arrive(i); };
   shared.on_complete = [&sim](std::size_t i) { sim.on_complete(i); };
+  shared.on_failed = [&sim](std::size_t i) { sim.on_failed(i); };
   sim.attach_telemetry(telemetry_);
   sim.schedule_migrations();
   sim.start_elastic();
+  sim.schedule_faults();
   std::unique_ptr<obs::SimRunObserver> observer;
   if (shared.telemetry != nullptr) {
     observer =

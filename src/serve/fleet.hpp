@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/health.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
@@ -106,6 +107,21 @@ struct FleetConfig {
   bool slo_shedding = false;
   std::vector<MigrationPlan> migrations;
   ElasticConfig elastic;
+  /// Deterministic fault injection (default off — see fault/fault.hpp).
+  /// A crash kills a replica: its waiting queries re-route through the
+  /// router, the in-flight query loses its completed supersteps and
+  /// retries with deterministic backoff until the budget runs out
+  /// (`failed` disposition); crash-restarts revive after restart_sec,
+  /// permanent crashes trigger an elastic replacement. I/O bursts and
+  /// link flaps stretch quanta through the fault seam.
+  fault::FaultSpec faults;
+
+  /// Validates the whole fleet configuration against the workload's
+  /// tenant-class count; throws std::invalid_argument with a descriptive
+  /// message for malformed migration plans (nonexistent source/target
+  /// replica, source == target, unknown tenant), out-of-range quota
+  /// classes, inconsistent elastic bounds, or an invalid fault spec.
+  void validate(std::size_t num_classes) const;
 };
 
 struct FleetRequest {
@@ -127,8 +143,12 @@ struct ReplicaStats {
   double joined_sec = 0.0;   ///< 0 for the initial fleet
   bool retired = false;      ///< drained by the elastic controller
   double retired_sec = 0.0;  ///< retirement time (0 unless retired)
-  /// busy / lifetime (join to retirement-or-makespan).
+  /// busy / lifetime (join to retirement-or-makespan, downtime excluded).
   double utilization = 0.0;
+  /// Fault layer: times this replica crashed, and total simulated time
+  /// it spent dead (still-dead-at-end counted to the makespan).
+  std::uint32_t crashes = 0;
+  double down_sec = 0.0;
 };
 
 struct MigrationRecord {
@@ -190,6 +210,14 @@ struct FleetReport {
   /// a pure function of the run, recorded whether or not a telemetry
   /// sink is attached.
   std::vector<obs::Incident> incidents;
+  /// Fault/recovery accounting (all zero without an active fault plan).
+  std::uint32_t crashes = 0;
+  std::uint32_t restarts = 0;      ///< crash-restarts that revived
+  std::uint32_t replacements = 0;  ///< crash-triggered elastic joins
+  std::uint64_t io_error_retries = 0;  ///< serve-path transient I/O retries
+  std::uint32_t link_degrade_windows = 0;
+  /// completed / (completed + failed); 1.0 when nothing failed.
+  double availability = 1.0;
 };
 
 class FleetServer {

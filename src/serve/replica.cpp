@@ -37,6 +37,7 @@ void SimShared::attach_telemetry(obs::Telemetry* sink) {
     n_admit = tr.intern("admit");
     n_shed = tr.intern("shed");
     n_complete = tr.intern("complete");
+    n_failed = tr.intern("failed");
     n_queued = tr.intern("queued");
     k_query = tr.intern("query");
     n_flow = tr.intern("query");
@@ -46,6 +47,7 @@ void SimShared::attach_telemetry(obs::Telemetry* sink) {
     c_admitted = &m.counter("serve", "admitted");
     c_shed = &m.counter("serve", "shed");
     c_completed = &m.counter("serve", "completed");
+    c_failed = &m.counter("serve", "failed");
     h_latency_ns = &m.histogram("serve", "latency_ns");
   }
   if (sink->sampling()) {
@@ -109,13 +111,39 @@ void SimShared::shed_query(std::size_t i) {
   }
 }
 
+void SimShared::fail_query(std::size_t i) {
+  QueryRecord& r = records[i];
+  r.failed = true;
+  ++failed;
+  if (telemetry != nullptr) note_failed(i);
+  // A failed query does not stall its closed-loop client either.
+  if (spec.process == ArrivalProcess::kClosedLoop) {
+    issue_next(static_cast<std::uint32_t>(i % spec.num_clients));
+  }
+  if (on_failed) on_failed(i);
+}
+
+void SimShared::note_failed(std::size_t i) {
+  const QueryRecord& r = records[i];
+  if (tracing) {
+    telemetry->tracer().instant(track_lifecycle, n_failed, sim.now(),
+                                k_query, r.id);
+    // The admission opened a flow; failure terminates it so every 's'
+    // still has a matching 'f' in the export.
+    telemetry->tracer().flow_end(track_lifecycle, n_flow, sim.now(), r.id);
+  }
+  if (c_failed != nullptr) c_failed->add(1);
+}
+
 void SimShared::complete_query(std::size_t i) {
   QueryRecord& r = records[i];
   r.completion = sim.now();
   // Sojourn splits exactly into queue + service + ride: a batch follower
   // holds the stack for no time of its own, but the quanta it spent
-  // riding its leader's replay are ride, not queue.
-  r.queue_ps = r.completion - r.arrival - r.service_ps - r.ride_ps;
+  // riding its leader's replay are ride, not queue. Stack time a crash
+  // discarded is its own component (lost_ps); retry backoff waits land
+  // in queue with the rest of the non-service time.
+  r.queue_ps = r.completion - r.arrival - r.service_ps - r.ride_ps - r.lost_ps;
   r.slo_violated = r.completion - r.arrival > r.slo;
   last_completion = std::max(last_completion, r.completion);
   completion_order_latency_us.push_back(
@@ -274,8 +302,37 @@ std::size_t ReplicaSim::mark_redirect(std::uint32_t class_index,
   return active;
 }
 
+void ReplicaSim::on_crash() {
+  dead = true;
+  redirect_query_ = kNoQuery;
+  redirect_sink_ = nullptr;
+}
+
+std::vector<std::size_t> ReplicaSim::take_all_waiting() {
+  std::vector<std::size_t> drained(ready.begin(), ready.end());
+  for (const std::size_t i : drained) backlog_ps -= shared.remaining_ps(i);
+  ready.clear();
+  if (shared.telemetry != nullptr) sample_replica_depth();
+  return drained;
+}
+
+std::size_t ReplicaSim::abort_active() {
+  if (active == kNoQuery) return kNoQuery;
+  const std::size_t i = active;
+  active = kNoQuery;
+  // The quantum's completion event is already in the simulator's queue;
+  // flag it for the swallow in quantum_done. next_step advanced at
+  // dispatch, so remaining_ps(i) is exactly the backlog still booked.
+  discard_pending_ = true;
+  backlog_ps -= shared.remaining_ps(i);
+  return i;
+}
+
 void ReplicaSim::dispatch() {
-  if (active != kNoQuery || ready.empty()) return;
+  // A dead replica never dispatches; neither does one whose aborted
+  // quantum's completion event is still in flight (it would double-book
+  // the stack — quantum_done clears the flag and re-dispatches).
+  if (dead || discard_pending_ || active != kNoQuery || ready.empty()) return;
   std::size_t i;
   if (shared.config.policy == SchedulingPolicy::kSloPriority) {
     auto best = ready.begin();
@@ -292,7 +349,9 @@ void ReplicaSim::dispatch() {
   active = i;
   QueryRecord& r = shared.records[i];
   const QueryProfile& p = shared.profiles[r.profile_index];
-  if (shared.next_step[i] == 0) {
+  // first_service survives crash recovery (next_step resets to 0 but the
+  // query did reach a stack), so the guard checks both.
+  if (shared.next_step[i] == 0 && r.first_service == 0) {
     r.first_service = shared.sim.now();
     if (shared.telemetry != nullptr) shared.note_queued(i);
   }
@@ -306,7 +365,8 @@ void ReplicaSim::dispatch() {
     // double-count its spent quanta.
     for (auto it = ready.begin(); it != ready.end();) {
       if (shared.next_step[*it] == 0 &&
-          shared.records[*it].profile_index == r.profile_index) {
+          shared.records[*it].profile_index == r.profile_index &&
+          !shared.records[*it].batch_follower) {
         shared.records[*it].batch_follower = true;
         if (shared.records[*it].first_service == 0) {
           shared.records[*it].first_service = shared.sim.now();
@@ -356,6 +416,12 @@ void ReplicaSim::dispatch() {
       }
     }
   }
+  if (shared.fault_stretch) {
+    // Fault seam: transient I/O-error retries and link-degrade windows
+    // add wall time to the quantum. Bytes are unchanged and the backlog
+    // estimate stays profiled, matching the thermal convention above.
+    duration += shared.fault_stretch(index, duration);
+  }
   shared.next_step[i] += quantum;
   r.service_ps += duration;
   r.service_bytes += bytes;
@@ -374,6 +440,14 @@ void ReplicaSim::dispatch() {
 }
 
 void ReplicaSim::quantum_done() {
+  if (discard_pending_) {
+    // This completion belonged to a quantum aborted by a crash; its
+    // effects already moved to the lost-work ledger. Swallow it and, if
+    // the replica has since revived, resume dispatching.
+    discard_pending_ = false;
+    if (!dead) dispatch();
+    return;
+  }
   const std::size_t i = active;
   active = kNoQuery;
   QueryRecord& r = shared.records[i];
@@ -422,8 +496,14 @@ void summarize_serve(ServeReport& report, const SimShared& shared,
   latency_us.reserve(report.completed);
   std::uint32_t met_slo = 0;
   util::SimTime queue_total = 0, service_total = 0, ride_total = 0;
+  util::SimTime lost_total = 0;
   for (const QueryRecord& r : shared.records) {
-    if (r.shed) continue;
+    // The crash-recovery ledger sums over every record: failed (and any
+    // unresolved) queries' discarded bytes must still balance the link.
+    report.query_retries += r.retries;
+    report.lost_bytes += r.lost_bytes;
+    lost_total += r.lost_ps;
+    if (r.shed || r.failed) continue;
     latency_us.push_back(util::us_from_ps(r.completion - r.arrival));
     queue_us.push_back(util::us_from_ps(r.queue_ps));
     service_us.push_back(util::us_from_ps(r.service_ps));
@@ -437,6 +517,7 @@ void summarize_serve(ServeReport& report, const SimShared& shared,
           shared.profiles[r.profile_index].report.fetched_bytes;
     }
   }
+  report.lost_work_sec = util::sec_from_ps(lost_total);
   report.latency_us = util::summarize_percentiles(std::move(latency_us));
   report.queue_us = util::summarize_percentiles(std::move(queue_us));
   report.service_us = util::summarize_percentiles(std::move(service_us));

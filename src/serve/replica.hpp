@@ -70,6 +70,8 @@ struct SimShared {
   std::uint32_t completed = 0;
   std::uint32_t shed = 0;
   std::uint32_t batched = 0;
+  /// Queries whose crash-retry budget ran out (active fault plan only).
+  std::uint32_t failed = 0;
 
   /// Arrival entry point (admission + routing), set by the frontend; the
   /// closed-loop reissue path and open-loop scheduling both call it.
@@ -81,6 +83,15 @@ struct SimShared {
   /// state flips (the fleet feeds its health monitor). Strictly passive:
   /// observers must not schedule events or touch simulation state.
   std::function<void(std::uint32_t, bool)> on_throttle;
+  /// Optional frontend hook fired after a query is marked failed (the
+  /// fleet uses it for quota release and depth sampling).
+  std::function<void(std::size_t)> on_failed;
+  /// Fault seam (null on the default path): extra wall time to add to a
+  /// quantum dispatched on replica `index` whose profiled duration is
+  /// the argument — transient I/O retries and link-degrade windows live
+  /// behind it. Bytes are unaffected; the backlog estimate stays
+  /// profiled, matching the thermal-stretch convention.
+  std::function<util::SimTime(std::uint32_t, util::SimTime)> fault_stretch;
 
   /// Closed loop: per-client query chains and issue cursors.
   std::vector<std::vector<std::size_t>> client_queries;
@@ -94,6 +105,7 @@ struct SimShared {
   bool sampling = false;
   std::uint16_t track_lifecycle = 0;  ///< ("serve","lifecycle"): instants
   std::uint32_t n_admit = 0, n_shed = 0, n_complete = 0, k_query = 0;
+  std::uint32_t n_failed = 0;
   std::uint32_t n_queued = 0;  ///< queue-wait span on the lifecycle track
   /// Causal flow per admitted query ('s' at admit, 't' per quantum /
   /// migration hop, 'f' at completion), named "query", id = query id.
@@ -101,6 +113,7 @@ struct SimShared {
   obs::Counter* c_admitted = nullptr;
   obs::Counter* c_shed = nullptr;
   obs::Counter* c_completed = nullptr;
+  obs::Counter* c_failed = nullptr;
   util::Log2Histogram* h_latency_ns = nullptr;
   std::uint32_t ch_depth = 0;  ///< waiting + in service, sampled per event
   /// Aggregate depth across every replica, for the ch_depth samples. Set
@@ -121,7 +134,7 @@ struct SimShared {
     return remaining_after[records[i].profile_index][next_step[i]];
   }
   bool all_resolved() const noexcept {
-    return completed + shed >= queries.size();
+    return completed + shed + failed >= queries.size();
   }
 
   void attach_telemetry(obs::Telemetry* sink);
@@ -135,6 +148,10 @@ struct SimShared {
   /// Marks query i shed: record flag, counter, telemetry, and the
   /// closed-loop reissue (a shed query does not stall its client).
   void shed_query(std::size_t i);
+  /// Marks query i failed (crash-retry budget exhausted): record flag,
+  /// telemetry flow end, closed-loop reissue, and the on_failed hook.
+  void fail_query(std::size_t i);
+  void note_failed(std::size_t i);
   /// Finalizes query i's record (completion, queue/ride split, SLO),
   /// feeds the streaming estimators, reissues the closed-loop client,
   /// and fires on_complete.
@@ -161,6 +178,9 @@ struct ReplicaSim {
   std::uint32_t quanta = 0;
   std::uint32_t served = 0;  ///< completions on this replica (+followers)
   std::uint32_t throttled_quanta = 0;
+  /// Crashed (fault layer): a dead replica accepts no placements and
+  /// dispatches nothing until the fleet revives it.
+  bool dead = false;
   /// Per-replica thermal accumulator: each stack heats independently.
   device::ThermalState heat;
   /// Unserved profiled demand queued here (waiting + preempted active
@@ -195,6 +215,19 @@ struct ReplicaSim {
   std::size_t mark_redirect(std::uint32_t class_index,
                             std::function<void(std::size_t)> sink);
 
+  /// Crash, step 1: marks the replica dead and disarms any pending
+  /// migration redirect (the in-flight query goes through crash
+  /// recovery, not the migration sink).
+  void on_crash();
+  /// Crash, step 2: drains the whole ready queue (backlog adjusted) and
+  /// returns it — the fleet re-routes these through the router. Their
+  /// replay progress is discarded by the caller.
+  std::vector<std::size_t> take_all_waiting();
+  /// Crash, step 3: aborts the in-flight query, if any. Its already-
+  /// scheduled quantum-completion event is swallowed when it fires.
+  /// Returns the aborted query, or kNoQuery.
+  std::size_t abort_active();
+
   /// Binds per-replica telemetry: the quantum span track, the byte and
   /// queue-depth channels, and the heat trace. No-op when SimShared is
   /// untapped.
@@ -215,6 +248,9 @@ struct ReplicaSim {
   /// In-flight redirect (armed by mark_redirect, fires at most once).
   std::size_t redirect_query_ = kNoQuery;
   std::function<void(std::size_t)> redirect_sink_;
+  /// Set by abort_active: the next quantum_done belongs to a crashed
+  /// attempt and must be swallowed, not completed.
+  bool discard_pending_ = false;
 
   std::uint16_t track_ = 0;       ///< ("serve", <track_name>): quanta
   std::uint32_t n_quantum_ = 0;

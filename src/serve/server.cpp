@@ -346,6 +346,7 @@ ServeReport QueryServer::serve(const graph::CsrGraph& graph,
   report.admitted = shared.admitted;
   report.completed = shared.completed;
   report.shed = shared.shed;
+  report.failed = shared.failed;  // always 0 solo: no fault plan here
   report.batched = shared.batched;
   report.link_bytes = replica.link_bytes;
   report.makespan_sec = util::sec_from_ps(shared.last_completion);

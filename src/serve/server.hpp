@@ -132,6 +132,16 @@ struct QueryRecord {
   /// it completed with the batch but held the stack for no time of its
   /// own, and its bytes were fetched once, by the batch leader.
   bool batch_follower = false;
+  /// Crash recovery (active fault plan only). `retries` counts how many
+  /// times this query re-entered the queue after its replica crashed
+  /// mid-flight; lost_ps / lost_bytes hold the discarded progress of
+  /// those aborted attempts (the replay starts over from superstep 0).
+  /// `failed` marks the terminal disposition after the retry budget ran
+  /// out — failed queries were admitted but never complete.
+  std::uint32_t retries = 0;
+  util::SimTime lost_ps = 0;
+  std::uint64_t lost_bytes = 0;
+  bool failed = false;
 };
 
 struct ServeReport {
@@ -144,6 +154,10 @@ struct ServeReport {
   std::uint32_t admitted = 0;
   std::uint32_t completed = 0;
   std::uint32_t shed = 0;
+  /// Terminal disposition alongside shed (active fault plan only):
+  /// admitted queries whose crash-retry budget ran out. The terminal
+  /// dispositions partition: completed + shed + failed == offered.
+  std::uint32_t failed = 0;
   /// Completions that were batch followers (batch_identical only).
   std::uint32_t batched = 0;
 
@@ -180,10 +194,18 @@ struct ServeReport {
   /// Bytes accounted quantum-by-quantum at the shared link vs the sum of
   /// completed queries' isolated-run fetched bytes. Equal unless the
   /// per-superstep seam miscounts — the SLO-accounting conservation check.
+  /// With fault injection the ledger extends: bytes a crash discarded
+  /// (aborted attempts of retried, failed, or still-unresolved queries)
+  /// sit in lost_bytes, and the link total must balance exactly against
+  /// delivered + lost — a crash may destroy progress but never bytes.
   std::uint64_t link_bytes = 0;
   std::uint64_t query_bytes = 0;
+  /// Crash-recovery ledger (all 0 without an active fault plan).
+  std::uint32_t query_retries = 0;
+  std::uint64_t lost_bytes = 0;
+  double lost_work_sec = 0.0;
   bool conservation_ok() const noexcept {
-    return link_bytes == query_bytes;
+    return link_bytes == query_bytes + lost_bytes;
   }
 
   /// Stack thermal model (SystemConfig cxl.thermal / storage_thermal,

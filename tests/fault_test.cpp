@@ -1,0 +1,513 @@
+/// src/fault — deterministic fault injection and failure recovery.
+///
+/// The load-bearing guarantees:
+///  * a FaultPlan is a pure function of (spec, replica count): same
+///    inputs, same event list, sorted in time; a disabled spec yields
+///    no events and never installs a seam;
+///  * a plan whose events never bite (io bursts at error rate 0) leaves
+///    every serve record bit-identical to the no-plan path;
+///  * a seeded crash kills the replica: its waiting queries re-route and
+///    complete elsewhere, the in-flight query retries with its lost work
+///    accounted, and the extended ledger link == query + lost balances
+///    exactly;
+///  * a retry budget of zero under a permanent total outage turns the
+///    affected queries into the `failed` disposition — terminal
+///    dispositions always partition the offered stream;
+///  * identical seeds give identical FleetReports across profiling
+///    thread counts;
+///  * device-level transient I/O errors stretch latency without touching
+///    bytes, on both the storage and CXL read paths.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "device/cxl_device.hpp"
+#include "device/pcie.hpp"
+#include "device/storage.hpp"
+#include "fault/fault.hpp"
+#include "graph/generate.hpp"
+#include "obs/health.hpp"
+#include "serve/fleet.hpp"
+#include "serve/server.hpp"
+
+namespace cxlgraph {
+namespace {
+
+constexpr std::uint64_t kSeed = 23;
+
+graph::CsrGraph test_graph() {
+  graph::GeneratorOptions opts;
+  opts.seed = kSeed;
+  opts.max_weight = 63;
+  return graph::generate_uniform(1 << 10, 8.0, opts);
+}
+
+serve::FleetRequest fleet_request(double offered_qps,
+                                  std::uint32_t num_queries,
+                                  std::uint32_t replicas) {
+  serve::FleetRequest req;
+  req.base.backend = core::BackendKind::kCxl;
+  req.workload.seed = kSeed;
+  req.workload.offered_qps = offered_qps;
+  req.workload.num_queries = num_queries;
+  req.workload.source_pool = 4;
+  serve::QueryClass bfs;
+  bfs.algorithm = core::Algorithm::kBfs;
+  bfs.weight = 2.0;
+  bfs.slo = util::ps_from_us(5'000.0);
+  serve::QueryClass scan;
+  scan.algorithm = core::Algorithm::kPagerankScan;
+  scan.weight = 1.0;
+  scan.slo = util::ps_from_us(20'000.0);
+  req.workload.mix = {bfs, scan};
+  req.fleet.replicas = replicas;
+  req.fleet.router = serve::RouterKind::kJoinShortestQueue;
+  return req;
+}
+
+/// A crash-heavy plan spanning the first `horizon_sec` of the run.
+fault::FaultSpec crashy_spec(double horizon_sec) {
+  fault::FaultSpec spec;
+  spec.seed = 77;
+  spec.horizon_sec = horizon_sec;
+  spec.crashes = 2;
+  spec.restart_sec = horizon_sec / 8.0;
+  spec.max_query_retries = 3;
+  spec.retry_backoff_us = 80.0;
+  return spec;
+}
+
+void expect_fault_ledger_balances(const serve::ServeReport& s) {
+  EXPECT_TRUE(s.conservation_ok())
+      << "link " << s.link_bytes << " != query " << s.query_bytes
+      << " + lost " << s.lost_bytes;
+  EXPECT_EQ(s.completed + s.shed + s.failed, s.offered);
+}
+
+void expect_reports_identical(const serve::ServeReport& a,
+                              const serve::ServeReport& b) {
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (std::size_t i = 0; i < a.queries.size(); ++i) {
+    const serve::QueryRecord& x = a.queries[i];
+    const serve::QueryRecord& y = b.queries[i];
+    EXPECT_EQ(x.arrival, y.arrival);
+    EXPECT_EQ(x.first_service, y.first_service);
+    EXPECT_EQ(x.completion, y.completion);
+    EXPECT_EQ(x.service_ps, y.service_ps);
+    EXPECT_EQ(x.ride_ps, y.ride_ps);
+    EXPECT_EQ(x.queue_ps, y.queue_ps);
+    EXPECT_EQ(x.service_bytes, y.service_bytes);
+    EXPECT_EQ(x.replica, y.replica);
+    EXPECT_EQ(x.shed, y.shed);
+    EXPECT_EQ(x.retries, y.retries);
+    EXPECT_EQ(x.lost_ps, y.lost_ps);
+    EXPECT_EQ(x.lost_bytes, y.lost_bytes);
+    EXPECT_EQ(x.failed, y.failed);
+  }
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.query_retries, b.query_retries);
+  EXPECT_EQ(a.link_bytes, b.link_bytes);
+  EXPECT_EQ(a.query_bytes, b.query_bytes);
+  EXPECT_EQ(a.lost_bytes, b.lost_bytes);
+  EXPECT_EQ(a.makespan_sec, b.makespan_sec);
+  EXPECT_EQ(a.latency_us.p99, b.latency_us.p99);
+}
+
+// ------------------------------------------------------------- plan ----
+
+TEST(FaultPlan, PureFunctionOfSpecSortedInTime) {
+  fault::FaultSpec spec;
+  spec.seed = 9;
+  spec.horizon_sec = 0.01;
+  spec.crashes = 3;
+  spec.restart_sec = 0.001;
+  spec.io_bursts = 2;
+  spec.io_burst_sec = 0.002;
+  spec.io_error_rate = 0.25;
+  spec.link_flaps = 2;
+  spec.flap_sec = 0.001;
+  spec.flap_derate = 0.5;
+
+  const fault::FaultPlan a(spec, 4);
+  const fault::FaultPlan b(spec, 4);
+  ASSERT_EQ(a.events().size(), 7u);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+    EXPECT_EQ(a.events()[i].duration, b.events()[i].duration);
+    EXPECT_EQ(a.events()[i].magnitude, b.events()[i].magnitude);
+  }
+  for (std::size_t i = 1; i < a.events().size(); ++i) {
+    EXPECT_LE(a.events()[i - 1].at, a.events()[i].at);
+  }
+  for (const fault::FaultEvent& e : a.events()) {
+    EXPECT_LE(e.at, util::ps_from_us(spec.horizon_sec * 1e6));
+    if (e.kind == fault::FaultKind::kReplicaCrash) {
+      EXPECT_LT(e.target, 4u);
+    }
+  }
+
+  // A different seed moves the schedule.
+  fault::FaultSpec other = spec;
+  other.seed = 10;
+  const fault::FaultPlan c(other, 4);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < c.events().size(); ++i) {
+    any_differs = any_differs || c.events()[i].at != a.events()[i].at;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(FaultPlan, DisabledSpecYieldsNoEvents) {
+  const fault::FaultSpec spec;  // all counts zero
+  EXPECT_FALSE(spec.enabled());
+  const fault::FaultPlan plan(spec, 4);
+  EXPECT_FALSE(plan.active());
+  EXPECT_TRUE(plan.events().empty());
+  EXPECT_NO_THROW(fault::validate(spec));  // disabled is always valid
+}
+
+TEST(FaultPlan, ErrorDrawIsDeterministicAndRespectsRate) {
+  EXPECT_FALSE(fault::FaultPlan::error_draw(1, 2, 3, 0.0));
+  EXPECT_TRUE(fault::FaultPlan::error_draw(1, 2, 3, 1.0));
+  int hits = 0;
+  for (std::uint64_t draw = 0; draw < 1000; ++draw) {
+    const bool h = fault::FaultPlan::error_draw(42, 0, draw, 0.3);
+    EXPECT_EQ(h, fault::FaultPlan::error_draw(42, 0, draw, 0.3));
+    if (h) ++hits;
+  }
+  EXPECT_GT(hits, 200);
+  EXPECT_LT(hits, 400);
+}
+
+TEST(FaultSpec, ParseRoundTripsAndRejectsGarbage) {
+  const fault::FaultSpec spec = fault::parse_fault_spec(
+      "seed=7,horizon-ms=10,crashes=2,restart-ms=1.5,io-bursts=1,"
+      "io-burst-ms=2,io-rate=0.25,io-retry-us=30,io-max-retries=4,"
+      "link-flaps=1,flap-ms=0.5,flap-derate=0.5,query-retries=5,"
+      "backoff-us=120");
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_DOUBLE_EQ(spec.horizon_sec, 0.01);
+  EXPECT_EQ(spec.crashes, 2u);
+  EXPECT_DOUBLE_EQ(spec.restart_sec, 0.0015);
+  EXPECT_EQ(spec.io_bursts, 1u);
+  EXPECT_DOUBLE_EQ(spec.io_error_rate, 0.25);
+  EXPECT_EQ(spec.io_max_retries, 4u);
+  EXPECT_EQ(spec.link_flaps, 1u);
+  EXPECT_DOUBLE_EQ(spec.flap_derate, 0.5);
+  EXPECT_EQ(spec.max_query_retries, 5u);
+  EXPECT_DOUBLE_EQ(spec.retry_backoff_us, 120.0);
+  EXPECT_TRUE(spec.enabled());
+
+  EXPECT_THROW(fault::parse_fault_spec("bogus-key=1"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_spec("crashes=two"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_spec("crashes=1"),  // no horizon
+               std::invalid_argument);
+  EXPECT_THROW(
+      fault::parse_fault_spec(
+          "horizon-ms=10,io-bursts=1,io-burst-ms=1,io-rate=1.5"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      fault::parse_fault_spec(
+          "horizon-ms=10,link-flaps=1,flap-ms=1,flap-derate=-0.1"),
+      std::invalid_argument);
+}
+
+// ----------------------------------------------------------- device ----
+
+TEST(IoFaultPenalty, DisabledIsFreeEnabledBacksOffLinearly) {
+  fault::IoFaultParams off;
+  std::uint32_t errors = 99;
+  EXPECT_EQ(fault::io_fault_penalty(off, 0, &errors), 0u);
+  EXPECT_EQ(errors, 0u);
+
+  fault::IoFaultParams certain;
+  certain.enabled = true;
+  certain.error_rate = 1.0;
+  certain.max_retries = 3;
+  certain.retry_base = util::ps_from_us(10.0);
+  // Every draw errors: 3 attempts burned, backoff 10 + 20 + 30 us.
+  EXPECT_EQ(fault::io_fault_penalty(certain, 5, &errors),
+            util::ps_from_us(60.0));
+  EXPECT_EQ(errors, 3u);
+
+  fault::IoFaultParams invalid = certain;
+  invalid.error_rate = 1.5;
+  EXPECT_THROW(fault::validate(invalid), std::invalid_argument);
+}
+
+TEST(StorageDrive, IoFaultsStretchLatencyNotBytes) {
+  const auto run = [](double rate) {
+    sim::Simulator sim;
+    device::PcieLinkParams lp = device::pcie_x16(device::PcieGen::kGen4);
+    device::PcieLink link(sim, lp);
+    device::StorageDriveParams params;
+    params.io_faults.enabled = true;
+    params.io_faults.error_rate = rate;
+    params.io_faults.seed = 5;
+    device::StorageDrive drive(sim, link, params);
+    util::SimTime done = 0;
+    for (int i = 0; i < 32; ++i) {
+      drive.submit(static_cast<std::uint64_t>(i) * 4096, 4096,
+                   sim.make_callback([&] { done = sim.now(); }));
+    }
+    sim.run();
+    return std::pair<util::SimTime, device::StorageDriveStats>(
+        done, drive.stats());
+  };
+  const auto [clean_done, clean] = run(0.0);
+  const auto [faulty_done, faulty] = run(0.9);
+  EXPECT_EQ(clean.bytes, faulty.bytes);
+  EXPECT_EQ(clean.requests, faulty.requests);
+  EXPECT_EQ(clean.io_errors, 0u);
+  EXPECT_GT(faulty.io_errors, 0u);
+  EXPECT_GT(faulty.io_error_requests, 0u);
+  EXPECT_LE(faulty.io_error_requests, faulty.io_errors);
+  EXPECT_GT(faulty_done, clean_done);
+
+  // Same seed, same rate: bit-identical timing.
+  const auto [repeat_done, repeat] = run(0.9);
+  EXPECT_EQ(repeat_done, faulty_done);
+  EXPECT_EQ(repeat.io_errors, faulty.io_errors);
+}
+
+TEST(CxlDevice, IoFaultsStretchLatencyNotBytes) {
+  const auto run = [](double rate) {
+    sim::Simulator sim;
+    device::CxlDeviceParams params;
+    params.io_faults.enabled = true;
+    params.io_faults.error_rate = rate;
+    params.io_faults.seed = 5;
+    device::CxlDevice dev(sim, params);
+    util::SimTime done = 0;
+    for (int i = 0; i < 64; ++i) {
+      dev.read(static_cast<std::uint64_t>(i) * 128, 128,
+               sim.make_callback([&] { done = sim.now(); }));
+    }
+    sim.run();
+    return std::pair<util::SimTime, std::uint64_t>(done, dev.io_errors());
+  };
+  const auto [clean_done, clean_errors] = run(0.0);
+  const auto [faulty_done, faulty_errors] = run(0.8);
+  EXPECT_EQ(clean_errors, 0u);
+  EXPECT_GT(faulty_errors, 0u);
+  EXPECT_GT(faulty_done, clean_done);
+  const auto [repeat_done, repeat_errors] = run(0.8);
+  EXPECT_EQ(repeat_done, faulty_done);
+  EXPECT_EQ(repeat_errors, faulty_errors);
+}
+
+// ------------------------------------------------------------ fleet ----
+
+TEST(FleetFaults, ZeroRatePlanIsRecordIdenticalToNoPlan) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest plain = fleet_request(4000.0, 48, 3);
+  serve::FleetRequest zero = plain;
+  zero.fleet.faults.seed = 77;
+  zero.fleet.faults.horizon_sec = 0.01;
+  zero.fleet.faults.io_bursts = 2;
+  zero.fleet.faults.io_burst_sec = 0.002;
+  zero.fleet.faults.io_error_rate = 0.0;  // armed but toothless
+  ASSERT_TRUE(zero.fleet.faults.enabled());
+
+  serve::FleetServer fleet(core::table3_system());
+  const serve::FleetReport a = fleet.serve(g, plain);
+  const serve::FleetReport b = fleet.serve(g, zero);
+  expect_reports_identical(a.serve, b.serve);
+  EXPECT_EQ(b.serve.failed, 0u);
+  EXPECT_EQ(b.serve.query_retries, 0u);
+  EXPECT_EQ(b.serve.lost_bytes, 0u);
+  EXPECT_EQ(b.crashes, 0u);
+  EXPECT_DOUBLE_EQ(b.availability, 1.0);
+}
+
+TEST(FleetFaults, CrashRecoversWaitingAndInFlightWork) {
+  const graph::CsrGraph g = test_graph();
+  // Saturating load so replicas have deep queues when the crash lands.
+  serve::FleetRequest req = fleet_request(20'000.0, 64, 3);
+  const double horizon_sec =
+      static_cast<double>(req.workload.num_queries) /
+      req.workload.offered_qps;
+  // Both crashes land in the first half of the arrival window, while the
+  // stream is still live.
+  req.fleet.faults = crashy_spec(horizon_sec / 2.0);
+
+  serve::FleetServer fleet(core::table3_system());
+  const serve::FleetReport r = fleet.serve(g, req);
+  EXPECT_EQ(r.crashes, 2u);
+  EXPECT_EQ(r.restarts, 2u);  // restart_sec > 0: both revive
+  expect_fault_ledger_balances(r.serve);
+  // Everything completes: waiting queries re-routed, in-flight retried.
+  EXPECT_EQ(r.serve.completed, r.serve.offered);
+  EXPECT_EQ(r.serve.failed, 0u);
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+  std::uint32_t crashed_replicas = 0;
+  for (const serve::ReplicaStats& rs : r.replica_stats) {
+    if (rs.crashes > 0) {
+      ++crashed_replicas;
+      EXPECT_GT(rs.down_sec, 0.0);
+    }
+  }
+  EXPECT_GT(crashed_replicas, 0u);
+  // The health monitor recorded (and closed) the replica-down incidents.
+  std::uint32_t down_incidents = 0;
+  for (const obs::Incident& inc : r.incidents) {
+    if (inc.kind == obs::IncidentKind::kReplicaDown) {
+      ++down_incidents;
+      EXPECT_FALSE(inc.open);
+    }
+  }
+  EXPECT_EQ(down_incidents, r.crashes);
+  // Lost work shows up iff a query was in flight at a crash.
+  if (r.serve.query_retries > 0) {
+    EXPECT_GT(r.serve.lost_bytes, 0u);
+    EXPECT_GT(r.serve.lost_work_sec, 0.0);
+    bool some_retry = false;
+    for (const serve::QueryRecord& rec : r.serve.queries) {
+      if (rec.retries > 0) {
+        some_retry = true;
+        EXPECT_FALSE(rec.failed);
+        EXPECT_GT(rec.completion, 0u);
+      }
+    }
+    EXPECT_TRUE(some_retry);
+  }
+}
+
+TEST(FleetFaults, PermanentTotalOutageFailsQueriesAtRetryCap) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest req = fleet_request(20'000.0, 64, 2);
+  const double horizon_sec =
+      static_cast<double>(req.workload.num_queries) /
+      req.workload.offered_qps;
+  // Both replicas die permanently (no restart, no elastic replacement)
+  // with a zero retry budget: every unfinished query must fail.
+  req.fleet.faults.seed = 77;
+  req.fleet.faults.horizon_sec = horizon_sec / 4.0;  // early in the run
+  req.fleet.faults.crashes = 2;
+  req.fleet.faults.restart_sec = 0.0;
+  req.fleet.faults.max_query_retries = 0;
+
+  serve::FleetServer fleet(core::table3_system());
+  const serve::FleetReport r = fleet.serve(g, req);
+  EXPECT_EQ(r.crashes, 2u);
+  EXPECT_EQ(r.restarts, 0u);
+  EXPECT_EQ(r.replacements, 0u);
+  EXPECT_GT(r.serve.failed, 0u);
+  EXPECT_LT(r.availability, 1.0);
+  expect_fault_ledger_balances(r.serve);
+  for (const serve::QueryRecord& rec : r.serve.queries) {
+    if (rec.failed) {
+      EXPECT_EQ(rec.completion, 0u);  // never finished
+    }
+  }
+}
+
+TEST(FleetFaults, PermanentCrashTriggersElasticReplacement) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest req = fleet_request(20'000.0, 64, 2);
+  const double horizon_sec =
+      static_cast<double>(req.workload.num_queries) /
+      req.workload.offered_qps;
+  req.fleet.faults.seed = 77;
+  req.fleet.faults.horizon_sec = horizon_sec / 2.0;
+  req.fleet.faults.crashes = 1;
+  req.fleet.faults.restart_sec = 0.0;       // permanent
+  req.fleet.faults.provision_sec = horizon_sec / 8.0;
+  req.fleet.faults.max_query_retries = 3;
+  req.fleet.elastic.enabled = true;
+  req.fleet.elastic.min_replicas = 1;
+  req.fleet.elastic.max_replicas = 4;
+  req.fleet.elastic.check_interval_sec = horizon_sec / 16.0;
+
+  serve::FleetServer fleet(core::table3_system());
+  const serve::FleetReport r = fleet.serve(g, req);
+  EXPECT_EQ(r.crashes, 1u);
+  EXPECT_EQ(r.restarts, 0u);
+  EXPECT_GE(r.replacements, 1u);
+  expect_fault_ledger_balances(r.serve);
+  // The replacement is a real scaling event tied to the crash.
+  bool replacement_event = false;
+  for (const serve::ScalingEvent& ev : r.scaling_events) {
+    replacement_event = replacement_event || ev.added;
+  }
+  EXPECT_TRUE(replacement_event);
+  // Peak counts concurrently-routable replicas: a replacement restores
+  // the fleet after the crash retired a slot, it never grows past the
+  // pre-crash size on its own.
+  EXPECT_EQ(r.peak_replicas, 2u);
+}
+
+TEST(FleetFaults, ExtendedConservationAcrossRoutersPoliciesAndKinds) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetServer fleet(core::table3_system());
+  for (const serve::RouterKind router : serve::all_routers()) {
+    for (const serve::SchedulingPolicy policy :
+         {serve::SchedulingPolicy::kFifo,
+          serve::SchedulingPolicy::kSloPriority}) {
+      serve::FleetRequest req = fleet_request(12'000.0, 48, 3);
+      req.fleet.router = router;
+      req.fleet.serve.policy = policy;
+      const double horizon_sec =
+          static_cast<double>(req.workload.num_queries) /
+          req.workload.offered_qps;
+      req.fleet.faults = crashy_spec(horizon_sec);
+      req.fleet.faults.io_bursts = 2;
+      req.fleet.faults.io_burst_sec = horizon_sec / 6.0;
+      req.fleet.faults.io_error_rate = 0.4;
+      req.fleet.faults.link_flaps = 1;
+      req.fleet.faults.flap_sec = horizon_sec / 8.0;
+      req.fleet.faults.flap_derate = 0.5;
+      const serve::FleetReport r = fleet.serve(g, req);
+      expect_fault_ledger_balances(r.serve);
+      EXPECT_EQ(r.crashes, 2u);
+      EXPECT_EQ(r.link_degrade_windows, 1u);
+    }
+  }
+}
+
+TEST(FleetFaults, IdenticalSeedsIdenticalReportsAcrossJobs) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetRequest req = fleet_request(16'000.0, 48, 3);
+  const double horizon_sec =
+      static_cast<double>(req.workload.num_queries) /
+      req.workload.offered_qps;
+  req.fleet.faults = crashy_spec(horizon_sec);
+  req.fleet.faults.io_bursts = 1;
+  req.fleet.faults.io_burst_sec = horizon_sec / 6.0;
+  req.fleet.faults.io_error_rate = 0.3;
+
+  serve::FleetServer fleet1(core::table3_system(), 1);
+  serve::FleetServer fleet4(core::table3_system(), 4);
+  const serve::FleetReport a = fleet1.serve(g, req);
+  const serve::FleetReport b = fleet4.serve(g, req);
+  const serve::FleetReport c = fleet4.serve(g, req);  // repeat, same server
+  expect_reports_identical(a.serve, b.serve);
+  expect_reports_identical(a.serve, c.serve);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.io_error_retries, b.io_error_retries);
+  EXPECT_EQ(a.link_degrade_windows, b.link_degrade_windows);
+  EXPECT_DOUBLE_EQ(a.availability, b.availability);
+}
+
+TEST(FleetFaults, InvalidSpecsRejectedThroughFleetValidate) {
+  const graph::CsrGraph g = test_graph();
+  serve::FleetServer fleet(core::table3_system());
+  serve::FleetRequest req = fleet_request(4000.0, 8, 2);
+  req.fleet.faults.crashes = 1;  // enabled but horizon == 0
+  EXPECT_THROW(fleet.serve(g, req), std::invalid_argument);
+  req.fleet.faults.horizon_sec = 0.01;
+  req.fleet.faults.restart_sec = -1.0;
+  EXPECT_THROW(fleet.serve(g, req), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cxlgraph

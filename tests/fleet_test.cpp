@@ -333,6 +333,40 @@ TEST(FleetServer, ValidatesFleetConfiguration) {
   EXPECT_THROW(fleet.serve(g, req), std::invalid_argument);
 }
 
+// FleetConfig::validate is callable on its own (serve() routes through
+// it): malformed migration plans are rejected with messages that name
+// the offending field, and a valid config passes silently.
+TEST(FleetConfig, ValidateRejectsMalformedMigrationsDescriptively) {
+  serve::FleetConfig fleet;
+  fleet.replicas = 2;
+  EXPECT_NO_THROW(fleet.validate(/*num_classes=*/2));
+
+  const auto message_of = [&fleet]() -> std::string {
+    try {
+      fleet.validate(2);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  fleet.migrations = {serve::MigrationPlan{0.0, 0, /*from=*/0, /*to=*/5}};
+  EXPECT_NE(message_of().find("replica"), std::string::npos);
+  fleet.migrations = {serve::MigrationPlan{0.0, 0, /*from=*/1, /*to=*/1}};
+  EXPECT_NE(message_of().find("source"), std::string::npos);
+  fleet.migrations = {serve::MigrationPlan{0.0, /*class=*/9, 0, 1}};
+  EXPECT_NE(message_of().find("class"), std::string::npos);
+  fleet.migrations = {serve::MigrationPlan{-1.0, 0, 0, 1}};
+  EXPECT_FALSE(message_of().empty());
+  fleet.migrations.clear();
+
+  // The fault spec is validated through the same member.
+  fleet.faults.crashes = 1;  // enabled with horizon == 0
+  EXPECT_NE(message_of().find("fault"), std::string::npos);
+  fleet.faults.horizon_sec = 0.01;
+  EXPECT_NO_THROW(fleet.validate(2));
+}
+
 TEST(FleetServer, RouterNamesRoundTripAndRejectUnknown) {
   for (const serve::RouterKind r : serve::all_routers()) {
     EXPECT_EQ(serve::router_from_name(serve::to_string(r)), r);

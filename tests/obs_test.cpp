@@ -13,7 +13,9 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <set>
 #include <sstream>
+#include <string>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -480,6 +482,59 @@ TEST(HealthMonitor, ThrottleIncidentsArePerReplica) {
   EXPECT_EQ(mon.incidents()[0].closed_ps, 300u);
   EXPECT_EQ(mon.incidents()[1].subject, "replica0");
   EXPECT_TRUE(mon.incidents()[1].open);
+}
+
+TEST(HealthMonitor, IncidentKindNamesRoundTripEveryEnumerator) {
+  // Every enumerator must stringify to a distinct, non-"?" name — a new
+  // kind that misses its to_string case trips this immediately.
+  const std::vector<obs::IncidentKind> kinds = {
+      obs::IncidentKind::kSaturation,    obs::IncidentKind::kUnderload,
+      obs::IncidentKind::kQueueTrend,    obs::IncidentKind::kThrottle,
+      obs::IncidentKind::kSloViolations, obs::IncidentKind::kReplicaDown,
+      obs::IncidentKind::kIoErrorBurst,  obs::IncidentKind::kLinkDegraded,
+  };
+  std::set<std::string> names;
+  for (const obs::IncidentKind kind : kinds) {
+    const std::string name = obs::to_string(kind);
+    EXPECT_NE(name, "?") << "unmapped IncidentKind "
+                         << static_cast<int>(kind);
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kinds.size());  // all distinct
+  // An out-of-range value degrades to "?" instead of reading past the
+  // switch.
+  EXPECT_STREQ(obs::to_string(static_cast<obs::IncidentKind>(255)), "?");
+  EXPECT_STREQ(obs::to_string(static_cast<obs::IncidentSeverity>(255)),
+               "?");
+}
+
+TEST(HealthMonitor, FaultObserversOpenAndCloseIncidents) {
+  obs::HealthMonitor mon;
+  // Crash opens a critical replica-down incident; revival closes it.
+  const std::int64_t id = mon.observe_crash(100, /*replica=*/1, true);
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(mon.observe_crash(200, 1, false), id);
+  // I/O burst windows and link degradation are warning-severity spans.
+  mon.observe_io_burst(300, /*replica=*/0, true, 0.25);
+  mon.observe_io_errors(350, 0, 3);
+  mon.observe_io_burst(400, 0, false, 0.0);
+  mon.observe_link(500, true, 0.5);
+  mon.observe_link(600, false, 1.0);
+  const auto& incidents = mon.incidents();
+  ASSERT_EQ(incidents.size(), 3u);
+  EXPECT_EQ(incidents[0].kind, obs::IncidentKind::kReplicaDown);
+  EXPECT_EQ(incidents[0].severity, obs::IncidentSeverity::kCritical);
+  EXPECT_EQ(incidents[0].subject, "replica1");
+  EXPECT_EQ(incidents[0].opened_ps, 100u);
+  EXPECT_EQ(incidents[0].closed_ps, 200u);
+  EXPECT_FALSE(incidents[0].open);
+  EXPECT_EQ(incidents[1].kind, obs::IncidentKind::kIoErrorBurst);
+  EXPECT_EQ(incidents[1].subject, "replica0");
+  EXPECT_EQ(incidents[1].observations, 2u);  // open + error touch
+  EXPECT_FALSE(incidents[1].open);
+  EXPECT_EQ(incidents[2].kind, obs::IncidentKind::kLinkDegraded);
+  EXPECT_EQ(incidents[2].subject, "fleet");
+  EXPECT_EQ(incidents[2].closed_ps, 600u);
 }
 
 TEST(HealthMonitor, SloViolationRateNeedsAFullWindow) {

@@ -22,6 +22,7 @@
 #include "algo/bfs.hpp"
 #include "core/runtime.hpp"
 #include "graph/generate.hpp"
+#include "serve/fleet.hpp"
 #include "serve/server.hpp"
 
 namespace cxlgraph {
@@ -203,6 +204,55 @@ TEST(QueryServer, ByteConservationAcrossPoliciesAndLoads) {
         }
       }
       EXPECT_EQ(r.link_bytes, expected);
+    }
+  }
+}
+
+// Property: the terminal dispositions partition the stream exactly —
+// every offered query ends completed, shed, or failed, and admitted work
+// ends completed or failed. Checked across policies x loads on the solo
+// path (where failed is structurally zero) and on the fleet path under
+// an active crash-and-I/O fault plan (where all three are live).
+TEST(QueryServer, TerminalDispositionsPartitionAcrossPoliciesAndLoads) {
+  const graph::CsrGraph g = test_graph();
+  serve::QueryServer server(core::table3_system());
+  for (const serve::SchedulingPolicy policy : serve::all_policies()) {
+    for (const double qps : {500.0, 20000.0}) {
+      serve::ServeRequest req = mixed_request(qps, 24);
+      req.config.policy = policy;
+      req.config.max_waiting = 3;  // force queue shedding at high load
+      const serve::ServeReport r = server.serve(g, req);
+      EXPECT_EQ(r.completed + r.shed + r.failed, r.offered)
+          << serve::to_string(policy) << " at " << qps << " qps";
+      EXPECT_EQ(r.completed + r.failed, r.admitted);
+      EXPECT_EQ(r.failed, 0u);  // no fault plan on the solo path
+    }
+  }
+
+  serve::FleetServer fleet(core::table3_system());
+  for (const serve::SchedulingPolicy policy : serve::all_policies()) {
+    for (const double qps : {4'000.0, 24'000.0}) {
+      serve::FleetRequest freq;
+      freq.base.backend = core::BackendKind::kCxl;
+      freq.workload = mixed_request(qps, 32).workload;
+      freq.fleet.replicas = 2;
+      freq.fleet.serve.policy = policy;
+      freq.fleet.serve.max_waiting = 4;
+      freq.fleet.faults.seed = 77;
+      freq.fleet.faults.horizon_sec =
+          16.0 / qps;  // first half of the arrival window
+      freq.fleet.faults.crashes = 2;
+      freq.fleet.faults.restart_sec = 0.0;  // permanent: failures likely
+      freq.fleet.faults.max_query_retries = 1;
+      freq.fleet.faults.io_bursts = 1;
+      freq.fleet.faults.io_burst_sec = 4.0 / qps;
+      freq.fleet.faults.io_error_rate = 0.3;
+      const serve::FleetReport fr = fleet.serve(g, freq);
+      const serve::ServeReport& s = fr.serve;
+      EXPECT_EQ(s.completed + s.shed + s.failed, s.offered)
+          << serve::to_string(policy) << " at " << qps << " qps (fleet)";
+      EXPECT_EQ(s.completed + s.failed, s.admitted);
+      EXPECT_TRUE(s.conservation_ok());
     }
   }
 }

@@ -38,6 +38,7 @@
 
 #include "core/cluster_runtime.hpp"
 #include "core/runtime.hpp"
+#include "fault/fault.hpp"
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
 #include "graph/reorder.hpp"
@@ -419,6 +420,13 @@ int cmd_serve(int argc, char** argv) {
                  "elastic controller check interval [us]", "1000");
   cli.add_flag("slo-shed",
                "shed arrivals whose SLO is already infeasible");
+  cli.add_option("faults",
+                 "fault plan, comma-separated key=value (seed, horizon-ms, "
+                 "crashes, restart-ms, provision-ms, io-bursts, "
+                 "io-burst-ms, io-rate, io-retry-us, io-max-retries, "
+                 "link-flaps, flap-ms, flap-derate, query-retries, "
+                 "backoff-us); engages the fleet path",
+                 "");
   cli.add_option("incidents-out",
                  "write the health monitor's incident log JSON here "
                  "(engages the fleet path)",
@@ -494,6 +502,7 @@ int cmd_serve(int argc, char** argv) {
                           !cli.get("migrate").empty() ||
                           !cli.get("quota").empty() || elastic_max > 0 ||
                           cli.get_bool("slo-shed") ||
+                          !cli.get("faults").empty() ||
                           !cli.get("incidents-out").empty();
   if (fleet_path) {
     if (replicas == 0) {
@@ -516,6 +525,9 @@ int cmd_serve(int argc, char** argv) {
       freq.fleet.elastic.check_interval_sec =
           cli.get_double("elastic-interval-us") * 1e-6;
     }
+    if (!cli.get("faults").empty()) {
+      freq.fleet.faults = fault::parse_fault_spec(cli.get("faults"));
+    }
     serve::FleetServer fleet_server(cli.get_bool("gen3")
                                         ? core::table4_system()
                                         : core::table3_system(),
@@ -525,7 +537,8 @@ int cmd_serve(int argc, char** argv) {
     const serve::ServeReport& s = fr.serve;
     if (!s.conservation_ok()) {
       std::cerr << "error: serve byte-conservation check failed: link "
-                << s.link_bytes << " != queries " << s.query_bytes << "\n";
+                << s.link_bytes << " != queries " << s.query_bytes
+                << " + lost " << s.lost_bytes << "\n";
       return 1;
     }
     util::TablePrinter table({"Metric", "Value"});
@@ -560,6 +573,21 @@ int cmd_serve(int argc, char** argv) {
                          util::format_bytes(fr.migration_bytes) +
                          " state copied, " +
                          util::fmt(fr.migration_sec * 1e6, 1) + " us)"});
+    }
+    if (freq.fleet.faults.enabled()) {
+      table.add_row({"queries failed", util::fmt_count(s.failed)});
+      table.add_row({"availability", util::fmt(fr.availability, 4)});
+      table.add_row({"crashes / restarts / replacements",
+                     std::to_string(fr.crashes) + " / " +
+                         std::to_string(fr.restarts) + " / " +
+                         std::to_string(fr.replacements)});
+      table.add_row({"query retries", util::fmt_count(s.query_retries)});
+      table.add_row({"lost work",
+                     util::fmt(s.lost_work_sec * 1e3, 3) + " ms, " +
+                         util::format_bytes(s.lost_bytes)});
+      table.add_row({"io retries / link windows",
+                     std::to_string(fr.io_error_retries) + " / " +
+                         std::to_string(fr.link_degrade_windows)});
     }
     if (!fr.incidents.empty()) {
       std::uint32_t open = 0;
@@ -600,7 +628,8 @@ int cmd_serve(int argc, char** argv) {
   const serve::ServeReport r = server.serve(g, req);
   if (!r.conservation_ok()) {
     std::cerr << "error: serve byte-conservation check failed: link "
-              << r.link_bytes << " != queries " << r.query_bytes << "\n";
+              << r.link_bytes << " != queries " << r.query_bytes
+              << " + lost " << r.lost_bytes << "\n";
     return 1;
   }
 
